@@ -1,0 +1,98 @@
+// Figure 9: reCloud vs enhanced common practice (with multi-objectives).
+//
+// For 1-of-2 / 2-of-3 / 4-of-5 / 8-of-10 redundancy, compare the
+// reliability of:
+//   * the enhanced common practice: top-5 non-repeating least-loaded
+//     distinct-rack plans, pick the most power-diversified one
+//     (negligible search time);
+//   * reCloud's multi-objective annealing search (reliability + workload
+//     utility, equal weights) at increasing search-time budgets.
+// The paper finds reCloud about one order of magnitude more reliable (e.g.
+// 99.62% -> 99.97% for 4-of-5) within 30 s on the large data center.
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "assess/downtime.hpp"
+#include "bench_util.hpp"
+#include "core/recloud.hpp"
+#include "search/common_practice.hpp"
+
+int main() {
+    using namespace recloud;
+    bench::print_header(
+        "Figure 9: reCloud vs enhanced common practice (multi-objective)",
+        "Figure 9, §4.2.2");
+
+    const data_center_scale scale =
+        bench::full_scale() ? data_center_scale::large : data_center_scale::medium;
+    auto infra = fat_tree_infrastructure::build(scale);
+    std::printf("data center: %s\n", to_string(scale));
+
+    struct setting {
+        int k;
+        int n;
+    };
+    const std::vector<setting> settings{{1, 2}, {2, 3}, {4, 5}, {8, 10}};
+    const std::vector<double> search_seconds =
+        bench::full_scale()
+            ? std::vector<double>{3, 6, 15, 30, 60, 150, 300}
+            : std::vector<double>{0.5, 1, 2, 4};
+    const std::size_t rounds = 10000;
+
+    for (const auto& [k, n] : settings) {
+        const application app = application::k_of_n(k, n);
+        std::printf("\n--- %d-of-%d redundancy ---\n", k, n);
+
+        // Enhanced common practice baseline.
+        const deployment_plan cp_plan = enhanced_common_practice_plan(
+            infra.topology(), infra.workloads(), infra.power(), n);
+        recloud_options assess_options;
+        assess_options.assessment_rounds = rounds;
+        assess_options.seed = 1;
+        re_cloud assess_system{infra, assess_options};
+        const assessment_stats cp_stats = assess_system.assess(app, cp_plan);
+        std::printf("%-24s reliability=%.5f  (%.1f h/yr downtime)  load=%.3f\n",
+                    "[CP] enhanced practice", cp_stats.reliability,
+                    annual_downtime_hours(cp_stats.reliability),
+                    infra.workloads().average(cp_plan.hosts));
+
+        // reCloud search at increasing budgets: once optimizing reliability
+        // alone, once with the multi-objective holistic measure (Eq. 7,
+        // equal weights). Under this fault model the reliability gaps
+        // between plans are large (shared power supplies cost ~1% R), so
+        // the equal-weight optimum genuinely trades some reliability for
+        // lighter hosts; the reliability-only series shows the pure search
+        // quality the paper's Figure 9 y-axis tracks.
+        for (const bool multi_objective : {false, true}) {
+            for (const double seconds : search_seconds) {
+                recloud_options options;
+                options.assessment_rounds = rounds;
+                options.multi_objective = multi_objective;  // a = b = 1 (Eq. 7)
+                options.seed = 42;
+                re_cloud system{infra, options};
+                deployment_request request;
+                request.app = app;
+                request.desired_reliability = 1.0;  // unsatisfiable: run to Tmax
+                request.max_search_time = std::chrono::milliseconds{
+                    static_cast<long long>(seconds * 1000)};
+                const deployment_response response =
+                    system.find_deployment(request);
+                std::printf(
+                    "reCloud[%s] Tmax=%-5.1fs  reliability=%.5f  (%.1f h/yr "
+                    "downtime)  load=%.3f  plans=%zu (skipped %zu symmetric)\n",
+                    multi_objective ? "rel+util" : "rel-only", seconds,
+                    response.stats.reliability,
+                    annual_downtime_hours(response.stats.reliability),
+                    infra.workloads().average(response.plan.hosts),
+                    response.search.plans_generated,
+                    response.search.symmetric_skips);
+            }
+        }
+    }
+    std::printf(
+        "\npaper shape: reCloud's unreliability (1-R) about one order of\n"
+        "             magnitude below the enhanced common practice; longer\n"
+        "             search times improve the plan; 2-of-3 beats 4-of-5\n");
+    return 0;
+}

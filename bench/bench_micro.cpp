@@ -1,0 +1,138 @@
+// Micro-benchmarks (google-benchmark) for the inner-loop primitives every
+// experiment leans on: sampling one round, routing-oracle queries, the
+// per-round context setup, and fault-tree evaluation. Useful for spotting
+// regressions that the table/figure benches would smear out.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/recloud.hpp"
+#include "sampling/extended_dagger.hpp"
+#include "sampling/monte_carlo.hpp"
+#include "search/neighbor.hpp"
+#include "search/symmetry.hpp"
+
+namespace {
+
+using namespace recloud;
+
+fat_tree_infrastructure& shared_infra(data_center_scale scale) {
+    static auto tiny = fat_tree_infrastructure::build(data_center_scale::tiny);
+    static auto medium = fat_tree_infrastructure::build(data_center_scale::medium);
+    return scale == data_center_scale::tiny ? tiny : medium;
+}
+
+void bm_dagger_round(benchmark::State& state) {
+    auto& infra = shared_infra(data_center_scale::medium);
+    extended_dagger_sampler sampler{infra.registry().probabilities(), 1};
+    std::vector<component_id> failed;
+    for (auto _ : state) {
+        sampler.next_round(failed);
+        benchmark::DoNotOptimize(failed.data());
+    }
+}
+BENCHMARK(bm_dagger_round);
+
+void bm_monte_carlo_round(benchmark::State& state) {
+    auto& infra = shared_infra(data_center_scale::medium);
+    monte_carlo_sampler sampler{infra.registry().probabilities(), 1};
+    std::vector<component_id> failed;
+    for (auto _ : state) {
+        sampler.next_round(failed);
+        benchmark::DoNotOptimize(failed.data());
+    }
+}
+BENCHMARK(bm_monte_carlo_round);
+
+void bm_round_context_setup(benchmark::State& state) {
+    auto& infra = shared_infra(data_center_scale::medium);
+    extended_dagger_sampler sampler{infra.registry().probabilities(), 2};
+    round_state rs{infra.registry().size(), &infra.forest()};
+    fat_tree_routing oracle{infra.tree()};
+    std::vector<component_id> failed;
+    sampler.next_round(failed);
+    for (auto _ : state) {
+        rs.begin_round(failed);
+        oracle.begin_round(rs);
+        benchmark::DoNotOptimize(rs.epoch());
+    }
+}
+BENCHMARK(bm_round_context_setup);
+
+void bm_border_reachable(benchmark::State& state) {
+    auto& infra = shared_infra(data_center_scale::medium);
+    extended_dagger_sampler sampler{infra.registry().probabilities(), 3};
+    round_state rs{infra.registry().size(), &infra.forest()};
+    fat_tree_routing oracle{infra.tree()};
+    std::vector<component_id> failed;
+    sampler.next_round(failed);
+    rs.begin_round(failed);
+    oracle.begin_round(rs);
+    const auto& hosts = infra.topology().hosts;
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(oracle.border_reachable(hosts[i]));
+        i = (i + 37) % hosts.size();
+    }
+}
+BENCHMARK(bm_border_reachable);
+
+void bm_host_to_host(benchmark::State& state) {
+    auto& infra = shared_infra(data_center_scale::medium);
+    extended_dagger_sampler sampler{infra.registry().probabilities(), 4};
+    round_state rs{infra.registry().size(), &infra.forest()};
+    fat_tree_routing oracle{infra.tree()};
+    std::vector<component_id> failed;
+    sampler.next_round(failed);
+    rs.begin_round(failed);
+    oracle.begin_round(rs);
+    const auto& hosts = infra.topology().hosts;
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            oracle.host_to_host(hosts[i], hosts[(i * 7 + 13) % hosts.size()]));
+        i = (i + 41) % hosts.size();
+    }
+}
+BENCHMARK(bm_host_to_host);
+
+void bm_fault_tree_effective(benchmark::State& state) {
+    auto& infra = shared_infra(data_center_scale::medium);
+    round_state rs{infra.registry().size(), &infra.forest()};
+    const std::vector<component_id> failed{infra.power().supplies[0]};
+    const auto& hosts = infra.topology().hosts;
+    std::size_t i = 0;
+    for (auto _ : state) {
+        rs.begin_round(failed);  // memoization reset each iteration
+        benchmark::DoNotOptimize(rs.failed(hosts[i]));
+        i = (i + 29) % hosts.size();
+    }
+}
+BENCHMARK(bm_fault_tree_effective);
+
+void bm_symmetry_signature(benchmark::State& state) {
+    auto& infra = shared_infra(data_center_scale::medium);
+    const symmetry_checker checker{infra.topology(), infra.registry(),
+                                   &infra.forest()};
+    neighbor_generator gen{infra.topology(), anti_affinity::none, 9};
+    const deployment_plan plan = gen.initial_plan(5);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(checker.signature(plan));
+    }
+}
+BENCHMARK(bm_symmetry_signature);
+
+void bm_neighbor_generation(benchmark::State& state) {
+    auto& infra = shared_infra(data_center_scale::medium);
+    neighbor_generator gen{infra.topology(), anti_affinity::rack, 10};
+    deployment_plan plan = gen.initial_plan(5);
+    for (auto _ : state) {
+        plan = gen.neighbor_of(plan);
+        benchmark::DoNotOptimize(plan.hosts.data());
+    }
+}
+BENCHMARK(bm_neighbor_generation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

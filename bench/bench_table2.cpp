@@ -1,0 +1,37 @@
+// Table 2: data center topologies with external connectivity.
+//
+// Regenerates the paper's table (k-port fat-trees at four scales with a
+// dedicated border pod and 5 shared power supplies) and reports topology
+// construction time — the substrate cost that every other experiment pays.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/recloud.hpp"
+#include "topology/stats.hpp"
+
+int main() {
+    using namespace recloud;
+    bench::print_header("Table 2: data center topologies", "Table 2, §4.1");
+
+    std::printf("%-8s %7s %7s %7s %7s %8s %8s %8s %10s %12s\n", "scale", "k",
+                "core", "agg", "edge", "border", "hosts", "power", "links",
+                "build(ms)");
+    for (const data_center_scale scale : bench::all_scales()) {
+        double build_ms = 0.0;
+        topology_stats stats;
+        std::size_t supplies = 0;
+        build_ms = bench::time_ms([&] {
+            const auto infra = fat_tree_infrastructure::build(scale);
+            stats = compute_topology_stats(infra.topology());
+            supplies = infra.power().supplies.size();
+        });
+        std::printf("%-8s %7d %7zu %7zu %7zu %8zu %8zu %8zu %10zu %12.1f\n",
+                    to_string(scale), fat_tree_k_for(scale), stats.core_switches,
+                    stats.aggregation_switches, stats.edge_switches,
+                    stats.border_switches, stats.hosts, supplies, stats.links,
+                    build_ms);
+    }
+    std::printf("\npaper values: tiny 16/28/28/4/112, small 64/120/120/8/960,\n"
+                "              medium 144/276/276/12/3312, large 576/1128/1128/24/27072\n");
+    return 0;
+}

@@ -1,0 +1,102 @@
+// Dependency discovery end-to-end (§2.1, §3.2.3, §3.4): build a leaf-spine
+// data center (reCloud is architecture-agnostic), acquire dependency
+// information the way the paper's cited tools would —
+//   * HardwareLister  -> hardware profiles & shared firmware,
+//   * apt-rdepends    -> package dependency closures per host,
+//   * NSDMiner        -> network service dependencies mined from traffic —
+// then let reCloud search for a plan that dodges the discovered shared
+// dependencies. Finishes with the §3.4 degraded mode: no probabilities at
+// all, defaults only.
+#include <chrono>
+#include <cstdio>
+
+#include "core/recloud.hpp"
+#include "deps/hardware_inventory.hpp"
+#include "deps/network_deps.hpp"
+#include "deps/software_deps.hpp"
+#include "routing/bfs_reachability.hpp"
+#include "topology/leaf_spine.hpp"
+
+int main() {
+    using namespace recloud;
+
+    built_topology topo = build_leaf_spine(
+        {.spines = 4, .leaves = 12, .hosts_per_leaf = 8, .border_leaves = 2});
+    component_registry registry{topo.graph};
+    fault_tree_forest forest{topo.graph.node_count()};
+    std::printf("infrastructure: %s, %zu hosts\n", topo.name.c_str(),
+                topo.hosts.size());
+
+    // --- dependency acquisition (simulated acquisition tools) ----------
+    const hardware_inventory hardware =
+        survey_hardware(topo, registry, forest, {.firmware_versions = 3});
+    std::printf("HardwareLister: %zu host profiles, %zu shared firmware images\n",
+                hardware.profiles.size(), hardware.firmware_components.size());
+
+    const software_catalog catalog = generate_software_catalog(registry, {});
+    const install_report installed = install_software(topo, catalog, forest);
+    std::printf("apt-rdepends:   %zu packages in %zu stacks, %zu OS images\n",
+                catalog.packages.size(), catalog.stacks.size(),
+                catalog.os_images.size());
+    (void)installed;
+
+    const network_services services = deploy_network_services(topo, registry, {});
+    const auto flows = synthesize_flows(topo, services, {});
+    const auto mined = mine_dependencies(flows, 10);
+    attach_mined_dependencies(mined, forest);
+    std::printf("NSDMiner:       %zu flows observed -> %zu host-service "
+                "dependencies mined\n",
+                flows.size(), mined.size());
+
+    // Fill in measured probabilities for everything still unknown.
+    rng random{77};
+    assign_paper_probabilities(registry, random);
+
+    // --- reliable deployment search ------------------------------------
+    bfs_reachability oracle{topo};
+    recloud_context context;
+    context.topology = &topo;
+    context.registry = &registry;
+    context.forest = &forest;
+    context.oracle = &oracle;
+
+    recloud_options options;
+    options.assessment_rounds = 5000;
+    re_cloud system{context, options};
+
+    deployment_request request;
+    request.app = application::k_of_n(2, 3);
+    // 2-of-3 under the FULL fault model is much harsher than bare hardware:
+    // an instance's chain now stacks host (1%), ToR (0.8%), firmware, OS,
+    // the ~10-package software closure (CVSS-derived, up to 5% each) and
+    // two network services — roughly 20% per instance. The reachable
+    // ceiling for 2-of-3 is ~0.9, which is exactly the insight this
+    // example surfaces: software dependencies dominate the fault model.
+    request.desired_reliability = 0.90;
+    request.max_search_time = std::chrono::seconds{5};
+    const deployment_response response = system.find_deployment(request);
+    std::printf("\nwith full dependency info: fulfilled=%s R=%.5f (+/- %.2e)\n",
+                response.fulfilled ? "yes" : "no", response.stats.reliability,
+                response.stats.ciw95);
+
+    // --- §3.4: no measured probabilities, defaults only ----------------
+    // Same component population (the dependency *structure* is retained),
+    // but every measured probability is discarded and replaced by a flat
+    // default.
+    component_registry degraded = registry;
+    for (component_id id = 0; id < degraded.size(); ++id) {
+        degraded.set_probability(id, 0.0);
+    }
+    assign_default_probabilities(degraded, 0.01);
+    recloud_context degraded_context = context;
+    degraded_context.registry = &degraded;
+    re_cloud degraded_system{degraded_context, options};
+    const deployment_response degraded_response =
+        degraded_system.find_deployment(request);
+    std::printf("degraded mode (default probabilities): fulfilled=%s R=%.5f\n",
+                degraded_response.fulfilled ? "yes" : "no",
+                degraded_response.stats.reliability);
+    std::printf("\nreCloud still avoids shared dependencies when probabilities\n"
+                "are crude — the quantitative score just loses calibration.\n");
+    return 0;
+}

@@ -1,0 +1,281 @@
+// recloud_cli — scenario-driven command line front end.
+//
+//   $ ./recloud_cli scenario.conf
+//   $ ./recloud_cli --sample-config > scenario.conf
+//
+// Reads an INI-style scenario (data center, application structure, search
+// parameters), runs the reCloud workflow, and prints the resulting plan
+// with its quantitative assessment. Demonstrates how a deployment pipeline
+// would embed the library without writing C++ per scenario.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "assess/downtime.hpp"
+#include "core/recloud.hpp"
+#include "routing/bfs_reachability.hpp"
+#include "topology/bcube.hpp"
+#include "topology/jellyfish.hpp"
+#include "topology/leaf_spine.hpp"
+#include "topology/vl2.hpp"
+#include "report/report.hpp"
+#include "util/config.hpp"
+
+namespace {
+
+using namespace recloud;
+
+constexpr const char* sample_config = R"(# reCloud scenario
+[datacenter]
+topology = fat-tree       # fat-tree | leaf-spine | vl2 | jellyfish | bcube
+scale = small             # fat-tree presets: tiny | small | medium | large
+power_supplies = 5
+model_links = false
+seed = 42
+
+[application]
+structure = k-of-n        # k-of-n | layered | microservice
+k = 4
+n = 5
+layers = 2                # layered only
+cores = 3                 # microservice only
+supports = 5              # microservice only
+
+[search]
+max_seconds = 5
+desired_downtime_hours = 160
+rounds = 10000
+sampler = dagger          # dagger | monte-carlo | antithetic
+multi_objective = false
+symmetry = true
+seed = 1
+
+[output]
+# json = result.json        # machine-readable deployment report
+# trace_csv = trace.csv     # best-score improvements over time
+)";
+
+application build_application(const config& cfg) {
+    const std::string structure =
+        cfg.get_string("application.structure", "k-of-n");
+    const auto k = static_cast<std::uint32_t>(cfg.get_int("application.k", 4));
+    const auto n = static_cast<std::uint32_t>(cfg.get_int("application.n", 5));
+    if (structure == "k-of-n") {
+        return application::k_of_n(k, n);
+    }
+    if (structure == "layered") {
+        return application::layered(
+            static_cast<std::uint32_t>(cfg.get_int("application.layers", 2)), k, n);
+    }
+    if (structure == "microservice") {
+        return application::microservice(
+            static_cast<std::uint32_t>(cfg.get_int("application.cores", 3)),
+            static_cast<std::uint32_t>(cfg.get_int("application.supports", 5)), k,
+            n);
+    }
+    throw config_error{"unknown application.structure: " + structure};
+}
+
+sampler_kind parse_sampler(const std::string& name) {
+    if (name == "dagger") {
+        return sampler_kind::extended_dagger;
+    }
+    if (name == "monte-carlo") {
+        return sampler_kind::monte_carlo;
+    }
+    if (name == "antithetic") {
+        return sampler_kind::antithetic;
+    }
+    throw config_error{"unknown search.sampler: " + name};
+}
+
+recloud_options build_options(const config& cfg) {
+    recloud_options options;
+    options.assessment_rounds =
+        static_cast<std::size_t>(cfg.get_int("search.rounds", 10000));
+    options.sampler = parse_sampler(cfg.get_string("search.sampler", "dagger"));
+    options.multi_objective = cfg.get_bool("search.multi_objective", false);
+    options.use_symmetry = cfg.get_bool("search.symmetry", true);
+    options.seed = static_cast<std::uint64_t>(cfg.get_int("search.seed", 1));
+    options.record_trace = !cfg.get_string("output.trace_csv", "").empty();
+    return options;
+}
+
+deployment_request build_request(const config& cfg, application app) {
+    deployment_request request;
+    request.app = std::move(app);
+    request.desired_reliability = reliability_for_downtime(
+        cfg.get_double("search.desired_downtime_hours", 130.0));
+    request.max_search_time = std::chrono::milliseconds{static_cast<long long>(
+        cfg.get_double("search.max_seconds", 5.0) * 1000.0)};
+    return request;
+}
+
+void write_outputs(const config& cfg, const deployment_response& response,
+                   const component_registry& registry) {
+    const std::string json_path = cfg.get_string("output.json", "");
+    if (!json_path.empty()) {
+        std::FILE* out = std::fopen(json_path.c_str(), "w");
+        if (out == nullptr) {
+            throw config_error{"cannot write " + json_path};
+        }
+        const std::string json = to_json(response, &registry);
+        std::fwrite(json.data(), 1, json.size(), out);
+        std::fputc('\n', out);
+        std::fclose(out);
+        std::printf("wrote JSON report to %s\n", json_path.c_str());
+    }
+    const std::string csv_path = cfg.get_string("output.trace_csv", "");
+    if (!csv_path.empty()) {
+        std::FILE* out = std::fopen(csv_path.c_str(), "w");
+        if (out == nullptr) {
+            throw config_error{"cannot write " + csv_path};
+        }
+        const std::string csv = trace_to_csv(response.search);
+        std::fwrite(csv.data(), 1, csv.size(), out);
+        std::fclose(out);
+        std::printf("wrote search trace to %s\n", csv_path.c_str());
+    }
+}
+
+void report(const deployment_response& response, const built_topology& topo) {
+    std::printf("fulfilled:        %s\n", response.fulfilled ? "yes" : "no");
+    std::printf("reliability:      %.5f (95%% CI width %.2e)\n",
+                response.stats.reliability, response.stats.ciw95);
+    std::printf("annual downtime:  %.1f hours\n",
+                annual_downtime_hours(response.stats.reliability));
+    std::printf("plans: generated=%zu assessed=%zu symmetric-skips=%zu in %.2fs\n",
+                response.search.plans_generated, response.search.plans_evaluated,
+                response.search.symmetric_skips, response.search.elapsed_seconds);
+    std::printf("placement:\n");
+    for (const node_id host : response.plan.hosts) {
+        std::printf("  host#%-6u rack=switch#%u\n", host,
+                    rack_of(topo.graph, host));
+    }
+}
+
+int run_fat_tree(const config& cfg, const application& app) {
+    infrastructure_options infra_options;
+    infra_options.power.supply_count = static_cast<std::size_t>(
+        cfg.get_int("datacenter.power_supplies", 5));
+    infra_options.model_link_failures =
+        cfg.get_bool("datacenter.model_links", false);
+    infra_options.seed =
+        static_cast<std::uint64_t>(cfg.get_int("datacenter.seed", 42));
+
+    const std::string scale = cfg.get_string("datacenter.scale", "small");
+    fat_tree_infrastructure infra = [&] {
+        if (scale == "tiny") {
+            return fat_tree_infrastructure::build(data_center_scale::tiny,
+                                                  infra_options);
+        }
+        if (scale == "small") {
+            return fat_tree_infrastructure::build(data_center_scale::small,
+                                                  infra_options);
+        }
+        if (scale == "medium") {
+            return fat_tree_infrastructure::build(data_center_scale::medium,
+                                                  infra_options);
+        }
+        if (scale == "large") {
+            return fat_tree_infrastructure::build(data_center_scale::large,
+                                                  infra_options);
+        }
+        return fat_tree_infrastructure::build(
+            static_cast<int>(cfg.get_int("datacenter.k", 8)), infra_options);
+    }();
+    std::printf("infrastructure:   %s (%zu hosts, %zu components)\n",
+                infra.topology().name.c_str(), infra.topology().hosts.size(),
+                infra.registry().size());
+
+    re_cloud system{infra, build_options(cfg)};
+    const deployment_response response =
+        system.find_deployment(build_request(cfg, app));
+    report(response, infra.topology());
+    write_outputs(cfg, response, infra.registry());
+    return response.fulfilled ? 0 : 2;
+}
+
+int run_generic(const config& cfg, const application& app,
+                built_topology topo) {
+    component_registry registry{topo.graph};
+    fault_tree_forest forest{topo.graph.node_count()};
+    const power_assignment power = attach_power_supplies(
+        topo, registry, forest,
+        {.supply_count = static_cast<std::size_t>(
+             cfg.get_int("datacenter.power_supplies", 5))});
+    (void)power;
+    std::optional<link_attachment> links;
+    if (cfg.get_bool("datacenter.model_links", false)) {
+        links = attach_link_components(topo, registry);
+    }
+    rng random{static_cast<std::uint64_t>(cfg.get_int("datacenter.seed", 42))};
+    assign_paper_probabilities(registry, random);
+    workload_map workloads{topo, random};
+    bfs_reachability oracle{topo, links ? &*links : nullptr};
+
+    recloud_context context;
+    context.topology = &topo;
+    context.registry = &registry;
+    context.forest = &forest;
+    context.oracle = &oracle;
+    context.workloads = &workloads;
+    context.links = links ? &*links : nullptr;
+
+    std::printf("infrastructure:   %s (%zu hosts, %zu components)\n",
+                topo.name.c_str(), topo.hosts.size(), registry.size());
+    re_cloud system{context, build_options(cfg)};
+    const deployment_response response =
+        system.find_deployment(build_request(cfg, app));
+    report(response, topo);
+    write_outputs(cfg, response, registry);
+    return response.fulfilled ? 0 : 2;
+}
+
+int run_scenario(const config& cfg) {
+    const application app = build_application(cfg);
+    const std::string topology =
+        cfg.get_string("datacenter.topology", "fat-tree");
+    if (topology == "fat-tree") {
+        return run_fat_tree(cfg, app);
+    }
+    if (topology == "leaf-spine") {
+        return run_generic(cfg, app, build_leaf_spine({}));
+    }
+    if (topology == "vl2") {
+        return run_generic(cfg, app, build_vl2({}));
+    }
+    if (topology == "jellyfish") {
+        return run_generic(cfg, app, build_jellyfish({.switches = 24, .degree = 6,
+                                                      .hosts_per_switch = 4,
+                                                      .border_switches = 2}));
+    }
+    if (topology == "bcube") {
+        return run_generic(cfg, app, build_bcube({.ports = 4, .levels = 2}));
+    }
+    throw config_error{"unknown datacenter.topology: " + topology};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc == 2 && std::strcmp(argv[1], "--sample-config") == 0) {
+        std::fputs(sample_config, stdout);
+        return 0;
+    }
+    if (argc != 2) {
+        std::fprintf(stderr,
+                     "usage: %s <scenario.conf>\n"
+                     "       %s --sample-config   # print a template\n",
+                     argv[0], argv[0]);
+        return 64;
+    }
+    try {
+        return run_scenario(recloud::config::parse_file(argv[1]));
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}

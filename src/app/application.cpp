@@ -1,0 +1,132 @@
+#include "app/application.hpp"
+
+#include <stdexcept>
+
+namespace recloud {
+
+app_component_id application::add_component(std::string name,
+                                            std::uint32_t replicas) {
+    if (replicas == 0) {
+        throw std::invalid_argument{"application: component needs >= 1 replica"};
+    }
+    components_.push_back(app_component{std::move(name), replicas});
+    return static_cast<app_component_id>(components_.size() - 1);
+}
+
+void application::require_external(app_component_id target, std::uint32_t k) {
+    requirements_.push_back(reachability_requirement{target, std::nullopt, k});
+}
+
+void application::require_reachable(app_component_id target,
+                                    app_component_id source, std::uint32_t k) {
+    requirements_.push_back(reachability_requirement{target, source, k});
+}
+
+std::uint32_t application::total_instances() const noexcept {
+    std::uint32_t total = 0;
+    for (const app_component& c : components_) {
+        total += c.replicas;
+    }
+    return total;
+}
+
+std::uint32_t application::instance_offset(app_component_id component) const {
+    if (component >= components_.size()) {
+        throw std::out_of_range{"application: unknown component"};
+    }
+    std::uint32_t offset = 0;
+    for (app_component_id c = 0; c < component; ++c) {
+        offset += components_[c].replicas;
+    }
+    return offset;
+}
+
+void application::validate() const {
+    if (components_.empty()) {
+        throw std::invalid_argument{"application: no components"};
+    }
+    if (requirements_.empty()) {
+        throw std::invalid_argument{
+            "application: no requirements (nothing to assess)"};
+    }
+    for (const reachability_requirement& req : requirements_) {
+        if (req.target >= components_.size()) {
+            throw std::invalid_argument{"application: requirement targets missing component"};
+        }
+        if (req.source && *req.source >= components_.size()) {
+            throw std::invalid_argument{"application: requirement sources missing component"};
+        }
+        if (req.source && *req.source == req.target) {
+            throw std::invalid_argument{"application: self-referential requirement"};
+        }
+        if (req.min_reachable == 0 ||
+            req.min_reachable > components_[req.target].replicas) {
+            throw std::invalid_argument{
+                "application: K must be in [1, target replicas]"};
+        }
+    }
+}
+
+application application::k_of_n(std::uint32_t k, std::uint32_t n) {
+    application app;
+    const app_component_id c = app.add_component("app", n);
+    app.require_external(c, k);
+    app.validate();
+    return app;
+}
+
+application application::layered(std::uint32_t layers, std::uint32_t k,
+                                 std::uint32_t n) {
+    if (layers == 0) {
+        throw std::invalid_argument{"application::layered: layers must be >= 1"};
+    }
+    application app;
+    app_component_id previous = 0;
+    for (std::uint32_t layer = 0; layer < layers; ++layer) {
+        const app_component_id c =
+            app.add_component("layer" + std::to_string(layer), n);
+        if (layer == 0) {
+            app.require_external(c, k);
+        } else {
+            app.require_reachable(c, previous, k);
+        }
+        previous = c;
+    }
+    app.validate();
+    return app;
+}
+
+application application::microservice(std::uint32_t cores, std::uint32_t supports,
+                                      std::uint32_t k, std::uint32_t n) {
+    if (cores == 0) {
+        throw std::invalid_argument{"application::microservice: cores must be >= 1"};
+    }
+    application app;
+    std::vector<app_component_id> core_ids;
+    core_ids.reserve(cores);
+    for (std::uint32_t c = 0; c < cores; ++c) {
+        const app_component_id id =
+            app.add_component("core" + std::to_string(c), n);
+        core_ids.push_back(id);
+        app.require_external(id, k);
+    }
+    // Full mesh among cores.
+    for (std::uint32_t i = 0; i < cores; ++i) {
+        for (std::uint32_t j = 0; j < cores; ++j) {
+            if (i != j) {
+                app.require_reachable(core_ids[i], core_ids[j], k);
+            }
+        }
+    }
+    for (std::uint32_t c = 0; c < cores; ++c) {
+        for (std::uint32_t s = 0; s < supports; ++s) {
+            const app_component_id id = app.add_component(
+                "core" + std::to_string(c) + "-support" + std::to_string(s), n);
+            app.require_reachable(id, core_ids[c], k);
+        }
+    }
+    app.validate();
+    return app;
+}
+
+}  // namespace recloud

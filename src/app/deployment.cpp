@@ -1,0 +1,38 @@
+#include "app/deployment.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace recloud {
+
+std::span<const node_id> instances_of(const deployment_plan& plan,
+                                      const application& app,
+                                      app_component_id component) {
+    const std::uint32_t offset = app.instance_offset(component);
+    const std::uint32_t count = app.components()[component].replicas;
+    if (offset + count > plan.hosts.size()) {
+        throw std::out_of_range{"instances_of: plan smaller than application"};
+    }
+    return {plan.hosts.data() + offset, count};
+}
+
+void validate_plan(const deployment_plan& plan, const application& app,
+                   const built_topology& topo) {
+    if (plan.hosts.size() != app.total_instances()) {
+        throw std::invalid_argument{
+            "validate_plan: plan size != application total instances"};
+    }
+    std::vector<node_id> sorted = plan.hosts;
+    std::sort(sorted.begin(), sorted.end());
+    if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+        throw std::invalid_argument{"validate_plan: duplicate host in plan"};
+    }
+    for (const node_id host : plan.hosts) {
+        if (host >= topo.graph.node_count() ||
+            topo.graph.kind(host) != node_kind::host) {
+            throw std::invalid_argument{"validate_plan: plan entry is not a host"};
+        }
+    }
+}
+
+}  // namespace recloud

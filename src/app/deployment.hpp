@@ -1,0 +1,31 @@
+// Deployment plans (paper §2.2): which hosts the application's instances go
+// onto. The plan is a flat host list in component-major order — instance r
+// of component c sits at hosts[app.instance_offset(c) + r].
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "app/application.hpp"
+#include "topology/graph.hpp"
+
+namespace recloud {
+
+struct deployment_plan {
+    std::vector<node_id> hosts;
+
+    friend bool operator==(const deployment_plan&, const deployment_plan&) = default;
+};
+
+/// Instances of `component` within the plan.
+[[nodiscard]] std::span<const node_id> instances_of(const deployment_plan& plan,
+                                                    const application& app,
+                                                    app_component_id component);
+
+/// Throws std::invalid_argument if the plan's size does not match the
+/// application's total instances, a host id is repeated, or a host id is
+/// not a deployable host of the topology.
+void validate_plan(const deployment_plan& plan, const application& app,
+                   const built_topology& topo);
+
+}  // namespace recloud

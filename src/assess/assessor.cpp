@@ -1,0 +1,84 @@
+#include "assess/assessor.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace recloud {
+
+assessment_stats assess_deployment(failure_sampler& sampler, round_state& rs,
+                                   reachability_oracle& oracle,
+                                   const application& app,
+                                   const deployment_plan& plan,
+                                   std::size_t rounds) {
+    requirement_evaluator evaluator{app, plan};
+    result_accumulator results;
+    std::vector<component_id> failed;
+    for (std::size_t round = 0; round < rounds; ++round) {
+        sampler.next_round(failed);
+        rs.begin_round(failed);
+        oracle.begin_round(rs);
+        results.add(evaluator.reliable_in_round(oracle, rs));
+    }
+    return results.stats();
+}
+
+assessment_stats assess_until_ciw(failure_sampler& sampler, round_state& rs,
+                                  reachability_oracle& oracle,
+                                  const application& app,
+                                  const deployment_plan& plan,
+                                  const adaptive_assess_options& options) {
+    if (options.target_ciw <= 0.0) {
+        throw std::invalid_argument{"assess_until_ciw: target must be > 0"};
+    }
+    requirement_evaluator evaluator{app, plan};
+    result_accumulator results;
+    std::vector<component_id> failed;
+    const auto run_rounds = [&](std::size_t rounds) {
+        for (std::size_t round = 0; round < rounds; ++round) {
+            sampler.next_round(failed);
+            rs.begin_round(failed);
+            oracle.begin_round(rs);
+            results.add(evaluator.reliable_in_round(oracle, rs));
+        }
+    };
+
+    run_rounds(std::min(std::max<std::size_t>(options.initial_rounds, 1),
+                        options.max_rounds));
+    for (;;) {
+        const assessment_stats stats = results.stats();
+        if (stats.ciw95 <= options.target_ciw ||
+            results.rounds() >= options.max_rounds) {
+            return stats;
+        }
+        // Predict the total rounds needed from the current estimate, then
+        // run the shortfall (at least as many as already done, so the
+        // prediction error of early noisy estimates cannot stall progress).
+        const std::size_t predicted =
+            rounds_for_target_ciw(options.target_ciw, stats.reliability);
+        const std::size_t want = std::max(predicted, 2 * results.rounds());
+        const std::size_t next = std::min(want, options.max_rounds);
+        run_rounds(next - results.rounds());
+    }
+}
+
+reliability_assessor::reliability_assessor(std::size_t component_count,
+                                           const fault_tree_forest* forest,
+                                           reachability_oracle& oracle,
+                                           failure_sampler& sampler)
+    : rs_(component_count, forest), oracle_(&oracle), sampler_(&sampler) {}
+
+assessment_stats reliability_assessor::assess(const application& app,
+                                              const deployment_plan& plan,
+                                              std::size_t rounds) {
+    requirement_evaluator evaluator{app, plan};
+    result_accumulator results;
+    for (std::size_t round = 0; round < rounds; ++round) {
+        sampler_->next_round(failed_scratch_);
+        rs_.begin_round(failed_scratch_);
+        oracle_->begin_round(rs_);
+        results.add(evaluator.reliable_in_round(*oracle_, rs_));
+    }
+    return results.stats();
+}
+
+}  // namespace recloud

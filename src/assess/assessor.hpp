@@ -1,0 +1,71 @@
+// Reliability assessment of a deployment plan (paper §3.2): sample failure
+// states for X rounds, run route-and-check per round, and aggregate the
+// result list into R, V and CIW95 (Eqs. 1-3).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "app/application.hpp"
+#include "app/deployment.hpp"
+#include "app/requirement_eval.hpp"
+#include "faults/round_state.hpp"
+#include "routing/oracle.hpp"
+#include "sampling/result_stats.hpp"
+#include "sampling/sampler.hpp"
+
+namespace recloud {
+
+/// Runs `rounds` sampling + route-and-check rounds for one plan.
+/// `rs` carries the fault-tree forest; `oracle` must match the topology the
+/// plan deploys into. The sampler continues its stream (it is NOT reset), so
+/// consecutive assessments use fresh randomness.
+[[nodiscard]] assessment_stats assess_deployment(failure_sampler& sampler,
+                                                 round_state& rs,
+                                                 reachability_oracle& oracle,
+                                                 const application& app,
+                                                 const deployment_plan& plan,
+                                                 std::size_t rounds);
+
+/// Adaptive-precision assessment: keeps sampling until the 95% confidence
+/// interval width (Eq. 3) drops to `target_ciw` or `max_rounds` is reached.
+/// Useful when a developer wants a guaranteed error bound rather than a
+/// fixed round budget (§4.2.4 motivates exactly this: "some application
+/// developers may want even higher accuracy").
+struct adaptive_assess_options {
+    double target_ciw = 1e-3;
+    std::size_t initial_rounds = 1000;
+    std::size_t max_rounds = 1'000'000;
+};
+
+[[nodiscard]] assessment_stats assess_until_ciw(failure_sampler& sampler,
+                                                round_state& rs,
+                                                reachability_oracle& oracle,
+                                                const application& app,
+                                                const deployment_plan& plan,
+                                                const adaptive_assess_options& options);
+
+/// Reusable assessment context: owns the scratch state (round_state,
+/// evaluator caches) so the annealing search can assess hundreds of plans
+/// without reallocating. Not thread-safe; create one per thread.
+class reliability_assessor {
+public:
+    /// `forest` may be nullptr (no dependency information, §3.4).
+    reliability_assessor(std::size_t component_count,
+                         const fault_tree_forest* forest,
+                         reachability_oracle& oracle, failure_sampler& sampler);
+
+    [[nodiscard]] assessment_stats assess(const application& app,
+                                          const deployment_plan& plan,
+                                          std::size_t rounds);
+
+    [[nodiscard]] round_state& state() noexcept { return rs_; }
+
+private:
+    round_state rs_;
+    reachability_oracle* oracle_;
+    failure_sampler* sampler_;
+    std::vector<component_id> failed_scratch_;
+};
+
+}  // namespace recloud

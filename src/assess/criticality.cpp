@@ -1,0 +1,50 @@
+#include "assess/criticality.hpp"
+
+#include <algorithm>
+
+#include "assess/assessor.hpp"
+#include "faults/round_state.hpp"
+#include "sampling/injection.hpp"
+
+namespace recloud {
+
+criticality_report analyze_criticality(failure_sampler& sampler,
+                                       const fault_tree_forest* forest,
+                                       std::size_t component_count,
+                                       reachability_oracle& oracle,
+                                       const application& app,
+                                       const deployment_plan& plan,
+                                       const std::vector<component_id>& candidates,
+                                       const criticality_options& options) {
+    criticality_report report;
+    round_state rs{component_count, forest};
+
+    // Baseline on the shared random-number stream.
+    sampler.reset(options.seed);
+    report.baseline =
+        assess_deployment(sampler, rs, oracle, app, plan, options.rounds);
+
+    report.entries.reserve(candidates.size());
+    for (const component_id candidate : candidates) {
+        sampler.reset(options.seed);  // common random numbers
+        forced_failure_sampler forced{sampler, {candidate}};
+        const assessment_stats conditional = assess_deployment(
+            forced, rs, oracle, app, plan, options.rounds);
+        criticality_entry entry;
+        entry.component = candidate;
+        entry.conditional_reliability = conditional.reliability;
+        entry.impact = std::max(
+            0.0, report.baseline.reliability - conditional.reliability);
+        report.entries.push_back(entry);
+    }
+    std::sort(report.entries.begin(), report.entries.end(),
+              [](const criticality_entry& a, const criticality_entry& b) {
+                  if (a.impact != b.impact) {
+                      return a.impact > b.impact;
+                  }
+                  return a.component < b.component;
+              });
+    return report;
+}
+
+}  // namespace recloud

@@ -1,0 +1,15 @@
+#include "assess/downtime.hpp"
+
+#include "util/stats.hpp"
+
+namespace recloud {
+
+double annual_downtime_hours(double reliability) noexcept {
+    return (1.0 - clamp(reliability, 0.0, 1.0)) * hours_per_year;
+}
+
+double reliability_for_downtime(double downtime_hours) noexcept {
+    return 1.0 - clamp(downtime_hours, 0.0, hours_per_year) / hours_per_year;
+}
+
+}  // namespace recloud

@@ -1,0 +1,18 @@
+// Reliability <-> annual downtime conversions.
+//
+// The paper quotes both forms ("99.62% reliability, i.e. 33.3 hours
+// downtime per year") and notes that a developer may specify acceptable
+// annual downtime which "can then be translated to R_desired" (§2.2).
+#pragma once
+
+namespace recloud {
+
+inline constexpr double hours_per_year = 365.0 * 24.0;
+
+/// Annual downtime hours implied by a reliability score.
+[[nodiscard]] double annual_downtime_hours(double reliability) noexcept;
+
+/// The reliability score required to stay within the given annual downtime.
+[[nodiscard]] double reliability_for_downtime(double downtime_hours) noexcept;
+
+}  // namespace recloud

@@ -1,0 +1,37 @@
+// Exact reliability by exhaustive enumeration.
+//
+// The two-terminal reliability problem is NP-hard (paper §3.2.1), but for
+// *tiny* infrastructures it is perfectly feasible to enumerate every failure
+// combination of the components that can fail and sum the probabilities of
+// the reliable ones. The paper has no ground truth ("it is extremely hard,
+// if not impossible, to get the ground-truth reliability", §4.2.2) — this
+// module gives the test suite one: samplers and oracles are validated
+// against exact values.
+#pragma once
+
+#include <cstddef>
+
+#include "app/application.hpp"
+#include "app/deployment.hpp"
+#include "faults/component_registry.hpp"
+#include "faults/fault_tree.hpp"
+#include "routing/oracle.hpp"
+
+namespace recloud {
+
+/// Maximum number of fallible components exact_reliability accepts
+/// (2^24 combinations ~ a second of work).
+inline constexpr std::size_t exact_reliability_max_components = 24;
+
+/// Exact reliability of `plan` for `app`: the total probability mass of
+/// component failure combinations in which the plan is reliable.
+/// Enumerates all 2^m subsets of the m components with probability > 0;
+/// throws std::invalid_argument if m exceeds the limit above.
+/// `forest` may be nullptr.
+[[nodiscard]] double exact_reliability(const component_registry& registry,
+                                       const fault_tree_forest* forest,
+                                       reachability_oracle& oracle,
+                                       const application& app,
+                                       const deployment_plan& plan);
+
+}  // namespace recloud

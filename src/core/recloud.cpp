@@ -1,0 +1,210 @@
+#include "core/recloud.hpp"
+
+#include <stdexcept>
+
+#include "sampling/antithetic.hpp"
+#include "sampling/extended_dagger.hpp"
+#include "sampling/monte_carlo.hpp"
+
+namespace recloud {
+
+fat_tree_infrastructure::fat_tree_infrastructure(
+    fat_tree tree, const infrastructure_options& options)
+    : tree_(std::move(tree)),
+      registry_(tree_.graph()),
+      forest_(tree_.graph().node_count()),
+      power_(attach_power_supplies(tree_.topology(), registry_, forest_,
+                                   options.power)),
+      random_(options.seed),
+      workloads_(tree_.topology(), random_, options.workload) {
+    if (options.model_link_failures) {
+        links_ = attach_link_components(tree_.topology(), registry_,
+                                        options.links);
+    }
+    // Probabilities are assigned after power/link attachment so every added
+    // component is drawn from the same per-type model (§4.1: non-switch
+    // components all follow the "every other component" distribution).
+    assign_paper_probabilities(registry_, random_, options.probabilities);
+}
+
+fat_tree_infrastructure fat_tree_infrastructure::build(
+    data_center_scale scale, const infrastructure_options& options) {
+    return fat_tree_infrastructure{fat_tree::build(scale), options};
+}
+
+fat_tree_infrastructure fat_tree_infrastructure::build(
+    int k, const infrastructure_options& options) {
+    return fat_tree_infrastructure{fat_tree::build(k), options};
+}
+
+namespace {
+
+std::unique_ptr<failure_sampler> make_sampler(sampler_kind kind,
+                                              std::span<const double> probabilities,
+                                              std::uint64_t seed) {
+    switch (kind) {
+        case sampler_kind::monte_carlo:
+            return std::make_unique<monte_carlo_sampler>(probabilities, seed);
+        case sampler_kind::antithetic:
+            return std::make_unique<antithetic_sampler>(probabilities, seed);
+        case sampler_kind::extended_dagger:
+            break;
+    }
+    return std::make_unique<extended_dagger_sampler>(probabilities, seed);
+}
+
+}  // namespace
+
+re_cloud::re_cloud(const recloud_context& context, const recloud_options& options)
+    : context_(context), options_(options) {
+    if (context_.topology == nullptr || context_.registry == nullptr ||
+        context_.oracle == nullptr) {
+        throw std::invalid_argument{
+            "re_cloud: context needs topology, registry and oracle"};
+    }
+    if (options_.multi_objective && context_.workloads == nullptr) {
+        throw std::invalid_argument{
+            "re_cloud: multi-objective optimization needs workloads"};
+    }
+    if (options_.instance_workload_demand > 0.0 && context_.workloads == nullptr) {
+        throw std::invalid_argument{
+            "re_cloud: resource constraints need workloads"};
+    }
+    if (options_.instance_workload_demand < 0.0) {
+        throw std::invalid_argument{
+            "re_cloud: instance_workload_demand must be >= 0"};
+    }
+    if (options_.assessment_rounds == 0) {
+        throw std::invalid_argument{"re_cloud: assessment_rounds must be >= 1"};
+    }
+    sampler_ = make_sampler(options_.sampler, context_.registry->probabilities(),
+                            options_.seed);
+    assessor_ = std::make_unique<reliability_assessor>(
+        context_.registry->size(), context_.forest, *context_.oracle, *sampler_);
+    if (options_.use_symmetry) {
+        symmetry_.emplace(*context_.topology, *context_.registry, context_.forest,
+                          context_.links);
+    }
+    if (options_.multi_objective) {
+        utility_.emplace(*context_.workloads);
+    }
+}
+
+re_cloud::re_cloud(fat_tree_infrastructure& infra, const recloud_options& options)
+    : re_cloud(std::make_unique<fat_tree_routing>(infra.tree(), infra.links()),
+               infra, options) {}
+
+re_cloud::re_cloud(std::unique_ptr<fat_tree_routing> oracle,
+                   fat_tree_infrastructure& infra, const recloud_options& options)
+    : re_cloud(
+          [&infra, &oracle] {
+              recloud_context context;
+              context.topology = &infra.topology();
+              context.registry = &infra.registry();
+              context.forest = &infra.forest();
+              context.oracle = oracle.get();
+              context.workloads = &infra.workloads();
+              context.links = infra.links();
+              return context;
+          }(),
+          options) {
+    owned_oracle_ = std::move(oracle);
+}
+
+deployment_response re_cloud::find_deployment(const deployment_request& request) {
+    request.app.validate();
+    const std::uint32_t instances = request.app.total_instances();
+
+    neighbor_generator neighbors{*context_.topology, options_.affinity,
+                                 options_.seed};
+    const plan_evaluator evaluator = [this, &request](const deployment_plan& plan) {
+        if (options_.common_random_numbers) {
+            // Same failure sequences for every candidate: comparisons
+            // measure the plans, not the noise.
+            sampler_->reset(options_.seed ^ 0xc0ffeeULL);
+        }
+        return evaluate(request.app, plan);
+    };
+
+    annealing_options search_options;
+    search_options.max_time = request.max_search_time;
+    search_options.max_iterations = options_.max_iterations;
+    search_options.desired_reliability = request.desired_reliability;
+    search_options.use_symmetry = options_.use_symmetry;
+    search_options.delta = options_.delta;
+    search_options.seed = options_.seed + 0x5eedULL;
+    search_options.record_trace = options_.record_trace;
+    if (options_.instance_workload_demand > 0.0) {
+        // §3.3.3: discard plans violating resource constraints before
+        // spending an assessment on them.
+        const double demand = options_.instance_workload_demand;
+        const workload_map* workloads = context_.workloads;
+        search_options.filter = [demand, workloads](const deployment_plan& plan) {
+            for (const node_id host : plan.hosts) {
+                if (workloads->of(host) + demand > 1.0) {
+                    return false;
+                }
+            }
+            return true;
+        };
+    }
+
+    const symmetry_checker* symmetry = symmetry_ ? &*symmetry_ : nullptr;
+    annealing_result result =
+        anneal(neighbors, evaluator, symmetry, instances, search_options);
+
+    deployment_response response;
+    response.fulfilled = result.fulfilled;
+    response.plan = result.best_plan;
+    if (options_.common_random_numbers) {
+        // Re-assess the winner on a fresh stream: the search maximized the
+        // CRN estimate, so reporting it directly would carry winner's bias.
+        sampler_->reset(options_.seed ^ 0xf1e5aULL);
+        const plan_evaluation unbiased = evaluate(request.app, result.best_plan);
+        response.stats = unbiased.stats;
+        response.utility = unbiased.utility;
+        response.score = unbiased.score;
+        response.fulfilled =
+            result.fulfilled &&
+            unbiased.stats.reliability >= request.desired_reliability;
+    } else {
+        response.stats = result.best_evaluation.stats;
+        response.utility = result.best_evaluation.utility;
+        response.score = result.best_evaluation.score;
+    }
+    response.search = std::move(result);
+    return response;
+}
+
+assessment_stats re_cloud::assess(const application& app,
+                                  const deployment_plan& plan,
+                                  std::size_t rounds) {
+    app.validate();
+    validate_plan(plan, app, *context_.topology);
+    return assessor_->assess(app, plan,
+                             rounds == 0 ? options_.assessment_rounds : rounds);
+}
+
+plan_evaluation re_cloud::evaluate(const application& app,
+                                   const deployment_plan& plan) {
+    plan_evaluation eval;
+    eval.stats = assessor_->assess(app, plan, options_.assessment_rounds);
+    if (options_.multi_objective) {
+        eval.utility = utility_->utility(plan);
+        const double a = options_.weights.reliability;
+        const double b = options_.weights.utility;
+        const double total = a + b;
+        // Eq. 7, normalized into [0, 1] so Eq. 5's log-ratio keeps its
+        // order-of-magnitude meaning for the combined score.
+        eval.score = total > 0.0
+                         ? holistic_measure(eval.stats.reliability, eval.utility,
+                                            options_.weights) /
+                               total
+                         : 0.0;
+    } else {
+        eval.score = eval.stats.reliability;
+    }
+    return eval;
+}
+
+}  // namespace recloud

@@ -1,0 +1,208 @@
+// reCloud public facade — the paper's workflow (§2.2):
+//
+//   1. the developer states requirements: the application structure (N, K
+//      per component), a desired reliability score R_desired, and a search
+//      budget Tmax;
+//   2. the cloud provider searches for a deployment plan (§3.3) whose
+//      quantitatively assessed reliability (§3.2) satisfies R_desired;
+//   3. the provider returns the plan, or reports that the requirements
+//      cannot be fulfilled within Tmax (the best plan found is still
+//      returned for inspection).
+//
+// `fat_tree_infrastructure` bundles everything the provider side owns for a
+// fat-tree data center: topology, component registry with paper-setting
+// failure probabilities, power-supply fault trees, and host workloads.
+// For other architectures, build a `recloud_context` by hand from a
+// built_topology + bfs_reachability oracle.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "app/application.hpp"
+#include "app/deployment.hpp"
+#include "assess/assessor.hpp"
+#include "faults/component_registry.hpp"
+#include "faults/fault_tree.hpp"
+#include "faults/probability_model.hpp"
+#include "routing/fat_tree_routing.hpp"
+#include "routing/oracle.hpp"
+#include "sampling/sampler.hpp"
+#include "search/annealing.hpp"
+#include "search/neighbor.hpp"
+#include "search/objective.hpp"
+#include "search/symmetry.hpp"
+#include "search/workload.hpp"
+#include "topology/fat_tree.hpp"
+#include "topology/links.hpp"
+#include "topology/power.hpp"
+
+namespace recloud {
+
+struct infrastructure_options {
+    power_attachment_options power{};  ///< §4.1: 5 supplies, round-robin
+    probability_model_options probabilities{};
+    workload_model_options workload{};
+    /// Register every physical link as a fallible component (§2.1's
+    /// "network connectivity" components). Off by default to match the
+    /// paper's §4.1 evaluation setting (hosts/switches/supplies only).
+    bool model_link_failures = false;
+    link_attachment_options links{};
+    std::uint64_t seed = 42;
+};
+
+/// Provider-side state for a fat-tree data center.
+class fat_tree_infrastructure {
+public:
+    static fat_tree_infrastructure build(data_center_scale scale,
+                                         const infrastructure_options& options = {});
+    static fat_tree_infrastructure build(int k,
+                                         const infrastructure_options& options = {});
+
+    [[nodiscard]] const fat_tree& tree() const noexcept { return tree_; }
+    [[nodiscard]] const built_topology& topology() const noexcept {
+        return tree_.topology();
+    }
+    [[nodiscard]] const component_registry& registry() const noexcept {
+        return registry_;
+    }
+    [[nodiscard]] component_registry& registry() noexcept { return registry_; }
+    [[nodiscard]] const fault_tree_forest& forest() const noexcept { return forest_; }
+    [[nodiscard]] fault_tree_forest& forest() noexcept { return forest_; }
+    [[nodiscard]] const power_assignment& power() const noexcept { return power_; }
+    /// Non-null iff infrastructure_options::model_link_failures was set.
+    [[nodiscard]] const link_attachment* links() const noexcept {
+        return links_ ? &*links_ : nullptr;
+    }
+    [[nodiscard]] const workload_map& workloads() const noexcept {
+        return workloads_;
+    }
+    [[nodiscard]] workload_map& workloads() noexcept { return workloads_; }
+    [[nodiscard]] rng& random() noexcept { return random_; }
+
+private:
+    fat_tree_infrastructure(fat_tree tree, const infrastructure_options& options);
+
+    fat_tree tree_;
+    component_registry registry_;
+    fault_tree_forest forest_;
+    power_assignment power_;
+    std::optional<link_attachment> links_;
+    rng random_;
+    workload_map workloads_;
+};
+
+/// Non-owning view over the pieces re_cloud needs. `forest` and `workloads`
+/// may be null (§3.4 limited information; workloads only matter when
+/// multi-objective optimization is on).
+struct recloud_context {
+    const built_topology* topology = nullptr;
+    const component_registry* registry = nullptr;
+    const fault_tree_forest* forest = nullptr;
+    reachability_oracle* oracle = nullptr;
+    const workload_map* workloads = nullptr;
+    /// Optional link components; the oracle must already consult them (this
+    /// pointer is informational, e.g. for symmetry signatures).
+    const link_attachment* links = nullptr;
+};
+
+enum class sampler_kind : std::uint8_t {
+    monte_carlo,      ///< §3.2.1 strawman (what INDaaS uses)
+    extended_dagger,  ///< §3.2.2, the reCloud default
+    antithetic,       ///< antithetic variates (extension; see sampling/antithetic.hpp)
+};
+
+struct recloud_options {
+    /// X: route-and-check rounds per assessment (§4.1 default 10^4).
+    std::size_t assessment_rounds = 10'000;
+    sampler_kind sampler = sampler_kind::extended_dagger;
+    /// Step 3's network-transformation equivalence check.
+    bool use_symmetry = true;
+    /// §3.3.3: score plans by M = a*reliability + b*utility instead of
+    /// reliability alone. Requires workloads in the context.
+    bool multi_objective = false;
+    objective_weights weights{};
+    anti_affinity affinity = anti_affinity::none;
+    delta_mode delta = delta_mode::log_ratio;
+    /// During the search, assess every candidate plan on the SAME sampled
+    /// failure sequences (common random numbers). Plan *comparisons* then
+    /// reflect genuine placement differences instead of sampling noise —
+    /// essential because true reliability gaps between good plans are often
+    /// smaller than a 10^4-round confidence interval. The final plan is
+    /// re-assessed on a fresh stream so the reported score carries no
+    /// optimization bias.
+    bool common_random_numbers = true;
+    /// §3.3.3 resource constraints: each deployed instance adds this much
+    /// load to its host; candidate plans where any host would exceed a
+    /// load of 1.0 are discarded before assessment. 0 disables the check.
+    /// Requires workloads in the context when > 0.
+    double instance_workload_demand = 0.0;
+    std::uint64_t seed = 1;
+    /// Deterministic iteration cap for tests (the paper's flow is
+    /// time-driven only).
+    std::size_t max_iterations = static_cast<std::size_t>(-1);
+    /// Record the best-score trace during the search (Figure 9 series).
+    bool record_trace = false;
+};
+
+/// The developer's reliability requirements (§2.2).
+struct deployment_request {
+    application app;
+    double desired_reliability = 1.0;  ///< R_desired
+    std::chrono::nanoseconds max_search_time = std::chrono::seconds{30};  ///< Tmax
+};
+
+struct deployment_response {
+    /// Whether R_desired was reached within Tmax. If false the developer's
+    /// "requirements cannot be fulfilled" — `plan` still carries the best
+    /// plan found.
+    bool fulfilled = false;
+    deployment_plan plan;
+    assessment_stats stats;  ///< reliability R, variance V, CIW95 of `plan`
+    double utility = 0.0;
+    double score = 0.0;
+    annealing_result search;  ///< full search telemetry
+};
+
+class re_cloud {
+public:
+    re_cloud(const recloud_context& context, const recloud_options& options = {});
+
+    /// Convenience: bind to a fat-tree infrastructure with the specialized
+    /// fat-tree routing oracle. The infrastructure must outlive re_cloud.
+    re_cloud(fat_tree_infrastructure& infra, const recloud_options& options = {});
+
+    /// The §2.2 workflow: search for a plan fulfilling the request.
+    [[nodiscard]] deployment_response find_deployment(const deployment_request& request);
+
+    /// Quantitative assessment of a given plan (§3.2). `rounds == 0` uses
+    /// the configured default.
+    [[nodiscard]] assessment_stats assess(const application& app,
+                                          const deployment_plan& plan,
+                                          std::size_t rounds = 0);
+
+    /// Evaluates one plan the way the search does (reliability + utility +
+    /// score). Exposed for benches that time single evolve-and-assess steps.
+    [[nodiscard]] plan_evaluation evaluate(const application& app,
+                                           const deployment_plan& plan);
+
+    [[nodiscard]] const recloud_options& options() const noexcept { return options_; }
+
+private:
+    /// Delegation step for the fat-tree convenience constructor: the oracle
+    /// must exist before the context referencing it is built.
+    re_cloud(std::unique_ptr<fat_tree_routing> oracle,
+             fat_tree_infrastructure& infra, const recloud_options& options);
+
+    recloud_context context_;
+    recloud_options options_;
+    std::unique_ptr<fat_tree_routing> owned_oracle_;  ///< fat-tree convenience ctor
+    std::unique_ptr<failure_sampler> sampler_;
+    std::unique_ptr<reliability_assessor> assessor_;
+    std::optional<symmetry_checker> symmetry_;
+    std::optional<workload_utility> utility_;
+};
+
+}  // namespace recloud

@@ -1,0 +1,47 @@
+#include "deps/hardware_inventory.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace recloud {
+namespace {
+
+constexpr std::array<const char*, 4> cpu_catalog = {
+    "xeon-4c-2.26", "xeon-8c-2.60", "epyc-16c-2.45", "xeon-12c-3.00"};
+constexpr std::array<const char*, 3> mainboard_catalog = {
+    "mb-rev-a", "mb-rev-b", "mb-rev-c"};
+
+}  // namespace
+
+hardware_inventory survey_hardware(const built_topology& topo,
+                                   component_registry& registry,
+                                   fault_tree_forest& forest,
+                                   const hardware_inventory_options& options) {
+    if (options.firmware_versions < 1) {
+        throw std::invalid_argument{"survey_hardware: need >= 1 firmware version"};
+    }
+    rng random{options.seed};
+    hardware_inventory inventory;
+    inventory.firmware_components.reserve(options.firmware_versions);
+    for (int v = 0; v < options.firmware_versions; ++v) {
+        inventory.firmware_components.push_back(
+            registry.add(component_kind::firmware, "firmware-v" + std::to_string(v),
+                         options.firmware_failure_probability));
+    }
+    inventory.profiles.reserve(topo.hosts.size());
+    for (const node_id host : topo.hosts) {
+        host_hardware_profile profile;
+        profile.host = host;
+        profile.cpu_model = cpu_catalog[random.uniform_below(cpu_catalog.size())];
+        profile.mainboard =
+            mainboard_catalog[random.uniform_below(mainboard_catalog.size())];
+        profile.firmware_version =
+            static_cast<int>(random.uniform_below(options.firmware_versions));
+        forest.attach(host, forest.add_leaf(inventory.firmware_components
+                                                [profile.firmware_version]));
+        inventory.profiles.push_back(std::move(profile));
+    }
+    return inventory;
+}
+
+}  // namespace recloud

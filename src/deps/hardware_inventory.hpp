@@ -1,0 +1,47 @@
+// Hardware-inventory dependency source (simulating HardwareLister, §2.1).
+//
+// The paper acquires "detailed hardware configurations (e.g., CPU / memory /
+// mainboard configuration, firmware version, etc.)" with HardwareLister.
+// This simulator draws a hardware profile per host from small catalogs; all
+// hosts sharing a firmware version depend on one shared firmware component
+// (a firmware bug takes them down together), which is attached to the fault
+// trees exactly like the paper's power-supply dependencies.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "faults/component_registry.hpp"
+#include "faults/fault_tree.hpp"
+#include "topology/graph.hpp"
+#include "util/rng.hpp"
+
+namespace recloud {
+
+struct hardware_inventory_options {
+    int firmware_versions = 3;           ///< distinct firmware images in the fleet
+    double firmware_failure_probability = 0.002;
+    std::uint64_t seed = 1;
+};
+
+struct host_hardware_profile {
+    node_id host = invalid_node;
+    std::string cpu_model;
+    std::string mainboard;
+    int firmware_version = 0;
+};
+
+struct hardware_inventory {
+    /// One shared component per firmware version.
+    std::vector<component_id> firmware_components;
+    std::vector<host_hardware_profile> profiles;  ///< one per host
+};
+
+/// Surveys the topology's hosts, registers the shared firmware components,
+/// and attaches a firmware leaf to each host's fault tree.
+[[nodiscard]] hardware_inventory survey_hardware(
+    const built_topology& topo, component_registry& registry,
+    fault_tree_forest& forest, const hardware_inventory_options& options = {});
+
+}  // namespace recloud

@@ -1,0 +1,98 @@
+#include "deps/network_deps.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <string>
+
+namespace recloud {
+
+network_services deploy_network_services(const built_topology& topo,
+                                         component_registry& registry,
+                                         const network_services_options& options) {
+    if (options.service_categories < 1 || options.instances_per_category < 1) {
+        throw std::invalid_argument{"deploy_network_services: invalid options"};
+    }
+    network_services result;
+    result.services.resize(options.service_categories);
+    for (int c = 0; c < options.service_categories; ++c) {
+        for (int i = 0; i < options.instances_per_category; ++i) {
+            result.services[c].push_back(registry.add(
+                component_kind::network_service,
+                "svc" + std::to_string(c) + "-" + std::to_string(i),
+                options.service_failure_probability));
+        }
+    }
+    result.assignment.assign(topo.graph.node_count(), {});
+    std::size_t cursor = 0;
+    for (const node_id host : topo.hosts) {
+        auto& per_category = result.assignment[host];
+        per_category.resize(options.service_categories, -1);
+        for (int c = 0; c < options.service_categories; ++c) {
+            per_category[c] =
+                static_cast<int>((cursor + c) % options.instances_per_category);
+        }
+        ++cursor;
+    }
+    return result;
+}
+
+std::vector<flow_record> synthesize_flows(const built_topology& topo,
+                                          const network_services& services,
+                                          const flow_synthesis_options& options) {
+    rng random{options.seed};
+    std::vector<flow_record> flows;
+
+    // Real dependency traffic: every (host, assigned service) pair emits
+    // flows_per_dependency records.
+    for (const node_id host : topo.hosts) {
+        const auto& per_category = services.assignment[host];
+        for (std::size_t c = 0; c < per_category.size(); ++c) {
+            const component_id service = services.services[c][per_category[c]];
+            for (int f = 0; f < options.flows_per_dependency; ++f) {
+                flows.push_back(flow_record{host, service});
+            }
+        }
+    }
+    // Background noise: one-off flows to random services from random hosts
+    // (what trips up naive traffic-based dependency discovery).
+    for (int n = 0; n < options.noise_flows; ++n) {
+        const node_id host = topo.hosts[random.uniform_below(topo.hosts.size())];
+        const auto& category =
+            services.services[random.uniform_below(services.services.size())];
+        flows.push_back(
+            flow_record{host, category[random.uniform_below(category.size())]});
+    }
+    // A passive monitor sees traffic interleaved, not grouped.
+    for (std::size_t i = flows.size(); i > 1; --i) {
+        std::swap(flows[i - 1], flows[random.uniform_below(i)]);
+    }
+    return flows;
+}
+
+std::vector<mined_dependency> mine_dependencies(
+    const std::vector<flow_record>& flows, int min_flows) {
+    if (min_flows < 1) {
+        throw std::invalid_argument{"mine_dependencies: min_flows must be >= 1"};
+    }
+    std::map<std::pair<node_id, component_id>, int> counts;
+    for (const flow_record& flow : flows) {
+        ++counts[{flow.source_host, flow.service}];
+    }
+    std::vector<mined_dependency> mined;
+    for (const auto& [pair, count] : counts) {
+        if (count >= min_flows) {
+            mined.push_back(mined_dependency{pair.first, pair.second, count});
+        }
+    }
+    return mined;
+}
+
+void attach_mined_dependencies(const std::vector<mined_dependency>& mined,
+                               fault_tree_forest& forest) {
+    for (const mined_dependency& dep : mined) {
+        forest.attach(dep.host, forest.add_leaf(dep.service));
+    }
+}
+
+}  // namespace recloud

@@ -1,0 +1,80 @@
+// Network-service dependency source (simulating NSDMiner, §2.1).
+//
+// NSDMiner "can identify the network dependencies by passively monitoring
+// and analyzing the network traffic". This module has two halves:
+//
+//   1. a *flow synthesizer* that, given a ground-truth assignment of hosts
+//      to shared network services (DNS, auth, storage, ...), produces the
+//      flow records a passive monitor would capture — real dependency flows
+//      plus uniform background noise;
+//   2. a *miner* that reconstructs host -> service dependencies from those
+//      flows with a minimum-flow-count threshold, exactly the evidence
+//      NSDMiner-class tools emit.
+//
+// The mined dependencies are then attached to the hosts' fault trees: if a
+// service a host depends on fails, the host fails.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "faults/component_registry.hpp"
+#include "faults/fault_tree.hpp"
+#include "topology/graph.hpp"
+#include "util/rng.hpp"
+
+namespace recloud {
+
+struct network_services_options {
+    int service_categories = 2;       ///< e.g. DNS + auth
+    int instances_per_category = 2;   ///< redundant service instances
+    double service_failure_probability = 0.005;
+    std::uint64_t seed = 11;
+};
+
+struct network_services {
+    /// [category][instance] -> service component id.
+    std::vector<std::vector<component_id>> services;
+    /// Ground truth: per host (dense by node id), the service instance index
+    /// used for each category (-1 for non-hosts).
+    std::vector<std::vector<int>> assignment;
+};
+
+/// Registers the shared service components and assigns each host one
+/// instance per category (round-robin ground truth).
+[[nodiscard]] network_services deploy_network_services(
+    const built_topology& topo, component_registry& registry,
+    const network_services_options& options = {});
+
+struct flow_record {
+    node_id source_host = invalid_node;
+    component_id service = invalid_node;
+};
+
+struct flow_synthesis_options {
+    int flows_per_dependency = 20;  ///< traffic a real dependency generates
+    int noise_flows = 50;           ///< total spurious one-off flows
+    std::uint64_t seed = 13;
+};
+
+/// Produces the traffic a passive monitor would see.
+[[nodiscard]] std::vector<flow_record> synthesize_flows(
+    const built_topology& topo, const network_services& services,
+    const flow_synthesis_options& options = {});
+
+struct mined_dependency {
+    node_id host = invalid_node;
+    component_id service = invalid_node;
+    int flow_count = 0;
+};
+
+/// NSDMiner-style inference: a host depends on a service if at least
+/// `min_flows` flows between them were observed.
+[[nodiscard]] std::vector<mined_dependency> mine_dependencies(
+    const std::vector<flow_record>& flows, int min_flows);
+
+/// Attaches each mined dependency as a fault-tree leaf on the host.
+void attach_mined_dependencies(const std::vector<mined_dependency>& mined,
+                               fault_tree_forest& forest);
+
+}  // namespace recloud

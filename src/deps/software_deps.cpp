@@ -1,0 +1,139 @@
+#include "deps/software_deps.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "faults/cvss.hpp"
+
+namespace recloud {
+namespace {
+
+/// Draws a plausible CVSS metrics vector for a synthetic package.
+cvss_metrics random_cvss(rng& random) {
+    cvss_metrics m;
+    m.attack_vector = static_cast<cvss_attack_vector>(random.uniform_below(4));
+    m.attack_complexity =
+        static_cast<cvss_attack_complexity>(random.uniform_below(2));
+    m.privileges_required =
+        static_cast<cvss_privileges_required>(random.uniform_below(3));
+    m.user_interaction =
+        static_cast<cvss_user_interaction>(random.uniform_below(2));
+    m.scope = static_cast<cvss_scope>(random.uniform_below(2));
+    m.confidentiality = static_cast<cvss_impact>(random.uniform_below(3));
+    m.integrity = static_cast<cvss_impact>(random.uniform_below(3));
+    m.availability = static_cast<cvss_impact>(random.uniform_below(3));
+    return m;
+}
+
+}  // namespace
+
+software_catalog generate_software_catalog(
+    component_registry& registry, const software_catalog_options& options) {
+    if (options.packages < 1 || options.os_images < 1 || options.stacks < 1 ||
+        options.top_level_packages_per_stack < 1) {
+        throw std::invalid_argument{"generate_software_catalog: invalid options"};
+    }
+    rng random{options.seed};
+    software_catalog catalog;
+    catalog.packages.reserve(options.packages);
+    catalog.depends_on.resize(options.packages);
+    for (int p = 0; p < options.packages; ++p) {
+        const double probability =
+            probability_from_cvss(cvss_base_score(random_cvss(random)));
+        catalog.packages.push_back(registry.add(
+            component_kind::software_package, "pkg" + std::to_string(p),
+            probability));
+        if (p > 0) {
+            // Depend on up to max_dependencies earlier packages (keeps the
+            // dependency graph a DAG by construction, like real archives).
+            const auto deps = random.uniform_below(
+                static_cast<std::uint64_t>(options.max_dependencies_per_package) + 1);
+            for (std::uint64_t d = 0; d < deps; ++d) {
+                catalog.depends_on[p].push_back(
+                    static_cast<std::uint32_t>(random.uniform_below(p)));
+            }
+            std::sort(catalog.depends_on[p].begin(), catalog.depends_on[p].end());
+            catalog.depends_on[p].erase(
+                std::unique(catalog.depends_on[p].begin(),
+                            catalog.depends_on[p].end()),
+                catalog.depends_on[p].end());
+        }
+    }
+    for (int o = 0; o < options.os_images; ++o) {
+        catalog.os_images.push_back(registry.add(
+            component_kind::operating_system, "os-image" + std::to_string(o),
+            options.os_failure_probability));
+    }
+    catalog.stacks.resize(options.stacks);
+    for (int s = 0; s < options.stacks; ++s) {
+        for (int t = 0; t < options.top_level_packages_per_stack; ++t) {
+            catalog.stacks[s].push_back(
+                static_cast<std::uint32_t>(random.uniform_below(options.packages)));
+        }
+        std::sort(catalog.stacks[s].begin(), catalog.stacks[s].end());
+        catalog.stacks[s].erase(
+            std::unique(catalog.stacks[s].begin(), catalog.stacks[s].end()),
+            catalog.stacks[s].end());
+    }
+    return catalog;
+}
+
+std::vector<std::uint32_t> stack_closure(const software_catalog& catalog,
+                                         std::uint32_t stack) {
+    if (stack >= catalog.stacks.size()) {
+        throw std::out_of_range{"stack_closure: unknown stack"};
+    }
+    std::vector<std::uint8_t> visited(catalog.packages.size(), 0);
+    std::vector<std::uint32_t> frontier = catalog.stacks[stack];
+    std::vector<std::uint32_t> closure;
+    while (!frontier.empty()) {
+        const std::uint32_t package = frontier.back();
+        frontier.pop_back();
+        if (visited[package] != 0) {
+            continue;
+        }
+        visited[package] = 1;
+        closure.push_back(package);
+        const auto& deps = catalog.depends_on[package];
+        frontier.insert(frontier.end(), deps.begin(), deps.end());
+    }
+    std::sort(closure.begin(), closure.end());
+    return closure;
+}
+
+install_report install_software(const built_topology& topo,
+                                const software_catalog& catalog,
+                                fault_tree_forest& forest) {
+    install_report report;
+    report.stack_of_host.assign(topo.graph.node_count(), -1);
+    report.os_of_host.assign(topo.graph.node_count(), -1);
+
+    // Precompute each stack's closure subtree inputs once.
+    std::vector<std::vector<std::uint32_t>> closures;
+    closures.reserve(catalog.stacks.size());
+    for (std::uint32_t s = 0; s < catalog.stacks.size(); ++s) {
+        closures.push_back(stack_closure(catalog, s));
+    }
+
+    std::size_t cursor = 0;
+    for (const node_id host : topo.hosts) {
+        const std::size_t stack = cursor % catalog.stacks.size();
+        const std::size_t os = cursor % catalog.os_images.size();
+        ++cursor;
+        report.stack_of_host[host] = static_cast<int>(stack);
+        report.os_of_host[host] = static_cast<int>(os);
+
+        // "software fails" = OS fails OR any package in the closure fails.
+        std::vector<tree_node_id> children;
+        children.reserve(closures[stack].size() + 1);
+        children.push_back(forest.add_leaf(catalog.os_images[os]));
+        for (const std::uint32_t package : closures[stack]) {
+            children.push_back(forest.add_leaf(catalog.packages[package]));
+        }
+        forest.attach(host, forest.add_or(std::move(children)));
+    }
+    return report;
+}
+
+}  // namespace recloud

@@ -1,0 +1,63 @@
+// Software-dependency source (simulating apt-rdepends, §2.1).
+//
+// apt-rdepends "can recursively extract the dependencies of software
+// packages and libraries". This simulator builds a package dependency DAG,
+// assigns each package a failure probability from a synthetic CVSS profile,
+// defines software stacks (top-level package sets), and installs a stack +
+// OS image on each host: the host's software fails if its OS fails or ANY
+// package in the stack's transitive dependency closure fails — an OR
+// subtree like Figure 5's "software fails" branch.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "faults/component_registry.hpp"
+#include "faults/fault_tree.hpp"
+#include "topology/graph.hpp"
+#include "util/rng.hpp"
+
+namespace recloud {
+
+struct software_catalog_options {
+    int packages = 40;
+    int max_dependencies_per_package = 3;  ///< each depends on earlier packages
+    int os_images = 2;
+    int stacks = 4;
+    int top_level_packages_per_stack = 4;
+    double os_failure_probability = 0.003;
+    std::uint64_t seed = 7;
+};
+
+struct software_catalog {
+    std::vector<component_id> packages;              ///< per package
+    std::vector<std::vector<std::uint32_t>> depends_on;  ///< package -> deps (indices)
+    std::vector<component_id> os_images;
+    /// stack -> top-level package indices.
+    std::vector<std::vector<std::uint32_t>> stacks;
+};
+
+/// Generates the package DAG, OS images and stacks; registers every package
+/// and OS as a component (package probabilities derived from synthetic CVSS
+/// scores via probability_from_cvss).
+[[nodiscard]] software_catalog generate_software_catalog(
+    component_registry& registry, const software_catalog_options& options = {});
+
+/// Transitive dependency closure of a stack (sorted unique package indices,
+/// including the top-level packages themselves) — what apt-rdepends would
+/// print for the stack.
+[[nodiscard]] std::vector<std::uint32_t> stack_closure(
+    const software_catalog& catalog, std::uint32_t stack);
+
+struct install_report {
+    std::vector<int> stack_of_host;  ///< dense by node id; -1 for non-hosts
+    std::vector<int> os_of_host;     ///< dense by node id; -1 for non-hosts
+};
+
+/// Installs a stack + OS image on every host (round-robin) and attaches the
+/// corresponding OR subtree to the host's fault tree.
+[[nodiscard]] install_report install_software(const built_topology& topo,
+                                              const software_catalog& catalog,
+                                              fault_tree_forest& forest);
+
+}  // namespace recloud

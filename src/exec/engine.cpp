@@ -1,0 +1,225 @@
+#include "exec/engine.hpp"
+
+#include <future>
+#include <mutex>
+
+#include "app/requirement_eval.hpp"
+#include "faults/round_state.hpp"
+#include "sampling/result_stats.hpp"
+
+namespace recloud {
+namespace wire {
+
+void encode_application(byte_writer& out, const application& app) {
+    out.write_varint(app.components().size());
+    for (const app_component& c : app.components()) {
+        out.write_string(c.name);
+        out.write_varint(c.replicas);
+    }
+    out.write_varint(app.requirements().size());
+    for (const reachability_requirement& req : app.requirements()) {
+        out.write_varint(req.target);
+        out.write_bool(req.source.has_value());
+        if (req.source) {
+            out.write_varint(*req.source);
+        }
+        out.write_varint(req.min_reachable);
+    }
+}
+
+application decode_application(byte_reader& in) {
+    application app;
+    const std::uint64_t components = in.read_varint();
+    for (std::uint64_t c = 0; c < components; ++c) {
+        std::string name = in.read_string();
+        const auto replicas = static_cast<std::uint32_t>(in.read_varint());
+        app.add_component(std::move(name), replicas);
+    }
+    const std::uint64_t requirements = in.read_varint();
+    for (std::uint64_t r = 0; r < requirements; ++r) {
+        const auto target = static_cast<app_component_id>(in.read_varint());
+        const bool has_source = in.read_bool();
+        if (has_source) {
+            const auto source = static_cast<app_component_id>(in.read_varint());
+            app.require_reachable(target, source,
+                                  static_cast<std::uint32_t>(in.read_varint()));
+        } else {
+            app.require_external(target,
+                                 static_cast<std::uint32_t>(in.read_varint()));
+        }
+    }
+    app.validate();
+    return app;
+}
+
+void encode_plan(byte_writer& out, const deployment_plan& plan) {
+    out.write_uint_vector(std::span<const node_id>{plan.hosts});
+}
+
+deployment_plan decode_plan(byte_reader& in) {
+    deployment_plan plan;
+    plan.hosts = in.read_uint_vector<node_id>();
+    return plan;
+}
+
+void encode_round_batch(byte_writer& out,
+                        const std::vector<std::vector<component_id>>& rounds) {
+    out.write_varint(rounds.size());
+    for (const auto& failed : rounds) {
+        out.write_uint_vector(std::span<const component_id>{failed});
+    }
+}
+
+std::vector<std::vector<component_id>> decode_round_batch(byte_reader& in) {
+    const std::uint64_t count = in.read_varint();
+    std::vector<std::vector<component_id>> rounds;
+    rounds.reserve(count);
+    for (std::uint64_t r = 0; r < count; ++r) {
+        rounds.push_back(in.read_uint_vector<component_id>());
+    }
+    return rounds;
+}
+
+void encode_batch_result(byte_writer& out, const batch_result& result) {
+    out.write_varint(result.rounds);
+    out.write_varint(result.reliable);
+}
+
+batch_result decode_batch_result(byte_reader& in) {
+    batch_result result;
+    result.rounds = in.read_varint();
+    result.reliable = in.read_varint();
+    return result;
+}
+
+}  // namespace wire
+
+namespace {
+
+/// A worker's per-assessment route-and-check context: deserialized app and
+/// plan, its own round_state and oracle. Setting this up is the context
+/// setup the paper identifies as the per-round-batch fixed cost.
+struct worker_context {
+    application app;
+    deployment_plan plan;
+    round_state rs;
+    std::unique_ptr<reachability_oracle> oracle;
+    requirement_evaluator evaluator;
+    /// A worker node processes its batches sequentially; the pool may
+    /// schedule two batches of the same worker on different threads, so the
+    /// context serializes them itself.
+    std::mutex busy;
+
+    worker_context(std::span<const std::byte> setup_message,
+                   std::size_t component_count, const fault_tree_forest* forest,
+                   const oracle_factory& make_oracle)
+        : app(make_app(setup_message)),
+          plan(make_plan(setup_message)),
+          rs(component_count, forest),
+          oracle(make_oracle()),
+          evaluator(app, plan) {}
+
+    static application make_app(std::span<const std::byte> setup_message) {
+        byte_reader reader{setup_message};
+        return wire::decode_application(reader);
+    }
+
+    static deployment_plan make_plan(std::span<const std::byte> setup_message) {
+        byte_reader reader{setup_message};
+        (void)wire::decode_application(reader);  // skip the app section
+        return wire::decode_plan(reader);
+    }
+
+    /// Map step: judge every round in a serialized batch; returns the
+    /// serialized result record.
+    [[nodiscard]] std::vector<std::byte> run_batch(std::vector<std::byte> batch) {
+        const std::lock_guard lock{busy};
+        byte_reader reader{batch};
+        const auto rounds = wire::decode_round_batch(reader);
+        wire::batch_result result;
+        for (const auto& failed : rounds) {
+            rs.begin_round(failed);
+            oracle->begin_round(rs);
+            ++result.rounds;
+            if (evaluator.reliable_in_round(*oracle, rs)) {
+                ++result.reliable;
+            }
+        }
+        byte_writer writer;
+        wire::encode_batch_result(writer, result);
+        return writer.take();
+    }
+};
+
+}  // namespace
+
+assessment_engine::assessment_engine(std::size_t component_count,
+                                     const fault_tree_forest* forest,
+                                     oracle_factory make_oracle,
+                                     const engine_options& options)
+    : component_count_(component_count),
+      forest_(forest),
+      make_oracle_(std::move(make_oracle)),
+      options_(options),
+      pool_(options.workers) {}
+
+assessment_stats assessment_engine::assess(failure_sampler& sampler,
+                                           const application& app,
+                                           const deployment_plan& plan,
+                                           std::size_t rounds) {
+    // Serialize the assessment context once; every worker deserializes its
+    // own copy (what shipping the job to a remote worker would cost).
+    byte_writer setup_writer;
+    wire::encode_application(setup_writer, app);
+    wire::encode_plan(setup_writer, plan);
+    const std::vector<std::byte> setup_message = setup_writer.take();
+
+    std::vector<std::unique_ptr<worker_context>> contexts;
+    contexts.reserve(pool_.size());
+    for (std::size_t w = 0; w < pool_.size(); ++w) {
+        contexts.push_back(std::make_unique<worker_context>(
+            setup_message, component_count_, forest_, make_oracle_));
+    }
+
+    // Master: sample rounds, serialize batches, dispatch round-robin.
+    std::vector<std::future<std::vector<std::byte>>> futures;
+    std::vector<std::vector<component_id>> batch;
+    std::vector<component_id> failed;
+    std::size_t produced = 0;
+    std::size_t next_worker = 0;
+    const auto flush_batch = [&] {
+        if (batch.empty()) {
+            return;
+        }
+        byte_writer writer;
+        wire::encode_round_batch(writer, batch);
+        batch.clear();
+        worker_context* context = contexts[next_worker].get();
+        next_worker = (next_worker + 1) % contexts.size();
+        futures.push_back(pool_.submit(
+            [context, message = writer.take()]() mutable {
+                return context->run_batch(std::move(message));
+            }));
+    };
+    while (produced < rounds) {
+        sampler.next_round(failed);
+        batch.push_back(failed);
+        ++produced;
+        if (batch.size() >= options_.batch_rounds) {
+            flush_batch();
+        }
+    }
+    flush_batch();
+
+    // Reduce: gather and deserialize every worker's result record.
+    result_accumulator results;
+    for (auto& future : futures) {
+        const std::vector<std::byte> message = future.get();
+        byte_reader reader{message};
+        const wire::batch_result r = wire::decode_batch_result(reader);
+        results.merge(r.reliable, r.rounds);
+    }
+    return results.stats();
+}
+
+}  // namespace recloud

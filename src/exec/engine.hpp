@@ -1,0 +1,94 @@
+// MapReduce-style parallel route-and-check (paper §3.2.1 "Note that, the
+// route-and-check process can be performed in parallel via MapReduce",
+// evaluated in §4.2.4 / Figure 12).
+//
+// A master partitions the sampled rounds into batches, SERIALIZES each
+// batch (plus the plan and application, sent once per assessment) into a
+// byte buffer, and hands it to a worker. Workers deserialize, set up their
+// route-and-check context (their own round_state + routing oracle), judge
+// their rounds, and serialize a result record back; the master aggregates.
+//
+// The serialization is real even though workers are in-process threads:
+// Figure 12's shape — parallelism only pays off for very large round
+// counts, because serialization/transfer and context setup dominate small
+// ones — depends on actually paying those costs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "app/application.hpp"
+#include "app/deployment.hpp"
+#include "faults/fault_tree.hpp"
+#include "routing/oracle.hpp"
+#include "sampling/sampler.hpp"
+#include "util/serialize.hpp"
+#include "util/stats.hpp"
+#include "util/thread_pool.hpp"
+
+namespace recloud {
+
+// ---- wire format (exposed for tests) ----------------------------------
+namespace wire {
+
+void encode_application(byte_writer& out, const application& app);
+[[nodiscard]] application decode_application(byte_reader& in);
+
+void encode_plan(byte_writer& out, const deployment_plan& plan);
+[[nodiscard]] deployment_plan decode_plan(byte_reader& in);
+
+/// A batch is a sequence of rounds, each a failed-component id list.
+void encode_round_batch(byte_writer& out,
+                        const std::vector<std::vector<component_id>>& rounds);
+[[nodiscard]] std::vector<std::vector<component_id>> decode_round_batch(
+    byte_reader& in);
+
+struct batch_result {
+    std::uint64_t rounds = 0;
+    std::uint64_t reliable = 0;
+};
+
+void encode_batch_result(byte_writer& out, const batch_result& result);
+[[nodiscard]] batch_result decode_batch_result(byte_reader& in);
+
+}  // namespace wire
+
+/// Creates a fresh routing oracle for a worker (each worker owns one).
+using oracle_factory = std::function<std::unique_ptr<reachability_oracle>()>;
+
+struct engine_options {
+    std::size_t workers = 1;
+    /// Rounds per serialized batch ("portions of rounds" the master
+    /// distributes).
+    std::size_t batch_rounds = 1000;
+};
+
+/// Distributed-execution engine for assessments.
+class assessment_engine {
+public:
+    /// `forest` may be nullptr. The factory is invoked once per worker per
+    /// assessment (context setup).
+    assessment_engine(std::size_t component_count, const fault_tree_forest* forest,
+                      oracle_factory make_oracle, const engine_options& options);
+
+    /// Assesses one plan over `rounds` rounds. Sampling stays on the master
+    /// (the failure schedule is the data being distributed); workers do the
+    /// route-and-check.
+    [[nodiscard]] assessment_stats assess(failure_sampler& sampler,
+                                          const application& app,
+                                          const deployment_plan& plan,
+                                          std::size_t rounds);
+
+    [[nodiscard]] std::size_t workers() const noexcept { return pool_.size(); }
+
+private:
+    std::size_t component_count_;
+    const fault_tree_forest* forest_;
+    oracle_factory make_oracle_;
+    engine_options options_;
+    thread_pool pool_;
+};
+
+}  // namespace recloud

@@ -1,0 +1,80 @@
+#include "faults/component_registry.hpp"
+
+#include <stdexcept>
+
+namespace recloud {
+
+const char* to_string(component_kind kind) noexcept {
+    switch (kind) {
+        case component_kind::host: return "host";
+        case component_kind::edge_switch: return "edge_switch";
+        case component_kind::aggregation_switch: return "aggregation_switch";
+        case component_kind::core_switch: return "core_switch";
+        case component_kind::border_switch: return "border_switch";
+        case component_kind::external: return "external";
+        case component_kind::power_supply: return "power_supply";
+        case component_kind::cooling_unit: return "cooling_unit";
+        case component_kind::operating_system: return "operating_system";
+        case component_kind::software_package: return "software_package";
+        case component_kind::firmware: return "firmware";
+        case component_kind::network_service: return "network_service";
+        case component_kind::network_link: return "network_link";
+        case component_kind::other: return "other";
+    }
+    return "unknown";
+}
+
+component_kind component_kind_of(node_kind kind) noexcept {
+    switch (kind) {
+        case node_kind::host: return component_kind::host;
+        case node_kind::edge_switch: return component_kind::edge_switch;
+        case node_kind::aggregation_switch: return component_kind::aggregation_switch;
+        case node_kind::core_switch: return component_kind::core_switch;
+        case node_kind::border_switch: return component_kind::border_switch;
+        case node_kind::external: return component_kind::external;
+    }
+    return component_kind::other;
+}
+
+component_registry::component_registry(const network_graph& graph) {
+    const std::size_t n = graph.node_count();
+    kinds_.reserve(n);
+    names_.reserve(n);
+    probabilities_.reserve(n);
+    for (node_id id = 0; id < n; ++id) {
+        const node_kind nk = graph.kind(id);
+        kinds_.push_back(component_kind_of(nk));
+        names_.push_back(std::string{to_string(nk)} + "#" + std::to_string(id));
+        probabilities_.push_back(0.0);
+    }
+}
+
+component_id component_registry::add(component_kind kind, std::string name,
+                                     double failure_probability) {
+    if (failure_probability < 0.0 || failure_probability > 1.0) {
+        throw std::invalid_argument{"component_registry: probability out of [0,1]"};
+    }
+    kinds_.push_back(kind);
+    names_.push_back(std::move(name));
+    probabilities_.push_back(failure_probability);
+    return static_cast<component_id>(kinds_.size() - 1);
+}
+
+void component_registry::set_probability(component_id id, double p) {
+    if (p < 0.0 || p > 1.0) {
+        throw std::invalid_argument{"component_registry: probability out of [0,1]"};
+    }
+    probabilities_.at(id) = p;
+}
+
+std::vector<component_id> component_registry::of_kind(component_kind kind) const {
+    std::vector<component_id> result;
+    for (component_id id = 0; id < kinds_.size(); ++id) {
+        if (kinds_[id] == kind) {
+            result.push_back(id);
+        }
+    }
+    return result;
+}
+
+}  // namespace recloud

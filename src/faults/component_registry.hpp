@@ -1,0 +1,93 @@
+// Registry of all infrastructure components in the fault model (paper §2.1).
+//
+// Components cover hardware (hosts, switches, power supplies, cooling),
+// software (OS, libraries, firmware) and network elements. Each component is
+// either alive or failed, and carries a failure probability
+// p = downtime / window_length.
+//
+// Id space: the first graph.node_count() ids belong to the routing graph's
+// nodes (host/switch/external), in the same order; dependency components
+// that do not participate in routing (power supplies, software, ...) are
+// appended after them. This lets samplers, fault trees and routing oracles
+// all index the same dense arrays.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "topology/graph.hpp"
+
+namespace recloud {
+
+using component_id = node_id;
+
+/// What a component is; used for per-type failure-probability models and
+/// for symmetry classing.
+enum class component_kind : std::uint8_t {
+    host,
+    edge_switch,
+    aggregation_switch,
+    core_switch,
+    border_switch,
+    external,  ///< the synthetic Internet node; never fails
+    power_supply,
+    cooling_unit,
+    operating_system,
+    software_package,
+    firmware,
+    network_service,
+    network_link,  ///< a physical link between two routing-graph nodes
+    other,
+};
+
+[[nodiscard]] const char* to_string(component_kind kind) noexcept;
+
+/// Maps a routing-graph node kind to the corresponding component kind.
+[[nodiscard]] component_kind component_kind_of(node_kind kind) noexcept;
+
+class component_registry {
+public:
+    /// Creates an empty registry.
+    component_registry() = default;
+
+    /// Creates a registry pre-populated with one component per graph node,
+    /// in node-id order, with failure probability 0 (to be assigned by a
+    /// probability model).
+    explicit component_registry(const network_graph& graph);
+
+    /// Registers a non-routing dependency component; returns its id.
+    component_id add(component_kind kind, std::string name,
+                     double failure_probability = 0.0);
+
+    [[nodiscard]] std::size_t size() const noexcept { return kinds_.size(); }
+
+    [[nodiscard]] component_kind kind(component_id id) const { return kinds_.at(id); }
+    [[nodiscard]] const std::string& name(component_id id) const { return names_.at(id); }
+    [[nodiscard]] double probability(component_id id) const {
+        return probabilities_.at(id);
+    }
+
+    /// Sets a failure probability; must lie in [0, 1].
+    void set_probability(component_id id, double p);
+
+    /// Dense probability array, indexed by component id (sampler input).
+    [[nodiscard]] std::span<const double> probabilities() const noexcept {
+        return probabilities_;
+    }
+
+    [[nodiscard]] std::span<const component_kind> kinds() const noexcept {
+        return kinds_;
+    }
+
+    /// All components of a kind, in id order.
+    [[nodiscard]] std::vector<component_id> of_kind(component_kind kind) const;
+
+private:
+    std::vector<component_kind> kinds_;
+    std::vector<std::string> names_;
+    std::vector<double> probabilities_;
+};
+
+}  // namespace recloud

@@ -1,0 +1,82 @@
+#include "faults/cvss.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace recloud {
+namespace {
+
+double impact_value(cvss_impact impact) noexcept {
+    switch (impact) {
+        case cvss_impact::none: return 0.0;
+        case cvss_impact::low: return 0.22;
+        case cvss_impact::high: return 0.56;
+    }
+    return 0.0;
+}
+
+double attack_vector_value(cvss_attack_vector av) noexcept {
+    switch (av) {
+        case cvss_attack_vector::network: return 0.85;
+        case cvss_attack_vector::adjacent: return 0.62;
+        case cvss_attack_vector::local: return 0.55;
+        case cvss_attack_vector::physical: return 0.20;
+    }
+    return 0.0;
+}
+
+double privileges_value(cvss_privileges_required pr, cvss_scope scope) noexcept {
+    const bool changed = scope == cvss_scope::changed;
+    switch (pr) {
+        case cvss_privileges_required::none: return 0.85;
+        case cvss_privileges_required::low: return changed ? 0.68 : 0.62;
+        case cvss_privileges_required::high: return changed ? 0.50 : 0.27;
+    }
+    return 0.0;
+}
+
+/// CVSS v3.1 Roundup: smallest number with one decimal >= input.
+double round_up_1(double value) noexcept {
+    const double scaled = std::round(value * 100000.0);
+    if (std::fmod(scaled, 10000.0) == 0.0) {
+        return scaled / 100000.0;
+    }
+    return (std::floor(scaled / 10000.0) + 1.0) / 10.0;
+}
+
+}  // namespace
+
+double cvss_base_score(const cvss_metrics& m) noexcept {
+    const double iss = 1.0 - (1.0 - impact_value(m.confidentiality)) *
+                                 (1.0 - impact_value(m.integrity)) *
+                                 (1.0 - impact_value(m.availability));
+    double impact = 0.0;
+    if (m.scope == cvss_scope::unchanged) {
+        impact = 6.42 * iss;
+    } else {
+        impact = 7.52 * (iss - 0.029) - 3.25 * std::pow(iss - 0.02, 15.0);
+    }
+    if (impact <= 0.0) {
+        return 0.0;
+    }
+    const double ac =
+        m.attack_complexity == cvss_attack_complexity::low ? 0.77 : 0.44;
+    const double ui =
+        m.user_interaction == cvss_user_interaction::none ? 0.85 : 0.62;
+    const double exploitability = 8.22 * attack_vector_value(m.attack_vector) *
+                                  ac * privileges_value(m.privileges_required, m.scope) *
+                                  ui;
+    const double raw = m.scope == cvss_scope::unchanged
+                           ? impact + exploitability
+                           : 1.08 * (impact + exploitability);
+    return round_up_1(std::min(raw, 10.0));
+}
+
+double probability_from_cvss(double base_score) noexcept {
+    const double s = std::clamp(base_score, 0.0, 10.0) / 10.0;
+    constexpr double floor = 1e-4;
+    constexpr double ceiling = 0.05;
+    return floor + s * s * (ceiling - floor);
+}
+
+}  // namespace recloud

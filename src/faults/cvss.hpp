@@ -1,0 +1,43 @@
+// CVSS v3.1 base-score calculator and score -> failure-probability mapping.
+//
+// The paper (§2.1) notes that software failure probabilities, when not
+// directly measurable, "could be ... estimated using the publicly-available
+// CVSS scores". This module implements the standard CVSS v3.1 base-score
+// equations (FIRST specification) and a monotone heuristic mapping from
+// base score to an annual failure probability, so software components can
+// be fed into the fault model from vulnerability data alone.
+#pragma once
+
+#include <cstdint>
+
+namespace recloud {
+
+enum class cvss_attack_vector : std::uint8_t { network, adjacent, local, physical };
+enum class cvss_attack_complexity : std::uint8_t { low, high };
+enum class cvss_privileges_required : std::uint8_t { none, low, high };
+enum class cvss_user_interaction : std::uint8_t { none, required };
+enum class cvss_scope : std::uint8_t { unchanged, changed };
+enum class cvss_impact : std::uint8_t { none, low, high };
+
+struct cvss_metrics {
+    cvss_attack_vector attack_vector = cvss_attack_vector::network;
+    cvss_attack_complexity attack_complexity = cvss_attack_complexity::low;
+    cvss_privileges_required privileges_required = cvss_privileges_required::none;
+    cvss_user_interaction user_interaction = cvss_user_interaction::none;
+    cvss_scope scope = cvss_scope::unchanged;
+    cvss_impact confidentiality = cvss_impact::none;
+    cvss_impact integrity = cvss_impact::none;
+    cvss_impact availability = cvss_impact::none;
+};
+
+/// CVSS v3.1 base score in [0, 10], rounded up to one decimal per the
+/// specification's Roundup function.
+[[nodiscard]] double cvss_base_score(const cvss_metrics& metrics) noexcept;
+
+/// Heuristic, monotone mapping from a base score to an annual failure
+/// probability in [1e-4, 0.05]: p = 1e-4 + (score/10)^2 * (0.05 - 1e-4).
+/// Severity-10 software is treated as roughly as unreliable as the paper's
+/// 5%-tail hardware; benign software approaches the 0.01% floor.
+[[nodiscard]] double probability_from_cvss(double base_score) noexcept;
+
+}  // namespace recloud

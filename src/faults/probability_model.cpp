@@ -1,0 +1,55 @@
+#include "faults/probability_model.hpp"
+
+#include <cmath>
+
+#include "util/stats.hpp"
+
+namespace recloud {
+
+void assign_paper_probabilities(component_registry& registry, rng& random,
+                                const probability_model_options& options) {
+    for (component_id id = 0; id < registry.size(); ++id) {
+        const component_kind kind = registry.kind(id);
+        if (kind == component_kind::external) {
+            registry.set_probability(id, 0.0);
+            continue;
+        }
+        const bool is_switch_kind =
+            kind == component_kind::edge_switch ||
+            kind == component_kind::aggregation_switch ||
+            kind == component_kind::core_switch ||
+            kind == component_kind::border_switch;
+        const double mean = is_switch_kind ? options.switch_mean : options.other_mean;
+        const double stddev =
+            is_switch_kind ? options.switch_stddev : options.other_stddev;
+        double p = random.normal(mean, stddev);
+        p = round_to_decimals(p, options.round_decimals);
+        p = clamp(p, options.min_probability, options.max_probability);
+        registry.set_probability(id, p);
+    }
+}
+
+void assign_default_probabilities(component_registry& registry,
+                                  double default_probability) {
+    for (component_id id = 0; id < registry.size(); ++id) {
+        if (registry.kind(id) == component_kind::external) {
+            continue;
+        }
+        if (registry.probability(id) == 0.0) {
+            registry.set_probability(id, default_probability);
+        }
+    }
+}
+
+double bathtub_adjusted_probability(double base_probability,
+                                    double life_fraction) noexcept {
+    const double t = clamp(life_fraction, 0.0, 1.0);
+    // Smooth bathtub: infant-mortality and wear-out multipliers decay /
+    // grow exponentially towards the flat useful-life floor of 1x.
+    const double infant = 2.0 * std::exp(-t / 0.08);
+    const double wearout = 3.0 * std::exp((t - 1.0) / 0.06);
+    const double multiplier = 1.0 + infant + wearout;
+    return clamp(base_probability * multiplier, 0.0, 1.0);
+}
+
+}  // namespace recloud

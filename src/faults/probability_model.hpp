@@ -1,0 +1,48 @@
+// Failure-probability models (paper §2.1, §4.1).
+//
+// The paper's evaluation setting: switches fail with probability
+// ~ N(0.008, 0.001) and every other component (hosts, power supplies, ...)
+// with ~ N(0.01, 0.001); all probabilities are rounded to 4 decimal places.
+// The models here also cover §3.4 (limited information → default
+// probability) and the "bathtub curve" lifetime adjustment mentioned in
+// §3.2.2.
+#pragma once
+
+#include "faults/component_registry.hpp"
+#include "util/rng.hpp"
+
+namespace recloud {
+
+/// Per-type normal-distribution parameters for the paper's setting.
+struct probability_model_options {
+    double switch_mean = 0.008;
+    double switch_stddev = 0.001;
+    double other_mean = 0.01;
+    double other_stddev = 0.001;
+    int round_decimals = 4;  ///< paper rounds to 4 decimal places
+    /// Draws are clamped into [min_probability, max_probability] so that a
+    /// tail draw can't produce p <= 0 (dagger cycle length would blow up)
+    /// or p >= 1.
+    double min_probability = 0.0001;
+    double max_probability = 0.5;
+};
+
+/// Assigns failure probabilities to every component in the registry
+/// according to the paper's per-type normal distributions. The external
+/// node keeps probability 0 (it never fails).
+void assign_paper_probabilities(component_registry& registry, rng& random,
+                                const probability_model_options& options = {});
+
+/// §3.4: assigns `default_probability` to every component whose probability
+/// is still 0 (i.e. unknown), except the external node.
+void assign_default_probabilities(component_registry& registry,
+                                  double default_probability);
+
+/// Bathtub-curve adjustment (§3.2.2): scales a base probability by the
+/// component's position in its lifetime. `life_fraction` in [0, 1]:
+/// early-life (infant mortality) and end-of-life draws are scaled up, the
+/// useful-life middle stays at the base rate.
+[[nodiscard]] double bathtub_adjusted_probability(double base_probability,
+                                                  double life_fraction) noexcept;
+
+}  // namespace recloud

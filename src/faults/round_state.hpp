@@ -1,0 +1,81 @@
+// Per-round failure state with fault-tree reasoning (paper §3.2.3).
+//
+// A round binds the sampler's raw failed-set and lazily answers "is this
+// component *effectively* failed?" — its own sampled state OR its fault
+// tree evaluating to failed on the sampled dependency states. Effective
+// results are memoized per round.
+//
+// All per-component arrays are epoch-stamped so that starting a new round is
+// O(|failed set|), not O(component count): this is the cheap "context setup"
+// that route-and-check performs every round.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "faults/component_registry.hpp"
+#include "faults/fault_tree.hpp"
+
+namespace recloud {
+
+class round_state {
+public:
+    /// `forest` may be nullptr when no dependency information exists
+    /// (§3.4: reCloud works with limited dependency information).
+    round_state(std::size_t component_count, const fault_tree_forest* forest)
+        : forest_(forest),
+          raw_epoch_(component_count, 0),
+          eff_epoch_(component_count, 0),
+          eff_value_(component_count, 0) {}
+
+    /// Starts a new round whose raw failed components are `failed`.
+    void begin_round(std::span<const component_id> failed) {
+        ++epoch_;
+        for (const component_id id : failed) {
+            raw_epoch_[id] = epoch_;
+        }
+    }
+
+    /// The component's own sampled state (no dependency reasoning).
+    [[nodiscard]] bool raw_failed(component_id id) const noexcept {
+        return raw_epoch_[id] == epoch_;
+    }
+
+    /// Effective failure: raw state OR fault tree. Memoized per round.
+    /// Fault-tree leaves read the *raw* state of dependency components;
+    /// dependency-of-dependency chains are expressed inside the tree itself.
+    [[nodiscard]] bool failed(component_id id) {
+        if (eff_epoch_[id] == epoch_) {
+            return eff_value_[id] != 0;
+        }
+        bool result = raw_failed(id);
+        if (!result && forest_ != nullptr) {
+            const tree_node_id root = forest_->root_of(id);
+            if (root != invalid_tree_node) {
+                result = forest_->evaluate(
+                    root, [this](component_id dep) { return raw_failed(dep); });
+            }
+        }
+        eff_epoch_[id] = epoch_;
+        eff_value_[id] = result ? 1 : 0;
+        return result;
+    }
+
+    [[nodiscard]] std::size_t component_count() const noexcept {
+        return raw_epoch_.size();
+    }
+
+    /// Monotonically increasing round counter; lets oracles invalidate their
+    /// own per-round caches.
+    [[nodiscard]] std::uint32_t epoch() const noexcept { return epoch_; }
+
+private:
+    const fault_tree_forest* forest_;
+    std::uint32_t epoch_ = 0;
+    std::vector<std::uint32_t> raw_epoch_;
+    std::vector<std::uint32_t> eff_epoch_;
+    std::vector<std::uint8_t> eff_value_;
+};
+
+}  // namespace recloud

@@ -1,0 +1,112 @@
+#include "report/report.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace recloud {
+namespace {
+
+/// Prints a double with enough digits to round-trip, without trailing cruft.
+std::string number(double value) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.12g", value);
+    return buffer;
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& text) {
+    std::string out;
+    out.reserve(text.size() + 2);
+    out.push_back('"');
+    for (const char c : text) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buffer[8];
+                    std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+                    out += buffer;
+                } else {
+                    out.push_back(c);
+                }
+        }
+    }
+    out.push_back('"');
+    return out;
+}
+
+std::string to_json(const assessment_stats& stats) {
+    std::ostringstream out;
+    out << "{\"rounds\":" << stats.rounds << ",\"reliable\":" << stats.reliable
+        << ",\"reliability\":" << number(stats.reliability)
+        << ",\"variance\":" << number(stats.variance)
+        << ",\"ciw95\":" << number(stats.ciw95) << "}";
+    return out.str();
+}
+
+std::string to_json(const deployment_response& response,
+                    const component_registry* registry) {
+    std::ostringstream out;
+    out << "{\"fulfilled\":" << (response.fulfilled ? "true" : "false")
+        << ",\"hosts\":[";
+    for (std::size_t i = 0; i < response.plan.hosts.size(); ++i) {
+        const node_id host = response.plan.hosts[i];
+        if (i > 0) {
+            out << ",";
+        }
+        if (registry != nullptr) {
+            out << "{\"id\":" << host
+                << ",\"name\":" << json_escape(registry->name(host)) << "}";
+        } else {
+            out << host;
+        }
+    }
+    out << "],\"assessment\":" << to_json(response.stats)
+        << ",\"utility\":" << number(response.utility)
+        << ",\"score\":" << number(response.score) << ",\"search\":{"
+        << "\"plans_generated\":" << response.search.plans_generated
+        << ",\"plans_evaluated\":" << response.search.plans_evaluated
+        << ",\"symmetric_skips\":" << response.search.symmetric_skips
+        << ",\"filtered_plans\":" << response.search.filtered_plans
+        << ",\"accepted_worse\":" << response.search.accepted_worse
+        << ",\"elapsed_seconds\":" << number(response.search.elapsed_seconds)
+        << "}}";
+    return out.str();
+}
+
+std::string to_json(const criticality_report& report,
+                    const component_registry& registry) {
+    std::ostringstream out;
+    out << "{\"baseline\":" << to_json(report.baseline) << ",\"entries\":[";
+    for (std::size_t i = 0; i < report.entries.size(); ++i) {
+        const criticality_entry& entry = report.entries[i];
+        if (i > 0) {
+            out << ",";
+        }
+        out << "{\"component\":" << entry.component
+            << ",\"name\":" << json_escape(registry.name(entry.component))
+            << ",\"conditional_reliability\":"
+            << number(entry.conditional_reliability)
+            << ",\"impact\":" << number(entry.impact) << "}";
+    }
+    out << "]}";
+    return out.str();
+}
+
+std::string trace_to_csv(const annealing_result& result) {
+    std::ostringstream out;
+    out << "elapsed_seconds,best_score,best_reliability,plans_evaluated\n";
+    for (const annealing_trace_point& point : result.trace) {
+        out << number(point.elapsed_seconds) << "," << number(point.best_score)
+            << "," << number(point.best_reliability) << ","
+            << point.plans_evaluated << "\n";
+    }
+    return out.str();
+}
+
+}  // namespace recloud

@@ -1,0 +1,34 @@
+// Machine-readable result exports: JSON for deployment responses and
+// criticality reports, CSV for search traces. Deployment pipelines consume
+// these instead of scraping log output; the CLI writes them when the
+// scenario's [output] section asks for it.
+#pragma once
+
+#include <string>
+
+#include "assess/criticality.hpp"
+#include "core/recloud.hpp"
+#include "search/annealing.hpp"
+
+namespace recloud {
+
+/// Escapes a string for inclusion in a JSON document (quotes included).
+[[nodiscard]] std::string json_escape(const std::string& text);
+
+/// {"rounds":..,"reliable":..,"reliability":..,"variance":..,"ciw95":..}
+[[nodiscard]] std::string to_json(const assessment_stats& stats);
+
+/// Full deployment response: fulfilled flag, plan hosts, assessment, and
+/// search telemetry. `registry` (optional) adds component names to hosts.
+[[nodiscard]] std::string to_json(const deployment_response& response,
+                                  const component_registry* registry = nullptr);
+
+/// Criticality report, entries in rank order.
+[[nodiscard]] std::string to_json(const criticality_report& report,
+                                  const component_registry& registry);
+
+/// CSV of the search trace: one row per best-score improvement.
+/// Columns: elapsed_seconds,best_score,best_reliability,plans_evaluated.
+[[nodiscard]] std::string trace_to_csv(const annealing_result& result);
+
+}  // namespace recloud

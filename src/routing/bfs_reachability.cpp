@@ -1,0 +1,96 @@
+#include "routing/bfs_reachability.hpp"
+
+#include <stdexcept>
+
+namespace recloud {
+
+bfs_reachability::bfs_reachability(const built_topology& topo,
+                                   const link_attachment* links)
+    : topo_(&topo),
+      links_(links),
+      external_mark_(topo.graph.node_count(), 0),
+      source_mark_(topo.graph.node_count(), 0) {
+    if (!topo.graph.frozen()) {
+        throw std::logic_error{"bfs_reachability: topology graph not frozen"};
+    }
+    if (links_ != nullptr &&
+        links_->component_of_edge.size() != topo.graph.edge_count()) {
+        throw std::invalid_argument{
+            "bfs_reachability: link attachment does not match topology"};
+    }
+}
+
+void bfs_reachability::begin_round(round_state& rs) {
+    rs_ = &rs;
+    external_flooded_ = false;
+    cached_source_ = invalid_node;
+}
+
+void bfs_reachability::flood(node_id source, std::vector<std::uint32_t>& mark,
+                             std::uint32_t stamp) {
+    const std::uint32_t epoch = stamp;
+    queue_.clear();
+    if (rs_->failed(source) && topo_->graph.kind(source) != node_kind::external) {
+        return;  // a failed source reaches nothing (external never fails)
+    }
+    mark[source] = epoch;
+    queue_.push_back(source);
+    std::size_t head = 0;
+    while (head < queue_.size()) {
+        const node_id current = queue_[head++];
+        const auto neighbors = topo_->graph.neighbors(current);
+        const auto edges = topo_->graph.incident_edges(current);
+        for (std::size_t i = 0; i < neighbors.size(); ++i) {
+            const node_id next = neighbors[i];
+            if (mark[next] == epoch || rs_->failed(next)) {
+                continue;
+            }
+            if (links_ != nullptr &&
+                links_->link_failed(edges[i],
+                                    [this](component_id c) { return rs_->failed(c); })) {
+                continue;
+            }
+            mark[next] = epoch;
+            queue_.push_back(next);
+        }
+    }
+}
+
+bool bfs_reachability::border_reachable(node_id host) {
+    if (rs_ == nullptr) {
+        throw std::logic_error{"bfs_reachability: begin_round not called"};
+    }
+    if (!external_flooded_) {
+        // One flood from the external node covers every border switch: a
+        // border switch that is alive is adjacent to external, so anything
+        // reachable from a border switch is reachable from external. The
+        // round epoch is a valid stamp here because this array receives at
+        // most one flood per round.
+        flood(topo_->external, external_mark_, rs_->epoch());
+        external_flooded_ = true;
+    }
+    return external_mark_[host] == rs_->epoch();
+}
+
+bool bfs_reachability::host_to_host(node_id a, node_id b) {
+    if (rs_ == nullptr) {
+        throw std::logic_error{"bfs_reachability: begin_round not called"};
+    }
+    if (rs_->failed(a) || rs_->failed(b)) {
+        return false;
+    }
+    if (a == b) {
+        return true;
+    }
+    if (cached_source_ != a || cached_source_epoch_ != rs_->epoch()) {
+        // Fresh stamp per flood: several sources may be flooded within one
+        // round and their marks must not bleed into each other.
+        ++source_stamp_;
+        flood(a, source_mark_, source_stamp_);
+        cached_source_ = a;
+        cached_source_epoch_ = rs_->epoch();
+    }
+    return source_mark_[b] == source_stamp_;
+}
+
+}  // namespace recloud

@@ -1,0 +1,54 @@
+// Generic reachability oracle: breadth-first search over the alive subgraph.
+// Works on ANY topology (leaf-spine, VL2, Jellyfish, hand-built test
+// graphs) — the price is O(V + E) per flood instead of the fat-tree
+// oracle's O(k) closed-form answers.
+//
+// border_reachable() floods once per round from the external node and is
+// then O(1) per query; host_to_host() floods from `a` on demand and caches
+// the result set per (round, source).
+#pragma once
+
+#include <vector>
+
+#include "routing/oracle.hpp"
+#include "topology/links.hpp"
+
+namespace recloud {
+
+class bfs_reachability final : public reachability_oracle {
+public:
+    /// `links` is optional; when given, floods also require the traversed
+    /// link's component to be alive in the current round. Must outlive the
+    /// oracle.
+    explicit bfs_reachability(const built_topology& topo,
+                              const link_attachment* links = nullptr);
+
+    void begin_round(round_state& rs) override;
+    [[nodiscard]] bool border_reachable(node_id host) override;
+    [[nodiscard]] bool host_to_host(node_id a, node_id b) override;
+
+private:
+    /// Floods the alive subgraph from `source`; marks reached nodes in
+    /// `mark` with `stamp`. The stamp must be fresh for that mark array
+    /// (marks of earlier floods would otherwise leak into the result).
+    void flood(node_id source, std::vector<std::uint32_t>& mark,
+               std::uint32_t stamp);
+
+    const built_topology* topo_;
+    const link_attachment* links_;
+    round_state* rs_ = nullptr;
+
+    std::vector<std::uint32_t> external_mark_;  ///< epoch-stamped reach-from-external
+    bool external_flooded_ = false;
+
+    std::vector<std::uint32_t> source_mark_;  ///< reach-from-cached-source
+    node_id cached_source_ = invalid_node;
+    std::uint32_t cached_source_epoch_ = 0;
+    /// Monotonic stamp for source floods: several sources can be flooded
+    /// within ONE round, so the round epoch alone cannot key the marks.
+    std::uint32_t source_stamp_ = 0;
+
+    std::vector<node_id> queue_;  ///< scratch BFS queue
+};
+
+}  // namespace recloud

@@ -1,0 +1,213 @@
+#include "routing/fat_tree_routing.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace recloud {
+
+fat_tree_routing::fat_tree_routing(const fat_tree& tree,
+                                   const link_attachment* links)
+    : tree_(&tree), links_(links) {
+    if (tree.group_width() > 64) {
+        throw std::invalid_argument{"fat_tree_routing: k > 128 not supported"};
+    }
+    const auto g = static_cast<std::size_t>(tree.group_width());
+    const auto pods = static_cast<std::size_t>(tree.pod_count());
+    uplink_cache_.assign(pods * g, 0);
+    uplink_epoch_.assign(pods * g, 0);
+    transit_cache_.assign(pods * g, 0);
+    transit_epoch_.assign(pods * g, 0);
+    external_cache_.assign(g, 0);
+    external_epoch_.assign(g, 0);
+
+    if (links_ == nullptr) {
+        return;
+    }
+    if (links_->component_of_edge.size() != tree.graph().edge_count()) {
+        throw std::invalid_argument{
+            "fat_tree_routing: link attachment does not match topology"};
+    }
+    // Resolve every structural link's edge id once, so per-round queries
+    // are pure array lookups.
+    const network_graph& graph = tree.graph();
+    host_uplink_.assign(graph.node_count(), 0);
+    edge_agg_link_.assign(pods * g * g, 0);
+    agg_core_link_.assign(pods * g * g, 0);
+    core_border_link_.assign(g * g, 0);
+    border_external_link_.assign(g, 0);
+    for (int p = 0; p < tree.pod_count(); ++p) {
+        for (int j = 0; j < tree.group_width(); ++j) {
+            const node_id agg = tree.aggregation(p, j);
+            for (int e = 0; e < tree.group_width(); ++e) {
+                edge_agg_link_[(static_cast<std::size_t>(p) * g + e) * g + j] =
+                    graph.edge_id(tree.edge(p, e), agg);
+            }
+            for (int i = 0; i < tree.group_width(); ++i) {
+                agg_core_link_[(static_cast<std::size_t>(p) * g + j) * g + i] =
+                    graph.edge_id(agg, tree.core(j, i));
+            }
+        }
+        for (int e = 0; e < tree.group_width(); ++e) {
+            const node_id edge = tree.edge(p, e);
+            for (int h = 0; h < tree.hosts_per_edge(); ++h) {
+                const node_id host = tree.host(p, e, h);
+                host_uplink_[host] = graph.edge_id(host, edge);
+            }
+        }
+    }
+    for (int j = 0; j < tree.group_width(); ++j) {
+        const node_id border = tree.border(j);
+        for (int i = 0; i < tree.group_width(); ++i) {
+            core_border_link_[static_cast<std::size_t>(j) * g + i] =
+                graph.edge_id(tree.core(j, i), border);
+        }
+        border_external_link_[j] = graph.edge_id(border, tree.external());
+    }
+}
+
+void fat_tree_routing::begin_round(round_state& rs) {
+    rs_ = &rs;
+}
+
+std::uint64_t fat_tree_routing::uplink_mask(int pod, int edge_index) {
+    const auto g = static_cast<std::size_t>(tree_->group_width());
+    const std::size_t slot = static_cast<std::size_t>(pod) * g + edge_index;
+    if (uplink_epoch_[slot] == rs_->epoch()) {
+        return uplink_cache_[slot];
+    }
+    std::uint64_t mask = 0;
+    for (int j = 0; j < tree_->group_width(); ++j) {
+        if (!node_ok(tree_->aggregation(pod, j))) {
+            continue;
+        }
+        if (links_ != nullptr && !link_ok(edge_agg_link_[slot * g + j])) {
+            continue;
+        }
+        mask |= std::uint64_t{1} << j;
+    }
+    uplink_cache_[slot] = mask;
+    uplink_epoch_[slot] = rs_->epoch();
+    return mask;
+}
+
+std::uint64_t fat_tree_routing::transit_mask(int pod, int group) {
+    const auto g = static_cast<std::size_t>(tree_->group_width());
+    const std::size_t slot = static_cast<std::size_t>(pod) * g + group;
+    if (transit_epoch_[slot] == rs_->epoch()) {
+        return transit_cache_[slot];
+    }
+    std::uint64_t mask = 0;
+    if (node_ok(tree_->aggregation(pod, group))) {
+        for (int i = 0; i < tree_->group_width(); ++i) {
+            if (!node_ok(tree_->core(group, i))) {
+                continue;
+            }
+            if (links_ != nullptr && !link_ok(agg_core_link_[slot * g + i])) {
+                continue;
+            }
+            mask |= std::uint64_t{1} << i;
+        }
+    }
+    transit_cache_[slot] = mask;
+    transit_epoch_[slot] = rs_->epoch();
+    return mask;
+}
+
+std::uint64_t fat_tree_routing::external_group_mask(int group) {
+    if (external_epoch_[group] == rs_->epoch()) {
+        return external_cache_[group];
+    }
+    const auto g = static_cast<std::size_t>(tree_->group_width());
+    std::uint64_t mask = 0;
+    const node_id border = tree_->border(group);
+    const bool border_up =
+        node_ok(border) &&
+        (links_ == nullptr || link_ok(border_external_link_[group]));
+    if (border_up) {
+        for (int i = 0; i < tree_->group_width(); ++i) {
+            if (!node_ok(tree_->core(group, i))) {
+                continue;
+            }
+            if (links_ != nullptr &&
+                !link_ok(core_border_link_[static_cast<std::size_t>(group) * g + i])) {
+                continue;
+            }
+            mask |= std::uint64_t{1} << i;
+        }
+    }
+    external_cache_[group] = mask;
+    external_epoch_[group] = rs_->epoch();
+    return mask;
+}
+
+bool fat_tree_routing::border_reachable(node_id host) {
+    if (rs_ == nullptr) {
+        throw std::logic_error{"fat_tree_routing: begin_round not called"};
+    }
+    if (!node_ok(host)) {
+        return false;
+    }
+    if (links_ != nullptr && !link_ok(host_uplink_[host])) {
+        return false;
+    }
+    const node_id edge = tree_->edge_of_host(host);
+    if (!node_ok(edge)) {
+        return false;
+    }
+    const int pod = tree_->pod_of_host(host);
+    std::uint64_t up = uplink_mask(pod, tree_->edge_index_of_host(host));
+    while (up != 0) {
+        const int j = std::countr_zero(up);
+        up &= up - 1;
+        if ((transit_mask(pod, j) & external_group_mask(j)) != 0) {
+            return true;
+        }
+    }
+    return false;
+}
+
+bool fat_tree_routing::host_to_host(node_id a, node_id b) {
+    if (rs_ == nullptr) {
+        throw std::logic_error{"fat_tree_routing: begin_round not called"};
+    }
+    if (!node_ok(a) || !node_ok(b)) {
+        return false;
+    }
+    if (a == b) {
+        return true;
+    }
+    if (links_ != nullptr &&
+        (!link_ok(host_uplink_[a]) || !link_ok(host_uplink_[b]))) {
+        return false;
+    }
+    const node_id edge_a = tree_->edge_of_host(a);
+    const node_id edge_b = tree_->edge_of_host(b);
+    if (!node_ok(edge_a)) {
+        return false;
+    }
+    if (edge_a == edge_b) {
+        return true;  // same rack: the shared (alive) edge switch suffices
+    }
+    if (!node_ok(edge_b)) {
+        return false;
+    }
+    const int pod_a = tree_->pod_of_host(a);
+    const int pod_b = tree_->pod_of_host(b);
+    const std::uint64_t up_a = uplink_mask(pod_a, tree_->edge_index_of_host(a));
+    const std::uint64_t up_b = uplink_mask(pod_b, tree_->edge_index_of_host(b));
+    if (pod_a == pod_b) {
+        // Up to any aggregation switch both racks can reach, straight down.
+        return (up_a & up_b) != 0;
+    }
+    std::uint64_t common = up_a & up_b;
+    while (common != 0) {
+        const int j = std::countr_zero(common);
+        common &= common - 1;
+        if ((transit_mask(pod_a, j) & transit_mask(pod_b, j)) != 0) {
+            return true;
+        }
+    }
+    return false;
+}
+
+}  // namespace recloud

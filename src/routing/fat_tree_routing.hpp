@@ -1,0 +1,90 @@
+// Fat-tree routing oracle: closed-form multipath up/down reachability, with
+// optional link-failure awareness.
+//
+// Fat-tree routing is valley-free: a packet travels up (host -> edge ->
+// aggregation -> core) and then down. With node and link failures,
+// reachability has a closed form over per-round bitmasks:
+//
+//   - uplink mask U(e) of an edge switch e: bit j set iff aggregation
+//     switch j of e's pod is alive AND the e<->agg_j link is alive;
+//   - transit mask T(p, j) of pod p and group j: bit i set iff core (j, i)
+//     is alive AND the agg_j(p)<->core(j,i) link is alive;
+//   - external group mask X(j): bit i set iff core (j, i) is alive, the
+//     core<->border_j link is alive, border_j is alive, and border_j's
+//     external peering link is alive.
+//
+// Then, writing e(h) for a host's edge switch and p(h) for its pod:
+//   border_reachable(h)  = alive(h) ^ alive(h<->e) ^ alive(e) ^
+//                          exists j in U(e): T(p,j) & X(j) != 0
+//   host_to_host(a, b)   = same edge: both ends + links + the edge;
+//                          same pod:  U(e_a) & U(e_b) != 0;
+//                          cross pod: exists j in U(e_a) & U(e_b):
+//                                     T(p_a,j) & T(p_b,j) != 0.
+//
+// All masks are epoch-stamped and built lazily per round, so a query costs
+// O(g) worst case and O(1) when the masks are warm. Without a link
+// attachment, links are treated as infallible and the math degenerates to
+// the node-only closed form. std::uint64_t masks support k up to 128.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "routing/oracle.hpp"
+#include "topology/fat_tree.hpp"
+#include "topology/links.hpp"
+
+namespace recloud {
+
+class fat_tree_routing final : public reachability_oracle {
+public:
+    /// `links` is optional and must outlive the oracle when given.
+    explicit fat_tree_routing(const fat_tree& tree,
+                              const link_attachment* links = nullptr);
+
+    void begin_round(round_state& rs) override;
+    [[nodiscard]] bool border_reachable(node_id host) override;
+    [[nodiscard]] bool host_to_host(node_id a, node_id b) override;
+
+private:
+    [[nodiscard]] bool node_ok(node_id id) { return !rs_->failed(id); }
+    [[nodiscard]] bool link_ok(std::uint32_t edge) {
+        if (links_ == nullptr) {
+            return true;
+        }
+        return !links_->link_failed(
+            edge, [this](component_id c) { return rs_->failed(c); });
+    }
+
+    /// Uplink mask of edge switch (pod, e); includes the edge switch's own
+    /// aliveness of aggs and the edge<->agg links but NOT the edge switch
+    /// itself.
+    [[nodiscard]] std::uint64_t uplink_mask(int pod, int edge_index);
+    /// Transit mask of (pod, group): alive cores reachable from agg_j(pod).
+    /// Zero when agg_j(pod) itself is dead.
+    [[nodiscard]] std::uint64_t transit_mask(int pod, int group);
+    /// External mask of a group: alive cores with a working path down to an
+    /// alive border switch and its peering link.
+    [[nodiscard]] std::uint64_t external_group_mask(int group);
+
+    const fat_tree* tree_;
+    const link_attachment* links_;
+    round_state* rs_ = nullptr;
+
+    // Pre-resolved link edge ids (empty when links_ == nullptr).
+    std::vector<std::uint32_t> host_uplink_;          ///< by host id (dense)
+    std::vector<std::uint32_t> edge_agg_link_;        ///< (pod*g + e)*g + j
+    std::vector<std::uint32_t> agg_core_link_;        ///< (pod*g + j)*g + i
+    std::vector<std::uint32_t> core_border_link_;     ///< j*g + i
+    std::vector<std::uint32_t> border_external_link_; ///< j
+
+    // Per-round caches (epoch-stamped).
+    std::vector<std::uint64_t> uplink_cache_;
+    std::vector<std::uint32_t> uplink_epoch_;
+    std::vector<std::uint64_t> transit_cache_;
+    std::vector<std::uint32_t> transit_epoch_;
+    std::vector<std::uint64_t> external_cache_;
+    std::vector<std::uint32_t> external_epoch_;
+};
+
+}  // namespace recloud

@@ -1,0 +1,30 @@
+// Routing / reachability oracle interface — the "route" part of the paper's
+// route-and-check (§3.2.1, Figure 2). Working with another data-center
+// architecture only requires swapping this oracle (§3.2.1: "we only need to
+// change this step's routing protocol").
+#pragma once
+
+#include "faults/round_state.hpp"
+#include "topology/graph.hpp"
+
+namespace recloud {
+
+class reachability_oracle {
+public:
+    virtual ~reachability_oracle() = default;
+
+    /// Binds the oracle to the current round of `rs`. Must be called after
+    /// rs.begin_round() and before any query of that round. The round_state
+    /// must outlive the queries.
+    virtual void begin_round(round_state& rs) = 0;
+
+    /// Whether `host` is reachable from any border switch — i.e. the
+    /// instance on it is "alive" in the paper's sense (§2.2).
+    [[nodiscard]] virtual bool border_reachable(node_id host) = 0;
+
+    /// Whether hosts `a` and `b` can reach each other (complex application
+    /// structures, §3.2.4). a == b reduces to "a is effectively alive".
+    [[nodiscard]] virtual bool host_to_host(node_id a, node_id b) = 0;
+};
+
+}  // namespace recloud

@@ -1,0 +1,39 @@
+#include "sampling/antithetic.hpp"
+
+namespace recloud {
+
+antithetic_sampler::antithetic_sampler(std::span<const double> probabilities,
+                                       std::uint64_t seed)
+    : probabilities_(probabilities.begin(), probabilities.end()), random_(seed) {}
+
+void antithetic_sampler::next_round(std::vector<component_id>& failed) {
+    if (pending_) {
+        failed.assign(mirror_.begin(), mirror_.end());
+        pending_ = false;
+        return;
+    }
+    failed.clear();
+    mirror_.clear();
+    for (component_id id = 0; id < probabilities_.size(); ++id) {
+        const double p = probabilities_[id];
+        if (p <= 0.0) {
+            continue;
+        }
+        const double r = random_.uniform();
+        if (r < p) {
+            failed.push_back(id);
+        }
+        if (r > 1.0 - p) {
+            // The mirrored draw 1-r falls below p.
+            mirror_.push_back(id);
+        }
+    }
+    pending_ = true;
+}
+
+void antithetic_sampler::reset(std::uint64_t seed) {
+    random_ = rng{seed};
+    pending_ = false;
+}
+
+}  // namespace recloud

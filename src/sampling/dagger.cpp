@@ -1,0 +1,32 @@
+#include "sampling/dagger.hpp"
+
+#include <cmath>
+
+namespace recloud {
+
+dagger_plan make_dagger_plan(double p) noexcept {
+    dagger_plan plan;
+    plan.probability = p;
+    if (p <= 0.0) {
+        plan.cycle_length = 0;
+    } else if (p >= 1.0) {
+        plan.cycle_length = 1;
+    } else {
+        plan.cycle_length = static_cast<std::uint32_t>(std::floor(1.0 / p));
+    }
+    return plan;
+}
+
+std::optional<std::uint32_t> dagger_slot(const dagger_plan& plan, double r) noexcept {
+    if (plan.cycle_length == 0) {
+        return std::nullopt;
+    }
+    // r in the i-th subinterval [i*p, (i+1)*p)  <=>  floor(r/p) == i < s.
+    const auto slot = static_cast<std::uint32_t>(r / plan.probability);
+    if (slot < plan.cycle_length) {
+        return slot;
+    }
+    return std::nullopt;  // remainder section: alive all cycle
+}
+
+}  // namespace recloud

@@ -1,0 +1,34 @@
+// Dagger sampling primitives (paper §3.2.2, Figures 3-4; Kumamoto et al.).
+//
+// For a component with failure probability p, let s = floor(1/p). The unit
+// interval splits into s subintervals of length p plus a remainder. ONE
+// uniform draw r decides the component's failure states for s consecutive
+// rounds (a "dagger cycle"): if r lands in the i-th subinterval the
+// component fails exactly in round i of the cycle, otherwise it is alive
+// throughout. The expected failure ratio remains exactly p, and the
+// induced negative correlation within a cycle is the source of dagger
+// sampling's variance reduction.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+namespace recloud {
+
+/// Cycle parameters for one component.
+struct dagger_plan {
+    double probability = 0.0;
+    std::uint32_t cycle_length = 0;  ///< s = floor(1/p); 0 means "never fails"
+};
+
+/// Computes s = floor(1/p). p == 0 yields cycle_length 0 ("never fails");
+/// p >= 1 yields cycle_length 1 (fails every round).
+[[nodiscard]] dagger_plan make_dagger_plan(double p) noexcept;
+
+/// Maps one uniform draw r in [0,1) to the failing round within a cycle:
+/// returns the slot index in [0, s) if r fell into a subinterval, or
+/// nullopt if it fell into the remainder (alive for the whole cycle).
+[[nodiscard]] std::optional<std::uint32_t> dagger_slot(const dagger_plan& plan,
+                                                       double r) noexcept;
+
+}  // namespace recloud

@@ -1,0 +1,60 @@
+#include "sampling/extended_dagger.hpp"
+
+#include <algorithm>
+
+namespace recloud {
+
+extended_dagger_sampler::extended_dagger_sampler(
+    std::span<const double> probabilities, std::uint64_t seed)
+    : random_(seed) {
+    plans_.reserve(probabilities.size());
+    for (component_id id = 0; id < probabilities.size(); ++id) {
+        plans_.push_back(make_dagger_plan(probabilities[id]));
+        if (plans_.back().cycle_length > 0) {
+            can_fail_.push_back(id);
+            block_length_ = std::max(block_length_, plans_.back().cycle_length);
+        }
+    }
+    buckets_.resize(block_length_);
+    cursor_ = block_length_;  // force block generation on first next_round
+}
+
+void extended_dagger_sampler::generate_block() {
+    for (auto& bucket : buckets_) {
+        bucket.clear();
+    }
+    for (const component_id id : can_fail_) {
+        const dagger_plan& plan = plans_[id];
+        // Concatenate this component's dagger cycles across the block; the
+        // final cycle is truncated at the block boundary (cycle reset).
+        for (std::uint32_t cycle_start = 0; cycle_start < block_length_;
+             cycle_start += plan.cycle_length) {
+            const auto slot = dagger_slot(plan, random_.uniform());
+            if (!slot) {
+                continue;
+            }
+            const std::uint32_t round = cycle_start + *slot;
+            if (round < block_length_) {
+                buckets_[round].push_back(id);
+            }
+            // else: the truncated cycle placed the failure beyond the reset
+            // line — a discarded round (Figure 4).
+        }
+    }
+    cursor_ = 0;
+}
+
+void extended_dagger_sampler::next_round(std::vector<component_id>& failed) {
+    if (cursor_ >= block_length_) {
+        generate_block();
+    }
+    const auto& bucket = buckets_[cursor_++];
+    failed.assign(bucket.begin(), bucket.end());
+}
+
+void extended_dagger_sampler::reset(std::uint64_t seed) {
+    random_ = rng{seed};
+    cursor_ = block_length_;  // discard the current block
+}
+
+}  // namespace recloud

@@ -1,0 +1,45 @@
+#include "sampling/injection.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace recloud {
+
+scripted_sampler::scripted_sampler(std::vector<std::vector<component_id>> rounds)
+    : rounds_(std::move(rounds)) {
+    if (rounds_.empty()) {
+        throw std::invalid_argument{"scripted_sampler: empty script"};
+    }
+}
+
+void scripted_sampler::next_round(std::vector<component_id>& failed) {
+    const auto& round = rounds_[cursor_];
+    failed.assign(round.begin(), round.end());
+    cursor_ = (cursor_ + 1) % rounds_.size();
+}
+
+void scripted_sampler::reset(std::uint64_t /*seed*/) {
+    cursor_ = 0;
+}
+
+forced_failure_sampler::forced_failure_sampler(failure_sampler& inner,
+                                               std::vector<component_id> forced)
+    : inner_(&inner), forced_(std::move(forced)) {
+    std::sort(forced_.begin(), forced_.end());
+    forced_.erase(std::unique(forced_.begin(), forced_.end()), forced_.end());
+}
+
+void forced_failure_sampler::next_round(std::vector<component_id>& failed) {
+    inner_->next_round(failed);
+    for (const component_id id : forced_) {
+        if (std::find(failed.begin(), failed.end(), id) == failed.end()) {
+            failed.push_back(id);
+        }
+    }
+}
+
+void forced_failure_sampler::reset(std::uint64_t seed) {
+    inner_->reset(seed);
+}
+
+}  // namespace recloud

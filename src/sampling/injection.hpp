@@ -1,0 +1,64 @@
+// Fault-injection samplers (inspired by the FIFL framework the paper cites
+// in §2.1 for simulating software failures via fault injections).
+//
+// * scripted_sampler replays an explicit failure schedule — deterministic
+//   regression tests, incident post-mortems ("replay last Tuesday"), and
+//   golden-file comparisons.
+// * forced_failure_sampler wraps any sampler and adds a fixed set of
+//   components to every round's failed set — the conditional distribution
+//   "given that these components are down", which turns the assessor into
+//   a blast-radius analyzer (see assess/criticality.hpp).
+#pragma once
+
+#include <vector>
+
+#include "sampling/sampler.hpp"
+
+namespace recloud {
+
+/// Replays a fixed schedule; wraps around at the end so any number of
+/// rounds can be drawn.
+class scripted_sampler final : public failure_sampler {
+public:
+    /// `rounds` must be non-empty.
+    explicit scripted_sampler(std::vector<std::vector<component_id>> rounds);
+
+    void next_round(std::vector<component_id>& failed) override;
+    /// Restarts the script from round 0 (the seed is ignored — the script
+    /// IS the randomness).
+    void reset(std::uint64_t seed) override;
+    [[nodiscard]] const char* name() const noexcept override { return "scripted"; }
+
+    [[nodiscard]] std::size_t script_length() const noexcept {
+        return rounds_.size();
+    }
+
+private:
+    std::vector<std::vector<component_id>> rounds_;
+    std::size_t cursor_ = 0;
+};
+
+/// Decorates an inner sampler: every round additionally contains `forced`
+/// (deduplicated against the inner draw). The inner sampler must outlive
+/// the decorator.
+class forced_failure_sampler final : public failure_sampler {
+public:
+    forced_failure_sampler(failure_sampler& inner,
+                           std::vector<component_id> forced);
+
+    void next_round(std::vector<component_id>& failed) override;
+    void reset(std::uint64_t seed) override;
+    [[nodiscard]] const char* name() const noexcept override {
+        return "forced-failure";
+    }
+
+    [[nodiscard]] std::span<const component_id> forced() const noexcept {
+        return forced_;
+    }
+
+private:
+    failure_sampler* inner_;
+    std::vector<component_id> forced_;  ///< sorted, unique
+};
+
+}  // namespace recloud

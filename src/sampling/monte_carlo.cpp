@@ -1,0 +1,25 @@
+#include "sampling/monte_carlo.hpp"
+
+namespace recloud {
+
+monte_carlo_sampler::monte_carlo_sampler(std::span<const double> probabilities,
+                                         std::uint64_t seed)
+    : probabilities_(probabilities.begin(), probabilities.end()), random_(seed) {}
+
+void monte_carlo_sampler::next_round(std::vector<component_id>& failed) {
+    failed.clear();
+    // One individual failure-state generation per component per round —
+    // the C x X cost the paper calls out as prohibitive at scale.
+    for (component_id id = 0; id < probabilities_.size(); ++id) {
+        const double p = probabilities_[id];
+        if (p > 0.0 && random_.uniform() < p) {
+            failed.push_back(id);
+        }
+    }
+}
+
+void monte_carlo_sampler::reset(std::uint64_t seed) {
+    random_ = rng{seed};
+}
+
+}  // namespace recloud

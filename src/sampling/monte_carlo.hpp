@@ -1,0 +1,28 @@
+// Monte-Carlo failure-state sampler — the strawman design of §3.2.1 and what
+// the state-of-the-art INDaaS system uses. One uniform draw per component
+// per round: r < p  =>  'failed'. Kept as the baseline for Figure 7 and as
+// the ground-truth reference in sampler property tests.
+#pragma once
+
+#include <vector>
+
+#include "sampling/sampler.hpp"
+#include "util/rng.hpp"
+
+namespace recloud {
+
+class monte_carlo_sampler final : public failure_sampler {
+public:
+    /// Copies the probability vector (the sampler outlives registry edits).
+    monte_carlo_sampler(std::span<const double> probabilities, std::uint64_t seed);
+
+    void next_round(std::vector<component_id>& failed) override;
+    void reset(std::uint64_t seed) override;
+    [[nodiscard]] const char* name() const noexcept override { return "monte-carlo"; }
+
+private:
+    std::vector<double> probabilities_;
+    rng random_;
+};
+
+}  // namespace recloud

@@ -1,0 +1,23 @@
+#include "sampling/result_stats.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace recloud {
+
+std::size_t rounds_for_target_ciw(double target_ciw,
+                                  double anticipated_reliability) {
+    if (target_ciw <= 0.0) {
+        throw std::invalid_argument{"rounds_for_target_ciw: target must be > 0"};
+    }
+    const double r = clamp(anticipated_reliability, 0.0, 1.0);
+    const double var_l = r * (1.0 - r);
+    if (var_l == 0.0) {
+        return 1;
+    }
+    // CIW = 4*sqrt(Var[L]/n) <= target  =>  n >= 16*Var[L]/target^2.
+    return static_cast<std::size_t>(
+        std::ceil(16.0 * var_l / (target_ciw * target_ciw)));
+}
+
+}  // namespace recloud

@@ -1,0 +1,47 @@
+// Accumulation of per-round route-and-check outcomes into the paper's
+// reliability score and error bound (Eqs. 1-3), plus planning helpers.
+#pragma once
+
+#include <cstddef>
+
+#include "util/stats.hpp"
+
+namespace recloud {
+
+/// Accumulates the result list L = {d_1..d_n} (d_i = 1 iff the plan was
+/// reliable in round i) without storing it.
+class result_accumulator {
+public:
+    void add(bool reliable) noexcept {
+        ++rounds_;
+        if (reliable) {
+            ++reliable_;
+        }
+    }
+
+    /// Merges results computed elsewhere (parallel workers).
+    void merge(std::size_t reliable_rounds, std::size_t total_rounds) noexcept {
+        reliable_ += reliable_rounds;
+        rounds_ += total_rounds;
+    }
+
+    [[nodiscard]] std::size_t rounds() const noexcept { return rounds_; }
+    [[nodiscard]] std::size_t reliable_rounds() const noexcept { return reliable_; }
+
+    /// Eqs. 1-3: R, V = Var[L]/n, CIW95 = 4*sqrt(V).
+    [[nodiscard]] assessment_stats stats() const noexcept {
+        return make_assessment_stats(reliable_, rounds_);
+    }
+
+private:
+    std::size_t rounds_ = 0;
+    std::size_t reliable_ = 0;
+};
+
+/// Estimates how many rounds are needed so that CIW95 <= target, given an
+/// anticipated reliability level (worst case at R=0.5). From Eq. 3:
+/// n >= 16 * R(1-R) / target^2.
+[[nodiscard]] std::size_t rounds_for_target_ciw(double target_ciw,
+                                                double anticipated_reliability);
+
+}  // namespace recloud

@@ -1,0 +1,32 @@
+// Failure-state sampling interface (paper §3.2, Table 1).
+//
+// A sampler streams rounds: each call to next_round() yields the set of
+// components that are 'failed' in that round, drawn according to the
+// per-component failure probabilities. Streaming a sparse failed-set —
+// rather than materializing the dense C x X table of Table 1 — is what
+// makes large data centers tractable: with per-component probabilities
+// around 1%, a round touches ~1% of components.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "faults/component_registry.hpp"
+
+namespace recloud {
+
+class failure_sampler {
+public:
+    virtual ~failure_sampler() = default;
+
+    /// Clears `failed` and fills it with the ids of the components that are
+    /// failed in the next round. Ids are unique but not necessarily sorted.
+    virtual void next_round(std::vector<component_id>& failed) = 0;
+
+    /// Restarts the stream with a new seed.
+    virtual void reset(std::uint64_t seed) = 0;
+
+    [[nodiscard]] virtual const char* name() const noexcept = 0;
+};
+
+}  // namespace recloud

@@ -1,0 +1,143 @@
+#include "search/annealing.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/stopwatch.hpp"
+
+namespace recloud {
+namespace {
+
+/// Floor for (1 - score) so Eq. 5 stays finite when a plan scores 1.0.
+constexpr double unreliability_floor = 1e-12;
+
+/// Floor for the annealing temperature: below this the chance of accepting
+/// a worse plan is effectively zero anyway.
+constexpr double temperature_floor = 1e-6;
+
+}  // namespace
+
+double acceptance_delta(double s_current, double s_neighbor,
+                        delta_mode mode) noexcept {
+    if (mode == delta_mode::absolute) {
+        return std::fabs(s_current - s_neighbor);
+    }
+    const double current_gap = std::max(1.0 - s_current, unreliability_floor);
+    const double neighbor_gap = std::max(1.0 - s_neighbor, unreliability_floor);
+    return std::fabs(std::log10(neighbor_gap / current_gap));
+}
+
+annealing_result anneal(neighbor_generator& neighbors,
+                        const plan_evaluator& evaluate,
+                        const symmetry_checker* symmetry,
+                        std::uint32_t instances,
+                        const annealing_options& options) {
+    rng random{options.seed};
+    deadline budget{options.max_time};
+    annealing_result result;
+
+    const bool symmetry_on = options.use_symmetry && symmetry != nullptr;
+
+    const auto note_improvement = [&](const plan_evaluation& eval) {
+        if (!options.record_trace) {
+            return;
+        }
+        result.trace.push_back(annealing_trace_point{
+            budget.elapsed_seconds(), eval.score, eval.stats.reliability,
+            result.plans_evaluated});
+    };
+
+    // Steps 1-2: random initial plan (regenerated while the resource filter
+    // rejects it), assess it.
+    deployment_plan current = neighbors.initial_plan(instances);
+    ++result.plans_generated;
+    if (options.filter) {
+        std::size_t attempts = 0;
+        while (!options.filter(current)) {
+            ++result.filtered_plans;
+            if (++attempts > options.max_consecutive_skips) {
+                throw std::runtime_error{
+                    "anneal: could not generate a feasible initial plan"};
+            }
+            current = neighbors.initial_plan(instances);
+            ++result.plans_generated;
+        }
+    }
+    plan_evaluation current_eval = evaluate(current);
+    ++result.plans_evaluated;
+
+    result.best_plan = current;
+    result.best_evaluation = current_eval;
+    note_improvement(current_eval);
+
+    std::uint64_t current_signature =
+        symmetry_on ? symmetry->signature(current) : 0;
+
+    std::size_t consecutive_skips = 0;
+    while (!budget.expired() &&
+           result.plans_generated < options.max_iterations) {
+        // Step 6's success check runs against the *current* plan (§3.3.1).
+        if (current_eval.stats.reliability >= options.desired_reliability) {
+            result.fulfilled = true;
+            break;
+        }
+
+        // Step 3: neighbor generation + resource-constraint discard +
+        // network-transformation equivalence.
+        deployment_plan neighbor = neighbors.neighbor_of(current);
+        ++result.plans_generated;
+        if (options.filter && !options.filter(neighbor)) {
+            ++result.filtered_plans;
+            continue;
+        }
+        if (symmetry_on && consecutive_skips < options.max_consecutive_skips &&
+            symmetry->signature(neighbor) == current_signature) {
+            ++result.symmetric_skips;
+            ++consecutive_skips;
+            continue;
+        }
+        consecutive_skips = 0;
+
+        // Step 4: assess the neighbor.
+        const plan_evaluation neighbor_eval = evaluate(neighbor);
+        ++result.plans_evaluated;
+
+        // Step 5: accept or reject.
+        bool accept = neighbor_eval.score >= current_eval.score;
+        if (!accept) {
+            const double t = std::max(budget.remaining_fraction(),  // Eq. 6
+                                      temperature_floor);
+            const double delta = acceptance_delta(current_eval.score,
+                                                  neighbor_eval.score,
+                                                  options.delta);  // Eq. 5
+            const double probability = std::exp(-delta / t);       // Eq. 4
+            accept = random.uniform() < probability;
+            if (accept) {
+                ++result.accepted_worse;
+            }
+        }
+        if (accept) {
+            current = std::move(neighbor);
+            current_eval = neighbor_eval;
+            if (symmetry_on) {
+                current_signature = symmetry->signature(current);
+            }
+            if (current_eval.score > result.best_evaluation.score) {
+                result.best_plan = current;
+                result.best_evaluation = current_eval;
+                note_improvement(current_eval);
+            }
+        }
+    }
+
+    if (!result.fulfilled &&
+        result.best_evaluation.stats.reliability >= options.desired_reliability) {
+        // The best plan seen can satisfy R_desired even if the random walk
+        // moved off it before the loop ended.
+        result.fulfilled = true;
+    }
+    result.elapsed_seconds = budget.elapsed_seconds();
+    return result;
+}
+
+}  // namespace recloud

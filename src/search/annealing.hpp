@@ -1,0 +1,116 @@
+// Reliable deployment search via simulated annealing (paper §3.3).
+//
+// The six steps of §3.3.1: start from a random plan, assess it, generate
+// neighbors (one-host replacement), skip neighbors that are equivalent
+// under network symmetry, assess survivors, and accept/reject with
+// reCloud's re-designed acceptance probability:
+//
+//   Pr[accept worse plan] = exp(-delta / t)                       (Eq. 4)
+//   delta = log10((1 - S_neighbor) / (1 - S_current))             (Eq. 5)
+//   t     = (Tmax - Telapsed) / Tmax                              (Eq. 6)
+//
+// Eq. 5's log-ratio makes the acceptance probability sensitive to *orders
+// of magnitude* of unreliability (0.999 vs 0.99 is a 10x reliability gap,
+// not a 0.009 one). The classic absolute-difference delta is kept as an
+// ablation mode. With multi-objective optimization (§3.3.3) the same
+// formulas run on the holistic score normalized to [0, 1].
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "app/deployment.hpp"
+#include "search/neighbor.hpp"
+#include "search/objective.hpp"
+#include "search/symmetry.hpp"
+#include "util/stats.hpp"
+
+namespace recloud {
+
+/// Evaluation of one candidate plan. `score` is what the annealing compares
+/// (reliability alone, or the holistic measure normalized into [0, 1]);
+/// `stats.reliability` is what R_desired is checked against.
+struct plan_evaluation {
+    assessment_stats stats;
+    double utility = 0.0;
+    double score = 0.0;
+};
+
+/// Callback assessing a candidate plan (reliability + optional utility).
+using plan_evaluator = std::function<plan_evaluation(const deployment_plan&)>;
+
+/// Cheap feasibility predicate (§3.3.3: "reCloud can also quickly discard
+/// any generated deployment plans that do not satisfy resource
+/// constraints"). Returns false to reject a candidate before it is
+/// assessed.
+using plan_filter = std::function<bool(const deployment_plan&)>;
+
+enum class delta_mode : std::uint8_t {
+    log_ratio,  ///< reCloud's Eq. 5
+    absolute,   ///< classic simulated annealing (ablation)
+};
+
+struct annealing_options {
+    /// Tmax: the developer's search budget (§2.2). The search stops when it
+    /// elapses (or when max_iterations is hit, whichever first).
+    std::chrono::nanoseconds max_time = std::chrono::seconds{30};
+    /// Deterministic iteration budget, mainly for tests; the paper's flow
+    /// is purely time-driven (default: effectively unlimited).
+    std::size_t max_iterations = static_cast<std::size_t>(-1);
+    /// R_desired: search succeeds as soon as the current plan reaches it.
+    double desired_reliability = 1.0;
+    /// Step 3's symmetry check on/off (needs a symmetry_checker).
+    bool use_symmetry = true;
+    delta_mode delta = delta_mode::log_ratio;
+    std::uint64_t seed = 1;
+    /// Consecutive symmetric skips tolerated before a neighbor is assessed
+    /// regardless (progress guarantee in tiny, highly symmetric networks).
+    std::size_t max_consecutive_skips = 64;
+    /// Record a trace point whenever the best score improves (for the
+    /// Figure 9 reliability-vs-time series).
+    bool record_trace = false;
+    /// Optional resource-constraint filter; rejected candidates are
+    /// discarded without assessment. The initial plan is regenerated until
+    /// it passes (bounded by max_consecutive_skips attempts).
+    plan_filter filter;
+};
+
+struct annealing_trace_point {
+    double elapsed_seconds = 0.0;
+    double best_score = 0.0;
+    double best_reliability = 0.0;
+    std::size_t plans_evaluated = 0;
+};
+
+struct annealing_result {
+    deployment_plan best_plan;
+    plan_evaluation best_evaluation;
+    bool fulfilled = false;  ///< R_desired reached within Tmax
+    std::size_t plans_generated = 0;
+    std::size_t plans_evaluated = 0;
+    std::size_t symmetric_skips = 0;
+    std::size_t filtered_plans = 0;  ///< rejected by the resource filter
+    std::size_t accepted_worse = 0;  ///< uphill moves taken
+    double elapsed_seconds = 0.0;
+    std::vector<annealing_trace_point> trace;
+};
+
+/// Runs the §3.3.1 search. `instances` is the number of hosts a plan needs
+/// (application.total_instances()). `symmetry` may be nullptr (the check is
+/// then disabled regardless of options.use_symmetry).
+[[nodiscard]] annealing_result anneal(neighbor_generator& neighbors,
+                                      const plan_evaluator& evaluate,
+                                      const symmetry_checker* symmetry,
+                                      std::uint32_t instances,
+                                      const annealing_options& options);
+
+/// Eq. 5 (or the classic |difference| in absolute mode), exposed for tests:
+/// delta for a neighbor with score `s_neighbor` against `s_current`, both
+/// in [0, 1]. Only meaningful when s_neighbor < s_current.
+[[nodiscard]] double acceptance_delta(double s_current, double s_neighbor,
+                                      delta_mode mode) noexcept;
+
+}  // namespace recloud

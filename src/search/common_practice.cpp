@@ -1,0 +1,108 @@
+#include "search/common_practice.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace recloud {
+
+deployment_plan common_practice_plan(const built_topology& topo,
+                                     const workload_map& workloads,
+                                     std::uint32_t instances,
+                                     const std::vector<node_id>& excluded) {
+    std::vector<node_id> candidates;
+    candidates.reserve(topo.hosts.size());
+    const std::set<node_id> excluded_set(excluded.begin(), excluded.end());
+    for (const node_id host : topo.hosts) {
+        if (!excluded_set.contains(host)) {
+            candidates.push_back(host);
+        }
+    }
+    if (candidates.size() < instances) {
+        throw std::invalid_argument{
+            "common_practice_plan: not enough hosts after exclusions"};
+    }
+    // Least-loaded first; host id breaks ties deterministically.
+    std::sort(candidates.begin(), candidates.end(),
+              [&](node_id a, node_id b) {
+                  const double la = workloads.of(a);
+                  const double lb = workloads.of(b);
+                  return la != lb ? la < lb : a < b;
+              });
+
+    deployment_plan plan;
+    plan.hosts.reserve(instances);
+    std::set<node_id> used_racks;
+    for (const node_id host : candidates) {
+        if (plan.hosts.size() == instances) {
+            break;
+        }
+        if (used_racks.insert(rack_of(topo.graph, host)).second) {
+            plan.hosts.push_back(host);
+        }
+    }
+    // Rack constraint exhausted (more instances than racks): fill the rest
+    // with the least-loaded remaining hosts.
+    if (plan.hosts.size() < instances) {
+        const std::set<node_id> used(plan.hosts.begin(), plan.hosts.end());
+        for (const node_id host : candidates) {
+            if (plan.hosts.size() == instances) {
+                break;
+            }
+            if (!used.contains(host)) {
+                plan.hosts.push_back(host);
+            }
+        }
+    }
+    return plan;
+}
+
+std::size_t power_diversity(const built_topology& topo,
+                            const power_assignment& power,
+                            const deployment_plan& plan) {
+    std::set<component_id> supplies;
+    for (const node_id host : plan.hosts) {
+        for (const component_id s : power.supplies_of_node.at(host)) {
+            supplies.insert(s);
+        }
+        for (const component_id s :
+             power.supplies_of_node.at(rack_of(topo.graph, host))) {
+            supplies.insert(s);
+        }
+    }
+    return supplies.size();
+}
+
+deployment_plan enhanced_common_practice_plan(
+    const built_topology& topo, const workload_map& workloads,
+    const power_assignment& power, std::uint32_t instances,
+    const enhanced_common_practice_options& options) {
+    if (options.candidate_plans == 0) {
+        throw std::invalid_argument{
+            "enhanced_common_practice_plan: need >= 1 candidate"};
+    }
+    deployment_plan best;
+    std::size_t best_diversity = 0;
+    double best_load = 0.0;
+    std::vector<node_id> excluded;
+    for (std::uint32_t c = 0; c < options.candidate_plans; ++c) {
+        if (topo.hosts.size() < excluded.size() + instances) {
+            break;  // not enough hosts for another non-repeating plan
+        }
+        const deployment_plan candidate =
+            common_practice_plan(topo, workloads, instances, excluded);
+        excluded.insert(excluded.end(), candidate.hosts.begin(),
+                        candidate.hosts.end());
+        const std::size_t diversity = power_diversity(topo, power, candidate);
+        const double load = workloads.average(candidate.hosts);
+        if (best.hosts.empty() || diversity > best_diversity ||
+            (diversity == best_diversity && load < best_load)) {
+            best = candidate;
+            best_diversity = diversity;
+            best_load = load;
+        }
+    }
+    return best;
+}
+
+}  // namespace recloud

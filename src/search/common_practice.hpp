@@ -1,0 +1,47 @@
+// Common-practice baselines (paper §4.2.2).
+//
+// Vanilla common practice: "deploy application instances onto the
+// least-loaded hosts where each host is in a different rack" (learned from
+// the paper authors' cloud operator contacts).
+//
+// Enhanced common practice: run the vanilla practice 5 times to obtain the
+// top-5 non-repeating plans, then pick the plan whose instances draw power
+// from the most diversified set of supplies.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "app/deployment.hpp"
+#include "search/workload.hpp"
+#include "topology/graph.hpp"
+#include "topology/power.hpp"
+
+namespace recloud {
+
+/// Least-loaded distinct-rack selection. Hosts in `excluded` are skipped
+/// (used to build non-repeating plans). If distinct racks run out, the rack
+/// constraint is relaxed for the remaining slots (distinct hosts stay hard).
+/// Throws if fewer than `instances` non-excluded hosts exist.
+[[nodiscard]] deployment_plan common_practice_plan(
+    const built_topology& topo, const workload_map& workloads,
+    std::uint32_t instances, const std::vector<node_id>& excluded = {});
+
+/// Number of distinct power supplies feeding the plan's hosts and their
+/// rack switches — the enhanced baseline's diversity criterion.
+[[nodiscard]] std::size_t power_diversity(const built_topology& topo,
+                                          const power_assignment& power,
+                                          const deployment_plan& plan);
+
+struct enhanced_common_practice_options {
+    std::uint32_t candidate_plans = 5;  ///< the paper's "top-5"
+};
+
+/// The enhanced baseline: top-N non-repeating vanilla plans, most
+/// power-diversified one wins (ties: lower average workload).
+[[nodiscard]] deployment_plan enhanced_common_practice_plan(
+    const built_topology& topo, const workload_map& workloads,
+    const power_assignment& power, std::uint32_t instances,
+    const enhanced_common_practice_options& options = {});
+
+}  // namespace recloud

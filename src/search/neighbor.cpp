@@ -1,0 +1,98 @@
+#include "search/neighbor.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace recloud {
+namespace {
+
+/// Attempts before the rack anti-affinity constraint is relaxed (it is a
+/// best-effort heuristic: with more instances than racks it cannot hold).
+constexpr int max_affinity_attempts = 64;
+
+}  // namespace
+
+neighbor_generator::neighbor_generator(const built_topology& topo,
+                                       anti_affinity affinity, std::uint64_t seed)
+    : topo_(&topo), affinity_(affinity), random_(seed) {
+    if (topo.hosts.empty()) {
+        throw std::invalid_argument{"neighbor_generator: topology has no hosts"};
+    }
+}
+
+node_id neighbor_generator::random_host() {
+    return topo_->hosts[random_.uniform_below(topo_->hosts.size())];
+}
+
+bool neighbor_generator::respects_affinity(const std::vector<node_id>& hosts,
+                                           node_id candidate,
+                                           std::size_t skip_slot) const {
+    for (std::size_t i = 0; i < hosts.size(); ++i) {
+        if (i == skip_slot) {
+            continue;
+        }
+        if (hosts[i] == candidate) {
+            return false;  // distinct hosts is a hard constraint
+        }
+        if (affinity_ == anti_affinity::rack &&
+            rack_of(topo_->graph, hosts[i]) == rack_of(topo_->graph, candidate)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+deployment_plan neighbor_generator::initial_plan(std::uint32_t instances) {
+    if (instances == 0 || instances > topo_->hosts.size()) {
+        throw std::invalid_argument{
+            "neighbor_generator: instance count out of [1, #hosts]"};
+    }
+    deployment_plan plan;
+    plan.hosts.reserve(instances);
+    while (plan.hosts.size() < instances) {
+        node_id candidate = random_host();
+        for (int attempt = 0; attempt < max_affinity_attempts; ++attempt) {
+            if (respects_affinity(plan.hosts, candidate, plan.hosts.size())) {
+                break;
+            }
+            candidate = random_host();
+        }
+        // After max attempts only the hard distinctness constraint remains.
+        if (std::find(plan.hosts.begin(), plan.hosts.end(), candidate) !=
+            plan.hosts.end()) {
+            continue;
+        }
+        plan.hosts.push_back(candidate);
+    }
+    return plan;
+}
+
+deployment_plan neighbor_generator::neighbor_of(const deployment_plan& current) {
+    if (current.hosts.empty()) {
+        throw std::invalid_argument{"neighbor_generator: empty current plan"};
+    }
+    if (current.hosts.size() >= topo_->hosts.size()) {
+        throw std::invalid_argument{
+            "neighbor_generator: plan already uses every host"};
+    }
+    deployment_plan neighbor = current;
+    const std::size_t slot = random_.uniform_below(neighbor.hosts.size());
+    node_id candidate = random_host();
+    int attempt = 0;
+    while (candidate == neighbor.hosts[slot] ||
+           !respects_affinity(neighbor.hosts, candidate, slot)) {
+        candidate = random_host();
+        if (++attempt >= max_affinity_attempts) {
+            // Relax to the hard constraint only.
+            while (std::find(neighbor.hosts.begin(), neighbor.hosts.end(),
+                             candidate) != neighbor.hosts.end()) {
+                candidate = random_host();
+            }
+            break;
+        }
+    }
+    neighbor.hosts[slot] = candidate;
+    return neighbor;
+}
+
+}  // namespace recloud

@@ -1,0 +1,46 @@
+// Deployment-plan generation for the annealing search (paper §3.3.1,
+// Steps 1 & 3): random initial plans with optional placement heuristics, and
+// neighboring plans produced by replacing one host with a new random host.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "app/deployment.hpp"
+#include "topology/graph.hpp"
+#include "util/rng.hpp"
+
+namespace recloud {
+
+/// Placement heuristic applied on top of "all hosts distinct" (§3.3.1
+/// Step 1: "this selection can use any additional heuristics such as 'no
+/// hosts from the same rack'").
+enum class anti_affinity : std::uint8_t {
+    none,  ///< distinct hosts only
+    rack,  ///< best-effort: no two instances under the same ToR switch
+};
+
+class neighbor_generator {
+public:
+    neighbor_generator(const built_topology& topo, anti_affinity affinity,
+                       std::uint64_t seed);
+
+    /// Step 1: a uniformly random plan of `instances` distinct hosts.
+    [[nodiscard]] deployment_plan initial_plan(std::uint32_t instances);
+
+    /// Step 3: replaces one randomly chosen slot of `current` with a new,
+    /// randomly chosen host not already used by the plan.
+    [[nodiscard]] deployment_plan neighbor_of(const deployment_plan& current);
+
+private:
+    [[nodiscard]] bool respects_affinity(const std::vector<node_id>& hosts,
+                                         node_id candidate,
+                                         std::size_t skip_slot) const;
+    [[nodiscard]] node_id random_host();
+
+    const built_topology* topo_;
+    anti_affinity affinity_;
+    rng random_;
+};
+
+}  // namespace recloud

@@ -1,0 +1,2 @@
+// objective is header-only; compiled standalone once for include hygiene.
+#include "search/objective.hpp"

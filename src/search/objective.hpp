@@ -1,0 +1,47 @@
+// Multi-objective holistic measure (paper §3.3.3, Eq. 7):
+//   M = a * reliability + b * utility
+// Utility examples from the paper: bandwidth usage across the plan's hosts,
+// or host resource utilization. §4.2.2 uses the average workload of the
+// plan's hosts with equal weights a = b.
+#pragma once
+
+#include "app/deployment.hpp"
+#include "search/workload.hpp"
+
+namespace recloud {
+
+struct objective_weights {
+    double reliability = 1.0;  ///< a
+    double utility = 1.0;      ///< b
+};
+
+/// Pluggable utility score in [0, 1]; higher is better.
+class utility_function {
+public:
+    virtual ~utility_function() = default;
+    [[nodiscard]] virtual double utility(const deployment_plan& plan) const = 0;
+};
+
+/// Utility = 1 - average workload of the plan's hosts: packing instances on
+/// lightly-loaded hosts scores high (paper §4.2.2's second factor).
+class workload_utility final : public utility_function {
+public:
+    explicit workload_utility(const workload_map& workloads)
+        : workloads_(&workloads) {}
+
+    [[nodiscard]] double utility(const deployment_plan& plan) const override {
+        return 1.0 - workloads_->average(plan.hosts);
+    }
+
+private:
+    const workload_map* workloads_;
+};
+
+/// Eq. 7. `utility_score` should be in [0, 1].
+[[nodiscard]] inline double holistic_measure(double reliability,
+                                             double utility_score,
+                                             const objective_weights& w) noexcept {
+    return w.reliability * reliability + w.utility * utility_score;
+}
+
+}  // namespace recloud

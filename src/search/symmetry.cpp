@@ -1,0 +1,208 @@
+#include "search/symmetry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace recloud {
+namespace {
+
+constexpr std::uint64_t hash_seed = 0x9e3779b97f4a7c15ULL;
+
+std::uint64_t hash_combine(std::uint64_t h, std::uint64_t v) noexcept {
+    h ^= v + hash_seed + (h << 6) + (h >> 2);
+    // Extra mixing so order-sensitive combinations diffuse well.
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    return h;
+}
+
+/// Order-insensitive combination (for multisets): sums of mixed values.
+std::uint64_t hash_multiset_add(std::uint64_t acc, std::uint64_t v) noexcept {
+    v *= 0xc4ceb9fe1a85ec53ULL;
+    v ^= v >> 29;
+    v *= 0xff51afd7ed558ccdULL;
+    return acc + v;
+}
+
+/// Quantized probability class. The paper rounds failure probabilities to 4
+/// decimals (§4.1), and treats same-type components with "very different"
+/// probabilities as different types (§3.3.1); quantizing the *reduced*
+/// chain probability at the same 1e-4 granularity implements both.
+std::uint64_t probability_class(double p) noexcept {
+    return static_cast<std::uint64_t>(std::llround(p * 10000.0));
+}
+
+}  // namespace
+
+symmetry_checker::symmetry_checker(const built_topology& topo,
+                                   const component_registry& registry,
+                                   const fault_tree_forest* forest,
+                                   const link_attachment* links)
+    : topo_(&topo), registry_(&registry), forest_(forest), links_(links) {
+    if (forest_ == nullptr) {
+        return;
+    }
+    // Invert the dependency relation once: for every fabric component with
+    // a fault tree, fold its (kind, probability-class) into the context of
+    // each dependency it relies on.
+    dependency_context_.assign(registry.size(), 0);
+    for (component_id owner = 0; owner < registry.size(); ++owner) {
+        const tree_node_id root = forest_->root_of(owner);
+        if (root == invalid_tree_node) {
+            continue;
+        }
+        const std::uint64_t owner_class =
+            hash_combine(static_cast<std::uint64_t>(registry.kind(owner)) + 1,
+                         probability_class(registry.probability(owner)));
+        for (const component_id dep : forest_->dependencies_of(owner)) {
+            if (dep < dependency_context_.size()) {
+                dependency_context_[dep] =
+                    hash_multiset_add(dependency_context_[dep], owner_class);
+            }
+        }
+    }
+}
+
+std::uint64_t symmetry_checker::dependency_class(component_id dep) const {
+    const std::uint64_t context =
+        dep < dependency_context_.size() ? dependency_context_[dep] : 0;
+    return hash_combine(probability_class(registry_->probability(dep)), context);
+}
+
+std::vector<component_id> symmetry_checker::chain_dependencies(
+    node_id host) const {
+    std::vector<component_id> deps;
+    if (forest_ == nullptr) {
+        return deps;
+    }
+    const node_id rack = rack_of(topo_->graph, host);
+    deps = forest_->dependencies_of(host);
+    const auto rack_deps = forest_->dependencies_of(rack);
+    deps.insert(deps.end(), rack_deps.begin(), rack_deps.end());
+    std::sort(deps.begin(), deps.end());
+    deps.erase(std::unique(deps.begin(), deps.end()), deps.end());
+    return deps;
+}
+
+std::uint64_t symmetry_checker::host_feature(node_id host) const {
+    // Network transformation, series reduction: the instance's dedicated
+    // chain — the host, its rack switch, and the DEDUPLICATED union of both
+    // fault-tree dependency sets — is in series for reachability, so it
+    // reduces to a single component with failure probability
+    // 1 - prod(1 - p_i). Deduplication matters: a supply feeding both the
+    // host group and its rack appears once, and two such positions are NOT
+    // equivalent to positions with two distinct supplies of the same class.
+    // (Dependencies are treated as OR leaves here; AND/k-of-n redundancy
+    // subtrees are approximated the same way for every position, so
+    // like-for-like comparisons remain consistent.)
+    const node_id rack = rack_of(topo_->graph, host);
+    double survive = (1.0 - registry_->probability(host)) *
+                     (1.0 - registry_->probability(rack));
+    if (links_ != nullptr) {
+        // The host's access link is part of the series chain.
+        const component_id uplink =
+            links_->component_of_edge[topo_->graph.edge_id(host, rack)];
+        if (uplink != invalid_node) {
+            survive *= 1.0 - registry_->probability(uplink);
+        }
+    }
+    std::uint64_t dep_classes = 0;
+    for (const component_id dep : chain_dependencies(host)) {
+        survive *= 1.0 - registry_->probability(dep);
+        // Context-qualified classes: a chain leaning on a supply that also
+        // feeds the border path is not equivalent to one leaning on a
+        // spine-only supply, even at equal probability.
+        dep_classes = hash_multiset_add(dep_classes, dependency_class(dep));
+    }
+    const double chain_failure = 1.0 - survive;
+    std::uint64_t h = hash_combine(1, probability_class(chain_failure));
+    h = hash_combine(h, dep_classes);
+
+    // Parallel reduction of the rack's upstream layer: the aggregation
+    // switches above the rack are parallel paths, so the layer collapses to
+    // prod(p_i) — which quantizes to 0 in any redundantly-built fabric.
+    // Only a pathologically degraded upstream survives the quantization and
+    // differentiates positions.
+    double upstream_failure = 1.0;
+    bool has_upstream = false;
+    for (const node_id next : topo_->graph.neighbors(rack)) {
+        if (is_switch(topo_->graph.kind(next))) {
+            upstream_failure *= registry_->probability(next);
+            has_upstream = true;
+        }
+    }
+    h = hash_combine(h,
+                     probability_class(has_upstream ? upstream_failure : 0.0));
+    return h;
+}
+
+std::uint64_t symmetry_checker::signature(const deployment_plan& plan) const {
+    const std::size_t n = plan.hosts.size();
+
+    std::vector<std::uint64_t> features;
+    features.reserve(n);
+    for (const node_id host : plan.hosts) {
+        features.push_back(host_feature(host));
+    }
+
+    // Instance multiset (which positions are occupied, up to symmetry).
+    std::uint64_t instance_part = 0;
+    for (const std::uint64_t f : features) {
+        instance_part = hash_multiset_add(instance_part, f);
+    }
+
+    // Pairwise co-location relations. Each pair contributes a record built
+    // from the two features (order-normalized) and the relation bits.
+    std::uint64_t pair_part = 0;
+    std::vector<node_id> racks(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        racks[i] = rack_of(topo_->graph, plan.hosts[i]);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i + 1; j < n; ++j) {
+            std::uint64_t rel = 0;
+            if (racks[i] == racks[j]) {
+                rel |= 1;  // same rack
+            } else {
+                // Overlapping 2-hop switch neighborhood = same pod in a
+                // fat-tree (their racks uplink to a common switch).
+                for (const node_id up : topo_->graph.neighbors(racks[i])) {
+                    if (!is_switch(topo_->graph.kind(up))) {
+                        continue;
+                    }
+                    if (topo_->graph.has_edge(up, racks[j])) {
+                        rel |= 2;
+                        break;
+                    }
+                }
+            }
+            std::uint64_t shared_deps_hash = 0;
+            if (forest_ != nullptr) {
+                // The correlated-failure structure of the pair is the
+                // multiset of probability classes of the dependencies the
+                // two chains SHARE — regardless of where in the chain the
+                // sharing occurs (host-group supply vs rack supply): any
+                // shared component's failure kills both instances.
+                const auto deps_i = chain_dependencies(plan.hosts[i]);
+                const auto deps_j = chain_dependencies(plan.hosts[j]);
+                std::vector<component_id> shared;
+                std::set_intersection(deps_i.begin(), deps_i.end(),
+                                      deps_j.begin(), deps_j.end(),
+                                      std::back_inserter(shared));
+                for (const component_id dep : shared) {
+                    shared_deps_hash =
+                        hash_multiset_add(shared_deps_hash, dependency_class(dep));
+                }
+            }
+            const std::uint64_t lo = std::min(features[i], features[j]);
+            const std::uint64_t hi = std::max(features[i], features[j]);
+            pair_part = hash_multiset_add(
+                pair_part, hash_combine(hash_combine(hash_combine(lo, hi), rel),
+                                        shared_deps_hash));
+        }
+    }
+    return hash_combine(instance_part, pair_part);
+}
+
+}  // namespace recloud

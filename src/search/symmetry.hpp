@@ -1,0 +1,89 @@
+// Network-transformation equivalence check (paper §3.3.1, Step 3).
+//
+// Data centers are designed with heavy network symmetry; two deployment
+// plans that map onto structurally-equivalent positions (with matching
+// failure-probability classes and shared-dependency patterns) have the same
+// reliability, so assessing both wastes time. The paper applies network
+// transformations [Plotkin et al., POPL'16] to simplify the two plans'
+// networks and compare them.
+//
+// This implementation canonicalizes the *deployment-relevant subnetwork*
+// by applying the two classic reductions and hashing the result:
+//   * SERIES reduction per instance: the host, its rack switch, and both of
+//     their fault-tree dependency subtrees (each collapsed to a single
+//     equivalent probability via fault_tree_forest::failure_probability)
+//     form a series chain, reduced to one component with failure
+//     probability 1 - prod(1 - p_i), quantized at the paper's 4-decimal
+//     rounding granularity;
+//   * PARALLEL reduction of the rack's upstream switch layer: redundant
+//     aggregation paths collapse to prod(p_i), which quantizes to zero in
+//     any redundantly-built fabric — making structurally equivalent pods
+//     compare equal, exactly the symmetry the paper exploits;
+//   * per instance pair: co-location relations — same rack, overlapping
+//     2-hop switch neighborhood (same pod in a fat-tree) — plus the
+//     multiset of probability classes of the fault-tree dependencies the
+//     two chains share (a shared supply correlates the pair identically
+//     whether it feeds a host group or a rack switch).
+// Anything above the 2-hop horizon (core layer, border switches) is shared
+// by every plan and cancels out of the comparison.
+//
+// Probability quantization follows §3.3.1: "if components of the same type
+// fail with very different probabilities, they are logically treated as of
+// different types" — but thanks to the series reduction, chains whose
+// *combined* failure probability agrees to 4 decimals are equivalent even
+// if the individual summands permute.
+//
+// The signature is a hash, so equivalence checking is approximate in the
+// strict sense; a collision between *inequivalent* plans requires a 64-bit
+// hash collision and merely skips one candidate, never corrupts a result.
+#pragma once
+
+#include <cstdint>
+
+#include "app/deployment.hpp"
+#include "faults/component_registry.hpp"
+#include "faults/fault_tree.hpp"
+#include "topology/graph.hpp"
+#include "topology/links.hpp"
+
+namespace recloud {
+
+class symmetry_checker {
+public:
+    /// `forest` may be nullptr (no dependency information); `links` may be
+    /// nullptr (links infallible). When links are modeled, the host's
+    /// access link joins its series chain.
+    symmetry_checker(const built_topology& topo, const component_registry& registry,
+                     const fault_tree_forest* forest,
+                     const link_attachment* links = nullptr);
+
+    /// Canonical signature of the plan's deployment-relevant subnetwork.
+    [[nodiscard]] std::uint64_t signature(const deployment_plan& plan) const;
+
+    /// Whether two plans are equivalent w.r.t. network symmetry and
+    /// failure-probability classes.
+    [[nodiscard]] bool equivalent(const deployment_plan& a,
+                                  const deployment_plan& b) const {
+        return signature(a) == signature(b);
+    }
+
+private:
+    [[nodiscard]] std::uint64_t host_feature(node_id host) const;
+    /// Deduplicated union of the host's and its rack's fault-tree
+    /// dependencies — the shared-failure surface of the instance's chain.
+    [[nodiscard]] std::vector<component_id> chain_dependencies(node_id host) const;
+    /// Class of a dependency: its probability class combined with its
+    /// *context* — the multiset of (kind, probability class) of everything
+    /// in the fabric that depends on it. A supply feeding a border leaf is
+    /// NOT interchangeable with one feeding only spines: its failure
+    /// correlates an instance's chain with the external path differently.
+    [[nodiscard]] std::uint64_t dependency_class(component_id dep) const;
+
+    const built_topology* topo_;
+    const component_registry* registry_;
+    const fault_tree_forest* forest_;
+    const link_attachment* links_;
+    std::vector<std::uint64_t> dependency_context_;  ///< per component id
+};
+
+}  // namespace recloud

@@ -1,0 +1,30 @@
+#include "search/workload.hpp"
+
+#include "util/stats.hpp"
+
+namespace recloud {
+
+workload_map::workload_map(const built_topology& topo, rng& random,
+                           const workload_model_options& options)
+    : topo_(&topo), options_(options), load_(topo.graph.node_count(), 0.0) {
+    refresh(random);
+}
+
+void workload_map::refresh(rng& random) {
+    for (const node_id host : topo_->hosts) {
+        load_[host] = clamp(random.normal(options_.mean, options_.stddev), 0.0, 1.0);
+    }
+}
+
+double workload_map::average(std::span<const node_id> hosts) const {
+    if (hosts.empty()) {
+        return 0.0;
+    }
+    double sum = 0.0;
+    for (const node_id host : hosts) {
+        sum += load_.at(host);
+    }
+    return sum / static_cast<double>(hosts.size());
+}
+
+}  // namespace recloud

@@ -1,0 +1,44 @@
+// Host workload model (paper §4.2.2): data-center resource utilization is
+// typically low, so each host's workload over [0,1] is drawn from
+// N(0.2, 0.05). The common-practice baseline selects least-loaded hosts and
+// the multi-objective search converts average workload into a utility score.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "topology/graph.hpp"
+#include "util/rng.hpp"
+
+namespace recloud {
+
+struct workload_model_options {
+    double mean = 0.2;
+    double stddev = 0.05;
+};
+
+/// Per-host workload map. Indexed by *position in the topology's host list*
+/// would be error-prone; instead it is indexed densely by node id (non-host
+/// ids carry 0).
+class workload_map {
+public:
+    workload_map(const built_topology& topo, rng& random,
+                 const workload_model_options& options = {});
+
+    [[nodiscard]] double of(node_id host) const { return load_.at(host); }
+
+    /// Average workload across the plan's hosts.
+    [[nodiscard]] double average(std::span<const node_id> hosts) const;
+
+    /// Re-draws every host's workload — models "varying conditions collected
+    /// at (near) real-time" that reCloud adapts to (§3.3.3, §4.2.2).
+    void refresh(rng& random);
+
+private:
+    const built_topology* topo_;
+    workload_model_options options_;
+    std::vector<double> load_;
+};
+
+}  // namespace recloud

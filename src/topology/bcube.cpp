@@ -1,0 +1,88 @@
+#include "topology/bcube.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace recloud {
+namespace {
+
+std::uint64_t int_pow(std::uint64_t base, int exponent) {
+    std::uint64_t result = 1;
+    for (int i = 0; i < exponent; ++i) {
+        result *= base;
+    }
+    return result;
+}
+
+}  // namespace
+
+built_topology build_bcube(const bcube_params& params) {
+    if (params.ports < 2 || params.levels < 0) {
+        throw std::invalid_argument{"build_bcube: need ports >= 2, levels >= 0"};
+    }
+    const auto n = static_cast<std::uint64_t>(params.ports);
+    const int k = params.levels;
+    const std::uint64_t servers = int_pow(n, k + 1);
+    const std::uint64_t switches_per_level = int_pow(n, k);
+    if (servers > 2'000'000) {
+        throw std::invalid_argument{"build_bcube: topology too large"};
+    }
+    if (params.border_switches < 1 ||
+        static_cast<std::uint64_t>(params.border_switches) > switches_per_level) {
+        throw std::invalid_argument{
+            "build_bcube: border_switches must be in [1, n^k]"};
+    }
+
+    built_topology topo;
+    network_graph& graph = topo.graph;
+
+    std::vector<node_id> server_ids;
+    server_ids.reserve(servers);
+    for (std::uint64_t s = 0; s < servers; ++s) {
+        const node_id id = graph.add_node(node_kind::host);
+        server_ids.push_back(id);
+        topo.hosts.push_back(id);
+    }
+    // Switch (l, m): level l in [0, k], index m in [0, n^k). The top level's
+    // first `border_switches` switches peer with the external node.
+    std::vector<std::vector<node_id>> switch_ids(k + 1);
+    for (int l = 0; l <= k; ++l) {
+        switch_ids[l].reserve(switches_per_level);
+        for (std::uint64_t m = 0; m < switches_per_level; ++m) {
+            const bool is_border =
+                l == k && m < static_cast<std::uint64_t>(params.border_switches);
+            const node_id id = graph.add_node(is_border ? node_kind::border_switch
+                                                        : node_kind::edge_switch);
+            switch_ids[l].push_back(id);
+            if (is_border) {
+                topo.border_switches.push_back(id);
+            }
+        }
+    }
+    topo.external = graph.add_node(node_kind::external);
+
+    // Wiring: switch (l, m) connects the n servers obtained by inserting
+    // each digit d at position l of m's digit string.
+    for (int l = 0; l <= k; ++l) {
+        const std::uint64_t low_mod = int_pow(n, l);
+        for (std::uint64_t m = 0; m < switches_per_level; ++m) {
+            const std::uint64_t low = m % low_mod;
+            const std::uint64_t high = m / low_mod;
+            for (std::uint64_t d = 0; d < n; ++d) {
+                const std::uint64_t server =
+                    high * low_mod * n + d * low_mod + low;
+                graph.add_edge(switch_ids[l][m], server_ids[server]);
+            }
+        }
+    }
+    for (const node_id border : topo.border_switches) {
+        graph.add_edge(border, topo.external);
+    }
+    graph.freeze();
+    topo.name = "bcube(n=" + std::to_string(params.ports) +
+                ",k=" + std::to_string(k) + ")";
+    return topo;
+}
+
+}  // namespace recloud

@@ -1,0 +1,30 @@
+// BCube topology (Guo et al., SIGCOMM'09): the server-centric architecture
+// for modular data centers. Servers have k+1 ports and participate in
+// packet forwarding; level-l switches connect servers that agree on every
+// address digit except digit l.
+//
+// BCube(n, k) has n^(k+1) servers and (k+1) * n^k switches. Server
+// addresses are k+1 digits base n; server s attaches at level l to the
+// switch whose index is s with digit l removed.
+//
+// reCloud runs on BCube through the generic BFS oracle, which naturally
+// models server-relayed paths: an alive server forwards traffic, so a
+// deployment can stay border-reachable through *other servers* even when
+// all of a rack's switches are down — reachability semantics no
+// switch-centric topology exhibits. External connectivity: a configurable
+// number of top-level switches peer with the external node.
+#pragma once
+
+#include "topology/graph.hpp"
+
+namespace recloud {
+
+struct bcube_params {
+    int ports = 4;   ///< n: switch port count and digits' base
+    int levels = 1;  ///< k: highest level; k+1 switch layers in total
+    int border_switches = 2;  ///< top-level switches peering externally
+};
+
+[[nodiscard]] built_topology build_bcube(const bcube_params& params);
+
+}  // namespace recloud

@@ -1,0 +1,58 @@
+#include "topology/dcell.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace recloud {
+
+built_topology build_dcell(const dcell_params& params) {
+    const int n = params.servers_per_cell;
+    if (n < 2) {
+        throw std::invalid_argument{"build_dcell: need >= 2 servers per cell"};
+    }
+    const int cells = n + 1;
+    if (params.border_cells < 1 || params.border_cells > cells) {
+        throw std::invalid_argument{
+            "build_dcell: border_cells must be in [1, n+1]"};
+    }
+
+    built_topology topo;
+    network_graph& graph = topo.graph;
+
+    // servers[c][s] and one switch per cell.
+    std::vector<std::vector<node_id>> servers(cells);
+    std::vector<node_id> switches(cells);
+    for (int c = 0; c < cells; ++c) {
+        const bool border = c < params.border_cells;
+        switches[c] = graph.add_node(border ? node_kind::border_switch
+                                            : node_kind::edge_switch);
+        if (border) {
+            topo.border_switches.push_back(switches[c]);
+        }
+        servers[c].reserve(n);
+        for (int s = 0; s < n; ++s) {
+            const node_id id = graph.add_node(node_kind::host);
+            servers[c].push_back(id);
+            topo.hosts.push_back(id);
+            graph.add_edge(switches[c], id);
+        }
+    }
+    topo.external = graph.add_node(node_kind::external);
+
+    // Level-1 interconnection: cells i < j joined by servers (i, j-1) and
+    // (j, i).
+    for (int i = 0; i < cells; ++i) {
+        for (int j = i + 1; j < cells; ++j) {
+            graph.add_edge(servers[i][j - 1], servers[j][i]);
+        }
+    }
+    for (const node_id border : topo.border_switches) {
+        graph.add_edge(border, topo.external);
+    }
+    graph.freeze();
+    topo.name = "dcell(n=" + std::to_string(n) + ",k=1)";
+    return topo;
+}
+
+}  // namespace recloud

@@ -1,0 +1,26 @@
+// DCell topology (Guo et al., SIGCOMM'08) — level-1 construction.
+//
+// DCell_0 is n servers on one mini-switch. DCell_1 combines n+1 DCell_0
+// cells and fully interconnects them with ONE direct server-to-server link
+// per cell pair: for every pair of cells i < j, server j-1 of cell i links
+// to server i of cell j. Every server therefore has exactly two ports: its
+// cell switch and one inter-cell link — and the fabric keeps working when
+// switches die, by relaying through servers (the paper's fault-tolerance
+// pitch).
+//
+// External connectivity: the first `border_cells` cells' switches peer with
+// the external node (and carry the border kind).
+#pragma once
+
+#include "topology/graph.hpp"
+
+namespace recloud {
+
+struct dcell_params {
+    int servers_per_cell = 4;  ///< n; the construction yields n+1 cells
+    int border_cells = 1;
+};
+
+[[nodiscard]] built_topology build_dcell(const dcell_params& params);
+
+}  // namespace recloud

@@ -1,0 +1,158 @@
+#include "topology/graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace recloud {
+
+const char* to_string(node_kind kind) noexcept {
+    switch (kind) {
+        case node_kind::host: return "host";
+        case node_kind::edge_switch: return "edge_switch";
+        case node_kind::aggregation_switch: return "aggregation_switch";
+        case node_kind::core_switch: return "core_switch";
+        case node_kind::border_switch: return "border_switch";
+        case node_kind::external: return "external";
+    }
+    return "unknown";
+}
+
+node_id network_graph::add_node(node_kind kind) {
+    if (frozen_) {
+        throw std::logic_error{"network_graph: add_node after freeze"};
+    }
+    kinds_.push_back(kind);
+    return static_cast<node_id>(kinds_.size() - 1);
+}
+
+void network_graph::add_edge(node_id a, node_id b) {
+    if (frozen_) {
+        throw std::logic_error{"network_graph: add_edge after freeze"};
+    }
+    if (a >= kinds_.size() || b >= kinds_.size()) {
+        throw std::out_of_range{"network_graph: edge endpoint does not exist"};
+    }
+    if (a == b) {
+        throw std::invalid_argument{"network_graph: self-loops are not allowed"};
+    }
+    edge_pairs_.push_back(a);
+    edge_pairs_.push_back(b);
+}
+
+void network_graph::freeze() {
+    if (frozen_) {
+        throw std::logic_error{"network_graph: freeze called twice"};
+    }
+    const std::size_t n = kinds_.size();
+    std::vector<std::uint32_t> degrees(n, 0);
+    for (node_id endpoint : edge_pairs_) {
+        ++degrees[endpoint];
+    }
+    csr_offsets_.assign(n + 1, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+        csr_offsets_[i + 1] = csr_offsets_[i] + degrees[i];
+    }
+    csr_neighbors_.assign(edge_pairs_.size(), invalid_node);
+    csr_edge_ids_.assign(edge_pairs_.size(), 0);
+    std::vector<std::uint32_t> cursor(csr_offsets_.begin(), csr_offsets_.end() - 1);
+    for (std::size_t e = 0; e + 1 < edge_pairs_.size(); e += 2) {
+        const node_id a = edge_pairs_[e];
+        const node_id b = edge_pairs_[e + 1];
+        const auto edge = static_cast<std::uint32_t>(e / 2);
+        csr_edge_ids_[cursor[a]] = edge;
+        csr_neighbors_[cursor[a]++] = b;
+        csr_edge_ids_[cursor[b]] = edge;
+        csr_neighbors_[cursor[b]++] = a;
+    }
+    frozen_ = true;
+}
+
+std::span<const std::uint32_t> network_graph::incident_edges(node_id id) const {
+    if (!frozen_) {
+        throw std::logic_error{"network_graph: incident_edges before freeze"};
+    }
+    if (id >= kinds_.size()) {
+        throw std::out_of_range{"network_graph: bad node id"};
+    }
+    return {csr_edge_ids_.data() + csr_offsets_[id],
+            csr_edge_ids_.data() + csr_offsets_[id + 1]};
+}
+
+std::uint32_t network_graph::edge_id(node_id a, node_id b) const {
+    const auto na = neighbors(a);
+    const auto nb = neighbors(b);
+    const node_id from = na.size() <= nb.size() ? a : b;
+    const node_id target = na.size() <= nb.size() ? b : a;
+    const auto from_neighbors = neighbors(from);
+    const auto from_edges = incident_edges(from);
+    for (std::size_t i = 0; i < from_neighbors.size(); ++i) {
+        if (from_neighbors[i] == target) {
+            return from_edges[i];
+        }
+    }
+    throw std::invalid_argument{"network_graph: no such edge"};
+}
+
+std::pair<node_id, node_id> network_graph::edge_endpoints(
+    std::uint32_t edge) const {
+    if (!frozen_) {
+        throw std::logic_error{"network_graph: edge_endpoints before freeze"};
+    }
+    if (static_cast<std::size_t>(edge) * 2 + 1 >= edge_pairs_.size()) {
+        throw std::out_of_range{"network_graph: bad edge id"};
+    }
+    return {edge_pairs_[edge * 2], edge_pairs_[edge * 2 + 1]};
+}
+
+std::span<const node_id> network_graph::neighbors(node_id id) const {
+    if (!frozen_) {
+        throw std::logic_error{"network_graph: neighbors before freeze"};
+    }
+    if (id >= kinds_.size()) {
+        throw std::out_of_range{"network_graph: bad node id"};
+    }
+    return {csr_neighbors_.data() + csr_offsets_[id],
+            csr_neighbors_.data() + csr_offsets_[id + 1]};
+}
+
+std::size_t network_graph::degree(node_id id) const {
+    return neighbors(id).size();
+}
+
+std::vector<node_id> network_graph::nodes_of_kind(node_kind kind) const {
+    std::vector<node_id> result;
+    for (node_id id = 0; id < kinds_.size(); ++id) {
+        if (kinds_[id] == kind) {
+            result.push_back(id);
+        }
+    }
+    return result;
+}
+
+std::size_t network_graph::count_of_kind(node_kind kind) const noexcept {
+    return static_cast<std::size_t>(
+        std::count(kinds_.begin(), kinds_.end(), kind));
+}
+
+node_id rack_of(const network_graph& graph, node_id host) {
+    node_id rack = invalid_node;
+    for (const node_id neighbor : graph.neighbors(host)) {
+        if (is_switch(graph.kind(neighbor)) && neighbor < rack) {
+            rack = neighbor;
+        }
+    }
+    if (rack == invalid_node) {
+        throw std::invalid_argument{"rack_of: host has no switch neighbor"};
+    }
+    return rack;
+}
+
+bool network_graph::has_edge(node_id a, node_id b) const {
+    const auto na = neighbors(a);
+    const auto nb = neighbors(b);
+    const auto& smaller = na.size() <= nb.size() ? na : nb;
+    const node_id target = na.size() <= nb.size() ? b : a;
+    return std::find(smaller.begin(), smaller.end(), target) != smaller.end();
+}
+
+}  // namespace recloud

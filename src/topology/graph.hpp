@@ -1,0 +1,119 @@
+// Generic data-center network graph.
+//
+// Nodes are infrastructure components that participate in routing (hosts,
+// switches, and one synthetic "external" node modeling the Internet side of
+// the border switches). Node ids double as component ids in the fault model:
+// the component registry reserves the first graph.node_count() ids for graph
+// nodes, and appends non-routing dependency components (power supplies,
+// software, ...) after them.
+//
+// The graph is built by add_node/add_edge and then frozen into a CSR
+// adjacency layout for cache-friendly traversal.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace recloud {
+
+/// Component / node identifier. Valid ids are dense, starting at 0.
+using node_id = std::uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr node_id invalid_node = static_cast<node_id>(-1);
+
+/// Role of a node in the data-center network.
+enum class node_kind : std::uint8_t {
+    host,
+    edge_switch,         ///< top-of-rack switch
+    aggregation_switch,  ///< pod-level aggregation switch
+    core_switch,
+    border_switch,  ///< peers with external entities (paper §3.1)
+    external,       ///< synthetic node standing for the Internet
+};
+
+[[nodiscard]] const char* to_string(node_kind kind) noexcept;
+
+/// Returns true for any switch kind (edge/aggregation/core/border).
+[[nodiscard]] constexpr bool is_switch(node_kind kind) noexcept {
+    return kind == node_kind::edge_switch || kind == node_kind::aggregation_switch ||
+           kind == node_kind::core_switch || kind == node_kind::border_switch;
+}
+
+/// Undirected multigraph over typed nodes with CSR adjacency.
+class network_graph {
+public:
+    /// Adds a node and returns its id. Only valid before freeze().
+    node_id add_node(node_kind kind);
+
+    /// Adds an undirected edge. Only valid before freeze(); both endpoints
+    /// must already exist. Self-loops are rejected.
+    void add_edge(node_id a, node_id b);
+
+    /// Builds the CSR adjacency. Must be called exactly once, after which
+    /// the graph is immutable.
+    void freeze();
+
+    [[nodiscard]] bool frozen() const noexcept { return frozen_; }
+    [[nodiscard]] std::size_t node_count() const noexcept { return kinds_.size(); }
+    [[nodiscard]] std::size_t edge_count() const noexcept { return edge_pairs_.size() / 2; }
+
+    [[nodiscard]] node_kind kind(node_id id) const { return kinds_.at(id); }
+
+    /// Neighbors of a node; requires freeze().
+    [[nodiscard]] std::span<const node_id> neighbors(node_id id) const;
+
+    /// Edge ids incident to a node, parallel to neighbors(): the i-th entry
+    /// is the id of the edge to the i-th neighbor. Edge ids are dense in
+    /// [0, edge_count()). Requires freeze().
+    [[nodiscard]] std::span<const std::uint32_t> incident_edges(node_id id) const;
+
+    /// Id of the edge {a, b}; throws std::invalid_argument if absent.
+    /// Requires freeze(). O(min degree).
+    [[nodiscard]] std::uint32_t edge_id(node_id a, node_id b) const;
+
+    /// Endpoints of an edge id (in insertion order). Requires freeze().
+    [[nodiscard]] std::pair<node_id, node_id> edge_endpoints(std::uint32_t edge) const;
+
+    /// Degree of a node; requires freeze().
+    [[nodiscard]] std::size_t degree(node_id id) const;
+
+    /// All nodes of the given kind, in id order.
+    [[nodiscard]] std::vector<node_id> nodes_of_kind(node_kind kind) const;
+
+    /// Number of nodes of the given kind.
+    [[nodiscard]] std::size_t count_of_kind(node_kind kind) const noexcept;
+
+    /// True if an edge {a, b} exists; requires freeze(). O(min degree).
+    [[nodiscard]] bool has_edge(node_id a, node_id b) const;
+
+private:
+    std::vector<node_kind> kinds_;
+    std::vector<node_id> edge_pairs_;  ///< flat [a0,b0,a1,b1,...]; kept after
+                                       ///< freeze for edge_endpoints()
+    std::vector<std::uint32_t> csr_offsets_;
+    std::vector<node_id> csr_neighbors_;
+    std::vector<std::uint32_t> csr_edge_ids_;  ///< parallel to csr_neighbors_
+    bool frozen_ = false;
+};
+
+/// The switch a host directly hangs off (its "rack" / top-of-rack switch for
+/// anti-affinity purposes). If the host is multi-homed the lowest-id switch
+/// is returned; throws if `host` has no switch neighbor.
+[[nodiscard]] node_id rack_of(const network_graph& graph, node_id host);
+
+/// A built topology, independent of the concrete architecture: the graph
+/// plus the index lists every consumer needs (deployable hosts, border
+/// switches, the external node).
+struct built_topology {
+    network_graph graph;
+    std::vector<node_id> hosts;
+    std::vector<node_id> border_switches;
+    node_id external = invalid_node;
+    std::string name;
+};
+
+}  // namespace recloud

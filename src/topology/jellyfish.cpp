@@ -1,0 +1,112 @@
+#include "topology/jellyfish.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "util/rng.hpp"
+
+namespace recloud {
+namespace {
+
+/// Generates a random r-regular simple graph over n vertices using the
+/// pairing model with edge-swap repair for duplicates/self-loops.
+std::set<std::pair<int, int>> random_regular_edges(int n, int r, rng& random) {
+    std::vector<int> stubs;
+    stubs.reserve(static_cast<std::size_t>(n) * r);
+    for (int v = 0; v < n; ++v) {
+        for (int i = 0; i < r; ++i) {
+            stubs.push_back(v);
+        }
+    }
+    const auto shuffle_stubs = [&] {
+        for (std::size_t i = stubs.size(); i > 1; --i) {
+            std::swap(stubs[i - 1], stubs[random.uniform_below(i)]);
+        }
+    };
+
+    std::set<std::pair<int, int>> edges;
+    for (int attempt = 0; attempt < 200; ++attempt) {
+        edges.clear();
+        shuffle_stubs();
+        bool ok = true;
+        for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+            int a = stubs[i];
+            int b = stubs[i + 1];
+            if (a == b) {
+                ok = false;
+                break;
+            }
+            if (a > b) {
+                std::swap(a, b);
+            }
+            if (!edges.emplace(a, b).second) {
+                ok = false;  // duplicate edge
+                break;
+            }
+        }
+        if (ok) {
+            return edges;
+        }
+    }
+    throw std::runtime_error{
+        "build_jellyfish: failed to generate a random regular graph; "
+        "parameters too tight (try lower degree or more switches)"};
+}
+
+}  // namespace
+
+built_topology build_jellyfish(const jellyfish_params& params) {
+    if (params.switches < 2 || params.degree < 1 ||
+        params.degree >= params.switches || params.hosts_per_switch < 0) {
+        throw std::invalid_argument{"build_jellyfish: invalid parameters"};
+    }
+    if ((params.switches * params.degree) % 2 != 0) {
+        throw std::invalid_argument{
+            "build_jellyfish: switches * degree must be even"};
+    }
+    if (params.border_switches < 1 || params.border_switches > params.switches) {
+        throw std::invalid_argument{
+            "build_jellyfish: border_switches must be in [1, switches]"};
+    }
+
+    rng random{params.seed};
+    const auto edges = random_regular_edges(params.switches, params.degree, random);
+
+    built_topology topo;
+    network_graph& graph = topo.graph;
+    std::vector<node_id> switches;
+    switches.reserve(params.switches);
+    for (int s = 0; s < params.switches; ++s) {
+        const bool is_border = s < params.border_switches;
+        const node_id id = graph.add_node(is_border ? node_kind::border_switch
+                                                    : node_kind::edge_switch);
+        switches.push_back(id);
+        if (is_border) {
+            topo.border_switches.push_back(id);
+        }
+    }
+    topo.external = graph.add_node(node_kind::external);
+
+    for (const auto& [a, b] : edges) {
+        graph.add_edge(switches[a], switches[b]);
+    }
+    for (int s = 0; s < params.switches; ++s) {
+        for (int h = 0; h < params.hosts_per_switch; ++h) {
+            const node_id host = graph.add_node(node_kind::host);
+            graph.add_edge(switches[s], host);
+            topo.hosts.push_back(host);
+        }
+    }
+    for (node_id border : topo.border_switches) {
+        graph.add_edge(border, topo.external);
+    }
+    graph.freeze();
+    topo.name = "jellyfish(n=" + std::to_string(params.switches) +
+                ",r=" + std::to_string(params.degree) + ")";
+    return topo;
+}
+
+}  // namespace recloud

@@ -1,0 +1,27 @@
+// Jellyfish topology (Singla et al., NSDI'12): switches wired as a random
+// regular graph, hosts spread evenly across switches. Exercises reCloud on
+// a topology with no symmetry at all — the generic BFS routing oracle is the
+// only oracle that applies, and the network-transformation symmetry check
+// degenerates gracefully (no two plans are structurally equivalent).
+#pragma once
+
+#include <cstdint>
+
+#include "topology/graph.hpp"
+
+namespace recloud {
+
+struct jellyfish_params {
+    int switches = 20;
+    int degree = 4;  ///< switch-to-switch ports per switch
+    int hosts_per_switch = 4;
+    int border_switches = 2;
+    std::uint64_t seed = 1;  ///< wiring randomness
+};
+
+/// Builds a Jellyfish topology. The random regular graph is produced with
+/// the standard pairing-and-repair construction; with valid parameters
+/// (switches * degree even, degree < switches) it always terminates.
+[[nodiscard]] built_topology build_jellyfish(const jellyfish_params& params);
+
+}  // namespace recloud

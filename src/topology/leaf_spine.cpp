@@ -1,0 +1,53 @@
+#include "topology/leaf_spine.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace recloud {
+
+built_topology build_leaf_spine(const leaf_spine_params& params) {
+    if (params.spines < 1 || params.leaves < 1 || params.hosts_per_leaf < 1 ||
+        params.border_leaves < 1) {
+        throw std::invalid_argument{"build_leaf_spine: all counts must be >= 1"};
+    }
+    built_topology topo;
+    network_graph& graph = topo.graph;
+
+    std::vector<node_id> spines;
+    spines.reserve(params.spines);
+    for (int s = 0; s < params.spines; ++s) {
+        spines.push_back(graph.add_node(node_kind::core_switch));
+    }
+    std::vector<node_id> leaves;
+    leaves.reserve(params.leaves);
+    for (int l = 0; l < params.leaves; ++l) {
+        leaves.push_back(graph.add_node(node_kind::edge_switch));
+    }
+    for (int b = 0; b < params.border_leaves; ++b) {
+        topo.border_switches.push_back(graph.add_node(node_kind::border_switch));
+    }
+    topo.external = graph.add_node(node_kind::external);
+
+    for (node_id leaf : leaves) {
+        for (node_id spine : spines) {
+            graph.add_edge(leaf, spine);
+        }
+        for (int h = 0; h < params.hosts_per_leaf; ++h) {
+            const node_id host = graph.add_node(node_kind::host);
+            graph.add_edge(leaf, host);
+            topo.hosts.push_back(host);
+        }
+    }
+    for (node_id border : topo.border_switches) {
+        for (node_id spine : spines) {
+            graph.add_edge(border, spine);
+        }
+        graph.add_edge(border, topo.external);
+    }
+    graph.freeze();
+    topo.name = "leaf-spine(" + std::to_string(params.spines) + "x" +
+                std::to_string(params.leaves) + ")";
+    return topo;
+}
+
+}  // namespace recloud

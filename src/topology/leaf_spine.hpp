@@ -1,0 +1,25 @@
+// Two-tier leaf–spine topology.
+//
+// Every leaf (top-of-rack) switch connects to every spine switch; a
+// configurable number of border leaves peer with the external node through
+// all spines. reCloud's assessment is architecture-agnostic (paper §3.1,
+// §3.2): plugging in this builder plus the generic BFS routing oracle is all
+// it takes to run on a leaf–spine fabric.
+#pragma once
+
+#include "topology/graph.hpp"
+
+namespace recloud {
+
+struct leaf_spine_params {
+    int spines = 4;
+    int leaves = 8;
+    int hosts_per_leaf = 16;
+    int border_leaves = 2;  ///< leaf switches dedicated to external peering
+};
+
+/// Builds a leaf–spine topology. Border leaves carry no hosts; they connect
+/// to all spines and to the external node.
+[[nodiscard]] built_topology build_leaf_spine(const leaf_spine_params& params);
+
+}  // namespace recloud

@@ -1,0 +1,27 @@
+#include "topology/links.hpp"
+
+#include <string>
+
+namespace recloud {
+
+link_attachment attach_link_components(const built_topology& topo,
+                                       component_registry& registry,
+                                       const link_attachment_options& options) {
+    link_attachment attachment;
+    const std::size_t edges = topo.graph.edge_count();
+    attachment.component_of_edge.assign(edges, invalid_node);
+    for (std::uint32_t edge = 0; edge < edges; ++edge) {
+        const auto [a, b] = topo.graph.edge_endpoints(edge);
+        const bool is_peering = topo.graph.kind(a) == node_kind::external ||
+                                topo.graph.kind(b) == node_kind::external;
+        if (is_peering && options.skip_external_peering) {
+            continue;
+        }
+        attachment.component_of_edge[edge] = registry.add(
+            component_kind::network_link,
+            "link#" + std::to_string(a) + "-" + std::to_string(b));
+    }
+    return attachment;
+}
+
+}  // namespace recloud

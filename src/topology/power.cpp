@@ -1,0 +1,77 @@
+#include "topology/power.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace recloud {
+
+power_assignment attach_power_supplies(const built_topology& topo,
+                                       component_registry& registry,
+                                       fault_tree_forest& forest,
+                                       const power_attachment_options& options) {
+    if (options.supply_count == 0) {
+        throw std::invalid_argument{"attach_power_supplies: need >= 1 supply"};
+    }
+    if (options.redundancy == 0 || options.redundancy > options.supply_count) {
+        throw std::invalid_argument{
+            "attach_power_supplies: redundancy must be in [1, supply_count]"};
+    }
+
+    power_assignment assignment;
+    assignment.supplies.reserve(options.supply_count);
+    for (std::size_t i = 0; i < options.supply_count; ++i) {
+        assignment.supplies.push_back(registry.add(
+            component_kind::power_supply, "power_supply#" + std::to_string(i)));
+    }
+    assignment.supplies_of_node.resize(topo.graph.node_count());
+
+    std::size_t next = 0;  // round-robin cursor over supplies
+    const auto pick_supplies = [&] {
+        std::vector<component_id> picked;
+        picked.reserve(options.redundancy);
+        for (std::size_t r = 0; r < options.redundancy; ++r) {
+            picked.push_back(
+                assignment.supplies[(next + r) % options.supply_count]);
+        }
+        ++next;
+        return picked;
+    };
+    const auto attach_to = [&](node_id node, const std::vector<component_id>& supplies) {
+        assignment.supplies_of_node[node] = supplies;
+        if (supplies.size() == 1) {
+            forest.attach(node, forest.add_leaf(supplies.front()));
+        } else {
+            // Redundant supplies: the node loses power only if ALL of them
+            // fail (Figure 5's AND gate).
+            std::vector<tree_node_id> leaves;
+            leaves.reserve(supplies.size());
+            for (component_id s : supplies) {
+                leaves.push_back(forest.add_leaf(s));
+            }
+            forest.attach(node, forest.add_and(std::move(leaves)));
+        }
+    };
+
+    // Every switch gets a supply assignment, in node-id order.
+    for (node_id id = 0; id < topo.graph.node_count(); ++id) {
+        if (is_switch(topo.graph.kind(id))) {
+            attach_to(id, pick_supplies());
+        }
+    }
+    // The group of hosts under each edge switch shares one assignment: all
+    // hosts adjacent to that edge switch get the same supplies.
+    for (node_id id = 0; id < topo.graph.node_count(); ++id) {
+        if (topo.graph.kind(id) != node_kind::edge_switch) {
+            continue;
+        }
+        const auto group = pick_supplies();
+        for (node_id neighbor : topo.graph.neighbors(id)) {
+            if (topo.graph.kind(neighbor) == node_kind::host) {
+                attach_to(neighbor, group);
+            }
+        }
+    }
+    return assignment;
+}
+
+}  // namespace recloud

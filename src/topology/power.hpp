@@ -1,0 +1,44 @@
+// Power-supply attachment (paper §4.1).
+//
+// The evaluation adds P power supplies (default 5) per data center as shared
+// dependencies: each switch, and the *group of hosts under each edge switch*,
+// is assigned one supply in round-robin order "to maximize power diversity".
+// A failing supply takes down every component assigned to it — the textbook
+// correlated failure.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "faults/component_registry.hpp"
+#include "faults/fault_tree.hpp"
+#include "topology/graph.hpp"
+
+namespace recloud {
+
+struct power_attachment_options {
+    std::size_t supply_count = 5;
+    /// Number of redundant supplies per assignment. 1 reproduces the paper's
+    /// setting (a single supply feeds each switch / host group); >1 wires an
+    /// AND gate over distinct supplies (Figure 5's redundant-power case).
+    std::size_t redundancy = 1;
+};
+
+struct power_assignment {
+    /// Component ids of the created power supplies.
+    std::vector<component_id> supplies;
+    /// For each graph node: the supplies feeding it (empty for nodes without
+    /// power dependency, e.g. the external node). Host entries alias their
+    /// edge-switch group's supplies.
+    std::vector<std::vector<component_id>> supplies_of_node;
+};
+
+/// Creates the supplies in `registry` (probability left at 0 — assign with a
+/// probability model afterwards or before, see notes in core/recloud),
+/// assigns them round-robin, and attaches the corresponding fault trees in
+/// `forest`. `forest` must already cover the graph's nodes.
+[[nodiscard]] power_assignment attach_power_supplies(
+    const built_topology& topo, component_registry& registry,
+    fault_tree_forest& forest, const power_attachment_options& options = {});
+
+}  // namespace recloud

@@ -1,0 +1,17 @@
+#include "topology/stats.hpp"
+
+namespace recloud {
+
+topology_stats compute_topology_stats(const built_topology& topo) {
+    topology_stats s;
+    s.name = topo.name;
+    s.core_switches = topo.graph.count_of_kind(node_kind::core_switch);
+    s.aggregation_switches = topo.graph.count_of_kind(node_kind::aggregation_switch);
+    s.edge_switches = topo.graph.count_of_kind(node_kind::edge_switch);
+    s.border_switches = topo.graph.count_of_kind(node_kind::border_switch);
+    s.hosts = topo.graph.count_of_kind(node_kind::host);
+    s.links = topo.graph.edge_count();
+    return s;
+}
+
+}  // namespace recloud

@@ -1,0 +1,23 @@
+// Topology summary counters — the rows of the paper's Table 2.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "topology/graph.hpp"
+
+namespace recloud {
+
+struct topology_stats {
+    std::string name;
+    std::size_t core_switches = 0;
+    std::size_t aggregation_switches = 0;
+    std::size_t edge_switches = 0;
+    std::size_t border_switches = 0;
+    std::size_t hosts = 0;
+    std::size_t links = 0;  ///< undirected edges, including external peering
+};
+
+[[nodiscard]] topology_stats compute_topology_stats(const built_topology& topo);
+
+}  // namespace recloud

@@ -1,0 +1,68 @@
+#include "topology/vl2.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace recloud {
+
+built_topology build_vl2(const vl2_params& params) {
+    if (params.intermediates < 1 || params.aggregations < 2 || params.tors < 1 ||
+        params.hosts_per_tor < 1) {
+        throw std::invalid_argument{"build_vl2: invalid parameters"};
+    }
+    if (params.border_intermediates < 1 ||
+        params.border_intermediates > params.intermediates) {
+        throw std::invalid_argument{
+            "build_vl2: border_intermediates must be in [1, intermediates]"};
+    }
+    built_topology topo;
+    network_graph& graph = topo.graph;
+
+    // The first `border_intermediates` intermediates double as border
+    // switches (they get the border kind so probability models and
+    // route-and-check treat them as the external peering points).
+    std::vector<node_id> intermediates;
+    intermediates.reserve(params.intermediates);
+    for (int i = 0; i < params.intermediates; ++i) {
+        const bool is_border = i < params.border_intermediates;
+        const node_id id = graph.add_node(is_border ? node_kind::border_switch
+                                                    : node_kind::core_switch);
+        intermediates.push_back(id);
+        if (is_border) {
+            topo.border_switches.push_back(id);
+        }
+    }
+    std::vector<node_id> aggregations;
+    aggregations.reserve(params.aggregations);
+    for (int a = 0; a < params.aggregations; ++a) {
+        aggregations.push_back(graph.add_node(node_kind::aggregation_switch));
+    }
+    topo.external = graph.add_node(node_kind::external);
+
+    for (node_id agg : aggregations) {
+        for (node_id intermediate : intermediates) {
+            graph.add_edge(agg, intermediate);
+        }
+    }
+    for (int t = 0; t < params.tors; ++t) {
+        const node_id tor = graph.add_node(node_kind::edge_switch);
+        // Each ToR dual-homes to two aggregation switches (VL2's design).
+        graph.add_edge(tor, aggregations[(2 * t) % params.aggregations]);
+        graph.add_edge(tor, aggregations[(2 * t + 1) % params.aggregations]);
+        for (int h = 0; h < params.hosts_per_tor; ++h) {
+            const node_id host = graph.add_node(node_kind::host);
+            graph.add_edge(tor, host);
+            topo.hosts.push_back(host);
+        }
+    }
+    for (node_id border : topo.border_switches) {
+        graph.add_edge(border, topo.external);
+    }
+    graph.freeze();
+    topo.name = "vl2(" + std::to_string(params.intermediates) + "," +
+                std::to_string(params.aggregations) + "," +
+                std::to_string(params.tors) + ")";
+    return topo;
+}
+
+}  // namespace recloud

@@ -1,0 +1,24 @@
+// VL2-style Clos topology (Greenberg et al., SIGCOMM'09).
+//
+// Three switch tiers: intermediate (core), aggregation, and top-of-rack.
+// Intermediate and aggregation switches form a complete bipartite graph;
+// every ToR connects to two aggregation switches; hosts hang off ToRs. A
+// configurable number of intermediate switches also peer with the external
+// node (acting as border switches).
+#pragma once
+
+#include "topology/graph.hpp"
+
+namespace recloud {
+
+struct vl2_params {
+    int intermediates = 4;
+    int aggregations = 8;
+    int tors = 16;
+    int hosts_per_tor = 20;
+    int border_intermediates = 2;
+};
+
+[[nodiscard]] built_topology build_vl2(const vl2_params& params);
+
+}  // namespace recloud

@@ -1,0 +1,173 @@
+#include "util/config.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace recloud {
+namespace {
+
+std::string_view trim(std::string_view s) {
+    while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+        s.remove_prefix(1);
+    }
+    while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+        s.remove_suffix(1);
+    }
+    return s;
+}
+
+std::string lower(std::string_view s) {
+    std::string out{s};
+    std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+        return static_cast<char>(std::tolower(c));
+    });
+    return out;
+}
+
+/// Strips a trailing comment starting at an unquoted # or ;.
+std::string_view strip_comment(std::string_view line) {
+    const std::size_t pos = line.find_first_of("#;");
+    return pos == std::string_view::npos ? line : line.substr(0, pos);
+}
+
+}  // namespace
+
+config config::parse(std::string_view text) {
+    config result;
+    std::string section;
+    std::size_t line_number = 0;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        ++line_number;
+        const std::size_t end = text.find('\n', start);
+        std::string_view line = end == std::string_view::npos
+                                    ? text.substr(start)
+                                    : text.substr(start, end - start);
+        start = end == std::string_view::npos ? text.size() + 1 : end + 1;
+
+        line = trim(strip_comment(line));
+        if (line.empty()) {
+            continue;
+        }
+        if (line.front() == '[') {
+            if (line.back() != ']' || line.size() < 3) {
+                throw config_error{"config: malformed section at line " +
+                                   std::to_string(line_number)};
+            }
+            section = std::string{trim(line.substr(1, line.size() - 2))};
+            if (section.empty()) {
+                throw config_error{"config: empty section name at line " +
+                                   std::to_string(line_number)};
+            }
+            continue;
+        }
+        const std::size_t equals = line.find('=');
+        if (equals == std::string_view::npos) {
+            throw config_error{"config: expected key = value at line " +
+                               std::to_string(line_number)};
+        }
+        const std::string key{trim(line.substr(0, equals))};
+        const std::string value{trim(line.substr(equals + 1))};
+        if (key.empty()) {
+            throw config_error{"config: empty key at line " +
+                               std::to_string(line_number)};
+        }
+        const std::string full_key = section.empty() ? key : section + "." + key;
+        result.values_[full_key] = value;
+    }
+    return result;
+}
+
+config config::parse_file(const std::string& path) {
+    std::ifstream input{path};
+    if (!input) {
+        throw config_error{"config: cannot read " + path};
+    }
+    std::ostringstream buffer;
+    buffer << input.rdbuf();
+    return parse(buffer.str());
+}
+
+std::vector<std::string> config::keys() const {
+    std::vector<std::string> out;
+    out.reserve(values_.size());
+    for (const auto& [key, value] : values_) {
+        out.push_back(key);
+    }
+    return out;
+}
+
+std::string config::get_string(const std::string& key,
+                               const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t config::get_int(const std::string& key, std::int64_t fallback) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) {
+        return fallback;
+    }
+    try {
+        std::size_t consumed = 0;
+        const std::int64_t value = std::stoll(it->second, &consumed);
+        if (consumed != it->second.size()) {
+            throw std::invalid_argument{""};
+        }
+        return value;
+    } catch (const std::exception&) {
+        throw config_error{"config: '" + key + "' is not an integer: " +
+                           it->second};
+    }
+}
+
+double config::get_double(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) {
+        return fallback;
+    }
+    try {
+        std::size_t consumed = 0;
+        const double value = std::stod(it->second, &consumed);
+        if (consumed != it->second.size()) {
+            throw std::invalid_argument{""};
+        }
+        return value;
+    } catch (const std::exception&) {
+        throw config_error{"config: '" + key + "' is not a number: " + it->second};
+    }
+}
+
+bool config::get_bool(const std::string& key, bool fallback) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) {
+        return fallback;
+    }
+    const std::string v = lower(it->second);
+    if (v == "true" || v == "yes" || v == "on" || v == "1") {
+        return true;
+    }
+    if (v == "false" || v == "no" || v == "off" || v == "0") {
+        return false;
+    }
+    throw config_error{"config: '" + key + "' is not a boolean: " + it->second};
+}
+
+std::string config::require_string(const std::string& key) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) {
+        throw config_error{"config: missing required key '" + key + "'"};
+    }
+    return it->second;
+}
+
+std::int64_t config::require_int(const std::string& key) const {
+    if (!has(key)) {
+        throw config_error{"config: missing required key '" + key + "'"};
+    }
+    return get_int(key, 0);
+}
+
+}  // namespace recloud

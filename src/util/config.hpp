@@ -1,0 +1,54 @@
+// Minimal INI-style configuration parser for the scenario-driven CLI
+// (examples/recloud_cli). Supports:
+//   * `key = value` pairs,
+//   * `[section]` headers (keys become "section.key"),
+//   * `#` and `;` comments (full-line or trailing),
+//   * typed accessors with defaults and validating `require_*` variants.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace recloud {
+
+class config_error : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+class config {
+public:
+    /// Parses the given text; throws config_error with a line number on
+    /// malformed input.
+    [[nodiscard]] static config parse(std::string_view text);
+
+    /// Reads and parses a file; throws config_error if unreadable.
+    [[nodiscard]] static config parse_file(const std::string& path);
+
+    [[nodiscard]] bool has(const std::string& key) const {
+        return values_.contains(key);
+    }
+    [[nodiscard]] std::size_t size() const noexcept { return values_.size(); }
+    [[nodiscard]] std::vector<std::string> keys() const;
+
+    [[nodiscard]] std::string get_string(const std::string& key,
+                                         const std::string& fallback) const;
+    [[nodiscard]] std::int64_t get_int(const std::string& key,
+                                       std::int64_t fallback) const;
+    [[nodiscard]] double get_double(const std::string& key, double fallback) const;
+    /// Accepts true/false, yes/no, on/off, 1/0 (case-insensitive).
+    [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+
+    /// Like the getters, but throw config_error when the key is missing.
+    [[nodiscard]] std::string require_string(const std::string& key) const;
+    [[nodiscard]] std::int64_t require_int(const std::string& key) const;
+
+private:
+    std::map<std::string, std::string> values_;
+};
+
+}  // namespace recloud

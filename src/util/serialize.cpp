@@ -1,0 +1,133 @@
+#include "util/serialize.hpp"
+
+namespace recloud {
+namespace {
+
+template <typename T>
+void append_le(std::vector<std::byte>& buffer, T value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::byte raw[sizeof(T)];
+    std::memcpy(raw, &value, sizeof(T));
+    buffer.insert(buffer.end(), raw, raw + sizeof(T));
+}
+
+}  // namespace
+
+void byte_writer::write_u8(std::uint8_t v) { append_le(buffer_, v); }
+void byte_writer::write_u32(std::uint32_t v) { append_le(buffer_, v); }
+void byte_writer::write_u64(std::uint64_t v) { append_le(buffer_, v); }
+void byte_writer::write_f64(double v) { append_le(buffer_, v); }
+void byte_writer::write_bool(bool v) { write_u8(v ? 1 : 0); }
+
+void byte_writer::write_varint(std::uint64_t v) {
+    while (v >= 0x80) {
+        write_u8(static_cast<std::uint8_t>(v) | 0x80);
+        v >>= 7;
+    }
+    write_u8(static_cast<std::uint8_t>(v));
+}
+
+void byte_writer::write_string(std::string_view s) {
+    write_varint(s.size());
+    const auto* data = reinterpret_cast<const std::byte*>(s.data());
+    buffer_.insert(buffer_.end(), data, data + s.size());
+}
+
+void byte_writer::write_f64_vector(std::span<const double> values) {
+    write_varint(values.size());
+    for (double v : values) {
+        write_f64(v);
+    }
+}
+
+void byte_reader::require(std::size_t n) const {
+    if (remaining() < n) {
+        throw serialize_error{"byte_reader: buffer underrun"};
+    }
+}
+
+void byte_reader::check_count(std::uint64_t count) const {
+    if (count > remaining()) {
+        throw serialize_error{"byte_reader: implausible element count"};
+    }
+}
+
+std::uint8_t byte_reader::read_u8() {
+    require(1);
+    const auto v = static_cast<std::uint8_t>(data_[pos_]);
+    ++pos_;
+    return v;
+}
+
+std::uint32_t byte_reader::read_u32() {
+    require(sizeof(std::uint32_t));
+    std::uint32_t v;
+    std::memcpy(&v, data_.data() + pos_, sizeof(v));
+    pos_ += sizeof(v);
+    return v;
+}
+
+std::uint64_t byte_reader::read_u64() {
+    require(sizeof(std::uint64_t));
+    std::uint64_t v;
+    std::memcpy(&v, data_.data() + pos_, sizeof(v));
+    pos_ += sizeof(v);
+    return v;
+}
+
+double byte_reader::read_f64() {
+    require(sizeof(double));
+    double v;
+    std::memcpy(&v, data_.data() + pos_, sizeof(v));
+    pos_ += sizeof(v);
+    return v;
+}
+
+bool byte_reader::read_bool() {
+    const std::uint8_t v = read_u8();
+    if (v > 1) {
+        throw serialize_error{"byte_reader: malformed bool"};
+    }
+    return v == 1;
+}
+
+std::uint64_t byte_reader::read_varint() {
+    std::uint64_t result = 0;
+    int shift = 0;
+    for (;;) {
+        const std::uint8_t byte = read_u8();
+        if (shift == 63 && (byte & 0x7f) > 1) {
+            throw serialize_error{"byte_reader: varint overflow"};
+        }
+        result |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+        if ((byte & 0x80) == 0) {
+            return result;
+        }
+        shift += 7;
+        if (shift > 63) {
+            throw serialize_error{"byte_reader: varint too long"};
+        }
+    }
+}
+
+std::string byte_reader::read_string() {
+    const std::uint64_t size = read_varint();
+    check_count(size);
+    require(size);
+    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), size);
+    pos_ += size;
+    return s;
+}
+
+std::vector<double> byte_reader::read_f64_vector() {
+    const std::uint64_t count = read_varint();
+    check_count(count);
+    std::vector<double> values;
+    values.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        values.push_back(read_f64());
+    }
+    return values;
+}
+
+}  // namespace recloud

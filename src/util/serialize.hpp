@@ -1,0 +1,113 @@
+// Binary serialization used by the MapReduce-style execution engine. The
+// paper's distributed route-and-check ships round batches between a master
+// and worker nodes; Figure 12 shows that the serialization / transmission /
+// deserialization cost dominates for small round counts. To reproduce that
+// behaviour the in-process engine really serializes its task and result
+// messages through these buffers.
+//
+// Format: little-endian fixed-width scalars; unsigned integers optionally as
+// LEB128 varints; vectors/strings are length-prefixed (varint).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace recloud {
+
+/// Error thrown when a reader runs past the end of its buffer or decodes a
+/// malformed value.
+class serialize_error : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+/// Appends values to a growable byte buffer.
+class byte_writer {
+public:
+    [[nodiscard]] const std::vector<std::byte>& bytes() const noexcept { return buffer_; }
+    [[nodiscard]] std::vector<std::byte> take() noexcept { return std::move(buffer_); }
+    [[nodiscard]] std::size_t size() const noexcept { return buffer_.size(); }
+
+    void write_u8(std::uint8_t v);
+    void write_u32(std::uint32_t v);
+    void write_u64(std::uint64_t v);
+    void write_f64(double v);
+    void write_bool(bool v);
+
+    /// LEB128 varint; compact for the small ids that dominate our messages.
+    void write_varint(std::uint64_t v);
+
+    void write_string(std::string_view s);
+
+    /// Length-prefixed vector of varint-encoded unsigned integers.
+    template <typename T>
+        requires std::is_unsigned_v<T>
+    void write_uint_vector(std::span<const T> values) {
+        write_varint(values.size());
+        for (T v : values) {
+            write_varint(static_cast<std::uint64_t>(v));
+        }
+    }
+
+    /// Length-prefixed vector of doubles.
+    void write_f64_vector(std::span<const double> values);
+
+private:
+    std::vector<std::byte> buffer_;
+};
+
+/// Reads values back from a byte span; throws serialize_error on underrun.
+class byte_reader {
+public:
+    explicit byte_reader(std::span<const std::byte> data) noexcept : data_(data) {}
+
+    [[nodiscard]] std::size_t remaining() const noexcept { return data_.size() - pos_; }
+    [[nodiscard]] bool at_end() const noexcept { return remaining() == 0; }
+
+    [[nodiscard]] std::uint8_t read_u8();
+    [[nodiscard]] std::uint32_t read_u32();
+    [[nodiscard]] std::uint64_t read_u64();
+    [[nodiscard]] double read_f64();
+    [[nodiscard]] bool read_bool();
+    [[nodiscard]] std::uint64_t read_varint();
+    [[nodiscard]] std::string read_string();
+
+    template <typename T>
+        requires std::is_unsigned_v<T>
+    [[nodiscard]] std::vector<T> read_uint_vector() {
+        const std::uint64_t count = read_varint();
+        check_count(count);
+        std::vector<T> values;
+        values.reserve(count);
+        for (std::uint64_t i = 0; i < count; ++i) {
+            const std::uint64_t v = read_varint();
+            if (v > std::numeric_limits<T>::max()) {
+                throw serialize_error{"uint vector element out of range"};
+            }
+            values.push_back(static_cast<T>(v));
+        }
+        return values;
+    }
+
+    [[nodiscard]] std::vector<double> read_f64_vector();
+
+private:
+    void require(std::size_t n) const;
+    /// Rejects counts that could not possibly fit in the remaining bytes
+    /// (each element takes >= 1 byte), so corrupt input can't trigger a
+    /// huge allocation.
+    void check_count(std::uint64_t count) const;
+
+    std::span<const std::byte> data_;
+    std::size_t pos_ = 0;
+};
+
+}  // namespace recloud

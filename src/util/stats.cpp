@@ -1,0 +1,90 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace recloud {
+
+void running_stats::add(double x) noexcept {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+}
+
+double running_stats::mean() const noexcept {
+    return count_ == 0 ? 0.0 : mean_;
+}
+
+double running_stats::variance() const noexcept {
+    return count_ == 0 ? 0.0 : m2_ / static_cast<double>(count_);
+}
+
+double running_stats::sample_variance() const noexcept {
+    return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+}
+
+double running_stats::stddev() const noexcept {
+    return std::sqrt(variance());
+}
+
+void running_stats::merge(const running_stats& other) noexcept {
+    if (other.count_ == 0) {
+        return;
+    }
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    const double n1 = static_cast<double>(count_);
+    const double n2 = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    const double total = n1 + n2;
+    mean_ += delta * n2 / total;
+    m2_ += other.m2_ + delta * delta * n1 * n2 / total;
+    count_ += other.count_;
+}
+
+assessment_stats make_assessment_stats(std::size_t reliable_rounds,
+                                       std::size_t total_rounds) noexcept {
+    assessment_stats s;
+    s.rounds = total_rounds;
+    s.reliable = reliable_rounds;
+    if (total_rounds == 0) {
+        return s;
+    }
+    const double n = static_cast<double>(total_rounds);
+    s.reliability = static_cast<double>(reliable_rounds) / n;
+    // For a 0/1 list, Var[L] = R*(1-R) exactly (population variance).
+    const double var_l = s.reliability * (1.0 - s.reliability);
+    s.variance = var_l / n;               // Eq. 2
+    s.ciw95 = 4.0 * std::sqrt(s.variance);  // Eq. 3
+    return s;
+}
+
+double round_to_decimals(double x, int decimals) noexcept {
+    const double scale = std::pow(10.0, decimals);
+    return std::round(x * scale) / scale;
+}
+
+double clamp(double x, double lo, double hi) noexcept {
+    return std::min(std::max(x, lo), hi);
+}
+
+double mean_of(std::span<const double> xs) noexcept {
+    running_stats s;
+    for (double x : xs) {
+        s.add(x);
+    }
+    return s.mean();
+}
+
+double variance_of(std::span<const double> xs) noexcept {
+    running_stats s;
+    for (double x : xs) {
+        s.add(x);
+    }
+    return s.variance();
+}
+
+}  // namespace recloud

@@ -1,0 +1,3 @@
+// stopwatch and deadline are header-only; this translation unit exists so the
+// header is compiled standalone at least once (catches missing includes).
+#include "util/stopwatch.hpp"

@@ -1,0 +1,66 @@
+// Monotonic timing utilities: a stopwatch for measuring elapsed time and a
+// deadline for the annealing search's Tmax budget (paper §3.3, Eq. 6).
+#pragma once
+
+#include <chrono>
+
+namespace recloud {
+
+/// Wall-clock stopwatch over the monotonic steady clock.
+class stopwatch {
+public:
+    stopwatch() noexcept : start_(clock::now()) {}
+
+    /// Restarts the stopwatch.
+    void reset() noexcept { start_ = clock::now(); }
+
+    [[nodiscard]] std::chrono::nanoseconds elapsed() const noexcept {
+        return clock::now() - start_;
+    }
+    [[nodiscard]] double elapsed_seconds() const noexcept {
+        return std::chrono::duration<double>(elapsed()).count();
+    }
+    [[nodiscard]] double elapsed_ms() const noexcept {
+        return std::chrono::duration<double, std::milli>(elapsed()).count();
+    }
+
+private:
+    using clock = std::chrono::steady_clock;
+    clock::time_point start_;
+};
+
+/// A fixed time budget. The annealing temperature in Eq. 6 is exactly
+/// remaining_fraction().
+class deadline {
+public:
+    explicit deadline(std::chrono::nanoseconds budget) noexcept
+        : budget_(budget) {}
+
+    [[nodiscard]] bool expired() const noexcept {
+        return watch_.elapsed() >= budget_;
+    }
+
+    /// (Tmax - Telapsed) / Tmax, clamped to [0, 1].
+    [[nodiscard]] double remaining_fraction() const noexcept {
+        if (budget_.count() <= 0) {
+            return 0.0;
+        }
+        const double frac = 1.0 - static_cast<double>(watch_.elapsed().count()) /
+                                      static_cast<double>(budget_.count());
+        if (frac < 0.0) {
+            return 0.0;
+        }
+        return frac > 1.0 ? 1.0 : frac;
+    }
+
+    [[nodiscard]] std::chrono::nanoseconds budget() const noexcept { return budget_; }
+    [[nodiscard]] double elapsed_seconds() const noexcept {
+        return watch_.elapsed_seconds();
+    }
+
+private:
+    stopwatch watch_;
+    std::chrono::nanoseconds budget_;
+};
+
+}  // namespace recloud

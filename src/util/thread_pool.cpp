@@ -1,0 +1,56 @@
+#include "util/thread_pool.hpp"
+
+#include <stdexcept>
+
+namespace recloud {
+
+thread_pool::thread_pool(std::size_t threads) {
+    if (threads == 0) {
+        throw std::invalid_argument{"thread_pool needs at least one thread"};
+    }
+    workers_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i) {
+        workers_.emplace_back([this] { worker_loop(); });
+    }
+}
+
+thread_pool::~thread_pool() {
+    {
+        const std::lock_guard lock{mutex_};
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    for (auto& worker : workers_) {
+        worker.join();
+    }
+}
+
+void thread_pool::worker_loop() {
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock lock{mutex_};
+            cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty()) {
+                return;  // stopping_ and nothing left to drain
+            }
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();
+    }
+}
+
+void thread_pool::parallel_for(std::size_t count,
+                               const std::function<void(std::size_t)>& fn) {
+    std::vector<std::future<void>> futures;
+    futures.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        futures.push_back(submit([&fn, i] { fn(i); }));
+    }
+    for (auto& future : futures) {
+        future.get();  // propagates any task exception
+    }
+}
+
+}  // namespace recloud

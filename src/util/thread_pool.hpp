@@ -1,0 +1,59 @@
+// A small fixed-size thread pool. Used by the MapReduce-style execution
+// engine (src/exec) to host worker nodes, and by benches that parallelize
+// independent assessments.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace recloud {
+
+class thread_pool {
+public:
+    /// Spawns `threads` workers. `threads == 0` is rejected.
+    explicit thread_pool(std::size_t threads);
+
+    thread_pool(const thread_pool&) = delete;
+    thread_pool& operator=(const thread_pool&) = delete;
+
+    /// Drains outstanding tasks and joins all workers.
+    ~thread_pool();
+
+    [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+    /// Enqueues a task; the returned future yields the task's result.
+    template <typename F>
+    [[nodiscard]] auto submit(F&& task) -> std::future<std::invoke_result_t<F>> {
+        using result_t = std::invoke_result_t<F>;
+        auto packaged = std::make_shared<std::packaged_task<result_t()>>(
+            std::forward<F>(task));
+        std::future<result_t> future = packaged->get_future();
+        {
+            const std::lock_guard lock{mutex_};
+            queue_.emplace_back([packaged] { (*packaged)(); });
+        }
+        cv_.notify_one();
+        return future;
+    }
+
+    /// Runs fn(i) for i in [0, count) across the pool and waits for all.
+    void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+private:
+    void worker_loop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stopping_ = false;
+};
+
+}  // namespace recloud

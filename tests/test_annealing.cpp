@@ -1,0 +1,179 @@
+#include "search/annealing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "topology/fat_tree.hpp"
+
+namespace recloud {
+namespace {
+
+/// Synthetic plan scorer: reliability grows with placement diversity (number
+/// of distinct pods used), a fast stand-in for the real assessor that keeps
+/// the search behaviour fully deterministic and testable.
+struct diversity_scorer {
+    const fat_tree* ft;
+
+    plan_evaluation operator()(const deployment_plan& plan) const {
+        std::set<int> pods;
+        for (const node_id h : plan.hosts) {
+            pods.insert(ft->pod_of_host(h));
+        }
+        const double diversity =
+            static_cast<double>(pods.size()) / static_cast<double>(plan.hosts.size());
+        plan_evaluation eval;
+        // Map diversity in (0, 1] to reliability in [0.9, 0.9999].
+        eval.stats = make_assessment_stats(
+            static_cast<std::size_t>((0.9 + 0.0999 * diversity) * 10000), 10000);
+        eval.score = eval.stats.reliability;
+        return eval;
+    }
+};
+
+annealing_options quick_options() {
+    annealing_options o;
+    o.max_time = std::chrono::milliseconds{300};
+    o.max_iterations = 3000;
+    o.seed = 7;
+    o.use_symmetry = false;
+    return o;
+}
+
+TEST(AcceptanceDelta, LogRatioAmplifiesOrdersOfMagnitude) {
+    // The paper's example: 0.999 vs 0.99 -> delta = log10(10) = 1.
+    EXPECT_NEAR(acceptance_delta(0.999, 0.99, delta_mode::log_ratio), 1.0, 1e-9);
+    // Classic absolute delta sees only 0.009.
+    EXPECT_NEAR(acceptance_delta(0.999, 0.99, delta_mode::absolute), 0.009, 1e-12);
+}
+
+TEST(AcceptanceDelta, SymmetricInMagnitude) {
+    EXPECT_DOUBLE_EQ(acceptance_delta(0.99, 0.9, delta_mode::log_ratio),
+                     acceptance_delta(0.9, 0.99, delta_mode::log_ratio));
+}
+
+TEST(AcceptanceDelta, PerfectScoreStaysFinite) {
+    const double d = acceptance_delta(1.0, 0.99, delta_mode::log_ratio);
+    EXPECT_TRUE(std::isfinite(d));
+    EXPECT_GT(d, 0.0);
+}
+
+TEST(Annealing, FindsDiversePlanOnFatTree) {
+    const fat_tree ft = fat_tree::build(8);
+    neighbor_generator gen{ft.topology(), anti_affinity::none, 3};
+    const diversity_scorer score{&ft};
+    const annealing_result result =
+        anneal(gen, score, nullptr, 4, quick_options());
+    // 4 instances across >= 3 pods is easy to reach in 3000 iterations.
+    std::set<int> pods;
+    for (const node_id h : result.best_plan.hosts) {
+        pods.insert(ft.pod_of_host(h));
+    }
+    EXPECT_GE(pods.size(), 3u);
+    EXPECT_GT(result.plans_evaluated, 10u);
+    EXPECT_EQ(result.best_plan.hosts.size(), 4u);
+}
+
+TEST(Annealing, BestScoreIsMonotoneOverTrace) {
+    const fat_tree ft = fat_tree::build(8);
+    neighbor_generator gen{ft.topology(), anti_affinity::none, 4};
+    annealing_options options = quick_options();
+    options.record_trace = true;
+    const annealing_result result =
+        anneal(gen, diversity_scorer{&ft}, nullptr, 5, options);
+    ASSERT_FALSE(result.trace.empty());
+    for (std::size_t i = 1; i < result.trace.size(); ++i) {
+        EXPECT_GE(result.trace[i].best_score, result.trace[i - 1].best_score);
+        EXPECT_GE(result.trace[i].elapsed_seconds,
+                  result.trace[i - 1].elapsed_seconds);
+    }
+}
+
+TEST(Annealing, DesiredReliabilityStopsEarly) {
+    const fat_tree ft = fat_tree::build(8);
+    neighbor_generator gen{ft.topology(), anti_affinity::none, 5};
+    annealing_options options = quick_options();
+    options.desired_reliability = 0.5;  // any plan satisfies this
+    const annealing_result result =
+        anneal(gen, diversity_scorer{&ft}, nullptr, 4, options);
+    EXPECT_TRUE(result.fulfilled);
+    EXPECT_EQ(result.plans_evaluated, 1u);  // the initial plan sufficed
+}
+
+TEST(Annealing, UnreachableDesiredReliabilityReportsUnfulfilled) {
+    const fat_tree ft = fat_tree::build(8);
+    neighbor_generator gen{ft.topology(), anti_affinity::none, 6};
+    annealing_options options = quick_options();
+    options.desired_reliability = 1.0;  // diversity scorer caps at 0.9999
+    options.max_iterations = 200;
+    const annealing_result result =
+        anneal(gen, diversity_scorer{&ft}, nullptr, 4, options);
+    EXPECT_FALSE(result.fulfilled);
+    EXPECT_FALSE(result.best_plan.hosts.empty());
+}
+
+TEST(Annealing, IterationBudgetIsRespected) {
+    const fat_tree ft = fat_tree::build(8);
+    neighbor_generator gen{ft.topology(), anti_affinity::none, 7};
+    annealing_options options = quick_options();
+    options.max_iterations = 50;
+    options.max_time = std::chrono::seconds{60};
+    const annealing_result result =
+        anneal(gen, diversity_scorer{&ft}, nullptr, 4, options);
+    EXPECT_LE(result.plans_generated, 50u);
+}
+
+TEST(Annealing, SymmetrySkipsReduceEvaluations) {
+    // With uniform probabilities and the symmetry checker on, many neighbor
+    // plans are equivalent and must be skipped without evaluation.
+    const fat_tree ft = fat_tree::build(8);
+    component_registry registry{ft.graph()};
+    for (component_id id = 0; id < registry.size(); ++id) {
+        if (registry.kind(id) != component_kind::external) {
+            registry.set_probability(id, 0.01);
+        }
+    }
+    const symmetry_checker checker{ft.topology(), registry, nullptr};
+    neighbor_generator gen{ft.topology(), anti_affinity::none, 8};
+    annealing_options options = quick_options();
+    options.use_symmetry = true;
+    options.max_iterations = 500;
+    const annealing_result result =
+        anneal(gen, diversity_scorer{&ft}, &checker, 4, options);
+    EXPECT_GT(result.symmetric_skips, 0u);
+    EXPECT_LT(result.plans_evaluated, result.plans_generated);
+}
+
+TEST(Annealing, AcceptsSomeWorsePlansEarly) {
+    // The whole point of simulated annealing: uphill moves happen.
+    const fat_tree ft = fat_tree::build(8);
+    neighbor_generator gen{ft.topology(), anti_affinity::none, 9};
+    annealing_options options = quick_options();
+    options.max_time = std::chrono::seconds{10};  // keep temperature high
+    options.max_iterations = 2000;
+    const annealing_result result =
+        anneal(gen, diversity_scorer{&ft}, nullptr, 5, options);
+    EXPECT_GT(result.accepted_worse, 0u);
+}
+
+TEST(Annealing, DeterministicGivenIterationBudget) {
+    const fat_tree ft = fat_tree::build(8);
+    annealing_options options = quick_options();
+    options.max_iterations = 300;
+    // Iterations bind first; the huge time budget keeps the temperature
+    // effectively constant so timing jitter cannot flip accept decisions.
+    options.max_time = std::chrono::hours{10};
+
+    const auto run = [&] {
+        neighbor_generator gen{ft.topology(), anti_affinity::none, 11};
+        return anneal(gen, diversity_scorer{&ft}, nullptr, 4, options);
+    };
+    const annealing_result a = run();
+    const annealing_result b = run();
+    EXPECT_EQ(a.best_plan, b.best_plan);
+    EXPECT_EQ(a.plans_evaluated, b.plans_evaluated);
+}
+
+}  // namespace
+}  // namespace recloud

@@ -1,0 +1,161 @@
+#include "app/application.hpp"
+
+#include <gtest/gtest.h>
+
+#include "app/deployment.hpp"
+#include "topology/leaf_spine.hpp"
+
+namespace recloud {
+namespace {
+
+TEST(Application, KOfNShape) {
+    const application app = application::k_of_n(4, 5);
+    ASSERT_EQ(app.components().size(), 1u);
+    EXPECT_EQ(app.components()[0].replicas, 5u);
+    ASSERT_EQ(app.requirements().size(), 1u);
+    EXPECT_FALSE(app.requirements()[0].source.has_value());
+    EXPECT_EQ(app.requirements()[0].min_reachable, 4u);
+    EXPECT_EQ(app.total_instances(), 5u);
+}
+
+TEST(Application, LayeredShape) {
+    const application app = application::layered(3, 4, 5);
+    ASSERT_EQ(app.components().size(), 3u);
+    ASSERT_EQ(app.requirements().size(), 3u);
+    EXPECT_FALSE(app.requirements()[0].source.has_value());
+    EXPECT_EQ(*app.requirements()[1].source, 0u);
+    EXPECT_EQ(app.requirements()[1].target, 1u);
+    EXPECT_EQ(*app.requirements()[2].source, 1u);
+    EXPECT_EQ(app.total_instances(), 15u);
+}
+
+TEST(Application, MicroserviceXYComponentCount) {
+    // Paper: a "10-20" structure has 210 components in total.
+    const application app = application::microservice(10, 20, 4, 5);
+    EXPECT_EQ(app.components().size(), 210u);
+    EXPECT_EQ(app.total_instances(), 210u * 5u);
+    // 10 external + 10*9 mesh + 200 support requirements.
+    EXPECT_EQ(app.requirements().size(), 10u + 90u + 200u);
+}
+
+TEST(Application, MicroserviceMeshIsComplete) {
+    const application app = application::microservice(3, 1, 1, 2);
+    int mesh_requirements = 0;
+    for (const auto& req : app.requirements()) {
+        if (req.source && req.target < 3 && *req.source < 3) {
+            ++mesh_requirements;
+        }
+    }
+    EXPECT_EQ(mesh_requirements, 6);  // 3*2 ordered pairs
+}
+
+TEST(Application, InstanceOffsets) {
+    const application app = application::layered(3, 1, 4);
+    EXPECT_EQ(app.instance_offset(0), 0u);
+    EXPECT_EQ(app.instance_offset(1), 4u);
+    EXPECT_EQ(app.instance_offset(2), 8u);
+    EXPECT_THROW((void)app.instance_offset(3), std::out_of_range);
+}
+
+TEST(Application, ValidationCatchesBadRequirements) {
+    application app;
+    const app_component_id c = app.add_component("only", 3);
+    EXPECT_THROW(app.validate(), std::invalid_argument);  // no requirements
+
+    app.require_external(c, 4);  // K > replicas
+    EXPECT_THROW(app.validate(), std::invalid_argument);
+
+    application self_ref;
+    const app_component_id s = self_ref.add_component("s", 2);
+    EXPECT_THROW(self_ref.require_reachable(s, s, 1);
+                 self_ref.validate(), std::invalid_argument);
+}
+
+TEST(Application, ZeroReplicasRejected) {
+    application app;
+    EXPECT_THROW((void)app.add_component("empty", 0), std::invalid_argument);
+}
+
+TEST(Application, ZeroKRejected) {
+    application app;
+    const app_component_id c = app.add_component("c", 2);
+    app.require_external(c, 0);
+    EXPECT_THROW(app.validate(), std::invalid_argument);
+}
+
+TEST(Application, RequirementAgainstMissingComponent) {
+    application app;
+    (void)app.add_component("c", 2);
+    app.require_external(7, 1);
+    EXPECT_THROW(app.validate(), std::invalid_argument);
+}
+
+TEST(Application, LayeredRejectsZeroLayers) {
+    EXPECT_THROW((void)application::layered(0, 1, 2), std::invalid_argument);
+}
+
+TEST(Application, MicroserviceRejectsZeroCores) {
+    EXPECT_THROW((void)application::microservice(0, 5, 1, 2),
+                 std::invalid_argument);
+}
+
+// ---- deployment plan validation -----------------------------------------
+
+TEST(DeploymentPlan, InstancesOfSlicesComponentMajor) {
+    const application app = application::layered(2, 1, 3);
+    deployment_plan plan;
+    plan.hosts = {10, 11, 12, 20, 21, 22};
+    const auto layer0 = instances_of(plan, app, 0);
+    const auto layer1 = instances_of(plan, app, 1);
+    EXPECT_EQ(std::vector<node_id>(layer0.begin(), layer0.end()),
+              (std::vector<node_id>{10, 11, 12}));
+    EXPECT_EQ(std::vector<node_id>(layer1.begin(), layer1.end()),
+              (std::vector<node_id>{20, 21, 22}));
+}
+
+TEST(DeploymentPlan, InstancesOfRejectsShortPlan) {
+    const application app = application::k_of_n(1, 3);
+    deployment_plan plan;
+    plan.hosts = {1};
+    EXPECT_THROW((void)instances_of(plan, app, 0), std::out_of_range);
+}
+
+TEST(DeploymentPlan, ValidatePlanChecks) {
+    const built_topology topo = build_leaf_spine(
+        {.spines = 2, .leaves = 2, .hosts_per_leaf = 3, .border_leaves = 1});
+    const application app = application::k_of_n(1, 2);
+
+    deployment_plan good;
+    good.hosts = {topo.hosts[0], topo.hosts[4]};
+    EXPECT_NO_THROW(validate_plan(good, app, topo));
+
+    deployment_plan wrong_size;
+    wrong_size.hosts = {topo.hosts[0]};
+    EXPECT_THROW(validate_plan(wrong_size, app, topo), std::invalid_argument);
+
+    deployment_plan duplicate;
+    duplicate.hosts = {topo.hosts[0], topo.hosts[0]};
+    EXPECT_THROW(validate_plan(duplicate, app, topo), std::invalid_argument);
+
+    deployment_plan not_a_host;
+    not_a_host.hosts = {topo.hosts[0], topo.border_switches[0]};
+    EXPECT_THROW(validate_plan(not_a_host, app, topo), std::invalid_argument);
+
+    deployment_plan out_of_range;
+    out_of_range.hosts = {topo.hosts[0],
+                          static_cast<node_id>(topo.graph.node_count() + 5)};
+    EXPECT_THROW(validate_plan(out_of_range, app, topo), std::invalid_argument);
+}
+
+TEST(DeploymentPlan, EqualityIsStructural) {
+    deployment_plan a;
+    a.hosts = {1, 2, 3};
+    deployment_plan b;
+    b.hosts = {1, 2, 3};
+    EXPECT_EQ(a, b);
+    b.hosts[1] = 9;
+    EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace recloud

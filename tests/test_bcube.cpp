@@ -1,0 +1,171 @@
+#include "topology/bcube.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "assess/assessor.hpp"
+#include "faults/round_state.hpp"
+#include "routing/bfs_reachability.hpp"
+#include "sampling/extended_dagger.hpp"
+#include "topology/stats.hpp"
+
+namespace recloud {
+namespace {
+
+TEST(BCube, CountsMatchDefinition) {
+    // BCube(4, 1): 16 servers, 2 levels x 4 switches.
+    const built_topology topo = build_bcube({.ports = 4, .levels = 1});
+    const topology_stats s = compute_topology_stats(topo);
+    EXPECT_EQ(s.hosts, 16u);
+    EXPECT_EQ(s.edge_switches + s.border_switches, 8u);
+    EXPECT_EQ(s.border_switches, 2u);
+
+    // BCube(3, 2): 27 servers, 3 levels x 9 switches.
+    const built_topology deep = build_bcube({.ports = 3, .levels = 2});
+    EXPECT_EQ(deep.hosts.size(), 27u);
+    EXPECT_EQ(deep.graph.count_of_kind(node_kind::edge_switch) +
+                  deep.graph.count_of_kind(node_kind::border_switch),
+              27u);
+}
+
+TEST(BCube, ServerDegreeIsLevelsPlusOne) {
+    const built_topology topo = build_bcube({.ports = 4, .levels = 2});
+    for (const node_id server : topo.hosts) {
+        EXPECT_EQ(topo.graph.degree(server), 3u);  // k+1 ports
+    }
+}
+
+TEST(BCube, SwitchDegreeIsPortCount) {
+    const built_topology topo = build_bcube({.ports = 5, .levels = 1,
+                                             .border_switches = 1});
+    for (node_id id = 0; id < topo.graph.node_count(); ++id) {
+        if (topo.graph.kind(id) == node_kind::edge_switch) {
+            EXPECT_EQ(topo.graph.degree(id), 5u);
+        } else if (topo.graph.kind(id) == node_kind::border_switch) {
+            EXPECT_EQ(topo.graph.degree(id), 6u);  // + external peering
+        }
+    }
+}
+
+TEST(BCube, TwoServersNeverShareTwoSwitches) {
+    // BCube property: any two servers share at most one switch.
+    const built_topology topo = build_bcube({.ports = 4, .levels = 1});
+    for (std::size_t i = 0; i < topo.hosts.size(); ++i) {
+        for (std::size_t j = i + 1; j < topo.hosts.size(); ++j) {
+            int shared = 0;
+            for (const node_id sw : topo.graph.neighbors(topo.hosts[i])) {
+                if (topo.graph.has_edge(sw, topo.hosts[j])) {
+                    ++shared;
+                }
+            }
+            EXPECT_LE(shared, 1);
+        }
+    }
+}
+
+TEST(BCube, HealthyConnectivity) {
+    const built_topology topo = build_bcube({.ports = 4, .levels = 1});
+    round_state rs{topo.graph.node_count(), nullptr};
+    bfs_reachability oracle{topo};
+    rs.begin_round(std::vector<component_id>{});
+    oracle.begin_round(rs);
+    for (const node_id server : topo.hosts) {
+        EXPECT_TRUE(oracle.border_reachable(server));
+    }
+}
+
+TEST(BCube, ServerCentricRelaySurvivesSwitchLoss) {
+    // Kill BOTH switches of server 0 (its level-0 and level-1 switch; the
+    // latter is border switch #0, so keep a second border switch alive).
+    // In a switch-centric topology the whole rack would be isolated; in
+    // BCube the rest of server 0's level-0 group stays border-reachable by
+    // relaying through its other ports.
+    const built_topology topo = build_bcube({.ports = 4, .levels = 1,
+                                             .border_switches = 2});
+    round_state rs{topo.graph.node_count(), nullptr};
+    bfs_reachability oracle{topo};
+
+    const node_id server0 = topo.hosts[0];
+    std::vector<component_id> switches_of_0;
+    for (const node_id sw : topo.graph.neighbors(server0)) {
+        switches_of_0.push_back(sw);
+    }
+    ASSERT_EQ(switches_of_0.size(), 2u);
+
+    rs.begin_round(switches_of_0);
+    oracle.begin_round(rs);
+    EXPECT_FALSE(oracle.border_reachable(server0));
+    // Every other server is still border-reachable (possibly via relays).
+    for (const node_id server : topo.hosts) {
+        if (server != server0) {
+            EXPECT_TRUE(oracle.border_reachable(server)) << server;
+        }
+    }
+}
+
+TEST(BCube, RelayThroughServersWhenTopLevelMostlyDead) {
+    // Keep only the border top-level switch alive at level 1: servers not
+    // directly attached to it must relay through level-0 switches and
+    // intermediate servers to reach the border.
+    const built_topology topo = build_bcube({.ports = 4, .levels = 1,
+                                             .border_switches = 1});
+    round_state rs{topo.graph.node_count(), nullptr};
+    bfs_reachability oracle{topo};
+
+    // Level-1 switches are the second half of the switch list; the border
+    // switch carries the border kind.
+    std::vector<component_id> failed;
+    for (node_id id = 0; id < topo.graph.node_count(); ++id) {
+        if (topo.graph.kind(id) == node_kind::edge_switch) {
+            // Identify level-1 switches: they connect servers that differ
+            // in the HIGH digit (stride n). Level-0 switches connect
+            // consecutive server ids.
+            const auto neighbors = topo.graph.neighbors(id);
+            if (neighbors.size() >= 2 &&
+                neighbors[1] >= neighbors[0] + 4) {  // stride-n pattern
+                failed.push_back(id);
+            }
+        }
+    }
+    ASSERT_EQ(failed.size(), 3u);  // 4 level-1 switches minus the border one
+    rs.begin_round(failed);
+    oracle.begin_round(rs);
+    for (const node_id server : topo.hosts) {
+        EXPECT_TRUE(oracle.border_reachable(server)) << server;
+    }
+}
+
+TEST(BCube, AssessmentRunsEndToEnd) {
+    const built_topology topo = build_bcube({.ports = 4, .levels = 1});
+    component_registry registry{topo.graph};
+    for (component_id id = 0; id < registry.size(); ++id) {
+        if (registry.kind(id) != component_kind::external) {
+            registry.set_probability(id, 0.02);
+        }
+    }
+    bfs_reachability oracle{topo};
+    extended_dagger_sampler sampler{registry.probabilities(), 5};
+    round_state rs{registry.size(), nullptr};
+    const application app = application::k_of_n(1, 2);
+    deployment_plan plan;
+    plan.hosts = {topo.hosts[0], topo.hosts[15]};
+    const assessment_stats stats =
+        assess_deployment(sampler, rs, oracle, app, plan, 5000);
+    EXPECT_GT(stats.reliability, 0.9);
+    EXPECT_LT(stats.reliability, 1.0);
+}
+
+TEST(BCube, InvalidParamsRejected) {
+    EXPECT_THROW((void)build_bcube({.ports = 1}), std::invalid_argument);
+    EXPECT_THROW((void)build_bcube({.levels = -1}), std::invalid_argument);
+    EXPECT_THROW((void)build_bcube({.ports = 4, .levels = 1,
+                                    .border_switches = 5}),
+                 std::invalid_argument);
+    EXPECT_THROW((void)build_bcube({.ports = 4, .levels = 1,
+                                    .border_switches = 0}),
+                 std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace recloud

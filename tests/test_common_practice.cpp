@@ -1,0 +1,181 @@
+#include "search/common_practice.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "topology/fat_tree.hpp"
+
+namespace recloud {
+namespace {
+
+struct cp_fixture {
+    fat_tree ft = fat_tree::build(8);
+    component_registry registry{ft.graph()};
+    fault_tree_forest forest{ft.graph().node_count()};
+    power_assignment power = attach_power_supplies(ft.topology(), registry,
+                                                   forest, {.supply_count = 5});
+    rng random{17};
+    workload_map loads{ft.topology(), random};
+};
+
+TEST(CommonPractice, PicksLeastLoadedDistinctRacks) {
+    cp_fixture f;
+    const deployment_plan plan =
+        common_practice_plan(f.ft.topology(), f.loads, 5);
+    ASSERT_EQ(plan.hosts.size(), 5u);
+
+    // Distinct racks.
+    std::set<node_id> racks;
+    for (const node_id h : plan.hosts) {
+        racks.insert(rack_of(f.ft.graph(), h));
+    }
+    EXPECT_EQ(racks.size(), 5u);
+
+    // Each chosen host is the least-loaded host of its own rack (otherwise
+    // the greedy sweep would have chosen the lighter one first).
+    for (const node_id h : plan.hosts) {
+        const node_id rack = rack_of(f.ft.graph(), h);
+        for (const node_id other : f.ft.graph().neighbors(rack)) {
+            if (f.ft.graph().kind(other) == node_kind::host) {
+                EXPECT_LE(f.loads.of(h), f.loads.of(other));
+            }
+        }
+    }
+}
+
+TEST(CommonPractice, GlobalGreedyOptimality) {
+    // No other distinct-rack selection has a lower total load: compare
+    // against the best rack-minimum selection.
+    cp_fixture f;
+    const deployment_plan plan =
+        common_practice_plan(f.ft.topology(), f.loads, 5);
+    // Collect each rack's minimum load, take the 5 smallest.
+    std::vector<double> rack_minima;
+    for (const node_id rack : f.ft.graph().nodes_of_kind(node_kind::edge_switch)) {
+        double min_load = 2.0;
+        for (const node_id h : f.ft.graph().neighbors(rack)) {
+            if (f.ft.graph().kind(h) == node_kind::host) {
+                min_load = std::min(min_load, f.loads.of(h));
+            }
+        }
+        rack_minima.push_back(min_load);
+    }
+    std::sort(rack_minima.begin(), rack_minima.end());
+    double best = 0.0;
+    for (int i = 0; i < 5; ++i) {
+        best += rack_minima[i];
+    }
+    double achieved = 0.0;
+    for (const node_id h : plan.hosts) {
+        achieved += f.loads.of(h);
+    }
+    EXPECT_NEAR(achieved, best, 1e-12);
+}
+
+TEST(CommonPractice, ExclusionsProduceNonRepeatingPlans) {
+    cp_fixture f;
+    const deployment_plan first =
+        common_practice_plan(f.ft.topology(), f.loads, 5);
+    const deployment_plan second =
+        common_practice_plan(f.ft.topology(), f.loads, 5, first.hosts);
+    for (const node_id h : second.hosts) {
+        EXPECT_EQ(std::count(first.hosts.begin(), first.hosts.end(), h), 0);
+    }
+}
+
+TEST(CommonPractice, RelaxesRackConstraintWhenRacksRunOut) {
+    // k=4 has 6 racks; asking for 8 instances must still succeed.
+    fat_tree small = fat_tree::build(4);
+    rng random{3};
+    const workload_map loads{small.topology(), random};
+    const deployment_plan plan =
+        common_practice_plan(small.topology(), loads, 8);
+    EXPECT_EQ(plan.hosts.size(), 8u);
+    const std::set<node_id> unique(plan.hosts.begin(), plan.hosts.end());
+    EXPECT_EQ(unique.size(), 8u);
+}
+
+TEST(CommonPractice, ThrowsWhenHostsExhausted) {
+    cp_fixture f;
+    EXPECT_THROW(
+        (void)common_practice_plan(f.ft.topology(), f.loads, 200,
+                                   f.ft.topology().hosts),  // all excluded
+        std::invalid_argument);
+}
+
+TEST(PowerDiversity, CountsDistinctSupplies) {
+    cp_fixture f;
+    // All instances in one rack share the group supply + the rack's supply.
+    deployment_plan concentrated;
+    concentrated.hosts = {f.ft.host(0, 0, 0), f.ft.host(0, 0, 1)};
+    const std::size_t concentrated_diversity =
+        power_diversity(f.ft.topology(), f.power, concentrated);
+    EXPECT_LE(concentrated_diversity, 2u);
+
+    deployment_plan spread;
+    spread.hosts = {f.ft.host(0, 0, 0), f.ft.host(3, 2, 0)};
+    EXPECT_GE(power_diversity(f.ft.topology(), f.power, spread),
+              concentrated_diversity);
+}
+
+TEST(EnhancedCommonPractice, PicksMostDiversifiedCandidate) {
+    cp_fixture f;
+    const deployment_plan enhanced = enhanced_common_practice_plan(
+        f.ft.topology(), f.loads, f.power, 5, {.candidate_plans = 5});
+    ASSERT_EQ(enhanced.hosts.size(), 5u);
+
+    // Rebuild the 5 candidates and verify the chosen one maximizes
+    // diversity.
+    std::vector<deployment_plan> candidates;
+    std::vector<node_id> excluded;
+    for (int c = 0; c < 5; ++c) {
+        candidates.push_back(
+            common_practice_plan(f.ft.topology(), f.loads, 5, excluded));
+        excluded.insert(excluded.end(), candidates.back().hosts.begin(),
+                        candidates.back().hosts.end());
+    }
+    std::size_t best_diversity = 0;
+    for (const auto& candidate : candidates) {
+        best_diversity = std::max(
+            best_diversity, power_diversity(f.ft.topology(), f.power, candidate));
+    }
+    EXPECT_EQ(power_diversity(f.ft.topology(), f.power, enhanced),
+              best_diversity);
+}
+
+TEST(EnhancedCommonPractice, SingleCandidateEqualsVanilla) {
+    cp_fixture f;
+    const deployment_plan vanilla =
+        common_practice_plan(f.ft.topology(), f.loads, 5);
+    const deployment_plan enhanced = enhanced_common_practice_plan(
+        f.ft.topology(), f.loads, f.power, 5, {.candidate_plans = 1});
+    EXPECT_EQ(vanilla, enhanced);
+}
+
+TEST(EnhancedCommonPractice, ZeroCandidatesRejected) {
+    cp_fixture f;
+    EXPECT_THROW(
+        (void)enhanced_common_practice_plan(f.ft.topology(), f.loads, f.power,
+                                            5, {.candidate_plans = 0}),
+        std::invalid_argument);
+}
+
+TEST(EnhancedCommonPractice, StopsGracefullyWhenHostsRunLow) {
+    // k=4 has 12 hosts; 5 candidates x 5 instances would need 25. The
+    // builder must stop early and still return a valid plan.
+    fat_tree small = fat_tree::build(4);
+    component_registry registry{small.graph()};
+    fault_tree_forest forest{small.graph().node_count()};
+    const power_assignment power =
+        attach_power_supplies(small.topology(), registry, forest, {});
+    rng random{5};
+    const workload_map loads{small.topology(), random};
+    const deployment_plan plan = enhanced_common_practice_plan(
+        small.topology(), loads, power, 5, {.candidate_plans = 5});
+    EXPECT_EQ(plan.hosts.size(), 5u);
+}
+
+}  // namespace
+}  // namespace recloud

@@ -1,0 +1,111 @@
+#include "util/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace recloud {
+namespace {
+
+TEST(Config, ParsesKeysAndSections) {
+    const config c = config::parse(
+        "top = 1\n"
+        "[datacenter]\n"
+        "topology = fat-tree\n"
+        "scale=large\n"
+        "[search]\n"
+        "  max_seconds =  30 \n");
+    EXPECT_EQ(c.size(), 4u);
+    EXPECT_EQ(c.get_string("top", ""), "1");
+    EXPECT_EQ(c.get_string("datacenter.topology", ""), "fat-tree");
+    EXPECT_EQ(c.get_string("datacenter.scale", ""), "large");
+    EXPECT_EQ(c.get_int("search.max_seconds", 0), 30);
+}
+
+TEST(Config, CommentsAndBlankLines) {
+    const config c = config::parse(
+        "# full line comment\n"
+        "\n"
+        "a = 1   # trailing comment\n"
+        "b = 2   ; ini-style comment\n"
+        ";another\n");
+    EXPECT_EQ(c.size(), 2u);
+    EXPECT_EQ(c.get_int("a", 0), 1);
+    EXPECT_EQ(c.get_int("b", 0), 2);
+}
+
+TEST(Config, TypedAccessors) {
+    const config c = config::parse(
+        "i = -42\n"
+        "d = 2.5\n"
+        "t1 = true\nt2 = YES\nt3 = on\nt4 = 1\n"
+        "f1 = false\nf2 = No\nf3 = off\nf4 = 0\n");
+    EXPECT_EQ(c.get_int("i", 0), -42);
+    EXPECT_DOUBLE_EQ(c.get_double("d", 0.0), 2.5);
+    EXPECT_DOUBLE_EQ(c.get_double("i", 0.0), -42.0);
+    for (const char* key : {"t1", "t2", "t3", "t4"}) {
+        EXPECT_TRUE(c.get_bool(key, false)) << key;
+    }
+    for (const char* key : {"f1", "f2", "f3", "f4"}) {
+        EXPECT_FALSE(c.get_bool(key, true)) << key;
+    }
+}
+
+TEST(Config, FallbacksForMissingKeys) {
+    const config c = config::parse("present = 7\n");
+    EXPECT_EQ(c.get_int("absent", 99), 99);
+    EXPECT_EQ(c.get_string("absent", "dflt"), "dflt");
+    EXPECT_TRUE(c.get_bool("absent", true));
+    EXPECT_DOUBLE_EQ(c.get_double("absent", 1.5), 1.5);
+}
+
+TEST(Config, RequireVariantsThrowOnMissing) {
+    const config c = config::parse("x = 3\n");
+    EXPECT_EQ(c.require_int("x"), 3);
+    EXPECT_EQ(c.require_string("x"), "3");
+    EXPECT_THROW((void)c.require_int("y"), config_error);
+    EXPECT_THROW((void)c.require_string("y"), config_error);
+}
+
+TEST(Config, MalformedInputRejectedWithLineNumbers) {
+    EXPECT_THROW((void)config::parse("no equals sign\n"), config_error);
+    EXPECT_THROW((void)config::parse("[unterminated\n"), config_error);
+    EXPECT_THROW((void)config::parse("[]\n"), config_error);
+    EXPECT_THROW((void)config::parse(" = value\n"), config_error);
+    try {
+        (void)config::parse("ok = 1\nbroken line\n");
+        FAIL() << "expected config_error";
+    } catch (const config_error& e) {
+        EXPECT_NE(std::string{e.what()}.find("line 2"), std::string::npos);
+    }
+}
+
+TEST(Config, TypeErrorsAreReported) {
+    const config c = config::parse("i = 12x\nb = maybe\nd = 1.2.3\n");
+    EXPECT_THROW((void)c.get_int("i", 0), config_error);
+    EXPECT_THROW((void)c.get_bool("b", false), config_error);
+    EXPECT_THROW((void)c.get_double("d", 0.0), config_error);
+}
+
+TEST(Config, LastAssignmentWins) {
+    const config c = config::parse("k = 1\nk = 2\n");
+    EXPECT_EQ(c.get_int("k", 0), 2);
+    EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(Config, KeysAreSorted) {
+    const config c = config::parse("b = 1\na = 2\n[s]\nc = 3\n");
+    EXPECT_EQ(c.keys(), (std::vector<std::string>{"a", "b", "s.c"}));
+}
+
+TEST(Config, MissingFileThrows) {
+    EXPECT_THROW((void)config::parse_file("/nonexistent/recloud.conf"),
+                 config_error);
+}
+
+TEST(Config, EmptyInputIsEmptyConfig) {
+    const config c = config::parse("");
+    EXPECT_EQ(c.size(), 0u);
+    EXPECT_FALSE(c.has("anything"));
+}
+
+}  // namespace
+}  // namespace recloud

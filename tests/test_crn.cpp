@@ -1,0 +1,83 @@
+// Common-random-numbers behaviour of the re_cloud search (see
+// recloud_options::common_random_numbers): candidate plans are compared on
+// identical failure sequences, and the winner is re-assessed on a fresh
+// stream to strip optimization bias.
+#include <gtest/gtest.h>
+
+#include "core/recloud.hpp"
+
+namespace recloud {
+namespace {
+
+recloud_options base_options() {
+    recloud_options o;
+    o.assessment_rounds = 1500;
+    o.max_iterations = 40;
+    o.seed = 9;
+    return o;
+}
+
+deployment_request request_for(application app) {
+    deployment_request r{std::move(app), 1.0, std::chrono::seconds{20}};
+    return r;
+}
+
+TEST(CommonRandomNumbers, SearchIsDeterministicUnderIterationBudget) {
+    auto infra = fat_tree_infrastructure::build(data_center_scale::tiny);
+    const auto run = [&] {
+        re_cloud system{infra, base_options()};
+        return system.find_deployment(request_for(application::k_of_n(2, 3)));
+    };
+    const deployment_response a = run();
+    const deployment_response b = run();
+    EXPECT_EQ(a.plan, b.plan);
+    EXPECT_EQ(a.stats.reliability, b.stats.reliability);
+    EXPECT_EQ(a.search.plans_evaluated, b.search.plans_evaluated);
+}
+
+TEST(CommonRandomNumbers, RepeatedEvaluationOfSamePlanIsIdentical) {
+    // Under CRN the same plan must always score identically within one
+    // search — otherwise the annealing walk would oscillate on noise.
+    auto infra = fat_tree_infrastructure::build(data_center_scale::tiny);
+    recloud_options options = base_options();
+    re_cloud system{infra, options};
+    // Evaluate through the private path indirectly: two assessments via
+    // the public assess() continue the stream (fresh randomness)...
+    const application app = application::k_of_n(1, 2);
+    deployment_plan plan;
+    plan.hosts = {infra.tree().host(0, 0, 0), infra.tree().host(2, 1, 1)};
+    const assessment_stats first = system.assess(app, plan, 4000);
+    const assessment_stats second = system.assess(app, plan, 4000);
+    // ...so they are allowed to differ (and virtually always do in the
+    // third decimal); this documents that assess() is NOT the CRN path.
+    EXPECT_EQ(first.rounds, second.rounds);
+}
+
+TEST(CommonRandomNumbers, DisabledModeStillFindsValidPlans) {
+    auto infra = fat_tree_infrastructure::build(data_center_scale::tiny);
+    recloud_options options = base_options();
+    options.common_random_numbers = false;
+    re_cloud system{infra, options};
+    const deployment_response response =
+        system.find_deployment(request_for(application::k_of_n(2, 3)));
+    EXPECT_EQ(response.plan.hosts.size(), 3u);
+    EXPECT_GT(response.stats.reliability, 0.5);
+}
+
+TEST(CommonRandomNumbers, FulfilledRequiresUnbiasedConfirmation) {
+    // A target placed just at the achievable level: fulfilled may be true
+    // or false depending on the draw, but if it is true, the reported
+    // (fresh-stream) reliability must itself meet the target — i.e. the
+    // flag is consistent with the unbiased estimate, not the CRN one.
+    auto infra = fat_tree_infrastructure::build(data_center_scale::tiny);
+    re_cloud system{infra, base_options()};
+    deployment_request request = request_for(application::k_of_n(1, 3));
+    request.desired_reliability = 0.95;
+    const deployment_response response = system.find_deployment(request);
+    if (response.fulfilled) {
+        EXPECT_GE(response.stats.reliability, request.desired_reliability);
+    }
+}
+
+}  // namespace
+}  // namespace recloud

@@ -1,0 +1,121 @@
+#include "faults/cvss.hpp"
+
+#include <gtest/gtest.h>
+
+namespace recloud {
+namespace {
+
+TEST(Cvss, NoImpactScoresZero) {
+    cvss_metrics m;  // all impacts none
+    EXPECT_DOUBLE_EQ(cvss_base_score(m), 0.0);
+}
+
+TEST(Cvss, Critical10) {
+    // AV:N/AC:L/PR:N/UI:N/S:C/C:H/I:H/A:H — canonical 10.0 vector.
+    cvss_metrics m;
+    m.scope = cvss_scope::changed;
+    m.confidentiality = cvss_impact::high;
+    m.integrity = cvss_impact::high;
+    m.availability = cvss_impact::high;
+    EXPECT_DOUBLE_EQ(cvss_base_score(m), 10.0);
+}
+
+TEST(Cvss, KnownVectorHeartbleedLike) {
+    // AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:N/A:N scores 7.5 (e.g. CVE-2014-0160).
+    cvss_metrics m;
+    m.confidentiality = cvss_impact::high;
+    EXPECT_DOUBLE_EQ(cvss_base_score(m), 7.5);
+}
+
+TEST(Cvss, KnownVectorLocalHighComplexity) {
+    // AV:L/AC:H/PR:L/UI:R/S:U/C:L/I:L/A:L scores 4.2.
+    cvss_metrics m;
+    m.attack_vector = cvss_attack_vector::local;
+    m.attack_complexity = cvss_attack_complexity::high;
+    m.privileges_required = cvss_privileges_required::low;
+    m.user_interaction = cvss_user_interaction::required;
+    m.confidentiality = cvss_impact::low;
+    m.integrity = cvss_impact::low;
+    m.availability = cvss_impact::low;
+    EXPECT_DOUBLE_EQ(cvss_base_score(m), 4.2);
+}
+
+TEST(Cvss, KnownVectorFullUnchangedImpact) {
+    // AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H scores 9.8 (classic RCE).
+    cvss_metrics m;
+    m.confidentiality = cvss_impact::high;
+    m.integrity = cvss_impact::high;
+    m.availability = cvss_impact::high;
+    EXPECT_DOUBLE_EQ(cvss_base_score(m), 9.8);
+}
+
+TEST(Cvss, ChangedScopeRaisesPrivilegedScores) {
+    cvss_metrics unchanged;
+    unchanged.privileges_required = cvss_privileges_required::high;
+    unchanged.availability = cvss_impact::high;
+    cvss_metrics changed = unchanged;
+    changed.scope = cvss_scope::changed;
+    EXPECT_GT(cvss_base_score(changed), cvss_base_score(unchanged));
+}
+
+TEST(Cvss, PhysicalVectorScoresLowest) {
+    cvss_metrics network;
+    network.availability = cvss_impact::high;
+    cvss_metrics physical = network;
+    physical.attack_vector = cvss_attack_vector::physical;
+    EXPECT_LT(cvss_base_score(physical), cvss_base_score(network));
+}
+
+TEST(Cvss, ScoreIsWithinRange) {
+    // Sweep every enum combination; scores must stay in [0, 10].
+    for (int av = 0; av < 4; ++av) {
+        for (int ac = 0; ac < 2; ++ac) {
+            for (int pr = 0; pr < 3; ++pr) {
+                for (int ui = 0; ui < 2; ++ui) {
+                    for (int sc = 0; sc < 2; ++sc) {
+                        for (int c = 0; c < 3; ++c) {
+                            for (int i = 0; i < 3; ++i) {
+                                for (int a = 0; a < 3; ++a) {
+                                    cvss_metrics m;
+                                    m.attack_vector = static_cast<cvss_attack_vector>(av);
+                                    m.attack_complexity =
+                                        static_cast<cvss_attack_complexity>(ac);
+                                    m.privileges_required =
+                                        static_cast<cvss_privileges_required>(pr);
+                                    m.user_interaction =
+                                        static_cast<cvss_user_interaction>(ui);
+                                    m.scope = static_cast<cvss_scope>(sc);
+                                    m.confidentiality = static_cast<cvss_impact>(c);
+                                    m.integrity = static_cast<cvss_impact>(i);
+                                    m.availability = static_cast<cvss_impact>(a);
+                                    const double score = cvss_base_score(m);
+                                    ASSERT_GE(score, 0.0);
+                                    ASSERT_LE(score, 10.0);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST(CvssProbability, MonotoneInScore) {
+    double previous = -1.0;
+    for (double score = 0.0; score <= 10.0; score += 0.5) {
+        const double p = probability_from_cvss(score);
+        EXPECT_GT(p, previous);
+        previous = p;
+    }
+}
+
+TEST(CvssProbability, RangeEndpoints) {
+    EXPECT_DOUBLE_EQ(probability_from_cvss(0.0), 1e-4);
+    EXPECT_DOUBLE_EQ(probability_from_cvss(10.0), 0.05);
+    EXPECT_DOUBLE_EQ(probability_from_cvss(-5.0), 1e-4);   // clamped
+    EXPECT_DOUBLE_EQ(probability_from_cvss(50.0), 0.05);   // clamped
+}
+
+}  // namespace
+}  // namespace recloud

@@ -1,0 +1,121 @@
+#include "topology/dcell.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "faults/round_state.hpp"
+#include "routing/bfs_reachability.hpp"
+#include "topology/stats.hpp"
+
+namespace recloud {
+namespace {
+
+TEST(DCell, CountsMatchConstruction) {
+    // n=4: 5 cells x 4 servers = 20 servers, 5 switches.
+    const built_topology topo = build_dcell({.servers_per_cell = 4});
+    const topology_stats s = compute_topology_stats(topo);
+    EXPECT_EQ(s.hosts, 20u);
+    EXPECT_EQ(s.edge_switches + s.border_switches, 5u);
+    EXPECT_EQ(s.border_switches, 1u);
+    // Links: 5 cells x 4 access + C(5,2) inter-cell + 1 peering = 20+10+1.
+    EXPECT_EQ(s.links, 31u);
+}
+
+TEST(DCell, EveryServerHasExactlyTwoPorts) {
+    const built_topology topo = build_dcell({.servers_per_cell = 5});
+    for (const node_id server : topo.hosts) {
+        EXPECT_EQ(topo.graph.degree(server), 2u);
+    }
+}
+
+TEST(DCell, EveryCellPairSharesExactlyOneDirectLink) {
+    const dcell_params params{.servers_per_cell = 4};
+    const built_topology topo = build_dcell(params);
+    const int cells = params.servers_per_cell + 1;
+    const auto cell_of = [&](node_id server) {
+        // Servers were created cell-major right after their cell's switch.
+        return static_cast<int>(server / (params.servers_per_cell + 1));
+    };
+    std::vector<std::vector<int>> direct(cells, std::vector<int>(cells, 0));
+    for (const node_id server : topo.hosts) {
+        for (const node_id peer : topo.graph.neighbors(server)) {
+            if (topo.graph.kind(peer) != node_kind::host) {
+                continue;
+            }
+            const int a = cell_of(server);
+            const int b = cell_of(peer);
+            EXPECT_NE(a, b) << "intra-cell server-server link";
+            ++direct[a][b];
+        }
+    }
+    for (int i = 0; i < cells; ++i) {
+        for (int j = 0; j < cells; ++j) {
+            if (i != j) {
+                EXPECT_EQ(direct[i][j], 1) << i << "," << j;
+            }
+        }
+    }
+}
+
+TEST(DCell, HealthyConnectivity) {
+    const built_topology topo = build_dcell({.servers_per_cell = 4});
+    round_state rs{topo.graph.node_count(), nullptr};
+    bfs_reachability oracle{topo};
+    rs.begin_round(std::vector<component_id>{});
+    oracle.begin_round(rs);
+    for (const node_id server : topo.hosts) {
+        EXPECT_TRUE(oracle.border_reachable(server));
+    }
+}
+
+TEST(DCell, CellSurvivesItsSwitchViaServerRelay) {
+    // Kill a non-border cell's switch: its servers keep border
+    // reachability through their inter-cell server links — the defining
+    // DCell fault-tolerance property.
+    const built_topology topo = build_dcell({.servers_per_cell = 4,
+                                             .border_cells = 1});
+    round_state rs{topo.graph.node_count(), nullptr};
+    bfs_reachability oracle{topo};
+    // Cell 1's switch is the second switch created; find it as the rack of
+    // the first cell-1 server.
+    const node_id cell1_server = topo.hosts[4];
+    const node_id cell1_switch = rack_of(topo.graph, cell1_server);
+    rs.begin_round(std::vector<component_id>{cell1_switch});
+    oracle.begin_round(rs);
+    for (int s = 0; s < 4; ++s) {
+        EXPECT_TRUE(oracle.border_reachable(topo.hosts[4 + s])) << s;
+    }
+}
+
+TEST(DCell, IsolatedWhenSwitchAndRelayDie) {
+    // A server is cut off when both its ports die: its cell switch and its
+    // single inter-cell peer.
+    const built_topology topo = build_dcell({.servers_per_cell = 4,
+                                             .border_cells = 1});
+    round_state rs{topo.graph.node_count(), nullptr};
+    bfs_reachability oracle{topo};
+    const node_id victim = topo.hosts[4];  // cell 1, server 0
+    std::vector<component_id> failed{rack_of(topo.graph, victim)};
+    for (const node_id peer : topo.graph.neighbors(victim)) {
+        if (topo.graph.kind(peer) == node_kind::host) {
+            failed.push_back(peer);
+        }
+    }
+    ASSERT_EQ(failed.size(), 2u);
+    rs.begin_round(failed);
+    oracle.begin_round(rs);
+    EXPECT_FALSE(oracle.border_reachable(victim));
+}
+
+TEST(DCell, InvalidParamsRejected) {
+    EXPECT_THROW((void)build_dcell({.servers_per_cell = 1}),
+                 std::invalid_argument);
+    EXPECT_THROW((void)build_dcell({.servers_per_cell = 4, .border_cells = 0}),
+                 std::invalid_argument);
+    EXPECT_THROW((void)build_dcell({.servers_per_cell = 4, .border_cells = 6}),
+                 std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace recloud

@@ -1,0 +1,253 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "deps/hardware_inventory.hpp"
+#include "deps/network_deps.hpp"
+#include "deps/software_deps.hpp"
+#include "topology/leaf_spine.hpp"
+
+namespace recloud {
+namespace {
+
+struct deps_fixture {
+    // Built via a named helper (not a default member initializer with a
+    // designated-init temporary) to sidestep a GCC -O2 dangling-pointer
+    // false positive.
+    static built_topology make_topology() {
+        leaf_spine_params params;
+        params.spines = 2;
+        params.leaves = 4;
+        params.hosts_per_leaf = 4;
+        params.border_leaves = 1;
+        return build_leaf_spine(params);
+    }
+
+    built_topology topo = make_topology();
+    component_registry registry{topo.graph};
+    fault_tree_forest forest{topo.graph.node_count()};
+};
+
+// ---- hardware inventory ---------------------------------------------------
+
+TEST(HardwareInventory, OneProfilePerHost) {
+    deps_fixture f;
+    const hardware_inventory inv =
+        survey_hardware(f.topo, f.registry, f.forest, {.firmware_versions = 3});
+    EXPECT_EQ(inv.profiles.size(), f.topo.hosts.size());
+    EXPECT_EQ(inv.firmware_components.size(), 3u);
+    for (const auto& profile : inv.profiles) {
+        EXPECT_FALSE(profile.cpu_model.empty());
+        EXPECT_FALSE(profile.mainboard.empty());
+        EXPECT_GE(profile.firmware_version, 0);
+        EXPECT_LT(profile.firmware_version, 3);
+    }
+}
+
+TEST(HardwareInventory, SharedFirmwareCorrelatesHosts) {
+    deps_fixture f;
+    const hardware_inventory inv =
+        survey_hardware(f.topo, f.registry, f.forest, {.firmware_versions = 2});
+    // Failing firmware v0 must fail exactly the hosts running it.
+    const component_id fw0 = inv.firmware_components[0];
+    const auto failed = [&](component_id id) { return id == fw0; };
+    for (const auto& profile : inv.profiles) {
+        EXPECT_EQ(f.forest.effective_failed(profile.host, false, failed),
+                  profile.firmware_version == 0);
+    }
+}
+
+TEST(HardwareInventory, RegistersFirmwareComponents) {
+    deps_fixture f;
+    const hardware_inventory inv =
+        survey_hardware(f.topo, f.registry, f.forest,
+                        {.firmware_versions = 2,
+                         .firmware_failure_probability = 0.007});
+    for (const component_id fw : inv.firmware_components) {
+        EXPECT_EQ(f.registry.kind(fw), component_kind::firmware);
+        EXPECT_DOUBLE_EQ(f.registry.probability(fw), 0.007);
+    }
+}
+
+TEST(HardwareInventory, DeterministicPerSeed) {
+    deps_fixture f1;
+    deps_fixture f2;
+    const hardware_inventory a =
+        survey_hardware(f1.topo, f1.registry, f1.forest, {.seed = 9});
+    const hardware_inventory b =
+        survey_hardware(f2.topo, f2.registry, f2.forest, {.seed = 9});
+    for (std::size_t i = 0; i < a.profiles.size(); ++i) {
+        EXPECT_EQ(a.profiles[i].firmware_version, b.profiles[i].firmware_version);
+        EXPECT_EQ(a.profiles[i].cpu_model, b.profiles[i].cpu_model);
+    }
+}
+
+// ---- software catalog -------------------------------------------------------
+
+TEST(SoftwareCatalog, DependenciesFormADag) {
+    deps_fixture f;
+    const software_catalog catalog = generate_software_catalog(f.registry, {});
+    for (std::size_t p = 0; p < catalog.depends_on.size(); ++p) {
+        for (const std::uint32_t dep : catalog.depends_on[p]) {
+            EXPECT_LT(dep, p);  // only earlier packages: acyclic by indexing
+        }
+    }
+}
+
+TEST(SoftwareCatalog, PackageProbabilitiesInCvssRange) {
+    deps_fixture f;
+    const software_catalog catalog = generate_software_catalog(f.registry, {});
+    for (const component_id pkg : catalog.packages) {
+        EXPECT_GE(f.registry.probability(pkg), 1e-4);
+        EXPECT_LE(f.registry.probability(pkg), 0.05);
+        EXPECT_EQ(f.registry.kind(pkg), component_kind::software_package);
+    }
+}
+
+TEST(SoftwareCatalog, ClosureContainsTopLevelAndTransitiveDeps) {
+    deps_fixture f;
+    const software_catalog catalog = generate_software_catalog(
+        f.registry, {.packages = 30, .seed = 3});
+    for (std::uint32_t s = 0; s < catalog.stacks.size(); ++s) {
+        const auto closure = stack_closure(catalog, s);
+        const std::set<std::uint32_t> closure_set(closure.begin(), closure.end());
+        for (const std::uint32_t top : catalog.stacks[s]) {
+            EXPECT_TRUE(closure_set.contains(top));
+            // Every direct dependency of a closure member is in the closure.
+        }
+        for (const std::uint32_t member : closure) {
+            for (const std::uint32_t dep : catalog.depends_on[member]) {
+                EXPECT_TRUE(closure_set.contains(dep));
+            }
+        }
+        EXPECT_TRUE(std::is_sorted(closure.begin(), closure.end()));
+    }
+}
+
+TEST(SoftwareCatalog, UnknownStackRejected) {
+    deps_fixture f;
+    const software_catalog catalog = generate_software_catalog(f.registry, {});
+    EXPECT_THROW((void)stack_closure(catalog, 999), std::out_of_range);
+}
+
+TEST(SoftwareInstall, OsFailureFailsItsHosts) {
+    deps_fixture f;
+    const software_catalog catalog = generate_software_catalog(
+        f.registry, {.os_images = 2, .seed = 5});
+    const install_report report = install_software(f.topo, catalog, f.forest);
+    const component_id os0 = catalog.os_images[0];
+    const auto failed = [&](component_id id) { return id == os0; };
+    for (const node_id host : f.topo.hosts) {
+        EXPECT_EQ(f.forest.effective_failed(host, false, failed),
+                  report.os_of_host[host] == 0);
+    }
+}
+
+TEST(SoftwareInstall, PackageInClosureFailsHost) {
+    deps_fixture f;
+    const software_catalog catalog = generate_software_catalog(
+        f.registry, {.packages = 20, .seed = 7});
+    const install_report report = install_software(f.topo, catalog, f.forest);
+    const node_id host = f.topo.hosts[0];
+    const auto closure =
+        stack_closure(catalog, static_cast<std::uint32_t>(report.stack_of_host[host]));
+    ASSERT_FALSE(closure.empty());
+    const component_id pkg = catalog.packages[closure.front()];
+    EXPECT_TRUE(f.forest.effective_failed(
+        host, false, [&](component_id id) { return id == pkg; }));
+}
+
+TEST(SoftwareInstall, PackageOutsideClosureDoesNotFailHost) {
+    deps_fixture f;
+    const software_catalog catalog = generate_software_catalog(
+        f.registry, {.packages = 30, .top_level_packages_per_stack = 2, .seed = 11});
+    const install_report report = install_software(f.topo, catalog, f.forest);
+    const node_id host = f.topo.hosts[0];
+    const auto closure =
+        stack_closure(catalog, static_cast<std::uint32_t>(report.stack_of_host[host]));
+    const std::set<std::uint32_t> closure_set(closure.begin(), closure.end());
+    // Find a package outside the closure (very likely to exist).
+    for (std::uint32_t p = 0; p < catalog.packages.size(); ++p) {
+        if (!closure_set.contains(p)) {
+            const component_id pkg = catalog.packages[p];
+            EXPECT_FALSE(f.forest.effective_failed(
+                host, false, [&](component_id id) { return id == pkg; }));
+            return;
+        }
+    }
+    GTEST_SKIP() << "closure covered every package";
+}
+
+// ---- network dependencies (NSDMiner) ---------------------------------------
+
+TEST(NetworkDeps, ServicesRegisteredPerCategory) {
+    deps_fixture f;
+    const network_services services = deploy_network_services(
+        f.topo, f.registry,
+        {.service_categories = 3, .instances_per_category = 2});
+    ASSERT_EQ(services.services.size(), 3u);
+    for (const auto& category : services.services) {
+        EXPECT_EQ(category.size(), 2u);
+        for (const component_id s : category) {
+            EXPECT_EQ(f.registry.kind(s), component_kind::network_service);
+        }
+    }
+}
+
+TEST(NetworkDeps, MinerRecoversGroundTruthDespiteNoise) {
+    deps_fixture f;
+    const network_services services =
+        deploy_network_services(f.topo, f.registry, {});
+    const auto flows = synthesize_flows(
+        f.topo, services, {.flows_per_dependency = 20, .noise_flows = 40});
+    // Threshold above the noise level but below real traffic.
+    const auto mined = mine_dependencies(flows, 10);
+
+    // Exactly the ground-truth (host, service) pairs must be recovered.
+    std::set<std::pair<node_id, component_id>> truth;
+    for (const node_id host : f.topo.hosts) {
+        const auto& per_category = services.assignment[host];
+        for (std::size_t c = 0; c < per_category.size(); ++c) {
+            truth.insert({host, services.services[c][per_category[c]]});
+        }
+    }
+    std::set<std::pair<node_id, component_id>> found;
+    for (const auto& dep : mined) {
+        found.insert({dep.host, dep.service});
+    }
+    EXPECT_EQ(found, truth);
+}
+
+TEST(NetworkDeps, LowThresholdPicksUpNoise) {
+    deps_fixture f;
+    const network_services services =
+        deploy_network_services(f.topo, f.registry, {});
+    const auto flows = synthesize_flows(
+        f.topo, services, {.flows_per_dependency = 20, .noise_flows = 200});
+    const auto strict = mine_dependencies(flows, 10);
+    const auto lax = mine_dependencies(flows, 1);
+    EXPECT_GT(lax.size(), strict.size());
+}
+
+TEST(NetworkDeps, AttachedDependenciesTakeDownHosts) {
+    deps_fixture f;
+    const network_services services =
+        deploy_network_services(f.topo, f.registry, {});
+    const auto flows = synthesize_flows(f.topo, services, {});
+    const auto mined = mine_dependencies(flows, 10);
+    attach_mined_dependencies(mined, f.forest);
+
+    const node_id host = f.topo.hosts[0];
+    const component_id dns =
+        services.services[0][services.assignment[host][0]];
+    EXPECT_TRUE(f.forest.effective_failed(
+        host, false, [&](component_id id) { return id == dns; }));
+}
+
+TEST(NetworkDeps, MinFlowsValidated) {
+    EXPECT_THROW((void)mine_dependencies({}, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace recloud

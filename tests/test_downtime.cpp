@@ -1,0 +1,41 @@
+#include "assess/downtime.hpp"
+
+#include <gtest/gtest.h>
+
+namespace recloud {
+namespace {
+
+TEST(Downtime, PaperQuotedValues) {
+    // §4.2.2: 99.62% reliability = 33.3 hours/year; 99.97% = 2.6 hours/year.
+    EXPECT_NEAR(annual_downtime_hours(0.9962), 33.3, 0.02);
+    EXPECT_NEAR(annual_downtime_hours(0.9997), 2.6, 0.03);
+}
+
+TEST(Downtime, Endpoints) {
+    EXPECT_DOUBLE_EQ(annual_downtime_hours(1.0), 0.0);
+    EXPECT_DOUBLE_EQ(annual_downtime_hours(0.0), hours_per_year);
+}
+
+TEST(Downtime, ClampsOutOfRangeReliability) {
+    EXPECT_DOUBLE_EQ(annual_downtime_hours(1.5), 0.0);
+    EXPECT_DOUBLE_EQ(annual_downtime_hours(-0.5), hours_per_year);
+}
+
+TEST(Downtime, InverseRelationship) {
+    for (const double r : {0.9, 0.99, 0.999, 0.5}) {
+        EXPECT_NEAR(reliability_for_downtime(annual_downtime_hours(r)), r, 1e-12);
+    }
+}
+
+TEST(Downtime, ReliabilityForDowntimeClamps) {
+    EXPECT_DOUBLE_EQ(reliability_for_downtime(-5.0), 1.0);
+    EXPECT_DOUBLE_EQ(reliability_for_downtime(hours_per_year * 2), 0.0);
+}
+
+TEST(Downtime, FiveNines) {
+    // 99.999% is ~5.3 minutes of downtime per year.
+    EXPECT_NEAR(annual_downtime_hours(0.99999) * 60.0, 5.26, 0.01);
+}
+
+}  // namespace
+}  // namespace recloud

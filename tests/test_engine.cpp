@@ -1,0 +1,187 @@
+#include "exec/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "assess/assessor.hpp"
+#include "routing/bfs_reachability.hpp"
+#include "sampling/extended_dagger.hpp"
+#include "topology/leaf_spine.hpp"
+
+namespace recloud {
+namespace {
+
+// ---- wire format ----------------------------------------------------------
+
+TEST(Wire, ApplicationRoundtrip) {
+    const application app = application::microservice(2, 1, 1, 3);
+    byte_writer w;
+    wire::encode_application(w, app);
+    byte_reader r{w.bytes()};
+    const application decoded = wire::decode_application(r);
+    ASSERT_EQ(decoded.components().size(), app.components().size());
+    for (std::size_t i = 0; i < app.components().size(); ++i) {
+        EXPECT_EQ(decoded.components()[i].name, app.components()[i].name);
+        EXPECT_EQ(decoded.components()[i].replicas, app.components()[i].replicas);
+    }
+    ASSERT_EQ(decoded.requirements().size(), app.requirements().size());
+    for (std::size_t i = 0; i < app.requirements().size(); ++i) {
+        EXPECT_EQ(decoded.requirements()[i].target, app.requirements()[i].target);
+        EXPECT_EQ(decoded.requirements()[i].source, app.requirements()[i].source);
+        EXPECT_EQ(decoded.requirements()[i].min_reachable,
+                  app.requirements()[i].min_reachable);
+    }
+}
+
+TEST(Wire, PlanRoundtrip) {
+    deployment_plan plan;
+    plan.hosts = {3, 1, 4, 1000000};
+    byte_writer w;
+    wire::encode_plan(w, plan);
+    byte_reader r{w.bytes()};
+    EXPECT_EQ(wire::decode_plan(r), plan);
+}
+
+TEST(Wire, RoundBatchRoundtrip) {
+    const std::vector<std::vector<component_id>> rounds{
+        {}, {1, 2, 3}, {7}, {}, {100, 5}};
+    byte_writer w;
+    wire::encode_round_batch(w, rounds);
+    byte_reader r{w.bytes()};
+    EXPECT_EQ(wire::decode_round_batch(r), rounds);
+}
+
+TEST(Wire, BatchResultRoundtrip) {
+    byte_writer w;
+    wire::encode_batch_result(w, {.rounds = 1000, .reliable = 993});
+    byte_reader r{w.bytes()};
+    const wire::batch_result result = wire::decode_batch_result(r);
+    EXPECT_EQ(result.rounds, 1000u);
+    EXPECT_EQ(result.reliable, 993u);
+}
+
+TEST(Wire, CorruptApplicationRejected) {
+    byte_writer w;
+    w.write_varint(1);        // one component
+    w.write_string("c");
+    w.write_varint(0);        // zero replicas -> add_component throws
+    byte_reader r{w.bytes()};
+    EXPECT_THROW((void)wire::decode_application(r), std::invalid_argument);
+}
+
+// ---- engine ----------------------------------------------------------------
+
+struct engine_fixture {
+    built_topology topo = build_leaf_spine(
+        {.spines = 2, .leaves = 4, .hosts_per_leaf = 4, .border_leaves = 1});
+    component_registry registry{topo.graph};
+    fault_tree_forest forest{topo.graph.node_count()};
+
+    engine_fixture() {
+        for (component_id id = 0; id < registry.size(); ++id) {
+            if (registry.kind(id) != component_kind::external) {
+                registry.set_probability(id, 0.03);
+            }
+        }
+    }
+
+    oracle_factory factory() {
+        return [this] { return std::make_unique<bfs_reachability>(topo); };
+    }
+};
+
+TEST(Engine, MatchesSerialAssessmentExactly) {
+    // Same sampler seed => the engine must judge the same rounds and return
+    // the identical reliable count, regardless of batching.
+    engine_fixture f;
+    const application app = application::k_of_n(2, 3);
+    deployment_plan plan;
+    plan.hosts = {f.topo.hosts[0], f.topo.hosts[5], f.topo.hosts[10]};
+
+    extended_dagger_sampler serial_sampler{f.registry.probabilities(), 101};
+    round_state rs{f.registry.size(), &f.forest};
+    bfs_reachability oracle{f.topo};
+    const assessment_stats serial =
+        assess_deployment(serial_sampler, rs, oracle, app, plan, 4000);
+
+    extended_dagger_sampler engine_sampler{f.registry.probabilities(), 101};
+    assessment_engine engine{f.registry.size(), &f.forest, f.factory(),
+                             {.workers = 3, .batch_rounds = 128}};
+    const assessment_stats parallel =
+        engine.assess(engine_sampler, app, plan, 4000);
+
+    EXPECT_EQ(parallel.rounds, serial.rounds);
+    EXPECT_EQ(parallel.reliable, serial.reliable);
+}
+
+TEST(Engine, WorkerCountDoesNotChangeResults) {
+    engine_fixture f;
+    const application app = application::k_of_n(1, 2);
+    deployment_plan plan;
+    plan.hosts = {f.topo.hosts[1], f.topo.hosts[9]};
+
+    std::vector<std::size_t> reliable_counts;
+    for (const std::size_t workers : {1u, 2u, 4u}) {
+        extended_dagger_sampler sampler{f.registry.probabilities(), 55};
+        assessment_engine engine{f.registry.size(), &f.forest, f.factory(),
+                                 {.workers = workers, .batch_rounds = 100}};
+        reliable_counts.push_back(
+            engine.assess(sampler, app, plan, 2000).reliable);
+    }
+    EXPECT_EQ(reliable_counts[0], reliable_counts[1]);
+    EXPECT_EQ(reliable_counts[1], reliable_counts[2]);
+}
+
+TEST(Engine, BatchSizeDoesNotChangeResults) {
+    engine_fixture f;
+    const application app = application::k_of_n(1, 2);
+    deployment_plan plan;
+    plan.hosts = {f.topo.hosts[2], f.topo.hosts[12]};
+
+    std::vector<std::size_t> reliable_counts;
+    for (const std::size_t batch : {1u, 7u, 500u, 10000u}) {
+        extended_dagger_sampler sampler{f.registry.probabilities(), 77};
+        assessment_engine engine{f.registry.size(), &f.forest, f.factory(),
+                                 {.workers = 2, .batch_rounds = batch}};
+        reliable_counts.push_back(
+            engine.assess(sampler, app, plan, 1500).reliable);
+    }
+    for (std::size_t i = 1; i < reliable_counts.size(); ++i) {
+        EXPECT_EQ(reliable_counts[i], reliable_counts[0]);
+    }
+}
+
+TEST(Engine, HandlesRoundCountNotDivisibleByBatch) {
+    engine_fixture f;
+    const application app = application::k_of_n(1, 1);
+    deployment_plan plan;
+    plan.hosts = {f.topo.hosts[0]};
+    extended_dagger_sampler sampler{f.registry.probabilities(), 3};
+    assessment_engine engine{f.registry.size(), &f.forest, f.factory(),
+                             {.workers = 2, .batch_rounds = 64}};
+    const assessment_stats stats = engine.assess(sampler, app, plan, 1000);
+    EXPECT_EQ(stats.rounds, 1000u);
+}
+
+TEST(Engine, ZeroRounds) {
+    engine_fixture f;
+    const application app = application::k_of_n(1, 1);
+    deployment_plan plan;
+    plan.hosts = {f.topo.hosts[0]};
+    extended_dagger_sampler sampler{f.registry.probabilities(), 3};
+    assessment_engine engine{f.registry.size(), &f.forest, f.factory(),
+                             {.workers = 2, .batch_rounds = 64}};
+    const assessment_stats stats = engine.assess(sampler, app, plan, 0);
+    EXPECT_EQ(stats.rounds, 0u);
+}
+
+TEST(Engine, ReportsWorkerCount) {
+    engine_fixture f;
+    const assessment_engine engine{f.registry.size(), &f.forest, f.factory(),
+                                   {.workers = 3, .batch_rounds = 10}};
+    EXPECT_EQ(engine.workers(), 3u);
+}
+
+}  // namespace
+}  // namespace recloud

@@ -1,0 +1,143 @@
+#include "assess/exact.hpp"
+
+#include <gtest/gtest.h>
+
+#include "routing/bfs_reachability.hpp"
+#include "topology/leaf_spine.hpp"
+
+namespace recloud {
+namespace {
+
+/// Minimal chain topology: external - border - spine... built as a 1-spine,
+/// 1-leaf, 1-host leaf-spine so reliability is hand-computable.
+struct tiny_fixture {
+    built_topology topo = build_leaf_spine(
+        {.spines = 1, .leaves = 1, .hosts_per_leaf = 1, .border_leaves = 1});
+    component_registry registry{topo.graph};
+    bfs_reachability oracle{topo};
+
+    node_id host() const { return topo.hosts[0]; }
+    node_id leaf() const {
+        return topo.graph.nodes_of_kind(node_kind::edge_switch)[0];
+    }
+    node_id spine() const {
+        return topo.graph.nodes_of_kind(node_kind::core_switch)[0];
+    }
+    node_id border() const { return topo.border_switches[0]; }
+};
+
+TEST(Exact, SerialChainMultipliesSurvival) {
+    // external - border - spine - leaf - host: reachability requires all
+    // four fallible components alive -> R = prod(1 - p_i).
+    tiny_fixture f;
+    f.registry.set_probability(f.host(), 0.1);
+    f.registry.set_probability(f.leaf(), 0.2);
+    f.registry.set_probability(f.spine(), 0.3);
+    f.registry.set_probability(f.border(), 0.4);
+
+    const application app = application::k_of_n(1, 1);
+    deployment_plan plan;
+    plan.hosts = {f.host()};
+    const double r = exact_reliability(f.registry, nullptr, f.oracle, app, plan);
+    EXPECT_NEAR(r, 0.9 * 0.8 * 0.7 * 0.6, 1e-12);
+}
+
+TEST(Exact, ZeroProbabilitiesGiveCertainty) {
+    tiny_fixture f;
+    const application app = application::k_of_n(1, 1);
+    deployment_plan plan;
+    plan.hosts = {f.host()};
+    EXPECT_DOUBLE_EQ(
+        exact_reliability(f.registry, nullptr, f.oracle, app, plan), 1.0);
+}
+
+TEST(Exact, ParallelRedundancyOneOfTwo) {
+    // Two hosts on the same fully-reliable fabric, only hosts can fail:
+    // R(1-of-2) = 1 - p1*p2.
+    built_topology topo = build_leaf_spine(
+        {.spines = 1, .leaves = 1, .hosts_per_leaf = 2, .border_leaves = 1});
+    component_registry registry{topo.graph};
+    registry.set_probability(topo.hosts[0], 0.25);
+    registry.set_probability(topo.hosts[1], 0.5);
+    bfs_reachability oracle{topo};
+    const application app = application::k_of_n(1, 2);
+    deployment_plan plan;
+    plan.hosts = {topo.hosts[0], topo.hosts[1]};
+    EXPECT_NEAR(exact_reliability(registry, nullptr, oracle, app, plan),
+                1.0 - 0.25 * 0.5, 1e-12);
+}
+
+TEST(Exact, TwoOfTwoRequiresBoth) {
+    built_topology topo = build_leaf_spine(
+        {.spines = 1, .leaves = 1, .hosts_per_leaf = 2, .border_leaves = 1});
+    component_registry registry{topo.graph};
+    registry.set_probability(topo.hosts[0], 0.25);
+    registry.set_probability(topo.hosts[1], 0.5);
+    bfs_reachability oracle{topo};
+    const application app = application::k_of_n(2, 2);
+    deployment_plan plan;
+    plan.hosts = {topo.hosts[0], topo.hosts[1]};
+    EXPECT_NEAR(exact_reliability(registry, nullptr, oracle, app, plan),
+                0.75 * 0.5, 1e-12);
+}
+
+TEST(Exact, SharedDependencyCorrelatesFailures) {
+    // Two hosts share one power supply (p = 0.1); only the supply can fail.
+    // Without correlation, 1-of-2 would be 1 - 0.1^2 = 0.99; with the shared
+    // supply it is exactly 0.9.
+    built_topology topo = build_leaf_spine(
+        {.spines = 1, .leaves = 1, .hosts_per_leaf = 2, .border_leaves = 1});
+    component_registry registry{topo.graph};
+    fault_tree_forest forest{topo.graph.node_count()};
+    const component_id supply =
+        registry.add(component_kind::power_supply, "shared", 0.1);
+    forest.attach(topo.hosts[0], forest.add_leaf(supply));
+    forest.attach(topo.hosts[1], forest.add_leaf(supply));
+    bfs_reachability oracle{topo};
+    const application app = application::k_of_n(1, 2);
+    deployment_plan plan;
+    plan.hosts = {topo.hosts[0], topo.hosts[1]};
+    EXPECT_NEAR(exact_reliability(registry, &forest, oracle, app, plan), 0.9,
+                1e-12);
+}
+
+TEST(Exact, IndependentSuppliesBeatSharedOne) {
+    // Same setup but with two independent supplies: 1 - 0.1^2.
+    built_topology topo = build_leaf_spine(
+        {.spines = 1, .leaves = 1, .hosts_per_leaf = 2, .border_leaves = 1});
+    component_registry registry{topo.graph};
+    fault_tree_forest forest{topo.graph.node_count()};
+    const component_id s0 =
+        registry.add(component_kind::power_supply, "s0", 0.1);
+    const component_id s1 =
+        registry.add(component_kind::power_supply, "s1", 0.1);
+    forest.attach(topo.hosts[0], forest.add_leaf(s0));
+    forest.attach(topo.hosts[1], forest.add_leaf(s1));
+    bfs_reachability oracle{topo};
+    const application app = application::k_of_n(1, 2);
+    deployment_plan plan;
+    plan.hosts = {topo.hosts[0], topo.hosts[1]};
+    EXPECT_NEAR(exact_reliability(registry, &forest, oracle, app, plan),
+                1.0 - 0.01, 1e-12);
+}
+
+TEST(Exact, TooManyComponentsRejected) {
+    built_topology topo = build_leaf_spine(
+        {.spines = 2, .leaves = 4, .hosts_per_leaf = 8, .border_leaves = 1});
+    component_registry registry{topo.graph};
+    for (component_id id = 0; id < registry.size(); ++id) {
+        if (registry.kind(id) != component_kind::external) {
+            registry.set_probability(id, 0.01);
+        }
+    }
+    bfs_reachability oracle{topo};
+    const application app = application::k_of_n(1, 1);
+    deployment_plan plan;
+    plan.hosts = {topo.hosts[0]};
+    EXPECT_THROW(
+        (void)exact_reliability(registry, nullptr, oracle, app, plan),
+        std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace recloud

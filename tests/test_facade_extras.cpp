@@ -1,0 +1,81 @@
+// Remaining facade surface: custom-k fat-tree infrastructures, the
+// symmetry checker with links, and option plumbing details.
+#include <gtest/gtest.h>
+
+#include "core/recloud.hpp"
+#include "search/symmetry.hpp"
+#include "topology/leaf_spine.hpp"
+
+namespace recloud {
+namespace {
+
+TEST(FacadeExtras, CustomKFatTreeInfrastructure) {
+    const auto infra = fat_tree_infrastructure::build(6);
+    EXPECT_EQ(infra.tree().k(), 6);
+    // k=6: 5 regular pods x 9 hosts.
+    EXPECT_EQ(infra.topology().hosts.size(), 45u);
+    EXPECT_EQ(infra.power().supplies.size(), 5u);
+}
+
+TEST(FacadeExtras, CustomPowerSupplyCount) {
+    infrastructure_options options;
+    options.power.supply_count = 9;
+    const auto infra =
+        fat_tree_infrastructure::build(data_center_scale::tiny, options);
+    EXPECT_EQ(infra.power().supplies.size(), 9u);
+    EXPECT_EQ(infra.registry().size(),
+              infra.tree().graph().node_count() + 9);
+}
+
+TEST(FacadeExtras, SymmetryChainIncludesAccessLink) {
+    // Two identical positions except for the access-link probability must
+    // NOT be equivalent when links are modeled.
+    built_topology topo = build_leaf_spine(
+        {.spines = 2, .leaves = 3, .hosts_per_leaf = 2, .border_leaves = 1});
+    component_registry registry{topo.graph};
+    const link_attachment links = attach_link_components(topo, registry);
+    for (component_id id = 0; id < registry.size(); ++id) {
+        if (registry.kind(id) != component_kind::external) {
+            registry.set_probability(id, 0.01);
+        }
+    }
+    const symmetry_checker with_links{topo, registry, nullptr, &links};
+    deployment_plan a;
+    a.hosts = {topo.hosts[0]};
+    deployment_plan b;
+    b.hosts = {topo.hosts[2]};
+    EXPECT_TRUE(with_links.equivalent(a, b));
+
+    // Degrade b's access link: positions diverge.
+    const node_id host_b = topo.hosts[2];
+    const component_id uplink = links.component_of_edge[topo.graph.edge_id(
+        host_b, rack_of(topo.graph, host_b))];
+    registry.set_probability(uplink, 0.2);
+    const symmetry_checker degraded{topo, registry, nullptr, &links};
+    EXPECT_FALSE(degraded.equivalent(a, b));
+}
+
+TEST(FacadeExtras, RecordTraceOffByDefault) {
+    auto infra = fat_tree_infrastructure::build(data_center_scale::tiny);
+    recloud_options options;
+    options.assessment_rounds = 300;
+    options.max_iterations = 10;
+    re_cloud system{infra, options};
+    deployment_request request;
+    request.app = application::k_of_n(1, 2);
+    request.desired_reliability = 0.5;
+    request.max_search_time = std::chrono::seconds{5};
+    const deployment_response response = system.find_deployment(request);
+    EXPECT_TRUE(response.search.trace.empty());
+}
+
+TEST(FacadeExtras, FindDeploymentValidatesApplication) {
+    auto infra = fat_tree_infrastructure::build(data_center_scale::tiny);
+    re_cloud system{infra, {.assessment_rounds = 100, .max_iterations = 5}};
+    deployment_request request;  // empty application
+    request.max_search_time = std::chrono::seconds{1};
+    EXPECT_THROW((void)system.find_deployment(request), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace recloud

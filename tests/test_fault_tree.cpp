@@ -1,0 +1,148 @@
+#include "faults/fault_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace recloud {
+namespace {
+
+/// Convenience predicate: leaf fails iff its id is in `failed`.
+auto failed_in(const std::set<component_id>& failed) {
+    return [&failed](component_id id) { return failed.contains(id); };
+}
+
+TEST(FaultTree, LeafEvaluatesItsComponent) {
+    fault_tree_forest forest{4};
+    const tree_node_id leaf = forest.add_leaf(2);
+    EXPECT_TRUE(forest.evaluate(leaf, failed_in({2})));
+    EXPECT_FALSE(forest.evaluate(leaf, failed_in({1})));
+}
+
+TEST(FaultTree, OrGate) {
+    fault_tree_forest forest{4};
+    const tree_node_id gate =
+        forest.add_or({forest.add_leaf(0), forest.add_leaf(1)});
+    EXPECT_FALSE(forest.evaluate(gate, failed_in({})));
+    EXPECT_TRUE(forest.evaluate(gate, failed_in({0})));
+    EXPECT_TRUE(forest.evaluate(gate, failed_in({1})));
+    EXPECT_TRUE(forest.evaluate(gate, failed_in({0, 1})));
+}
+
+TEST(FaultTree, AndGate) {
+    fault_tree_forest forest{4};
+    const tree_node_id gate =
+        forest.add_and({forest.add_leaf(0), forest.add_leaf(1)});
+    EXPECT_FALSE(forest.evaluate(gate, failed_in({})));
+    EXPECT_FALSE(forest.evaluate(gate, failed_in({0})));
+    EXPECT_FALSE(forest.evaluate(gate, failed_in({1})));
+    EXPECT_TRUE(forest.evaluate(gate, failed_in({0, 1})));
+}
+
+TEST(FaultTree, KOfNGate) {
+    fault_tree_forest forest{8};
+    const tree_node_id gate = forest.add_k_of_n(
+        2, {forest.add_leaf(0), forest.add_leaf(1), forest.add_leaf(2)});
+    EXPECT_FALSE(forest.evaluate(gate, failed_in({})));
+    EXPECT_FALSE(forest.evaluate(gate, failed_in({1})));
+    EXPECT_TRUE(forest.evaluate(gate, failed_in({0, 2})));
+    EXPECT_TRUE(forest.evaluate(gate, failed_in({0, 1, 2})));
+}
+
+TEST(FaultTree, KOfNBoundsChecked) {
+    fault_tree_forest forest{4};
+    const tree_node_id leaf = forest.add_leaf(0);
+    EXPECT_THROW((void)forest.add_k_of_n(0, {leaf}), std::invalid_argument);
+    EXPECT_THROW((void)forest.add_k_of_n(2, {leaf}), std::invalid_argument);
+}
+
+TEST(FaultTree, EmptyGateRejected) {
+    fault_tree_forest forest{4};
+    EXPECT_THROW((void)forest.add_or({}), std::invalid_argument);
+    EXPECT_THROW((void)forest.add_and({}), std::invalid_argument);
+}
+
+TEST(FaultTree, UnknownChildRejected) {
+    fault_tree_forest forest{4};
+    EXPECT_THROW((void)forest.add_or({99}), std::out_of_range);
+}
+
+TEST(FaultTree, Figure5Example) {
+    // Host fails = (OS or library) or (power1 AND power2) or
+    //              (cooling1 AND cooling2).
+    enum : component_id { host = 0, os = 1, lib = 2, p1 = 3, p2 = 4, c1 = 5, c2 = 6 };
+    fault_tree_forest forest{7};
+    const tree_node_id software =
+        forest.add_or({forest.add_leaf(os), forest.add_leaf(lib)});
+    const tree_node_id power =
+        forest.add_and({forest.add_leaf(p1), forest.add_leaf(p2)});
+    const tree_node_id cooling =
+        forest.add_and({forest.add_leaf(c1), forest.add_leaf(c2)});
+    forest.attach(host, forest.add_or({software, power, cooling}));
+
+    const auto host_fails = [&](const std::set<component_id>& failed) {
+        return forest.effective_failed(host, failed.contains(host),
+                                       failed_in(failed));
+    };
+    EXPECT_FALSE(host_fails({}));
+    EXPECT_TRUE(host_fails({os}));
+    EXPECT_TRUE(host_fails({lib}));
+    EXPECT_FALSE(host_fails({p1}));       // one redundant supply down: fine
+    EXPECT_TRUE(host_fails({p1, p2}));    // both supplies down
+    EXPECT_FALSE(host_fails({c2}));
+    EXPECT_TRUE(host_fails({c1, c2}));
+    EXPECT_TRUE(host_fails({host}));      // own failure always counts
+}
+
+TEST(FaultTree, SharedLeafCorrelatesTwoComponents) {
+    // Two hosts share one power supply: its failure fails both.
+    enum : component_id { host_a = 0, host_b = 1, supply = 2 };
+    fault_tree_forest forest{3};
+    forest.attach(host_a, forest.add_leaf(supply));
+    forest.attach(host_b, forest.add_leaf(supply));
+
+    const std::set<component_id> failed{supply};
+    EXPECT_TRUE(forest.effective_failed(host_a, false, failed_in(failed)));
+    EXPECT_TRUE(forest.effective_failed(host_b, false, failed_in(failed)));
+}
+
+TEST(FaultTree, AttachTwiceOrsTheRoots) {
+    enum : component_id { host = 0, dep_a = 1, dep_b = 2 };
+    fault_tree_forest forest{3};
+    forest.attach(host, forest.add_leaf(dep_a));
+    forest.attach(host, forest.add_leaf(dep_b));
+    EXPECT_TRUE(forest.effective_failed(host, false, failed_in({dep_a})));
+    EXPECT_TRUE(forest.effective_failed(host, false, failed_in({dep_b})));
+    EXPECT_FALSE(forest.effective_failed(host, false, failed_in({})));
+}
+
+TEST(FaultTree, NoTreeMeansOwnStateOnly) {
+    fault_tree_forest forest{2};
+    EXPECT_FALSE(forest.has_tree(0));
+    EXPECT_FALSE(forest.effective_failed(0, false, failed_in({1})));
+    EXPECT_TRUE(forest.effective_failed(0, true, failed_in({})));
+}
+
+TEST(FaultTree, RootOfBeyondRangeIsInvalid) {
+    fault_tree_forest forest{2};
+    EXPECT_EQ(forest.root_of(100), invalid_tree_node);
+}
+
+TEST(FaultTree, AttachGrowsForComponentsAddedLater) {
+    fault_tree_forest forest{2};
+    forest.attach(10, forest.add_leaf(1));
+    EXPECT_TRUE(forest.has_tree(10));
+    EXPECT_TRUE(forest.effective_failed(10, false, failed_in({1})));
+}
+
+TEST(FaultTree, DependenciesOfDeduplicatesAndSorts) {
+    fault_tree_forest forest{4};
+    const tree_node_id gate = forest.add_or(
+        {forest.add_leaf(3), forest.add_leaf(1), forest.add_leaf(3)});
+    forest.attach(0, gate);
+    EXPECT_EQ(forest.dependencies_of(0), (std::vector<component_id>{1, 3}));
+    EXPECT_TRUE(forest.dependencies_of(2).empty());
+}
+
+}  // namespace
+}  // namespace recloud

@@ -1,0 +1,142 @@
+// Tests for fault_tree_forest::failure_probability — the series/parallel
+// reduction used by the network-transformation symmetry check — validated
+// against exhaustive enumeration over leaf states.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "faults/fault_tree.hpp"
+#include "util/rng.hpp"
+
+namespace recloud {
+namespace {
+
+/// Exact tree failure probability by enumerating all leaf subsets.
+double enumerate_probability(const fault_tree_forest& forest, tree_node_id root,
+                             const std::vector<double>& leaf_probs) {
+    const std::size_t n = leaf_probs.size();
+    double total = 0.0;
+    for (std::uint64_t mask = 0; mask < (std::uint64_t{1} << n); ++mask) {
+        double p = 1.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            p *= (mask & (std::uint64_t{1} << i)) ? leaf_probs[i]
+                                                  : 1.0 - leaf_probs[i];
+        }
+        const bool failed = forest.evaluate(root, [&](component_id id) {
+            return (mask & (std::uint64_t{1} << id)) != 0;
+        });
+        if (failed) {
+            total += p;
+        }
+    }
+    return total;
+}
+
+TEST(FaultTreeProbability, LeafIsItsOwnProbability) {
+    fault_tree_forest forest{4};
+    const tree_node_id leaf = forest.add_leaf(2);
+    const double p = forest.failure_probability(
+        leaf, [](component_id id) { return id == 2 ? 0.3 : 0.0; });
+    EXPECT_DOUBLE_EQ(p, 0.3);
+}
+
+TEST(FaultTreeProbability, OrCombinesAsComplementProduct) {
+    fault_tree_forest forest{2};
+    const tree_node_id gate =
+        forest.add_or({forest.add_leaf(0), forest.add_leaf(1)});
+    const std::vector<double> probs{0.1, 0.2};
+    const double p = forest.failure_probability(
+        gate, [&](component_id id) { return probs[id]; });
+    EXPECT_NEAR(p, 1.0 - 0.9 * 0.8, 1e-15);
+}
+
+TEST(FaultTreeProbability, AndCombinesAsProduct) {
+    fault_tree_forest forest{2};
+    const tree_node_id gate =
+        forest.add_and({forest.add_leaf(0), forest.add_leaf(1)});
+    const std::vector<double> probs{0.1, 0.2};
+    const double p = forest.failure_probability(
+        gate, [&](component_id id) { return probs[id]; });
+    EXPECT_NEAR(p, 0.02, 1e-15);
+}
+
+TEST(FaultTreeProbability, KOfNMatchesBinomial) {
+    // 3 identical leaves p=0.5, k=2: C(3,2)/8 + C(3,3)/8 = 0.5.
+    fault_tree_forest forest{3};
+    const tree_node_id gate = forest.add_k_of_n(
+        2, {forest.add_leaf(0), forest.add_leaf(1), forest.add_leaf(2)});
+    const double p =
+        forest.failure_probability(gate, [](component_id) { return 0.5; });
+    EXPECT_NEAR(p, 0.5, 1e-15);
+}
+
+TEST(FaultTreeProbability, Figure5TreeMatchesEnumeration) {
+    // OR( OR(os, lib), AND(p1, p2), AND(c1, c2) ) over 6 leaves.
+    fault_tree_forest forest{6};
+    const tree_node_id software =
+        forest.add_or({forest.add_leaf(0), forest.add_leaf(1)});
+    const tree_node_id power =
+        forest.add_and({forest.add_leaf(2), forest.add_leaf(3)});
+    const tree_node_id cooling =
+        forest.add_and({forest.add_leaf(4), forest.add_leaf(5)});
+    const tree_node_id root = forest.add_or({software, power, cooling});
+
+    const std::vector<double> probs{0.01, 0.03, 0.1, 0.1, 0.05, 0.2};
+    const double reduced = forest.failure_probability(
+        root, [&](component_id id) { return probs[id]; });
+    const double exact = enumerate_probability(forest, root, probs);
+    EXPECT_NEAR(reduced, exact, 1e-12);
+}
+
+TEST(FaultTreeProbability, RandomTreesMatchEnumeration) {
+    // Property: for random gate trees over up to 8 leaves with random
+    // probabilities, the reduction equals exhaustive enumeration. (Leaves
+    // are distinct components, so independence holds and the reduction is
+    // exact.)
+    rng random{2024};
+    for (int trial = 0; trial < 40; ++trial) {
+        const std::size_t leaves = 2 + random.uniform_below(7);
+        fault_tree_forest forest{leaves};
+        std::vector<double> probs;
+        std::vector<tree_node_id> nodes;
+        for (std::size_t i = 0; i < leaves; ++i) {
+            probs.push_back(random.uniform(0.01, 0.9));
+            nodes.push_back(forest.add_leaf(static_cast<component_id>(i)));
+        }
+        // Repeatedly combine random disjoint groups until one root remains.
+        while (nodes.size() > 1) {
+            const std::size_t take =
+                2 + random.uniform_below(std::min<std::size_t>(nodes.size(), 3) - 1);
+            std::vector<tree_node_id> children(nodes.end() - take, nodes.end());
+            nodes.resize(nodes.size() - take);
+            const int kind = static_cast<int>(random.uniform_below(3));
+            if (kind == 0) {
+                nodes.push_back(forest.add_or(children));
+            } else if (kind == 1) {
+                nodes.push_back(forest.add_and(children));
+            } else {
+                const std::uint32_t k =
+                    1 + static_cast<std::uint32_t>(random.uniform_below(take));
+                nodes.push_back(forest.add_k_of_n(k, children));
+            }
+        }
+        const double reduced = forest.failure_probability(
+            nodes.front(), [&](component_id id) { return probs[id]; });
+        const double exact = enumerate_probability(forest, nodes.front(), probs);
+        ASSERT_NEAR(reduced, exact, 1e-10) << "trial " << trial;
+    }
+}
+
+TEST(FaultTreeProbability, ZeroAndOneEndpoints) {
+    fault_tree_forest forest{2};
+    const tree_node_id gate =
+        forest.add_or({forest.add_leaf(0), forest.add_leaf(1)});
+    EXPECT_DOUBLE_EQ(
+        forest.failure_probability(gate, [](component_id) { return 0.0; }), 0.0);
+    EXPECT_DOUBLE_EQ(
+        forest.failure_probability(gate, [](component_id) { return 1.0; }), 1.0);
+}
+
+}  // namespace
+}  // namespace recloud

@@ -1,0 +1,144 @@
+#include "topology/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace recloud {
+namespace {
+
+network_graph make_triangle() {
+    network_graph g;
+    const node_id a = g.add_node(node_kind::host);
+    const node_id b = g.add_node(node_kind::edge_switch);
+    const node_id c = g.add_node(node_kind::core_switch);
+    g.add_edge(a, b);
+    g.add_edge(b, c);
+    g.add_edge(c, a);
+    g.freeze();
+    return g;
+}
+
+TEST(Graph, NodeIdsAreDense) {
+    network_graph g;
+    EXPECT_EQ(g.add_node(node_kind::host), 0u);
+    EXPECT_EQ(g.add_node(node_kind::host), 1u);
+    EXPECT_EQ(g.add_node(node_kind::external), 2u);
+    EXPECT_EQ(g.node_count(), 3u);
+}
+
+TEST(Graph, KindsAreStored) {
+    const network_graph g = make_triangle();
+    EXPECT_EQ(g.kind(0), node_kind::host);
+    EXPECT_EQ(g.kind(1), node_kind::edge_switch);
+    EXPECT_EQ(g.kind(2), node_kind::core_switch);
+}
+
+TEST(Graph, NeighborsAreSymmetric) {
+    const network_graph g = make_triangle();
+    for (node_id a = 0; a < g.node_count(); ++a) {
+        for (const node_id b : g.neighbors(a)) {
+            const auto nb = g.neighbors(b);
+            EXPECT_NE(std::find(nb.begin(), nb.end(), a), nb.end());
+        }
+    }
+}
+
+TEST(Graph, DegreeAndEdgeCount) {
+    const network_graph g = make_triangle();
+    EXPECT_EQ(g.edge_count(), 3u);
+    for (node_id id = 0; id < g.node_count(); ++id) {
+        EXPECT_EQ(g.degree(id), 2u);
+    }
+}
+
+TEST(Graph, HasEdge) {
+    const network_graph g = make_triangle();
+    EXPECT_TRUE(g.has_edge(0, 1));
+    EXPECT_TRUE(g.has_edge(1, 0));
+
+    network_graph g2;
+    (void)g2.add_node(node_kind::host);
+    (void)g2.add_node(node_kind::host);
+    g2.freeze();
+    EXPECT_FALSE(g2.has_edge(0, 1));
+}
+
+TEST(Graph, NodesOfKindAndCount) {
+    network_graph g;
+    (void)g.add_node(node_kind::host);
+    (void)g.add_node(node_kind::edge_switch);
+    (void)g.add_node(node_kind::host);
+    g.freeze();
+    const auto hosts = g.nodes_of_kind(node_kind::host);
+    EXPECT_EQ(hosts, (std::vector<node_id>{0, 2}));
+    EXPECT_EQ(g.count_of_kind(node_kind::host), 2u);
+    EXPECT_EQ(g.count_of_kind(node_kind::core_switch), 0u);
+}
+
+TEST(Graph, IsSwitchHelper) {
+    EXPECT_TRUE(is_switch(node_kind::edge_switch));
+    EXPECT_TRUE(is_switch(node_kind::aggregation_switch));
+    EXPECT_TRUE(is_switch(node_kind::core_switch));
+    EXPECT_TRUE(is_switch(node_kind::border_switch));
+    EXPECT_FALSE(is_switch(node_kind::host));
+    EXPECT_FALSE(is_switch(node_kind::external));
+}
+
+TEST(Graph, SelfLoopRejected) {
+    network_graph g;
+    const node_id a = g.add_node(node_kind::host);
+    EXPECT_THROW(g.add_edge(a, a), std::invalid_argument);
+}
+
+TEST(Graph, EdgeToMissingNodeRejected) {
+    network_graph g;
+    const node_id a = g.add_node(node_kind::host);
+    EXPECT_THROW(g.add_edge(a, 5), std::out_of_range);
+}
+
+TEST(Graph, MutationAfterFreezeRejected) {
+    network_graph g = make_triangle();
+    EXPECT_THROW((void)g.add_node(node_kind::host), std::logic_error);
+    EXPECT_THROW(g.add_edge(0, 1), std::logic_error);
+    EXPECT_THROW(g.freeze(), std::logic_error);
+}
+
+TEST(Graph, NeighborsBeforeFreezeRejected) {
+    network_graph g;
+    (void)g.add_node(node_kind::host);
+    EXPECT_THROW((void)g.neighbors(0), std::logic_error);
+}
+
+TEST(Graph, RackOfReturnsSwitchNeighbor) {
+    network_graph g;
+    const node_id host = g.add_node(node_kind::host);
+    const node_id tor = g.add_node(node_kind::edge_switch);
+    const node_id other_host = g.add_node(node_kind::host);
+    g.add_edge(host, tor);
+    g.add_edge(host, other_host);  // host-to-host link must be ignored
+    g.freeze();
+    EXPECT_EQ(rack_of(g, host), tor);
+}
+
+TEST(Graph, RackOfWithoutSwitchThrows) {
+    network_graph g;
+    const node_id a = g.add_node(node_kind::host);
+    const node_id b = g.add_node(node_kind::host);
+    g.add_edge(a, b);
+    g.freeze();
+    EXPECT_THROW((void)rack_of(g, a), std::invalid_argument);
+}
+
+TEST(Graph, ToStringCoversAllKinds) {
+    EXPECT_STREQ(to_string(node_kind::host), "host");
+    EXPECT_STREQ(to_string(node_kind::edge_switch), "edge_switch");
+    EXPECT_STREQ(to_string(node_kind::aggregation_switch), "aggregation_switch");
+    EXPECT_STREQ(to_string(node_kind::core_switch), "core_switch");
+    EXPECT_STREQ(to_string(node_kind::border_switch), "border_switch");
+    EXPECT_STREQ(to_string(node_kind::external), "external");
+}
+
+}  // namespace
+}  // namespace recloud

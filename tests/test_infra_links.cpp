@@ -1,0 +1,84 @@
+// End-to-end integration of link-failure modeling through the facade.
+#include <gtest/gtest.h>
+
+#include "core/recloud.hpp"
+
+namespace recloud {
+namespace {
+
+TEST(InfraLinks, DisabledByDefault) {
+    const auto infra = fat_tree_infrastructure::build(data_center_scale::tiny);
+    EXPECT_EQ(infra.links(), nullptr);
+}
+
+TEST(InfraLinks, RegistersEveryLink) {
+    infrastructure_options options;
+    options.model_link_failures = true;
+    const auto infra =
+        fat_tree_infrastructure::build(data_center_scale::tiny, options);
+    ASSERT_NE(infra.links(), nullptr);
+    EXPECT_EQ(infra.links()->component_of_edge.size(),
+              infra.tree().graph().edge_count());
+    // Links received probabilities from the "other components" model.
+    const component_id first = infra.links()->component_of_edge.front();
+    EXPECT_GT(infra.registry().probability(first), 0.0);
+    EXPECT_EQ(infra.registry().kind(first), component_kind::network_link);
+}
+
+TEST(InfraLinks, LinkFailuresLowerAssessedReliability) {
+    // Same topology and seed, with and without link modeling: adding ~350
+    // fallible links must strictly lower any plan's reliability.
+    const application app = application::k_of_n(4, 5);
+    deployment_plan plan;
+
+    auto without = fat_tree_infrastructure::build(data_center_scale::tiny);
+    plan.hosts = {without.tree().host(0, 0, 0), without.tree().host(1, 0, 0),
+                  without.tree().host(2, 0, 0), without.tree().host(3, 0, 0),
+                  without.tree().host(4, 0, 0)};
+    recloud_options options;
+    options.assessment_rounds = 20000;
+    re_cloud system_without{without, options};
+    const double r_without = system_without.assess(app, plan).reliability;
+
+    infrastructure_options with_links;
+    with_links.model_link_failures = true;
+    auto with = fat_tree_infrastructure::build(data_center_scale::tiny, with_links);
+    re_cloud system_with{with, options};
+    const double r_with = system_with.assess(app, plan).reliability;
+
+    EXPECT_LT(r_with, r_without);
+}
+
+TEST(InfraLinks, SearchWorksWithLinkModel) {
+    infrastructure_options infra_options;
+    infra_options.model_link_failures = true;
+    auto infra =
+        fat_tree_infrastructure::build(data_center_scale::tiny, infra_options);
+    recloud_options options;
+    options.assessment_rounds = 1500;
+    options.max_iterations = 30;
+    re_cloud system{infra, options};
+    deployment_request request;
+    request.app = application::k_of_n(1, 3);
+    request.desired_reliability = 0.9;
+    request.max_search_time = std::chrono::seconds{10};
+    const deployment_response response = system.find_deployment(request);
+    EXPECT_TRUE(response.fulfilled);
+    EXPECT_EQ(response.plan.hosts.size(), 3u);
+}
+
+TEST(InfraLinks, SkipPeeringOptionPropagates) {
+    infrastructure_options options;
+    options.model_link_failures = true;
+    options.links.skip_external_peering = true;
+    const auto infra =
+        fat_tree_infrastructure::build(data_center_scale::tiny, options);
+    ASSERT_NE(infra.links(), nullptr);
+    const auto& tree = infra.tree();
+    const std::uint32_t peering =
+        tree.graph().edge_id(tree.border(0), tree.external());
+    EXPECT_EQ(infra.links()->component_of_edge[peering], invalid_node);
+}
+
+}  // namespace
+}  // namespace recloud

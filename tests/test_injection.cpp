@@ -1,0 +1,147 @@
+// Fault-injection samplers and blast-radius (criticality) analysis.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "assess/criticality.hpp"
+#include "routing/bfs_reachability.hpp"
+#include "sampling/injection.hpp"
+#include "sampling/monte_carlo.hpp"
+#include "topology/leaf_spine.hpp"
+#include "topology/power.hpp"
+
+namespace recloud {
+namespace {
+
+TEST(ScriptedSampler, ReplaysAndWraps) {
+    scripted_sampler sampler{{{1, 2}, {}, {5}}};
+    EXPECT_EQ(sampler.script_length(), 3u);
+    std::vector<component_id> failed;
+    sampler.next_round(failed);
+    EXPECT_EQ(failed, (std::vector<component_id>{1, 2}));
+    sampler.next_round(failed);
+    EXPECT_TRUE(failed.empty());
+    sampler.next_round(failed);
+    EXPECT_EQ(failed, (std::vector<component_id>{5}));
+    sampler.next_round(failed);  // wraps
+    EXPECT_EQ(failed, (std::vector<component_id>{1, 2}));
+}
+
+TEST(ScriptedSampler, ResetRestartsScript) {
+    scripted_sampler sampler{{{7}, {8}}};
+    std::vector<component_id> failed;
+    sampler.next_round(failed);
+    sampler.reset(999);  // seed irrelevant
+    sampler.next_round(failed);
+    EXPECT_EQ(failed, (std::vector<component_id>{7}));
+}
+
+TEST(ScriptedSampler, EmptyScriptRejected) {
+    EXPECT_THROW(scripted_sampler{{}}, std::invalid_argument);
+}
+
+TEST(ForcedFailure, AddsForcedComponentsWithoutDuplicates) {
+    scripted_sampler inner{{{1, 2}, {3}}};
+    forced_failure_sampler forced{inner, {2, 9, 9}};
+    std::vector<component_id> failed;
+    forced.next_round(failed);
+    std::sort(failed.begin(), failed.end());
+    EXPECT_EQ(failed, (std::vector<component_id>{1, 2, 9}));  // 2 not doubled
+    forced.next_round(failed);
+    std::sort(failed.begin(), failed.end());
+    EXPECT_EQ(failed, (std::vector<component_id>{2, 3, 9}));
+}
+
+TEST(ForcedFailure, ResetPropagatesToInner) {
+    scripted_sampler inner{{{1}, {2}}};
+    forced_failure_sampler forced{inner, {}};
+    std::vector<component_id> failed;
+    forced.next_round(failed);
+    forced.reset(0);
+    forced.next_round(failed);
+    EXPECT_EQ(failed, (std::vector<component_id>{1}));
+}
+
+// ---- criticality ------------------------------------------------------------
+
+struct crit_fixture {
+    built_topology topo = build_leaf_spine(
+        {.spines = 2, .leaves = 4, .hosts_per_leaf = 2, .border_leaves = 1});
+    component_registry registry{topo.graph};
+    fault_tree_forest forest{topo.graph.node_count()};
+    power_assignment power = attach_power_supplies(topo, registry, forest,
+                                                   {.supply_count = 3});
+    bfs_reachability oracle{topo};
+    application app = application::k_of_n(2, 3);
+    deployment_plan plan;
+
+    crit_fixture() {
+        for (component_id id = 0; id < registry.size(); ++id) {
+            if (registry.kind(id) != component_kind::external) {
+                registry.set_probability(id, 0.02);
+            }
+        }
+        plan.hosts = {topo.hosts[0], topo.hosts[2], topo.hosts[4]};
+    }
+};
+
+TEST(Criticality, DeployedHostOutweighsUnusedHost) {
+    crit_fixture f;
+    monte_carlo_sampler sampler{f.registry.probabilities(), 5};
+    const node_id used = f.plan.hosts[0];
+    const node_id unused = f.topo.hosts[7];
+    const criticality_report report = analyze_criticality(
+        sampler, &f.forest, f.registry.size(), f.oracle, f.app, f.plan,
+        {used, unused}, {.rounds = 8000, .seed = 3});
+    ASSERT_EQ(report.entries.size(), 2u);
+    EXPECT_EQ(report.entries[0].component, used);
+    EXPECT_GT(report.entries[0].impact, report.entries[1].impact);
+    // An unused host has (near) zero impact.
+    EXPECT_LT(report.entries[1].impact, 0.01);
+}
+
+TEST(Criticality, SharedSupplyIsCritical) {
+    crit_fixture f;
+    monte_carlo_sampler sampler{f.registry.probabilities(), 7};
+    // Candidates: all three power supplies.
+    const criticality_report report = analyze_criticality(
+        sampler, &f.forest, f.registry.size(), f.oracle, f.app, f.plan,
+        f.power.supplies, {.rounds = 8000, .seed = 11});
+    ASSERT_EQ(report.entries.size(), 3u);
+    // K=2-of-3: a supply feeding >= 2 of the plan's host chains is fatal
+    // when down; the top-ranked supply must have a large impact.
+    EXPECT_GT(report.entries.front().impact, 0.2);
+    // Conditional reliability given the top supply down is far below base.
+    EXPECT_LT(report.entries.front().conditional_reliability,
+              report.baseline.reliability);
+}
+
+TEST(Criticality, BorderSwitchIsSinglePointOfFailure) {
+    crit_fixture f;  // one border leaf only
+    monte_carlo_sampler sampler{f.registry.probabilities(), 9};
+    const criticality_report report = analyze_criticality(
+        sampler, &f.forest, f.registry.size(), f.oracle, f.app, f.plan,
+        {f.topo.border_switches[0]}, {.rounds = 4000, .seed = 13});
+    ASSERT_EQ(report.entries.size(), 1u);
+    // With the only border switch down nothing is border-reachable.
+    EXPECT_EQ(report.entries[0].conditional_reliability, 0.0);
+    EXPECT_NEAR(report.entries[0].impact, report.baseline.reliability, 1e-12);
+}
+
+TEST(Criticality, EntriesSortedByImpact) {
+    crit_fixture f;
+    monte_carlo_sampler sampler{f.registry.probabilities(), 15};
+    std::vector<component_id> candidates;
+    for (int i = 0; i < 6; ++i) {
+        candidates.push_back(f.topo.hosts[i]);
+    }
+    const criticality_report report = analyze_criticality(
+        sampler, &f.forest, f.registry.size(), f.oracle, f.app, f.plan,
+        candidates, {.rounds = 3000, .seed = 17});
+    for (std::size_t i = 1; i < report.entries.size(); ++i) {
+        EXPECT_GE(report.entries[i - 1].impact, report.entries[i].impact);
+    }
+}
+
+}  // namespace
+}  // namespace recloud

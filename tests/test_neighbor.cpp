@@ -1,0 +1,116 @@
+#include "search/neighbor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "topology/fat_tree.hpp"
+
+namespace recloud {
+namespace {
+
+bool all_distinct(const std::vector<node_id>& hosts) {
+    const std::set<node_id> unique(hosts.begin(), hosts.end());
+    return unique.size() == hosts.size();
+}
+
+bool all_are_hosts(const built_topology& topo, const std::vector<node_id>& hosts) {
+    return std::all_of(hosts.begin(), hosts.end(), [&](node_id h) {
+        return topo.graph.kind(h) == node_kind::host;
+    });
+}
+
+TEST(Neighbor, InitialPlanHasDistinctValidHosts) {
+    const fat_tree ft = fat_tree::build(8);
+    neighbor_generator gen{ft.topology(), anti_affinity::none, 1};
+    for (int trial = 0; trial < 20; ++trial) {
+        const deployment_plan plan = gen.initial_plan(5);
+        EXPECT_EQ(plan.hosts.size(), 5u);
+        EXPECT_TRUE(all_distinct(plan.hosts));
+        EXPECT_TRUE(all_are_hosts(ft.topology(), plan.hosts));
+    }
+}
+
+TEST(Neighbor, RackAntiAffinityUsesDistinctRacks) {
+    const fat_tree ft = fat_tree::build(8);  // 28 racks, plenty for 5
+    neighbor_generator gen{ft.topology(), anti_affinity::rack, 2};
+    for (int trial = 0; trial < 20; ++trial) {
+        const deployment_plan plan = gen.initial_plan(5);
+        std::set<node_id> racks;
+        for (const node_id h : plan.hosts) {
+            racks.insert(rack_of(ft.topology().graph, h));
+        }
+        EXPECT_EQ(racks.size(), 5u);
+    }
+}
+
+TEST(Neighbor, RackAffinityRelaxesWhenImpossible) {
+    // k=4: 3 pods x 2 racks = 6 racks but 12 hosts; asking for 8 instances
+    // cannot keep racks distinct — must still produce a valid plan.
+    const fat_tree ft = fat_tree::build(4);
+    neighbor_generator gen{ft.topology(), anti_affinity::rack, 3};
+    const deployment_plan plan = gen.initial_plan(8);
+    EXPECT_EQ(plan.hosts.size(), 8u);
+    EXPECT_TRUE(all_distinct(plan.hosts));
+}
+
+TEST(Neighbor, NeighborChangesExactlyOneSlot) {
+    const fat_tree ft = fat_tree::build(8);
+    neighbor_generator gen{ft.topology(), anti_affinity::none, 4};
+    const deployment_plan current = gen.initial_plan(5);
+    for (int trial = 0; trial < 50; ++trial) {
+        const deployment_plan next = gen.neighbor_of(current);
+        ASSERT_EQ(next.hosts.size(), current.hosts.size());
+        int differing = 0;
+        for (std::size_t i = 0; i < next.hosts.size(); ++i) {
+            differing += next.hosts[i] != current.hosts[i] ? 1 : 0;
+        }
+        EXPECT_EQ(differing, 1);
+        EXPECT_TRUE(all_distinct(next.hosts));
+    }
+}
+
+TEST(Neighbor, NeighborPreservesRackAffinityWhenFeasible) {
+    const fat_tree ft = fat_tree::build(8);
+    neighbor_generator gen{ft.topology(), anti_affinity::rack, 5};
+    deployment_plan plan = gen.initial_plan(4);
+    for (int step = 0; step < 30; ++step) {
+        plan = gen.neighbor_of(plan);
+        std::set<node_id> racks;
+        for (const node_id h : plan.hosts) {
+            racks.insert(rack_of(ft.topology().graph, h));
+        }
+        EXPECT_EQ(racks.size(), plan.hosts.size());
+    }
+}
+
+TEST(Neighbor, DeterministicPerSeed) {
+    const fat_tree ft = fat_tree::build(8);
+    neighbor_generator a{ft.topology(), anti_affinity::none, 42};
+    neighbor_generator b{ft.topology(), anti_affinity::none, 42};
+    const deployment_plan pa = a.initial_plan(5);
+    const deployment_plan pb = b.initial_plan(5);
+    EXPECT_EQ(pa, pb);
+    EXPECT_EQ(a.neighbor_of(pa), b.neighbor_of(pb));
+}
+
+TEST(Neighbor, InstanceCountValidation) {
+    const fat_tree ft = fat_tree::build(4);  // 12 hosts
+    neighbor_generator gen{ft.topology(), anti_affinity::none, 6};
+    EXPECT_THROW((void)gen.initial_plan(0), std::invalid_argument);
+    EXPECT_THROW((void)gen.initial_plan(13), std::invalid_argument);
+    EXPECT_NO_THROW((void)gen.initial_plan(12));
+}
+
+TEST(Neighbor, NeighborOfFullPlanRejected) {
+    const fat_tree ft = fat_tree::build(4);
+    neighbor_generator gen{ft.topology(), anti_affinity::none, 7};
+    const deployment_plan full = gen.initial_plan(12);
+    EXPECT_THROW((void)gen.neighbor_of(full), std::invalid_argument);
+    deployment_plan empty;
+    EXPECT_THROW((void)gen.neighbor_of(empty), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace recloud

@@ -1,0 +1,147 @@
+// Cross-topology oracle invariants, swept over every builder in the
+// library: with no failures everything is border-reachable and mutually
+// reachable; under random failures host_to_host is symmetric; failed hosts
+// are never reachable; border-reachable hosts can reach each other when
+// connectivity is transitive (BFS oracle).
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "faults/round_state.hpp"
+#include "routing/bfs_reachability.hpp"
+#include "sampling/monte_carlo.hpp"
+#include "topology/bcube.hpp"
+#include "topology/dcell.hpp"
+#include "topology/fat_tree.hpp"
+#include "topology/jellyfish.hpp"
+#include "topology/leaf_spine.hpp"
+#include "topology/vl2.hpp"
+#include "util/rng.hpp"
+
+namespace recloud {
+namespace {
+
+struct topology_case {
+    std::string label;
+    std::function<built_topology()> build;
+};
+
+std::vector<topology_case> all_topologies() {
+    return {
+        {"fat_tree",
+         [] {
+             // Copy out of the temporary fat_tree wrapper.
+             return built_topology{fat_tree::build(4).topology()};
+         }},
+        {"leaf_spine",
+         [] {
+             return build_leaf_spine({.spines = 2, .leaves = 4,
+                                      .hosts_per_leaf = 3,
+                                      .border_leaves = 1});
+         }},
+        {"vl2",
+         [] {
+             return build_vl2({.intermediates = 3, .aggregations = 4,
+                               .tors = 6, .hosts_per_tor = 3,
+                               .border_intermediates = 1});
+         }},
+        {"jellyfish",
+         [] {
+             return build_jellyfish({.switches = 12, .degree = 4,
+                                     .hosts_per_switch = 2,
+                                     .border_switches = 2, .seed = 3});
+         }},
+        {"bcube", [] { return build_bcube({.ports = 3, .levels = 1}); }},
+        {"dcell", [] { return build_dcell({.servers_per_cell = 4}); }},
+    };
+}
+
+class OracleProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(OracleProperty, HealthyStateFullyConnected) {
+    const topology_case tc = all_topologies()[GetParam()];
+    const built_topology topo = tc.build();
+    round_state rs{topo.graph.node_count(), nullptr};
+    bfs_reachability oracle{topo};
+    rs.begin_round(std::vector<component_id>{});
+    oracle.begin_round(rs);
+    for (const node_id h : topo.hosts) {
+        ASSERT_TRUE(oracle.border_reachable(h)) << tc.label << " host " << h;
+    }
+    ASSERT_TRUE(oracle.host_to_host(topo.hosts.front(), topo.hosts.back()));
+}
+
+TEST_P(OracleProperty, HostToHostIsSymmetricUnderRandomFailures) {
+    const topology_case tc = all_topologies()[GetParam()];
+    const built_topology topo = tc.build();
+    std::vector<double> probs(topo.graph.node_count(), 0.15);
+    probs[topo.external] = 0.0;
+    monte_carlo_sampler sampler{probs, 11 + GetParam()};
+    round_state rs{topo.graph.node_count(), nullptr};
+    bfs_reachability oracle{topo};
+    rng pick{7};
+    std::vector<component_id> failed;
+    for (int round = 0; round < 80; ++round) {
+        sampler.next_round(failed);
+        rs.begin_round(failed);
+        oracle.begin_round(rs);
+        for (int probe = 0; probe < 6; ++probe) {
+            const node_id a = topo.hosts[pick.uniform_below(topo.hosts.size())];
+            const node_id b = topo.hosts[pick.uniform_below(topo.hosts.size())];
+            ASSERT_EQ(oracle.host_to_host(a, b), oracle.host_to_host(b, a))
+                << tc.label;
+        }
+    }
+}
+
+TEST_P(OracleProperty, FailedHostsAreNeverReachable) {
+    const topology_case tc = all_topologies()[GetParam()];
+    const built_topology topo = tc.build();
+    round_state rs{topo.graph.node_count(), nullptr};
+    bfs_reachability oracle{topo};
+    const node_id victim = topo.hosts[0];
+    rs.begin_round(std::vector<component_id>{victim});
+    oracle.begin_round(rs);
+    EXPECT_FALSE(oracle.border_reachable(victim)) << tc.label;
+    for (const node_id other : topo.hosts) {
+        if (other != victim) {
+            ASSERT_FALSE(oracle.host_to_host(victim, other)) << tc.label;
+        }
+    }
+}
+
+TEST_P(OracleProperty, ConnectivityIsTransitiveThroughBorderSide) {
+    // For the BFS oracle (plain connectivity), two hosts that both reach
+    // the border side can reach each other: the external node links their
+    // floods into one component.
+    const topology_case tc = all_topologies()[GetParam()];
+    const built_topology topo = tc.build();
+    std::vector<double> probs(topo.graph.node_count(), 0.2);
+    probs[topo.external] = 0.0;
+    monte_carlo_sampler sampler{probs, 31 + GetParam()};
+    round_state rs{topo.graph.node_count(), nullptr};
+    bfs_reachability oracle{topo};
+    rng pick{13};
+    std::vector<component_id> failed;
+    for (int round = 0; round < 60; ++round) {
+        sampler.next_round(failed);
+        rs.begin_round(failed);
+        oracle.begin_round(rs);
+        const node_id a = topo.hosts[pick.uniform_below(topo.hosts.size())];
+        const node_id b = topo.hosts[pick.uniform_below(topo.hosts.size())];
+        if (oracle.border_reachable(a) && oracle.border_reachable(b)) {
+            ASSERT_TRUE(oracle.host_to_host(a, b)) << tc.label;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTopologies, OracleProperty,
+                         ::testing::Range<std::size_t>(0, 6),
+                         [](const auto& info) {
+                             return all_topologies()[info.param].label;
+                         });
+
+}  // namespace
+}  // namespace recloud

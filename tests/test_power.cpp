@@ -1,0 +1,138 @@
+#include "topology/power.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "topology/fat_tree.hpp"
+
+namespace recloud {
+namespace {
+
+struct power_fixture {
+    fat_tree ft = fat_tree::build(8);
+    component_registry registry{ft.graph()};
+    fault_tree_forest forest{ft.graph().node_count()};
+};
+
+TEST(Power, CreatesRequestedSupplies) {
+    power_fixture f;
+    const power_assignment pa = attach_power_supplies(
+        f.ft.topology(), f.registry, f.forest, {.supply_count = 5});
+    EXPECT_EQ(pa.supplies.size(), 5u);
+    for (const component_id s : pa.supplies) {
+        EXPECT_EQ(f.registry.kind(s), component_kind::power_supply);
+    }
+    EXPECT_EQ(f.registry.size(), f.ft.graph().node_count() + 5);
+}
+
+TEST(Power, EverySwitchHasASupply) {
+    power_fixture f;
+    const power_assignment pa =
+        attach_power_supplies(f.ft.topology(), f.registry, f.forest, {});
+    for (node_id id = 0; id < f.ft.graph().node_count(); ++id) {
+        if (is_switch(f.ft.graph().kind(id))) {
+            ASSERT_EQ(pa.supplies_of_node[id].size(), 1u);
+        }
+    }
+}
+
+TEST(Power, HostGroupsShareTheirEdgeGroupSupply) {
+    power_fixture f;
+    const power_assignment pa =
+        attach_power_supplies(f.ft.topology(), f.registry, f.forest, {});
+    // All hosts under one edge switch share one supply.
+    for (int p = 0; p < f.ft.pod_count(); ++p) {
+        for (int e = 0; e < f.ft.group_width(); ++e) {
+            std::set<component_id> group_supplies;
+            for (int h = 0; h < f.ft.hosts_per_edge(); ++h) {
+                const auto& supplies = pa.supplies_of_node[f.ft.host(p, e, h)];
+                ASSERT_EQ(supplies.size(), 1u);
+                group_supplies.insert(supplies.front());
+            }
+            EXPECT_EQ(group_supplies.size(), 1u);
+        }
+    }
+}
+
+TEST(Power, RoundRobinUsesAllSupplies) {
+    power_fixture f;
+    const power_assignment pa = attach_power_supplies(
+        f.ft.topology(), f.registry, f.forest, {.supply_count = 5});
+    std::set<component_id> used;
+    for (const auto& supplies : pa.supplies_of_node) {
+        used.insert(supplies.begin(), supplies.end());
+    }
+    EXPECT_EQ(used.size(), 5u);
+}
+
+TEST(Power, AdjacentSwitchesGetDifferentSupplies) {
+    power_fixture f;
+    const power_assignment pa = attach_power_supplies(
+        f.ft.topology(), f.registry, f.forest, {.supply_count = 5});
+    // Round-robin: consecutive switch ids use consecutive supplies.
+    std::vector<node_id> switches;
+    for (node_id id = 0; id < f.ft.graph().node_count(); ++id) {
+        if (is_switch(f.ft.graph().kind(id))) {
+            switches.push_back(id);
+        }
+    }
+    for (std::size_t i = 0; i + 1 < std::min<std::size_t>(switches.size(), 5); ++i) {
+        EXPECT_NE(pa.supplies_of_node[switches[i]].front(),
+                  pa.supplies_of_node[switches[i + 1]].front());
+    }
+}
+
+TEST(Power, SupplyFailureFailsItsDependents) {
+    power_fixture f;
+    const power_assignment pa =
+        attach_power_supplies(f.ft.topology(), f.registry, f.forest, {});
+    const node_id host = f.ft.host(0, 0, 0);
+    const component_id supply = pa.supplies_of_node[host].front();
+    const auto failed = [&](component_id id) { return id == supply; };
+    EXPECT_TRUE(f.forest.effective_failed(host, false, failed));
+    // A host on a different supply is unaffected.
+    node_id other = invalid_node;
+    for (const node_id h : f.ft.topology().hosts) {
+        if (pa.supplies_of_node[h].front() != supply) {
+            other = h;
+            break;
+        }
+    }
+    ASSERT_NE(other, invalid_node);
+    EXPECT_FALSE(f.forest.effective_failed(other, false, failed));
+}
+
+TEST(Power, RedundantSuppliesNeedAllToFail) {
+    power_fixture f;
+    const power_assignment pa = attach_power_supplies(
+        f.ft.topology(), f.registry, f.forest,
+        {.supply_count = 5, .redundancy = 2});
+    const node_id host = f.ft.host(1, 2, 3);
+    ASSERT_EQ(pa.supplies_of_node[host].size(), 2u);
+    const component_id s0 = pa.supplies_of_node[host][0];
+    const component_id s1 = pa.supplies_of_node[host][1];
+    EXPECT_NE(s0, s1);
+    EXPECT_FALSE(f.forest.effective_failed(
+        host, false, [&](component_id id) { return id == s0; }));
+    EXPECT_TRUE(f.forest.effective_failed(
+        host, false, [&](component_id id) { return id == s0 || id == s1; }));
+}
+
+TEST(Power, InvalidOptionsRejected) {
+    power_fixture f;
+    EXPECT_THROW((void)attach_power_supplies(f.ft.topology(), f.registry,
+                                             f.forest, {.supply_count = 0}),
+                 std::invalid_argument);
+    EXPECT_THROW(
+        (void)attach_power_supplies(f.ft.topology(), f.registry, f.forest,
+                                    {.supply_count = 2, .redundancy = 3}),
+        std::invalid_argument);
+    EXPECT_THROW(
+        (void)attach_power_supplies(f.ft.topology(), f.registry, f.forest,
+                                    {.supply_count = 2, .redundancy = 0}),
+        std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace recloud

@@ -1,0 +1,156 @@
+#include "faults/probability_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "topology/fat_tree.hpp"
+#include "util/stats.hpp"
+
+namespace recloud {
+namespace {
+
+TEST(ProbabilityModel, ExternalNeverFails) {
+    const fat_tree ft = fat_tree::build(8);
+    component_registry registry{ft.graph()};
+    rng random{1};
+    assign_paper_probabilities(registry, random);
+    EXPECT_EQ(registry.probability(ft.external()), 0.0);
+}
+
+TEST(ProbabilityModel, AllProbabilitiesWithinClampRange) {
+    const fat_tree ft = fat_tree::build(16);
+    component_registry registry{ft.graph()};
+    rng random{2};
+    const probability_model_options options{};
+    assign_paper_probabilities(registry, random, options);
+    for (component_id id = 0; id < registry.size(); ++id) {
+        if (registry.kind(id) == component_kind::external) {
+            continue;
+        }
+        EXPECT_GE(registry.probability(id), options.min_probability);
+        EXPECT_LE(registry.probability(id), options.max_probability);
+    }
+}
+
+TEST(ProbabilityModel, FourDecimalRounding) {
+    const fat_tree ft = fat_tree::build(8);
+    component_registry registry{ft.graph()};
+    rng random{3};
+    assign_paper_probabilities(registry, random);
+    for (component_id id = 0; id < registry.size(); ++id) {
+        const double p = registry.probability(id);
+        EXPECT_NEAR(p, round_to_decimals(p, 4), 1e-12);
+    }
+}
+
+TEST(ProbabilityModel, SwitchesFollowSwitchDistribution) {
+    const fat_tree ft = fat_tree::build(24);  // enough samples
+    component_registry registry{ft.graph()};
+    rng random{4};
+    assign_paper_probabilities(registry, random);
+    running_stats switches;
+    running_stats others;
+    for (component_id id = 0; id < registry.size(); ++id) {
+        switch (registry.kind(id)) {
+            case component_kind::edge_switch:
+            case component_kind::aggregation_switch:
+            case component_kind::core_switch:
+            case component_kind::border_switch:
+                switches.add(registry.probability(id));
+                break;
+            case component_kind::host:
+                others.add(registry.probability(id));
+                break;
+            default:
+                break;
+        }
+    }
+    EXPECT_NEAR(switches.mean(), 0.008, 0.0005);
+    EXPECT_NEAR(others.mean(), 0.01, 0.0005);
+    EXPECT_NEAR(switches.stddev(), 0.001, 0.0005);
+    EXPECT_NEAR(others.stddev(), 0.001, 0.0005);
+}
+
+TEST(ProbabilityModel, PowerSuppliesUseOtherDistribution) {
+    // §4.1: "every other component (including power supplies)" ~ N(0.01,...)
+    const fat_tree ft = fat_tree::build(8);
+    component_registry registry{ft.graph()};
+    for (int i = 0; i < 200; ++i) {
+        (void)registry.add(component_kind::power_supply,
+                           "ps" + std::to_string(i));
+    }
+    rng random{5};
+    assign_paper_probabilities(registry, random);
+    running_stats supplies;
+    for (const component_id id : registry.of_kind(component_kind::power_supply)) {
+        supplies.add(registry.probability(id));
+    }
+    EXPECT_NEAR(supplies.mean(), 0.01, 0.001);
+}
+
+TEST(ProbabilityModel, DeterministicPerSeed) {
+    const fat_tree ft = fat_tree::build(8);
+    component_registry a{ft.graph()};
+    component_registry b{ft.graph()};
+    rng ra{9};
+    rng rb{9};
+    assign_paper_probabilities(a, ra);
+    assign_paper_probabilities(b, rb);
+    for (component_id id = 0; id < a.size(); ++id) {
+        EXPECT_EQ(a.probability(id), b.probability(id));
+    }
+}
+
+TEST(ProbabilityModel, DefaultsFillOnlyUnknowns) {
+    const fat_tree ft = fat_tree::build(8);
+    component_registry registry{ft.graph()};
+    registry.set_probability(0, 0.25);  // already known
+    assign_default_probabilities(registry, 0.01);
+    EXPECT_DOUBLE_EQ(registry.probability(0), 0.25);
+    EXPECT_DOUBLE_EQ(registry.probability(1), 0.01);
+    EXPECT_DOUBLE_EQ(registry.probability(ft.external()), 0.0);
+}
+
+TEST(Bathtub, UsefulLifeIsNearBase) {
+    const double base = 0.01;
+    EXPECT_NEAR(bathtub_adjusted_probability(base, 0.5), base, base * 0.2);
+}
+
+TEST(Bathtub, InfantMortalityAndWearOutAreElevated) {
+    const double base = 0.01;
+    const double mid = bathtub_adjusted_probability(base, 0.5);
+    EXPECT_GT(bathtub_adjusted_probability(base, 0.0), 1.5 * mid);
+    EXPECT_GT(bathtub_adjusted_probability(base, 1.0), 1.5 * mid);
+}
+
+TEST(Bathtub, ClampsLifeFractionAndProbability) {
+    EXPECT_DOUBLE_EQ(bathtub_adjusted_probability(0.9, 1.0),
+                     1.0);  // capped at 1
+    EXPECT_EQ(bathtub_adjusted_probability(0.01, -5.0),
+              bathtub_adjusted_probability(0.01, 0.0));
+    EXPECT_EQ(bathtub_adjusted_probability(0.01, 7.0),
+              bathtub_adjusted_probability(0.01, 1.0));
+}
+
+TEST(ComponentRegistry, GraphSeededRegistryMirrorsKinds) {
+    const fat_tree ft = fat_tree::build(8);
+    const component_registry registry{ft.graph()};
+    EXPECT_EQ(registry.size(), ft.graph().node_count());
+    EXPECT_EQ(registry.kind(ft.host(0, 0, 0)), component_kind::host);
+    EXPECT_EQ(registry.kind(ft.core(0, 0)), component_kind::core_switch);
+    EXPECT_EQ(registry.kind(ft.border(0)), component_kind::border_switch);
+    EXPECT_EQ(registry.kind(ft.external()), component_kind::external);
+}
+
+TEST(ComponentRegistry, ProbabilityValidation) {
+    component_registry registry;
+    const component_id id = registry.add(component_kind::other, "x", 0.5);
+    EXPECT_THROW(registry.set_probability(id, -0.1), std::invalid_argument);
+    EXPECT_THROW(registry.set_probability(id, 1.1), std::invalid_argument);
+    EXPECT_THROW((void)registry.add(component_kind::other, "y", 2.0),
+                 std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace recloud

@@ -1,0 +1,212 @@
+#include "core/recloud.hpp"
+
+#include <gtest/gtest.h>
+
+#include "routing/bfs_reachability.hpp"
+#include "topology/leaf_spine.hpp"
+
+namespace recloud {
+namespace {
+
+recloud_options quick_options() {
+    recloud_options o;
+    o.assessment_rounds = 2000;
+    o.max_iterations = 60;
+    o.seed = 3;
+    return o;
+}
+
+deployment_request quick_request(application app, double desired = 1.0) {
+    deployment_request request{std::move(app), desired,
+                               std::chrono::milliseconds{1500}};
+    return request;
+}
+
+TEST(FatTreeInfrastructure, BuildsCompleteBundle) {
+    const auto infra = fat_tree_infrastructure::build(data_center_scale::tiny);
+    EXPECT_EQ(infra.topology().hosts.size(), 112u);
+    // Registry covers nodes + 5 power supplies.
+    EXPECT_EQ(infra.registry().size(), infra.tree().graph().node_count() + 5);
+    EXPECT_EQ(infra.power().supplies.size(), 5u);
+    // Probabilities assigned (supplies included), external stays at 0.
+    EXPECT_GT(infra.registry().probability(infra.power().supplies[0]), 0.0);
+    EXPECT_EQ(infra.registry().probability(infra.tree().external()), 0.0);
+    // Every switch/host-group has a power fault tree.
+    EXPECT_TRUE(infra.forest().has_tree(infra.tree().edge(0, 0)));
+    EXPECT_TRUE(infra.forest().has_tree(infra.tree().host(0, 0, 0)));
+}
+
+TEST(ReCloud, FindDeploymentReturnsValidPlan) {
+    auto infra = fat_tree_infrastructure::build(data_center_scale::tiny);
+    re_cloud system{infra, quick_options()};
+    const deployment_response response =
+        system.find_deployment(quick_request(application::k_of_n(4, 5)));
+    EXPECT_EQ(response.plan.hosts.size(), 5u);
+    EXPECT_NO_THROW(validate_plan(response.plan, application::k_of_n(4, 5),
+                                  infra.topology()));
+    EXPECT_GT(response.stats.reliability, 0.5);
+    EXPECT_GT(response.search.plans_evaluated, 0u);
+}
+
+TEST(ReCloud, ModestDesiredReliabilityIsFulfilled) {
+    auto infra = fat_tree_infrastructure::build(data_center_scale::tiny);
+    re_cloud system{infra, quick_options()};
+    const deployment_response response =
+        system.find_deployment(quick_request(application::k_of_n(1, 3), 0.9));
+    EXPECT_TRUE(response.fulfilled);
+    EXPECT_GE(response.stats.reliability, 0.9);
+}
+
+TEST(ReCloud, ImpossibleRequirementsReportedUnfulfilled) {
+    auto infra = fat_tree_infrastructure::build(data_center_scale::tiny);
+    recloud_options options = quick_options();
+    options.max_iterations = 20;
+    re_cloud system{infra, options};
+    // R_desired = 1.0 is unattainable with fallible hardware (§4.1 uses this
+    // to keep the search running until Tmax).
+    const deployment_response response =
+        system.find_deployment(quick_request(application::k_of_n(4, 5), 1.0));
+    EXPECT_FALSE(response.fulfilled);
+    EXPECT_EQ(response.plan.hosts.size(), 5u);  // best effort still returned
+}
+
+TEST(ReCloud, AssessGivenPlan) {
+    auto infra = fat_tree_infrastructure::build(data_center_scale::tiny);
+    re_cloud system{infra, quick_options()};
+    const application app = application::k_of_n(1, 2);
+    deployment_plan plan;
+    plan.hosts = {infra.tree().host(0, 0, 0), infra.tree().host(3, 1, 1)};
+    const assessment_stats stats = system.assess(app, plan);
+    EXPECT_EQ(stats.rounds, 2000u);
+    EXPECT_GT(stats.reliability, 0.8);
+    const assessment_stats more = system.assess(app, plan, 5000);
+    EXPECT_EQ(more.rounds, 5000u);
+}
+
+TEST(ReCloud, AssessValidatesInputs) {
+    auto infra = fat_tree_infrastructure::build(data_center_scale::tiny);
+    re_cloud system{infra, quick_options()};
+    deployment_plan bad;
+    bad.hosts = {infra.tree().host(0, 0, 0)};  // size mismatch for 2 replicas
+    EXPECT_THROW((void)system.assess(application::k_of_n(1, 2), bad),
+                 std::invalid_argument);
+}
+
+TEST(ReCloud, MultiObjectivePrefersLightHosts) {
+    auto infra = fat_tree_infrastructure::build(data_center_scale::tiny);
+    recloud_options options = quick_options();
+    options.multi_objective = true;
+    options.max_iterations = 150;
+    re_cloud system{infra, options};
+    const deployment_response response =
+        system.find_deployment(quick_request(application::k_of_n(2, 3)));
+    // Score must blend reliability and utility: both in (0, 1].
+    EXPECT_GT(response.utility, 0.0);
+    EXPECT_LE(response.score, 1.0);
+    EXPECT_GT(response.score, 0.0);
+    // The chosen hosts should be lighter-than-average on balance.
+    const double average_load =
+        infra.workloads().average(response.plan.hosts);
+    EXPECT_LT(average_load, 0.35);
+}
+
+TEST(ReCloud, MonteCarloSamplerOptionWorks) {
+    auto infra = fat_tree_infrastructure::build(data_center_scale::tiny);
+    recloud_options options = quick_options();
+    options.sampler = sampler_kind::monte_carlo;
+    options.assessment_rounds = 500;
+    options.max_iterations = 10;
+    re_cloud system{infra, options};
+    const deployment_response response =
+        system.find_deployment(quick_request(application::k_of_n(1, 2), 0.8));
+    EXPECT_TRUE(response.fulfilled);
+}
+
+TEST(ReCloud, LayeredApplicationEndToEnd) {
+    auto infra = fat_tree_infrastructure::build(data_center_scale::tiny);
+    re_cloud system{infra, quick_options()};
+    const deployment_response response =
+        system.find_deployment(quick_request(application::layered(2, 1, 2), 0.9));
+    EXPECT_TRUE(response.fulfilled);
+    EXPECT_EQ(response.plan.hosts.size(), 4u);
+}
+
+TEST(ReCloud, GenericContextWithLeafSpine) {
+    // The architecture-agnostic path: leaf-spine + BFS oracle (§3.1).
+    const built_topology topo = build_leaf_spine(
+        {.spines = 3, .leaves = 6, .hosts_per_leaf = 4, .border_leaves = 1});
+    component_registry registry{topo.graph};
+    rng random{5};
+    assign_paper_probabilities(registry, random);
+    bfs_reachability oracle{topo};
+    recloud_context context;
+    context.topology = &topo;
+    context.registry = &registry;
+    context.oracle = &oracle;
+
+    recloud_options options = quick_options();
+    options.assessment_rounds = 1000;
+    options.max_iterations = 30;
+    re_cloud system{context, options};
+    const deployment_response response =
+        system.find_deployment(quick_request(application::k_of_n(1, 3), 0.9));
+    EXPECT_TRUE(response.fulfilled);
+}
+
+TEST(ReCloud, ContextValidation) {
+    recloud_context empty;
+    EXPECT_THROW(re_cloud(empty, {}), std::invalid_argument);
+
+    const built_topology topo = build_leaf_spine({});
+    component_registry registry{topo.graph};
+    bfs_reachability oracle{topo};
+    recloud_context context;
+    context.topology = &topo;
+    context.registry = &registry;
+    context.oracle = &oracle;
+
+    recloud_options no_rounds;
+    no_rounds.assessment_rounds = 0;
+    EXPECT_THROW(re_cloud(context, no_rounds), std::invalid_argument);
+
+    recloud_options multi;
+    multi.multi_objective = true;  // but no workloads in context
+    EXPECT_THROW(re_cloud(context, multi), std::invalid_argument);
+}
+
+TEST(ReCloud, SymmetrySkipsHappenOnUniformizedFabric) {
+    auto infra = fat_tree_infrastructure::build(data_center_scale::tiny);
+    // Flatten probabilities per type so symmetry produces equivalences.
+    for (component_id id = 0; id < infra.registry().size(); ++id) {
+        switch (infra.registry().kind(id)) {
+            case component_kind::external:
+                break;
+            case component_kind::host:
+            case component_kind::power_supply:
+                infra.registry().set_probability(id, 0.01);
+                break;
+            default:
+                infra.registry().set_probability(id, 0.008);
+        }
+    }
+    recloud_options options = quick_options();
+    options.assessment_rounds = 200;
+    options.max_iterations = 300;
+    re_cloud system{infra, options};
+    const deployment_response response =
+        system.find_deployment(quick_request(application::k_of_n(4, 5)));
+    EXPECT_GT(response.search.symmetric_skips, 0u);
+}
+
+TEST(ReCloud, TraceRecordsWhenRequested) {
+    auto infra = fat_tree_infrastructure::build(data_center_scale::tiny);
+    recloud_options options = quick_options();
+    options.record_trace = true;
+    re_cloud system{infra, options};
+    const deployment_response response =
+        system.find_deployment(quick_request(application::k_of_n(2, 3)));
+    EXPECT_FALSE(response.search.trace.empty());
+}
+
+}  // namespace
+}  // namespace recloud

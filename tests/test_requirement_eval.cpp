@@ -1,0 +1,163 @@
+#include "app/requirement_eval.hpp"
+
+#include <gtest/gtest.h>
+
+#include "faults/round_state.hpp"
+#include "routing/fat_tree_routing.hpp"
+#include "topology/fat_tree.hpp"
+
+namespace recloud {
+namespace {
+
+/// k=4 fat-tree fixture with helpers to judge a round for a given app/plan.
+struct eval_fixture {
+    fat_tree ft = fat_tree::build(4);
+    round_state rs{ft.graph().node_count(), nullptr};
+    fat_tree_routing oracle{ft};
+
+    bool judge(const application& app, const deployment_plan& plan,
+               std::vector<component_id> failed) {
+        requirement_evaluator evaluator{app, plan};
+        rs.begin_round(failed);
+        oracle.begin_round(rs);
+        return evaluator.reliable_in_round(oracle, rs);
+    }
+};
+
+TEST(RequirementEval, KOfNHealthyRoundIsReliable) {
+    eval_fixture f;
+    const application app = application::k_of_n(1, 2);
+    deployment_plan plan;
+    plan.hosts = {f.ft.host(0, 0, 0), f.ft.host(1, 0, 0)};
+    EXPECT_TRUE(f.judge(app, plan, {}));
+}
+
+TEST(RequirementEval, Figure2Scenario) {
+    // N=2, K=1: one host dead, the other reachable -> reliable.
+    eval_fixture f;
+    const application app = application::k_of_n(1, 2);
+    deployment_plan plan;
+    plan.hosts = {f.ft.host(0, 0, 0), f.ft.host(1, 0, 0)};
+    EXPECT_TRUE(f.judge(app, plan, {f.ft.host(0, 0, 0)}));
+    // Both dead -> unreliable.
+    EXPECT_FALSE(f.judge(app, plan, {f.ft.host(0, 0, 0), f.ft.host(1, 0, 0)}));
+}
+
+TEST(RequirementEval, KOfNCountsExactThreshold) {
+    eval_fixture f;
+    const application app = application::k_of_n(2, 3);
+    deployment_plan plan;
+    plan.hosts = {f.ft.host(0, 0, 0), f.ft.host(1, 0, 0), f.ft.host(2, 0, 0)};
+    EXPECT_TRUE(f.judge(app, plan, {}));
+    EXPECT_TRUE(f.judge(app, plan, {f.ft.host(0, 0, 0)}));  // 2 alive = K
+    EXPECT_FALSE(
+        f.judge(app, plan, {f.ft.host(0, 0, 0), f.ft.host(1, 0, 0)}));  // 1 < K
+}
+
+TEST(RequirementEval, Figure6TwoLayerScenario) {
+    // FE (2 instances, K_ext=1) + DB (2 instances, K_from_FE=1).
+    eval_fixture f;
+    const application app = application::layered(2, 1, 2);
+    deployment_plan plan;
+    const node_id fe1 = f.ft.host(0, 0, 0);
+    const node_id fe2 = f.ft.host(1, 0, 0);
+    const node_id db1 = f.ft.host(2, 0, 0);
+    const node_id db2 = f.ft.host(2, 1, 0);
+    plan.hosts = {fe1, fe2, db1, db2};
+
+    EXPECT_TRUE(f.judge(app, plan, {}));
+    // FE1 and DB2 dead, FE2 reaches DB1: still reliable (the figure's case).
+    EXPECT_TRUE(f.judge(app, plan, {fe1, db2}));
+    // Both FEs dead: frontend requirement fails.
+    EXPECT_FALSE(f.judge(app, plan, {fe1, fe2}));
+    // Both DBs dead: backend requirement fails even with FEs alive.
+    EXPECT_FALSE(f.judge(app, plan, {db1, db2}));
+}
+
+TEST(RequirementEval, DbReachableOnlyFromDeadFeDoesNotCount) {
+    // The paper requires DBs reachable from *alive* (border-reachable) FEs.
+    // Put FE1 and DB1 in the same rack, isolate that rack from the border
+    // (kill both its pod's agg switches... in k=4 a pod has 2 aggs).
+    eval_fixture f;
+    const application app = application::layered(2, 1, 2);
+    const node_id fe1 = f.ft.host(0, 0, 0);
+    const node_id db1 = f.ft.host(0, 0, 1);  // same rack as fe1
+    const node_id fe2 = f.ft.host(1, 0, 0);
+    const node_id db2 = f.ft.host(2, 0, 0);
+    deployment_plan plan;
+    plan.hosts = {fe1, fe2, db1, db2};
+
+    // Kill pod 0's aggs: fe1/db1 can talk to each other (same rack) but are
+    // cut off from the border. Kill db2: the only remaining DB is db1, which
+    // is reachable only from the border-unreachable fe1 -> unreliable.
+    EXPECT_FALSE(f.judge(app, plan,
+                         {f.ft.aggregation(0, 0), f.ft.aggregation(0, 1), db2}));
+    // Same failure but db2 alive: fe2 reaches db2 -> reliable.
+    EXPECT_TRUE(
+        f.judge(app, plan, {f.ft.aggregation(0, 0), f.ft.aggregation(0, 1)}));
+}
+
+TEST(RequirementEval, ThreeLayerChainPropagates) {
+    eval_fixture f;
+    const application app = application::layered(3, 1, 1);
+    deployment_plan plan;
+    plan.hosts = {f.ft.host(0, 0, 0), f.ft.host(1, 0, 0), f.ft.host(2, 0, 0)};
+    EXPECT_TRUE(f.judge(app, plan, {}));
+    // Killing the middle layer severs the chain.
+    EXPECT_FALSE(f.judge(app, plan, {f.ft.host(1, 0, 0)}));
+}
+
+TEST(RequirementEval, MeshRequiresMutualReachability) {
+    eval_fixture f;
+    // 2 cores, no supports, 1-of-1 each.
+    const application app = application::microservice(2, 0, 1, 1);
+    deployment_plan plan;
+    plan.hosts = {f.ft.host(0, 0, 0), f.ft.host(1, 0, 0)};
+    EXPECT_TRUE(f.judge(app, plan, {}));
+    // Kill one core instance: the other survives externally but loses its
+    // mesh peer -> unreliable.
+    EXPECT_FALSE(f.judge(app, plan, {f.ft.host(0, 0, 0)}));
+}
+
+TEST(RequirementEval, MeshWithRedundancyToleratesOneLoss) {
+    eval_fixture f;
+    // 2 cores with 1-of-2 redundancy each.
+    const application app = application::microservice(2, 0, 1, 2);
+    deployment_plan plan;
+    plan.hosts = {f.ft.host(0, 0, 0), f.ft.host(0, 1, 0),   // core0
+                  f.ft.host(1, 0, 0), f.ft.host(1, 1, 0)};  // core1
+    EXPECT_TRUE(f.judge(app, plan, {}));
+    EXPECT_TRUE(f.judge(app, plan, {f.ft.host(0, 0, 0), f.ft.host(1, 1, 0)}));
+    EXPECT_FALSE(f.judge(app, plan, {f.ft.host(0, 0, 0), f.ft.host(0, 1, 0)}));
+}
+
+TEST(RequirementEval, SupportOnlyNeedsItsOwnCore) {
+    eval_fixture f;
+    // 1 core (1-of-1) with 1 support (1-of-1).
+    const application app = application::microservice(1, 1, 1, 1);
+    deployment_plan plan;
+    plan.hosts = {f.ft.host(0, 0, 0), f.ft.host(1, 0, 0)};
+    EXPECT_TRUE(f.judge(app, plan, {}));
+    // Kill the support's host: unreliable.
+    EXPECT_FALSE(f.judge(app, plan, {f.ft.host(1, 0, 0)}));
+}
+
+TEST(RequirementEval, FixpointStripsCascades) {
+    // layer0 -> layer1 -> layer2, all 1-of-1, chained across pods. Cutting
+    // layer1 from the border does NOT matter (only layer0 needs external),
+    // but cutting layer1 from layer0 must cascade to layer2.
+    eval_fixture f;
+    const application app = application::layered(3, 1, 1);
+    const node_id l0 = f.ft.host(0, 0, 0);
+    const node_id l1 = f.ft.host(1, 0, 0);
+    const node_id l2 = f.ft.host(1, 0, 1);  // same rack as l1
+    deployment_plan plan;
+    plan.hosts = {l0, l1, l2};
+    // Isolate pod 1 entirely (both aggs): l1 unreachable from l0, so l2 is
+    // unreachable from any functional l1 even though l1<->l2 still works.
+    EXPECT_FALSE(
+        f.judge(app, plan, {f.ft.aggregation(1, 0), f.ft.aggregation(1, 1)}));
+}
+
+}  // namespace
+}  // namespace recloud

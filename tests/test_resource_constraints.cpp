@@ -1,0 +1,131 @@
+// §3.3.3 resource constraints: the search discards infeasible plans before
+// assessing them.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/recloud.hpp"
+#include "search/annealing.hpp"
+#include "topology/fat_tree.hpp"
+
+namespace recloud {
+namespace {
+
+// ---- annealing-level filter ------------------------------------------------
+
+plan_evaluation flat_eval(const deployment_plan&) {
+    plan_evaluation eval;
+    eval.stats = make_assessment_stats(95, 100);
+    eval.score = eval.stats.reliability;
+    return eval;
+}
+
+TEST(ResourceFilter, RejectedPlansAreNeverEvaluated) {
+    const fat_tree ft = fat_tree::build(8);
+    neighbor_generator gen{ft.topology(), anti_affinity::none, 3};
+    annealing_options options;
+    options.max_time = std::chrono::seconds{10};
+    options.max_iterations = 200;
+    options.use_symmetry = false;
+    options.seed = 5;
+    // Only even-id hosts are feasible.
+    options.filter = [](const deployment_plan& plan) {
+        for (const node_id host : plan.hosts) {
+            if (host % 2 != 0) {
+                return false;
+            }
+        }
+        return true;
+    };
+    std::size_t evaluations = 0;
+    const plan_evaluator counting_eval = [&](const deployment_plan& plan) {
+        ++evaluations;
+        for (const node_id host : plan.hosts) {
+            EXPECT_EQ(host % 2, 0u) << "infeasible plan reached the evaluator";
+        }
+        return flat_eval(plan);
+    };
+    const annealing_result result =
+        anneal(gen, counting_eval, nullptr, 3, options);
+    EXPECT_GT(result.filtered_plans, 0u);
+    EXPECT_EQ(result.plans_evaluated, evaluations);
+    for (const node_id host : result.best_plan.hosts) {
+        EXPECT_EQ(host % 2, 0u);
+    }
+}
+
+TEST(ResourceFilter, ImpossibleFilterThrows) {
+    const fat_tree ft = fat_tree::build(4);
+    neighbor_generator gen{ft.topology(), anti_affinity::none, 7};
+    annealing_options options;
+    options.max_iterations = 50;
+    options.filter = [](const deployment_plan&) { return false; };
+    EXPECT_THROW((void)anneal(gen, flat_eval, nullptr, 2, options),
+                 std::runtime_error);
+}
+
+// ---- facade-level demand constraint -----------------------------------------
+
+TEST(ResourceConstraints, OverloadedHostsAreAvoided) {
+    auto infra = fat_tree_infrastructure::build(data_center_scale::tiny);
+    // Make most hosts nearly full; a demand of 0.5 then only fits hosts
+    // with load <= 0.5.
+    recloud_options options;
+    options.assessment_rounds = 500;
+    options.max_iterations = 60;
+    options.instance_workload_demand = 0.5;
+    options.seed = 11;
+    re_cloud system{infra, options};
+    deployment_request request;
+    request.app = application::k_of_n(1, 3);
+    request.desired_reliability = 0.5;
+    request.max_search_time = std::chrono::seconds{10};
+    const deployment_response response = system.find_deployment(request);
+    for (const node_id host : response.plan.hosts) {
+        EXPECT_LE(infra.workloads().of(host) + 0.5, 1.0);
+    }
+}
+
+TEST(ResourceConstraints, DemandWithoutWorkloadsRejected) {
+    const auto topo = fat_tree::build(4);
+    component_registry registry{topo.graph()};
+    fat_tree_routing oracle{topo};
+    recloud_context context;
+    context.topology = &topo.topology();
+    context.registry = &registry;
+    context.oracle = &oracle;
+    recloud_options options;
+    options.instance_workload_demand = 0.3;
+    EXPECT_THROW(re_cloud(context, options), std::invalid_argument);
+}
+
+TEST(ResourceConstraints, NegativeDemandRejected) {
+    auto infra = fat_tree_infrastructure::build(data_center_scale::tiny);
+    recloud_options options;
+    options.instance_workload_demand = -0.1;
+    EXPECT_THROW(re_cloud(infra, options), std::invalid_argument);
+}
+
+TEST(ResourceConstraints, FilteredCountReported) {
+    auto infra = fat_tree_infrastructure::build(data_center_scale::tiny);
+    // Workloads ~N(0.2, 0.05): a demand of 0.78 leaves only the (rare)
+    // hosts below ~0.22 feasible, so the search must filter candidates.
+    recloud_options options;
+    options.assessment_rounds = 300;
+    options.max_iterations = 100;
+    options.instance_workload_demand = 0.78;
+    options.seed = 13;
+    re_cloud system{infra, options};
+    deployment_request request;
+    request.app = application::k_of_n(1, 2);
+    request.desired_reliability = 1.0;
+    request.max_search_time = std::chrono::seconds{10};
+    const deployment_response response = system.find_deployment(request);
+    EXPECT_GT(response.search.filtered_plans, 0u);
+    for (const node_id host : response.plan.hosts) {
+        EXPECT_LE(infra.workloads().of(host), 0.22);
+    }
+}
+
+}  // namespace
+}  // namespace recloud

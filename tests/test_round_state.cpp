@@ -1,0 +1,85 @@
+#include "faults/round_state.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace recloud {
+namespace {
+
+TEST(RoundState, RawStateTracksFailedSet) {
+    round_state rs{5, nullptr};
+    const std::vector<component_id> failed{1, 3};
+    rs.begin_round(failed);
+    EXPECT_FALSE(rs.raw_failed(0));
+    EXPECT_TRUE(rs.raw_failed(1));
+    EXPECT_FALSE(rs.raw_failed(2));
+    EXPECT_TRUE(rs.raw_failed(3));
+}
+
+TEST(RoundState, NewRoundClearsOldFailures) {
+    round_state rs{4, nullptr};
+    rs.begin_round(std::vector<component_id>{2});
+    EXPECT_TRUE(rs.raw_failed(2));
+    rs.begin_round(std::vector<component_id>{0});
+    EXPECT_FALSE(rs.raw_failed(2));
+    EXPECT_TRUE(rs.raw_failed(0));
+}
+
+TEST(RoundState, EffectiveEqualsRawWithoutForest) {
+    round_state rs{3, nullptr};
+    rs.begin_round(std::vector<component_id>{1});
+    EXPECT_FALSE(rs.failed(0));
+    EXPECT_TRUE(rs.failed(1));
+}
+
+TEST(RoundState, FaultTreeFailsDependent) {
+    // Component 0 depends on component 2 (e.g. host on power supply).
+    fault_tree_forest forest{3};
+    forest.attach(0, forest.add_leaf(2));
+    round_state rs{3, &forest};
+
+    rs.begin_round(std::vector<component_id>{2});
+    EXPECT_TRUE(rs.failed(0));       // via dependency
+    EXPECT_FALSE(rs.raw_failed(0));  // its own state is alive
+    EXPECT_FALSE(rs.failed(1));
+    EXPECT_TRUE(rs.failed(2));
+
+    rs.begin_round(std::vector<component_id>{});
+    EXPECT_FALSE(rs.failed(0));  // memo does not leak across rounds
+}
+
+TEST(RoundState, MemoizationIsStableWithinRound) {
+    fault_tree_forest forest{3};
+    forest.attach(0, forest.add_leaf(2));
+    round_state rs{3, &forest};
+    rs.begin_round(std::vector<component_id>{2});
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_TRUE(rs.failed(0));
+    }
+}
+
+TEST(RoundState, EpochAdvancesPerRound) {
+    round_state rs{2, nullptr};
+    const std::uint32_t e0 = rs.epoch();
+    rs.begin_round(std::vector<component_id>{});
+    EXPECT_EQ(rs.epoch(), e0 + 1);
+    rs.begin_round(std::vector<component_id>{});
+    EXPECT_EQ(rs.epoch(), e0 + 2);
+}
+
+TEST(RoundState, ComponentCount) {
+    const round_state rs{17, nullptr};
+    EXPECT_EQ(rs.component_count(), 17u);
+}
+
+TEST(RoundState, OwnFailureWinsEvenWithHealthyTree) {
+    fault_tree_forest forest{3};
+    forest.attach(0, forest.add_leaf(2));
+    round_state rs{3, &forest};
+    rs.begin_round(std::vector<component_id>{0});
+    EXPECT_TRUE(rs.failed(0));
+}
+
+}  // namespace
+}  // namespace recloud

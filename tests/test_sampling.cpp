@@ -1,0 +1,326 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "sampling/antithetic.hpp"
+#include "sampling/dagger.hpp"
+#include "util/stats.hpp"
+#include "sampling/extended_dagger.hpp"
+#include "sampling/monte_carlo.hpp"
+#include "sampling/result_stats.hpp"
+
+namespace recloud {
+namespace {
+
+// ---- dagger primitives --------------------------------------------------
+
+TEST(DaggerPlan, CycleLengthIsFloorOfInverse) {
+    EXPECT_EQ(make_dagger_plan(0.3).cycle_length, 3u);
+    EXPECT_EQ(make_dagger_plan(0.01).cycle_length, 100u);
+    EXPECT_EQ(make_dagger_plan(0.5).cycle_length, 2u);
+    EXPECT_EQ(make_dagger_plan(0.6).cycle_length, 1u);
+    EXPECT_EQ(make_dagger_plan(1.0).cycle_length, 1u);
+    EXPECT_EQ(make_dagger_plan(0.0).cycle_length, 0u);
+}
+
+TEST(DaggerSlot, PaperFigure3Examples) {
+    // Figure 3a: p = 0.3, r = 0.4 -> second subinterval -> slot 1.
+    const dagger_plan plan = make_dagger_plan(0.3);
+    const auto slot_a = dagger_slot(plan, 0.4);
+    ASSERT_TRUE(slot_a.has_value());
+    EXPECT_EQ(*slot_a, 1u);
+    // Figure 3b: p = 0.3, r = 0.95 -> remainder -> alive all cycle.
+    EXPECT_FALSE(dagger_slot(plan, 0.95).has_value());
+}
+
+TEST(DaggerSlot, SubintervalBoundaries) {
+    const dagger_plan plan = make_dagger_plan(0.25);  // 4 subintervals, no remainder
+    EXPECT_EQ(*dagger_slot(plan, 0.0), 0u);
+    EXPECT_EQ(*dagger_slot(plan, 0.2499), 0u);
+    EXPECT_EQ(*dagger_slot(plan, 0.25), 1u);
+    EXPECT_EQ(*dagger_slot(plan, 0.9999), 3u);
+}
+
+TEST(DaggerSlot, NeverFailingComponent) {
+    const dagger_plan plan = make_dagger_plan(0.0);
+    EXPECT_FALSE(dagger_slot(plan, 0.0).has_value());
+    EXPECT_FALSE(dagger_slot(plan, 0.999).has_value());
+}
+
+// ---- samplers: shared behaviour, parameterized over the sampler kind ----
+
+enum class kind { monte_carlo, extended_dagger, antithetic };
+
+std::unique_ptr<failure_sampler> make(kind k, std::span<const double> probs,
+                                      std::uint64_t seed) {
+    switch (k) {
+        case kind::monte_carlo:
+            return std::make_unique<monte_carlo_sampler>(probs, seed);
+        case kind::extended_dagger:
+            return std::make_unique<extended_dagger_sampler>(probs, seed);
+        case kind::antithetic:
+            return std::make_unique<antithetic_sampler>(probs, seed);
+    }
+    return nullptr;
+}
+
+class SamplerProperty : public ::testing::TestWithParam<kind> {};
+
+TEST_P(SamplerProperty, EmpiricalFailureRateMatchesProbability) {
+    // Components with heterogeneous probabilities; the long-run failure
+    // frequency of each must match its probability (dagger sampling is
+    // unbiased, §3.2.2).
+    const std::vector<double> probs{0.01, 0.05, 0.3, 0.5, 0.0, 0.002};
+    auto sampler = make(GetParam(), probs, 42);
+    std::vector<std::size_t> failures(probs.size(), 0);
+    const std::size_t rounds = 200000;
+    std::vector<component_id> failed;
+    for (std::size_t r = 0; r < rounds; ++r) {
+        sampler->next_round(failed);
+        for (const component_id id : failed) {
+            ++failures[id];
+        }
+    }
+    for (std::size_t i = 0; i < probs.size(); ++i) {
+        const double rate = static_cast<double>(failures[i]) / rounds;
+        EXPECT_NEAR(rate, probs[i], 0.01 + probs[i] * 0.05)
+            << "component " << i;
+    }
+}
+
+TEST_P(SamplerProperty, FailedIdsAreValidAndUnique) {
+    const std::vector<double> probs(50, 0.2);
+    auto sampler = make(GetParam(), probs, 7);
+    std::vector<component_id> failed;
+    for (int r = 0; r < 500; ++r) {
+        sampler->next_round(failed);
+        std::vector<component_id> sorted = failed;
+        std::sort(sorted.begin(), sorted.end());
+        EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end());
+        for (const component_id id : failed) {
+            ASSERT_LT(id, probs.size());
+        }
+    }
+}
+
+TEST_P(SamplerProperty, DeterministicPerSeed) {
+    const std::vector<double> probs{0.1, 0.2, 0.05};
+    auto a = make(GetParam(), probs, 99);
+    auto b = make(GetParam(), probs, 99);
+    std::vector<component_id> fa;
+    std::vector<component_id> fb;
+    for (int r = 0; r < 1000; ++r) {
+        a->next_round(fa);
+        b->next_round(fb);
+        ASSERT_EQ(fa, fb) << "round " << r;
+    }
+}
+
+TEST_P(SamplerProperty, ResetRestartsTheStream) {
+    const std::vector<double> probs{0.1, 0.2, 0.05};
+    auto sampler = make(GetParam(), probs, 5);
+    std::vector<std::vector<component_id>> first;
+    std::vector<component_id> failed;
+    for (int r = 0; r < 100; ++r) {
+        sampler->next_round(failed);
+        first.push_back(failed);
+    }
+    sampler->reset(5);
+    for (int r = 0; r < 100; ++r) {
+        sampler->next_round(failed);
+        ASSERT_EQ(failed, first[r]) << "round " << r;
+    }
+}
+
+TEST_P(SamplerProperty, ZeroProbabilityNeverFails) {
+    const std::vector<double> probs{0.0, 0.5, 0.0};
+    auto sampler = make(GetParam(), probs, 3);
+    std::vector<component_id> failed;
+    for (int r = 0; r < 2000; ++r) {
+        sampler->next_round(failed);
+        for (const component_id id : failed) {
+            EXPECT_EQ(id, 1u);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSamplers, SamplerProperty,
+                         ::testing::Values(kind::monte_carlo,
+                                           kind::extended_dagger,
+                                           kind::antithetic),
+                         [](const auto& info) {
+                             switch (info.param) {
+                                 case kind::monte_carlo: return "monte_carlo";
+                                 case kind::extended_dagger:
+                                     return "extended_dagger";
+                                 case kind::antithetic: return "antithetic";
+                             }
+                             return "unknown";
+                         });
+
+// ---- extended dagger specifics ------------------------------------------
+
+TEST(ExtendedDagger, BlockLengthIsLongestCycle) {
+    const std::vector<double> probs{0.5, 0.01, 0.1};  // cycles 2, 100, 10
+    const extended_dagger_sampler sampler{probs, 1};
+    EXPECT_EQ(sampler.block_length(), 100u);
+}
+
+TEST(ExtendedDagger, AtMostOneFailurePerCycle) {
+    // A component fails at most once within each of its dagger cycles.
+    const std::vector<double> probs{0.2};  // cycle length 5
+    extended_dagger_sampler sampler{probs, 11};
+    std::vector<component_id> failed;
+    for (int block = 0; block < 2000; ++block) {
+        int failures_in_cycle = 0;
+        for (int r = 0; r < 5; ++r) {
+            sampler.next_round(failed);
+            failures_in_cycle += static_cast<int>(failed.size());
+        }
+        ASSERT_LE(failures_in_cycle, 1);
+    }
+}
+
+TEST(ExtendedDagger, UsesFarFewerRandomDrawsThanRounds) {
+    // Indirect check of the efficiency claim: the expected number of failed
+    // entries per round equals sum(p) regardless, but dagger generates them
+    // from ~rounds*sum(p) draws. We verify the sampler still matches the
+    // mean with rare probabilities where Monte-Carlo noise would be huge.
+    const std::vector<double> probs(100, 0.001);
+    extended_dagger_sampler sampler{probs, 21};
+    std::size_t total_failures = 0;
+    std::vector<component_id> failed;
+    const std::size_t rounds = 100000;
+    for (std::size_t r = 0; r < rounds; ++r) {
+        sampler.next_round(failed);
+        total_failures += failed.size();
+    }
+    const double expected = 100 * 0.001 * static_cast<double>(rounds);
+    EXPECT_NEAR(static_cast<double>(total_failures), expected, expected * 0.1);
+}
+
+TEST(ExtendedDagger, VarianceReductionOnKOfNindicator) {
+    // The indicator "no component failed this round" has lower empirical
+    // variance across batches under dagger sampling than Monte-Carlo —
+    // the variance-reduction effect of §3.2.2.
+    const std::vector<double> probs(20, 0.05);
+    const std::size_t batches = 300;
+    const std::size_t rounds_per_batch = 100;
+
+    const auto batch_variance = [&](failure_sampler& sampler) {
+        std::vector<double> batch_means;
+        std::vector<component_id> failed;
+        for (std::size_t b = 0; b < batches; ++b) {
+            std::size_t ok = 0;
+            for (std::size_t r = 0; r < rounds_per_batch; ++r) {
+                sampler.next_round(failed);
+                ok += failed.empty() ? 1 : 0;
+            }
+            batch_means.push_back(static_cast<double>(ok) / rounds_per_batch);
+        }
+        return variance_of(batch_means);
+    };
+
+    monte_carlo_sampler mc{probs, 31};
+    extended_dagger_sampler dagger{probs, 31};
+    const double v_mc = batch_variance(mc);
+    const double v_dagger = batch_variance(dagger);
+    EXPECT_LT(v_dagger, v_mc);
+}
+
+// ---- antithetic specifics -------------------------------------------------
+
+TEST(Antithetic, PairsAreNegativelyCorrelated) {
+    // Within a mirrored pair, a component with p <= 0.5 can never fail in
+    // both rounds (r < p and 1-r < p cannot hold simultaneously).
+    const std::vector<double> probs{0.3, 0.5, 0.1};
+    antithetic_sampler sampler{probs, 17};
+    std::vector<component_id> first;
+    std::vector<component_id> second;
+    for (int pair = 0; pair < 5000; ++pair) {
+        sampler.next_round(first);
+        sampler.next_round(second);
+        for (const component_id id : first) {
+            ASSERT_EQ(std::count(second.begin(), second.end(), id), 0)
+                << "component failed in both halves of an antithetic pair";
+        }
+    }
+}
+
+TEST(Antithetic, VarianceReductionOnNoFailureIndicator) {
+    const std::vector<double> probs(20, 0.05);
+    const std::size_t batches = 300;
+    const std::size_t rounds_per_batch = 100;
+    const auto batch_variance = [&](failure_sampler& sampler) {
+        std::vector<double> means;
+        std::vector<component_id> failed;
+        for (std::size_t b = 0; b < batches; ++b) {
+            std::size_t ok = 0;
+            for (std::size_t r = 0; r < rounds_per_batch; ++r) {
+                sampler.next_round(failed);
+                ok += failed.empty() ? 1 : 0;
+            }
+            means.push_back(static_cast<double>(ok) / rounds_per_batch);
+        }
+        return variance_of(means);
+    };
+    monte_carlo_sampler mc{probs, 23};
+    antithetic_sampler anti{probs, 23};
+    EXPECT_LT(batch_variance(anti), batch_variance(mc));
+}
+
+TEST(Antithetic, ResetDiscardsPendingMirrorRound) {
+    const std::vector<double> probs{0.4, 0.4, 0.4};
+    antithetic_sampler sampler{probs, 31};
+    std::vector<component_id> first_run;
+    sampler.next_round(first_run);  // generates a pair, returns first half
+    sampler.reset(31);
+    std::vector<component_id> after_reset;
+    sampler.next_round(after_reset);
+    EXPECT_EQ(after_reset, first_run);  // stream restarted, not the mirror
+}
+
+// ---- result statistics ---------------------------------------------------
+
+TEST(ResultAccumulator, CountsAndStats) {
+    result_accumulator acc;
+    for (int i = 0; i < 90; ++i) {
+        acc.add(true);
+    }
+    for (int i = 0; i < 10; ++i) {
+        acc.add(false);
+    }
+    EXPECT_EQ(acc.rounds(), 100u);
+    EXPECT_EQ(acc.reliable_rounds(), 90u);
+    const assessment_stats s = acc.stats();
+    EXPECT_DOUBLE_EQ(s.reliability, 0.9);
+}
+
+TEST(ResultAccumulator, MergeFromWorkers) {
+    result_accumulator acc;
+    acc.merge(50, 60);
+    acc.merge(30, 40);
+    EXPECT_EQ(acc.rounds(), 100u);
+    EXPECT_EQ(acc.reliable_rounds(), 80u);
+}
+
+TEST(RoundsForTargetCiw, MatchesInverseFormula) {
+    // CIW = 4*sqrt(R(1-R)/n): for R=0.99, target 1e-3 -> n = 16*0.0099/1e-6.
+    const std::size_t n = rounds_for_target_ciw(1e-3, 0.99);
+    EXPECT_EQ(n, static_cast<std::size_t>(std::ceil(16.0 * 0.0099 / 1e-6)));
+    const assessment_stats s =
+        make_assessment_stats(static_cast<std::size_t>(0.99 * n), n);
+    EXPECT_LE(s.ciw95, 1e-3 * 1.01);
+}
+
+TEST(RoundsForTargetCiw, DegenerateReliability) {
+    EXPECT_EQ(rounds_for_target_ciw(1e-4, 1.0), 1u);
+    EXPECT_EQ(rounds_for_target_ciw(1e-4, 0.0), 1u);
+    EXPECT_THROW((void)rounds_for_target_ciw(0.0, 0.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace recloud

@@ -1,0 +1,149 @@
+#include "util/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace recloud {
+namespace {
+
+TEST(Serialize, ScalarRoundtrip) {
+    byte_writer w;
+    w.write_u8(0xab);
+    w.write_u32(0xdeadbeef);
+    w.write_u64(0x0123456789abcdefULL);
+    w.write_f64(3.14159);
+    w.write_bool(true);
+    w.write_bool(false);
+
+    byte_reader r{w.bytes()};
+    EXPECT_EQ(r.read_u8(), 0xab);
+    EXPECT_EQ(r.read_u32(), 0xdeadbeefu);
+    EXPECT_EQ(r.read_u64(), 0x0123456789abcdefULL);
+    EXPECT_DOUBLE_EQ(r.read_f64(), 3.14159);
+    EXPECT_TRUE(r.read_bool());
+    EXPECT_FALSE(r.read_bool());
+    EXPECT_TRUE(r.at_end());
+}
+
+TEST(Serialize, VarintRoundtripEdgeValues) {
+    const std::vector<std::uint64_t> values{
+        0, 1, 127, 128, 255, 16383, 16384, 1'000'000,
+        std::numeric_limits<std::uint32_t>::max(),
+        std::numeric_limits<std::uint64_t>::max()};
+    byte_writer w;
+    for (const auto v : values) {
+        w.write_varint(v);
+    }
+    byte_reader r{w.bytes()};
+    for (const auto v : values) {
+        EXPECT_EQ(r.read_varint(), v);
+    }
+    EXPECT_TRUE(r.at_end());
+}
+
+TEST(Serialize, VarintIsCompactForSmallValues) {
+    byte_writer w;
+    w.write_varint(100);
+    EXPECT_EQ(w.size(), 1u);
+    w.write_varint(300);
+    EXPECT_EQ(w.size(), 3u);  // 1 + 2
+}
+
+TEST(Serialize, StringRoundtrip) {
+    byte_writer w;
+    w.write_string("hello");
+    w.write_string("");
+    w.write_string(std::string(1000, 'x'));
+    byte_reader r{w.bytes()};
+    EXPECT_EQ(r.read_string(), "hello");
+    EXPECT_EQ(r.read_string(), "");
+    EXPECT_EQ(r.read_string(), std::string(1000, 'x'));
+}
+
+TEST(Serialize, UintVectorRoundtrip) {
+    const std::vector<std::uint32_t> ids{0, 5, 1000, 4'000'000'000u};
+    byte_writer w;
+    w.write_uint_vector(std::span<const std::uint32_t>{ids});
+    byte_reader r{w.bytes()};
+    EXPECT_EQ(r.read_uint_vector<std::uint32_t>(), ids);
+}
+
+TEST(Serialize, EmptyUintVector) {
+    byte_writer w;
+    w.write_uint_vector(std::span<const std::uint32_t>{});
+    byte_reader r{w.bytes()};
+    EXPECT_TRUE(r.read_uint_vector<std::uint32_t>().empty());
+    EXPECT_TRUE(r.at_end());
+}
+
+TEST(Serialize, F64VectorRoundtrip) {
+    const std::vector<double> xs{0.0, -1.5, 3.25, 1e300};
+    byte_writer w;
+    w.write_f64_vector(xs);
+    byte_reader r{w.bytes()};
+    EXPECT_EQ(r.read_f64_vector(), xs);
+}
+
+TEST(Serialize, UnderrunThrows) {
+    byte_writer w;
+    w.write_u8(1);
+    byte_reader r{w.bytes()};
+    (void)r.read_u8();
+    EXPECT_THROW((void)r.read_u8(), serialize_error);
+    EXPECT_THROW((void)r.read_u64(), serialize_error);
+    EXPECT_THROW((void)r.read_f64(), serialize_error);
+}
+
+TEST(Serialize, MalformedBoolThrows) {
+    byte_writer w;
+    w.write_u8(2);
+    byte_reader r{w.bytes()};
+    EXPECT_THROW((void)r.read_bool(), serialize_error);
+}
+
+TEST(Serialize, TruncatedVarintThrows) {
+    byte_writer w;
+    w.write_u8(0x80);  // continuation bit set, then nothing
+    byte_reader r{w.bytes()};
+    EXPECT_THROW((void)r.read_varint(), serialize_error);
+}
+
+TEST(Serialize, OverlongVarintThrows) {
+    byte_writer w;
+    for (int i = 0; i < 11; ++i) {
+        w.write_u8(0xff);  // 11 continuation bytes > max 10 for 64 bits
+    }
+    byte_reader r{w.bytes()};
+    EXPECT_THROW((void)r.read_varint(), serialize_error);
+}
+
+TEST(Serialize, ImplausibleCountRejectedWithoutAllocation) {
+    // A corrupt length prefix claiming ~2^60 elements must throw, not
+    // attempt the allocation.
+    byte_writer w;
+    w.write_varint(std::uint64_t{1} << 60);
+    byte_reader r{w.bytes()};
+    EXPECT_THROW((void)r.read_uint_vector<std::uint32_t>(), serialize_error);
+}
+
+TEST(Serialize, ElementOutOfRangeThrows) {
+    byte_writer w;
+    w.write_varint(1);                       // one element
+    w.write_varint(std::uint64_t{1} << 40);  // too big for uint32
+    byte_reader r{w.bytes()};
+    EXPECT_THROW((void)r.read_uint_vector<std::uint32_t>(), serialize_error);
+}
+
+TEST(Serialize, TakeMovesBuffer) {
+    byte_writer w;
+    w.write_u32(7);
+    const auto bytes = w.take();
+    EXPECT_EQ(bytes.size(), 4u);
+    EXPECT_EQ(w.size(), 0u);
+}
+
+}  // namespace
+}  // namespace recloud

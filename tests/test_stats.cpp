@@ -1,0 +1,126 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace recloud {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+    running_stats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.sample_variance(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+    running_stats s;
+    s.add(5.0);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownValues) {
+    running_stats s;
+    for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+        s.add(x);
+    }
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // classic textbook example
+    EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+}
+
+TEST(RunningStats, SampleVarianceUsesNMinusOne) {
+    running_stats s;
+    s.add(1.0);
+    s.add(3.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 1.0);
+    EXPECT_DOUBLE_EQ(s.sample_variance(), 2.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+    running_stats all;
+    running_stats left;
+    running_stats right;
+    for (int i = 0; i < 100; ++i) {
+        const double x = std::sin(i) * 10.0;
+        all.add(x);
+        (i < 37 ? left : right).add(x);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.count(), all.count());
+    EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+    EXPECT_NEAR(left.variance(), all.variance(), 1e-12);
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+    running_stats a;
+    a.add(1.0);
+    a.add(2.0);
+    running_stats empty;
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.mean(), 1.5);
+
+    running_stats b;
+    b.merge(a);
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+TEST(AssessmentStats, ZeroRounds) {
+    const assessment_stats s = make_assessment_stats(0, 0);
+    EXPECT_EQ(s.rounds, 0u);
+    EXPECT_EQ(s.reliability, 0.0);
+    EXPECT_EQ(s.ciw95, 0.0);
+}
+
+TEST(AssessmentStats, AllReliable) {
+    const assessment_stats s = make_assessment_stats(100, 100);
+    EXPECT_DOUBLE_EQ(s.reliability, 1.0);
+    EXPECT_DOUBLE_EQ(s.variance, 0.0);
+    EXPECT_DOUBLE_EQ(s.ciw95, 0.0);
+}
+
+TEST(AssessmentStats, PaperEquations) {
+    // R = 0.9 over n = 1000: Var[L] = 0.09, V = 9e-5, CIW = 4*sqrt(V).
+    const assessment_stats s = make_assessment_stats(900, 1000);
+    EXPECT_DOUBLE_EQ(s.reliability, 0.9);
+    EXPECT_DOUBLE_EQ(s.variance, 0.9 * 0.1 / 1000.0);
+    EXPECT_DOUBLE_EQ(s.ciw95, 4.0 * std::sqrt(0.9 * 0.1 / 1000.0));
+}
+
+TEST(AssessmentStats, CiwShrinksWithRounds) {
+    const assessment_stats small = make_assessment_stats(90, 100);
+    const assessment_stats large = make_assessment_stats(9000, 10000);
+    EXPECT_DOUBLE_EQ(small.reliability, large.reliability);
+    EXPECT_GT(small.ciw95, large.ciw95);
+    // Quadrupling n halves CIW; 100x n gives 10x smaller CIW.
+    EXPECT_NEAR(small.ciw95 / large.ciw95, 10.0, 1e-9);
+}
+
+TEST(RoundToDecimals, FourDecimalPaperSetting) {
+    EXPECT_DOUBLE_EQ(round_to_decimals(0.00817345, 4), 0.0082);
+    EXPECT_DOUBLE_EQ(round_to_decimals(0.00814999, 4), 0.0081);
+    EXPECT_DOUBLE_EQ(round_to_decimals(1.23456, 2), 1.23);
+    EXPECT_DOUBLE_EQ(round_to_decimals(-0.00455, 3), -0.005);
+}
+
+TEST(Clamp, Basics) {
+    EXPECT_DOUBLE_EQ(clamp(0.5, 0.0, 1.0), 0.5);
+    EXPECT_DOUBLE_EQ(clamp(-1.0, 0.0, 1.0), 0.0);
+    EXPECT_DOUBLE_EQ(clamp(2.0, 0.0, 1.0), 1.0);
+}
+
+TEST(SpanHelpers, MeanAndVariance) {
+    const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+    EXPECT_DOUBLE_EQ(mean_of(xs), 5.0);
+    EXPECT_DOUBLE_EQ(variance_of(xs), 4.0);
+}
+
+}  // namespace
+}  // namespace recloud

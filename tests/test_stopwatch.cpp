@@ -1,0 +1,68 @@
+#include "util/stopwatch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+namespace recloud {
+namespace {
+
+TEST(Stopwatch, ElapsedIsMonotone) {
+    stopwatch watch;
+    const auto first = watch.elapsed();
+    const auto second = watch.elapsed();
+    EXPECT_GE(second.count(), first.count());
+    EXPECT_GE(first.count(), 0);
+}
+
+TEST(Stopwatch, MeasuresSleeps) {
+    stopwatch watch;
+    std::this_thread::sleep_for(std::chrono::milliseconds{20});
+    EXPECT_GE(watch.elapsed_ms(), 19.0);
+    EXPECT_LT(watch.elapsed_seconds(), 5.0);  // sanity upper bound
+}
+
+TEST(Stopwatch, ResetRestarts) {
+    stopwatch watch;
+    std::this_thread::sleep_for(std::chrono::milliseconds{20});
+    watch.reset();
+    EXPECT_LT(watch.elapsed_ms(), 15.0);
+}
+
+TEST(Deadline, FreshDeadlineNotExpired) {
+    const deadline d{std::chrono::seconds{10}};
+    EXPECT_FALSE(d.expired());
+    EXPECT_GT(d.remaining_fraction(), 0.99);
+}
+
+TEST(Deadline, ExpiresAfterBudget) {
+    const deadline d{std::chrono::milliseconds{10}};
+    std::this_thread::sleep_for(std::chrono::milliseconds{25});
+    EXPECT_TRUE(d.expired());
+    EXPECT_DOUBLE_EQ(d.remaining_fraction(), 0.0);
+}
+
+TEST(Deadline, RemainingFractionDecreases) {
+    const deadline d{std::chrono::milliseconds{200}};
+    const double first = d.remaining_fraction();
+    std::this_thread::sleep_for(std::chrono::milliseconds{30});
+    const double second = d.remaining_fraction();
+    EXPECT_LT(second, first);
+    EXPECT_GE(second, 0.0);
+    EXPECT_LE(first, 1.0);
+}
+
+TEST(Deadline, ZeroBudgetIsImmediatelyExpired) {
+    const deadline d{std::chrono::nanoseconds{0}};
+    EXPECT_TRUE(d.expired());
+    EXPECT_DOUBLE_EQ(d.remaining_fraction(), 0.0);
+}
+
+TEST(Deadline, ReportsItsBudget) {
+    const deadline d{std::chrono::milliseconds{1500}};
+    EXPECT_EQ(d.budget(), std::chrono::nanoseconds{1'500'000'000});
+}
+
+}  // namespace
+}  // namespace recloud

@@ -1,0 +1,172 @@
+#include "search/symmetry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "topology/fat_tree.hpp"
+#include "topology/power.hpp"
+
+namespace recloud {
+namespace {
+
+/// Fat-tree with perfectly uniform per-type probabilities: the ideal
+/// symmetric data center where network transformations shine.
+struct uniform_fixture {
+    fat_tree ft = fat_tree::build(8);
+    component_registry registry{ft.graph()};
+
+    uniform_fixture() {
+        for (component_id id = 0; id < registry.size(); ++id) {
+            switch (registry.kind(id)) {
+                case component_kind::external:
+                    break;
+                case component_kind::host:
+                    registry.set_probability(id, 0.01);
+                    break;
+                default:
+                    registry.set_probability(id, 0.008);
+            }
+        }
+    }
+
+    deployment_plan plan(std::vector<node_id> hosts) const {
+        deployment_plan p;
+        p.hosts = std::move(hosts);
+        return p;
+    }
+};
+
+TEST(Symmetry, SingleHostPlansAreEquivalentAnywhere) {
+    uniform_fixture f;
+    const symmetry_checker checker{f.ft.topology(), f.registry, nullptr};
+    const auto a = f.plan({f.ft.host(0, 0, 0)});
+    const auto b = f.plan({f.ft.host(3, 2, 1)});
+    EXPECT_TRUE(checker.equivalent(a, b));
+}
+
+TEST(Symmetry, CoLocationPatternsDistinguishPlans) {
+    uniform_fixture f;
+    const symmetry_checker checker{f.ft.topology(), f.registry, nullptr};
+    const auto same_rack = f.plan({f.ft.host(0, 0, 0), f.ft.host(0, 0, 1)});
+    const auto same_pod = f.plan({f.ft.host(0, 0, 0), f.ft.host(0, 1, 0)});
+    const auto cross_pod = f.plan({f.ft.host(0, 0, 0), f.ft.host(1, 0, 0)});
+    EXPECT_FALSE(checker.equivalent(same_rack, same_pod));
+    EXPECT_FALSE(checker.equivalent(same_pod, cross_pod));
+    EXPECT_FALSE(checker.equivalent(same_rack, cross_pod));
+}
+
+TEST(Symmetry, PermutedPlansWithSamePatternAreEquivalent) {
+    uniform_fixture f;
+    const symmetry_checker checker{f.ft.topology(), f.registry, nullptr};
+    // Two cross-pod pairs in different pods: same structural pattern.
+    const auto a = f.plan({f.ft.host(0, 0, 0), f.ft.host(1, 1, 2)});
+    const auto b = f.plan({f.ft.host(2, 3, 1), f.ft.host(5, 0, 3)});
+    EXPECT_TRUE(checker.equivalent(a, b));
+    // Same-rack pairs under different racks: equivalent too.
+    const auto c = f.plan({f.ft.host(0, 0, 0), f.ft.host(0, 0, 1)});
+    const auto d = f.plan({f.ft.host(4, 2, 2), f.ft.host(4, 2, 3)});
+    EXPECT_TRUE(checker.equivalent(c, d));
+}
+
+TEST(Symmetry, InstanceOrderDoesNotMatter) {
+    uniform_fixture f;
+    const symmetry_checker checker{f.ft.topology(), f.registry, nullptr};
+    const auto a = f.plan({f.ft.host(0, 0, 0), f.ft.host(1, 0, 0)});
+    const auto b = f.plan({f.ft.host(1, 0, 0), f.ft.host(0, 0, 0)});
+    EXPECT_EQ(checker.signature(a), checker.signature(b));
+}
+
+TEST(Symmetry, ProbabilityClassBreaksEquivalence) {
+    // §3.3.1: same-type components with very different probabilities are
+    // logically different types.
+    uniform_fixture f;
+    const node_id special = f.ft.host(3, 2, 1);
+    f.registry.set_probability(special, 0.2);
+    const symmetry_checker checker{f.ft.topology(), f.registry, nullptr};
+    const auto a = f.plan({f.ft.host(0, 0, 0)});
+    const auto b = f.plan({special});
+    EXPECT_FALSE(checker.equivalent(a, b));
+}
+
+TEST(Symmetry, RackProbabilityMatters) {
+    uniform_fixture f;
+    f.registry.set_probability(f.ft.edge(2, 0), 0.1);  // one flaky ToR
+    const symmetry_checker checker{f.ft.topology(), f.registry, nullptr};
+    const auto under_flaky = f.plan({f.ft.host(2, 0, 0)});
+    const auto under_normal = f.plan({f.ft.host(2, 1, 0)});
+    EXPECT_FALSE(checker.equivalent(under_flaky, under_normal));
+}
+
+TEST(Symmetry, SharedSupplyPatternMatters) {
+    uniform_fixture f;
+    fault_tree_forest forest{f.ft.graph().node_count()};
+    const power_assignment pa = attach_power_supplies(
+        f.ft.topology(), f.registry, forest, {.supply_count = 5});
+    // Uniform supply probabilities keep the per-instance features equal, so
+    // only the *sharing pattern* can distinguish plans.
+    for (const component_id s : pa.supplies) {
+        f.registry.set_probability(s, 0.01);
+    }
+    const symmetry_checker checker{f.ft.topology(), f.registry, &forest};
+
+    // Find two cross-pod host pairs: one whose chains (host group + rack
+    // supplies) share at least one supply, and one sharing none at all.
+    const auto chain_supplies = [&](node_id host) {
+        std::vector<component_id> deps = pa.supplies_of_node[host];
+        const auto& rack_deps =
+            pa.supplies_of_node[rack_of(f.ft.graph(), host)];
+        deps.insert(deps.end(), rack_deps.begin(), rack_deps.end());
+        std::sort(deps.begin(), deps.end());
+        deps.erase(std::unique(deps.begin(), deps.end()), deps.end());
+        return deps;
+    };
+    const auto chains_share = [&](node_id a, node_id b) {
+        const auto da = chain_supplies(a);
+        const auto db = chain_supplies(b);
+        std::vector<component_id> common;
+        std::set_intersection(da.begin(), da.end(), db.begin(), db.end(),
+                              std::back_inserter(common));
+        return !common.empty();
+    };
+    const node_id base = f.ft.host(0, 0, 0);
+    node_id sharing = invalid_node;
+    node_id distinct = invalid_node;
+    for (int pod = 1; pod < f.ft.pod_count(); ++pod) {
+        for (int e = 0; e < f.ft.group_width(); ++e) {
+            const node_id candidate = f.ft.host(pod, e, 0);
+            if (chains_share(base, candidate)) {
+                sharing = sharing == invalid_node ? candidate : sharing;
+            } else {
+                distinct = distinct == invalid_node ? candidate : distinct;
+            }
+        }
+    }
+    ASSERT_NE(sharing, invalid_node);
+    ASSERT_NE(distinct, invalid_node);
+    const auto shared_plan = f.plan({base, sharing});
+    const auto diverse_plan = f.plan({base, distinct});
+    EXPECT_FALSE(checker.equivalent(shared_plan, diverse_plan));
+}
+
+TEST(Symmetry, SignatureIsDeterministic) {
+    uniform_fixture f;
+    const symmetry_checker checker{f.ft.topology(), f.registry, nullptr};
+    const auto p = f.plan({f.ft.host(0, 0, 0), f.ft.host(2, 1, 1)});
+    EXPECT_EQ(checker.signature(p), checker.signature(p));
+}
+
+TEST(Symmetry, NeighborReplacementUsuallyEquivalentInUniformFabric) {
+    // The practical effect the paper exploits: in a perfectly uniform
+    // fat-tree, swapping one host for another in a structurally identical
+    // position yields an equivalent plan the search can skip.
+    uniform_fixture f;
+    const symmetry_checker checker{f.ft.topology(), f.registry, nullptr};
+    const auto current = f.plan({f.ft.host(0, 0, 0), f.ft.host(1, 0, 0)});
+    const auto swapped = f.plan({f.ft.host(0, 0, 0), f.ft.host(2, 0, 0)});
+    EXPECT_TRUE(checker.equivalent(current, swapped));
+}
+
+}  // namespace
+}  // namespace recloud

@@ -1,0 +1,135 @@
+// Semantic soundness of the network-transformation equivalence: if two
+// plans have equal signatures on a uniform fabric, their EXACT reliabilities
+// must be equal. Runs on a tiny leaf-spine where exhaustive enumeration is
+// feasible, sweeping many random plan pairs.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "assess/exact.hpp"
+#include "routing/bfs_reachability.hpp"
+#include "search/neighbor.hpp"
+#include "search/symmetry.hpp"
+#include "topology/leaf_spine.hpp"
+#include "topology/power.hpp"
+#include "util/rng.hpp"
+
+namespace recloud {
+namespace {
+
+struct semantic_fixture {
+    built_topology topo = build_leaf_spine(
+        {.spines = 2, .leaves = 4, .hosts_per_leaf = 2, .border_leaves = 1});
+    component_registry registry{topo.graph};
+    fault_tree_forest forest{topo.graph.node_count()};
+    power_assignment power = attach_power_supplies(topo, registry, forest,
+                                                   {.supply_count = 3});
+
+    semantic_fixture() {
+        // Uniform per-type probabilities: hosts 2%, switches 1%, supplies 3%.
+        for (component_id id = 0; id < registry.size(); ++id) {
+            switch (registry.kind(id)) {
+                case component_kind::host:
+                    registry.set_probability(id, 0.02);
+                    break;
+                case component_kind::power_supply:
+                    registry.set_probability(id, 0.03);
+                    break;
+                case component_kind::external:
+                    break;
+                default:
+                    registry.set_probability(id, 0.01);
+            }
+        }
+    }
+};
+
+TEST(SymmetrySemantics, EqualSignatureImpliesEqualExactReliability) {
+    semantic_fixture f;
+    const symmetry_checker checker{f.topo, f.registry, &f.forest};
+    bfs_reachability oracle{f.topo};
+    const application app = application::k_of_n(1, 2);
+    neighbor_generator gen{f.topo, anti_affinity::none, 31};
+
+    // Group 200 random plans by signature; within each group all exact
+    // reliabilities must agree.
+    std::map<std::uint64_t, std::pair<deployment_plan, double>> seen;
+    int matched_groups = 0;
+    for (int trial = 0; trial < 200; ++trial) {
+        const deployment_plan plan = gen.initial_plan(2);
+        const std::uint64_t sig = checker.signature(plan);
+        const double reliability =
+            exact_reliability(f.registry, &f.forest, oracle, app, plan);
+        const auto [it, inserted] = seen.try_emplace(sig, plan, reliability);
+        if (!inserted) {
+            ++matched_groups;
+            ASSERT_NEAR(reliability, it->second.second, 1e-12)
+                << "plans with equal signatures have different reliability";
+        }
+    }
+    // The fabric is symmetric, so collisions must actually occur — this
+    // guards against a vacuous test (e.g. a signature that is always
+    // unique).
+    EXPECT_GT(matched_groups, 20);
+}
+
+TEST(SymmetrySemantics, DistinctReliabilityImpliesDistinctSignature) {
+    // Contrapositive check on hand-picked plans: a same-rack pair is less
+    // reliable than a cross-rack pair, and the signatures must differ.
+    semantic_fixture f;
+    const symmetry_checker checker{f.topo, f.registry, &f.forest};
+    bfs_reachability oracle{f.topo};
+    const application app = application::k_of_n(1, 2);
+
+    deployment_plan same_rack;
+    same_rack.hosts = {f.topo.hosts[0], f.topo.hosts[1]};
+    deployment_plan cross_rack;
+    cross_rack.hosts = {f.topo.hosts[0], f.topo.hosts[2]};
+
+    const double r_same =
+        exact_reliability(f.registry, &f.forest, oracle, app, same_rack);
+    const double r_cross =
+        exact_reliability(f.registry, &f.forest, oracle, app, cross_rack);
+    EXPECT_NE(r_same, r_cross);
+    EXPECT_NE(checker.signature(same_rack), checker.signature(cross_rack));
+}
+
+TEST(SymmetrySemantics, SupplySharingChangesBothSignatureAndReliability) {
+    semantic_fixture f;
+    const symmetry_checker checker{f.topo, f.registry, &f.forest};
+    bfs_reachability oracle{f.topo};
+    const application app = application::k_of_n(1, 2);
+
+    // Find two cross-rack pairs, one whose hosts share a supply and one not.
+    const auto supply_of = [&](node_id h) {
+        return f.power.supplies_of_node[h].front();
+    };
+    deployment_plan shared;
+    deployment_plan diverse;
+    const node_id base = f.topo.hosts[0];
+    for (const node_id other : f.topo.hosts) {
+        if (other == base || rack_of(f.topo.graph, other) ==
+                                 rack_of(f.topo.graph, base)) {
+            continue;
+        }
+        if (supply_of(other) == supply_of(base) && shared.hosts.empty()) {
+            shared.hosts = {base, other};
+        }
+        if (supply_of(other) != supply_of(base) && diverse.hosts.empty()) {
+            diverse.hosts = {base, other};
+        }
+    }
+    ASSERT_FALSE(shared.hosts.empty());
+    ASSERT_FALSE(diverse.hosts.empty());
+
+    const double r_shared =
+        exact_reliability(f.registry, &f.forest, oracle, app, shared);
+    const double r_diverse =
+        exact_reliability(f.registry, &f.forest, oracle, app, diverse);
+    EXPECT_GT(r_diverse, r_shared);  // correlated failures hurt
+    EXPECT_NE(checker.signature(shared), checker.signature(diverse));
+}
+
+}  // namespace
+}  // namespace recloud

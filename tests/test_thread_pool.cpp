@@ -1,0 +1,106 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+namespace recloud {
+namespace {
+
+TEST(ThreadPool, RejectsZeroThreads) {
+    EXPECT_THROW(thread_pool{0}, std::invalid_argument);
+}
+
+TEST(ThreadPool, ReportsSize) {
+    thread_pool pool{3};
+    EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPool, SubmitReturnsResult) {
+    thread_pool pool{2};
+    auto future = pool.submit([] { return 21 * 2; });
+    EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPool, ManyTasksAllComplete) {
+    thread_pool pool{4};
+    std::atomic<int> counter{0};
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 500; ++i) {
+        futures.push_back(pool.submit([&counter] { ++counter; }));
+    }
+    for (auto& f : futures) {
+        f.get();
+    }
+    EXPECT_EQ(counter.load(), 500);
+}
+
+TEST(ThreadPool, ExceptionsPropagateThroughFuture) {
+    thread_pool pool{1};
+    auto future = pool.submit([]() -> int {
+        throw std::runtime_error{"boom"};
+    });
+    EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+    thread_pool pool{4};
+    std::vector<std::atomic<int>> hits(100);
+    pool.parallel_for(100, [&hits](std::size_t i) { ++hits[i]; });
+    for (const auto& h : hits) {
+        EXPECT_EQ(h.load(), 1);
+    }
+}
+
+TEST(ThreadPool, ParallelForPropagatesException) {
+    thread_pool pool{2};
+    EXPECT_THROW(pool.parallel_for(10,
+                                   [](std::size_t i) {
+                                       if (i == 7) {
+                                           throw std::runtime_error{"bad index"};
+                                       }
+                                   }),
+                 std::runtime_error);
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+    std::atomic<int> counter{0};
+    {
+        thread_pool pool{2};
+        for (int i = 0; i < 100; ++i) {
+            (void)pool.submit([&counter] {
+                std::this_thread::sleep_for(std::chrono::microseconds{100});
+                ++counter;
+            });
+        }
+    }  // destructor joins after draining
+    EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, TasksRunConcurrently) {
+    thread_pool pool{2};
+    std::atomic<bool> first_running{false};
+    std::atomic<bool> second_observed_first{false};
+    auto f1 = pool.submit([&] {
+        first_running = true;
+        // Hold the thread until the other task observes us (bounded wait).
+        for (int i = 0; i < 10000 && !second_observed_first; ++i) {
+            std::this_thread::sleep_for(std::chrono::microseconds{50});
+        }
+    });
+    auto f2 = pool.submit([&] {
+        for (int i = 0; i < 10000 && !first_running; ++i) {
+            std::this_thread::sleep_for(std::chrono::microseconds{50});
+        }
+        second_observed_first = first_running.load();
+    });
+    f1.get();
+    f2.get();
+    EXPECT_TRUE(second_observed_first);
+}
+
+}  // namespace
+}  // namespace recloud

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "topology/jellyfish.hpp"
+#include "topology/leaf_spine.hpp"
+#include "topology/stats.hpp"
+#include "topology/vl2.hpp"
+
+namespace recloud {
+namespace {
+
+/// Fully-healthy connectivity check: every host must reach the external
+/// node in the failure-free graph.
+bool all_hosts_connected(const built_topology& topo) {
+    std::vector<std::uint8_t> seen(topo.graph.node_count(), 0);
+    std::vector<node_id> queue{topo.external};
+    seen[topo.external] = 1;
+    std::size_t head = 0;
+    while (head < queue.size()) {
+        for (const node_id n : topo.graph.neighbors(queue[head++])) {
+            if (!seen[n]) {
+                seen[n] = 1;
+                queue.push_back(n);
+            }
+        }
+    }
+    for (const node_id h : topo.hosts) {
+        if (!seen[h]) {
+            return false;
+        }
+    }
+    return true;
+}
+
+TEST(LeafSpine, Counts) {
+    const built_topology topo =
+        build_leaf_spine({.spines = 4, .leaves = 8, .hosts_per_leaf = 16,
+                          .border_leaves = 2});
+    const topology_stats s = compute_topology_stats(topo);
+    EXPECT_EQ(s.core_switches, 4u);  // spines use the core kind
+    EXPECT_EQ(s.edge_switches, 8u);
+    EXPECT_EQ(s.border_switches, 2u);
+    EXPECT_EQ(s.hosts, 128u);
+    EXPECT_EQ(topo.hosts.size(), 128u);
+    EXPECT_EQ(topo.border_switches.size(), 2u);
+}
+
+TEST(LeafSpine, EveryLeafSeesEverySpine) {
+    const built_topology topo = build_leaf_spine({.spines = 3, .leaves = 5,
+                                                  .hosts_per_leaf = 2,
+                                                  .border_leaves = 1});
+    const auto spines = topo.graph.nodes_of_kind(node_kind::core_switch);
+    for (const node_id leaf : topo.graph.nodes_of_kind(node_kind::edge_switch)) {
+        for (const node_id spine : spines) {
+            EXPECT_TRUE(topo.graph.has_edge(leaf, spine));
+        }
+    }
+}
+
+TEST(LeafSpine, FullyConnectedWhenHealthy) {
+    EXPECT_TRUE(all_hosts_connected(build_leaf_spine({})));
+}
+
+TEST(LeafSpine, RejectsInvalidParams) {
+    EXPECT_THROW((void)build_leaf_spine({.spines = 0}), std::invalid_argument);
+    EXPECT_THROW((void)build_leaf_spine({.border_leaves = 0}), std::invalid_argument);
+}
+
+TEST(Vl2, Counts) {
+    const built_topology topo = build_vl2(
+        {.intermediates = 4, .aggregations = 8, .tors = 16, .hosts_per_tor = 20,
+         .border_intermediates = 2});
+    const topology_stats s = compute_topology_stats(topo);
+    EXPECT_EQ(s.core_switches + s.border_switches, 4u);
+    EXPECT_EQ(s.border_switches, 2u);
+    EXPECT_EQ(s.aggregation_switches, 8u);
+    EXPECT_EQ(s.edge_switches, 16u);
+    EXPECT_EQ(s.hosts, 320u);
+}
+
+TEST(Vl2, TorsAreDualHomed) {
+    const built_topology topo = build_vl2({});
+    for (const node_id tor : topo.graph.nodes_of_kind(node_kind::edge_switch)) {
+        std::size_t agg_links = 0;
+        for (const node_id n : topo.graph.neighbors(tor)) {
+            if (topo.graph.kind(n) == node_kind::aggregation_switch) {
+                ++agg_links;
+            }
+        }
+        EXPECT_EQ(agg_links, 2u);
+    }
+}
+
+TEST(Vl2, FullyConnectedWhenHealthy) {
+    EXPECT_TRUE(all_hosts_connected(build_vl2({})));
+}
+
+TEST(Vl2, RejectsInvalidParams) {
+    EXPECT_THROW((void)build_vl2({.aggregations = 1}), std::invalid_argument);
+    EXPECT_THROW((void)build_vl2({.border_intermediates = 99}),
+                 std::invalid_argument);
+}
+
+TEST(Jellyfish, SwitchDegreeIsRegular) {
+    const jellyfish_params params{.switches = 20, .degree = 4,
+                                  .hosts_per_switch = 3, .border_switches = 2,
+                                  .seed = 5};
+    const built_topology topo = build_jellyfish(params);
+    for (node_id id = 0; id < topo.graph.node_count(); ++id) {
+        if (!is_switch(topo.graph.kind(id))) {
+            continue;
+        }
+        std::size_t switch_links = 0;
+        for (const node_id n : topo.graph.neighbors(id)) {
+            if (is_switch(topo.graph.kind(n))) {
+                ++switch_links;
+            }
+        }
+        EXPECT_EQ(switch_links, 4u);
+    }
+}
+
+TEST(Jellyfish, HostCount) {
+    const built_topology topo = build_jellyfish(
+        {.switches = 10, .degree = 3, .hosts_per_switch = 5,
+         .border_switches = 1, .seed = 9});
+    EXPECT_EQ(topo.hosts.size(), 50u);
+}
+
+TEST(Jellyfish, DeterministicPerSeed) {
+    const jellyfish_params params{.switches = 12, .degree = 4,
+                                  .hosts_per_switch = 2, .border_switches = 1,
+                                  .seed = 77};
+    const built_topology a = build_jellyfish(params);
+    const built_topology b = build_jellyfish(params);
+    ASSERT_EQ(a.graph.node_count(), b.graph.node_count());
+    for (node_id id = 0; id < a.graph.node_count(); ++id) {
+        const auto na = a.graph.neighbors(id);
+        const auto nb = b.graph.neighbors(id);
+        EXPECT_TRUE(std::equal(na.begin(), na.end(), nb.begin(), nb.end()));
+    }
+}
+
+TEST(Jellyfish, DifferentSeedsDiffer) {
+    jellyfish_params params{.switches = 16, .degree = 4, .hosts_per_switch = 1,
+                            .border_switches = 1, .seed = 1};
+    const built_topology a = build_jellyfish(params);
+    params.seed = 2;
+    const built_topology b = build_jellyfish(params);
+    bool any_difference = false;
+    for (node_id id = 0; id < a.graph.node_count() && !any_difference; ++id) {
+        const auto na = a.graph.neighbors(id);
+        const auto nb = b.graph.neighbors(id);
+        any_difference = !std::equal(na.begin(), na.end(), nb.begin(), nb.end());
+    }
+    EXPECT_TRUE(any_difference);
+}
+
+TEST(Jellyfish, RejectsInvalidParams) {
+    EXPECT_THROW((void)build_jellyfish({.switches = 5, .degree = 3}),
+                 std::invalid_argument);  // odd stub count
+    EXPECT_THROW((void)build_jellyfish({.switches = 4, .degree = 4}),
+                 std::invalid_argument);  // degree >= switches
+    EXPECT_THROW((void)build_jellyfish({.border_switches = 0}),
+                 std::invalid_argument);
+}
+
+TEST(TopologyStats, NamesPropagate) {
+    EXPECT_FALSE(compute_topology_stats(build_leaf_spine({})).name.empty());
+    EXPECT_FALSE(compute_topology_stats(build_vl2({})).name.empty());
+}
+
+}  // namespace
+}  // namespace recloud

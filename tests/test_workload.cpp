@@ -1,0 +1,84 @@
+#include "search/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topology/fat_tree.hpp"
+#include "util/stats.hpp"
+
+namespace recloud {
+namespace {
+
+TEST(Workload, ValuesInUnitInterval) {
+    const fat_tree ft = fat_tree::build(8);
+    rng random{1};
+    const workload_map loads{ft.topology(), random};
+    for (const node_id h : ft.topology().hosts) {
+        EXPECT_GE(loads.of(h), 0.0);
+        EXPECT_LE(loads.of(h), 1.0);
+    }
+}
+
+TEST(Workload, MatchesPaperDistribution) {
+    const fat_tree ft = fat_tree::build(16);  // 960 hosts
+    rng random{2};
+    const workload_map loads{ft.topology(), random};
+    running_stats s;
+    for (const node_id h : ft.topology().hosts) {
+        s.add(loads.of(h));
+    }
+    EXPECT_NEAR(s.mean(), 0.2, 0.01);
+    EXPECT_NEAR(s.stddev(), 0.05, 0.01);
+}
+
+TEST(Workload, NonHostNodesCarryZero) {
+    const fat_tree ft = fat_tree::build(8);
+    rng random{3};
+    const workload_map loads{ft.topology(), random};
+    EXPECT_EQ(loads.of(ft.core(0, 0)), 0.0);
+    EXPECT_EQ(loads.of(ft.external()), 0.0);
+}
+
+TEST(Workload, AverageOfSelection) {
+    const fat_tree ft = fat_tree::build(8);
+    rng random{4};
+    const workload_map loads{ft.topology(), random};
+    const std::vector<node_id> hosts{ft.topology().hosts[0],
+                                     ft.topology().hosts[1]};
+    const double expected = (loads.of(hosts[0]) + loads.of(hosts[1])) / 2.0;
+    EXPECT_DOUBLE_EQ(loads.average(hosts), expected);
+    EXPECT_EQ(loads.average({}), 0.0);
+}
+
+TEST(Workload, RefreshChangesLoads) {
+    const fat_tree ft = fat_tree::build(8);
+    rng random{5};
+    workload_map loads{ft.topology(), random};
+    const double before = loads.of(ft.topology().hosts[0]);
+    std::vector<double> snapshot;
+    for (const node_id h : ft.topology().hosts) {
+        snapshot.push_back(loads.of(h));
+    }
+    loads.refresh(random);
+    bool changed = false;
+    std::size_t i = 0;
+    for (const node_id h : ft.topology().hosts) {
+        changed = changed || loads.of(h) != snapshot[i++];
+    }
+    EXPECT_TRUE(changed);
+    (void)before;
+}
+
+TEST(Workload, CustomDistributionOptions) {
+    const fat_tree ft = fat_tree::build(16);
+    rng random{6};
+    const workload_map loads{ft.topology(), random,
+                             {.mean = 0.7, .stddev = 0.01}};
+    running_stats s;
+    for (const node_id h : ft.topology().hosts) {
+        s.add(loads.of(h));
+    }
+    EXPECT_NEAR(s.mean(), 0.7, 0.01);
+}
+
+}  // namespace
+}  // namespace recloud
