@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blast_radius.dir/blast_radius.cpp.o"
+  "CMakeFiles/blast_radius.dir/blast_radius.cpp.o.d"
+  "blast_radius"
+  "blast_radius.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blast_radius.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microservice.dir/microservice.cpp.o"
+  "CMakeFiles/microservice.dir/microservice.cpp.o.d"
+  "microservice"
+  "microservice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microservice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multitier.dir/multitier.cpp.o"
+  "CMakeFiles/multitier.dir/multitier.cpp.o.d"
+  "multitier"
+  "multitier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multitier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recloud_cli.dir/recloud_cli.cpp.o"
+  "CMakeFiles/recloud_cli.dir/recloud_cli.cpp.o.d"
+  "recloud_cli"
+  "recloud_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recloud_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

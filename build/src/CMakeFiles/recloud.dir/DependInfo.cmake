@@ -1,0 +1,65 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/app/application.cpp" "src/CMakeFiles/recloud.dir/app/application.cpp.o" "gcc" "src/CMakeFiles/recloud.dir/app/application.cpp.o.d"
+  "/root/repo/src/app/deployment.cpp" "src/CMakeFiles/recloud.dir/app/deployment.cpp.o" "gcc" "src/CMakeFiles/recloud.dir/app/deployment.cpp.o.d"
+  "/root/repo/src/app/requirement_eval.cpp" "src/CMakeFiles/recloud.dir/app/requirement_eval.cpp.o" "gcc" "src/CMakeFiles/recloud.dir/app/requirement_eval.cpp.o.d"
+  "/root/repo/src/assess/assessor.cpp" "src/CMakeFiles/recloud.dir/assess/assessor.cpp.o" "gcc" "src/CMakeFiles/recloud.dir/assess/assessor.cpp.o.d"
+  "/root/repo/src/assess/criticality.cpp" "src/CMakeFiles/recloud.dir/assess/criticality.cpp.o" "gcc" "src/CMakeFiles/recloud.dir/assess/criticality.cpp.o.d"
+  "/root/repo/src/assess/downtime.cpp" "src/CMakeFiles/recloud.dir/assess/downtime.cpp.o" "gcc" "src/CMakeFiles/recloud.dir/assess/downtime.cpp.o.d"
+  "/root/repo/src/assess/exact.cpp" "src/CMakeFiles/recloud.dir/assess/exact.cpp.o" "gcc" "src/CMakeFiles/recloud.dir/assess/exact.cpp.o.d"
+  "/root/repo/src/core/recloud.cpp" "src/CMakeFiles/recloud.dir/core/recloud.cpp.o" "gcc" "src/CMakeFiles/recloud.dir/core/recloud.cpp.o.d"
+  "/root/repo/src/deps/hardware_inventory.cpp" "src/CMakeFiles/recloud.dir/deps/hardware_inventory.cpp.o" "gcc" "src/CMakeFiles/recloud.dir/deps/hardware_inventory.cpp.o.d"
+  "/root/repo/src/deps/network_deps.cpp" "src/CMakeFiles/recloud.dir/deps/network_deps.cpp.o" "gcc" "src/CMakeFiles/recloud.dir/deps/network_deps.cpp.o.d"
+  "/root/repo/src/deps/software_deps.cpp" "src/CMakeFiles/recloud.dir/deps/software_deps.cpp.o" "gcc" "src/CMakeFiles/recloud.dir/deps/software_deps.cpp.o.d"
+  "/root/repo/src/exec/engine.cpp" "src/CMakeFiles/recloud.dir/exec/engine.cpp.o" "gcc" "src/CMakeFiles/recloud.dir/exec/engine.cpp.o.d"
+  "/root/repo/src/faults/component_registry.cpp" "src/CMakeFiles/recloud.dir/faults/component_registry.cpp.o" "gcc" "src/CMakeFiles/recloud.dir/faults/component_registry.cpp.o.d"
+  "/root/repo/src/faults/cvss.cpp" "src/CMakeFiles/recloud.dir/faults/cvss.cpp.o" "gcc" "src/CMakeFiles/recloud.dir/faults/cvss.cpp.o.d"
+  "/root/repo/src/faults/fault_tree.cpp" "src/CMakeFiles/recloud.dir/faults/fault_tree.cpp.o" "gcc" "src/CMakeFiles/recloud.dir/faults/fault_tree.cpp.o.d"
+  "/root/repo/src/faults/probability_model.cpp" "src/CMakeFiles/recloud.dir/faults/probability_model.cpp.o" "gcc" "src/CMakeFiles/recloud.dir/faults/probability_model.cpp.o.d"
+  "/root/repo/src/report/report.cpp" "src/CMakeFiles/recloud.dir/report/report.cpp.o" "gcc" "src/CMakeFiles/recloud.dir/report/report.cpp.o.d"
+  "/root/repo/src/routing/bfs_reachability.cpp" "src/CMakeFiles/recloud.dir/routing/bfs_reachability.cpp.o" "gcc" "src/CMakeFiles/recloud.dir/routing/bfs_reachability.cpp.o.d"
+  "/root/repo/src/routing/fat_tree_routing.cpp" "src/CMakeFiles/recloud.dir/routing/fat_tree_routing.cpp.o" "gcc" "src/CMakeFiles/recloud.dir/routing/fat_tree_routing.cpp.o.d"
+  "/root/repo/src/sampling/antithetic.cpp" "src/CMakeFiles/recloud.dir/sampling/antithetic.cpp.o" "gcc" "src/CMakeFiles/recloud.dir/sampling/antithetic.cpp.o.d"
+  "/root/repo/src/sampling/dagger.cpp" "src/CMakeFiles/recloud.dir/sampling/dagger.cpp.o" "gcc" "src/CMakeFiles/recloud.dir/sampling/dagger.cpp.o.d"
+  "/root/repo/src/sampling/extended_dagger.cpp" "src/CMakeFiles/recloud.dir/sampling/extended_dagger.cpp.o" "gcc" "src/CMakeFiles/recloud.dir/sampling/extended_dagger.cpp.o.d"
+  "/root/repo/src/sampling/injection.cpp" "src/CMakeFiles/recloud.dir/sampling/injection.cpp.o" "gcc" "src/CMakeFiles/recloud.dir/sampling/injection.cpp.o.d"
+  "/root/repo/src/sampling/monte_carlo.cpp" "src/CMakeFiles/recloud.dir/sampling/monte_carlo.cpp.o" "gcc" "src/CMakeFiles/recloud.dir/sampling/monte_carlo.cpp.o.d"
+  "/root/repo/src/sampling/result_stats.cpp" "src/CMakeFiles/recloud.dir/sampling/result_stats.cpp.o" "gcc" "src/CMakeFiles/recloud.dir/sampling/result_stats.cpp.o.d"
+  "/root/repo/src/search/annealing.cpp" "src/CMakeFiles/recloud.dir/search/annealing.cpp.o" "gcc" "src/CMakeFiles/recloud.dir/search/annealing.cpp.o.d"
+  "/root/repo/src/search/common_practice.cpp" "src/CMakeFiles/recloud.dir/search/common_practice.cpp.o" "gcc" "src/CMakeFiles/recloud.dir/search/common_practice.cpp.o.d"
+  "/root/repo/src/search/neighbor.cpp" "src/CMakeFiles/recloud.dir/search/neighbor.cpp.o" "gcc" "src/CMakeFiles/recloud.dir/search/neighbor.cpp.o.d"
+  "/root/repo/src/search/objective.cpp" "src/CMakeFiles/recloud.dir/search/objective.cpp.o" "gcc" "src/CMakeFiles/recloud.dir/search/objective.cpp.o.d"
+  "/root/repo/src/search/symmetry.cpp" "src/CMakeFiles/recloud.dir/search/symmetry.cpp.o" "gcc" "src/CMakeFiles/recloud.dir/search/symmetry.cpp.o.d"
+  "/root/repo/src/search/workload.cpp" "src/CMakeFiles/recloud.dir/search/workload.cpp.o" "gcc" "src/CMakeFiles/recloud.dir/search/workload.cpp.o.d"
+  "/root/repo/src/topology/bcube.cpp" "src/CMakeFiles/recloud.dir/topology/bcube.cpp.o" "gcc" "src/CMakeFiles/recloud.dir/topology/bcube.cpp.o.d"
+  "/root/repo/src/topology/dcell.cpp" "src/CMakeFiles/recloud.dir/topology/dcell.cpp.o" "gcc" "src/CMakeFiles/recloud.dir/topology/dcell.cpp.o.d"
+  "/root/repo/src/topology/fat_tree.cpp" "src/CMakeFiles/recloud.dir/topology/fat_tree.cpp.o" "gcc" "src/CMakeFiles/recloud.dir/topology/fat_tree.cpp.o.d"
+  "/root/repo/src/topology/graph.cpp" "src/CMakeFiles/recloud.dir/topology/graph.cpp.o" "gcc" "src/CMakeFiles/recloud.dir/topology/graph.cpp.o.d"
+  "/root/repo/src/topology/jellyfish.cpp" "src/CMakeFiles/recloud.dir/topology/jellyfish.cpp.o" "gcc" "src/CMakeFiles/recloud.dir/topology/jellyfish.cpp.o.d"
+  "/root/repo/src/topology/leaf_spine.cpp" "src/CMakeFiles/recloud.dir/topology/leaf_spine.cpp.o" "gcc" "src/CMakeFiles/recloud.dir/topology/leaf_spine.cpp.o.d"
+  "/root/repo/src/topology/links.cpp" "src/CMakeFiles/recloud.dir/topology/links.cpp.o" "gcc" "src/CMakeFiles/recloud.dir/topology/links.cpp.o.d"
+  "/root/repo/src/topology/power.cpp" "src/CMakeFiles/recloud.dir/topology/power.cpp.o" "gcc" "src/CMakeFiles/recloud.dir/topology/power.cpp.o.d"
+  "/root/repo/src/topology/stats.cpp" "src/CMakeFiles/recloud.dir/topology/stats.cpp.o" "gcc" "src/CMakeFiles/recloud.dir/topology/stats.cpp.o.d"
+  "/root/repo/src/topology/vl2.cpp" "src/CMakeFiles/recloud.dir/topology/vl2.cpp.o" "gcc" "src/CMakeFiles/recloud.dir/topology/vl2.cpp.o.d"
+  "/root/repo/src/util/config.cpp" "src/CMakeFiles/recloud.dir/util/config.cpp.o" "gcc" "src/CMakeFiles/recloud.dir/util/config.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/recloud.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/recloud.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/serialize.cpp" "src/CMakeFiles/recloud.dir/util/serialize.cpp.o" "gcc" "src/CMakeFiles/recloud.dir/util/serialize.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/recloud.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/recloud.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/stopwatch.cpp" "src/CMakeFiles/recloud.dir/util/stopwatch.cpp.o" "gcc" "src/CMakeFiles/recloud.dir/util/stopwatch.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "src/CMakeFiles/recloud.dir/util/thread_pool.cpp.o" "gcc" "src/CMakeFiles/recloud.dir/util/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

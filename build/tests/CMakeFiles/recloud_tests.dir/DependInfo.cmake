@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_adaptive_assess.cpp" "tests/CMakeFiles/recloud_tests.dir/test_adaptive_assess.cpp.o" "gcc" "tests/CMakeFiles/recloud_tests.dir/test_adaptive_assess.cpp.o.d"
+  "/root/repo/tests/test_annealing.cpp" "tests/CMakeFiles/recloud_tests.dir/test_annealing.cpp.o" "gcc" "tests/CMakeFiles/recloud_tests.dir/test_annealing.cpp.o.d"
+  "/root/repo/tests/test_application.cpp" "tests/CMakeFiles/recloud_tests.dir/test_application.cpp.o" "gcc" "tests/CMakeFiles/recloud_tests.dir/test_application.cpp.o.d"
+  "/root/repo/tests/test_assessor.cpp" "tests/CMakeFiles/recloud_tests.dir/test_assessor.cpp.o" "gcc" "tests/CMakeFiles/recloud_tests.dir/test_assessor.cpp.o.d"
+  "/root/repo/tests/test_bcube.cpp" "tests/CMakeFiles/recloud_tests.dir/test_bcube.cpp.o" "gcc" "tests/CMakeFiles/recloud_tests.dir/test_bcube.cpp.o.d"
+  "/root/repo/tests/test_common_practice.cpp" "tests/CMakeFiles/recloud_tests.dir/test_common_practice.cpp.o" "gcc" "tests/CMakeFiles/recloud_tests.dir/test_common_practice.cpp.o.d"
+  "/root/repo/tests/test_config.cpp" "tests/CMakeFiles/recloud_tests.dir/test_config.cpp.o" "gcc" "tests/CMakeFiles/recloud_tests.dir/test_config.cpp.o.d"
+  "/root/repo/tests/test_crn.cpp" "tests/CMakeFiles/recloud_tests.dir/test_crn.cpp.o" "gcc" "tests/CMakeFiles/recloud_tests.dir/test_crn.cpp.o.d"
+  "/root/repo/tests/test_cvss.cpp" "tests/CMakeFiles/recloud_tests.dir/test_cvss.cpp.o" "gcc" "tests/CMakeFiles/recloud_tests.dir/test_cvss.cpp.o.d"
+  "/root/repo/tests/test_dcell.cpp" "tests/CMakeFiles/recloud_tests.dir/test_dcell.cpp.o" "gcc" "tests/CMakeFiles/recloud_tests.dir/test_dcell.cpp.o.d"
+  "/root/repo/tests/test_deps.cpp" "tests/CMakeFiles/recloud_tests.dir/test_deps.cpp.o" "gcc" "tests/CMakeFiles/recloud_tests.dir/test_deps.cpp.o.d"
+  "/root/repo/tests/test_downtime.cpp" "tests/CMakeFiles/recloud_tests.dir/test_downtime.cpp.o" "gcc" "tests/CMakeFiles/recloud_tests.dir/test_downtime.cpp.o.d"
+  "/root/repo/tests/test_engine.cpp" "tests/CMakeFiles/recloud_tests.dir/test_engine.cpp.o" "gcc" "tests/CMakeFiles/recloud_tests.dir/test_engine.cpp.o.d"
+  "/root/repo/tests/test_exact.cpp" "tests/CMakeFiles/recloud_tests.dir/test_exact.cpp.o" "gcc" "tests/CMakeFiles/recloud_tests.dir/test_exact.cpp.o.d"
+  "/root/repo/tests/test_facade_extras.cpp" "tests/CMakeFiles/recloud_tests.dir/test_facade_extras.cpp.o" "gcc" "tests/CMakeFiles/recloud_tests.dir/test_facade_extras.cpp.o.d"
+  "/root/repo/tests/test_fat_tree.cpp" "tests/CMakeFiles/recloud_tests.dir/test_fat_tree.cpp.o" "gcc" "tests/CMakeFiles/recloud_tests.dir/test_fat_tree.cpp.o.d"
+  "/root/repo/tests/test_fault_tree.cpp" "tests/CMakeFiles/recloud_tests.dir/test_fault_tree.cpp.o" "gcc" "tests/CMakeFiles/recloud_tests.dir/test_fault_tree.cpp.o.d"
+  "/root/repo/tests/test_fault_tree_probability.cpp" "tests/CMakeFiles/recloud_tests.dir/test_fault_tree_probability.cpp.o" "gcc" "tests/CMakeFiles/recloud_tests.dir/test_fault_tree_probability.cpp.o.d"
+  "/root/repo/tests/test_graph.cpp" "tests/CMakeFiles/recloud_tests.dir/test_graph.cpp.o" "gcc" "tests/CMakeFiles/recloud_tests.dir/test_graph.cpp.o.d"
+  "/root/repo/tests/test_infra_links.cpp" "tests/CMakeFiles/recloud_tests.dir/test_infra_links.cpp.o" "gcc" "tests/CMakeFiles/recloud_tests.dir/test_infra_links.cpp.o.d"
+  "/root/repo/tests/test_injection.cpp" "tests/CMakeFiles/recloud_tests.dir/test_injection.cpp.o" "gcc" "tests/CMakeFiles/recloud_tests.dir/test_injection.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/recloud_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/recloud_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_links.cpp" "tests/CMakeFiles/recloud_tests.dir/test_links.cpp.o" "gcc" "tests/CMakeFiles/recloud_tests.dir/test_links.cpp.o.d"
+  "/root/repo/tests/test_neighbor.cpp" "tests/CMakeFiles/recloud_tests.dir/test_neighbor.cpp.o" "gcc" "tests/CMakeFiles/recloud_tests.dir/test_neighbor.cpp.o.d"
+  "/root/repo/tests/test_oracle_properties.cpp" "tests/CMakeFiles/recloud_tests.dir/test_oracle_properties.cpp.o" "gcc" "tests/CMakeFiles/recloud_tests.dir/test_oracle_properties.cpp.o.d"
+  "/root/repo/tests/test_power.cpp" "tests/CMakeFiles/recloud_tests.dir/test_power.cpp.o" "gcc" "tests/CMakeFiles/recloud_tests.dir/test_power.cpp.o.d"
+  "/root/repo/tests/test_probability_model.cpp" "tests/CMakeFiles/recloud_tests.dir/test_probability_model.cpp.o" "gcc" "tests/CMakeFiles/recloud_tests.dir/test_probability_model.cpp.o.d"
+  "/root/repo/tests/test_recloud.cpp" "tests/CMakeFiles/recloud_tests.dir/test_recloud.cpp.o" "gcc" "tests/CMakeFiles/recloud_tests.dir/test_recloud.cpp.o.d"
+  "/root/repo/tests/test_report.cpp" "tests/CMakeFiles/recloud_tests.dir/test_report.cpp.o" "gcc" "tests/CMakeFiles/recloud_tests.dir/test_report.cpp.o.d"
+  "/root/repo/tests/test_requirement_eval.cpp" "tests/CMakeFiles/recloud_tests.dir/test_requirement_eval.cpp.o" "gcc" "tests/CMakeFiles/recloud_tests.dir/test_requirement_eval.cpp.o.d"
+  "/root/repo/tests/test_resource_constraints.cpp" "tests/CMakeFiles/recloud_tests.dir/test_resource_constraints.cpp.o" "gcc" "tests/CMakeFiles/recloud_tests.dir/test_resource_constraints.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/recloud_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/recloud_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_round_state.cpp" "tests/CMakeFiles/recloud_tests.dir/test_round_state.cpp.o" "gcc" "tests/CMakeFiles/recloud_tests.dir/test_round_state.cpp.o.d"
+  "/root/repo/tests/test_routing.cpp" "tests/CMakeFiles/recloud_tests.dir/test_routing.cpp.o" "gcc" "tests/CMakeFiles/recloud_tests.dir/test_routing.cpp.o.d"
+  "/root/repo/tests/test_sampling.cpp" "tests/CMakeFiles/recloud_tests.dir/test_sampling.cpp.o" "gcc" "tests/CMakeFiles/recloud_tests.dir/test_sampling.cpp.o.d"
+  "/root/repo/tests/test_serialize.cpp" "tests/CMakeFiles/recloud_tests.dir/test_serialize.cpp.o" "gcc" "tests/CMakeFiles/recloud_tests.dir/test_serialize.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/recloud_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/recloud_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_stopwatch.cpp" "tests/CMakeFiles/recloud_tests.dir/test_stopwatch.cpp.o" "gcc" "tests/CMakeFiles/recloud_tests.dir/test_stopwatch.cpp.o.d"
+  "/root/repo/tests/test_symmetry.cpp" "tests/CMakeFiles/recloud_tests.dir/test_symmetry.cpp.o" "gcc" "tests/CMakeFiles/recloud_tests.dir/test_symmetry.cpp.o.d"
+  "/root/repo/tests/test_symmetry_semantics.cpp" "tests/CMakeFiles/recloud_tests.dir/test_symmetry_semantics.cpp.o" "gcc" "tests/CMakeFiles/recloud_tests.dir/test_symmetry_semantics.cpp.o.d"
+  "/root/repo/tests/test_thread_pool.cpp" "tests/CMakeFiles/recloud_tests.dir/test_thread_pool.cpp.o" "gcc" "tests/CMakeFiles/recloud_tests.dir/test_thread_pool.cpp.o.d"
+  "/root/repo/tests/test_topologies.cpp" "tests/CMakeFiles/recloud_tests.dir/test_topologies.cpp.o" "gcc" "tests/CMakeFiles/recloud_tests.dir/test_topologies.cpp.o.d"
+  "/root/repo/tests/test_workload.cpp" "tests/CMakeFiles/recloud_tests.dir/test_workload.cpp.o" "gcc" "tests/CMakeFiles/recloud_tests.dir/test_workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/recloud.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
