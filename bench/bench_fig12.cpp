@@ -73,13 +73,13 @@ int main() {
             for (std::size_t workers = 1; workers <= 4; ++workers) {
                 extended_dagger_sampler sampler{infra.registry().probabilities(),
                                                 3};
-                assessment_engine engine{
-                    infra.registry().size(), &infra.forest(), factory,
+                engine_backend backend{
+                    infra.registry().size(), &infra.forest(), factory, sampler,
                     {.workers = workers, .batch_rounds = 1000}};
                 // Warm-up the pool threads, then measure.
-                (void)engine.assess(sampler, w.app, plan, 500);
+                (void)backend.assess(w.app, plan, 500);
                 const double ms = bench::time_ms(
-                    [&] { (void)engine.assess(sampler, w.app, plan, rounds); });
+                    [&] { (void)backend.assess(w.app, plan, rounds); });
                 std::printf(" %13.1f", ms);
             }
             std::printf("\n");

@@ -48,6 +48,8 @@ max_seconds = 5
 desired_downtime_hours = 160
 rounds = 10000
 sampler = dagger          # dagger | monte-carlo | antithetic
+backend = serial          # serial | parallel | engine (assessment execution)
+threads = 0               # parallel/engine workers; 0 = all hardware threads
 multi_objective = false
 symmetry = true
 seed = 1
@@ -78,6 +80,19 @@ application build_application(const config& cfg) {
     throw config_error{"unknown application.structure: " + structure};
 }
 
+assessment_backend_kind parse_backend(const std::string& name) {
+    if (name == "serial") {
+        return assessment_backend_kind::serial;
+    }
+    if (name == "parallel") {
+        return assessment_backend_kind::parallel;
+    }
+    if (name == "engine") {
+        return assessment_backend_kind::engine;
+    }
+    throw config_error{"unknown search.backend: " + name};
+}
+
 sampler_kind parse_sampler(const std::string& name) {
     if (name == "dagger") {
         return sampler_kind::extended_dagger;
@@ -96,6 +111,9 @@ recloud_options build_options(const config& cfg) {
     options.assessment_rounds =
         static_cast<std::size_t>(cfg.get_int("search.rounds", 10000));
     options.sampler = parse_sampler(cfg.get_string("search.sampler", "dagger"));
+    options.backend = parse_backend(cfg.get_string("search.backend", "serial"));
+    options.assessment_threads =
+        static_cast<std::size_t>(cfg.get_int("search.threads", 0));
     options.multi_objective = cfg.get_bool("search.multi_objective", false);
     options.use_symmetry = cfg.get_bool("search.symmetry", true);
     options.seed = static_cast<std::uint64_t>(cfg.get_int("search.seed", 1));
@@ -191,6 +209,7 @@ int run_fat_tree(const config& cfg, const application& app) {
                 infra.registry().size());
 
     re_cloud system{infra, build_options(cfg)};
+    std::printf("assessment:       %s backend\n", system.backend().name());
     const deployment_response response =
         system.find_deployment(build_request(cfg, app));
     report(response, infra.topology());
@@ -227,6 +246,7 @@ int run_generic(const config& cfg, const application& app,
     std::printf("infrastructure:   %s (%zu hosts, %zu components)\n",
                 topo.name.c_str(), topo.hosts.size(), registry.size());
     re_cloud system{context, build_options(cfg)};
+    std::printf("assessment:       %s backend\n", system.backend().name());
     const deployment_response response =
         system.find_deployment(build_request(cfg, app));
     report(response, topo);

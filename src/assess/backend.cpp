@@ -1,0 +1,159 @@
+#include "assess/backend.hpp"
+
+#include <algorithm>
+#include <future>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "app/requirement_eval.hpp"
+#include "sampling/result_stats.hpp"
+
+namespace recloud {
+namespace {
+
+/// Per-task tally a worker hands back to the reducer.
+struct batch_counts {
+    std::size_t rounds = 0;
+    std::size_t reliable = 0;
+};
+
+}  // namespace
+
+assessment_stats assessment_backend::assess_until_ciw(
+    const application& app, const deployment_plan& plan,
+    const adaptive_assess_options& options) {
+    if (options.target_ciw <= 0.0) {
+        throw std::invalid_argument{"assess_until_ciw: target must be > 0"};
+    }
+    // Same prediction loop as the serial free function (assessor.cpp), built
+    // on the backend's assess(): run an initial burst, then repeatedly
+    // predict the total rounds needed and run the shortfall.
+    result_accumulator results;
+    const auto run_rounds = [&](std::size_t rounds) {
+        const assessment_stats chunk = assess(app, plan, rounds);
+        results.merge(chunk.reliable, chunk.rounds);
+    };
+    run_rounds(std::min(std::max<std::size_t>(options.initial_rounds, 1),
+                        options.max_rounds));
+    for (;;) {
+        const assessment_stats stats = results.stats();
+        if (stats.ciw95 <= options.target_ciw ||
+            results.rounds() >= options.max_rounds) {
+            return stats;
+        }
+        const std::size_t predicted =
+            rounds_for_target_ciw(options.target_ciw, stats.reliability);
+        const std::size_t want = std::max(predicted, 2 * results.rounds());
+        const std::size_t next = std::min(want, options.max_rounds);
+        run_rounds(next - results.rounds());
+    }
+}
+
+serial_backend::serial_backend(std::size_t component_count,
+                               const fault_tree_forest* forest,
+                               reachability_oracle& oracle,
+                               failure_sampler& sampler)
+    : assessor_(component_count, forest, oracle, sampler),
+      sampler_(&sampler),
+      oracle_(&oracle) {}
+
+assessment_stats serial_backend::assess(const application& app,
+                                        const deployment_plan& plan,
+                                        std::size_t rounds) {
+    return assessor_.assess(app, plan, rounds);
+}
+
+assessment_stats serial_backend::assess_until_ciw(
+    const application& app, const deployment_plan& plan,
+    const adaptive_assess_options& options) {
+    return recloud::assess_until_ciw(*sampler_, assessor_.state(), *oracle_, app,
+                                     plan, options);
+}
+
+void serial_backend::reset_stream(std::uint64_t seed) {
+    sampler_->reset(seed);
+}
+
+parallel_backend::parallel_backend(std::size_t component_count,
+                                   const fault_tree_forest* forest,
+                                   oracle_factory make_oracle,
+                                   failure_sampler& sampler,
+                                   const parallel_backend_options& options)
+    : sampler_(&sampler),
+      options_(options),
+      pool_(options.threads != 0 ? options.threads
+                                 : std::max(1u, std::thread::hardware_concurrency())) {
+    if (options_.batch_rounds == 0) {
+        throw std::invalid_argument{"parallel_backend: batch_rounds must be >= 1"};
+    }
+    if (sampler_->fork(0) == nullptr) {
+        throw std::invalid_argument{
+            "parallel_backend: sampler does not support substreams (fork)"};
+    }
+    contexts_.reserve(pool_.size());
+    for (std::size_t w = 0; w < pool_.size(); ++w) {
+        std::unique_ptr<reachability_oracle> oracle = make_oracle();
+        if (oracle == nullptr) {
+            throw std::invalid_argument{
+                "parallel_backend: oracle factory returned nullptr"};
+        }
+        contexts_.push_back(std::make_unique<worker_context>(
+            component_count, forest, std::move(oracle)));
+    }
+}
+
+assessment_stats parallel_backend::assess(const application& app,
+                                          const deployment_plan& plan,
+                                          std::size_t rounds) {
+    ++epoch_;
+    const std::size_t batch_rounds = options_.batch_rounds;
+    const std::size_t batches = (rounds + batch_rounds - 1) / batch_rounds;
+    const std::size_t workers = pool_.size();
+
+    // One task per worker; worker w judges batches w, w+workers, ... Batch
+    // b's rounds come from substream (epoch, b) no matter which worker runs
+    // it, and the per-batch counts are summed — addition commutes, so the
+    // schedule cannot affect the result.
+    std::vector<std::future<batch_counts>> futures;
+    futures.reserve(workers);
+    for (std::size_t w = 0; w < workers && w < batches; ++w) {
+        futures.push_back(pool_.submit([this, &app, &plan, rounds, batch_rounds,
+                                        batches, workers, w]() -> batch_counts {
+            worker_context& context = *contexts_[w];
+            requirement_evaluator evaluator{app, plan};
+            std::vector<component_id> failed;
+            batch_counts counts;
+            for (std::size_t b = w; b < batches; b += workers) {
+                const std::unique_ptr<failure_sampler> substream =
+                    sampler_->fork(substream_id(epoch_, b));
+                const std::size_t begin = b * batch_rounds;
+                const std::size_t count = std::min(batch_rounds, rounds - begin);
+                for (std::size_t i = 0; i < count; ++i) {
+                    substream->next_round(failed);
+                    context.rs.begin_round(failed);
+                    context.oracle->begin_round(context.rs);
+                    ++counts.rounds;
+                    if (evaluator.reliable_in_round(*context.oracle, context.rs)) {
+                        ++counts.reliable;
+                    }
+                }
+            }
+            return counts;
+        }));
+    }
+
+    result_accumulator results;
+    for (auto& future : futures) {
+        const batch_counts counts = future.get();
+        results.merge(counts.reliable, counts.rounds);
+    }
+    return results.stats();
+}
+
+void parallel_backend::reset_stream(std::uint64_t seed) {
+    sampler_->reset(seed);
+    epoch_ = 0;
+}
+
+}  // namespace recloud

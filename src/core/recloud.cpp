@@ -1,7 +1,11 @@
 #include "core/recloud.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+#include <thread>
+#include <utility>
 
+#include "exec/engine.hpp"
 #include "sampling/antithetic.hpp"
 #include "sampling/extended_dagger.hpp"
 #include "sampling/monte_carlo.hpp"
@@ -53,6 +57,36 @@ std::unique_ptr<failure_sampler> make_sampler(sampler_kind kind,
     return std::make_unique<extended_dagger_sampler>(probabilities, seed);
 }
 
+/// Wires the configured backend onto the context's oracle. The parallel and
+/// engine backends give every worker its own oracle via clone().
+std::unique_ptr<assessment_backend> make_backend(const recloud_context& context,
+                                                 const recloud_options& options,
+                                                 failure_sampler& sampler) {
+    if (options.backend == assessment_backend_kind::serial) {
+        return std::make_unique<serial_backend>(context.registry->size(),
+                                                context.forest, *context.oracle,
+                                                sampler);
+    }
+    if (context.oracle->clone() == nullptr) {
+        throw std::invalid_argument{
+            "re_cloud: the parallel/engine backends need a cloneable oracle"};
+    }
+    oracle_factory factory = [oracle = context.oracle] { return oracle->clone(); };
+    if (options.backend == assessment_backend_kind::parallel) {
+        return std::make_unique<parallel_backend>(
+            context.registry->size(), context.forest, std::move(factory), sampler,
+            parallel_backend_options{.threads = options.assessment_threads,
+                                     .batch_rounds = options.assessment_batch_rounds});
+    }
+    return std::make_unique<engine_backend>(
+        context.registry->size(), context.forest, std::move(factory), sampler,
+        engine_options{.workers = options.assessment_threads != 0
+                                      ? options.assessment_threads
+                                      : std::max(
+                                            1u, std::thread::hardware_concurrency()),
+                       .batch_rounds = options.assessment_batch_rounds});
+}
+
 }  // namespace
 
 re_cloud::re_cloud(const recloud_context& context, const recloud_options& options)
@@ -79,8 +113,7 @@ re_cloud::re_cloud(const recloud_context& context, const recloud_options& option
     }
     sampler_ = make_sampler(options_.sampler, context_.registry->probabilities(),
                             options_.seed);
-    assessor_ = std::make_unique<reliability_assessor>(
-        context_.registry->size(), context_.forest, *context_.oracle, *sampler_);
+    backend_ = make_backend(context_, options_, *sampler_);
     if (options_.use_symmetry) {
         symmetry_.emplace(*context_.topology, *context_.registry, context_.forest,
                           context_.links);
@@ -120,8 +153,9 @@ deployment_response re_cloud::find_deployment(const deployment_request& request)
     const plan_evaluator evaluator = [this, &request](const deployment_plan& plan) {
         if (options_.common_random_numbers) {
             // Same failure sequences for every candidate: comparisons
-            // measure the plans, not the noise.
-            sampler_->reset(options_.seed ^ 0xc0ffeeULL);
+            // measure the plans, not the noise. Backends guarantee identical
+            // streams after a reset regardless of their worker count.
+            backend_->reset_stream(options_.seed ^ 0xc0ffeeULL);
         }
         return evaluate(request.app, plan);
     };
@@ -159,7 +193,7 @@ deployment_response re_cloud::find_deployment(const deployment_request& request)
     if (options_.common_random_numbers) {
         // Re-assess the winner on a fresh stream: the search maximized the
         // CRN estimate, so reporting it directly would carry winner's bias.
-        sampler_->reset(options_.seed ^ 0xf1e5aULL);
+        backend_->reset_stream(options_.seed ^ 0xf1e5aULL);
         const plan_evaluation unbiased = evaluate(request.app, result.best_plan);
         response.stats = unbiased.stats;
         response.utility = unbiased.utility;
@@ -181,14 +215,14 @@ assessment_stats re_cloud::assess(const application& app,
                                   std::size_t rounds) {
     app.validate();
     validate_plan(plan, app, *context_.topology);
-    return assessor_->assess(app, plan,
-                             rounds == 0 ? options_.assessment_rounds : rounds);
+    return backend_->assess(app, plan,
+                            rounds == 0 ? options_.assessment_rounds : rounds);
 }
 
 plan_evaluation re_cloud::evaluate(const application& app,
                                    const deployment_plan& plan) {
     plan_evaluation eval;
-    eval.stats = assessor_->assess(app, plan, options_.assessment_rounds);
+    eval.stats = backend_->assess(app, plan, options_.assessment_rounds);
     if (options_.multi_objective) {
         eval.utility = utility_->utility(plan);
         const double a = options_.weights.reliability;

@@ -24,6 +24,7 @@
 #include "app/application.hpp"
 #include "app/deployment.hpp"
 #include "assess/assessor.hpp"
+#include "assess/backend.hpp"
 #include "faults/component_registry.hpp"
 #include "faults/fault_tree.hpp"
 #include "faults/probability_model.hpp"
@@ -114,10 +115,25 @@ enum class sampler_kind : std::uint8_t {
     antithetic,       ///< antithetic variates (extension; see sampling/antithetic.hpp)
 };
 
+enum class assessment_backend_kind : std::uint8_t {
+    serial,    ///< single-threaded in-process assessor (the default)
+    parallel,  ///< thread-pool backend, deterministic for any worker count
+    engine,    ///< MapReduce-style wire-format engine (§3.2.1, Figure 12)
+};
+
 struct recloud_options {
     /// X: route-and-check rounds per assessment (§4.1 default 10^4).
     std::size_t assessment_rounds = 10'000;
     sampler_kind sampler = sampler_kind::extended_dagger;
+    /// Which assessment backend executes route-and-check (assess/backend.hpp).
+    /// `parallel` and `engine` need an oracle that supports clone().
+    assessment_backend_kind backend = assessment_backend_kind::serial;
+    /// Worker threads for the parallel/engine backends; 0 = one per
+    /// hardware thread. Ignored by the serial backend.
+    std::size_t assessment_threads = 0;
+    /// Rounds per work unit: substream batch (parallel) or serialized batch
+    /// (engine). Part of the parallel backend's determinism contract.
+    std::size_t assessment_batch_rounds = 1024;
     /// Step 3's network-transformation equivalence check.
     bool use_symmetry = true;
     /// §3.3.3: score plans by M = a*reliability + b*utility instead of
@@ -190,6 +206,11 @@ public:
 
     [[nodiscard]] const recloud_options& options() const noexcept { return options_; }
 
+    /// The assessment backend executing route-and-check for this instance.
+    [[nodiscard]] const assessment_backend& backend() const noexcept {
+        return *backend_;
+    }
+
 private:
     /// Delegation step for the fat-tree convenience constructor: the oracle
     /// must exist before the context referencing it is built.
@@ -200,7 +221,7 @@ private:
     recloud_options options_;
     std::unique_ptr<fat_tree_routing> owned_oracle_;  ///< fat-tree convenience ctor
     std::unique_ptr<failure_sampler> sampler_;
-    std::unique_ptr<reliability_assessor> assessor_;
+    std::unique_ptr<assessment_backend> backend_;
     std::optional<symmetry_checker> symmetry_;
     std::optional<workload_utility> utility_;
 };

@@ -222,4 +222,22 @@ assessment_stats assessment_engine::assess(failure_sampler& sampler,
     return results.stats();
 }
 
+engine_backend::engine_backend(std::size_t component_count,
+                               const fault_tree_forest* forest,
+                               oracle_factory make_oracle,
+                               failure_sampler& sampler,
+                               const engine_options& options)
+    : sampler_(&sampler),
+      engine_(component_count, forest, std::move(make_oracle), options) {}
+
+assessment_stats engine_backend::assess(const application& app,
+                                        const deployment_plan& plan,
+                                        std::size_t rounds) {
+    return engine_.assess(*sampler_, app, plan, rounds);
+}
+
+void engine_backend::reset_stream(std::uint64_t seed) {
+    sampler_->reset(seed);
+}
+
 }  // namespace recloud

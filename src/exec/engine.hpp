@@ -21,6 +21,7 @@
 
 #include "app/application.hpp"
 #include "app/deployment.hpp"
+#include "assess/backend.hpp"
 #include "faults/fault_tree.hpp"
 #include "routing/oracle.hpp"
 #include "sampling/sampler.hpp"
@@ -55,9 +56,6 @@ void encode_batch_result(byte_writer& out, const batch_result& result);
 
 }  // namespace wire
 
-/// Creates a fresh routing oracle for a worker (each worker owns one).
-using oracle_factory = std::function<std::unique_ptr<reachability_oracle>()>;
-
 struct engine_options {
     std::size_t workers = 1;
     /// Rounds per serialized batch ("portions of rounds" the master
@@ -89,6 +87,31 @@ private:
     oracle_factory make_oracle_;
     engine_options options_;
     thread_pool pool_;
+};
+
+/// assessment_backend adapter over the wire-format engine: sampling stays on
+/// the master (the backend's base sampler), workers do the route-and-check.
+/// Unlike parallel_backend, results are deterministic for any worker count
+/// because the master's single stream defines every round — but serialization
+/// and context setup are paid per assessment (Figure 12's fixed costs).
+class engine_backend final : public assessment_backend {
+public:
+    /// `forest` may be nullptr; the sampler must outlive the backend.
+    engine_backend(std::size_t component_count, const fault_tree_forest* forest,
+                   oracle_factory make_oracle, failure_sampler& sampler,
+                   const engine_options& options = {});
+
+    [[nodiscard]] assessment_stats assess(const application& app,
+                                          const deployment_plan& plan,
+                                          std::size_t rounds) override;
+    void reset_stream(std::uint64_t seed) override;
+    [[nodiscard]] const char* name() const noexcept override { return "engine"; }
+
+    [[nodiscard]] std::size_t workers() const noexcept { return engine_.workers(); }
+
+private:
+    failure_sampler* sampler_;
+    assessment_engine engine_;
 };
 
 }  // namespace recloud

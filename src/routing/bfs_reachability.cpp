@@ -93,4 +93,8 @@ bool bfs_reachability::host_to_host(node_id a, node_id b) {
     return source_mark_[b] == source_stamp_;
 }
 
+std::unique_ptr<reachability_oracle> bfs_reachability::clone() const {
+    return std::make_unique<bfs_reachability>(*topo_, links_);
+}
+
 }  // namespace recloud

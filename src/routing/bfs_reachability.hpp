@@ -26,6 +26,7 @@ public:
     void begin_round(round_state& rs) override;
     [[nodiscard]] bool border_reachable(node_id host) override;
     [[nodiscard]] bool host_to_host(node_id a, node_id b) override;
+    [[nodiscard]] std::unique_ptr<reachability_oracle> clone() const override;
 
 private:
     /// Floods the alive subgraph from `source`; marks reached nodes in

@@ -210,4 +210,8 @@ bool fat_tree_routing::host_to_host(node_id a, node_id b) {
     return false;
 }
 
+std::unique_ptr<reachability_oracle> fat_tree_routing::clone() const {
+    return std::make_unique<fat_tree_routing>(*tree_, links_);
+}
+
 }  // namespace recloud

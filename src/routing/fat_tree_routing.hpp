@@ -45,6 +45,7 @@ public:
     void begin_round(round_state& rs) override;
     [[nodiscard]] bool border_reachable(node_id host) override;
     [[nodiscard]] bool host_to_host(node_id a, node_id b) override;
+    [[nodiscard]] std::unique_ptr<reachability_oracle> clone() const override;
 
 private:
     [[nodiscard]] bool node_ok(node_id id) { return !rs_->failed(id); }

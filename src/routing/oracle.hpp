@@ -4,6 +4,9 @@
 // change this step's routing protocol").
 #pragma once
 
+#include <functional>
+#include <memory>
+
 #include "faults/round_state.hpp"
 #include "topology/graph.hpp"
 
@@ -25,6 +28,18 @@ public:
     /// Whether hosts `a` and `b` can reach each other (complex application
     /// structures, §3.2.4). a == b reduces to "a is effectively alive".
     [[nodiscard]] virtual bool host_to_host(node_id a, node_id b) = 0;
+
+    /// Creates an independent oracle over the same topology, with its own
+    /// per-round caches — what a parallel assessment worker needs. Returns
+    /// nullptr when the oracle cannot be cloned (stateful test doubles).
+    [[nodiscard]] virtual std::unique_ptr<reachability_oracle> clone() const {
+        return nullptr;
+    }
 };
+
+/// Creates a fresh routing oracle for a worker (each worker owns one). Used
+/// by both the MapReduce-style execution engine and the parallel assessment
+/// backend.
+using oracle_factory = std::function<std::unique_ptr<reachability_oracle>()>;
 
 }  // namespace recloud

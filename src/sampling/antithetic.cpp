@@ -4,7 +4,9 @@ namespace recloud {
 
 antithetic_sampler::antithetic_sampler(std::span<const double> probabilities,
                                        std::uint64_t seed)
-    : probabilities_(probabilities.begin(), probabilities.end()), random_(seed) {}
+    : probabilities_(probabilities.begin(), probabilities.end()),
+      seed_(seed),
+      random_(seed) {}
 
 void antithetic_sampler::next_round(std::vector<component_id>& failed) {
     if (pending_) {
@@ -32,8 +34,15 @@ void antithetic_sampler::next_round(std::vector<component_id>& failed) {
 }
 
 void antithetic_sampler::reset(std::uint64_t seed) {
+    seed_ = seed;
     random_ = rng{seed};
     pending_ = false;
+}
+
+std::unique_ptr<failure_sampler> antithetic_sampler::fork(
+    std::uint64_t stream_id) const {
+    return std::make_unique<antithetic_sampler>(probabilities_,
+                                                substream_seed(seed_, stream_id));
 }
 
 }  // namespace recloud

@@ -22,10 +22,13 @@ public:
 
     void next_round(std::vector<component_id>& failed) override;
     void reset(std::uint64_t seed) override;
+    [[nodiscard]] std::unique_ptr<failure_sampler> fork(
+        std::uint64_t stream_id) const override;
     [[nodiscard]] const char* name() const noexcept override { return "antithetic"; }
 
 private:
     std::vector<double> probabilities_;
+    std::uint64_t seed_;
     rng random_;
     /// Failed set of the buffered mirror round (valid when pending_).
     std::vector<component_id> mirror_;

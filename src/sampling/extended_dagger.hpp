@@ -30,6 +30,8 @@ public:
 
     void next_round(std::vector<component_id>& failed) override;
     void reset(std::uint64_t seed) override;
+    [[nodiscard]] std::unique_ptr<failure_sampler> fork(
+        std::uint64_t stream_id) const override;
     [[nodiscard]] const char* name() const noexcept override {
         return "extended-dagger";
     }
@@ -44,6 +46,7 @@ private:
     std::vector<dagger_plan> plans_;       ///< per component (never-failing skipped at gen time)
     std::vector<component_id> can_fail_;   ///< components with p > 0
     std::uint32_t block_length_ = 1;
+    std::uint64_t seed_;
     rng random_;
 
     // Current block: bucket b holds the components failed in block round b.

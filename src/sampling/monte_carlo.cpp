@@ -4,7 +4,9 @@ namespace recloud {
 
 monte_carlo_sampler::monte_carlo_sampler(std::span<const double> probabilities,
                                          std::uint64_t seed)
-    : probabilities_(probabilities.begin(), probabilities.end()), random_(seed) {}
+    : probabilities_(probabilities.begin(), probabilities.end()),
+      seed_(seed),
+      random_(seed) {}
 
 void monte_carlo_sampler::next_round(std::vector<component_id>& failed) {
     failed.clear();
@@ -19,7 +21,14 @@ void monte_carlo_sampler::next_round(std::vector<component_id>& failed) {
 }
 
 void monte_carlo_sampler::reset(std::uint64_t seed) {
+    seed_ = seed;
     random_ = rng{seed};
+}
+
+std::unique_ptr<failure_sampler> monte_carlo_sampler::fork(
+    std::uint64_t stream_id) const {
+    return std::make_unique<monte_carlo_sampler>(probabilities_,
+                                                 substream_seed(seed_, stream_id));
 }
 
 }  // namespace recloud

@@ -18,10 +18,13 @@ public:
 
     void next_round(std::vector<component_id>& failed) override;
     void reset(std::uint64_t seed) override;
+    [[nodiscard]] std::unique_ptr<failure_sampler> fork(
+        std::uint64_t stream_id) const override;
     [[nodiscard]] const char* name() const noexcept override { return "monte-carlo"; }
 
 private:
     std::vector<double> probabilities_;
+    std::uint64_t seed_;
     rng random_;
 };
 

@@ -9,9 +9,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "faults/component_registry.hpp"
+#include "util/rng.hpp"
 
 namespace recloud {
 
@@ -26,7 +28,30 @@ public:
     /// Restarts the stream with a new seed.
     virtual void reset(std::uint64_t seed) = 0;
 
+    /// Forks an independent sampler of the same kind whose stream is derived
+    /// ONLY from this sampler's base seed (the one given at construction or
+    /// last reset) and `stream_id` — never from how far the parent stream has
+    /// been consumed. Equal (base seed, stream_id) pairs always yield the
+    /// identical stream, which is what lets the parallel assessment backend
+    /// assign round batches to substreams by batch index and stay
+    /// bit-deterministic for any worker count. Returns nullptr when the
+    /// sampler cannot provide substreams (e.g. scripted replays).
+    [[nodiscard]] virtual std::unique_ptr<failure_sampler> fork(
+        std::uint64_t stream_id) const {
+        (void)stream_id;
+        return nullptr;
+    }
+
     [[nodiscard]] virtual const char* name() const noexcept = 0;
 };
+
+/// Derives the seed of substream `stream_id` from a base seed. Two splitmix64
+/// steps keep nearby stream ids (0, 1, 2, ...) well decorrelated.
+[[nodiscard]] constexpr std::uint64_t substream_seed(std::uint64_t base_seed,
+                                                     std::uint64_t stream_id) noexcept {
+    std::uint64_t state = base_seed ^ (0x9e3779b97f4a7c15ULL * (stream_id + 1));
+    (void)splitmix64_next(state);
+    return splitmix64_next(state);
+}
 
 }  // namespace recloud

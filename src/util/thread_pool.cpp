@@ -43,13 +43,29 @@ void thread_pool::worker_loop() {
 
 void thread_pool::parallel_for(std::size_t count,
                                const std::function<void(std::size_t)>& fn) {
+    if (count == 0) {
+        return;
+    }
+    // Chunk into ~4 tasks per worker instead of one packaged_task per index:
+    // enough slack for load balancing across uneven iterations without the
+    // per-index allocation + future + queue traffic drowning small bodies.
+    const std::size_t chunks = std::min(count, size() * 4);
+    const std::size_t base = count / chunks;
+    const std::size_t extra = count % chunks;  // first `extra` chunks get +1
     std::vector<std::future<void>> futures;
-    futures.reserve(count);
-    for (std::size_t i = 0; i < count; ++i) {
-        futures.push_back(submit([&fn, i] { fn(i); }));
+    futures.reserve(chunks);
+    std::size_t begin = 0;
+    for (std::size_t c = 0; c < chunks; ++c) {
+        const std::size_t end = begin + base + (c < extra ? 1 : 0);
+        futures.push_back(submit([&fn, begin, end] {
+            for (std::size_t i = begin; i < end; ++i) {
+                fn(i);
+            }
+        }));
+        begin = end;
     }
     for (auto& future : futures) {
-        future.get();  // propagates any task exception
+        future.get();  // propagates the first task exception per chunk
     }
 }
 

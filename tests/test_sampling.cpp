@@ -9,6 +9,7 @@
 #include "sampling/dagger.hpp"
 #include "util/stats.hpp"
 #include "sampling/extended_dagger.hpp"
+#include "sampling/injection.hpp"
 #include "sampling/monte_carlo.hpp"
 #include "sampling/result_stats.hpp"
 
@@ -320,6 +321,90 @@ TEST(RoundsForTargetCiw, DegenerateReliability) {
     EXPECT_EQ(rounds_for_target_ciw(1e-4, 1.0), 1u);
     EXPECT_EQ(rounds_for_target_ciw(1e-4, 0.0), 1u);
     EXPECT_THROW((void)rounds_for_target_ciw(0.0, 0.5), std::invalid_argument);
+}
+
+// ---- substreams (fork) --------------------------------------------------
+
+std::vector<std::vector<component_id>> draw_rounds(failure_sampler& sampler,
+                                                   std::size_t rounds) {
+    std::vector<std::vector<component_id>> out;
+    std::vector<component_id> failed;
+    for (std::size_t i = 0; i < rounds; ++i) {
+        sampler.next_round(failed);
+        std::sort(failed.begin(), failed.end());
+        out.push_back(failed);
+    }
+    return out;
+}
+
+template <typename Sampler>
+class SamplerFork : public ::testing::Test {};
+
+using fork_samplers = ::testing::Types<monte_carlo_sampler,
+                                       extended_dagger_sampler,
+                                       antithetic_sampler>;
+TYPED_TEST_SUITE(SamplerFork, fork_samplers);
+
+TYPED_TEST(SamplerFork, SameStreamIdYieldsIdenticalStream) {
+    const std::vector<double> probs(40, 0.05);
+    TypeParam sampler{probs, 7};
+    const auto a = draw_rounds(*sampler.fork(3), 200);
+    const auto b = draw_rounds(*sampler.fork(3), 200);
+    EXPECT_EQ(a, b);
+}
+
+TYPED_TEST(SamplerFork, StreamIsIndependentOfParentConsumption) {
+    // The substream must depend only on (base seed, stream id) — never on
+    // how far the parent stream has advanced. This is what makes parallel
+    // batch assignment deterministic for any worker count.
+    const std::vector<double> probs(40, 0.05);
+    TypeParam fresh{probs, 7};
+    const auto before = draw_rounds(*fresh.fork(9), 100);
+
+    TypeParam consumed{probs, 7};
+    std::vector<component_id> scratch;
+    for (int i = 0; i < 500; ++i) {
+        consumed.next_round(scratch);
+    }
+    EXPECT_EQ(draw_rounds(*consumed.fork(9), 100), before);
+}
+
+TYPED_TEST(SamplerFork, DistinctStreamIdsDecorrelate) {
+    const std::vector<double> probs(60, 0.1);
+    TypeParam sampler{probs, 7};
+    EXPECT_NE(draw_rounds(*sampler.fork(0), 200),
+              draw_rounds(*sampler.fork(1), 200));
+}
+
+TYPED_TEST(SamplerFork, ResetRebasesTheSubstreams) {
+    const std::vector<double> probs(40, 0.05);
+    TypeParam sampler{probs, 7};
+    const auto original = draw_rounds(*sampler.fork(2), 100);
+    sampler.reset(8);
+    EXPECT_NE(draw_rounds(*sampler.fork(2), 100), original);
+    sampler.reset(7);
+    EXPECT_EQ(draw_rounds(*sampler.fork(2), 100), original);
+}
+
+TYPED_TEST(SamplerFork, ForkedStreamKeepsMarginalProbability) {
+    // Substreams must sample the same distribution: with p = 0.1 over 50
+    // components and 4000 rounds, the observed failure ratio concentrates
+    // tightly around 0.1.
+    const std::vector<double> probs(50, 0.1);
+    TypeParam sampler{probs, 11};
+    const auto rounds = draw_rounds(*sampler.fork(5), 4000);
+    std::size_t failures = 0;
+    for (const auto& round : rounds) {
+        failures += round.size();
+    }
+    const double ratio =
+        static_cast<double>(failures) / (4000.0 * probs.size());
+    EXPECT_NEAR(ratio, 0.1, 0.01);
+}
+
+TEST(SamplerFork, ScriptedSamplerHasNoSubstreams) {
+    scripted_sampler scripted{{{1, 2}, {3}}};
+    EXPECT_EQ(scripted.fork(0), nullptr);
 }
 
 }  // namespace

@@ -4,8 +4,11 @@
 
 #include <atomic>
 #include <chrono>
+#include <map>
+#include <mutex>
 #include <stdexcept>
 #include <thread>
+#include <vector>
 
 namespace recloud {
 namespace {
@@ -53,6 +56,56 @@ TEST(ThreadPool, ParallelForCoversAllIndices) {
     for (const auto& h : hits) {
         EXPECT_EQ(h.load(), 1);
     }
+}
+
+TEST(ThreadPool, ParallelForCoversCountSmallerThanWorkers) {
+    thread_pool pool{8};
+    std::vector<std::atomic<int>> hits(3);
+    pool.parallel_for(3, [&hits](std::size_t i) { ++hits[i]; });
+    for (const auto& h : hits) {
+        EXPECT_EQ(h.load(), 1);
+    }
+}
+
+TEST(ThreadPool, ParallelForCoversCountNotDivisibleByChunks) {
+    // 4 workers -> up to 16 chunks; 1003 indices force uneven chunk sizes.
+    thread_pool pool{4};
+    std::vector<std::atomic<int>> hits(1003);
+    pool.parallel_for(1003, [&hits](std::size_t i) { ++hits[i]; });
+    for (const auto& h : hits) {
+        EXPECT_EQ(h.load(), 1);
+    }
+}
+
+TEST(ThreadPool, ParallelForZeroCountIsANoOp) {
+    thread_pool pool{2};
+    pool.parallel_for(0, [](std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ThreadPool, ParallelForChunksWorkIntoFewTasks) {
+    // The chunked implementation enqueues at most workers x 4 tasks, each
+    // covering a contiguous index range — not one task per index. Each task
+    // appears in some thread's execution order as one maximal ascending
+    // run of consecutive indices, so counting those runs counts the tasks.
+    thread_pool pool{2};
+    std::mutex mutex;
+    std::map<std::thread::id, std::vector<std::size_t>> per_thread;
+    pool.parallel_for(1000, [&](std::size_t i) {
+        const std::lock_guard lock{mutex};
+        per_thread[std::this_thread::get_id()].push_back(i);
+    });
+    std::size_t runs = 0;
+    std::size_t total = 0;
+    for (const auto& [thread, indices] : per_thread) {
+        total += indices.size();
+        for (std::size_t k = 0; k < indices.size(); ++k) {
+            if (k == 0 || indices[k] != indices[k - 1] + 1) {
+                ++runs;
+            }
+        }
+    }
+    EXPECT_EQ(total, 1000u);
+    EXPECT_LE(runs, pool.size() * 4);
 }
 
 TEST(ThreadPool, ParallelForPropagatesException) {
