@@ -109,6 +109,7 @@ int main() {
 
         // Wire-format engine for contrast (master-side sampling + real
         // serialization costs).
+        std::size_t engine_reliable = 0;
         for (const std::size_t workers : worker_counts) {
             extended_dagger_sampler sampler{infra.registry().probabilities(), 3};
             engine_backend engine{infra.registry().size(), &infra.forest(),
@@ -123,6 +124,49 @@ int main() {
             std::snprintf(label, sizeof label, "engine (%zu workers)", workers);
             std::printf("%-22s %12.1f %9.2fx   %.5f\n", label, ms,
                         serial_ms / ms, stats.reliability);
+            engine_reliable = stats.reliable;
+        }
+
+        // Fault-injected engine: >= 20% of dispatch attempts crash or
+        // corrupt their result frame; the recovery layer (retry,
+        // re-dispatch, degrade) must reproduce the fault-free counts
+        // bit-for-bit while paying the repair cost.
+        {
+            const chaos_schedule chaos{{.seed = 0xc405,
+                                        .crash_rate = 0.12,
+                                        .corrupt_rate = 0.08,
+                                        .truncate_rate = 0.05}};
+            extended_dagger_sampler sampler{infra.registry().probabilities(), 3};
+            engine_backend engine{infra.registry().size(), &infra.forest(),
+                                  factory, sampler,
+                                  {.workers = 4,
+                                   .batch_rounds = 1000,
+                                   .max_attempts = 6,
+                                   .chaos = &chaos}};
+            (void)engine.assess(w.app, plan, 500);  // warm the pool
+            sampler.reset(3);
+            assessment_stats stats;
+            const double ms = bench::time_ms(
+                [&] { stats = engine.assess(w.app, plan, rounds); });
+            std::printf("%-22s %12.1f %9.2fx   %.5f\n",
+                        "engine (4 w, 25% chaos)", ms, serial_ms / ms,
+                        stats.reliability);
+            const engine_stats& es = engine.stats();
+            std::printf(
+                "    chaos recovery: %llu failures -> %llu retries, %llu "
+                "re-dispatches, %llu degraded of %llu batches\n",
+                static_cast<unsigned long long>(es.failures()),
+                static_cast<unsigned long long>(es.retries),
+                static_cast<unsigned long long>(es.redispatches),
+                static_cast<unsigned long long>(es.degraded),
+                static_cast<unsigned long long>(es.batches));
+            if (stats.reliable != engine_reliable) {
+                std::fprintf(stderr,
+                             "RECOVERY DETERMINISM VIOLATION: chaos run -> %zu "
+                             "reliable rounds, fault-free engine -> %zu\n",
+                             stats.reliable, engine_reliable);
+                return 1;
+            }
         }
         std::printf("\n");
     }

@@ -15,6 +15,7 @@
 
 #include "assess/downtime.hpp"
 #include "core/recloud.hpp"
+#include "exec/engine.hpp"
 #include "routing/bfs_reachability.hpp"
 #include "topology/bcube.hpp"
 #include "topology/jellyfish.hpp"
@@ -50,6 +51,9 @@ rounds = 10000
 sampler = dagger          # dagger | monte-carlo | antithetic
 backend = serial          # serial | parallel | engine (assessment execution)
 threads = 0               # parallel/engine workers; 0 = all hardware threads
+max_attempts = 3          # engine only: dispatch attempts per batch before
+                          # degrading to master-local route-and-check
+deadline_ms = 0           # engine only: per-attempt result deadline; 0 = none
 multi_objective = false
 symmetry = true
 seed = 1
@@ -109,14 +113,18 @@ sampler_kind parse_sampler(const std::string& name) {
 recloud_options build_options(const config& cfg) {
     recloud_options options;
     options.assessment_rounds =
-        static_cast<std::size_t>(cfg.get_int("search.rounds", 10000));
+        static_cast<std::size_t>(cfg.get_uint("search.rounds", 10000));
     options.sampler = parse_sampler(cfg.get_string("search.sampler", "dagger"));
     options.backend = parse_backend(cfg.get_string("search.backend", "serial"));
     options.assessment_threads =
-        static_cast<std::size_t>(cfg.get_int("search.threads", 0));
+        static_cast<std::size_t>(cfg.get_uint("search.threads", 0));
+    options.engine_max_attempts =
+        static_cast<std::size_t>(cfg.get_uint("search.max_attempts", 3));
+    options.engine_batch_deadline = std::chrono::milliseconds{
+        static_cast<std::int64_t>(cfg.get_uint("search.deadline_ms", 0))};
     options.multi_objective = cfg.get_bool("search.multi_objective", false);
     options.use_symmetry = cfg.get_bool("search.symmetry", true);
-    options.seed = static_cast<std::uint64_t>(cfg.get_int("search.seed", 1));
+    options.seed = cfg.get_uint("search.seed", 1);
     options.record_trace = !cfg.get_string("output.trace_csv", "").empty();
     return options;
 }
@@ -132,14 +140,15 @@ deployment_request build_request(const config& cfg, application app) {
 }
 
 void write_outputs(const config& cfg, const deployment_response& response,
-                   const component_registry& registry) {
+                   const component_registry& registry,
+                   const engine_stats* engine) {
     const std::string json_path = cfg.get_string("output.json", "");
     if (!json_path.empty()) {
         std::FILE* out = std::fopen(json_path.c_str(), "w");
         if (out == nullptr) {
             throw config_error{"cannot write " + json_path};
         }
-        const std::string json = to_json(response, &registry);
+        const std::string json = to_json(response, &registry, engine);
         std::fwrite(json.data(), 1, json.size(), out);
         std::fputc('\n', out);
         std::fclose(out);
@@ -158,7 +167,8 @@ void write_outputs(const config& cfg, const deployment_response& response,
     }
 }
 
-void report(const deployment_response& response, const built_topology& topo) {
+void report(const deployment_response& response, const built_topology& topo,
+            const engine_stats* engine) {
     std::printf("fulfilled:        %s\n", response.fulfilled ? "yes" : "no");
     std::printf("reliability:      %.5f (95%% CI width %.2e)\n",
                 response.stats.reliability, response.stats.ciw95);
@@ -167,6 +177,20 @@ void report(const deployment_response& response, const built_topology& topo) {
     std::printf("plans: generated=%zu assessed=%zu symmetric-skips=%zu in %.2fs\n",
                 response.search.plans_generated, response.search.plans_evaluated,
                 response.search.symmetric_skips, response.search.elapsed_seconds);
+    if (engine != nullptr) {
+        std::printf("engine: batches=%llu dispatches=%llu retries=%llu "
+                    "re-dispatches=%llu degraded=%llu failures=%llu\n",
+                    static_cast<unsigned long long>(engine->batches),
+                    static_cast<unsigned long long>(engine->dispatches),
+                    static_cast<unsigned long long>(engine->retries),
+                    static_cast<unsigned long long>(engine->redispatches),
+                    static_cast<unsigned long long>(engine->degraded),
+                    static_cast<unsigned long long>(engine->failures()));
+        std::printf("engine: sent=%.1f MiB received=%.1f MiB\n",
+                    static_cast<double>(engine->bytes_sent) / (1024.0 * 1024.0),
+                    static_cast<double>(engine->bytes_received) /
+                        (1024.0 * 1024.0));
+    }
     std::printf("placement:\n");
     for (const node_id host : response.plan.hosts) {
         std::printf("  host#%-6u rack=switch#%u\n", host,
@@ -212,8 +236,8 @@ int run_fat_tree(const config& cfg, const application& app) {
     std::printf("assessment:       %s backend\n", system.backend().name());
     const deployment_response response =
         system.find_deployment(build_request(cfg, app));
-    report(response, infra.topology());
-    write_outputs(cfg, response, infra.registry());
+    report(response, infra.topology(), system.execution_stats());
+    write_outputs(cfg, response, infra.registry(), system.execution_stats());
     return response.fulfilled ? 0 : 2;
 }
 
@@ -249,8 +273,8 @@ int run_generic(const config& cfg, const application& app,
     std::printf("assessment:       %s backend\n", system.backend().name());
     const deployment_response response =
         system.find_deployment(build_request(cfg, app));
-    report(response, topo);
-    write_outputs(cfg, response, registry);
+    report(response, topo, system.execution_stats());
+    write_outputs(cfg, response, registry, system.execution_stats());
     return response.fulfilled ? 0 : 2;
 }
 

@@ -59,6 +59,12 @@ std::unique_ptr<failure_sampler> make_sampler(sampler_kind kind,
 
 /// Wires the configured backend onto the context's oracle. The parallel and
 /// engine backends give every worker its own oracle via clone().
+///
+/// Lifetime: every backend stores `sampler` as a non-owning pointer and
+/// dereferences it on each assess()/reset_stream(). The caller (re_cloud's
+/// constructor) owns the sampler in a member declared before backend_, so
+/// it is destroyed after the backend — the pointer can never dangle within
+/// re_cloud. Anyone else calling this owes the same guarantee.
 std::unique_ptr<assessment_backend> make_backend(const recloud_context& context,
                                                  const recloud_options& options,
                                                  failure_sampler& sampler) {
@@ -84,7 +90,9 @@ std::unique_ptr<assessment_backend> make_backend(const recloud_context& context,
                                       ? options.assessment_threads
                                       : std::max(
                                             1u, std::thread::hardware_concurrency()),
-                       .batch_rounds = options.assessment_batch_rounds});
+                       .batch_rounds = options.assessment_batch_rounds,
+                       .max_attempts = options.engine_max_attempts,
+                       .batch_deadline = options.engine_batch_deadline});
 }
 
 }  // namespace
@@ -114,6 +122,9 @@ re_cloud::re_cloud(const recloud_context& context, const recloud_options& option
     sampler_ = make_sampler(options_.sampler, context_.registry->probabilities(),
                             options_.seed);
     backend_ = make_backend(context_, options_, *sampler_);
+    if (options_.backend == assessment_backend_kind::engine) {
+        engine_view_ = static_cast<engine_backend*>(backend_.get());
+    }
     if (options_.use_symmetry) {
         symmetry_.emplace(*context_.topology, *context_.registry, context_.forest,
                           context_.links);
@@ -217,6 +228,10 @@ assessment_stats re_cloud::assess(const application& app,
     validate_plan(plan, app, *context_.topology);
     return backend_->assess(app, plan,
                             rounds == 0 ? options_.assessment_rounds : rounds);
+}
+
+const engine_stats* re_cloud::execution_stats() const noexcept {
+    return engine_view_ != nullptr ? &engine_view_->stats() : nullptr;
 }
 
 plan_evaluation re_cloud::evaluate(const application& app,

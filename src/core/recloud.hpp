@@ -42,6 +42,9 @@
 
 namespace recloud {
 
+class engine_backend;  // exec/engine.hpp
+struct engine_stats;   // exec/engine.hpp
+
 struct infrastructure_options {
     power_attachment_options power{};  ///< §4.1: 5 supplies, round-robin
     probability_model_options probabilities{};
@@ -134,6 +137,14 @@ struct recloud_options {
     /// Rounds per work unit: substream batch (parallel) or serialized batch
     /// (engine). Part of the parallel backend's determinism contract.
     std::size_t assessment_batch_rounds = 1024;
+    /// Engine backend recovery: dispatch attempts per batch before the
+    /// master degrades to local route-and-check (exec/engine.hpp). Ignored
+    /// by the serial/parallel backends.
+    std::size_t engine_max_attempts = 3;
+    /// Engine backend recovery: per-attempt result deadline; a worker
+    /// missing it is treated as a straggler and the batch re-dispatched.
+    /// zero = wait forever. Ignored by the serial/parallel backends.
+    std::chrono::milliseconds engine_batch_deadline{0};
     /// Step 3's network-transformation equivalence check.
     bool use_symmetry = true;
     /// §3.3.3: score plans by M = a*reliability + b*utility instead of
@@ -211,6 +222,11 @@ public:
         return *backend_;
     }
 
+    /// Engine-backend observability (dispatches, retries, re-dispatches,
+    /// degradations, bytes moved, per-worker failures), cumulative for this
+    /// instance. Null when the backend is serial or parallel.
+    [[nodiscard]] const engine_stats* execution_stats() const noexcept;
+
 private:
     /// Delegation step for the fat-tree convenience constructor: the oracle
     /// must exist before the context referencing it is built.
@@ -220,8 +236,12 @@ private:
     recloud_context context_;
     recloud_options options_;
     std::unique_ptr<fat_tree_routing> owned_oracle_;  ///< fat-tree convenience ctor
+    /// Declaration order is a lifetime contract: every backend keeps a raw
+    /// pointer to the sampler, so sampler_ must precede backend_ (members
+    /// are destroyed in reverse order — the backend goes first).
     std::unique_ptr<failure_sampler> sampler_;
     std::unique_ptr<assessment_backend> backend_;
+    engine_backend* engine_view_ = nullptr;  ///< set iff backend is the engine
     std::optional<symmetry_checker> symmetry_;
     std::optional<workload_utility> utility_;
 };

@@ -1,0 +1,135 @@
+// Deterministic fault-injection harness for the execution engine.
+//
+// The paper's route-and-check engine is a distributed MapReduce-style
+// system (§3.2.1, Figure 12); in any real deployment workers crash, stall,
+// and return garbage. The recovery machinery in assessment_engine exists to
+// survive exactly those faults — and machinery that only runs when
+// production misbehaves is machinery that silently rots. This harness makes
+// any worker fail, stall, or corrupt/truncate its result buffer on a
+// *seeded* schedule, so tests and benches drive every recovery path
+// deterministically.
+//
+// Determinism: the fault for a dispatch attempt depends only on
+// (seed, batch id, attempt number, worker id) — never on wall clock or
+// thread scheduling — so a chaos run is reproducible bit-for-bit.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace recloud {
+
+/// Thrown inside a worker to simulate a crash mid-batch. The master treats
+/// any exception crossing the worker boundary as a worker failure; this
+/// type exists so tests can tell injected crashes from genuine bugs.
+class chaos_crash : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+/// What the harness does to one dispatch attempt.
+enum class chaos_fault : std::uint8_t {
+    none,             ///< attempt proceeds normally
+    crash,            ///< worker throws before judging any round
+    stall,            ///< worker sleeps stall_duration before responding
+    corrupt_result,   ///< one bit of the framed result buffer is flipped
+    truncate_result,  ///< the framed result buffer loses its tail
+};
+
+struct chaos_options {
+    std::uint64_t seed = 0;
+    /// Per-attempt fault probabilities; their sum must be <= 1.
+    double crash_rate = 0.0;
+    double stall_rate = 0.0;
+    double corrupt_rate = 0.0;
+    double truncate_rate = 0.0;
+    /// How long a stalled worker sleeps before answering. Pair with an
+    /// engine batch_deadline below this to exercise straggler re-dispatch.
+    std::chrono::milliseconds stall_duration{25};
+};
+
+/// Seeded, scheduling-independent fault schedule (see file comment).
+class chaos_schedule {
+public:
+    explicit chaos_schedule(const chaos_options& options) : options_(options) {
+        const double total = options.crash_rate + options.stall_rate +
+                             options.corrupt_rate + options.truncate_rate;
+        if (options.crash_rate < 0.0 || options.stall_rate < 0.0 ||
+            options.corrupt_rate < 0.0 || options.truncate_rate < 0.0 ||
+            total > 1.0) {
+            throw std::invalid_argument{
+                "chaos_schedule: rates must be >= 0 and sum to <= 1"};
+        }
+    }
+
+    [[nodiscard]] const chaos_options& options() const noexcept { return options_; }
+
+    /// The fault injected into dispatch attempt `attempt` of batch `batch`
+    /// on worker `worker`. Pure function of (seed, batch, attempt, worker).
+    [[nodiscard]] chaos_fault fault_for(std::uint64_t batch, std::uint64_t attempt,
+                                        std::uint64_t worker) const noexcept {
+        // 2^-53 * [0, 2^53) -> u uniform in [0, 1).
+        const double u =
+            static_cast<double>(mix(options_.seed, batch, attempt, worker) >> 11) *
+            0x1.0p-53;
+        double threshold = options_.crash_rate;
+        if (u < threshold) {
+            return chaos_fault::crash;
+        }
+        threshold += options_.stall_rate;
+        if (u < threshold) {
+            return chaos_fault::stall;
+        }
+        threshold += options_.corrupt_rate;
+        if (u < threshold) {
+            return chaos_fault::corrupt_result;
+        }
+        threshold += options_.truncate_rate;
+        if (u < threshold) {
+            return chaos_fault::truncate_result;
+        }
+        return chaos_fault::none;
+    }
+
+    /// Flips one deterministically chosen bit of `buffer` (keyed like
+    /// fault_for, so the same attempt always corrupts the same bit).
+    static void corrupt(std::vector<std::byte>& buffer, std::uint64_t batch,
+                        std::uint64_t attempt, std::uint64_t worker) noexcept {
+        if (buffer.empty()) {
+            return;
+        }
+        const std::uint64_t h = mix(0xc02207, batch, attempt, worker);
+        buffer[h % buffer.size()] ^=
+            static_cast<std::byte>(1u << ((h >> 32) % 8));
+    }
+
+    /// Drops a deterministically chosen non-empty tail of `buffer`.
+    static void truncate(std::vector<std::byte>& buffer, std::uint64_t batch,
+                         std::uint64_t attempt, std::uint64_t worker) noexcept {
+        if (buffer.empty()) {
+            return;
+        }
+        const std::uint64_t h = mix(0x72ca7e, batch, attempt, worker);
+        buffer.resize(h % buffer.size());  // always strictly shorter
+    }
+
+private:
+    [[nodiscard]] static std::uint64_t mix(std::uint64_t seed, std::uint64_t a,
+                                           std::uint64_t b,
+                                           std::uint64_t c) noexcept {
+        std::uint64_t state = seed;
+        state = splitmix64_next(state) ^ (a * 0x9e3779b97f4a7c15ULL);
+        state = splitmix64_next(state) ^ (b * 0xbf58476d1ce4e5b9ULL);
+        state = splitmix64_next(state) ^ (c * 0x94d049bb133111ebULL);
+        return splitmix64_next(state);
+    }
+
+    chaos_options options_;
+};
+
+}  // namespace recloud

@@ -1,7 +1,10 @@
 #include "exec/engine.hpp"
 
+#include <algorithm>
 #include <future>
 #include <mutex>
+#include <thread>
+#include <utility>
 
 #include "app/requirement_eval.hpp"
 #include "faults/round_state.hpp"
@@ -29,13 +32,15 @@ void encode_application(byte_writer& out, const application& app) {
 
 application decode_application(byte_reader& in) {
     application app;
-    const std::uint64_t components = in.read_varint();
+    // A component costs >= 2 bytes (name length prefix + replicas), a
+    // requirement >= 3 (target + has_source + min_reachable).
+    const std::uint64_t components = in.read_length_prefix(2);
     for (std::uint64_t c = 0; c < components; ++c) {
         std::string name = in.read_string();
         const auto replicas = static_cast<std::uint32_t>(in.read_varint());
         app.add_component(std::move(name), replicas);
     }
-    const std::uint64_t requirements = in.read_varint();
+    const std::uint64_t requirements = in.read_length_prefix(3);
     for (std::uint64_t r = 0; r < requirements; ++r) {
         const auto target = static_cast<app_component_id>(in.read_varint());
         const bool has_source = in.read_bool();
@@ -71,7 +76,8 @@ void encode_round_batch(byte_writer& out,
 }
 
 std::vector<std::vector<component_id>> decode_round_batch(byte_reader& in) {
-    const std::uint64_t count = in.read_varint();
+    // Validated length prefix: a hostile count can't drive the reserve.
+    const std::uint64_t count = in.read_length_prefix();
     std::vector<std::vector<component_id>> rounds;
     rounds.reserve(count);
     for (std::uint64_t r = 0; r < count; ++r) {
@@ -110,31 +116,43 @@ struct worker_context {
     /// context serializes them itself.
     std::mutex busy;
 
-    worker_context(std::span<const std::byte> setup_message,
+    worker_context(std::span<const std::byte> framed_setup,
                    std::size_t component_count, const fault_tree_forest* forest,
                    const oracle_factory& make_oracle)
-        : app(make_app(setup_message)),
-          plan(make_plan(setup_message)),
+        : app(make_app(framed_setup)),
+          plan(make_plan(framed_setup)),
           rs(component_count, forest),
           oracle(make_oracle()),
           evaluator(app, plan) {}
 
-    static application make_app(std::span<const std::byte> setup_message) {
-        byte_reader reader{setup_message};
+    static application make_app(std::span<const std::byte> framed_setup) {
+        byte_reader reader{unframe_message(framed_setup)};
         return wire::decode_application(reader);
     }
 
-    static deployment_plan make_plan(std::span<const std::byte> setup_message) {
-        byte_reader reader{setup_message};
+    static deployment_plan make_plan(std::span<const std::byte> framed_setup) {
+        byte_reader reader{unframe_message(framed_setup)};
         (void)wire::decode_application(reader);  // skip the app section
         return wire::decode_plan(reader);
     }
 
-    /// Map step: judge every round in a serialized batch; returns the
-    /// serialized result record.
-    [[nodiscard]] std::vector<std::byte> run_batch(std::vector<std::byte> batch) {
+    /// Map step: judge every round in a framed serialized batch; returns
+    /// the framed serialized result record. `chaos` (optional) injects the
+    /// scheduled fault for this (batch, attempt, worker) dispatch.
+    [[nodiscard]] std::vector<std::byte> run_batch(
+        std::span<const std::byte> framed_task, const chaos_schedule* chaos,
+        std::uint64_t batch_id, std::uint64_t attempt, std::uint64_t worker_id) {
         const std::lock_guard lock{busy};
-        byte_reader reader{batch};
+        const chaos_fault fault =
+            chaos != nullptr ? chaos->fault_for(batch_id, attempt, worker_id)
+                             : chaos_fault::none;
+        if (fault == chaos_fault::crash) {
+            throw chaos_crash{"injected worker crash"};
+        }
+        if (fault == chaos_fault::stall) {
+            std::this_thread::sleep_for(chaos->options().stall_duration);
+        }
+        byte_reader reader{unframe_message(framed_task)};
         const auto rounds = wire::decode_round_batch(reader);
         wire::batch_result result;
         for (const auto& failed : rounds) {
@@ -147,8 +165,27 @@ struct worker_context {
         }
         byte_writer writer;
         wire::encode_batch_result(writer, result);
-        return writer.take();
+        std::vector<std::byte> framed = frame_message(writer.bytes());
+        if (fault == chaos_fault::corrupt_result) {
+            chaos_schedule::corrupt(framed, batch_id, attempt, worker_id);
+        } else if (fault == chaos_fault::truncate_result) {
+            chaos_schedule::truncate(framed, batch_id, attempt, worker_id);
+        }
+        return framed;
     }
+};
+
+/// One batch the master is responsible for until its result validates.
+struct pending_batch {
+    std::uint64_t id = 0;
+    std::uint64_t rounds = 0;
+    /// Kept until validation so retries replay the identical bytes —
+    /// the determinism argument for recovery.
+    std::vector<std::byte> framed_task;
+    std::size_t attempt = 0;  ///< dispatch attempts so far
+    std::size_t worker = 0;   ///< worker of the outstanding attempt
+    std::vector<bool> failed_on;  ///< workers that already failed this batch
+    std::future<std::vector<std::byte>> outcome;
 };
 
 }  // namespace
@@ -161,7 +198,9 @@ assessment_engine::assessment_engine(std::size_t component_count,
       forest_(forest),
       make_oracle_(std::move(make_oracle)),
       options_(options),
-      pool_(options.workers) {}
+      pool_(options.workers) {
+    stats_.worker_failures.assign(pool_.size(), 0);
+}
 
 assessment_stats assessment_engine::assess(failure_sampler& sampler,
                                            const application& app,
@@ -172,53 +211,177 @@ assessment_stats assessment_engine::assess(failure_sampler& sampler,
     byte_writer setup_writer;
     wire::encode_application(setup_writer, app);
     wire::encode_plan(setup_writer, plan);
-    const std::vector<std::byte> setup_message = setup_writer.take();
+    const std::vector<std::byte> framed_setup =
+        frame_message(setup_writer.bytes());
 
     std::vector<std::unique_ptr<worker_context>> contexts;
     contexts.reserve(pool_.size());
     for (std::size_t w = 0; w < pool_.size(); ++w) {
         contexts.push_back(std::make_unique<worker_context>(
-            setup_message, component_count_, forest_, make_oracle_));
+            framed_setup, component_count_, forest_, make_oracle_));
+        stats_.bytes_sent += framed_setup.size();
     }
 
-    // Master: sample rounds, serialize batches, dispatch round-robin.
-    std::vector<std::future<std::vector<std::byte>>> futures;
-    std::vector<std::vector<component_id>> batch;
-    std::vector<component_id> failed;
-    std::size_t produced = 0;
-    std::size_t next_worker = 0;
-    const auto flush_batch = [&] {
-        if (batch.empty()) {
-            return;
+    // Master: sample every round up front. The sampler stream advances
+    // identically whatever faults later strike, and each batch's bytes are
+    // kept until its result validates — so retries, re-dispatches and
+    // degraded local runs all judge the identical rounds.
+    std::vector<pending_batch> batches;
+    {
+        std::vector<std::vector<component_id>> batch_rounds;
+        std::vector<component_id> failed;
+        const auto flush = [&] {
+            if (batch_rounds.empty()) {
+                return;
+            }
+            byte_writer writer;
+            wire::encode_round_batch(writer, batch_rounds);
+            pending_batch b;
+            b.id = batches.size();
+            b.rounds = batch_rounds.size();
+            b.framed_task = frame_message(writer.bytes());
+            b.failed_on.assign(pool_.size(), false);
+            batches.push_back(std::move(b));
+            batch_rounds.clear();
+        };
+        for (std::size_t produced = 0; produced < rounds; ++produced) {
+            sampler.next_round(failed);
+            batch_rounds.push_back(failed);
+            if (batch_rounds.size() >= options_.batch_rounds) {
+                flush();
+            }
         }
-        byte_writer writer;
-        wire::encode_round_batch(writer, batch);
-        batch.clear();
-        worker_context* context = contexts[next_worker].get();
-        next_worker = (next_worker + 1) % contexts.size();
-        futures.push_back(pool_.submit(
-            [context, message = writer.take()]() mutable {
-                return context->run_batch(std::move(message));
-            }));
+        flush();
+    }
+    stats_.batches += batches.size();
+
+    // Results a deadline miss abandoned: the stalled task still runs and
+    // must be drained before the contexts it references are destroyed.
+    std::vector<std::future<std::vector<std::byte>>> abandoned;
+    const auto drain = [&] {
+        for (pending_batch& b : batches) {
+            if (b.outcome.valid()) {
+                b.outcome.wait();
+            }
+        }
+        for (auto& f : abandoned) {
+            f.wait();
+        }
     };
-    while (produced < rounds) {
-        sampler.next_round(failed);
-        batch.push_back(failed);
-        ++produced;
-        if (batch.size() >= options_.batch_rounds) {
-            flush_batch();
+
+    const auto dispatch = [&](pending_batch& b, std::size_t worker) {
+        b.worker = worker;
+        worker_context* context = contexts[worker].get();
+        b.outcome = pool_.submit([context, task = std::span<const std::byte>{
+                                               b.framed_task},
+                                  chaos = options_.chaos, id = b.id,
+                                  attempt = std::uint64_t{b.attempt},
+                                  worker]() {
+            return context->run_batch(task, chaos, id, attempt, worker);
+        });
+        ++b.attempt;
+        ++stats_.dispatches;
+        stats_.bytes_sent += b.framed_task.size();
+    };
+
+    /// First healthy candidate after `after`, or pool size when every
+    /// worker has already failed this batch.
+    const auto next_worker = [&](const pending_batch& b, std::size_t after) {
+        for (std::size_t step = 1; step <= pool_.size(); ++step) {
+            const std::size_t w = (after + step) % pool_.size();
+            if (!b.failed_on[w]) {
+                return w;
+            }
+        }
+        return pool_.size();
+    };
+
+    // Initial wave: batch i to worker i mod workers (round-robin).
+    if (options_.max_attempts > 0) {
+        for (pending_batch& b : batches) {
+            dispatch(b, static_cast<std::size_t>(b.id % pool_.size()));
         }
     }
-    flush_batch();
 
-    // Reduce: gather and deserialize every worker's result record.
     result_accumulator results;
-    for (auto& future : futures) {
-        const std::vector<std::byte> message = future.get();
-        byte_reader reader{message};
-        const wire::batch_result r = wire::decode_batch_result(reader);
-        results.merge(r.reliable, r.rounds);
+    std::unique_ptr<worker_context> local;  // lazily-built degraded path
+    try {
+        for (pending_batch& b : batches) {
+            bool accepted = false;
+            while (b.outcome.valid() && !accepted) {
+                // Wait (bounded by the per-attempt deadline, if any).
+                if (options_.batch_deadline.count() > 0 &&
+                    b.outcome.wait_for(options_.batch_deadline) ==
+                        std::future_status::timeout) {
+                    ++stats_.deadline_misses;
+                    abandoned.push_back(std::move(b.outcome));
+                } else {
+                    try {
+                        const std::vector<std::byte> framed = b.outcome.get();
+                        stats_.bytes_received += framed.size();
+                        byte_reader reader{unframe_message(framed)};
+                        const wire::batch_result r =
+                            wire::decode_batch_result(reader);
+                        if (!reader.at_end() || r.rounds != b.rounds ||
+                            r.reliable > r.rounds) {
+                            throw serialize_error{"batch result inconsistent"};
+                        }
+                        results.merge(r.reliable, r.rounds);
+                        accepted = true;
+                    } catch (const serialize_error&) {
+                        ++stats_.invalid_frames;
+                    } catch (const std::exception&) {
+                        ++stats_.worker_crashes;
+                    }
+                }
+                if (accepted) {
+                    break;
+                }
+                // The attempt failed; retry on a healthy worker or fall
+                // through (invalid future) to the degraded local path.
+                ++stats_.worker_failures[b.worker];
+                b.failed_on[b.worker] = true;
+                const std::size_t candidate = next_worker(b, b.worker);
+                if (b.attempt >= options_.max_attempts ||
+                    candidate == pool_.size()) {
+                    break;
+                }
+                if (options_.retry_backoff.count() > 0) {
+                    // Exponential backoff: base * 2^(attempts - 1).
+                    std::this_thread::sleep_for(
+                        options_.retry_backoff *
+                        (std::int64_t{1} << std::min<std::size_t>(b.attempt - 1, 20)));
+                }
+                ++stats_.retries;
+                if (candidate != b.worker) {
+                    ++stats_.redispatches;
+                }
+                dispatch(b, candidate);
+            }
+            if (!accepted) {
+                // Graceful degradation: every worker exhausted (or none
+                // allowed) — the master routes and checks the kept batch
+                // itself, chaos-free, which cannot fail.
+                if (local == nullptr) {
+                    local = std::make_unique<worker_context>(
+                        framed_setup, component_count_, forest_, make_oracle_);
+                }
+                const std::vector<std::byte> framed = local->run_batch(
+                    b.framed_task, nullptr, b.id, b.attempt, pool_.size());
+                byte_reader reader{unframe_message(framed)};
+                const wire::batch_result r = wire::decode_batch_result(reader);
+                results.merge(r.reliable, r.rounds);
+                ++stats_.degraded;
+            }
+            // The batch is settled, but its bytes are only freed with
+            // `batches` after drain(): an abandoned stalled attempt may
+            // still be reading them.
+        }
+    } catch (...) {
+        drain();
+        throw;
     }
+    drain();
     return results.stats();
 }
 

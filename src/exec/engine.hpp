@@ -12,8 +12,21 @@
 // Figure 12's shape — parallelism only pays off for very large round
 // counts, because serialization/transfer and context setup dominate small
 // ones — depends on actually paying those costs.
+// Fault tolerance: the master treats workers as unreliable. Every task and
+// result message is framed (magic/version/length/checksum — see
+// util/serialize.hpp); the master keeps each serialized batch until its
+// result frame validates, and on a worker crash, a missed deadline, or a
+// corrupt frame it retries with exponential backoff, re-dispatching to
+// workers that have not yet failed that batch. When every worker has been
+// exhausted for a batch the master degrades gracefully and runs the
+// route-and-check locally. Because a batch's rounds are sampled once and
+// the kept bytes are replayed verbatim, every recovery path recomputes the
+// identical per-batch counts — assessment_stats are bit-identical to the
+// fault-free run for any worker count. exec/chaos.hpp injects the faults
+// deterministically for tests and benches.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -22,6 +35,7 @@
 #include "app/application.hpp"
 #include "app/deployment.hpp"
 #include "assess/backend.hpp"
+#include "exec/chaos.hpp"
 #include "faults/fault_tree.hpp"
 #include "routing/oracle.hpp"
 #include "sampling/sampler.hpp"
@@ -61,6 +75,39 @@ struct engine_options {
     /// Rounds per serialized batch ("portions of rounds" the master
     /// distributes).
     std::size_t batch_rounds = 1000;
+    /// Dispatch attempts per batch before the master gives up on workers
+    /// and runs the batch locally. 0 skips workers entirely (every batch
+    /// degrades to master-local route-and-check).
+    std::size_t max_attempts = 3;
+    /// Master-side deadline for one dispatch attempt's result; an attempt
+    /// missing it counts as failed (straggler) and the batch is
+    /// re-dispatched. zero = wait forever (no straggler detection).
+    std::chrono::milliseconds batch_deadline{0};
+    /// Backoff before retry attempt k (1-based): retry_backoff << (k-1).
+    /// zero = retry immediately.
+    std::chrono::microseconds retry_backoff{0};
+    /// Optional deterministic fault injection (must outlive the engine).
+    const chaos_schedule* chaos = nullptr;
+};
+
+/// Recovery/observability counters for one engine, cumulative across
+/// assess() calls. All counting happens on the master thread.
+struct engine_stats {
+    std::uint64_t batches = 0;          ///< distinct batches produced
+    std::uint64_t dispatches = 0;       ///< dispatch attempts sent to workers
+    std::uint64_t retries = 0;          ///< attempts beyond a batch's first
+    std::uint64_t redispatches = 0;     ///< retries that switched worker
+    std::uint64_t degraded = 0;         ///< batches run master-local
+    std::uint64_t worker_crashes = 0;   ///< attempts failed by exception
+    std::uint64_t deadline_misses = 0;  ///< attempts failed by deadline
+    std::uint64_t invalid_frames = 0;   ///< attempts failed by validation
+    std::uint64_t bytes_sent = 0;       ///< framed setup + task bytes
+    std::uint64_t bytes_received = 0;   ///< framed result bytes
+    std::vector<std::uint64_t> worker_failures;  ///< failed attempts per worker
+
+    [[nodiscard]] std::uint64_t failures() const noexcept {
+        return worker_crashes + deadline_misses + invalid_frames;
+    }
 };
 
 /// Distributed-execution engine for assessments.
@@ -81,12 +128,16 @@ public:
 
     [[nodiscard]] std::size_t workers() const noexcept { return pool_.size(); }
 
+    /// Recovery counters, cumulative since construction.
+    [[nodiscard]] const engine_stats& stats() const noexcept { return stats_; }
+
 private:
     std::size_t component_count_;
     const fault_tree_forest* forest_;
     oracle_factory make_oracle_;
     engine_options options_;
     thread_pool pool_;
+    engine_stats stats_;
 };
 
 /// assessment_backend adapter over the wire-format engine: sampling stays on
@@ -96,7 +147,12 @@ private:
 /// and context setup are paid per assessment (Figure 12's fixed costs).
 class engine_backend final : public assessment_backend {
 public:
-    /// `forest` may be nullptr; the sampler must outlive the backend.
+    /// `forest` may be nullptr. LIFETIME CONTRACT: the backend keeps a
+    /// pointer to `sampler` and dereferences it on every assess() and
+    /// reset_stream() — the sampler must strictly outlive the backend.
+    /// re_cloud satisfies this by owning the sampler in a member declared
+    /// before the backend (destroyed after it); anyone constructing an
+    /// engine_backend directly owes the same guarantee.
     engine_backend(std::size_t component_count, const fault_tree_forest* forest,
                    oracle_factory make_oracle, failure_sampler& sampler,
                    const engine_options& options = {});
@@ -109,8 +165,13 @@ public:
 
     [[nodiscard]] std::size_t workers() const noexcept { return engine_.workers(); }
 
+    /// Recovery counters, cumulative since construction.
+    [[nodiscard]] const engine_stats& stats() const noexcept {
+        return engine_.stats();
+    }
+
 private:
-    failure_sampler* sampler_;
+    failure_sampler* sampler_;  ///< non-owning; see ctor lifetime contract
     assessment_engine engine_;
 };
 

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <sstream>
 
+#include "exec/engine.hpp"
+
 namespace recloud {
 namespace {
 
@@ -49,8 +51,32 @@ std::string to_json(const assessment_stats& stats) {
     return out.str();
 }
 
+std::string to_json(const engine_stats& stats) {
+    std::ostringstream out;
+    out << "{\"batches\":" << stats.batches
+        << ",\"dispatches\":" << stats.dispatches
+        << ",\"retries\":" << stats.retries
+        << ",\"redispatches\":" << stats.redispatches
+        << ",\"degraded\":" << stats.degraded
+        << ",\"worker_crashes\":" << stats.worker_crashes
+        << ",\"deadline_misses\":" << stats.deadline_misses
+        << ",\"invalid_frames\":" << stats.invalid_frames
+        << ",\"bytes_sent\":" << stats.bytes_sent
+        << ",\"bytes_received\":" << stats.bytes_received
+        << ",\"worker_failures\":[";
+    for (std::size_t w = 0; w < stats.worker_failures.size(); ++w) {
+        if (w > 0) {
+            out << ",";
+        }
+        out << stats.worker_failures[w];
+    }
+    out << "]}";
+    return out.str();
+}
+
 std::string to_json(const deployment_response& response,
-                    const component_registry* registry) {
+                    const component_registry* registry,
+                    const engine_stats* engine) {
     std::ostringstream out;
     out << "{\"fulfilled\":" << (response.fulfilled ? "true" : "false")
         << ",\"hosts\":[";
@@ -75,7 +101,11 @@ std::string to_json(const deployment_response& response,
         << ",\"filtered_plans\":" << response.search.filtered_plans
         << ",\"accepted_worse\":" << response.search.accepted_worse
         << ",\"elapsed_seconds\":" << number(response.search.elapsed_seconds)
-        << "}}";
+        << "}";
+    if (engine != nullptr) {
+        out << ",\"engine\":" << to_json(*engine);
+    }
+    out << "}";
     return out.str();
 }
 

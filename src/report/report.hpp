@@ -19,9 +19,19 @@ namespace recloud {
 [[nodiscard]] std::string to_json(const assessment_stats& stats);
 
 /// Full deployment response: fulfilled flag, plan hosts, assessment, and
-/// search telemetry. `registry` (optional) adds component names to hosts.
+/// search telemetry. `registry` (optional) adds component names to hosts;
+/// `engine` (optional) appends the execution engine's recovery counters
+/// (re_cloud::execution_stats()) as an "engine" object.
 [[nodiscard]] std::string to_json(const deployment_response& response,
-                                  const component_registry* registry = nullptr);
+                                  const component_registry* registry = nullptr,
+                                  const engine_stats* engine = nullptr);
+
+/// Engine recovery/observability counters (exec/engine.hpp):
+/// {"batches":..,"dispatches":..,"retries":..,"redispatches":..,
+///  "degraded":..,"worker_crashes":..,"deadline_misses":..,
+///  "invalid_frames":..,"bytes_sent":..,"bytes_received":..,
+///  "worker_failures":[..]}
+[[nodiscard]] std::string to_json(const engine_stats& stats);
 
 /// Criticality report, entries in rank order.
 [[nodiscard]] std::string to_json(const criticality_report& report,

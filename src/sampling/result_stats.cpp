@@ -1,5 +1,6 @@
 #include "sampling/result_stats.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -7,17 +8,33 @@ namespace recloud {
 
 std::size_t rounds_for_target_ciw(double target_ciw,
                                   double anticipated_reliability) {
-    if (target_ciw <= 0.0) {
+    if (!(target_ciw > 0.0)) {  // also rejects NaN
         throw std::invalid_argument{"rounds_for_target_ciw: target must be > 0"};
     }
+    // The cap keeps the double -> size_t cast in range: for a tiny target
+    // 16*Var[L]/target^2 can exceed even size_t's range, and casting such a
+    // double is undefined behaviour. Comparisons stay in double, where the
+    // cap is exactly representable.
+    const double cap = static_cast<double>(max_ciw_planning_rounds);
     const double r = clamp(anticipated_reliability, 0.0, 1.0);
     const double var_l = r * (1.0 - r);
+    double n;
     if (var_l == 0.0) {
-        return 1;
+        // Anticipating certainty (R exactly 0 or 1): the formula degenerates
+        // to 0 rounds, and answering "1" makes the planned sample useless.
+        // If even one of n rounds disagrees with the anticipated outcome,
+        // Var[L] ~= 1/n and CIW95 = 4*sqrt(Var[L]/n) ~= 4/n — so plan
+        // n >= 4/target, the smallest sample whose error bound could still
+        // meet the target under a single surprise.
+        n = std::ceil(4.0 / target_ciw);
+    } else {
+        // CIW = 4*sqrt(Var[L]/n) <= target  =>  n >= 16*Var[L]/target^2.
+        n = std::ceil(16.0 * var_l / (target_ciw * target_ciw));
     }
-    // CIW = 4*sqrt(Var[L]/n) <= target  =>  n >= 16*Var[L]/target^2.
-    return static_cast<std::size_t>(
-        std::ceil(16.0 * var_l / (target_ciw * target_ciw)));
+    if (!(n < cap)) {
+        return max_ciw_planning_rounds;
+    }
+    return std::max<std::size_t>(static_cast<std::size_t>(n), 1);
 }
 
 }  // namespace recloud

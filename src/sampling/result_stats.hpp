@@ -38,9 +38,18 @@ private:
     std::size_t reliable_ = 0;
 };
 
+/// Ceiling on what rounds_for_target_ciw may plan. Far beyond any runnable
+/// assessment, but small enough that the planning arithmetic (doubles) maps
+/// back into size_t without overflow; 2^62 is exactly representable as a
+/// double, so the clamp comparison is itself exact.
+inline constexpr std::size_t max_ciw_planning_rounds = std::size_t{1} << 62;
+
 /// Estimates how many rounds are needed so that CIW95 <= target, given an
 /// anticipated reliability level (worst case at R=0.5). From Eq. 3:
-/// n >= 16 * R(1-R) / target^2.
+/// n >= 16 * R(1-R) / target^2, clamped to max_ciw_planning_rounds. For
+/// anticipated reliability exactly 0 or 1 (zero anticipated variance) it
+/// plans ceil(4/target) rounds — the smallest sample whose CIW could still
+/// meet the target if one round contradicts the anticipation.
 [[nodiscard]] std::size_t rounds_for_target_ciw(double target_ciw,
                                                 double anticipated_reliability);
 

@@ -123,6 +123,19 @@ std::int64_t config::get_int(const std::string& key, std::int64_t fallback) cons
     }
 }
 
+std::uint64_t config::get_uint(const std::string& key,
+                               std::uint64_t fallback) const {
+    if (!has(key)) {
+        return fallback;
+    }
+    const std::int64_t value = get_int(key, 0);
+    if (value < 0) {
+        throw config_error{"config: '" + key + "' must be >= 0, got " +
+                           std::to_string(value)};
+    }
+    return static_cast<std::uint64_t>(value);
+}
+
 double config::get_double(const std::string& key, double fallback) const {
     const auto it = values_.find(key);
     if (it == values_.end()) {

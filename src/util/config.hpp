@@ -39,6 +39,11 @@ public:
                                          const std::string& fallback) const;
     [[nodiscard]] std::int64_t get_int(const std::string& key,
                                        std::int64_t fallback) const;
+    /// Like get_int but rejects negative values with config_error — for
+    /// counts (rounds, threads, attempts, sizes) where a stray minus sign
+    /// would otherwise wrap to a huge unsigned number at the cast.
+    [[nodiscard]] std::uint64_t get_uint(const std::string& key,
+                                         std::uint64_t fallback) const;
     [[nodiscard]] double get_double(const std::string& key, double fallback) const;
     /// Accepts true/false, yes/no, on/off, 1/0 (case-insensitive).
     [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;

@@ -46,10 +46,15 @@ void byte_reader::require(std::size_t n) const {
     }
 }
 
-void byte_reader::check_count(std::uint64_t count) const {
-    if (count > remaining()) {
+std::uint64_t byte_reader::read_length_prefix(std::size_t min_element_bytes) {
+    const std::uint64_t count = read_varint();
+    // Divide instead of multiplying: count * min_element_bytes could wrap.
+    const std::uint64_t plausible =
+        remaining() / (min_element_bytes == 0 ? 1 : min_element_bytes);
+    if (count > plausible) {
         throw serialize_error{"byte_reader: implausible element count"};
     }
+    return count;
 }
 
 std::uint8_t byte_reader::read_u8() {
@@ -92,27 +97,26 @@ bool byte_reader::read_bool() {
 }
 
 std::uint64_t byte_reader::read_varint() {
+    // A uint64 needs at most 10 LEB128 bytes (9*7 + 1 bits); the 10th byte
+    // may only contribute bit 63, so any other set bit there encodes a
+    // value past 64 bits. Both malformations are rejected explicitly.
     std::uint64_t result = 0;
-    int shift = 0;
-    for (;;) {
+    for (int i = 0; i < 10; ++i) {
         const std::uint8_t byte = read_u8();
-        if (shift == 63 && (byte & 0x7f) > 1) {
+        const std::uint64_t bits = byte & 0x7f;
+        if (i == 9 && bits > 1) {
             throw serialize_error{"byte_reader: varint overflow"};
         }
-        result |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+        result |= bits << (7 * i);
         if ((byte & 0x80) == 0) {
             return result;
         }
-        shift += 7;
-        if (shift > 63) {
-            throw serialize_error{"byte_reader: varint too long"};
-        }
     }
+    throw serialize_error{"byte_reader: varint too long"};
 }
 
 std::string byte_reader::read_string() {
-    const std::uint64_t size = read_varint();
-    check_count(size);
+    const std::uint64_t size = read_length_prefix();
     require(size);
     std::string s(reinterpret_cast<const char*>(data_.data() + pos_), size);
     pos_ += size;
@@ -120,14 +124,57 @@ std::string byte_reader::read_string() {
 }
 
 std::vector<double> byte_reader::read_f64_vector() {
-    const std::uint64_t count = read_varint();
-    check_count(count);
+    const std::uint64_t count = read_length_prefix(sizeof(double));
     std::vector<double> values;
     values.reserve(count);
     for (std::uint64_t i = 0; i < count; ++i) {
         values.push_back(read_f64());
     }
     return values;
+}
+
+std::uint64_t frame_checksum(std::span<const std::byte> payload) noexcept {
+    std::uint64_t hash = 0xcbf29ce484222325ULL;  // FNV-1a 64 offset basis
+    for (const std::byte b : payload) {
+        hash ^= static_cast<std::uint64_t>(b);
+        hash *= 0x00000100000001b3ULL;  // FNV-1a 64 prime
+    }
+    return hash;
+}
+
+std::vector<std::byte> frame_message(std::span<const std::byte> payload) {
+    byte_writer header;
+    header.reserve(frame_header_bytes + payload.size());
+    header.write_u32(frame_magic);
+    header.write_u8(frame_version);
+    header.write_u64(payload.size());
+    header.write_u64(frame_checksum(payload));
+    std::vector<std::byte> framed = header.take();
+    framed.insert(framed.end(), payload.begin(), payload.end());
+    return framed;
+}
+
+std::span<const std::byte> unframe_message(std::span<const std::byte> framed) {
+    byte_reader reader{framed};
+    if (framed.size() < frame_header_bytes) {
+        throw serialize_error{"frame: truncated header"};
+    }
+    if (reader.read_u32() != frame_magic) {
+        throw serialize_error{"frame: bad magic"};
+    }
+    if (reader.read_u8() != frame_version) {
+        throw serialize_error{"frame: unsupported version"};
+    }
+    const std::uint64_t length = reader.read_u64();
+    const std::uint64_t checksum = reader.read_u64();
+    if (length != reader.remaining()) {
+        throw serialize_error{"frame: payload length mismatch"};
+    }
+    const std::span<const std::byte> payload = framed.subspan(frame_header_bytes);
+    if (frame_checksum(payload) != checksum) {
+        throw serialize_error{"frame: checksum mismatch"};
+    }
+    return payload;
 }
 
 }  // namespace recloud

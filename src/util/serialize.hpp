@@ -7,6 +7,13 @@
 //
 // Format: little-endian fixed-width scalars; unsigned integers optionally as
 // LEB128 varints; vectors/strings are length-prefixed (varint).
+//
+// Messages that cross the master/worker boundary are additionally FRAMED
+// (frame_message / unframe_message): a fixed header carrying magic, format
+// version, payload length and an FNV-1a checksum. A lost byte, a flipped
+// bit, or a message from the wrong protocol version then surfaces as a
+// serialize_error at the frame boundary instead of being decoded into
+// plausible-looking garbage counts.
 #pragma once
 
 #include <cstddef>
@@ -35,6 +42,9 @@ public:
     [[nodiscard]] const std::vector<std::byte>& bytes() const noexcept { return buffer_; }
     [[nodiscard]] std::vector<std::byte> take() noexcept { return std::move(buffer_); }
     [[nodiscard]] std::size_t size() const noexcept { return buffer_.size(); }
+
+    /// Pre-allocates room for `n` more bytes.
+    void reserve(std::size_t n) { buffer_.reserve(buffer_.size() + n); }
 
     void write_u8(std::uint8_t v);
     void write_u32(std::uint32_t v);
@@ -77,14 +87,20 @@ public:
     [[nodiscard]] std::uint64_t read_u64();
     [[nodiscard]] double read_f64();
     [[nodiscard]] bool read_bool();
+    /// LEB128, at most 10 bytes; rejects encodings with set bits past bit 63.
     [[nodiscard]] std::uint64_t read_varint();
     [[nodiscard]] std::string read_string();
+
+    /// Reads a varint length prefix and validates it against remaining():
+    /// a prefix claiming more elements than the remaining bytes could hold
+    /// (each element occupying at least `min_element_bytes`) throws before
+    /// any allocation, so a hostile length can't drive a huge reserve.
+    [[nodiscard]] std::uint64_t read_length_prefix(std::size_t min_element_bytes = 1);
 
     template <typename T>
         requires std::is_unsigned_v<T>
     [[nodiscard]] std::vector<T> read_uint_vector() {
-        const std::uint64_t count = read_varint();
-        check_count(count);
+        const std::uint64_t count = read_length_prefix();
         std::vector<T> values;
         values.reserve(count);
         for (std::uint64_t i = 0; i < count; ++i) {
@@ -101,13 +117,31 @@ public:
 
 private:
     void require(std::size_t n) const;
-    /// Rejects counts that could not possibly fit in the remaining bytes
-    /// (each element takes >= 1 byte), so corrupt input can't trigger a
-    /// huge allocation.
-    void check_count(std::uint64_t count) const;
 
     std::span<const std::byte> data_;
     std::size_t pos_ = 0;
 };
+
+// ---- message framing ---------------------------------------------------
+
+/// "RCW" + format version byte, little-endian on the wire.
+inline constexpr std::uint32_t frame_magic = 0x01574352u;
+inline constexpr std::uint8_t frame_version = 1;
+/// magic (u32) + version (u8) + payload length (u64) + checksum (u64).
+inline constexpr std::size_t frame_header_bytes = 4 + 1 + 8 + 8;
+
+/// FNV-1a 64 over `payload` — cheap, seedless, and plenty to catch the
+/// single-bit flips and truncations framing exists to detect (this is an
+/// integrity check, not an authenticity one).
+[[nodiscard]] std::uint64_t frame_checksum(std::span<const std::byte> payload) noexcept;
+
+/// Wraps `payload` in a validated frame (header above + payload).
+[[nodiscard]] std::vector<std::byte> frame_message(std::span<const std::byte> payload);
+
+/// Validates magic, version, exact payload length and checksum; returns a
+/// view of the payload *into* `framed` (no copy — the frame must outlive
+/// the returned span). Throws serialize_error naming the first mismatch.
+[[nodiscard]] std::span<const std::byte> unframe_message(
+    std::span<const std::byte> framed);
 
 }  // namespace recloud

@@ -234,6 +234,24 @@ TEST(EngineBackend, MatchesRawAssessmentEngine) {
     EXPECT_EQ(actual.reliable, expected.reliable);
 }
 
+TEST(EngineBackend, ResetStreamReplaysAssessments) {
+    // The backend holds a non-owning sampler pointer (see the lifetime
+    // contract on its constructor); reset_stream must reach the *live*
+    // sampler and rewind it — the scenario that would explode if the
+    // pointer ever dangled.
+    backend_fixture f;
+    const application app = application::k_of_n(1, 2);
+    const deployment_plan plan = f.plan_for(app);
+    extended_dagger_sampler sampler{f.registry.probabilities(), 13};
+    engine_backend backend{f.registry.size(), &f.forest, f.factory(), sampler,
+                           {.workers = 2, .batch_rounds = 100}};
+    const assessment_stats first = backend.assess(app, plan, 1500);
+    backend.reset_stream(13);
+    const assessment_stats replay = backend.assess(app, plan, 1500);
+    EXPECT_EQ(first.reliable, replay.reliable);
+    EXPECT_EQ(first.rounds, replay.rounds);
+}
+
 // ---- the facade on top of the layer -------------------------------------
 
 recloud_options facade_options(assessment_backend_kind backend,
@@ -291,6 +309,33 @@ TEST(ReCloudBackend, EngineBackendRunsTheWorkflow) {
     const deployment_response response = system.find_deployment(request);
     EXPECT_EQ(response.plan.hosts.size(), 3u);
     EXPECT_GT(response.stats.reliability, 0.5);
+}
+
+TEST(ReCloudBackend, EngineStreamSurvivesSearchEpochs) {
+    // re_cloud owns the sampler in a member declared before the backend, so
+    // the backend's raw sampler pointer stays valid for the facade's whole
+    // life. Exercise the risky sequence: a full search (many reset_stream
+    // epochs) followed by fresh standalone assessments through the same
+    // backend, with recovery stats flowing the whole way.
+    auto infra = fat_tree_infrastructure::build(data_center_scale::tiny);
+    re_cloud system{infra, facade_options(assessment_backend_kind::engine, 2)};
+    deployment_request request{application::k_of_n(2, 3), 1.0,
+                               std::chrono::seconds{20}};
+    const deployment_response response = system.find_deployment(request);
+    EXPECT_EQ(response.plan.hosts.size(), 3u);
+
+    const assessment_stats after =
+        system.assess(request.app, response.plan, 2000);
+    EXPECT_EQ(after.rounds, 2000u);
+    EXPECT_GT(after.reliability, 0.5);
+
+    ASSERT_NE(system.execution_stats(), nullptr);
+    EXPECT_GT(system.execution_stats()->batches, 0u);
+    EXPECT_GT(system.execution_stats()->bytes_received, 0u);
+    // Non-engine backends expose no execution stats.
+    re_cloud parallel_system{
+        infra, facade_options(assessment_backend_kind::parallel, 2)};
+    EXPECT_EQ(parallel_system.execution_stats(), nullptr);
 }
 
 TEST(ReCloudBackend, SerialAndParallelSearchesAgreeOnPlanShape) {

@@ -70,6 +70,95 @@ TEST(Wire, CorruptApplicationRejected) {
     EXPECT_THROW((void)wire::decode_application(r), std::invalid_argument);
 }
 
+// ---- wire fuzzing ---------------------------------------------------------
+// Every decoder must survive arbitrary corruption of its input: a truncated
+// buffer is always rejected (every encoding is consumed in full, so any
+// strict prefix leaves a read short), and a bit-flipped buffer either
+// throws a typed error or decodes into SOME value — never crashes, loops,
+// or allocates absurdly. End-to-end integrity is the frame layer's job
+// (see test_serialize.cpp); these tests pin down the payload decoders.
+
+/// Runs `decode`; only the typed rejection errors may escape — malformed
+/// bytes (serialize_error) or a decoded value failing semantic validation
+/// (std::invalid_argument / std::out_of_range).
+template <typename Fn>
+void expect_graceful(Fn&& decode) {
+    try {
+        decode();
+    } catch (const serialize_error&) {
+    } catch (const std::invalid_argument&) {
+    } catch (const std::out_of_range&) {
+    }
+}
+
+/// Like expect_graceful, but the decode must not succeed either.
+template <typename Fn>
+void expect_rejected(Fn&& decode, std::size_t at) {
+    try {
+        decode();
+        ADD_FAILURE() << "decoder accepted a truncated buffer cut at byte "
+                      << at;
+    } catch (const serialize_error&) {
+    } catch (const std::invalid_argument&) {
+    } catch (const std::out_of_range&) {
+    }
+}
+
+template <typename Fn>
+void fuzz_decoder(const std::vector<std::byte>& valid, Fn&& decode) {
+    // Truncations: every strict prefix must be rejected.
+    for (std::size_t keep = 0; keep < valid.size(); ++keep) {
+        const std::span<const std::byte> cut{valid.data(), keep};
+        expect_rejected([&] { decode(cut); }, keep);
+    }
+    // Bit flips: every single-bit corruption must be handled gracefully.
+    for (std::size_t i = 0; i < valid.size(); ++i) {
+        for (int bit = 0; bit < 8; ++bit) {
+            std::vector<std::byte> flipped = valid;
+            flipped[i] ^= static_cast<std::byte>(1u << bit);
+            expect_graceful([&] { decode(flipped); });
+        }
+    }
+}
+
+TEST(WireFuzz, ApplicationSurvivesCorruption) {
+    byte_writer w;
+    wire::encode_application(w, application::microservice(2, 1, 1, 3));
+    fuzz_decoder(w.bytes(), [](std::span<const std::byte> bytes) {
+        byte_reader r{bytes};
+        (void)wire::decode_application(r);
+    });
+}
+
+TEST(WireFuzz, PlanSurvivesCorruption) {
+    deployment_plan plan;
+    plan.hosts = {3, 1, 4, 159, 2653};
+    byte_writer w;
+    wire::encode_plan(w, plan);
+    fuzz_decoder(w.bytes(), [](std::span<const std::byte> bytes) {
+        byte_reader r{bytes};
+        (void)wire::decode_plan(r);
+    });
+}
+
+TEST(WireFuzz, RoundBatchSurvivesCorruption) {
+    byte_writer w;
+    wire::encode_round_batch(w, {{1, 2, 3}, {}, {200, 5}, {7}});
+    fuzz_decoder(w.bytes(), [](std::span<const std::byte> bytes) {
+        byte_reader r{bytes};
+        (void)wire::decode_round_batch(r);
+    });
+}
+
+TEST(WireFuzz, BatchResultSurvivesCorruption) {
+    byte_writer w;
+    wire::encode_batch_result(w, {.rounds = 100000, .reliable = 99321});
+    fuzz_decoder(w.bytes(), [](std::span<const std::byte> bytes) {
+        byte_reader r{bytes};
+        (void)wire::decode_batch_result(r);
+    });
+}
+
 // ---- engine ----------------------------------------------------------------
 
 struct engine_fixture {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -318,9 +319,27 @@ TEST(RoundsForTargetCiw, MatchesInverseFormula) {
 }
 
 TEST(RoundsForTargetCiw, DegenerateReliability) {
-    EXPECT_EQ(rounds_for_target_ciw(1e-4, 1.0), 1u);
-    EXPECT_EQ(rounds_for_target_ciw(1e-4, 0.0), 1u);
+    // Anticipating certainty plans ceil(4/target) rounds — the smallest
+    // sample whose CIW could still meet the target if one round disagrees —
+    // instead of a useless single round.
+    EXPECT_EQ(rounds_for_target_ciw(1e-4, 1.0), 40'000u);
+    EXPECT_EQ(rounds_for_target_ciw(1e-4, 0.0), 40'000u);
+    EXPECT_GE(rounds_for_target_ciw(0.5, 1.0), 8u);
     EXPECT_THROW((void)rounds_for_target_ciw(0.0, 0.5), std::invalid_argument);
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_THROW((void)rounds_for_target_ciw(nan, 0.5), std::invalid_argument);
+}
+
+TEST(RoundsForTargetCiw, TinyTargetClampsInsteadOfOverflowing) {
+    // 16*Var[L]/target^2 overflows size_t's range as a double for tiny
+    // targets; the cast used to be UB. Now it clamps to the documented cap.
+    EXPECT_EQ(rounds_for_target_ciw(1e-300, 0.5), max_ciw_planning_rounds);
+    EXPECT_EQ(rounds_for_target_ciw(5e-10, 0.5), max_ciw_planning_rounds);
+    EXPECT_EQ(rounds_for_target_ciw(1e-300, 1.0), max_ciw_planning_rounds);
+    EXPECT_EQ(rounds_for_target_ciw(std::numeric_limits<double>::min(), 0.5),
+              max_ciw_planning_rounds);
+    // Just under the cap still computes the formula value.
+    EXPECT_LT(rounds_for_target_ciw(1e-6, 0.5), max_ciw_planning_rounds);
 }
 
 // ---- substreams (fork) --------------------------------------------------

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <limits>
 #include <vector>
@@ -143,6 +144,101 @@ TEST(Serialize, TakeMovesBuffer) {
     const auto bytes = w.take();
     EXPECT_EQ(bytes.size(), 4u);
     EXPECT_EQ(w.size(), 0u);
+}
+
+TEST(Serialize, VarintWithBitsPast64Throws) {
+    // 10 bytes whose 10th carries more than bit 63: value would need 65+
+    // bits. Every such encoding must be rejected, not silently truncated.
+    for (const std::uint8_t tenth : {0x02, 0x04, 0x40, 0x7f}) {
+        byte_writer w;
+        for (int i = 0; i < 9; ++i) {
+            w.write_u8(0x80);  // nine continuation bytes, payload bits 0
+        }
+        w.write_u8(tenth);
+        byte_reader r{w.bytes()};
+        EXPECT_THROW((void)r.read_varint(), serialize_error) << int{tenth};
+    }
+    // ...while bit 63 alone (tenth byte == 0x01) is the legal maximum.
+    byte_writer w;
+    for (int i = 0; i < 9; ++i) {
+        w.write_u8(0x80);
+    }
+    w.write_u8(0x01);
+    byte_reader r{w.bytes()};
+    EXPECT_EQ(r.read_varint(), std::uint64_t{1} << 63);
+}
+
+TEST(Serialize, StringLengthValidatedBeforeAllocation) {
+    byte_writer w;
+    w.write_varint(std::uint64_t{1} << 61);  // hostile length prefix
+    byte_reader r{w.bytes()};
+    EXPECT_THROW((void)r.read_string(), serialize_error);
+}
+
+TEST(Serialize, F64VectorCountValidatedAgainstElementSize) {
+    // 16 bytes remain after the prefix; a count of 3 fits "count <=
+    // remaining" but not 3 doubles — it must be rejected up front.
+    byte_writer w;
+    w.write_varint(3);
+    w.write_f64(1.0);
+    w.write_f64(2.0);
+    byte_reader r{w.bytes()};
+    EXPECT_THROW((void)r.read_f64_vector(), serialize_error);
+}
+
+// ---- message framing ----------------------------------------------------
+
+TEST(Frame, Roundtrip) {
+    byte_writer w;
+    w.write_u64(0xfeedface);
+    w.write_string("payload");
+    const std::vector<std::byte> payload = w.take();
+    const std::vector<std::byte> framed = frame_message(payload);
+    ASSERT_EQ(framed.size(), frame_header_bytes + payload.size());
+    const std::span<const std::byte> out = unframe_message(framed);
+    EXPECT_TRUE(std::equal(out.begin(), out.end(), payload.begin(), payload.end()));
+}
+
+TEST(Frame, EmptyPayloadRoundtrip) {
+    const std::vector<std::byte> framed = frame_message({});
+    EXPECT_TRUE(unframe_message(framed).empty());
+}
+
+TEST(Frame, TruncatedAtEveryLengthThrows) {
+    byte_writer w;
+    w.write_string("four score and seven rounds ago");
+    const std::vector<std::byte> framed = frame_message(w.bytes());
+    for (std::size_t keep = 0; keep < framed.size(); ++keep) {
+        const std::span<const std::byte> cut{framed.data(), keep};
+        EXPECT_THROW((void)unframe_message(cut), serialize_error) << keep;
+    }
+}
+
+TEST(Frame, EverySingleBitFlipDetected) {
+    // Every header field is load-bearing (magic, version, length, checksum)
+    // and the checksum covers the payload — so EVERY single-bit corruption
+    // of a framed message must surface as serialize_error, never as a
+    // successfully decoded wrong message.
+    byte_writer w;
+    w.write_u32(123456);
+    w.write_string("bits");
+    const std::vector<std::byte> framed = frame_message(w.bytes());
+    for (std::size_t i = 0; i < framed.size(); ++i) {
+        for (int bit = 0; bit < 8; ++bit) {
+            std::vector<std::byte> corrupt = framed;
+            corrupt[i] ^= static_cast<std::byte>(1u << bit);
+            EXPECT_THROW((void)unframe_message(corrupt), serialize_error)
+                << "byte " << i << " bit " << bit;
+        }
+    }
+}
+
+TEST(Frame, TrailingGarbageRejected) {
+    byte_writer w;
+    w.write_u8(9);
+    std::vector<std::byte> framed = frame_message(w.bytes());
+    framed.push_back(std::byte{0});
+    EXPECT_THROW((void)unframe_message(framed), serialize_error);
 }
 
 }  // namespace
