@@ -54,6 +54,7 @@ threads = 0               # parallel/engine workers; 0 = all hardware threads
 max_attempts = 3          # engine only: dispatch attempts per batch before
                           # degrading to master-local route-and-check
 deadline_ms = 0           # engine only: per-attempt result deadline; 0 = none
+verdict_cache = true      # memoize round verdicts (bit-identical results)
 multi_objective = false
 symmetry = true
 seed = 1
@@ -122,6 +123,7 @@ recloud_options build_options(const config& cfg) {
         static_cast<std::size_t>(cfg.get_uint("search.max_attempts", 3));
     options.engine_batch_deadline = std::chrono::milliseconds{
         static_cast<std::int64_t>(cfg.get_uint("search.deadline_ms", 0))};
+    options.verdict_cache = cfg.get_bool("search.verdict_cache", true);
     options.multi_objective = cfg.get_bool("search.multi_objective", false);
     options.use_symmetry = cfg.get_bool("search.symmetry", true);
     options.seed = cfg.get_uint("search.seed", 1);
@@ -141,14 +143,15 @@ deployment_request build_request(const config& cfg, application app) {
 
 void write_outputs(const config& cfg, const deployment_response& response,
                    const component_registry& registry,
-                   const engine_stats* engine) {
+                   const engine_stats* engine,
+                   const verdict_cache_stats* cache) {
     const std::string json_path = cfg.get_string("output.json", "");
     if (!json_path.empty()) {
         std::FILE* out = std::fopen(json_path.c_str(), "w");
         if (out == nullptr) {
             throw config_error{"cannot write " + json_path};
         }
-        const std::string json = to_json(response, &registry, engine);
+        const std::string json = to_json(response, &registry, engine, cache);
         std::fwrite(json.data(), 1, json.size(), out);
         std::fputc('\n', out);
         std::fclose(out);
@@ -168,7 +171,7 @@ void write_outputs(const config& cfg, const deployment_response& response,
 }
 
 void report(const deployment_response& response, const built_topology& topo,
-            const engine_stats* engine) {
+            const engine_stats* engine, const verdict_cache_stats* cache) {
     std::printf("fulfilled:        %s\n", response.fulfilled ? "yes" : "no");
     std::printf("reliability:      %.5f (95%% CI width %.2e)\n",
                 response.stats.reliability, response.stats.ciw95);
@@ -190,6 +193,16 @@ void report(const deployment_response& response, const built_topology& topo,
                     static_cast<double>(engine->bytes_sent) / (1024.0 * 1024.0),
                     static_cast<double>(engine->bytes_received) /
                         (1024.0 * 1024.0));
+    }
+    if (cache != nullptr) {
+        std::printf("verdict cache: hit-rate=%.1f%% (empty=%llu signature=%llu "
+                    "of %llu rounds) support=%llu evictions=%llu\n",
+                    cache->hit_rate() * 100.0,
+                    static_cast<unsigned long long>(cache->empty_hits),
+                    static_cast<unsigned long long>(cache->hits),
+                    static_cast<unsigned long long>(cache->rounds),
+                    static_cast<unsigned long long>(cache->support_size),
+                    static_cast<unsigned long long>(cache->evictions));
     }
     std::printf("placement:\n");
     for (const node_id host : response.plan.hosts) {
@@ -236,8 +249,10 @@ int run_fat_tree(const config& cfg, const application& app) {
     std::printf("assessment:       %s backend\n", system.backend().name());
     const deployment_response response =
         system.find_deployment(build_request(cfg, app));
-    report(response, infra.topology(), system.execution_stats());
-    write_outputs(cfg, response, infra.registry(), system.execution_stats());
+    report(response, infra.topology(), system.execution_stats(),
+           system.cache_stats());
+    write_outputs(cfg, response, infra.registry(), system.execution_stats(),
+                  system.cache_stats());
     return response.fulfilled ? 0 : 2;
 }
 
@@ -273,8 +288,9 @@ int run_generic(const config& cfg, const application& app,
     std::printf("assessment:       %s backend\n", system.backend().name());
     const deployment_response response =
         system.find_deployment(build_request(cfg, app));
-    report(response, topo, system.execution_stats());
-    write_outputs(cfg, response, registry, system.execution_stats());
+    report(response, topo, system.execution_stats(), system.cache_stats());
+    write_outputs(cfg, response, registry, system.execution_stats(),
+                  system.cache_stats());
     return response.fulfilled ? 0 : 2;
 }
 

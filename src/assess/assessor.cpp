@@ -9,15 +9,17 @@ assessment_stats assess_deployment(failure_sampler& sampler, round_state& rs,
                                    reachability_oracle& oracle,
                                    const application& app,
                                    const deployment_plan& plan,
-                                   std::size_t rounds) {
+                                   std::size_t rounds, verdict_cache* cache) {
     requirement_evaluator evaluator{app, plan};
     result_accumulator results;
     std::vector<component_id> failed;
+    if (cache != nullptr) {
+        cache->bind(app, plan);
+    }
     for (std::size_t round = 0; round < rounds; ++round) {
         sampler.next_round(failed);
-        rs.begin_round(failed);
-        oracle.begin_round(rs);
-        results.add(evaluator.reliable_in_round(oracle, rs));
+        results.add(cached_reliable_in_round(cache, failed, rs, oracle, plan,
+                                             evaluator));
     }
     return results.stats();
 }
@@ -26,19 +28,22 @@ assessment_stats assess_until_ciw(failure_sampler& sampler, round_state& rs,
                                   reachability_oracle& oracle,
                                   const application& app,
                                   const deployment_plan& plan,
-                                  const adaptive_assess_options& options) {
+                                  const adaptive_assess_options& options,
+                                  verdict_cache* cache) {
     if (options.target_ciw <= 0.0) {
         throw std::invalid_argument{"assess_until_ciw: target must be > 0"};
     }
     requirement_evaluator evaluator{app, plan};
     result_accumulator results;
     std::vector<component_id> failed;
+    if (cache != nullptr) {
+        cache->bind(app, plan);
+    }
     const auto run_rounds = [&](std::size_t rounds) {
         for (std::size_t round = 0; round < rounds; ++round) {
             sampler.next_round(failed);
-            rs.begin_round(failed);
-            oracle.begin_round(rs);
-            results.add(evaluator.reliable_in_round(oracle, rs));
+            results.add(cached_reliable_in_round(cache, failed, rs, oracle,
+                                                 plan, evaluator));
         }
     };
 
@@ -61,22 +66,29 @@ assessment_stats assess_until_ciw(failure_sampler& sampler, round_state& rs,
     }
 }
 
-reliability_assessor::reliability_assessor(std::size_t component_count,
-                                           const fault_tree_forest* forest,
-                                           reachability_oracle& oracle,
-                                           failure_sampler& sampler)
-    : rs_(component_count, forest), oracle_(&oracle), sampler_(&sampler) {}
+reliability_assessor::reliability_assessor(
+    std::size_t component_count, const fault_tree_forest* forest,
+    reachability_oracle& oracle, failure_sampler& sampler,
+    const verdict_cache_options& cache_options)
+    : rs_(component_count, forest), oracle_(&oracle), sampler_(&sampler) {
+    if (cache_options.enabled && cache_options.support != nullptr) {
+        cache_.emplace(*cache_options.support, cache_options.max_entries);
+    }
+}
 
 assessment_stats reliability_assessor::assess(const application& app,
                                               const deployment_plan& plan,
                                               std::size_t rounds) {
     requirement_evaluator evaluator{app, plan};
     result_accumulator results;
+    verdict_cache* cache = cache_ ? &*cache_ : nullptr;
+    if (cache != nullptr) {
+        cache->bind(app, plan);
+    }
     for (std::size_t round = 0; round < rounds; ++round) {
         sampler_->next_round(failed_scratch_);
-        rs_.begin_round(failed_scratch_);
-        oracle_->begin_round(rs_);
-        results.add(evaluator.reliable_in_round(*oracle_, rs_));
+        results.add(cached_reliable_in_round(cache, failed_scratch_, rs_,
+                                             *oracle_, plan, evaluator));
     }
     return results.stats();
 }

@@ -5,10 +5,12 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 
 #include "app/application.hpp"
 #include "app/deployment.hpp"
 #include "app/requirement_eval.hpp"
+#include "assess/verdict_cache.hpp"
 #include "faults/round_state.hpp"
 #include "routing/oracle.hpp"
 #include "sampling/result_stats.hpp"
@@ -19,13 +21,16 @@ namespace recloud {
 /// Runs `rounds` sampling + route-and-check rounds for one plan.
 /// `rs` carries the fault-tree forest; `oracle` must match the topology the
 /// plan deploys into. The sampler continues its stream (it is NOT reset), so
-/// consecutive assessments use fresh randomness.
+/// consecutive assessments use fresh randomness. `cache` may be nullptr;
+/// when given it is bound to (app, plan) here and memoizes round verdicts —
+/// the returned stats are bit-identical either way.
 [[nodiscard]] assessment_stats assess_deployment(failure_sampler& sampler,
                                                  round_state& rs,
                                                  reachability_oracle& oracle,
                                                  const application& app,
                                                  const deployment_plan& plan,
-                                                 std::size_t rounds);
+                                                 std::size_t rounds,
+                                                 verdict_cache* cache = nullptr);
 
 /// Adaptive-precision assessment: keeps sampling until the 95% confidence
 /// interval width (Eq. 3) drops to `target_ciw` or `max_rounds` is reached.
@@ -43,17 +48,24 @@ struct adaptive_assess_options {
                                                 reachability_oracle& oracle,
                                                 const application& app,
                                                 const deployment_plan& plan,
-                                                const adaptive_assess_options& options);
+                                                const adaptive_assess_options& options,
+                                                verdict_cache* cache = nullptr);
 
 /// Reusable assessment context: owns the scratch state (round_state,
-/// evaluator caches) so the annealing search can assess hundreds of plans
-/// without reallocating. Not thread-safe; create one per thread.
+/// evaluator caches, optional verdict cache) so the annealing search can
+/// assess hundreds of plans without reallocating. Not thread-safe; create
+/// one per thread.
 class reliability_assessor {
 public:
     /// `forest` may be nullptr (no dependency information, §3.4).
+    /// When `cache_options.enabled` and `cache_options.support` are set, a
+    /// private verdict cache memoizes round verdicts across the assessor's
+    /// lifetime (it survives plan changes via epoch reset, so annealing
+    /// re-visits of a plan stay cold but correctness never depends on it).
     reliability_assessor(std::size_t component_count,
                          const fault_tree_forest* forest,
-                         reachability_oracle& oracle, failure_sampler& sampler);
+                         reachability_oracle& oracle, failure_sampler& sampler,
+                         const verdict_cache_options& cache_options = {});
 
     [[nodiscard]] assessment_stats assess(const application& app,
                                           const deployment_plan& plan,
@@ -61,10 +73,22 @@ public:
 
     [[nodiscard]] round_state& state() noexcept { return rs_; }
 
+    /// Cumulative cache counters; nullptr when the cache is disabled.
+    [[nodiscard]] const verdict_cache_stats* cache_stats() const noexcept {
+        return cache_ ? &cache_->stats() : nullptr;
+    }
+
+    /// The owned verdict cache, or nullptr when disabled — for callers that
+    /// drive the round loop themselves (serial assess_until_ciw).
+    [[nodiscard]] verdict_cache* cache() noexcept {
+        return cache_ ? &*cache_ : nullptr;
+    }
+
 private:
     round_state rs_;
     reachability_oracle* oracle_;
     failure_sampler* sampler_;
+    std::optional<verdict_cache> cache_;
     std::vector<component_id> failed_scratch_;
 };
 

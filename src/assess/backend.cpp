@@ -53,8 +53,9 @@ assessment_stats assessment_backend::assess_until_ciw(
 serial_backend::serial_backend(std::size_t component_count,
                                const fault_tree_forest* forest,
                                reachability_oracle& oracle,
-                               failure_sampler& sampler)
-    : assessor_(component_count, forest, oracle, sampler),
+                               failure_sampler& sampler,
+                               const verdict_cache_options& cache_options)
+    : assessor_(component_count, forest, oracle, sampler, cache_options),
       sampler_(&sampler),
       oracle_(&oracle) {}
 
@@ -68,7 +69,7 @@ assessment_stats serial_backend::assess_until_ciw(
     const application& app, const deployment_plan& plan,
     const adaptive_assess_options& options) {
     return recloud::assess_until_ciw(*sampler_, assessor_.state(), *oracle_, app,
-                                     plan, options);
+                                     plan, options, assessor_.cache());
 }
 
 void serial_backend::reset_stream(std::uint64_t seed) {
@@ -99,7 +100,8 @@ parallel_backend::parallel_backend(std::size_t component_count,
                 "parallel_backend: oracle factory returned nullptr"};
         }
         contexts_.push_back(std::make_unique<worker_context>(
-            component_count, forest, std::move(oracle)));
+            component_count, forest, std::move(oracle),
+            options_.verdict_cache));
     }
 }
 
@@ -122,6 +124,10 @@ assessment_stats parallel_backend::assess(const application& app,
                                         batches, workers, w]() -> batch_counts {
             worker_context& context = *contexts_[w];
             requirement_evaluator evaluator{app, plan};
+            verdict_cache* cache = context.cache ? &*context.cache : nullptr;
+            if (cache != nullptr) {
+                cache->bind(app, plan);
+            }
             std::vector<component_id> failed;
             batch_counts counts;
             for (std::size_t b = w; b < batches; b += workers) {
@@ -131,10 +137,10 @@ assessment_stats parallel_backend::assess(const application& app,
                 const std::size_t count = std::min(batch_rounds, rounds - begin);
                 for (std::size_t i = 0; i < count; ++i) {
                     substream->next_round(failed);
-                    context.rs.begin_round(failed);
-                    context.oracle->begin_round(context.rs);
                     ++counts.rounds;
-                    if (evaluator.reliable_in_round(*context.oracle, context.rs)) {
+                    if (cached_reliable_in_round(cache, failed, context.rs,
+                                                 *context.oracle, plan,
+                                                 evaluator)) {
                         ++counts.reliable;
                     }
                 }
@@ -154,6 +160,20 @@ assessment_stats parallel_backend::assess(const application& app,
 void parallel_backend::reset_stream(std::uint64_t seed) {
     sampler_->reset(seed);
     epoch_ = 0;
+}
+
+const verdict_cache_stats* parallel_backend::cache_stats() const noexcept {
+    if (!options_.verdict_cache.enabled ||
+        options_.verdict_cache.support == nullptr) {
+        return nullptr;
+    }
+    cache_stats_ = {};
+    for (const std::unique_ptr<worker_context>& context : contexts_) {
+        if (context->cache) {
+            cache_stats_.accumulate(context->cache->stats());
+        }
+    }
+    return &cache_stats_;
 }
 
 }  // namespace recloud

@@ -24,6 +24,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "assess/assessor.hpp"
@@ -58,6 +59,14 @@ public:
     virtual void reset_stream(std::uint64_t seed) = 0;
 
     [[nodiscard]] virtual const char* name() const noexcept = 0;
+
+    /// Cumulative verdict-cache counters across every assessment this
+    /// backend has run, or nullptr when the backend runs without a cache.
+    /// Counters are observability only — they never influence stats.
+    [[nodiscard]] virtual const verdict_cache_stats* cache_stats()
+        const noexcept {
+        return nullptr;
+    }
 };
 
 /// Today's single-threaded path: one sampler stream, one round_state, one
@@ -65,9 +74,10 @@ public:
 class serial_backend final : public assessment_backend {
 public:
     /// `forest` may be nullptr. The oracle and sampler must outlive the
-    /// backend.
+    /// backend; so must `cache_options.support` when the cache is enabled.
     serial_backend(std::size_t component_count, const fault_tree_forest* forest,
-                   reachability_oracle& oracle, failure_sampler& sampler);
+                   reachability_oracle& oracle, failure_sampler& sampler,
+                   const verdict_cache_options& cache_options = {});
 
     [[nodiscard]] assessment_stats assess(const application& app,
                                           const deployment_plan& plan,
@@ -77,6 +87,10 @@ public:
         const adaptive_assess_options& options) override;
     void reset_stream(std::uint64_t seed) override;
     [[nodiscard]] const char* name() const noexcept override { return "serial"; }
+    [[nodiscard]] const verdict_cache_stats* cache_stats()
+        const noexcept override {
+        return assessor_.cache_stats();
+    }
 
 private:
     reliability_assessor assessor_;
@@ -91,6 +105,11 @@ struct parallel_backend_options {
     /// determinism contract: changing it changes which substream samples
     /// which round, so it must be held fixed when comparing runs.
     std::size_t batch_rounds = 1024;
+    /// Per-worker verdict memoization. Each worker owns a PRIVATE cache —
+    /// no shared mutable state, so the determinism contract is untouched
+    /// (verdicts are pure functions of the sampled failed set; a cache hit
+    /// returns the same bit the re-computation would).
+    verdict_cache_options verdict_cache{};
 };
 
 /// Deterministic multi-threaded backend. Rounds are partitioned into
@@ -113,6 +132,10 @@ public:
                                           std::size_t rounds) override;
     void reset_stream(std::uint64_t seed) override;
     [[nodiscard]] const char* name() const noexcept override { return "parallel"; }
+    /// Sums the per-worker cache counters on demand (the caches are private
+    /// to their workers; only read this between assess() calls).
+    [[nodiscard]] const verdict_cache_stats* cache_stats()
+        const noexcept override;
 
     [[nodiscard]] std::size_t workers() const noexcept { return pool_.size(); }
     [[nodiscard]] std::size_t batch_rounds() const noexcept {
@@ -131,11 +154,17 @@ private:
     struct worker_context {
         round_state rs;
         std::unique_ptr<reachability_oracle> oracle;
+        std::optional<verdict_cache> cache;  ///< private to this worker
 
         worker_context(std::size_t component_count,
                        const fault_tree_forest* forest,
-                       std::unique_ptr<reachability_oracle> o)
-            : rs(component_count, forest), oracle(std::move(o)) {}
+                       std::unique_ptr<reachability_oracle> o,
+                       const verdict_cache_options& cache_options)
+            : rs(component_count, forest), oracle(std::move(o)) {
+            if (cache_options.enabled && cache_options.support != nullptr) {
+                cache.emplace(*cache_options.support, cache_options.max_entries);
+            }
+        }
     };
 
     failure_sampler* sampler_;
@@ -143,6 +172,7 @@ private:
     thread_pool pool_;
     std::vector<std::unique_ptr<worker_context>> contexts_;
     std::uint64_t epoch_ = 0;  ///< assessments since construction/reset
+    mutable verdict_cache_stats cache_stats_{};  ///< scratch for cache_stats()
 };
 
 }  // namespace recloud

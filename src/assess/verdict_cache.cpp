@@ -1,0 +1,251 @@
+#include "assess/verdict_cache.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace recloud {
+namespace {
+
+constexpr std::uint64_t fnv_offset = 1469598103934665603ULL;
+constexpr std::uint64_t fnv_prime = 1099511628211ULL;
+
+std::uint64_t fnv1a_append(std::uint64_t hash, std::uint64_t value) noexcept {
+    for (int byte = 0; byte < 8; ++byte) {
+        hash ^= (value >> (byte * 8)) & 0xffULL;
+        hash *= fnv_prime;
+    }
+    return hash;
+}
+
+std::uint64_t hash_key(std::span<const component_id> key) noexcept {
+    std::uint64_t hash = fnv_offset;
+    for (const component_id id : key) {
+        hash = fnv1a_append(hash, id);
+    }
+    return hash;
+}
+
+/// Structural fingerprint of an application: rebinding with a different
+/// object whose SHAPE is identical may keep the table (the verdict function
+/// is the same), while any shape change must reset it.
+std::uint64_t fingerprint(const application& app) noexcept {
+    std::uint64_t hash = fnv_offset;
+    for (const app_component& component : app.components()) {
+        hash = fnv1a_append(hash, component.replicas);
+    }
+    for (const reachability_requirement& req : app.requirements()) {
+        hash = fnv1a_append(hash, req.target);
+        hash = fnv1a_append(hash, req.source ? *req.source + 1 : 0);
+        hash = fnv1a_append(hash, req.min_reachable);
+    }
+    return hash;
+}
+
+std::size_t power_of_two_at_least(std::size_t value) noexcept {
+    std::size_t capacity = 1;
+    while (capacity < value) {
+        capacity <<= 1;
+    }
+    return capacity;
+}
+
+}  // namespace
+
+verdict_support::verdict_support(const built_topology& topo,
+                                 std::size_t component_count,
+                                 const fault_tree_forest* forest,
+                                 const link_attachment* links)
+    : forest_(forest), member_(component_count, 0) {
+    if (component_count < topo.graph.node_count()) {
+        throw std::invalid_argument{
+            "verdict_support: component_count smaller than the graph"};
+    }
+    const auto add = [this](component_id id) {
+        if (member_[id] == 0) {
+            member_[id] = 1;
+            ++size_;
+        }
+    };
+    // Routing nodes: every non-host (switches, external) can lie on a path;
+    // hosts only relay when multi-homed (BCube/DCell server-centric
+    // topologies). A degree-1 host is a pure leaf — its failure only
+    // matters when an instance is placed on it, which bind() covers.
+    for (node_id node = 0; node < topo.graph.node_count(); ++node) {
+        if (topo.graph.kind(node) != node_kind::host ||
+            topo.graph.degree(node) > 1) {
+            add(node);
+        }
+    }
+    if (links != nullptr) {
+        for (const component_id link : links->component_of_edge) {
+            if (link != invalid_node) {
+                add(link);
+            }
+        }
+    }
+    if (forest_ != nullptr) {
+        // Fault-tree dependencies of every member: a supply/software/...
+        // failure flips a member's effective state, so it must stay in the
+        // cache key. Leaves read RAW dependency state (round_state), so one
+        // level suffices — deeper chains live inside the trees themselves.
+        std::vector<component_id> members;
+        members.reserve(size_);
+        for (component_id id = 0; id < member_.size(); ++id) {
+            if (member_[id] != 0) {
+                members.push_back(id);
+            }
+        }
+        for (const component_id id : members) {
+            for (const component_id dep : forest_->dependencies_of(id)) {
+                add(dep);
+            }
+        }
+    }
+}
+
+verdict_cache::verdict_cache(const verdict_support& support,
+                             std::size_t max_entries)
+    : support_(&support),
+      max_entries_(std::max<std::size_t>(max_entries, 1)),
+      mask_(power_of_two_at_least(2 * max_entries_) - 1),
+      slots_(mask_ + 1),
+      member_(support.membership().begin(), support.membership().end()),
+      support_size_(support.static_size()) {}
+
+void verdict_cache::reset_table() noexcept {
+    ++epoch_;
+    if (epoch_ == 0) {
+        // uint32 generation wrapped: stale slots could alias the fresh
+        // generation, so wipe them for real once per 2^32 resets.
+        std::fill(slots_.begin(), slots_.end(), slot{});
+        epoch_ = 1;
+    }
+    key_pool_.clear();
+    size_ = 0;
+}
+
+void verdict_cache::bind(const application& app, const deployment_plan& plan) {
+    const std::uint64_t app_fingerprint = fingerprint(app);
+    if (bound_ && bound_app_fingerprint_ == app_fingerprint &&
+        bound_hosts_ == plan.hosts) {
+        return;  // same binding: keep every entry warm
+    }
+    bound_ = true;
+    bound_app_fingerprint_ = app_fingerprint;
+    bound_hosts_ = plan.hosts;
+    ++stats_.rebinds;
+    reset_table();
+    empty_valid_ = false;
+    pending_store_ = false;
+
+    // Rebuild membership: static support + plan hosts + their fault-tree
+    // dependencies.
+    const std::span<const std::uint8_t> base = support_->membership();
+    std::copy(base.begin(), base.end(), member_.begin());
+    support_size_ = support_->static_size();
+    const auto add = [this](component_id id) {
+        if (member_[id] == 0) {
+            member_[id] = 1;
+            ++support_size_;
+        }
+    };
+    const fault_tree_forest* forest = support_->forest();
+    for (const node_id host : plan.hosts) {
+        add(host);
+        if (forest != nullptr) {
+            for (const component_id dep : forest->dependencies_of(host)) {
+                add(dep);
+            }
+        }
+    }
+    stats_.support_size = support_size_;
+}
+
+std::size_t verdict_cache::probe(std::uint64_t hash,
+                                 lookup_result* found) const {
+    std::size_t index = static_cast<std::size_t>(hash) & mask_;
+    for (;;) {
+        const slot& s = slots_[index];
+        if (s.epoch != epoch_) {
+            return index;  // stale or never written: free slot, miss
+        }
+        if (s.hash == hash && s.key_length == filtered_.size() &&
+            std::equal(filtered_.begin(), filtered_.end(),
+                       key_pool_.begin() + s.key_begin)) {
+            found->hit = true;
+            found->verdict = s.verdict != 0;
+            return index;
+        }
+        index = (index + 1) & mask_;
+    }
+}
+
+verdict_cache::lookup_result verdict_cache::lookup(
+    std::span<const component_id> failed) {
+    if (!bound_) {
+        throw std::logic_error{"verdict_cache: lookup before bind"};
+    }
+    ++stats_.rounds;
+    filtered_.clear();
+    for (const component_id id : failed) {
+        if (member_[id] != 0) {
+            filtered_.push_back(id);
+        }
+    }
+    if (filtered_.empty()) {
+        if (empty_valid_) {
+            ++stats_.empty_hits;
+            return {true, empty_verdict_};
+        }
+        ++stats_.misses;
+        pending_empty_ = true;
+        pending_store_ = true;
+        return {};
+    }
+    std::sort(filtered_.begin(), filtered_.end());
+    const std::uint64_t hash = hash_key(filtered_);
+    lookup_result result;
+    const std::size_t index = probe(hash, &result);
+    if (result.hit) {
+        ++stats_.hits;
+        return result;
+    }
+    ++stats_.misses;
+    pending_empty_ = false;
+    pending_store_ = true;
+    pending_hash_ = hash;
+    pending_slot_ = index;
+    return {};
+}
+
+void verdict_cache::store(bool verdict) {
+    if (!pending_store_) {
+        throw std::logic_error{"verdict_cache: store without a pending miss"};
+    }
+    pending_store_ = false;
+    if (pending_empty_) {
+        empty_valid_ = true;
+        empty_verdict_ = verdict;
+        return;
+    }
+    if (size_ >= max_entries_) {
+        // Bounded memory: wipe wholesale (O(1) via the generation stamp) and
+        // let the working set rebuild — plans are assessed for thousands of
+        // rounds, so the refill cost amortizes away.
+        reset_table();
+        ++stats_.evictions;
+        lookup_result ignored;
+        pending_slot_ = probe(pending_hash_, &ignored);
+    }
+    slot& s = slots_[pending_slot_];
+    s.hash = pending_hash_;
+    s.epoch = epoch_;
+    s.key_begin = static_cast<std::uint32_t>(key_pool_.size());
+    s.key_length = static_cast<std::uint32_t>(filtered_.size());
+    s.verdict = verdict ? 1 : 0;
+    key_pool_.insert(key_pool_.end(), filtered_.begin(), filtered_.end());
+    ++size_;
+    ++stats_.insertions;
+}
+
+}  // namespace recloud

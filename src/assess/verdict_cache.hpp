@@ -1,0 +1,237 @@
+// Round-verdict memoization for the route-and-check hot loop.
+//
+// A round's verdict ("is the plan reliable under this failed set?") is a
+// pure function of the RAW sampled failed set restricted to the plan's
+// *support*: the components whose failure can possibly influence routing,
+// fault-tree reasoning, or the requirement check. Everything else — hosts
+// no instance is placed on and that no packet can transit — is noise the
+// sampler happens to produce. With realistic failure probabilities
+// (10^-3..10^-5) the overwhelming majority of rounds therefore carry an
+// empty or previously-seen support-filtered failed set, and the full BFS
+// flood + requirement fixpoint can be replaced by a hash probe.
+//
+// Three layers:
+//   1. empty-round fast path — the all-alive verdict is computed once per
+//      (application, plan) binding and returned without touching the
+//      oracle;
+//   2. support filtering — sampled failures outside the support are
+//      dropped from the cache key, collapsing many distinct raw rounds
+//      into one signature;
+//   3. signature -> verdict table — open addressing over an FNV-1a hash of
+//      the sorted filtered set, with the EXACT key stored alongside (hash
+//      collisions are compared away, so cache-on is provably
+//      verdict-identical to cache-off), bounded size with an epoch-based
+//      wholesale reset, and hit/miss/evict counters.
+//
+// Thread-safety: none. Each assessment worker owns its own verdict_cache
+// (the immutable verdict_support may be shared); verdicts are pure, so
+// per-worker caches cannot perturb assessment_stats for any worker count.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "app/application.hpp"
+#include "app/deployment.hpp"
+#include "app/requirement_eval.hpp"
+#include "faults/fault_tree.hpp"
+#include "routing/oracle.hpp"
+#include "topology/graph.hpp"
+#include "topology/links.hpp"
+
+namespace recloud {
+
+/// The plan-independent part of the support set, computed once per
+/// infrastructure and shared (immutably) by every worker's cache:
+///   * every non-host routing node (switches and the external node — any
+///     of them can sit on a path between plan hosts);
+///   * multi-homed hosts (degree > 1: BCube/DCell servers relay traffic;
+///     a degree-1 host is a leaf no path can transit);
+///   * every registered link component;
+///   * the fault-tree dependencies (leaves) of all of the above.
+/// Plan hosts and THEIR fault-tree dependencies are added per binding by
+/// verdict_cache::bind.
+///
+/// Soundness requires `links` to name every link attachment the routing
+/// oracle consults (recloud_context::links); a link the oracle checks but
+/// the support omits would let a link failure be filtered out of the key.
+class verdict_support {
+public:
+    verdict_support(const built_topology& topo, std::size_t component_count,
+                    const fault_tree_forest* forest,
+                    const link_attachment* links);
+
+    [[nodiscard]] std::size_t component_count() const noexcept {
+        return member_.size();
+    }
+    [[nodiscard]] bool contains_static(component_id id) const noexcept {
+        return member_[id] != 0;
+    }
+    [[nodiscard]] std::size_t static_size() const noexcept { return size_; }
+    [[nodiscard]] const fault_tree_forest* forest() const noexcept {
+        return forest_;
+    }
+    [[nodiscard]] std::span<const std::uint8_t> membership() const noexcept {
+        return member_;
+    }
+
+private:
+    const fault_tree_forest* forest_;
+    std::vector<std::uint8_t> member_;  ///< 1 iff statically in the support
+    std::size_t size_ = 0;
+};
+
+/// Observability counters for one cache (or an aggregate over workers).
+struct verdict_cache_stats {
+    std::uint64_t rounds = 0;      ///< lookups (rounds routed through the cache)
+    std::uint64_t empty_hits = 0;  ///< empty-filtered fast-path returns
+    std::uint64_t hits = 0;        ///< signature-table hits
+    std::uint64_t misses = 0;      ///< full route-and-check runs
+    std::uint64_t insertions = 0;  ///< entries stored
+    std::uint64_t evictions = 0;   ///< wholesale table resets (capacity)
+    std::uint64_t rebinds = 0;     ///< plan/application changes
+    std::uint64_t support_size = 0;  ///< of the current binding (not summed)
+
+    /// Rounds answered without route-and-check.
+    [[nodiscard]] std::uint64_t saved_rounds() const noexcept {
+        return empty_hits + hits;
+    }
+    [[nodiscard]] double hit_rate() const noexcept {
+        return rounds == 0 ? 0.0
+                           : static_cast<double>(saved_rounds()) /
+                                 static_cast<double>(rounds);
+    }
+
+    /// Sums counters; support_size is carried over (workers share a plan).
+    void accumulate(const verdict_cache_stats& other) noexcept {
+        rounds += other.rounds;
+        empty_hits += other.empty_hits;
+        hits += other.hits;
+        misses += other.misses;
+        insertions += other.insertions;
+        evictions += other.evictions;
+        rebinds += other.rebinds;
+        support_size = other.support_size;
+    }
+};
+
+/// How a backend should build its per-worker caches. `support` must be
+/// non-null (and outlive the backend) when `enabled`.
+struct verdict_cache_options {
+    bool enabled = false;
+    std::size_t max_entries = 1 << 16;  ///< per worker, before a reset
+    const verdict_support* support = nullptr;
+};
+
+class verdict_cache {
+public:
+    explicit verdict_cache(const verdict_support& support,
+                           std::size_t max_entries = 1 << 16);
+
+    /// Binds the cache to an (application, plan) pair. A binding change
+    /// (different plan hosts or application shape) resets the table and the
+    /// empty-round verdict and recomputes the plan part of the support;
+    /// rebinding the same pair keeps every entry warm.
+    void bind(const application& app, const deployment_plan& plan);
+
+    struct lookup_result {
+        bool hit = false;
+        bool verdict = false;
+    };
+
+    /// Filters `failed` against the support and probes the table. On a miss
+    /// the caller must route-and-check and hand the verdict to store()
+    /// before the next lookup. Requires bind().
+    [[nodiscard]] lookup_result lookup(std::span<const component_id> failed);
+
+    /// Completes the miss of the immediately preceding lookup().
+    void store(bool verdict);
+
+    [[nodiscard]] const verdict_cache_stats& stats() const noexcept {
+        return stats_;
+    }
+    [[nodiscard]] std::size_t support_size() const noexcept {
+        return support_size_;
+    }
+    /// Membership of the current binding (static support + plan additions).
+    [[nodiscard]] bool in_support(component_id id) const noexcept {
+        return member_[id] != 0;
+    }
+    [[nodiscard]] std::size_t entries() const noexcept { return size_; }
+    /// The support-filtered sorted key of the last lookup (test hook).
+    [[nodiscard]] std::span<const component_id> last_key() const noexcept {
+        return filtered_;
+    }
+
+private:
+    struct slot {
+        std::uint64_t hash = 0;
+        std::uint32_t epoch = 0;  ///< generation that wrote the slot
+        std::uint32_t key_begin = 0;
+        std::uint32_t key_length = 0;
+        std::uint8_t verdict = 0;
+    };
+
+    void reset_table() noexcept;
+    [[nodiscard]] std::size_t probe(std::uint64_t hash,
+                                    lookup_result* found) const;
+
+    const verdict_support* support_;
+    std::size_t max_entries_;
+    std::size_t mask_;  ///< capacity - 1 (power of two)
+    std::vector<slot> slots_;
+    std::vector<component_id> key_pool_;  ///< arena for stored keys
+
+    std::vector<std::uint8_t> member_;  ///< static support + plan additions
+    std::size_t support_size_ = 0;
+
+    // Binding identity.
+    bool bound_ = false;
+    std::vector<node_id> bound_hosts_;
+    std::uint64_t bound_app_fingerprint_ = 0;
+
+    std::uint32_t epoch_ = 1;  ///< current table generation
+    std::size_t size_ = 0;     ///< live entries
+
+    bool empty_valid_ = false;
+    bool empty_verdict_ = false;
+
+    // State carried from a missing lookup() to its store().
+    std::vector<component_id> filtered_;
+    std::uint64_t pending_hash_ = 0;
+    std::size_t pending_slot_ = 0;
+    bool pending_empty_ = false;
+    bool pending_store_ = false;
+
+    verdict_cache_stats stats_;
+};
+
+/// Judges one round through an optional cache: on a hit the oracle is never
+/// touched; on a miss (or without a cache) the usual round setup +
+/// route-and-check runs, passing the plan hosts as the oracle's query-target
+/// hint (bfs_reachability uses it to stop flooding early). The single seam
+/// every backend's round loop goes through.
+inline bool cached_reliable_in_round(verdict_cache* cache,
+                                     std::span<const component_id> failed,
+                                     round_state& rs,
+                                     reachability_oracle& oracle,
+                                     const deployment_plan& plan,
+                                     requirement_evaluator& evaluator) {
+    if (cache != nullptr) {
+        const verdict_cache::lookup_result cached = cache->lookup(failed);
+        if (cached.hit) {
+            return cached.verdict;
+        }
+    }
+    rs.begin_round(failed);
+    oracle.begin_round(rs, std::span<const node_id>{plan.hosts});
+    const bool verdict = evaluator.reliable_in_round(oracle, rs);
+    if (cache != nullptr) {
+        cache->store(verdict);
+    }
+    return verdict;
+}
+
+}  // namespace recloud

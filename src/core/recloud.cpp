@@ -1,6 +1,8 @@
 #include "core/recloud.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
 #include <stdexcept>
 #include <thread>
 #include <utility>
@@ -65,13 +67,13 @@ std::unique_ptr<failure_sampler> make_sampler(sampler_kind kind,
 /// constructor) owns the sampler in a member declared before backend_, so
 /// it is destroyed after the backend — the pointer can never dangle within
 /// re_cloud. Anyone else calling this owes the same guarantee.
-std::unique_ptr<assessment_backend> make_backend(const recloud_context& context,
-                                                 const recloud_options& options,
-                                                 failure_sampler& sampler) {
+std::unique_ptr<assessment_backend> make_backend(
+    const recloud_context& context, const recloud_options& options,
+    failure_sampler& sampler, const verdict_cache_options& cache_options) {
     if (options.backend == assessment_backend_kind::serial) {
         return std::make_unique<serial_backend>(context.registry->size(),
                                                 context.forest, *context.oracle,
-                                                sampler);
+                                                sampler, cache_options);
     }
     if (context.oracle->clone() == nullptr) {
         throw std::invalid_argument{
@@ -82,7 +84,8 @@ std::unique_ptr<assessment_backend> make_backend(const recloud_context& context,
         return std::make_unique<parallel_backend>(
             context.registry->size(), context.forest, std::move(factory), sampler,
             parallel_backend_options{.threads = options.assessment_threads,
-                                     .batch_rounds = options.assessment_batch_rounds});
+                                     .batch_rounds = options.assessment_batch_rounds,
+                                     .verdict_cache = cache_options});
     }
     return std::make_unique<engine_backend>(
         context.registry->size(), context.forest, std::move(factory), sampler,
@@ -92,7 +95,20 @@ std::unique_ptr<assessment_backend> make_backend(const recloud_context& context,
                                             1u, std::thread::hardware_concurrency()),
                        .batch_rounds = options.assessment_batch_rounds,
                        .max_attempts = options.engine_max_attempts,
-                       .batch_deadline = options.engine_batch_deadline});
+                       .batch_deadline = options.engine_batch_deadline,
+                       .verdict_cache = cache_options});
+}
+
+/// CI/debug override: RECLOUD_VERDICT_CACHE forces the cache on or off
+/// regardless of recloud_options ("0"/"off"/"false" disable; any other
+/// value enables). Unset keeps the configured choice.
+bool verdict_cache_enabled(const recloud_options& options) {
+    const char* env = std::getenv("RECLOUD_VERDICT_CACHE");
+    if (env == nullptr || *env == '\0') {
+        return options.verdict_cache;
+    }
+    return std::strcmp(env, "0") != 0 && std::strcmp(env, "off") != 0 &&
+           std::strcmp(env, "false") != 0;
 }
 
 }  // namespace
@@ -121,7 +137,15 @@ re_cloud::re_cloud(const recloud_context& context, const recloud_options& option
     }
     sampler_ = make_sampler(options_.sampler, context_.registry->probabilities(),
                             options_.seed);
-    backend_ = make_backend(context_, options_, *sampler_);
+    verdict_cache_options cache_options;
+    if (verdict_cache_enabled(options_)) {
+        support_.emplace(*context_.topology, context_.registry->size(),
+                         context_.forest, context_.links);
+        cache_options.enabled = true;
+        cache_options.max_entries = options_.verdict_cache_entries;
+        cache_options.support = &*support_;
+    }
+    backend_ = make_backend(context_, options_, *sampler_, cache_options);
     if (options_.backend == assessment_backend_kind::engine) {
         engine_view_ = static_cast<engine_backend*>(backend_.get());
     }

@@ -107,8 +107,11 @@ struct recloud_context {
     const fault_tree_forest* forest = nullptr;
     reachability_oracle* oracle = nullptr;
     const workload_map* workloads = nullptr;
-    /// Optional link components; the oracle must already consult them (this
-    /// pointer is informational, e.g. for symmetry signatures).
+    /// Optional link components; the oracle must already consult them. This
+    /// pointer feeds symmetry signatures AND the verdict-cache support set —
+    /// leaving it null while the oracle checks link failures makes the
+    /// cache unsound (link failures would be filtered out of cache keys),
+    /// so it must name exactly what the oracle consults.
     const link_attachment* links = nullptr;
 };
 
@@ -145,6 +148,16 @@ struct recloud_options {
     /// missing it is treated as a straggler and the batch re-dispatched.
     /// zero = wait forever. Ignored by the serial/parallel backends.
     std::chrono::milliseconds engine_batch_deadline{0};
+    /// Round-verdict memoization (assess/verdict_cache.hpp): cache the
+    /// verdict per support-filtered failed signature so repeated and
+    /// support-disjoint failure patterns skip route-and-check entirely.
+    /// Results are bit-identical with the cache on or off — this is purely
+    /// a speed knob. The environment variable RECLOUD_VERDICT_CACHE
+    /// overrides it ("0"/"off"/"false" disable, anything else enables).
+    bool verdict_cache = true;
+    /// Bound on distinct cached signatures per cache (per worker for the
+    /// parallel/engine backends); the table resets wholesale when full.
+    std::size_t verdict_cache_entries = 1 << 16;
     /// Step 3's network-transformation equivalence check.
     bool use_symmetry = true;
     /// §3.3.3: score plans by M = a*reliability + b*utility instead of
@@ -227,6 +240,13 @@ public:
     /// instance. Null when the backend is serial or parallel.
     [[nodiscard]] const engine_stats* execution_stats() const noexcept;
 
+    /// Verdict-cache observability (rounds, empty-round hits, signature
+    /// hits/misses, evictions, support size), cumulative for this instance
+    /// and summed across workers. Null when the cache is disabled.
+    [[nodiscard]] const verdict_cache_stats* cache_stats() const noexcept {
+        return backend_->cache_stats();
+    }
+
 private:
     /// Delegation step for the fat-tree convenience constructor: the oracle
     /// must exist before the context referencing it is built.
@@ -236,6 +256,10 @@ private:
     recloud_context context_;
     recloud_options options_;
     std::unique_ptr<fat_tree_routing> owned_oracle_;  ///< fat-tree convenience ctor
+    /// Static support set shared by every backend verdict cache; part of the
+    /// same lifetime contract as sampler_ (backends point into it, so it
+    /// must be declared before backend_). Engaged iff the cache is on.
+    std::optional<verdict_support> support_;
     /// Declaration order is a lifetime contract: every backend keeps a raw
     /// pointer to the sampler, so sampler_ must precede backend_ (members
     /// are destroyed in reverse order — the backend goes first).

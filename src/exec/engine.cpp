@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <future>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <utility>
 
@@ -111,6 +112,9 @@ struct worker_context {
     round_state rs;
     std::unique_ptr<reachability_oracle> oracle;
     requirement_evaluator evaluator;
+    /// Private per-context verdict memoization; bound once at construction
+    /// (the context lives for exactly one (app, plan) assessment).
+    std::optional<verdict_cache> cache;
     /// A worker node processes its batches sequentially; the pool may
     /// schedule two batches of the same worker on different threads, so the
     /// context serializes them itself.
@@ -118,12 +122,18 @@ struct worker_context {
 
     worker_context(std::span<const std::byte> framed_setup,
                    std::size_t component_count, const fault_tree_forest* forest,
-                   const oracle_factory& make_oracle)
+                   const oracle_factory& make_oracle,
+                   const verdict_cache_options& cache_options)
         : app(make_app(framed_setup)),
           plan(make_plan(framed_setup)),
           rs(component_count, forest),
           oracle(make_oracle()),
-          evaluator(app, plan) {}
+          evaluator(app, plan) {
+        if (cache_options.enabled && cache_options.support != nullptr) {
+            cache.emplace(*cache_options.support, cache_options.max_entries);
+            cache->bind(app, plan);
+        }
+    }
 
     static application make_app(std::span<const std::byte> framed_setup) {
         byte_reader reader{unframe_message(framed_setup)};
@@ -155,11 +165,11 @@ struct worker_context {
         byte_reader reader{unframe_message(framed_task)};
         const auto rounds = wire::decode_round_batch(reader);
         wire::batch_result result;
+        verdict_cache* vc = cache ? &*cache : nullptr;
         for (const auto& failed : rounds) {
-            rs.begin_round(failed);
-            oracle->begin_round(rs);
             ++result.rounds;
-            if (evaluator.reliable_in_round(*oracle, rs)) {
+            if (cached_reliable_in_round(vc, failed, rs, *oracle, plan,
+                                         evaluator)) {
                 ++result.reliable;
             }
         }
@@ -218,7 +228,8 @@ assessment_stats assessment_engine::assess(failure_sampler& sampler,
     contexts.reserve(pool_.size());
     for (std::size_t w = 0; w < pool_.size(); ++w) {
         contexts.push_back(std::make_unique<worker_context>(
-            framed_setup, component_count_, forest_, make_oracle_));
+            framed_setup, component_count_, forest_, make_oracle_,
+            options_.verdict_cache));
         stats_.bytes_sent += framed_setup.size();
     }
 
@@ -364,7 +375,8 @@ assessment_stats assessment_engine::assess(failure_sampler& sampler,
                 // itself, chaos-free, which cannot fail.
                 if (local == nullptr) {
                     local = std::make_unique<worker_context>(
-                        framed_setup, component_count_, forest_, make_oracle_);
+                        framed_setup, component_count_, forest_, make_oracle_,
+                        options_.verdict_cache);
                 }
                 const std::vector<std::byte> framed = local->run_batch(
                     b.framed_task, nullptr, b.id, b.attempt, pool_.size());
@@ -382,6 +394,16 @@ assessment_stats assessment_engine::assess(failure_sampler& sampler,
         throw;
     }
     drain();
+    // Contexts die with this call; fold their cache counters into the
+    // engine-lifetime totals first (after drain: no task still runs).
+    for (const std::unique_ptr<worker_context>& context : contexts) {
+        if (context->cache) {
+            cache_stats_.accumulate(context->cache->stats());
+        }
+    }
+    if (local != nullptr && local->cache) {
+        cache_stats_.accumulate(local->cache->stats());
+    }
     return results.stats();
 }
 

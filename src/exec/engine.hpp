@@ -88,6 +88,11 @@ struct engine_options {
     std::chrono::microseconds retry_backoff{0};
     /// Optional deterministic fault injection (must outlive the engine).
     const chaos_schedule* chaos = nullptr;
+    /// Per-worker verdict memoization (each worker context owns a private
+    /// cache; `verdict_cache.support` must outlive the engine when enabled).
+    /// Counts are summed per batch and addition commutes, so the cache
+    /// cannot perturb the engine's bit-identical recovery guarantee.
+    verdict_cache_options verdict_cache{};
 };
 
 /// Recovery/observability counters for one engine, cumulative across
@@ -131,6 +136,13 @@ public:
     /// Recovery counters, cumulative since construction.
     [[nodiscard]] const engine_stats& stats() const noexcept { return stats_; }
 
+    /// Verdict-cache counters summed over every worker (and degraded-local)
+    /// context of every assess() so far; nullptr when the cache is off.
+    [[nodiscard]] const verdict_cache_stats* cache_stats() const noexcept {
+        const verdict_cache_options& vc = options_.verdict_cache;
+        return vc.enabled && vc.support != nullptr ? &cache_stats_ : nullptr;
+    }
+
 private:
     std::size_t component_count_;
     const fault_tree_forest* forest_;
@@ -138,6 +150,7 @@ private:
     engine_options options_;
     thread_pool pool_;
     engine_stats stats_;
+    verdict_cache_stats cache_stats_;
 };
 
 /// assessment_backend adapter over the wire-format engine: sampling stays on
@@ -162,6 +175,10 @@ public:
                                           std::size_t rounds) override;
     void reset_stream(std::uint64_t seed) override;
     [[nodiscard]] const char* name() const noexcept override { return "engine"; }
+    [[nodiscard]] const verdict_cache_stats* cache_stats()
+        const noexcept override {
+        return engine_.cache_stats();
+    }
 
     [[nodiscard]] std::size_t workers() const noexcept { return engine_.workers(); }
 

@@ -74,9 +74,24 @@ std::string to_json(const engine_stats& stats) {
     return out.str();
 }
 
+std::string to_json(const verdict_cache_stats& stats) {
+    std::ostringstream out;
+    out << "{\"rounds\":" << stats.rounds
+        << ",\"empty_hits\":" << stats.empty_hits << ",\"hits\":" << stats.hits
+        << ",\"misses\":" << stats.misses
+        << ",\"insertions\":" << stats.insertions
+        << ",\"evictions\":" << stats.evictions
+        << ",\"rebinds\":" << stats.rebinds
+        << ",\"support_size\":" << stats.support_size
+        << ",\"saved_rounds\":" << stats.saved_rounds()
+        << ",\"hit_rate\":" << number(stats.hit_rate()) << "}";
+    return out.str();
+}
+
 std::string to_json(const deployment_response& response,
                     const component_registry* registry,
-                    const engine_stats* engine) {
+                    const engine_stats* engine,
+                    const verdict_cache_stats* cache) {
     std::ostringstream out;
     out << "{\"fulfilled\":" << (response.fulfilled ? "true" : "false")
         << ",\"hosts\":[";
@@ -104,6 +119,9 @@ std::string to_json(const deployment_response& response,
         << "}";
     if (engine != nullptr) {
         out << ",\"engine\":" << to_json(*engine);
+    }
+    if (cache != nullptr) {
+        out << ",\"verdict_cache\":" << to_json(*cache);
     }
     out << "}";
     return out.str();

@@ -21,10 +21,13 @@ namespace recloud {
 /// Full deployment response: fulfilled flag, plan hosts, assessment, and
 /// search telemetry. `registry` (optional) adds component names to hosts;
 /// `engine` (optional) appends the execution engine's recovery counters
-/// (re_cloud::execution_stats()) as an "engine" object.
+/// (re_cloud::execution_stats()) as an "engine" object; `cache` (optional)
+/// appends the verdict-cache counters (re_cloud::cache_stats()) as a
+/// "verdict_cache" object.
 [[nodiscard]] std::string to_json(const deployment_response& response,
                                   const component_registry* registry = nullptr,
-                                  const engine_stats* engine = nullptr);
+                                  const engine_stats* engine = nullptr,
+                                  const verdict_cache_stats* cache = nullptr);
 
 /// Engine recovery/observability counters (exec/engine.hpp):
 /// {"batches":..,"dispatches":..,"retries":..,"redispatches":..,
@@ -32,6 +35,12 @@ namespace recloud {
 ///  "invalid_frames":..,"bytes_sent":..,"bytes_received":..,
 ///  "worker_failures":[..]}
 [[nodiscard]] std::string to_json(const engine_stats& stats);
+
+/// Verdict-cache counters (assess/verdict_cache.hpp):
+/// {"rounds":..,"empty_hits":..,"hits":..,"misses":..,"insertions":..,
+///  "evictions":..,"rebinds":..,"support_size":..,"saved_rounds":..,
+///  "hit_rate":..}
+[[nodiscard]] std::string to_json(const verdict_cache_stats& stats);
 
 /// Criticality report, entries in rank order.
 [[nodiscard]] std::string to_json(const criticality_report& report,

@@ -1,5 +1,6 @@
 #include "routing/bfs_reachability.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace recloud {
@@ -9,14 +10,17 @@ bfs_reachability::bfs_reachability(const built_topology& topo,
     : topo_(&topo),
       links_(links),
       external_mark_(topo.graph.node_count(), 0),
-      source_mark_(topo.graph.node_count(), 0) {
+      source_mark_(topo.graph.node_count(), 0),
+      target_mark_(topo.graph.node_count(), 0) {
     if (!topo.graph.frozen()) {
         throw std::logic_error{"bfs_reachability: topology graph not frozen"};
     }
-    if (links_ != nullptr &&
-        links_->component_of_edge.size() != topo.graph.edge_count()) {
-        throw std::invalid_argument{
-            "bfs_reachability: link attachment does not match topology"};
+    if (links_ != nullptr) {
+        if (links_->component_of_edge.size() != topo.graph.edge_count()) {
+            throw std::invalid_argument{
+                "bfs_reachability: link attachment does not match topology"};
+        }
+        edge_components_ = links_->component_of_edge;
     }
 }
 
@@ -24,34 +28,97 @@ void bfs_reachability::begin_round(round_state& rs) {
     rs_ = &rs;
     external_flooded_ = false;
     cached_source_ = invalid_node;
+    targets_active_ = false;
+}
+
+void bfs_reachability::begin_round(round_state& rs,
+                                   std::span<const node_id> query_hosts) {
+    begin_round(rs);
+    targets_active_ = true;
+    if (hint_hosts_.size() == query_hosts.size() &&
+        std::equal(hint_hosts_.begin(), hint_hosts_.end(),
+                   query_hosts.begin())) {
+        return;  // same hint as last time (one plan = thousands of rounds)
+    }
+    for (const node_id host : unique_targets_) {
+        target_mark_[host] = 0;
+    }
+    hint_hosts_.assign(query_hosts.begin(), query_hosts.end());
+    unique_targets_.clear();
+    for (const node_id host : query_hosts) {
+        if (target_mark_[host] == 0) {
+            target_mark_[host] = 1;
+            unique_targets_.push_back(host);
+        }
+    }
 }
 
 void bfs_reachability::flood(node_id source, std::vector<std::uint32_t>& mark,
                              std::uint32_t stamp) {
-    const std::uint32_t epoch = stamp;
     queue_.clear();
     if (rs_->failed(source) && topo_->graph.kind(source) != node_kind::external) {
         return;  // a failed source reaches nothing (external never fails)
     }
-    mark[source] = epoch;
+    // With a target hint, count the alive targets still unmarked; the flood
+    // may stop once the count reaches zero — no query of this round can see
+    // the difference. SIZE_MAX disables the early exit.
+    std::size_t remaining = static_cast<std::size_t>(-1);
+    if (targets_active_) {
+        remaining = 0;
+        for (const node_id target : unique_targets_) {
+            if (!rs_->failed(target)) {
+                ++remaining;
+            }
+        }
+    }
+    mark[source] = stamp;
+    if (targets_active_) {
+        if (target_mark_[source] != 0) {
+            --remaining;  // source is alive here, so it was counted
+        }
+        if (remaining == 0) {
+            return;
+        }
+    }
     queue_.push_back(source);
+    // Pre-resolved link components: one branch decides the loop flavor
+    // instead of a per-neighbor null check + lambda call.
+    const component_id* link_of_edge =
+        edge_components_.empty() ? nullptr : edge_components_.data();
     std::size_t head = 0;
     while (head < queue_.size()) {
         const node_id current = queue_[head++];
         const auto neighbors = topo_->graph.neighbors(current);
-        const auto edges = topo_->graph.incident_edges(current);
-        for (std::size_t i = 0; i < neighbors.size(); ++i) {
-            const node_id next = neighbors[i];
-            if (mark[next] == epoch || rs_->failed(next)) {
-                continue;
+        if (link_of_edge == nullptr) {
+            for (const node_id next : neighbors) {
+                if (mark[next] == stamp || rs_->failed(next)) {
+                    continue;
+                }
+                mark[next] = stamp;
+                if (targets_active_ && target_mark_[next] != 0 &&
+                    --remaining == 0) {
+                    return;
+                }
+                queue_.push_back(next);
             }
-            if (links_ != nullptr &&
-                links_->link_failed(edges[i],
-                                    [this](component_id c) { return rs_->failed(c); })) {
-                continue;
+        } else {
+            const auto edges = topo_->graph.incident_edges(current);
+            for (std::size_t i = 0; i < neighbors.size(); ++i) {
+                const node_id next = neighbors[i];
+                if (mark[next] == stamp || rs_->failed(next)) {
+                    continue;
+                }
+                const component_id link = link_of_edge[edges[i]];
+                if (link != invalid_node && rs_->failed(link)) {
+                    continue;
+                }
+                mark[next] = stamp;
+                if (targets_active_ && target_mark_[next] != 0 &&
+                    --remaining == 0) {
+                    return;
+                }
+                queue_.push_back(next);
             }
-            mark[next] = epoch;
-            queue_.push_back(next);
         }
     }
 }
@@ -86,6 +153,12 @@ bool bfs_reachability::host_to_host(node_id a, node_id b) {
         // Fresh stamp per flood: several sources may be flooded within one
         // round and their marks must not bleed into each other.
         ++source_stamp_;
+        if (source_stamp_ == 0) {
+            // uint32 wrap-around: a mark written 2^32 floods ago would alias
+            // a fresh stamp. Wipe the array and restart the cycle at 1.
+            std::fill(source_mark_.begin(), source_mark_.end(), 0);
+            source_stamp_ = 1;
+        }
         flood(a, source_mark_, source_stamp_);
         cached_source_ = a;
         cached_source_epoch_ = rs_->epoch();

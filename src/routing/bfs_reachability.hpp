@@ -5,7 +5,10 @@
 //
 // border_reachable() floods once per round from the external node and is
 // then O(1) per query; host_to_host() floods from `a` on demand and caches
-// the result set per (round, source).
+// the result set per (round, source). When the round is begun with a
+// query-target hint (begin_round(rs, hosts)), floods terminate as soon as
+// every alive target host is marked — the rest of the graph can no longer
+// change any answer the round is allowed to ask for.
 #pragma once
 
 #include <vector>
@@ -19,25 +22,41 @@ class bfs_reachability final : public reachability_oracle {
 public:
     /// `links` is optional; when given, floods also require the traversed
     /// link's component to be alive in the current round. Must outlive the
-    /// oracle.
+    /// oracle. The per-edge component ids are copied into a flat array at
+    /// construction so the flood inner loop reads them without indirection.
     explicit bfs_reachability(const built_topology& topo,
                               const link_attachment* links = nullptr);
 
     void begin_round(round_state& rs) override;
+    void begin_round(round_state& rs,
+                     std::span<const node_id> query_hosts) override;
     [[nodiscard]] bool border_reachable(node_id host) override;
     [[nodiscard]] bool host_to_host(node_id a, node_id b) override;
     [[nodiscard]] std::unique_ptr<reachability_oracle> clone() const override;
+
+    /// Test hook: fast-forwards the per-source flood stamp so the uint32
+    /// wrap-around hardening can be exercised without 2^32 floods.
+    void set_source_stamp_for_test(std::uint32_t stamp) noexcept {
+        source_stamp_ = stamp;
+    }
 
 private:
     /// Floods the alive subgraph from `source`; marks reached nodes in
     /// `mark` with `stamp`. The stamp must be fresh for that mark array
     /// (marks of earlier floods would otherwise leak into the result).
+    /// Stops early once every alive query-target host is marked (only when
+    /// the round carries a target hint).
     void flood(node_id source, std::vector<std::uint32_t>& mark,
                std::uint32_t stamp);
 
     const built_topology* topo_;
-    const link_attachment* links_;
+    const link_attachment* links_;  ///< kept for clone(); queries use the flat copy
     round_state* rs_ = nullptr;
+
+    /// Flat per-edge link component ids (empty when no link attachment):
+    /// the inner flood loop indexes this directly instead of calling
+    /// link_attachment::link_failed through a lambda.
+    std::vector<component_id> edge_components_;
 
     std::vector<std::uint32_t> external_mark_;  ///< epoch-stamped reach-from-external
     bool external_flooded_ = false;
@@ -46,8 +65,16 @@ private:
     node_id cached_source_ = invalid_node;
     std::uint32_t cached_source_epoch_ = 0;
     /// Monotonic stamp for source floods: several sources can be flooded
-    /// within ONE round, so the round epoch alone cannot key the marks.
+    /// within ONE round, so the round epoch alone cannot key the marks. On
+    /// uint32 wrap-around source_mark_ is cleared (a stale mark from 2^32
+    /// floods ago could otherwise alias a fresh stamp).
     std::uint32_t source_stamp_ = 0;
+
+    // Query-target hint of the current round (begin_round overload).
+    bool targets_active_ = false;
+    std::vector<node_id> hint_hosts_;     ///< as passed (identity check)
+    std::vector<node_id> unique_targets_; ///< deduplicated
+    std::vector<std::uint8_t> target_mark_;  ///< per node: 1 iff a target
 
     std::vector<node_id> queue_;  ///< scratch BFS queue
 };

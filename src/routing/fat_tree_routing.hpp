@@ -43,6 +43,9 @@ public:
                               const link_attachment* links = nullptr);
 
     void begin_round(round_state& rs) override;
+    /// The closed-form oracle has no flood to cut short; the base overload
+    /// that takes (and ignores) the query-target hint stays visible here.
+    using reachability_oracle::begin_round;
     [[nodiscard]] bool border_reachable(node_id host) override;
     [[nodiscard]] bool host_to_host(node_id a, node_id b) override;
     [[nodiscard]] std::unique_ptr<reachability_oracle> clone() const override;

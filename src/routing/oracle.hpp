@@ -6,6 +6,7 @@
 
 #include <functional>
 #include <memory>
+#include <span>
 
 #include "faults/round_state.hpp"
 #include "topology/graph.hpp"
@@ -20,6 +21,18 @@ public:
     /// rs.begin_round() and before any query of that round. The round_state
     /// must outlive the queries.
     virtual void begin_round(round_state& rs) = 0;
+
+    /// Binds the oracle to the round AND promises that only the hosts in
+    /// `query_hosts` will be queried (as border_reachable target or either
+    /// host_to_host end) until the next begin_round. Flood-based oracles use
+    /// the hint to stop early once every queryable host is settled; the
+    /// default ignores it. Duplicates allowed (a deployment plan's host list
+    /// qualifies as-is).
+    virtual void begin_round(round_state& rs,
+                             std::span<const node_id> query_hosts) {
+        (void)query_hosts;
+        begin_round(rs);
+    }
 
     /// Whether `host` is reachable from any border switch — i.e. the
     /// instance on it is "alive" in the paper's sense (§2.2).

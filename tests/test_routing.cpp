@@ -280,6 +280,100 @@ TEST(BfsReachability, QueriesBeforeBeginRoundRejected) {
                  std::logic_error);
 }
 
+TEST(BfsReachability, SourceStampSurvivesUint32WrapAround) {
+    // The per-source flood stamp is a uint32 that increments once per flood;
+    // after 2^32 floods it wraps and a stale mark could alias a fresh stamp.
+    // Fast-forward the stamp to the edge and check every answer across the
+    // wrap against a fresh oracle that is nowhere near it.
+    const built_topology topo = build_leaf_spine(
+        {.spines = 2, .leaves = 3, .hosts_per_leaf = 3, .border_leaves = 1});
+    const std::size_t n = topo.graph.node_count();
+    round_state rs_wrapping{n, nullptr};
+    round_state rs_fresh{n, nullptr};
+    bfs_reachability wrapping{topo};
+    bfs_reachability fresh{topo};
+    wrapping.set_source_stamp_for_test(0xFFFFFFFEu);
+
+    std::vector<double> probs(n, 0.2);
+    monte_carlo_sampler sampler{probs, 11};
+    std::vector<component_id> failed;
+    // Each round floods up to #hosts sources, so a handful of rounds drives
+    // the stamp through 0xFFFFFFFF -> wrap -> low values.
+    for (int round = 0; round < 20; ++round) {
+        sampler.next_round(failed);
+        rs_wrapping.begin_round(failed);
+        rs_fresh.begin_round(failed);
+        wrapping.begin_round(rs_wrapping);
+        fresh.begin_round(rs_fresh);
+        for (const node_id a : topo.hosts) {
+            for (const node_id b : topo.hosts) {
+                ASSERT_EQ(wrapping.host_to_host(a, b), fresh.host_to_host(a, b))
+                    << "round " << round << " pair " << a << "->" << b;
+            }
+        }
+    }
+}
+
+TEST(BfsReachability, TargetHintAgreesWithFullFlood) {
+    // A round begun with a query-target hint may truncate its floods; for
+    // the hosts the hint names, every answer must equal the unhinted
+    // oracle's. Duplicates in the hint are allowed (plan host lists repeat).
+    const built_topology topo = build_leaf_spine(
+        {.spines = 2, .leaves = 4, .hosts_per_leaf = 4, .border_leaves = 1});
+    const std::size_t n = topo.graph.node_count();
+    std::vector<node_id> plan_hosts = {topo.hosts[0], topo.hosts[5],
+                                       topo.hosts[9], topo.hosts[5],
+                                       topo.hosts[14]};
+    round_state rs_hinted{n, nullptr};
+    round_state rs_full{n, nullptr};
+    bfs_reachability hinted{topo};
+    bfs_reachability full{topo};
+
+    std::vector<double> probs(n, 0.15);
+    monte_carlo_sampler sampler{probs, 23};
+    std::vector<component_id> failed;
+    for (int round = 0; round < 300; ++round) {
+        sampler.next_round(failed);
+        rs_hinted.begin_round(failed);
+        rs_full.begin_round(failed);
+        hinted.begin_round(rs_hinted, std::span<const node_id>{plan_hosts});
+        full.begin_round(rs_full);
+        for (const node_id a : plan_hosts) {
+            ASSERT_EQ(hinted.border_reachable(a), full.border_reachable(a));
+            for (const node_id b : plan_hosts) {
+                ASSERT_EQ(hinted.host_to_host(a, b), full.host_to_host(a, b));
+            }
+        }
+    }
+}
+
+TEST(BfsReachability, TargetHintCanChangeBetweenRounds) {
+    // Switching to a different hint (the annealing search moves instances
+    // between hosts) must fully retire the previous target set.
+    const built_topology topo = build_leaf_spine(
+        {.spines = 2, .leaves = 2, .hosts_per_leaf = 4, .border_leaves = 1});
+    const std::size_t n = topo.graph.node_count();
+    round_state rs{n, nullptr};
+    bfs_reachability oracle{topo};
+    bfs_reachability reference{topo};
+    round_state rs_ref{n, nullptr};
+
+    const std::vector<node_id> first = {topo.hosts[0], topo.hosts[1]};
+    const std::vector<node_id> second = {topo.hosts[6], topo.hosts[7]};
+    const std::vector<component_id> none;
+    for (const auto* hint : {&first, &second, &first}) {
+        rs.begin_round(none);
+        rs_ref.begin_round(none);
+        oracle.begin_round(rs, std::span<const node_id>{*hint});
+        reference.begin_round(rs_ref);
+        for (const node_id h : *hint) {
+            EXPECT_EQ(oracle.border_reachable(h), reference.border_reachable(h));
+            EXPECT_EQ(oracle.host_to_host((*hint)[0], h),
+                      reference.host_to_host((*hint)[0], h));
+        }
+    }
+}
+
 TEST(BfsReachability, AgreesWithFatTreeOracleOnUpDownReachableStates) {
     // On states where the up/down protocol finds a path, plain connectivity
     // must also find one (up/down paths are a subset of all paths).
