@@ -10,6 +10,8 @@
 #include "app/requirement_eval.hpp"
 #include "assess/verdict_cache.hpp"
 #include "core/recloud.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sampling/extended_dagger.hpp"
 #include "sampling/monte_carlo.hpp"
 #include "search/neighbor.hpp"
@@ -231,6 +233,63 @@ BENCHMARK_CAPTURE(bm_route_and_check, large_uncached, data_center_scale::large,
                   false);
 BENCHMARK_CAPTURE(bm_route_and_check, large_cached, data_center_scale::large,
                   true);
+
+// ---- telemetry overhead (obs/metrics.hpp + obs/trace.hpp) ---------------
+//
+// Acceptance gate for the observability layer: with a span + counter site
+// compiled into the judged-round loop but telemetry DISABLED, the medium
+// route-and-check loop must stay within 2% of the uninstrumented baseline
+// (each disabled site costs one relaxed load + predictable branch). The
+// enabled arm is informational: it bounds a full capture's per-round cost
+// (one ring slot store + one sharded counter bump).
+
+enum class obs_mode { baseline, disabled, enabled };
+
+void bm_route_and_check_obs(benchmark::State& state, obs_mode mode) {
+    auto& infra = realistic_infra(data_center_scale::medium);
+    const auto& rounds = dagger_rounds(data_center_scale::medium);
+    const application app = application::k_of_n(4, 5);
+    deployment_plan plan;
+    const auto& hosts = infra.topology().hosts;
+    for (std::uint32_t i = 0; i < app.total_instances(); ++i) {
+        plan.hosts.push_back(hosts[i * hosts.size() / app.total_instances()]);
+    }
+    round_state rs{infra.registry().size(), &infra.forest()};
+    fat_tree_routing oracle{infra.tree(), infra.links()};
+    requirement_evaluator evaluator{app, plan};
+    auto& registry = obs::metrics_registry::global();
+    auto& tracer = obs::tracer::global();
+    const bool was_enabled = registry.enabled();
+    registry.set_enabled(mode == obs_mode::enabled);
+    if (mode == obs_mode::enabled) {
+        tracer.start();
+    } else {
+        tracer.stop();
+    }
+    std::size_t i = 0;
+    for (auto _ : state) {
+        if (mode == obs_mode::baseline) {
+            benchmark::DoNotOptimize(cached_reliable_in_round(
+                nullptr, rounds[i], rs, oracle, plan, evaluator));
+        } else {
+            RECLOUD_SPAN("bench.judge_round");
+            RECLOUD_COUNTER_INC("bench.rounds_judged");
+            benchmark::DoNotOptimize(cached_reliable_in_round(
+                nullptr, rounds[i], rs, oracle, plan, evaluator));
+        }
+        i = (i + 1) & (rounds.size() - 1);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+    tracer.stop();
+    tracer.reset();
+    registry.reset();
+    registry.set_enabled(was_enabled);
+}
+BENCHMARK_CAPTURE(bm_route_and_check_obs, medium_baseline, obs_mode::baseline);
+BENCHMARK_CAPTURE(bm_route_and_check_obs, medium_obs_disabled,
+                  obs_mode::disabled);
+BENCHMARK_CAPTURE(bm_route_and_check_obs, medium_obs_enabled,
+                  obs_mode::enabled);
 
 void bm_symmetry_signature(benchmark::State& state) {
     auto& infra = shared_infra(data_center_scale::medium);

@@ -16,6 +16,10 @@
 #include "assess/downtime.hpp"
 #include "core/recloud.hpp"
 #include "exec/engine.hpp"
+#include "obs/build_info.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
+#include "obs/trace.hpp"
 #include "routing/bfs_reachability.hpp"
 #include "topology/bcube.hpp"
 #include "topology/jellyfish.hpp"
@@ -59,10 +63,73 @@ multi_objective = false
 symmetry = true
 seed = 1
 
+[observability]
+metrics = true            # metrics registry (counters/gauges/histograms)
+trace = false             # scoped-span capture; view at https://ui.perfetto.dev
+trace_path = trace.json   # Chrome trace-event JSON, written when tracing is on
+# timeline = timeline.jsonl # per-iteration search timeline (JSONL; empty = off)
+heartbeat_ms = 1000       # timeline progress heartbeat; 0 disables it
+# RECLOUD_TRACE=1 forces tracing on (0/off/false force it off) and
+# RECLOUD_TRACE_PATH overrides trace_path, both without editing this file.
+
 [output]
 # json = result.json        # machine-readable deployment report
 # trace_csv = trace.csv     # best-score improvements over time
 )";
+
+/// Everything the [observability] section switched on for this run.
+struct observability_session {
+    bool trace = false;
+    std::string trace_path;
+    std::string timeline_path;
+    std::unique_ptr<obs::search_timeline> timeline;
+};
+
+observability_session setup_observability(const config& cfg) {
+    observability_session session;
+    obs::metrics_registry::global().set_enabled(
+        cfg.get_bool("observability.metrics", true));
+    session.trace = cfg.get_bool("observability.trace", false);
+    const int forced = obs::trace_env_override();
+    if (forced >= 0) {
+        session.trace = forced != 0;
+    }
+    session.trace_path = obs::trace_env_path(
+        cfg.get_string("observability.trace_path", "trace.json"));
+    if (session.trace) {
+        obs::tracer::global().start();
+    }
+    session.timeline_path = cfg.get_string("observability.timeline", "");
+    if (!session.timeline_path.empty()) {
+        session.timeline = std::make_unique<obs::search_timeline>(
+            session.timeline_path,
+            std::chrono::milliseconds{static_cast<std::int64_t>(
+                cfg.get_uint("observability.heartbeat_ms", 1000))});
+    }
+    return session;
+}
+
+/// Stops the capture and writes the artifacts the session asked for.
+void finish_observability(observability_session& session) {
+    if (session.trace) {
+        obs::tracer& tracer = obs::tracer::global();
+        tracer.stop();
+        if (tracer.export_to_file(session.trace_path)) {
+            std::printf("wrote trace to %s (%llu spans, %llu dropped)\n",
+                        session.trace_path.c_str(),
+                        static_cast<unsigned long long>(tracer.captured()),
+                        static_cast<unsigned long long>(tracer.dropped()));
+        } else {
+            std::fprintf(stderr, "warning: cannot write %s\n",
+                         session.trace_path.c_str());
+        }
+    }
+    if (session.timeline != nullptr) {
+        std::printf("wrote search timeline to %s (%llu records)\n",
+                    session.timeline_path.c_str(),
+                    static_cast<unsigned long long>(session.timeline->records()));
+    }
+}
 
 application build_application(const config& cfg) {
     const std::string structure =
@@ -111,8 +178,15 @@ sampler_kind parse_sampler(const std::string& name) {
     throw config_error{"unknown search.sampler: " + name};
 }
 
-recloud_options build_options(const config& cfg) {
+recloud_options build_options(const config& cfg,
+                              const observability_session& session) {
     recloud_options options;
+    if (session.timeline != nullptr) {
+        obs::search_timeline* timeline = session.timeline.get();
+        options.observer = [timeline](const obs::search_iteration_event& event) {
+            timeline->on_event(event);
+        };
+    }
     options.assessment_rounds =
         static_cast<std::size_t>(cfg.get_uint("search.rounds", 10000));
     options.sampler = parse_sampler(cfg.get_string("search.sampler", "dagger"));
@@ -143,15 +217,14 @@ deployment_request build_request(const config& cfg, application app) {
 
 void write_outputs(const config& cfg, const deployment_response& response,
                    const component_registry& registry,
-                   const engine_stats* engine,
-                   const verdict_cache_stats* cache) {
+                   const obs::telemetry_snapshot& telemetry) {
     const std::string json_path = cfg.get_string("output.json", "");
     if (!json_path.empty()) {
         std::FILE* out = std::fopen(json_path.c_str(), "w");
         if (out == nullptr) {
             throw config_error{"cannot write " + json_path};
         }
-        const std::string json = to_json(response, &registry, engine, cache);
+        const std::string json = to_json(response, &registry, &telemetry);
         std::fwrite(json.data(), 1, json.size(), out);
         std::fputc('\n', out);
         std::fclose(out);
@@ -211,7 +284,8 @@ void report(const deployment_response& response, const built_topology& topo,
     }
 }
 
-int run_fat_tree(const config& cfg, const application& app) {
+int run_fat_tree(const config& cfg, const application& app,
+                 const observability_session& session) {
     infrastructure_options infra_options;
     infra_options.power.supply_count = static_cast<std::size_t>(
         cfg.get_int("datacenter.power_supplies", 5));
@@ -245,19 +319,18 @@ int run_fat_tree(const config& cfg, const application& app) {
                 infra.topology().name.c_str(), infra.topology().hosts.size(),
                 infra.registry().size());
 
-    re_cloud system{infra, build_options(cfg)};
+    re_cloud system{infra, build_options(cfg, session)};
     std::printf("assessment:       %s backend\n", system.backend().name());
     const deployment_response response =
         system.find_deployment(build_request(cfg, app));
     report(response, infra.topology(), system.execution_stats(),
            system.cache_stats());
-    write_outputs(cfg, response, infra.registry(), system.execution_stats(),
-                  system.cache_stats());
+    write_outputs(cfg, response, infra.registry(), system.telemetry());
     return response.fulfilled ? 0 : 2;
 }
 
-int run_generic(const config& cfg, const application& app,
-                built_topology topo) {
+int run_generic(const config& cfg, const application& app, built_topology topo,
+                const observability_session& session) {
     component_registry registry{topo.graph};
     fault_tree_forest forest{topo.graph.node_count()};
     const power_assignment power = attach_power_supplies(
@@ -284,38 +357,49 @@ int run_generic(const config& cfg, const application& app,
 
     std::printf("infrastructure:   %s (%zu hosts, %zu components)\n",
                 topo.name.c_str(), topo.hosts.size(), registry.size());
-    re_cloud system{context, build_options(cfg)};
+    re_cloud system{context, build_options(cfg, session)};
     std::printf("assessment:       %s backend\n", system.backend().name());
     const deployment_response response =
         system.find_deployment(build_request(cfg, app));
     report(response, topo, system.execution_stats(), system.cache_stats());
-    write_outputs(cfg, response, registry, system.execution_stats(),
-                  system.cache_stats());
+    write_outputs(cfg, response, registry, system.telemetry());
     return response.fulfilled ? 0 : 2;
 }
 
-int run_scenario(const config& cfg) {
-    const application app = build_application(cfg);
+int dispatch_scenario(const config& cfg, const application& app,
+                      const observability_session& session) {
     const std::string topology =
         cfg.get_string("datacenter.topology", "fat-tree");
     if (topology == "fat-tree") {
-        return run_fat_tree(cfg, app);
+        return run_fat_tree(cfg, app, session);
     }
     if (topology == "leaf-spine") {
-        return run_generic(cfg, app, build_leaf_spine({}));
+        return run_generic(cfg, app, build_leaf_spine({}), session);
     }
     if (topology == "vl2") {
-        return run_generic(cfg, app, build_vl2({}));
+        return run_generic(cfg, app, build_vl2({}), session);
     }
     if (topology == "jellyfish") {
-        return run_generic(cfg, app, build_jellyfish({.switches = 24, .degree = 6,
-                                                      .hosts_per_switch = 4,
-                                                      .border_switches = 2}));
+        return run_generic(cfg, app,
+                           build_jellyfish({.switches = 24, .degree = 6,
+                                            .hosts_per_switch = 4,
+                                            .border_switches = 2}),
+                           session);
     }
     if (topology == "bcube") {
-        return run_generic(cfg, app, build_bcube({.ports = 4, .levels = 2}));
+        return run_generic(cfg, app, build_bcube({.ports = 4, .levels = 2}),
+                           session);
     }
     throw config_error{"unknown datacenter.topology: " + topology};
+}
+
+int run_scenario(const config& cfg) {
+    std::printf("%s\n", build_info_banner().c_str());
+    const application app = build_application(cfg);
+    observability_session session = setup_observability(cfg);
+    const int code = dispatch_scenario(cfg, app, session);
+    finish_observability(session);
+    return code;
 }
 
 }  // namespace

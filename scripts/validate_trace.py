@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""CI validator for reCloud observability artifacts.
+
+Checks that a Chrome trace-event export (obs/trace.hpp) is loadable and
+well-formed — the same structural requirements ui.perfetto.dev imposes —
+and, optionally, that a search-timeline JSONL (obs/timeline.hpp) parses
+line by line with the expected record shapes.
+
+Usage:
+    validate_trace.py TRACE_JSON [--timeline TIMELINE_JSONL]
+                      [--require-span PREFIX ...]
+
+Exits non-zero with a message on the first violation. Stdlib only.
+"""
+
+import argparse
+import json
+import sys
+
+BUILD_KEYS = {"git", "compiler", "build_type", "sanitizer"}
+
+
+def fail(message: str) -> None:
+    print(f"validate_trace: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def validate_trace(path: str, required_spans: list[str]) -> None:
+    with open(path, encoding="utf-8") as handle:
+        trace = json.load(handle)
+
+    if not isinstance(trace, dict):
+        fail(f"{path}: top level must be an object")
+    events = trace.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: traceEvents must be a non-empty list")
+
+    other = trace.get("otherData")
+    if not isinstance(other, dict):
+        fail(f"{path}: otherData missing")
+    build = other.get("build")
+    if not isinstance(build, dict) or not BUILD_KEYS <= build.keys():
+        fail(f"{path}: otherData.build must carry {sorted(BUILD_KEYS)}")
+    if not isinstance(other.get("dropped_events"), int):
+        fail(f"{path}: otherData.dropped_events must be an integer")
+
+    span_names = set()
+    thread_names = 0
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            fail(f"{path}: traceEvents[{i}] is not an object")
+        ph = event.get("ph")
+        if ph == "M":
+            if event.get("name") != "thread_name":
+                fail(f"{path}: traceEvents[{i}]: unexpected metadata "
+                     f"{event.get('name')!r}")
+            thread_names += 1
+        elif ph == "X":
+            for key, kind in (("name", str), ("ts", (int, float)),
+                              ("dur", (int, float)), ("pid", int),
+                              ("tid", int)):
+                if not isinstance(event.get(key), kind):
+                    fail(f"{path}: traceEvents[{i}] missing/invalid {key!r}")
+            if event["dur"] < 0:
+                fail(f"{path}: traceEvents[{i}] has negative duration")
+            span_names.add(event["name"])
+        else:
+            fail(f"{path}: traceEvents[{i}]: unknown phase {ph!r}")
+
+    if thread_names == 0:
+        fail(f"{path}: no thread_name metadata events")
+    if not span_names:
+        fail(f"{path}: no complete ('X') span events")
+    for prefix in required_spans:
+        if not any(name.startswith(prefix) for name in span_names):
+            fail(f"{path}: no span named {prefix!r}* captured "
+                 f"(have: {sorted(span_names)})")
+
+    print(f"validate_trace: OK: {path}: {len(events)} events, "
+          f"{len(span_names)} distinct spans, "
+          f"{other['dropped_events']} dropped")
+
+
+def validate_timeline(path: str) -> None:
+    iterations = 0
+    heartbeats = 0
+    with open(path, encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                fail(f"{path}:{lineno}: not valid JSON: {error}")
+            if lineno == 1:
+                if record.get("type") != "build" or not (
+                        isinstance(record.get("build"), dict)
+                        and BUILD_KEYS <= record["build"].keys()):
+                    fail(f"{path}:1: first record must be the build line")
+                continue
+            kind = record.get("kind")
+            if kind is None:
+                fail(f"{path}:{lineno}: record has no 'kind'")
+            for key in ("elapsed_seconds", "temperature", "iteration"):
+                if key not in record:
+                    fail(f"{path}:{lineno}: missing {key!r}")
+            if kind == "heartbeat":
+                heartbeats += 1
+            else:
+                iterations += 1
+
+    if iterations == 0:
+        fail(f"{path}: no iteration records")
+    print(f"validate_trace: OK: {path}: {iterations} iteration records, "
+          f"{heartbeats} heartbeats")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="Chrome trace-event JSON to validate")
+    parser.add_argument("--timeline", help="search timeline JSONL to validate")
+    parser.add_argument("--require-span", action="append", default=[],
+                        metavar="PREFIX",
+                        help="fail unless a span with this name prefix exists")
+    args = parser.parse_args()
+
+    validate_trace(args.trace, args.require_span)
+    if args.timeline:
+        validate_timeline(args.timeline)
+
+
+if __name__ == "__main__":
+    main()

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace recloud {
 
 assessment_stats assess_deployment(failure_sampler& sampler, round_state& rs,
@@ -10,6 +13,8 @@ assessment_stats assess_deployment(failure_sampler& sampler, round_state& rs,
                                    const application& app,
                                    const deployment_plan& plan,
                                    std::size_t rounds, verdict_cache* cache) {
+    RECLOUD_SPAN("assess.deployment");
+    RECLOUD_COUNTER_ADD("assess.rounds", rounds);
     requirement_evaluator evaluator{app, plan};
     result_accumulator results;
     std::vector<component_id> failed;
@@ -33,6 +38,7 @@ assessment_stats assess_until_ciw(failure_sampler& sampler, round_state& rs,
     if (options.target_ciw <= 0.0) {
         throw std::invalid_argument{"assess_until_ciw: target must be > 0"};
     }
+    RECLOUD_SPAN("assess.until_ciw");
     requirement_evaluator evaluator{app, plan};
     result_accumulator results;
     std::vector<component_id> failed;
@@ -40,6 +46,7 @@ assessment_stats assess_until_ciw(failure_sampler& sampler, round_state& rs,
         cache->bind(app, plan);
     }
     const auto run_rounds = [&](std::size_t rounds) {
+        RECLOUD_COUNTER_ADD("assess.rounds", rounds);
         for (std::size_t round = 0; round < rounds; ++round) {
             sampler.next_round(failed);
             results.add(cached_reliable_in_round(cache, failed, rs, oracle,
@@ -79,6 +86,8 @@ reliability_assessor::reliability_assessor(
 assessment_stats reliability_assessor::assess(const application& app,
                                               const deployment_plan& plan,
                                               std::size_t rounds) {
+    RECLOUD_SPAN("assess.deployment");
+    RECLOUD_COUNTER_ADD("assess.rounds", rounds);
     requirement_evaluator evaluator{app, plan};
     result_accumulator results;
     verdict_cache* cache = cache_ ? &*cache_ : nullptr;

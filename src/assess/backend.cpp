@@ -7,6 +7,8 @@
 #include <utility>
 
 #include "app/requirement_eval.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sampling/result_stats.hpp"
 
 namespace recloud {
@@ -108,6 +110,8 @@ parallel_backend::parallel_backend(std::size_t component_count,
 assessment_stats parallel_backend::assess(const application& app,
                                           const deployment_plan& plan,
                                           std::size_t rounds) {
+    RECLOUD_SPAN("backend.parallel.assess");
+    RECLOUD_COUNTER_ADD("assess.rounds", rounds);
     ++epoch_;
     const std::size_t batch_rounds = options_.batch_rounds;
     const std::size_t batches = (rounds + batch_rounds - 1) / batch_rounds;
@@ -131,6 +135,8 @@ assessment_stats parallel_backend::assess(const application& app,
             std::vector<component_id> failed;
             batch_counts counts;
             for (std::size_t b = w; b < batches; b += workers) {
+                RECLOUD_SPAN("assess.batch");
+                RECLOUD_COUNTER_INC("assess.batches");
                 const std::unique_ptr<failure_sampler> substream =
                     sampler_->fork(substream_id(epoch_, b));
                 const std::size_t begin = b * batch_rounds;

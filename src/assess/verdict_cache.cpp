@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace recloud {
 namespace {
 
@@ -130,6 +133,8 @@ void verdict_cache::bind(const application& app, const deployment_plan& plan) {
         bound_hosts_ == plan.hosts) {
         return;  // same binding: keep every entry warm
     }
+    RECLOUD_SPAN("cache.rebind");
+    RECLOUD_COUNTER_INC("cache.rebinds");
     bound_ = true;
     bound_app_fingerprint_ = app_fingerprint;
     bound_hosts_ = plan.hosts;

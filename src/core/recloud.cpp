@@ -203,6 +203,17 @@ deployment_response re_cloud::find_deployment(const deployment_request& request)
     search_options.delta = options_.delta;
     search_options.seed = options_.seed + 0x5eedULL;
     search_options.record_trace = options_.record_trace;
+    if (options_.observer) {
+        // Forwarding wrapper: enrich each event with the verdict-cache hit
+        // rate (reads counters only — cannot perturb the search).
+        search_options.observer = [this](const obs::search_iteration_event& e) {
+            obs::search_iteration_event event = e;
+            if (const verdict_cache_stats* cache = backend_->cache_stats()) {
+                event.cache_hit_rate = cache->hit_rate();
+            }
+            options_.observer(event);
+        };
+    }
     if (options_.instance_workload_demand > 0.0) {
         // §3.3.3: discard plans violating resource constraints before
         // spending an assessment on them.
@@ -256,6 +267,49 @@ assessment_stats re_cloud::assess(const application& app,
 
 const engine_stats* re_cloud::execution_stats() const noexcept {
     return engine_view_ != nullptr ? &engine_view_->stats() : nullptr;
+}
+
+obs::telemetry_snapshot re_cloud::telemetry() const {
+    obs::metrics_registry& registry = obs::metrics_registry::global();
+    // Gauges are snapshot-time publishes (set() works while the registry is
+    // disabled): the structs stay the source of truth, the registry is the
+    // one export surface. The "engine.stats."/"cache.stats." prefixes keep
+    // them clear of the live "engine."/"cache." counters.
+    if (const engine_stats* engine = execution_stats()) {
+        registry.set(registry.gauge("engine.stats.batches"), engine->batches);
+        registry.set(registry.gauge("engine.stats.dispatches"),
+                     engine->dispatches);
+        registry.set(registry.gauge("engine.stats.retries"), engine->retries);
+        registry.set(registry.gauge("engine.stats.redispatches"),
+                     engine->redispatches);
+        registry.set(registry.gauge("engine.stats.degraded"), engine->degraded);
+        registry.set(registry.gauge("engine.stats.worker_crashes"),
+                     engine->worker_crashes);
+        registry.set(registry.gauge("engine.stats.deadline_misses"),
+                     engine->deadline_misses);
+        registry.set(registry.gauge("engine.stats.invalid_frames"),
+                     engine->invalid_frames);
+        registry.set(registry.gauge("engine.stats.bytes_sent"),
+                     engine->bytes_sent);
+        registry.set(registry.gauge("engine.stats.bytes_received"),
+                     engine->bytes_received);
+    }
+    if (const verdict_cache_stats* cache = cache_stats()) {
+        registry.set(registry.gauge("cache.stats.rounds"), cache->rounds);
+        registry.set(registry.gauge("cache.stats.empty_hits"),
+                     cache->empty_hits);
+        registry.set(registry.gauge("cache.stats.hits"), cache->hits);
+        registry.set(registry.gauge("cache.stats.misses"), cache->misses);
+        registry.set(registry.gauge("cache.stats.insertions"),
+                     cache->insertions);
+        registry.set(registry.gauge("cache.stats.evictions"), cache->evictions);
+        registry.set(registry.gauge("cache.stats.rebinds"), cache->rebinds);
+        registry.set(registry.gauge("cache.stats.support_size"),
+                     cache->support_size);
+        registry.set(registry.gauge("cache.stats.saved_rounds"),
+                     cache->saved_rounds());
+    }
+    return registry.snapshot();
 }
 
 plan_evaluation re_cloud::evaluate(const application& app,

@@ -25,6 +25,7 @@
 #include "app/deployment.hpp"
 #include "assess/assessor.hpp"
 #include "assess/backend.hpp"
+#include "obs/metrics.hpp"
 #include "faults/component_registry.hpp"
 #include "faults/fault_tree.hpp"
 #include "faults/probability_model.hpp"
@@ -185,6 +186,11 @@ struct recloud_options {
     std::size_t max_iterations = static_cast<std::size_t>(-1);
     /// Record the best-score trace during the search (Figure 9 series).
     bool record_trace = false;
+    /// Per-iteration telemetry hook (obs/timeline.hpp). re_cloud enriches
+    /// each event with the verdict-cache hit rate before forwarding it.
+    /// Observability only — it cannot perturb the search (see
+    /// annealing_options::observer).
+    obs::search_observer observer{};
 };
 
 /// The developer's reliability requirements (§2.2).
@@ -246,6 +252,14 @@ public:
     [[nodiscard]] const verdict_cache_stats* cache_stats() const noexcept {
         return backend_->cache_stats();
     }
+
+    /// One immutable view over everything observable: publishes this
+    /// instance's engine and verdict-cache counters into the global metrics
+    /// registry as gauges ("engine.stats.*", "cache.stats.*") and returns
+    /// the aggregated snapshot — live counters, gauges and histograms from
+    /// every instrumented layer, sorted by name. Feed it to
+    /// to_json(const obs::telemetry_snapshot&) for export.
+    [[nodiscard]] obs::telemetry_snapshot telemetry() const;
 
 private:
     /// Delegation step for the fat-tree convenience constructor: the oracle

@@ -9,6 +9,8 @@
 
 #include "app/requirement_eval.hpp"
 #include "faults/round_state.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sampling/result_stats.hpp"
 
 namespace recloud {
@@ -153,6 +155,7 @@ struct worker_context {
         std::span<const std::byte> framed_task, const chaos_schedule* chaos,
         std::uint64_t batch_id, std::uint64_t attempt, std::uint64_t worker_id) {
         const std::lock_guard lock{busy};
+        RECLOUD_SPAN("engine.batch");
         const chaos_fault fault =
             chaos != nullptr ? chaos->fault_for(batch_id, attempt, worker_id)
                              : chaos_fault::none;
@@ -216,6 +219,8 @@ assessment_stats assessment_engine::assess(failure_sampler& sampler,
                                            const application& app,
                                            const deployment_plan& plan,
                                            std::size_t rounds) {
+    RECLOUD_SPAN("engine.assess");
+    RECLOUD_COUNTER_ADD("assess.rounds", rounds);
     // Serialize the assessment context once; every worker deserializes its
     // own copy (what shipping the job to a remote worker would cost).
     byte_writer setup_writer;
@@ -239,6 +244,7 @@ assessment_stats assessment_engine::assess(failure_sampler& sampler,
     // degraded local runs all judge the identical rounds.
     std::vector<pending_batch> batches;
     {
+        RECLOUD_SPAN("engine.sample");
         std::vector<std::vector<component_id>> batch_rounds;
         std::vector<component_id> failed;
         const auto flush = [&] {
@@ -281,6 +287,8 @@ assessment_stats assessment_engine::assess(failure_sampler& sampler,
     };
 
     const auto dispatch = [&](pending_batch& b, std::size_t worker) {
+        RECLOUD_SPAN("engine.dispatch");
+        RECLOUD_COUNTER_INC("engine.dispatches");
         b.worker = worker;
         worker_context* context = contexts[worker].get();
         b.outcome = pool_.submit([context, task = std::span<const std::byte>{
@@ -364,6 +372,7 @@ assessment_stats assessment_engine::assess(failure_sampler& sampler,
                         (std::int64_t{1} << std::min<std::size_t>(b.attempt - 1, 20)));
                 }
                 ++stats_.retries;
+                RECLOUD_COUNTER_INC("engine.retries");
                 if (candidate != b.worker) {
                     ++stats_.redispatches;
                 }
@@ -373,6 +382,8 @@ assessment_stats assessment_engine::assess(failure_sampler& sampler,
                 // Graceful degradation: every worker exhausted (or none
                 // allowed) — the master routes and checks the kept batch
                 // itself, chaos-free, which cannot fail.
+                RECLOUD_SPAN("engine.degraded");
+                RECLOUD_COUNTER_INC("engine.degraded");
                 if (local == nullptr) {
                     local = std::make_unique<worker_context>(
                         framed_setup, component_count_, forest_, make_oracle_,

@@ -1,0 +1,74 @@
+#include "obs/build_info.hpp"
+
+#ifndef RECLOUD_GIT_HASH
+#define RECLOUD_GIT_HASH "unknown"
+#endif
+#ifndef RECLOUD_BUILD_TYPE
+#define RECLOUD_BUILD_TYPE "unknown"
+#endif
+#ifndef RECLOUD_SANITIZER
+#define RECLOUD_SANITIZER ""
+#endif
+
+namespace recloud {
+namespace {
+
+constexpr build_info_t info{
+    RECLOUD_GIT_HASH,
+#if defined(__clang__)
+    "clang " __VERSION__,
+#elif defined(__GNUC__)
+    "g++ " __VERSION__,
+#else
+    __VERSION__,
+#endif
+    RECLOUD_BUILD_TYPE,
+    RECLOUD_SANITIZER,
+};
+
+/// build_info strings are compiler/CMake-produced identifiers; escaping is
+/// limited to quotes/backslashes so this file needn't pull in report.
+std::string escape(const char* text) {
+    std::string out;
+    for (const char* p = text; *p != '\0'; ++p) {
+        if (*p == '"' || *p == '\\') {
+            out.push_back('\\');
+        }
+        out.push_back(*p);
+    }
+    return out;
+}
+
+}  // namespace
+
+const build_info_t& build_info() noexcept { return info; }
+
+std::string build_info_json() {
+    std::string out = "{\"git\":\"";
+    out += escape(info.git_hash);
+    out += "\",\"compiler\":\"";
+    out += escape(info.compiler);
+    out += "\",\"build_type\":\"";
+    out += escape(info.build_type);
+    out += "\",\"sanitizer\":\"";
+    out += escape(info.sanitizer);
+    out += "\"}";
+    return out;
+}
+
+std::string build_info_banner() {
+    std::string out = "recloud ";
+    out += info.git_hash;
+    out += " (";
+    out += info.compiler;
+    out += ", ";
+    out += info.build_type;
+    if (info.sanitizer[0] != '\0') {
+        out += ", ";
+        out += info.sanitizer;
+    }
+    out += ")";
+    return out;
+}
+
+}  // namespace recloud

@@ -1,0 +1,383 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+namespace recloud::obs {
+namespace {
+
+// metric_id layout: kind in the top 2 bits, slot index below.
+constexpr std::uint32_t kind_shift = 30;
+constexpr std::uint32_t index_mask = (1u << kind_shift) - 1;
+
+constexpr metric_id make_id(metric_kind kind, std::uint32_t index) noexcept {
+    return metric_id{(static_cast<std::uint32_t>(kind) << kind_shift) |
+                     (index & index_mask)};
+}
+constexpr metric_kind kind_of(metric_id id) noexcept {
+    return static_cast<metric_kind>(id.raw >> kind_shift);
+}
+constexpr std::uint32_t index_of(metric_id id) noexcept {
+    return id.raw & index_mask;
+}
+
+/// floor(log2(v + 1)) clamped to [0, 63]: bucket 0 holds {0}, 1 holds
+/// {1, 2}, 2 holds {3..6}, ... The +1 keeps zero in a bucket of its own
+/// (an all-zero duration histogram should not look empty).
+constexpr std::uint32_t bucket_of(std::uint64_t value) noexcept {
+    if (value >= (std::uint64_t{1} << 63)) {
+        return 63;  // value + 1 would wrap
+    }
+    return static_cast<std::uint32_t>(std::bit_width(value + 1) - 1);
+}
+
+}  // namespace
+
+const metric_entry* telemetry_snapshot::find(
+    std::string_view name) const noexcept {
+    const auto it = std::lower_bound(
+        metrics.begin(), metrics.end(), name,
+        [](const metric_entry& e, std::string_view n) { return e.name < n; });
+    return it != metrics.end() && it->name == name ? &*it : nullptr;
+}
+
+std::uint64_t telemetry_snapshot::value(std::string_view name) const noexcept {
+    const metric_entry* entry = find(name);
+    if (entry == nullptr) {
+        return 0;
+    }
+    return entry->kind == metric_kind::histogram ? entry->histogram.count
+                                                 : entry->value;
+}
+
+// ---- per-thread storage -------------------------------------------------
+
+/// One thread's slots. Only the owning thread mutates them; snapshot() and
+/// reset() touch them concurrently, hence relaxed atomics (which compile to
+/// plain loads/stores on the hot path).
+struct metrics_registry::shard {
+    std::array<std::atomic<std::uint64_t>, max_counters> counters{};
+
+    struct hist_slot {
+        std::array<std::atomic<std::uint64_t>, 64> buckets{};
+        std::atomic<std::uint64_t> count{0};
+        std::atomic<std::uint64_t> sum{0};
+        std::atomic<std::uint64_t> min{~std::uint64_t{0}};
+        std::atomic<std::uint64_t> max{0};
+    };
+    std::array<hist_slot, max_histograms> hists{};
+
+    void add_counter(std::uint32_t index, std::uint64_t delta) noexcept {
+        counters[index].fetch_add(delta, std::memory_order_relaxed);
+    }
+
+    void observe(std::uint32_t index, std::uint64_t value) noexcept {
+        hist_slot& h = hists[index];
+        h.buckets[bucket_of(value)].fetch_add(1, std::memory_order_relaxed);
+        h.count.fetch_add(1, std::memory_order_relaxed);
+        h.sum.fetch_add(value, std::memory_order_relaxed);
+        // Owner-only writes: load+store needs no CAS.
+        if (value < h.min.load(std::memory_order_relaxed)) {
+            h.min.store(value, std::memory_order_relaxed);
+        }
+        if (value > h.max.load(std::memory_order_relaxed)) {
+            h.max.store(value, std::memory_order_relaxed);
+        }
+    }
+
+    /// Folds `other` into this shard (retirement and snapshot aggregation).
+    void merge_from(const shard& other) noexcept {
+        for (std::size_t i = 0; i < max_counters; ++i) {
+            counters[i].fetch_add(
+                other.counters[i].load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+        }
+        for (std::size_t i = 0; i < max_histograms; ++i) {
+            hist_slot& mine = hists[i];
+            const hist_slot& theirs = other.hists[i];
+            if (theirs.count.load(std::memory_order_relaxed) == 0) {
+                continue;
+            }
+            for (std::size_t b = 0; b < 64; ++b) {
+                mine.buckets[b].fetch_add(
+                    theirs.buckets[b].load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+            }
+            mine.count.fetch_add(theirs.count.load(std::memory_order_relaxed),
+                                 std::memory_order_relaxed);
+            mine.sum.fetch_add(theirs.sum.load(std::memory_order_relaxed),
+                               std::memory_order_relaxed);
+            const std::uint64_t their_min =
+                theirs.min.load(std::memory_order_relaxed);
+            if (their_min < mine.min.load(std::memory_order_relaxed)) {
+                mine.min.store(their_min, std::memory_order_relaxed);
+            }
+            const std::uint64_t their_max =
+                theirs.max.load(std::memory_order_relaxed);
+            if (their_max > mine.max.load(std::memory_order_relaxed)) {
+                mine.max.store(their_max, std::memory_order_relaxed);
+            }
+        }
+    }
+
+    void zero() noexcept {
+        for (auto& c : counters) {
+            c.store(0, std::memory_order_relaxed);
+        }
+        for (auto& h : hists) {
+            for (auto& b : h.buckets) {
+                b.store(0, std::memory_order_relaxed);
+            }
+            h.count.store(0, std::memory_order_relaxed);
+            h.sum.store(0, std::memory_order_relaxed);
+            h.min.store(~std::uint64_t{0}, std::memory_order_relaxed);
+            h.max.store(0, std::memory_order_relaxed);
+        }
+    }
+};
+
+struct metrics_registry::impl {
+    std::uint64_t uid = 0;  ///< registry identity for the tls cache
+    mutable std::mutex mutex;
+    std::map<std::string, metric_id, std::less<>> names;
+    std::vector<std::unique_ptr<shard>> shards;  ///< one per live writer thread
+    shard retired;  ///< folded totals of exited threads
+    std::array<std::atomic<std::uint64_t>, max_gauges> gauges{};
+    std::uint32_t counters = 0;
+    std::uint32_t gauge_count = 0;
+    std::uint32_t histograms = 0;
+};
+
+namespace {
+
+/// Registries a thread may still hold cached shard pointers for. Guarded by
+/// its own mutex; always acquired BEFORE any registry's impl mutex.
+struct alive_registries {
+    std::mutex mutex;
+    std::vector<std::pair<std::uint64_t, metrics_registry*>> entries;
+    std::uint64_t next_uid = 1;
+};
+
+alive_registries& alive() {
+    static alive_registries* instance = new alive_registries();
+    return *instance;
+}
+
+}  // namespace
+
+/// Thread-local shard cache: (registry uid -> shard). On thread exit every
+/// cached shard is retired into its registry — if that registry is still
+/// alive (identity checked by uid, so a registry reborn at the same address
+/// cannot alias).
+struct metrics_registry::tls_entry {
+    struct cache {
+        std::vector<std::pair<std::uint64_t, shard*>> entries;
+
+        ~cache() {
+            alive_registries& reg = alive();
+            const std::lock_guard lock{reg.mutex};
+            for (const auto& [uid, s] : entries) {
+                for (const auto& [auid, registry] : reg.entries) {
+                    if (auid == uid) {
+                        registry->retire(s);
+                        break;
+                    }
+                }
+            }
+        }
+    };
+
+    static cache& local() {
+        thread_local cache c;
+        return c;
+    }
+};
+
+metrics_registry::metrics_registry() : impl_(new impl()) {
+    alive_registries& reg = alive();
+    const std::lock_guard lock{reg.mutex};
+    impl_->uid = reg.next_uid++;
+    reg.entries.emplace_back(impl_->uid, this);
+}
+
+metrics_registry::~metrics_registry() {
+    {
+        alive_registries& reg = alive();
+        const std::lock_guard lock{reg.mutex};
+        std::erase_if(reg.entries,
+                      [this](const auto& e) { return e.second == this; });
+    }
+    delete impl_;
+}
+
+metrics_registry& metrics_registry::global() {
+    // Leaked on purpose: worker threads may still write during static
+    // destruction at process exit.
+    static metrics_registry* instance = new metrics_registry();
+    return *instance;
+}
+
+metric_id metrics_registry::register_metric(std::string_view name,
+                                            metric_kind kind) {
+    const std::lock_guard lock{impl_->mutex};
+    if (const auto it = impl_->names.find(name); it != impl_->names.end()) {
+        if (kind_of(it->second) != kind) {
+            throw std::invalid_argument{"metric registered under another kind: " +
+                                        std::string{name}};
+        }
+        return it->second;
+    }
+    std::uint32_t index = 0;
+    switch (kind) {
+        case metric_kind::counter:
+            if (impl_->counters >= max_counters) {
+                throw std::length_error{"metrics_registry: counter capacity"};
+            }
+            index = impl_->counters++;
+            break;
+        case metric_kind::gauge:
+            if (impl_->gauge_count >= max_gauges) {
+                throw std::length_error{"metrics_registry: gauge capacity"};
+            }
+            index = impl_->gauge_count++;
+            break;
+        case metric_kind::histogram:
+            if (impl_->histograms >= max_histograms) {
+                throw std::length_error{"metrics_registry: histogram capacity"};
+            }
+            index = impl_->histograms++;
+            break;
+    }
+    const metric_id id = make_id(kind, index);
+    impl_->names.emplace(std::string{name}, id);
+    return id;
+}
+
+metric_id metrics_registry::counter(std::string_view name) {
+    return register_metric(name, metric_kind::counter);
+}
+metric_id metrics_registry::gauge(std::string_view name) {
+    return register_metric(name, metric_kind::gauge);
+}
+metric_id metrics_registry::histogram(std::string_view name) {
+    return register_metric(name, metric_kind::histogram);
+}
+
+metrics_registry::shard& metrics_registry::local_shard() {
+    auto& cache = tls_entry::local().entries;
+    for (const auto& [uid, s] : cache) {
+        if (uid == impl_->uid) {
+            return *s;
+        }
+    }
+    auto owned = std::make_unique<shard>();
+    shard* s = owned.get();
+    {
+        const std::lock_guard lock{impl_->mutex};
+        impl_->shards.push_back(std::move(owned));
+    }
+    cache.emplace_back(impl_->uid, s);
+    return *s;
+}
+
+void metrics_registry::retire(shard* s) noexcept {
+    const std::lock_guard lock{impl_->mutex};
+    impl_->retired.merge_from(*s);
+    std::erase_if(impl_->shards,
+                  [s](const std::unique_ptr<shard>& p) { return p.get() == s; });
+}
+
+void metrics_registry::add(metric_id id, std::uint64_t delta) noexcept {
+    if (!enabled()) {
+        return;
+    }
+    local_shard().add_counter(index_of(id), delta);
+}
+
+void metrics_registry::observe(metric_id id, std::uint64_t value) noexcept {
+    if (!enabled()) {
+        return;
+    }
+    local_shard().observe(index_of(id), value);
+}
+
+void metrics_registry::set(metric_id id, std::uint64_t value) noexcept {
+    // Gauges are snapshot-time publishes (e.g. engine_stats mirrored into
+    // the registry) — not gated on enabled() so exports stay complete.
+    impl_->gauges[index_of(id)].store(value, std::memory_order_relaxed);
+}
+
+telemetry_snapshot metrics_registry::snapshot() const {
+    const std::lock_guard lock{impl_->mutex};
+    telemetry_snapshot snap;
+    snap.metrics.reserve(impl_->names.size());
+    for (const auto& [name, id] : impl_->names) {  // map order == sorted
+        metric_entry entry;
+        entry.name = name;
+        entry.kind = kind_of(id);
+        const std::uint32_t index = index_of(id);
+        switch (entry.kind) {
+            case metric_kind::counter: {
+                std::uint64_t total =
+                    impl_->retired.counters[index].load(std::memory_order_relaxed);
+                for (const auto& s : impl_->shards) {
+                    total += s->counters[index].load(std::memory_order_relaxed);
+                }
+                entry.value = total;
+                break;
+            }
+            case metric_kind::gauge:
+                entry.value =
+                    impl_->gauges[index].load(std::memory_order_relaxed);
+                break;
+            case metric_kind::histogram: {
+                histogram_snapshot& h = entry.histogram;
+                std::uint64_t min = ~std::uint64_t{0};
+                const auto fold = [&](const shard& s) {
+                    const auto& slot = s.hists[index];
+                    const std::uint64_t count =
+                        slot.count.load(std::memory_order_relaxed);
+                    if (count == 0) {
+                        return;
+                    }
+                    h.count += count;
+                    h.sum += slot.sum.load(std::memory_order_relaxed);
+                    min = std::min(min,
+                                   slot.min.load(std::memory_order_relaxed));
+                    h.max = std::max(h.max,
+                                     slot.max.load(std::memory_order_relaxed));
+                    for (std::size_t b = 0; b < 64; ++b) {
+                        h.buckets[b] +=
+                            slot.buckets[b].load(std::memory_order_relaxed);
+                    }
+                };
+                fold(impl_->retired);
+                for (const auto& s : impl_->shards) {
+                    fold(*s);
+                }
+                h.min = h.count == 0 ? 0 : min;
+                break;
+            }
+        }
+        snap.metrics.push_back(std::move(entry));
+    }
+    return snap;
+}
+
+void metrics_registry::reset() noexcept {
+    const std::lock_guard lock{impl_->mutex};
+    impl_->retired.zero();
+    for (const auto& s : impl_->shards) {
+        s->zero();
+    }
+    for (auto& g : impl_->gauges) {
+        g.store(0, std::memory_order_relaxed);
+    }
+}
+
+}  // namespace recloud::obs

@@ -1,0 +1,156 @@
+// Metrics registry (observability tentpole, part 1): named counters, gauges
+// and integer histograms, readable on demand as an immutable
+// telemetry_snapshot.
+//
+// Design constraints, in order:
+//   1. Telemetry must NEVER perturb results. The registry touches no RNG, no
+//      sampler and no verdict — only thread-local slots and the clock-free
+//      arithmetic below — so the §6 determinism contract (bit-identical
+//      assessment_stats for any worker count, telemetry on or off) holds by
+//      construction.
+//   2. Near-zero cost when disabled: every hot-path write starts with one
+//      relaxed atomic load + predictable branch (see RECLOUD_COUNTER_ADD).
+//   3. Never block the hot path: writes go to per-thread sharded slots
+//      (plain relaxed atomics the owning thread alone mutates); the only
+//      locks are taken at shard creation (once per thread) and in
+//      snapshot()/reset() (cold, caller-driven).
+//
+// Aggregation: snapshot() sums every live shard plus the totals retired by
+// exited threads. Counters sum, gauges are last-write-wins process-level
+// values (set() is not sharded — gauges are snapshot-time publishes, e.g.
+// engine_stats mirrored into the registry), histograms merge per-bucket.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace recloud::obs {
+
+enum class metric_kind : std::uint8_t { counter, gauge, histogram };
+
+/// Opaque handle returned by registration; cheap to copy, valid for the
+/// registry's lifetime.
+struct metric_id {
+    std::uint32_t raw = 0;
+};
+
+/// Log-2 bucketed integer histogram: bucket b counts values v with
+/// floor(log2(v + 1)) == b, so bucket 0 is {0}, bucket 1 is {1, 2}, ...
+/// Nanosecond durations up to ~584 years fit in the 64 buckets.
+struct histogram_snapshot {
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t min = 0;  ///< 0 when count == 0
+    std::uint64_t max = 0;
+    std::array<std::uint64_t, 64> buckets{};
+
+    [[nodiscard]] double mean() const noexcept {
+        return count == 0 ? 0.0
+                          : static_cast<double>(sum) / static_cast<double>(count);
+    }
+};
+
+struct metric_entry {
+    std::string name;
+    metric_kind kind = metric_kind::counter;
+    std::uint64_t value = 0;  ///< counters and gauges
+    histogram_snapshot histogram;  ///< engaged when kind == histogram
+};
+
+/// Immutable point-in-time view of a registry, entries sorted by name.
+struct telemetry_snapshot {
+    std::vector<metric_entry> metrics;
+
+    /// nullptr when no metric of that name exists.
+    [[nodiscard]] const metric_entry* find(std::string_view name) const noexcept;
+    /// Counter/gauge value, or 0 when missing (histograms return count).
+    [[nodiscard]] std::uint64_t value(std::string_view name) const noexcept;
+};
+
+class metrics_registry {
+public:
+    /// Capacity per kind; registration beyond these throws std::length_error.
+    /// Fixed so per-thread shards are single flat allocations that never
+    /// resize (resizing would need hot-path synchronization).
+    static constexpr std::size_t max_counters = 192;
+    static constexpr std::size_t max_gauges = 64;
+    static constexpr std::size_t max_histograms = 24;
+
+    metrics_registry();
+    ~metrics_registry();
+    metrics_registry(const metrics_registry&) = delete;
+    metrics_registry& operator=(const metrics_registry&) = delete;
+
+    /// The process-wide registry all RECLOUD_* macros write to.
+    [[nodiscard]] static metrics_registry& global();
+
+    /// Registers (or looks up) a metric. Idempotent per name; re-registering
+    /// under a different kind throws std::invalid_argument.
+    [[nodiscard]] metric_id counter(std::string_view name);
+    [[nodiscard]] metric_id gauge(std::string_view name);
+    [[nodiscard]] metric_id histogram(std::string_view name);
+
+    /// Hot-path writes. No-ops while disabled (except set(): gauges are
+    /// snapshot-time publishes and must not silently vanish).
+    void add(metric_id id, std::uint64_t delta) noexcept;
+    void observe(metric_id id, std::uint64_t value) noexcept;
+    void set(metric_id id, std::uint64_t value) noexcept;
+
+    [[nodiscard]] bool enabled() const noexcept {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+    void set_enabled(bool on) noexcept {
+        enabled_.store(on, std::memory_order_relaxed);
+    }
+
+    /// Aggregates all shards into an immutable snapshot (cold; locks).
+    [[nodiscard]] telemetry_snapshot snapshot() const;
+
+    /// Zeroes every slot and gauge; registered names survive.
+    void reset() noexcept;
+
+private:
+    struct shard;
+    struct tls_entry;
+    friend struct tls_entry;
+
+    [[nodiscard]] metric_id register_metric(std::string_view name,
+                                            metric_kind kind);
+    [[nodiscard]] shard& local_shard();
+    void retire(shard* s) noexcept;
+
+    struct impl;
+    impl* impl_;
+    std::atomic<bool> enabled_{false};
+};
+
+}  // namespace recloud::obs
+
+// Call-site counter increment: the handle is registered once (thread-safe
+// static init) and the disabled path is one relaxed load + branch. `name`
+// must be a string literal (or otherwise outlive the first call).
+#define RECLOUD_COUNTER_ADD(name, delta)                                      \
+    do {                                                                      \
+        auto& recloud_obs_reg_ = ::recloud::obs::metrics_registry::global();  \
+        if (recloud_obs_reg_.enabled()) {                                     \
+            static const ::recloud::obs::metric_id recloud_obs_id_ =          \
+                recloud_obs_reg_.counter(name);                               \
+            recloud_obs_reg_.add(recloud_obs_id_, (delta));                   \
+        }                                                                     \
+    } while (0)
+
+#define RECLOUD_COUNTER_INC(name) RECLOUD_COUNTER_ADD(name, 1)
+
+#define RECLOUD_HIST_OBSERVE(name, value)                                     \
+    do {                                                                      \
+        auto& recloud_obs_reg_ = ::recloud::obs::metrics_registry::global();  \
+        if (recloud_obs_reg_.enabled()) {                                     \
+            static const ::recloud::obs::metric_id recloud_obs_id_ =          \
+                recloud_obs_reg_.histogram(name);                             \
+            recloud_obs_reg_.observe(recloud_obs_id_, (value));               \
+        }                                                                     \
+    } while (0)

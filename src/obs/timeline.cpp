@@ -1,0 +1,107 @@
+#include "obs/timeline.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "obs/build_info.hpp"
+
+namespace recloud::obs {
+namespace {
+
+/// Round-trippable double without trailing cruft; non-finite values become
+/// null (JSON has no nan/inf).
+std::string number(double value) {
+    if (!std::isfinite(value)) {
+        return "null";
+    }
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.12g", value);
+    return buffer;
+}
+
+}  // namespace
+
+const char* to_string(search_event_kind kind) noexcept {
+    switch (kind) {
+        case search_event_kind::initial: return "initial";
+        case search_event_kind::accepted: return "accepted";
+        case search_event_kind::accepted_worse: return "accepted_worse";
+        case search_event_kind::rejected: return "rejected";
+        case search_event_kind::symmetric_skip: return "symmetric_skip";
+        case search_event_kind::filtered: return "filtered";
+        case search_event_kind::heartbeat: return "heartbeat";
+    }
+    return "unknown";
+}
+
+search_timeline::search_timeline(const std::string& path,
+                                 std::chrono::milliseconds heartbeat)
+    : heartbeat_seconds_(static_cast<double>(heartbeat.count()) / 1000.0) {
+    out_ = std::fopen(path.c_str(), "w");
+    if (out_ == nullptr) {
+        throw std::runtime_error{"search_timeline: cannot write " + path};
+    }
+    write_line("{\"type\":\"build\",\"build\":" + build_info_json() + "}");
+}
+
+search_timeline::~search_timeline() {
+    if (out_ != nullptr) {
+        std::fclose(out_);
+    }
+}
+
+std::string search_timeline::to_json_line(const search_iteration_event& event) {
+    std::string out = "{\"type\":\"";
+    out += event.kind == search_event_kind::heartbeat ? "heartbeat" : "iteration";
+    out += "\",\"kind\":\"";
+    out += to_string(event.kind);
+    out += "\",\"iteration\":";
+    out += std::to_string(event.iteration);
+    out += ",\"elapsed_seconds\":";
+    out += number(event.elapsed_seconds);
+    out += ",\"temperature\":";
+    out += number(event.temperature);
+    const bool assessed = event.kind != search_event_kind::symmetric_skip &&
+                          event.kind != search_event_kind::filtered &&
+                          event.kind != search_event_kind::heartbeat;
+    if (assessed) {
+        out += ",\"candidate_score\":";
+        out += number(event.candidate_score);
+        out += ",\"candidate_reliability\":";
+        out += number(event.candidate_reliability);
+        out += ",\"candidate_ciw\":";
+        out += number(event.candidate_ciw);
+        out += ",\"candidate_rounds\":";
+        out += std::to_string(event.candidate_rounds);
+    }
+    out += ",\"best_score\":";
+    out += number(event.best_score);
+    out += ",\"plans_evaluated\":";
+    out += std::to_string(event.plans_evaluated);
+    if (event.cache_hit_rate >= 0.0) {
+        out += ",\"cache_hit_rate\":";
+        out += number(event.cache_hit_rate);
+    }
+    out += "}";
+    return out;
+}
+
+void search_timeline::on_event(const search_iteration_event& event) {
+    if (heartbeat_seconds_ > 0.0 &&
+        event.elapsed_seconds >= last_heartbeat_ + heartbeat_seconds_) {
+        last_heartbeat_ = event.elapsed_seconds;
+        search_iteration_event beat = event;
+        beat.kind = search_event_kind::heartbeat;
+        write_line(to_json_line(beat));
+    }
+    write_line(to_json_line(event));
+}
+
+void search_timeline::write_line(const std::string& line) {
+    std::fwrite(line.data(), 1, line.size(), out_);
+    std::fputc('\n', out_);
+    ++records_;
+}
+
+}  // namespace recloud::obs

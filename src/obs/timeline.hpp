@@ -1,0 +1,88 @@
+// Search timeline export (observability tentpole, part 3): one JSONL record
+// per annealing iteration — temperature, candidate R/CIW, accept/reject,
+// verdict-cache hit rate, assessment rounds — plus a periodic progress
+// heartbeat, so a long Tmax run can be watched (tail -f) and analyzed after
+// the fact. Extends the improvement-only trace_to_csv (Figure 9 series)
+// which records nothing while the search plateaus.
+//
+// The annealing loop publishes plain-number events through the
+// search_observer callback; this layer knows nothing about plans or
+// topologies, and the search knows nothing about files — re_cloud (or a
+// test) wires the two together. Observers run on the search thread and must
+// not touch samplers (§6: telemetry never perturbs verdicts); writing to a
+// file is safe, the clock is never read (heartbeats key off the event's own
+// elapsed_seconds, so a timeline is a pure function of the search it saw).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace recloud::obs {
+
+enum class search_event_kind : std::uint8_t {
+    initial,         ///< the starting plan's evaluation
+    accepted,        ///< neighbor improved (or tied) and was taken
+    accepted_worse,  ///< uphill move taken (Eq. 4)
+    rejected,        ///< assessed but not taken
+    symmetric_skip,  ///< discarded by the symmetry signature, not assessed
+    filtered,        ///< discarded by the resource filter, not assessed
+    heartbeat,       ///< periodic progress record (emitted by the sink)
+};
+
+[[nodiscard]] const char* to_string(search_event_kind kind) noexcept;
+
+/// One annealing iteration, flattened to numbers. For skip/filter kinds the
+/// candidate_* fields are zero (the plan was never assessed).
+struct search_iteration_event {
+    search_event_kind kind = search_event_kind::initial;
+    std::uint64_t iteration = 0;  ///< plans generated so far
+    double elapsed_seconds = 0.0;
+    double temperature = 0.0;  ///< Eq. 6 at this iteration
+    double candidate_score = 0.0;
+    double candidate_reliability = 0.0;
+    double candidate_ciw = 0.0;
+    std::uint64_t candidate_rounds = 0;  ///< assessment rounds spent on it
+    double best_score = 0.0;
+    std::uint64_t plans_evaluated = 0;
+    double cache_hit_rate = -1.0;  ///< verdict cache; < 0 when unknown
+};
+
+/// Hook the annealing loop calls once per iteration (and once for the
+/// initial plan). Must not throw.
+using search_observer = std::function<void(const search_iteration_event&)>;
+
+/// JSONL sink for search_iteration_events. First line is a build-provenance
+/// record; heartbeat records are interleaved every `heartbeat` of search
+/// time (0 disables them).
+class search_timeline {
+public:
+    /// Opens `path` for writing; throws std::runtime_error when unwritable.
+    explicit search_timeline(
+        const std::string& path,
+        std::chrono::milliseconds heartbeat = std::chrono::milliseconds{0});
+    ~search_timeline();
+    search_timeline(const search_timeline&) = delete;
+    search_timeline& operator=(const search_timeline&) = delete;
+
+    void on_event(const search_iteration_event& event);
+
+    /// Records written so far (including build + heartbeats).
+    [[nodiscard]] std::uint64_t records() const noexcept { return records_; }
+
+    /// One JSONL line (no trailing newline) for an event — the single
+    /// serialization both this sink and tests use.
+    [[nodiscard]] static std::string to_json_line(
+        const search_iteration_event& event);
+
+private:
+    void write_line(const std::string& line);
+
+    std::FILE* out_ = nullptr;
+    double heartbeat_seconds_ = 0.0;
+    double last_heartbeat_ = 0.0;
+    std::uint64_t records_ = 0;
+};
+
+}  // namespace recloud::obs

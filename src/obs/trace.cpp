@@ -1,0 +1,242 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "obs/build_info.hpp"
+
+namespace recloud::obs {
+namespace {
+
+struct trace_event {
+    const char* name;
+    std::uint64_t start_ns;
+    std::uint64_t dur_ns;
+};
+
+std::uint64_t steady_ns() noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+/// Microseconds with ns precision for Chrome's "ts"/"dur" fields.
+void append_us(std::string& out, std::uint64_t ns) {
+    char buffer[40];
+    std::snprintf(buffer, sizeof(buffer), "%llu.%03llu",
+                  static_cast<unsigned long long>(ns / 1000),
+                  static_cast<unsigned long long>(ns % 1000));
+    out += buffer;
+}
+
+}  // namespace
+
+/// SPSC ring: the owning thread writes events[count] then publishes with a
+/// release store; the exporter acquires count and reads the prefix. Full
+/// rings drop (drop-newest) and count the drop.
+struct ring {
+    explicit ring(std::uint32_t id, std::size_t capacity)
+        : tid(id), events(capacity) {}
+
+    std::uint32_t tid;
+    std::string thread_name;
+    std::vector<trace_event> events;
+    std::atomic<std::size_t> count{0};
+    std::atomic<std::uint64_t> dropped{0};
+
+    void push(const char* name, std::uint64_t start_ns,
+              std::uint64_t dur_ns) noexcept {
+        const std::size_t n = count.load(std::memory_order_relaxed);
+        if (n >= events.size()) {
+            dropped.fetch_add(1, std::memory_order_relaxed);
+            return;
+        }
+        events[n] = trace_event{name, start_ns, dur_ns};
+        count.store(n + 1, std::memory_order_release);
+    }
+};
+
+namespace {
+
+/// This thread's ring (created on first recorded event) and its label.
+/// Naming a thread before any event only sets the label — no ring (and no
+/// slot storage) is allocated while tracing stays disabled.
+thread_local ring* t_ring = nullptr;
+thread_local std::string t_label;
+
+}  // namespace
+
+struct tracer::impl {
+    std::atomic<bool> enabled{false};
+    std::atomic<std::uint64_t> epoch_ns{0};
+    std::atomic<std::size_t> ring_capacity{std::size_t{1} << 15};
+    mutable std::mutex mutex;  ///< guards rings (list) and thread names
+    std::vector<std::unique_ptr<ring>> rings;
+    std::uint32_t next_tid = 1;
+
+    ring& local_ring() {
+        // The tracer is a leaked process singleton, so a cached ring pointer
+        // can never dangle (reset() zeroes rings, never frees them).
+        if (t_ring == nullptr) {
+            const std::lock_guard lock{mutex};
+            rings.push_back(std::make_unique<ring>(
+                next_tid++, ring_capacity.load(std::memory_order_relaxed)));
+            t_ring = rings.back().get();
+            t_ring->thread_name = t_label;
+        }
+        return *t_ring;
+    }
+};
+
+tracer::tracer() : impl_(new impl()) {}
+
+tracer& tracer::global() {
+    // Leaked on purpose: spans may still close during static destruction.
+    static tracer* instance = new tracer();
+    return *instance;
+}
+
+bool tracer::enabled() const noexcept {
+    return impl_->enabled.load(std::memory_order_relaxed);
+}
+
+void tracer::start() noexcept {
+    impl_->epoch_ns.store(steady_ns(), std::memory_order_relaxed);
+    impl_->enabled.store(true, std::memory_order_relaxed);
+}
+
+void tracer::stop() noexcept {
+    impl_->enabled.store(false, std::memory_order_relaxed);
+}
+
+void tracer::reset() noexcept {
+    const std::lock_guard lock{impl_->mutex};
+    for (const auto& r : impl_->rings) {
+        r->count.store(0, std::memory_order_relaxed);
+        r->dropped.store(0, std::memory_order_relaxed);
+    }
+}
+
+void tracer::set_ring_capacity(std::size_t events) noexcept {
+    impl_->ring_capacity.store(events == 0 ? 1 : events,
+                               std::memory_order_relaxed);
+}
+
+void tracer::set_current_thread_name(const std::string& name) {
+    t_label = name;
+    if (t_ring != nullptr) {
+        const std::lock_guard lock{impl_->mutex};
+        t_ring->thread_name = name;
+    }
+}
+
+std::uint64_t tracer::now_ns() const noexcept {
+    return steady_ns() - impl_->epoch_ns.load(std::memory_order_relaxed);
+}
+
+void tracer::record(const char* name, std::uint64_t start_ns,
+                    std::uint64_t dur_ns) noexcept {
+    if (!enabled()) {
+        return;  // capture stopped between span open and close
+    }
+    impl_->local_ring().push(name, start_ns, dur_ns);
+}
+
+std::uint64_t tracer::dropped() const noexcept {
+    const std::lock_guard lock{impl_->mutex};
+    std::uint64_t total = 0;
+    for (const auto& r : impl_->rings) {
+        total += r->dropped.load(std::memory_order_relaxed);
+    }
+    return total;
+}
+
+std::uint64_t tracer::captured() const noexcept {
+    const std::lock_guard lock{impl_->mutex};
+    std::uint64_t total = 0;
+    for (const auto& r : impl_->rings) {
+        total += r->count.load(std::memory_order_acquire);
+    }
+    return total;
+}
+
+std::string tracer::export_chrome_trace() const {
+    const std::lock_guard lock{impl_->mutex};
+    std::string out = "{\"traceEvents\":[";
+    bool first = true;
+    std::uint64_t dropped_total = 0;
+    for (const auto& r : impl_->rings) {
+        dropped_total += r->dropped.load(std::memory_order_relaxed);
+        if (!r->thread_name.empty()) {
+            if (!first) {
+                out += ",";
+            }
+            first = false;
+            out += "{\"ph\":\"M\",\"pid\":1,\"tid\":";
+            out += std::to_string(r->tid);
+            out += ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
+            out += r->thread_name;  // pool/caller-chosen names: no escapes needed
+            out += "\"}}";
+        }
+        const std::size_t n = r->count.load(std::memory_order_acquire);
+        for (std::size_t i = 0; i < n; ++i) {
+            const trace_event& e = r->events[i];
+            if (!first) {
+                out += ",";
+            }
+            first = false;
+            out += "{\"ph\":\"X\",\"pid\":1,\"tid\":";
+            out += std::to_string(r->tid);
+            out += ",\"ts\":";
+            append_us(out, e.start_ns);
+            out += ",\"dur\":";
+            append_us(out, e.dur_ns);
+            out += ",\"name\":\"";
+            out += e.name;  // literals chosen by this codebase: no escapes
+            out += "\",\"cat\":\"recloud\"}";
+        }
+    }
+    out += "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"build\":";
+    out += build_info_json();
+    out += ",\"dropped_events\":";
+    out += std::to_string(dropped_total);
+    out += "}}";
+    return out;
+}
+
+bool tracer::export_to_file(const std::string& path) const {
+    std::FILE* out = std::fopen(path.c_str(), "w");
+    if (out == nullptr) {
+        return false;
+    }
+    const std::string json = export_chrome_trace();
+    const std::size_t written = std::fwrite(json.data(), 1, json.size(), out);
+    const bool ok = written == json.size() && std::fputc('\n', out) != EOF;
+    return std::fclose(out) == 0 && ok;
+}
+
+int trace_env_override() noexcept {
+    const char* env = std::getenv("RECLOUD_TRACE");
+    if (env == nullptr || *env == '\0') {
+        return -1;
+    }
+    if (std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0 ||
+        std::strcmp(env, "false") == 0) {
+        return 0;
+    }
+    return 1;
+}
+
+std::string trace_env_path(const std::string& fallback) {
+    const char* env = std::getenv("RECLOUD_TRACE_PATH");
+    return env != nullptr && *env != '\0' ? std::string{env} : fallback;
+}
+
+}  // namespace recloud::obs

@@ -1,0 +1,109 @@
+// Scoped-span tracer (observability tentpole, part 2): RECLOUD_SPAN("name")
+// RAII spans recorded into per-thread ring buffers, exported as Chrome
+// trace-event JSON (chrome://tracing / https://ui.perfetto.dev) so one
+// re_cloud::deploy run — SA iterations, backend batches, engine
+// dispatch/retry/degrade, verdict-cache rebinds, route-and-check floods —
+// reads as a single timeline.
+//
+// Hot-path rules (mirrors obs/metrics.hpp):
+//   * disabled cost is one relaxed load + branch per span site;
+//   * enabled writes touch only the calling thread's ring: a plain slot
+//     store + one release store of the count (SPSC: owner writes, exporter
+//     reads) — no locks, no allocation after the ring exists;
+//   * a full ring DROPS the event and counts the drop; recording never
+//     blocks and never perturbs samplers or verdicts (§6 contract).
+//
+// Span names must be string literals (the ring stores the pointer).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace recloud::obs {
+
+class tracer {
+public:
+    /// The process-wide tracer all RECLOUD_SPAN sites record into.
+    [[nodiscard]] static tracer& global();
+
+    [[nodiscard]] bool enabled() const noexcept;
+    /// Starts a capture: re-anchors the timestamp origin and enables
+    /// recording (rings keep their events until reset()).
+    void start() noexcept;
+    void stop() noexcept;
+    /// Discards captured events and drop counts. Rings stay allocated (live
+    /// threads keep writing into them on the next start()).
+    void reset() noexcept;
+
+    /// Events each NEW per-thread ring can hold (existing rings keep their
+    /// capacity). Default 1 << 15.
+    void set_ring_capacity(std::size_t events) noexcept;
+
+    /// Names the calling thread in exported traces (and creates its ring).
+    void set_current_thread_name(const std::string& name);
+
+    /// Nanoseconds since the capture started (steady clock).
+    [[nodiscard]] std::uint64_t now_ns() const noexcept;
+
+    /// Records one completed span on the calling thread's ring.
+    void record(const char* name, std::uint64_t start_ns,
+                std::uint64_t dur_ns) noexcept;
+
+    /// Events dropped to full rings since the last reset().
+    [[nodiscard]] std::uint64_t dropped() const noexcept;
+    /// Events currently captured across all rings.
+    [[nodiscard]] std::uint64_t captured() const noexcept;
+
+    /// Chrome trace-event JSON ({"traceEvents":[...]}) with per-thread
+    /// metadata, build provenance and the drop count.
+    [[nodiscard]] std::string export_chrome_trace() const;
+    /// Writes export_chrome_trace() to `path`; false when unwritable.
+    bool export_to_file(const std::string& path) const;
+
+private:
+    tracer();
+    struct impl;
+    impl* impl_;
+};
+
+/// RAII span: measures construction-to-destruction and records it when the
+/// tracer was enabled at construction.
+class scoped_span {
+public:
+    explicit scoped_span(const char* name) noexcept {
+        tracer& t = tracer::global();
+        if (t.enabled()) {
+            name_ = name;
+            start_ = t.now_ns();
+        }
+    }
+    ~scoped_span() {
+        if (name_ != nullptr) {
+            tracer& t = tracer::global();
+            t.record(name_, start_, t.now_ns() - start_);
+        }
+    }
+    scoped_span(const scoped_span&) = delete;
+    scoped_span& operator=(const scoped_span&) = delete;
+
+private:
+    const char* name_ = nullptr;
+    std::uint64_t start_ = 0;
+};
+
+/// RECLOUD_TRACE env override: unset/""/"0"/"off"/"false" leave the
+/// configured choice ("0"-family forces OFF); anything else forces ON.
+/// Returns -1 (unset), 0 (forced off) or 1 (forced on).
+[[nodiscard]] int trace_env_override() noexcept;
+
+/// RECLOUD_TRACE_PATH, or `fallback` when unset/empty.
+[[nodiscard]] std::string trace_env_path(const std::string& fallback);
+
+}  // namespace recloud::obs
+
+#define RECLOUD_SPAN_CAT2(a, b) a##b
+#define RECLOUD_SPAN_CAT(a, b) RECLOUD_SPAN_CAT2(a, b)
+/// Opens a scope-long span. `name` must be a string literal.
+#define RECLOUD_SPAN(name)                                     \
+    ::recloud::obs::scoped_span RECLOUD_SPAN_CAT(recloud_span_, \
+                                                 __LINE__){name}

@@ -1,15 +1,22 @@
 #include "report/report.hpp"
 
+#include <cmath>
 #include <cstdio>
 #include <sstream>
 
 #include "exec/engine.hpp"
+#include "obs/build_info.hpp"
 
 namespace recloud {
 namespace {
 
 /// Prints a double with enough digits to round-trip, without trailing cruft.
+/// NaN and infinity have no JSON literal — they become null (printing them
+/// raw would emit "nan"/"inf" and break every strict parser downstream).
 std::string number(double value) {
+    if (!std::isfinite(value)) {
+        return "null";
+    }
     char buffer[32];
     std::snprintf(buffer, sizeof(buffer), "%.12g", value);
     return buffer;
@@ -88,10 +95,33 @@ std::string to_json(const verdict_cache_stats& stats) {
     return out.str();
 }
 
+std::string to_json(const obs::telemetry_snapshot& snapshot) {
+    std::ostringstream out;
+    out << "{\"build\":" << build_info_json() << ",\"metrics\":{";
+    bool first = true;
+    for (const obs::metric_entry& entry : snapshot.metrics) {
+        if (!first) {
+            out << ",";
+        }
+        first = false;
+        out << json_escape(entry.name) << ":";
+        if (entry.kind == obs::metric_kind::histogram) {
+            out << "{\"count\":" << entry.histogram.count
+                << ",\"sum\":" << entry.histogram.sum
+                << ",\"min\":" << entry.histogram.min
+                << ",\"max\":" << entry.histogram.max
+                << ",\"mean\":" << number(entry.histogram.mean()) << "}";
+        } else {
+            out << entry.value;
+        }
+    }
+    out << "}}";
+    return out.str();
+}
+
 std::string to_json(const deployment_response& response,
                     const component_registry* registry,
-                    const engine_stats* engine,
-                    const verdict_cache_stats* cache) {
+                    const obs::telemetry_snapshot* telemetry) {
     std::ostringstream out;
     out << "{\"fulfilled\":" << (response.fulfilled ? "true" : "false")
         << ",\"hosts\":[";
@@ -117,11 +147,8 @@ std::string to_json(const deployment_response& response,
         << ",\"accepted_worse\":" << response.search.accepted_worse
         << ",\"elapsed_seconds\":" << number(response.search.elapsed_seconds)
         << "}";
-    if (engine != nullptr) {
-        out << ",\"engine\":" << to_json(*engine);
-    }
-    if (cache != nullptr) {
-        out << ",\"verdict_cache\":" << to_json(*cache);
+    if (telemetry != nullptr) {
+        out << ",\"telemetry\":" << to_json(*telemetry);
     }
     out << "}";
     return out.str();

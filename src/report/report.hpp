@@ -8,6 +8,7 @@
 
 #include "assess/criticality.hpp"
 #include "core/recloud.hpp"
+#include "obs/metrics.hpp"
 #include "search/annealing.hpp"
 
 namespace recloud {
@@ -20,14 +21,13 @@ namespace recloud {
 
 /// Full deployment response: fulfilled flag, plan hosts, assessment, and
 /// search telemetry. `registry` (optional) adds component names to hosts;
-/// `engine` (optional) appends the execution engine's recovery counters
-/// (re_cloud::execution_stats()) as an "engine" object; `cache` (optional)
-/// appends the verdict-cache counters (re_cloud::cache_stats()) as a
-/// "verdict_cache" object.
-[[nodiscard]] std::string to_json(const deployment_response& response,
-                                  const component_registry* registry = nullptr,
-                                  const engine_stats* engine = nullptr,
-                                  const verdict_cache_stats* cache = nullptr);
+/// `telemetry` (optional, from re_cloud::telemetry()) appends the unified
+/// metrics snapshot — engine and verdict-cache gauges included — as a
+/// "telemetry" object, replacing the old per-struct engine/cache parameters.
+[[nodiscard]] std::string to_json(
+    const deployment_response& response,
+    const component_registry* registry = nullptr,
+    const obs::telemetry_snapshot* telemetry = nullptr);
 
 /// Engine recovery/observability counters (exec/engine.hpp):
 /// {"batches":..,"dispatches":..,"retries":..,"redispatches":..,
@@ -41,6 +41,11 @@ namespace recloud {
 ///  "evictions":..,"rebinds":..,"support_size":..,"saved_rounds":..,
 ///  "hit_rate":..}
 [[nodiscard]] std::string to_json(const verdict_cache_stats& stats);
+
+/// Unified metrics snapshot (obs/metrics.hpp): {"build":{..},"metrics":{..}}
+/// with one key per metric, sorted by name. Counters and gauges export their
+/// value; histograms export {"count":..,"sum":..,"min":..,"max":..,"mean":..}.
+[[nodiscard]] std::string to_json(const obs::telemetry_snapshot& snapshot);
 
 /// Criticality report, entries in rank order.
 [[nodiscard]] std::string to_json(const criticality_report& report,

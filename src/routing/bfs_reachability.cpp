@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace recloud {
 
 bfs_reachability::bfs_reachability(const built_topology& topo,
@@ -55,6 +58,8 @@ void bfs_reachability::begin_round(round_state& rs,
 
 void bfs_reachability::flood(node_id source, std::vector<std::uint32_t>& mark,
                              std::uint32_t stamp) {
+    RECLOUD_SPAN("route.flood");
+    RECLOUD_COUNTER_INC("route.floods");
     queue_.clear();
     if (rs_->failed(source) && topo_->graph.kind(source) != node_kind::external) {
         return;  // a failed source reaches nothing (external never fails)

@@ -1,5 +1,7 @@
 #include "sampling/antithetic.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace recloud {
 
 antithetic_sampler::antithetic_sampler(std::span<const double> probabilities,
@@ -9,9 +11,11 @@ antithetic_sampler::antithetic_sampler(std::span<const double> probabilities,
       random_(seed) {}
 
 void antithetic_sampler::next_round(std::vector<component_id>& failed) {
+    RECLOUD_COUNTER_INC("sample.rounds");
     if (pending_) {
         failed.assign(mirror_.begin(), mirror_.end());
         pending_ = false;
+        RECLOUD_HIST_OBSERVE("sample.failed_size", failed.size());
         return;
     }
     failed.clear();
@@ -31,6 +35,7 @@ void antithetic_sampler::next_round(std::vector<component_id>& failed) {
         }
     }
     pending_ = true;
+    RECLOUD_HIST_OBSERVE("sample.failed_size", failed.size());
 }
 
 void antithetic_sampler::reset(std::uint64_t seed) {

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace recloud {
 
 extended_dagger_sampler::extended_dagger_sampler(
@@ -20,6 +23,7 @@ extended_dagger_sampler::extended_dagger_sampler(
 }
 
 void extended_dagger_sampler::generate_block() {
+    RECLOUD_SPAN("sample.dagger_block");
     for (auto& bucket : buckets_) {
         bucket.clear();
     }
@@ -50,6 +54,8 @@ void extended_dagger_sampler::next_round(std::vector<component_id>& failed) {
     }
     const auto& bucket = buckets_[cursor_++];
     failed.assign(bucket.begin(), bucket.end());
+    RECLOUD_COUNTER_INC("sample.rounds");
+    RECLOUD_HIST_OBSERVE("sample.failed_size", failed.size());
 }
 
 void extended_dagger_sampler::reset(std::uint64_t seed) {

@@ -1,5 +1,7 @@
 #include "sampling/monte_carlo.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace recloud {
 
 monte_carlo_sampler::monte_carlo_sampler(std::span<const double> probabilities,
@@ -18,6 +20,8 @@ void monte_carlo_sampler::next_round(std::vector<component_id>& failed) {
             failed.push_back(id);
         }
     }
+    RECLOUD_COUNTER_INC("sample.rounds");
+    RECLOUD_HIST_OBSERVE("sample.failed_size", failed.size());
 }
 
 void monte_carlo_sampler::reset(std::uint64_t seed) {

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/stopwatch.hpp"
 
 namespace recloud {
@@ -32,11 +34,44 @@ annealing_result anneal(neighbor_generator& neighbors,
                         const symmetry_checker* symmetry,
                         std::uint32_t instances,
                         const annealing_options& options) {
+    RECLOUD_SPAN("search.anneal");
     rng random{options.seed};
     deadline budget{options.max_time};
     annealing_result result;
 
     const bool symmetry_on = options.use_symmetry && symmetry != nullptr;
+
+    // Telemetry-only hook: reads the clock and the already-made decision,
+    // never the RNG — the search trajectory is identical with or without it.
+    const auto notify = [&](obs::search_event_kind kind,
+                            const plan_evaluation* eval) {
+        if (!options.observer) {
+            return;
+        }
+        obs::search_iteration_event event;
+        event.kind = kind;
+        event.iteration = result.plans_generated;
+        event.elapsed_seconds = budget.elapsed_seconds();
+        event.temperature =
+            std::max(budget.remaining_fraction(), temperature_floor);
+        if (eval != nullptr) {
+            event.candidate_score = eval->score;
+            event.candidate_reliability = eval->stats.reliability;
+            event.candidate_ciw = eval->stats.ciw95;
+            event.candidate_rounds = eval->stats.rounds;
+        }
+        event.best_score = result.best_evaluation.score;
+        event.plans_evaluated = result.plans_evaluated;
+        options.observer(event);
+    };
+
+    const auto assess_candidate = [&](const deployment_plan& plan) {
+        RECLOUD_SPAN("search.evaluate");
+        plan_evaluation eval = evaluate(plan);
+        ++result.plans_evaluated;
+        RECLOUD_COUNTER_INC("search.plans_evaluated");
+        return eval;
+    };
 
     const auto note_improvement = [&](const plan_evaluation& eval) {
         if (!options.record_trace) {
@@ -51,24 +86,27 @@ annealing_result anneal(neighbor_generator& neighbors,
     // rejects it), assess it.
     deployment_plan current = neighbors.initial_plan(instances);
     ++result.plans_generated;
+    RECLOUD_COUNTER_INC("search.plans_generated");
     if (options.filter) {
         std::size_t attempts = 0;
         while (!options.filter(current)) {
             ++result.filtered_plans;
+            notify(obs::search_event_kind::filtered, nullptr);
             if (++attempts > options.max_consecutive_skips) {
                 throw std::runtime_error{
                     "anneal: could not generate a feasible initial plan"};
             }
             current = neighbors.initial_plan(instances);
             ++result.plans_generated;
+            RECLOUD_COUNTER_INC("search.plans_generated");
         }
     }
-    plan_evaluation current_eval = evaluate(current);
-    ++result.plans_evaluated;
+    plan_evaluation current_eval = assess_candidate(current);
 
     result.best_plan = current;
     result.best_evaluation = current_eval;
     note_improvement(current_eval);
+    notify(obs::search_event_kind::initial, &current_eval);
 
     std::uint64_t current_signature =
         symmetry_on ? symmetry->signature(current) : 0;
@@ -86,24 +124,29 @@ annealing_result anneal(neighbor_generator& neighbors,
         // network-transformation equivalence.
         deployment_plan neighbor = neighbors.neighbor_of(current);
         ++result.plans_generated;
+        RECLOUD_COUNTER_INC("search.plans_generated");
         if (options.filter && !options.filter(neighbor)) {
             ++result.filtered_plans;
+            RECLOUD_COUNTER_INC("search.filtered_plans");
+            notify(obs::search_event_kind::filtered, nullptr);
             continue;
         }
         if (symmetry_on && consecutive_skips < options.max_consecutive_skips &&
             symmetry->signature(neighbor) == current_signature) {
             ++result.symmetric_skips;
             ++consecutive_skips;
+            RECLOUD_COUNTER_INC("search.symmetric_skips");
+            notify(obs::search_event_kind::symmetric_skip, nullptr);
             continue;
         }
         consecutive_skips = 0;
 
         // Step 4: assess the neighbor.
-        const plan_evaluation neighbor_eval = evaluate(neighbor);
-        ++result.plans_evaluated;
+        const plan_evaluation neighbor_eval = assess_candidate(neighbor);
 
         // Step 5: accept or reject.
-        bool accept = neighbor_eval.score >= current_eval.score;
+        const bool improved = neighbor_eval.score >= current_eval.score;
+        bool accept = improved;
         if (!accept) {
             const double t = std::max(budget.remaining_fraction(),  // Eq. 6
                                       temperature_floor);
@@ -114,6 +157,7 @@ annealing_result anneal(neighbor_generator& neighbors,
             accept = random.uniform() < probability;
             if (accept) {
                 ++result.accepted_worse;
+                RECLOUD_COUNTER_INC("search.accepted_worse");
             }
         }
         if (accept) {
@@ -128,6 +172,10 @@ annealing_result anneal(neighbor_generator& neighbors,
                 note_improvement(current_eval);
             }
         }
+        notify(accept ? (improved ? obs::search_event_kind::accepted
+                                  : obs::search_event_kind::accepted_worse)
+                      : obs::search_event_kind::rejected,
+               &neighbor_eval);
     }
 
     if (!result.fulfilled &&

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "app/deployment.hpp"
+#include "obs/timeline.hpp"
 #include "search/neighbor.hpp"
 #include "search/objective.hpp"
 #include "search/symmetry.hpp"
@@ -76,6 +77,12 @@ struct annealing_options {
     /// discarded without assessment. The initial plan is regenerated until
     /// it passes (bounded by max_consecutive_skips attempts).
     plan_filter filter;
+    /// Per-iteration telemetry hook (obs/timeline.hpp): called once for the
+    /// initial plan and once per generated neighbor — including skipped and
+    /// filtered ones — with temperature, candidate stats and outcome.
+    /// Observability only: it runs after each accept/reject decision and
+    /// must not touch samplers, so it cannot perturb the search.
+    obs::search_observer observer{};
 };
 
 struct annealing_trace_point {

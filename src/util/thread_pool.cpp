@@ -1,16 +1,43 @@
 #include "util/thread_pool.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+#include <string>
+
+#if defined(__linux__)
+#include <pthread.h>
+#endif
+
+#include "obs/trace.hpp"
 
 namespace recloud {
+namespace {
 
-thread_pool::thread_pool(std::size_t threads) {
+/// OS-level thread name for debuggers, TSan reports and `perf`. Linux
+/// truncates to 15 chars + NUL; other platforms are a no-op.
+void set_os_thread_name(const std::string& name) {
+    (void)name;
+#if defined(__linux__)
+    char buffer[16];
+    const std::size_t n = std::min(name.size(), sizeof(buffer) - 1);
+    name.copy(buffer, n);
+    buffer[n] = '\0';
+    pthread_setname_np(pthread_self(), buffer);
+#endif
+}
+
+}  // namespace
+
+thread_pool::thread_pool(std::size_t threads, const char* name_prefix) {
     if (threads == 0) {
         throw std::invalid_argument{"thread_pool needs at least one thread"};
     }
     workers_.reserve(threads);
     for (std::size_t i = 0; i < threads; ++i) {
-        workers_.emplace_back([this] { worker_loop(); });
+        workers_.emplace_back(
+            [this, name = std::string{name_prefix} + "-" + std::to_string(i)] {
+                worker_loop(std::move(name));
+            });
     }
 }
 
@@ -25,7 +52,9 @@ thread_pool::~thread_pool() {
     }
 }
 
-void thread_pool::worker_loop() {
+void thread_pool::worker_loop(std::string name) {
+    set_os_thread_name(name);
+    obs::tracer::global().set_current_thread_name(name);
     for (;;) {
         std::function<void()> task;
         {

@@ -17,8 +17,12 @@ namespace recloud {
 
 class thread_pool {
 public:
-    /// Spawns `threads` workers. `threads == 0` is rejected.
-    explicit thread_pool(std::size_t threads);
+    /// Spawns `threads` workers. `threads == 0` is rejected. Workers are
+    /// named "<name_prefix>-N" (OS thread name where the platform allows,
+    /// truncated to its 15-char limit, plus the tracer's thread metadata) so
+    /// traces, TSan reports and `perf` output identify pool threads.
+    explicit thread_pool(std::size_t threads,
+                         const char* name_prefix = "recloud-wkr");
 
     thread_pool(const thread_pool&) = delete;
     thread_pool& operator=(const thread_pool&) = delete;
@@ -47,7 +51,7 @@ public:
     void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
 
 private:
-    void worker_loop();
+    void worker_loop(std::string name);
 
     std::vector<std::thread> workers_;
     std::deque<std::function<void()>> queue_;

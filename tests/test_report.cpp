@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
+#include "obs/metrics.hpp"
+
 namespace recloud {
 namespace {
 
@@ -62,6 +66,46 @@ TEST(Report, CriticalityJson) {
     EXPECT_NE(json.find("\"name\":\"ps0\""), std::string::npos);
     EXPECT_NE(json.find("\"impact\":0.49"), std::string::npos);
     EXPECT_NE(json.find("\"conditional_reliability\":0.5"), std::string::npos);
+}
+
+TEST(Report, NonFiniteDoublesEmitNull) {
+    // JSON has no nan/inf literal; %.12g would print "nan"/"inf" and break
+    // every strict parser consuming the report (regression guard).
+    deployment_response response;
+    response.stats.reliability = std::numeric_limits<double>::quiet_NaN();
+    response.stats.ciw95 = std::numeric_limits<double>::infinity();
+    response.utility = -std::numeric_limits<double>::infinity();
+    const std::string json = to_json(response);
+    EXPECT_NE(json.find("\"reliability\":null"), std::string::npos);
+    EXPECT_NE(json.find("\"ciw95\":null"), std::string::npos);
+    EXPECT_NE(json.find("\"utility\":null"), std::string::npos);
+    EXPECT_EQ(json.find("nan"), std::string::npos);
+    EXPECT_EQ(json.find("inf"), std::string::npos);
+}
+
+TEST(Report, TelemetrySnapshotJson) {
+    obs::metrics_registry registry;
+    registry.set_enabled(true);
+    registry.add(registry.counter("assess.rounds"), 123);
+    registry.set(registry.gauge("cache.stats.hits"), 9);
+    registry.observe(registry.histogram("span.ns"), 5);
+    const std::string json = to_json(registry.snapshot());
+    EXPECT_EQ(json.find("{\"build\":{"), 0u);
+    EXPECT_NE(json.find("\"git\":"), std::string::npos);
+    EXPECT_NE(json.find("\"assess.rounds\":123"), std::string::npos);
+    EXPECT_NE(json.find("\"cache.stats.hits\":9"), std::string::npos);
+    EXPECT_NE(json.find("\"span.ns\":{\"count\":1,\"sum\":5"),
+              std::string::npos);
+}
+
+TEST(Report, DeploymentResponseJsonWithTelemetry) {
+    obs::metrics_registry registry;
+    registry.set(registry.gauge("engine.stats.batches"), 4);
+    deployment_response response;
+    const obs::telemetry_snapshot snapshot = registry.snapshot();
+    const std::string json = to_json(response, nullptr, &snapshot);
+    EXPECT_NE(json.find("\"telemetry\":{\"build\":"), std::string::npos);
+    EXPECT_NE(json.find("\"engine.stats.batches\":4"), std::string::npos);
 }
 
 TEST(Report, TraceCsv) {

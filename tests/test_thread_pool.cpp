@@ -6,12 +6,56 @@
 #include <chrono>
 #include <map>
 #include <mutex>
+#include <set>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
+#if defined(__linux__)
+#include <pthread.h>
+#endif
+
 namespace recloud {
 namespace {
+
+/// OS-reported name of the thread executing the task, "" off Linux.
+std::string current_os_thread_name() {
+#if defined(__linux__)
+    char buffer[16] = {};
+    pthread_getname_np(pthread_self(), buffer, sizeof(buffer));
+    return buffer;
+#else
+    return "";
+#endif
+}
+
+/// Collects the distinct OS names of every worker by parking all of them on
+/// a barrier-ish set of tasks.
+std::set<std::string> worker_names(thread_pool& pool) {
+    std::mutex mutex;
+    std::set<std::string> names;
+    std::atomic<std::size_t> arrived{0};
+    std::vector<std::future<void>> futures;
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+        futures.push_back(pool.submit([&] {
+            {
+                const std::lock_guard lock{mutex};
+                names.insert(current_os_thread_name());
+            }
+            ++arrived;
+            // Hold until every worker has reported (so one worker cannot
+            // serve two tasks and hide another worker's name). Bounded wait.
+            for (int spin = 0; spin < 20000 && arrived < pool.size(); ++spin) {
+                std::this_thread::sleep_for(std::chrono::microseconds{50});
+            }
+        }));
+    }
+    for (auto& f : futures) {
+        f.get();
+    }
+    return names;
+}
 
 TEST(ThreadPool, RejectsZeroThreads) {
     EXPECT_THROW(thread_pool{0}, std::invalid_argument);
@@ -132,6 +176,38 @@ TEST(ThreadPool, DestructorDrainsQueue) {
     }  // destructor joins after draining
     EXPECT_EQ(counter.load(), 100);
 }
+
+#if defined(__linux__)
+TEST(ThreadPool, WorkersCarryOsNames) {
+    thread_pool pool{3};
+    const std::set<std::string> names = worker_names(pool);
+    EXPECT_EQ(names.size(), 3u);
+    for (int i = 0; i < 3; ++i) {
+        EXPECT_TRUE(names.count("recloud-wkr-" + std::to_string(i)))
+            << "missing worker " << i;
+    }
+}
+
+TEST(ThreadPool, CustomPrefixIsTruncatedToOsLimit) {
+    // pthread names cap at 15 chars + NUL; the pool must truncate, not fail.
+    thread_pool pool{1, "a-very-long-prefix"};
+    const std::set<std::string> names = worker_names(pool);
+    ASSERT_EQ(names.size(), 1u);
+    EXPECT_EQ(*names.begin(), std::string{"a-very-long-prefix-0"}.substr(0, 15));
+}
+
+TEST(ThreadPool, NamesSurvivePoolRestarts) {
+    // Destroying and recreating a pool must produce freshly-named workers
+    // (stale names from dead threads cannot leak into the new pool).
+    for (int restart = 0; restart < 3; ++restart) {
+        thread_pool pool{2};
+        const std::set<std::string> names = worker_names(pool);
+        EXPECT_EQ(names.size(), 2u) << "restart " << restart;
+        EXPECT_TRUE(names.count("recloud-wkr-0")) << "restart " << restart;
+        EXPECT_TRUE(names.count("recloud-wkr-1")) << "restart " << restart;
+    }
+}
+#endif
 
 TEST(ThreadPool, TasksRunConcurrently) {
     thread_pool pool{2};
