@@ -10,6 +10,7 @@
 #include "app/requirement_eval.hpp"
 #include "assess/verdict_cache.hpp"
 #include "core/recloud.hpp"
+#include "routing/fat_tree_routing.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sampling/extended_dagger.hpp"

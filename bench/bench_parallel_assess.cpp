@@ -15,6 +15,7 @@
 #include "assess/backend.hpp"
 #include "bench_util.hpp"
 #include "core/recloud.hpp"
+#include "routing/fat_tree_routing.hpp"
 #include "exec/engine.hpp"
 #include "sampling/extended_dagger.hpp"
 #include "search/neighbor.hpp"

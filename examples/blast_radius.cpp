@@ -8,6 +8,7 @@
 
 #include "assess/criticality.hpp"
 #include "core/recloud.hpp"
+#include "routing/fat_tree_routing.hpp"
 #include "sampling/extended_dagger.hpp"
 
 int main() {

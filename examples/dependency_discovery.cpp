@@ -54,15 +54,16 @@ int main() {
 
     // --- reliable deployment search ------------------------------------
     bfs_reachability oracle{topo};
-    recloud_context context;
-    context.topology = &topo;
-    context.registry = &registry;
-    context.forest = &forest;
-    context.oracle = &oracle;
+    const scenario_ptr snapshot = scenario_builder{}
+                                      .topology(topo)
+                                      .registry(registry)
+                                      .forest(forest)
+                                      .oracle(oracle)
+                                      .freeze();
 
     recloud_options options;
     options.assessment_rounds = 5000;
-    re_cloud system{context, options};
+    re_cloud system{snapshot, options};
 
     deployment_request request;
     request.app = application::k_of_n(2, 3);
@@ -88,9 +89,13 @@ int main() {
         degraded.set_probability(id, 0.0);
     }
     assign_default_probabilities(degraded, 0.01);
-    recloud_context degraded_context = context;
-    degraded_context.registry = &degraded;
-    re_cloud degraded_system{degraded_context, options};
+    const scenario_ptr degraded_snapshot = scenario_builder{}
+                                               .topology(topo)
+                                               .registry(degraded)
+                                               .forest(forest)
+                                               .oracle(oracle)
+                                               .freeze();
+    re_cloud degraded_system{degraded_snapshot, options};
     const deployment_response degraded_response =
         degraded_system.find_deployment(request);
     std::printf("degraded mode (default probabilities): fulfilled=%s R=%.5f\n",

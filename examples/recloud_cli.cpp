@@ -10,11 +10,15 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <future>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <vector>
 
 #include "assess/downtime.hpp"
 #include "core/recloud.hpp"
+#include "service/deployment_service.hpp"
 #include "exec/engine.hpp"
 #include "obs/build_info.hpp"
 #include "obs/metrics.hpp"
@@ -62,6 +66,19 @@ verdict_cache = true      # memoize round verdicts (bit-identical results)
 multi_objective = false
 symmetry = true
 seed = 1
+chains = 1                # K independent annealing chains; best plan wins
+chain_threads = 0         # threads running chains; 0 = all hardware threads
+                          # (the result is bit-identical for any value)
+max_iterations = 0        # finite iteration budget; 0 = time-driven only
+deterministic = false     # iteration-driven schedule: reruns are bit-identical
+                          # (requires max_iterations > 0)
+
+[service]
+requests = 0              # > 0: replay the request N times (seeds seed..seed+N-1)
+                          # through the concurrent deployment service instead of
+                          # one inline search
+workers = 2               # concurrent searches
+queue_capacity = 64       # admission bound; overflow resolves as `rejected`
 
 [observability]
 metrics = true            # metrics registry (counters/gauges/histograms)
@@ -201,6 +218,16 @@ recloud_options build_options(const config& cfg,
     options.multi_objective = cfg.get_bool("search.multi_objective", false);
     options.use_symmetry = cfg.get_bool("search.symmetry", true);
     options.seed = cfg.get_uint("search.seed", 1);
+    options.search_chains = static_cast<std::size_t>(
+        cfg.get_uint("search.chains", 1));
+    options.search_threads = static_cast<std::size_t>(
+        cfg.get_uint("search.chain_threads", 0));
+    const auto iterations =
+        static_cast<std::size_t>(cfg.get_uint("search.max_iterations", 0));
+    if (iterations > 0) {
+        options.max_iterations = iterations;
+    }
+    options.deterministic_schedule = cfg.get_bool("search.deterministic", false);
     options.record_trace = !cfg.get_string("output.trace_csv", "").empty();
     return options;
 }
@@ -244,7 +271,8 @@ void write_outputs(const config& cfg, const deployment_response& response,
 }
 
 void report(const deployment_response& response, const built_topology& topo,
-            const engine_stats* engine, const verdict_cache_stats* cache) {
+            const engine_stats* engine, const verdict_cache_stats* cache,
+            std::size_t chains = 1) {
     std::printf("fulfilled:        %s\n", response.fulfilled ? "yes" : "no");
     std::printf("reliability:      %.5f (95%% CI width %.2e)\n",
                 response.stats.reliability, response.stats.ciw95);
@@ -253,6 +281,10 @@ void report(const deployment_response& response, const built_topology& topo,
     std::printf("plans: generated=%zu assessed=%zu symmetric-skips=%zu in %.2fs\n",
                 response.search.plans_generated, response.search.plans_evaluated,
                 response.search.symmetric_skips, response.search.elapsed_seconds);
+    if (chains > 1) {
+        std::printf("winning chain:    %u of %zu\n", response.winning_chain,
+                    chains);
+    }
     if (engine != nullptr) {
         std::printf("engine: batches=%llu dispatches=%llu retries=%llu "
                     "re-dispatches=%llu degraded=%llu failures=%llu\n",
@@ -282,6 +314,76 @@ void report(const deployment_response& response, const built_topology& topo,
         std::printf("  host#%-6u rack=switch#%u\n", host,
                     rack_of(topo.graph, host));
     }
+}
+
+/// [service] replay: N developer requests (seeds seed..seed+N-1) race
+/// through the bounded-queue deployment service against ONE shared
+/// snapshot. Exit 0 iff every request completed with R_desired fulfilled.
+int run_service(const config& cfg, const application& app,
+                const scenario_ptr& snapshot, recloud_options options,
+                const deployment_request& request) {
+    const auto count =
+        static_cast<std::size_t>(cfg.get_uint("service.requests", 0));
+    if (options.observer) {
+        // The CLI timeline writer is single-threaded; several request
+        // searches share it, so serialize delivery.
+        auto gate = std::make_shared<std::mutex>();
+        options.observer = [gate, observer = options.observer](
+                               const obs::search_iteration_event& event) {
+            const std::lock_guard<std::mutex> lock{*gate};
+            observer(event);
+        };
+    }
+    service_options service_cfg;
+    service_cfg.workers =
+        static_cast<std::size_t>(cfg.get_uint("service.workers", 2));
+    service_cfg.queue_capacity =
+        static_cast<std::size_t>(cfg.get_uint("service.queue_capacity", 64));
+    service_cfg.defaults = options;
+    deployment_service service{service_cfg};
+    service.add_scenario(snapshot->name(), snapshot);
+    std::printf("service:          %zu requests on %zu workers (queue %zu)\n",
+                count, service_cfg.workers, service_cfg.queue_capacity);
+
+    std::vector<std::future<service_response>> futures;
+    futures.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        service_request pending;
+        pending.scenario = snapshot->name();
+        pending.app = app;
+        pending.desired_reliability = request.desired_reliability;
+        pending.max_search_time = request.max_search_time;
+        pending.seed = options.seed + i;
+        futures.push_back(service.submit(std::move(pending)));
+    }
+    std::size_t fulfilled = 0;
+    bool all_completed = true;
+    for (auto& future : futures) {
+        const service_response response = future.get();
+        if (response.status == request_status::completed) {
+            std::printf("  request#%-4llu %-9s R=%.5f fulfilled=%-3s chain=%u\n",
+                        static_cast<unsigned long long>(response.request_id),
+                        to_string(response.status),
+                        response.result.stats.reliability,
+                        response.result.fulfilled ? "yes" : "no",
+                        response.result.winning_chain);
+            fulfilled += response.result.fulfilled ? 1 : 0;
+        } else {
+            all_completed = false;
+            std::printf("  request#%-4llu %-9s %s\n",
+                        static_cast<unsigned long long>(response.request_id),
+                        to_string(response.status), response.error.c_str());
+        }
+    }
+    const service_stats stats = service.stats();
+    std::printf("service: submitted=%llu completed=%llu rejected=%llu "
+                "failed=%llu peak-queue=%zu\n",
+                static_cast<unsigned long long>(stats.submitted),
+                static_cast<unsigned long long>(stats.completed),
+                static_cast<unsigned long long>(stats.rejected),
+                static_cast<unsigned long long>(stats.failed),
+                stats.peak_queue_depth);
+    return all_completed && fulfilled == count ? 0 : 2;
 }
 
 int run_fat_tree(const config& cfg, const application& app,
@@ -319,12 +421,17 @@ int run_fat_tree(const config& cfg, const application& app,
                 infra.topology().name.c_str(), infra.topology().hosts.size(),
                 infra.registry().size());
 
-    re_cloud system{infra, build_options(cfg, session)};
+    const scenario_ptr snapshot = make_fat_tree_scenario(infra);
+    const recloud_options options = build_options(cfg, session);
+    const deployment_request request = build_request(cfg, app);
+    if (cfg.get_uint("service.requests", 0) > 0) {
+        return run_service(cfg, app, snapshot, options, request);
+    }
+    re_cloud system{snapshot, options};
     std::printf("assessment:       %s backend\n", system.backend().name());
-    const deployment_response response =
-        system.find_deployment(build_request(cfg, app));
+    const deployment_response response = system.find_deployment(request);
     report(response, infra.topology(), system.execution_stats(),
-           system.cache_stats());
+           system.cache_stats(), options.search_chains);
     write_outputs(cfg, response, infra.registry(), system.telemetry());
     return response.fulfilled ? 0 : 2;
 }
@@ -347,21 +454,26 @@ int run_generic(const config& cfg, const application& app, built_topology topo,
     workload_map workloads{topo, random};
     bfs_reachability oracle{topo, links ? &*links : nullptr};
 
-    recloud_context context;
-    context.topology = &topo;
-    context.registry = &registry;
-    context.forest = &forest;
-    context.oracle = &oracle;
-    context.workloads = &workloads;
-    context.links = links ? &*links : nullptr;
+    scenario_builder builder;
+    builder.topology(topo).registry(registry).forest(forest).oracle(oracle)
+        .workloads(workloads);
+    if (links) {
+        builder.links(*links);
+    }
+    const scenario_ptr snapshot = builder.freeze();
 
     std::printf("infrastructure:   %s (%zu hosts, %zu components)\n",
                 topo.name.c_str(), topo.hosts.size(), registry.size());
-    re_cloud system{context, build_options(cfg, session)};
+    const recloud_options options = build_options(cfg, session);
+    const deployment_request request = build_request(cfg, app);
+    if (cfg.get_uint("service.requests", 0) > 0) {
+        return run_service(cfg, app, snapshot, options, request);
+    }
+    re_cloud system{snapshot, options};
     std::printf("assessment:       %s backend\n", system.backend().name());
-    const deployment_response response =
-        system.find_deployment(build_request(cfg, app));
-    report(response, topo, system.execution_stats(), system.cache_stats());
+    const deployment_response response = system.find_deployment(request);
+    report(response, topo, system.execution_stats(), system.cache_stats(),
+           options.search_chains);
     write_outputs(cfg, response, registry, system.telemetry());
     return response.fulfilled ? 0 : 2;
 }

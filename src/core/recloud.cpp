@@ -13,36 +13,6 @@
 #include "sampling/monte_carlo.hpp"
 
 namespace recloud {
-
-fat_tree_infrastructure::fat_tree_infrastructure(
-    fat_tree tree, const infrastructure_options& options)
-    : tree_(std::move(tree)),
-      registry_(tree_.graph()),
-      forest_(tree_.graph().node_count()),
-      power_(attach_power_supplies(tree_.topology(), registry_, forest_,
-                                   options.power)),
-      random_(options.seed),
-      workloads_(tree_.topology(), random_, options.workload) {
-    if (options.model_link_failures) {
-        links_ = attach_link_components(tree_.topology(), registry_,
-                                        options.links);
-    }
-    // Probabilities are assigned after power/link attachment so every added
-    // component is drawn from the same per-type model (§4.1: non-switch
-    // components all follow the "every other component" distribution).
-    assign_paper_probabilities(registry_, random_, options.probabilities);
-}
-
-fat_tree_infrastructure fat_tree_infrastructure::build(
-    data_center_scale scale, const infrastructure_options& options) {
-    return fat_tree_infrastructure{fat_tree::build(scale), options};
-}
-
-fat_tree_infrastructure fat_tree_infrastructure::build(
-    int k, const infrastructure_options& options) {
-    return fat_tree_infrastructure{fat_tree::build(k), options};
-}
-
 namespace {
 
 std::unique_ptr<failure_sampler> make_sampler(sampler_kind kind,
@@ -59,36 +29,38 @@ std::unique_ptr<failure_sampler> make_sampler(sampler_kind kind,
     return std::make_unique<extended_dagger_sampler>(probabilities, seed);
 }
 
-/// Wires the configured backend onto the context's oracle. The parallel and
-/// engine backends give every worker its own oracle via clone().
+/// Wires the configured backend kind onto the scenario. The serial backend
+/// judges rounds on `serial_oracle` (a clone the caller owns); the parallel
+/// and engine backends clone per worker through the scenario — the captured
+/// scenario_ptr keeps the snapshot alive for as long as the factory (and
+/// thus the backend) exists.
 ///
 /// Lifetime: every backend stores `sampler` as a non-owning pointer and
 /// dereferences it on each assess()/reset_stream(). The caller (re_cloud's
-/// constructor) owns the sampler in a member declared before backend_, so
-/// it is destroyed after the backend — the pointer can never dangle within
-/// re_cloud. Anyone else calling this owes the same guarantee.
+/// constructor / make_chain_stack) owns the sampler in a member declared
+/// before the backend (destroyed after it) — the pointer can never dangle
+/// within re_cloud. Anyone else calling this owes the same guarantee.
 std::unique_ptr<assessment_backend> make_backend(
-    const recloud_context& context, const recloud_options& options,
-    failure_sampler& sampler, const verdict_cache_options& cache_options) {
+    const scenario_ptr& scenario, const recloud_options& options,
+    reachability_oracle* serial_oracle, failure_sampler& sampler,
+    const verdict_cache_options& cache_options) {
+    const std::size_t components = scenario->registry().size();
+    const fault_tree_forest* forest = scenario->forest();
     if (options.backend == assessment_backend_kind::serial) {
-        return std::make_unique<serial_backend>(context.registry->size(),
-                                                context.forest, *context.oracle,
-                                                sampler, cache_options);
+        return std::make_unique<serial_backend>(components, forest,
+                                                *serial_oracle, sampler,
+                                                cache_options);
     }
-    if (context.oracle->clone() == nullptr) {
-        throw std::invalid_argument{
-            "re_cloud: the parallel/engine backends need a cloneable oracle"};
-    }
-    oracle_factory factory = [oracle = context.oracle] { return oracle->clone(); };
+    oracle_factory factory = [scenario] { return scenario->make_oracle(); };
     if (options.backend == assessment_backend_kind::parallel) {
         return std::make_unique<parallel_backend>(
-            context.registry->size(), context.forest, std::move(factory), sampler,
+            components, forest, std::move(factory), sampler,
             parallel_backend_options{.threads = options.assessment_threads,
                                      .batch_rounds = options.assessment_batch_rounds,
                                      .verdict_cache = cache_options});
     }
     return std::make_unique<engine_backend>(
-        context.registry->size(), context.forest, std::move(factory), sampler,
+        components, forest, std::move(factory), sampler,
         engine_options{.workers = options.assessment_threads != 0
                                       ? options.assessment_threads
                                       : std::max(
@@ -113,18 +85,17 @@ bool verdict_cache_enabled(const recloud_options& options) {
 
 }  // namespace
 
-re_cloud::re_cloud(const recloud_context& context, const recloud_options& options)
-    : context_(context), options_(options) {
-    if (context_.topology == nullptr || context_.registry == nullptr ||
-        context_.oracle == nullptr) {
-        throw std::invalid_argument{
-            "re_cloud: context needs topology, registry and oracle"};
+re_cloud::re_cloud(scenario_ptr scenario, const recloud_options& options)
+    : scenario_(std::move(scenario)), options_(options) {
+    if (scenario_ == nullptr) {
+        throw std::invalid_argument{"re_cloud: a scenario is required"};
     }
-    if (options_.multi_objective && context_.workloads == nullptr) {
+    if (options_.multi_objective && scenario_->workloads() == nullptr) {
         throw std::invalid_argument{
             "re_cloud: multi-objective optimization needs workloads"};
     }
-    if (options_.instance_workload_demand > 0.0 && context_.workloads == nullptr) {
+    if (options_.instance_workload_demand > 0.0 &&
+        scenario_->workloads() == nullptr) {
         throw std::invalid_argument{
             "re_cloud: resource constraints need workloads"};
     }
@@ -135,65 +106,109 @@ re_cloud::re_cloud(const recloud_context& context, const recloud_options& option
     if (options_.assessment_rounds == 0) {
         throw std::invalid_argument{"re_cloud: assessment_rounds must be >= 1"};
     }
-    sampler_ = make_sampler(options_.sampler, context_.registry->probabilities(),
-                            options_.seed);
-    verdict_cache_options cache_options;
-    if (verdict_cache_enabled(options_)) {
-        support_.emplace(*context_.topology, context_.registry->size(),
-                         context_.forest, context_.links);
-        cache_options.enabled = true;
-        cache_options.max_entries = options_.verdict_cache_entries;
-        cache_options.support = &*support_;
+    if (options_.search_chains == 0) {
+        throw std::invalid_argument{"re_cloud: search_chains must be >= 1"};
     }
-    backend_ = make_backend(context_, options_, *sampler_, cache_options);
+    if (options_.deterministic_schedule &&
+        options_.max_iterations == static_cast<std::size_t>(-1)) {
+        throw std::invalid_argument{
+            "re_cloud: deterministic_schedule needs a finite max_iterations"};
+    }
+    sampler_ = make_sampler(options_.sampler, scenario_->registry().probabilities(),
+                            options_.seed);
+    if (verdict_cache_enabled(options_)) {
+        support_.emplace(scenario_->topology(), scenario_->registry().size(),
+                         scenario_->forest(), scenario_->links());
+        cache_options_.enabled = true;
+        cache_options_.max_entries = options_.verdict_cache_entries;
+        cache_options_.support = &*support_;
+    }
+    if (options_.backend == assessment_backend_kind::serial) {
+        owned_oracle_ = scenario_->make_oracle();
+    }
+    backend_ = make_backend(scenario_, options_, owned_oracle_.get(), *sampler_,
+                            cache_options_);
     if (options_.backend == assessment_backend_kind::engine) {
         engine_view_ = static_cast<engine_backend*>(backend_.get());
+        // Aggregation scratch allocated up front so execution_stats() never
+        // allocates while chains are live.
+        aggregated_engine_stats_ = std::make_unique<engine_stats>();
     }
     if (options_.use_symmetry) {
-        symmetry_.emplace(*context_.topology, *context_.registry, context_.forest,
-                          context_.links);
+        symmetry_.emplace(scenario_->topology(), scenario_->registry(),
+                          scenario_->forest(), scenario_->links());
     }
     if (options_.multi_objective) {
-        utility_.emplace(*context_.workloads);
+        utility_.emplace(*scenario_->workloads());
     }
 }
 
-re_cloud::re_cloud(fat_tree_infrastructure& infra, const recloud_options& options)
-    : re_cloud(std::make_unique<fat_tree_routing>(infra.tree(), infra.links()),
-               infra, options) {}
+re_cloud::re_cloud(const fat_tree_infrastructure& infra,
+                   const recloud_options& options)
+    : re_cloud(make_fat_tree_scenario(infra), options) {}
 
-re_cloud::re_cloud(std::unique_ptr<fat_tree_routing> oracle,
-                   fat_tree_infrastructure& infra, const recloud_options& options)
-    : re_cloud(
-          [&infra, &oracle] {
-              recloud_context context;
-              context.topology = &infra.topology();
-              context.registry = &infra.registry();
-              context.forest = &infra.forest();
-              context.oracle = oracle.get();
-              context.workloads = &infra.workloads();
-              context.links = infra.links();
-              return context;
-          }(),
-          options) {
-    owned_oracle_ = std::move(oracle);
+re_cloud::~re_cloud() = default;
+
+re_cloud::chain_stack re_cloud::make_chain_stack(std::uint64_t stream_id) const {
+    chain_stack stack;
+    stack.sampler = sampler_->fork(stream_id);
+    if (stack.sampler == nullptr) {
+        throw std::invalid_argument{
+            "re_cloud: multi-chain search needs a sampler supporting fork()"};
+    }
+    if (options_.backend == assessment_backend_kind::serial) {
+        stack.oracle = scenario_->make_oracle();
+    }
+    stack.backend = make_backend(scenario_, options_, stack.oracle.get(),
+                                 *stack.sampler, cache_options_);
+    return stack;
 }
 
 deployment_response re_cloud::find_deployment(const deployment_request& request) {
     request.app.validate();
     const std::uint32_t instances = request.app.total_instances();
+    const std::size_t chain_count = options_.search_chains;
 
-    neighbor_generator neighbors{*context_.topology, options_.affinity,
-                                 options_.seed};
-    const plan_evaluator evaluator = [this, &request](const deployment_plan& plan) {
-        if (options_.common_random_numbers) {
-            // Same failure sequences for every candidate: comparisons
-            // measure the plans, not the noise. Backends guarantee identical
-            // streams after a reset regardless of their worker count.
-            backend_->reset_stream(options_.seed ^ 0xc0ffeeULL);
-        }
-        return evaluate(request.app, plan);
-    };
+    // Chains 1..K-1 get their own assessment stack with a forked sampler
+    // substream; chain 0 reuses the main stack, so K=1 is byte-for-byte the
+    // single-chain path. Stacks persist across searches (like the main one).
+    while (chains_.size() + 1 < chain_count) {
+        chains_.push_back(make_chain_stack(chains_.size() + 1));
+    }
+
+    std::vector<std::unique_ptr<neighbor_generator>> generators;
+    std::vector<plan_evaluator> evaluators;
+    std::vector<chain_spec> specs;
+    generators.reserve(chain_count);
+    evaluators.reserve(chain_count);
+    specs.reserve(chain_count);
+    const std::uint64_t anneal_seed = options_.seed + 0x5eedULL;
+    for (std::size_t c = 0; c < chain_count; ++c) {
+        // Chain 0 keeps the legacy seeds exactly; higher chains derive
+        // theirs from forked substreams, so growing K only ADDS trajectories
+        // (prefix stability: chain c's trajectory is the same for any K > c).
+        const std::uint64_t generator_seed =
+            c == 0 ? options_.seed : substream_seed(options_.seed, c);
+        generators.push_back(std::make_unique<neighbor_generator>(
+            scenario_->topology(), options_.affinity, generator_seed));
+        assessment_backend* backend =
+            c == 0 ? backend_.get() : chains_[c - 1].backend.get();
+        evaluators.push_back(
+            [this, &request, backend](const deployment_plan& plan) {
+                if (options_.common_random_numbers) {
+                    // Same failure sequences for every candidate — and for
+                    // every CHAIN: comparisons within a chain and across
+                    // chains measure the plans, not the noise. Backends
+                    // guarantee identical streams after a reset regardless
+                    // of their worker count.
+                    backend->reset_stream(options_.seed ^ 0xc0ffeeULL);
+                }
+                return evaluate_on(*backend, request.app, plan);
+            });
+        specs.push_back(chain_spec{
+            generators[c].get(), &evaluators[c],
+            c == 0 ? anneal_seed : substream_seed(anneal_seed, c)});
+    }
 
     annealing_options search_options;
     search_options.max_time = request.max_search_time;
@@ -201,14 +216,20 @@ deployment_response re_cloud::find_deployment(const deployment_request& request)
     search_options.desired_reliability = request.desired_reliability;
     search_options.use_symmetry = options_.use_symmetry;
     search_options.delta = options_.delta;
-    search_options.seed = options_.seed + 0x5eedULL;
+    search_options.schedule = options_.deterministic_schedule
+                                  ? schedule_mode::iterations
+                                  : schedule_mode::wall_clock;
     search_options.record_trace = options_.record_trace;
     if (options_.observer) {
-        // Forwarding wrapper: enrich each event with the verdict-cache hit
-        // rate (reads counters only — cannot perturb the search).
+        // Forwarding wrapper: enrich each event with the emitting chain's
+        // verdict-cache hit rate (reads counters only — cannot perturb the
+        // search; the chain's own backend is idle while its observer runs).
         search_options.observer = [this](const obs::search_iteration_event& e) {
             obs::search_iteration_event event = e;
-            if (const verdict_cache_stats* cache = backend_->cache_stats()) {
+            const assessment_backend* backend =
+                event.chain == 0 ? backend_.get()
+                                 : chains_[event.chain - 1].backend.get();
+            if (const verdict_cache_stats* cache = backend->cache_stats()) {
                 event.cache_hit_rate = cache->hit_rate();
             }
             options_.observer(event);
@@ -218,7 +239,7 @@ deployment_response re_cloud::find_deployment(const deployment_request& request)
         // §3.3.3: discard plans violating resource constraints before
         // spending an assessment on them.
         const double demand = options_.instance_workload_demand;
-        const workload_map* workloads = context_.workloads;
+        const workload_map* workloads = scenario_->workloads();
         search_options.filter = [demand, workloads](const deployment_plan& plan) {
             for (const node_id host : plan.hosts) {
                 if (workloads->of(host) + demand > 1.0) {
@@ -230,10 +251,13 @@ deployment_response re_cloud::find_deployment(const deployment_request& request)
     }
 
     const symmetry_checker* symmetry = symmetry_ ? &*symmetry_ : nullptr;
+    multi_chain_result chains_result = anneal_chains(
+        specs, symmetry, instances, search_options, options_.search_threads);
     annealing_result result =
-        anneal(neighbors, evaluator, symmetry, instances, search_options);
+        std::move(chains_result.chains[chains_result.winning_chain]);
 
     deployment_response response;
+    response.winning_chain = chains_result.winning_chain;
     response.fulfilled = result.fulfilled;
     response.plan = result.best_plan;
     if (options_.common_random_numbers) {
@@ -260,13 +284,58 @@ assessment_stats re_cloud::assess(const application& app,
                                   const deployment_plan& plan,
                                   std::size_t rounds) {
     app.validate();
-    validate_plan(plan, app, *context_.topology);
+    validate_plan(plan, app, scenario_->topology());
     return backend_->assess(app, plan,
                             rounds == 0 ? options_.assessment_rounds : rounds);
 }
 
-const engine_stats* re_cloud::execution_stats() const noexcept {
-    return engine_view_ != nullptr ? &engine_view_->stats() : nullptr;
+const engine_stats* re_cloud::execution_stats() const {
+    if (engine_view_ == nullptr) {
+        return nullptr;
+    }
+    if (chains_.empty()) {
+        return &engine_view_->stats();
+    }
+    engine_stats& total = *aggregated_engine_stats_;
+    total = engine_view_->stats();
+    for (const chain_stack& chain : chains_) {
+        const engine_stats& s =
+            static_cast<const engine_backend*>(chain.backend.get())->stats();
+        total.batches += s.batches;
+        total.dispatches += s.dispatches;
+        total.retries += s.retries;
+        total.redispatches += s.redispatches;
+        total.degraded += s.degraded;
+        total.worker_crashes += s.worker_crashes;
+        total.deadline_misses += s.deadline_misses;
+        total.invalid_frames += s.invalid_frames;
+        total.bytes_sent += s.bytes_sent;
+        total.bytes_received += s.bytes_received;
+        if (total.worker_failures.size() < s.worker_failures.size()) {
+            total.worker_failures.resize(s.worker_failures.size(), 0);
+        }
+        for (std::size_t w = 0; w < s.worker_failures.size(); ++w) {
+            total.worker_failures[w] += s.worker_failures[w];
+        }
+    }
+    return &total;
+}
+
+const verdict_cache_stats* re_cloud::cache_stats() const {
+    const verdict_cache_stats* main = backend_->cache_stats();
+    if (main == nullptr) {
+        return nullptr;
+    }
+    if (chains_.empty()) {
+        return main;
+    }
+    aggregated_cache_stats_ = *main;
+    for (const chain_stack& chain : chains_) {
+        if (const verdict_cache_stats* s = chain.backend->cache_stats()) {
+            aggregated_cache_stats_.accumulate(*s);
+        }
+    }
+    return &aggregated_cache_stats_;
 }
 
 obs::telemetry_snapshot re_cloud::telemetry() const {
@@ -312,10 +381,11 @@ obs::telemetry_snapshot re_cloud::telemetry() const {
     return registry.snapshot();
 }
 
-plan_evaluation re_cloud::evaluate(const application& app,
-                                   const deployment_plan& plan) {
+plan_evaluation re_cloud::evaluate_on(assessment_backend& backend,
+                                      const application& app,
+                                      const deployment_plan& plan) const {
     plan_evaluation eval;
-    eval.stats = backend_->assess(app, plan, options_.assessment_rounds);
+    eval.stats = backend.assess(app, plan, options_.assessment_rounds);
     if (options_.multi_objective) {
         eval.utility = utility_->utility(plan);
         const double a = options_.weights.reliability;
@@ -332,6 +402,11 @@ plan_evaluation re_cloud::evaluate(const application& app,
         eval.score = eval.stats.reliability;
     }
     return eval;
+}
+
+plan_evaluation re_cloud::evaluate(const application& app,
+                                   const deployment_plan& plan) {
+    return evaluate_on(*backend_, app, plan);
 }
 
 }  // namespace recloud

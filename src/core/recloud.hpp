@@ -9,27 +9,29 @@
 //      cannot be fulfilled within Tmax (the best plan found is still
 //      returned for inspection).
 //
-// `fat_tree_infrastructure` bundles everything the provider side owns for a
-// fat-tree data center: topology, component registry with paper-setting
-// failure probabilities, power-supply fault trees, and host workloads.
-// For other architectures, build a `recloud_context` by hand from a
-// built_topology + bfs_reachability oracle.
+// The provider-side model is an immutable `scenario` snapshot
+// (core/scenario.hpp): re_cloud holds a scenario_ptr and reaches routing
+// only through per-consumer oracle clones, so any number of re_cloud
+// instances (and deployment_service requests) can share one snapshot. For
+// the fat-tree setting use make_fat_tree_scenario(); for other
+// architectures assemble a scenario_builder around a built_topology +
+// bfs_reachability prototype.
 #pragma once
 
 #include <chrono>
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <vector>
 
 #include "app/application.hpp"
 #include "app/deployment.hpp"
 #include "assess/assessor.hpp"
 #include "assess/backend.hpp"
+#include "core/scenario.hpp"
 #include "obs/metrics.hpp"
 #include "faults/component_registry.hpp"
 #include "faults/fault_tree.hpp"
-#include "faults/probability_model.hpp"
-#include "routing/fat_tree_routing.hpp"
 #include "routing/oracle.hpp"
 #include "sampling/sampler.hpp"
 #include "search/annealing.hpp"
@@ -37,84 +39,11 @@
 #include "search/objective.hpp"
 #include "search/symmetry.hpp"
 #include "search/workload.hpp"
-#include "topology/fat_tree.hpp"
-#include "topology/links.hpp"
-#include "topology/power.hpp"
 
 namespace recloud {
 
 class engine_backend;  // exec/engine.hpp
 struct engine_stats;   // exec/engine.hpp
-
-struct infrastructure_options {
-    power_attachment_options power{};  ///< §4.1: 5 supplies, round-robin
-    probability_model_options probabilities{};
-    workload_model_options workload{};
-    /// Register every physical link as a fallible component (§2.1's
-    /// "network connectivity" components). Off by default to match the
-    /// paper's §4.1 evaluation setting (hosts/switches/supplies only).
-    bool model_link_failures = false;
-    link_attachment_options links{};
-    std::uint64_t seed = 42;
-};
-
-/// Provider-side state for a fat-tree data center.
-class fat_tree_infrastructure {
-public:
-    static fat_tree_infrastructure build(data_center_scale scale,
-                                         const infrastructure_options& options = {});
-    static fat_tree_infrastructure build(int k,
-                                         const infrastructure_options& options = {});
-
-    [[nodiscard]] const fat_tree& tree() const noexcept { return tree_; }
-    [[nodiscard]] const built_topology& topology() const noexcept {
-        return tree_.topology();
-    }
-    [[nodiscard]] const component_registry& registry() const noexcept {
-        return registry_;
-    }
-    [[nodiscard]] component_registry& registry() noexcept { return registry_; }
-    [[nodiscard]] const fault_tree_forest& forest() const noexcept { return forest_; }
-    [[nodiscard]] fault_tree_forest& forest() noexcept { return forest_; }
-    [[nodiscard]] const power_assignment& power() const noexcept { return power_; }
-    /// Non-null iff infrastructure_options::model_link_failures was set.
-    [[nodiscard]] const link_attachment* links() const noexcept {
-        return links_ ? &*links_ : nullptr;
-    }
-    [[nodiscard]] const workload_map& workloads() const noexcept {
-        return workloads_;
-    }
-    [[nodiscard]] workload_map& workloads() noexcept { return workloads_; }
-    [[nodiscard]] rng& random() noexcept { return random_; }
-
-private:
-    fat_tree_infrastructure(fat_tree tree, const infrastructure_options& options);
-
-    fat_tree tree_;
-    component_registry registry_;
-    fault_tree_forest forest_;
-    power_assignment power_;
-    std::optional<link_attachment> links_;
-    rng random_;
-    workload_map workloads_;
-};
-
-/// Non-owning view over the pieces re_cloud needs. `forest` and `workloads`
-/// may be null (§3.4 limited information; workloads only matter when
-/// multi-objective optimization is on).
-struct recloud_context {
-    const built_topology* topology = nullptr;
-    const component_registry* registry = nullptr;
-    const fault_tree_forest* forest = nullptr;
-    reachability_oracle* oracle = nullptr;
-    const workload_map* workloads = nullptr;
-    /// Optional link components; the oracle must already consult them. This
-    /// pointer feeds symmetry signatures AND the verdict-cache support set —
-    /// leaving it null while the oracle checks link failures makes the
-    /// cache unsound (link failures would be filtered out of cache keys),
-    /// so it must name exactly what the oracle consults.
-    const link_attachment* links = nullptr;
-};
 
 enum class sampler_kind : std::uint8_t {
     monte_carlo,      ///< §3.2.1 strawman (what INDaaS uses)
@@ -133,7 +62,6 @@ struct recloud_options {
     std::size_t assessment_rounds = 10'000;
     sampler_kind sampler = sampler_kind::extended_dagger;
     /// Which assessment backend executes route-and-check (assess/backend.hpp).
-    /// `parallel` and `engine` need an oracle that supports clone().
     assessment_backend_kind backend = assessment_backend_kind::serial;
     /// Worker threads for the parallel/engine backends; 0 = one per
     /// hardware thread. Ignored by the serial backend.
@@ -162,7 +90,7 @@ struct recloud_options {
     /// Step 3's network-transformation equivalence check.
     bool use_symmetry = true;
     /// §3.3.3: score plans by M = a*reliability + b*utility instead of
-    /// reliability alone. Requires workloads in the context.
+    /// reliability alone. Requires workloads in the scenario.
     bool multi_objective = false;
     objective_weights weights{};
     anti_affinity affinity = anti_affinity::none;
@@ -173,23 +101,43 @@ struct recloud_options {
     /// essential because true reliability gaps between good plans are often
     /// smaller than a 10^4-round confidence interval. The final plan is
     /// re-assessed on a fresh stream so the reported score carries no
-    /// optimization bias.
+    /// optimization bias. With multiple chains CRN also makes the
+    /// inter-chain best-plan comparison noise-free (all chains share the
+    /// same failure sequences).
     bool common_random_numbers = true;
     /// §3.3.3 resource constraints: each deployed instance adds this much
     /// load to its host; candidate plans where any host would exceed a
     /// load of 1.0 are discarded before assessment. 0 disables the check.
-    /// Requires workloads in the context when > 0.
+    /// Requires workloads in the scenario when > 0.
     double instance_workload_demand = 0.0;
     std::uint64_t seed = 1;
     /// Deterministic iteration cap for tests (the paper's flow is
     /// time-driven only).
     std::size_t max_iterations = static_cast<std::size_t>(-1);
+    /// K: independent annealing trajectories per search (§3.3 restarts).
+    /// Chain 0 reproduces the single-chain trajectory exactly; chains
+    /// 1..K-1 start from forked RNG substreams, so growing K only ADDS
+    /// trajectories. The best plan across chains wins (ties: lowest chain).
+    std::size_t search_chains = 1;
+    /// Threads running chains concurrently; 0 = one per hardware thread
+    /// (capped at the chain count). The result is bit-identical for any
+    /// value — threads only affect wall-clock.
+    std::size_t search_threads = 0;
+    /// Drive the annealing temperature and budget from the iteration
+    /// counter instead of the wall clock (requires a finite
+    /// max_iterations). Trajectories become pure functions of the seed —
+    /// the determinism mode the multi-chain tests and the deployment
+    /// service's reproducible mode rely on. Off = the paper's Eq. 6
+    /// wall-clock schedule.
+    bool deterministic_schedule = false;
     /// Record the best-score trace during the search (Figure 9 series).
     bool record_trace = false;
     /// Per-iteration telemetry hook (obs/timeline.hpp). re_cloud enriches
     /// each event with the verdict-cache hit rate before forwarding it.
     /// Observability only — it cannot perturb the search (see
-    /// annealing_options::observer).
+    /// annealing_options::observer). With multiple chains events carry the
+    /// chain index and the hook may fire from several threads; delivery is
+    /// serialized by an internal mutex.
     obs::search_observer observer{};
 };
 
@@ -209,16 +157,20 @@ struct deployment_response {
     assessment_stats stats;  ///< reliability R, variance V, CIW95 of `plan`
     double utility = 0.0;
     double score = 0.0;
-    annealing_result search;  ///< full search telemetry
+    annealing_result search;  ///< search telemetry of the winning chain
+    std::uint32_t winning_chain = 0;  ///< which chain produced `plan`
 };
 
 class re_cloud {
 public:
-    re_cloud(const recloud_context& context, const recloud_options& options = {});
+    explicit re_cloud(scenario_ptr scenario, const recloud_options& options = {});
 
-    /// Convenience: bind to a fat-tree infrastructure with the specialized
-    /// fat-tree routing oracle. The infrastructure must outlive re_cloud.
-    re_cloud(fat_tree_infrastructure& infra, const recloud_options& options = {});
+    /// Convenience: snapshot a caller-owned fat-tree infrastructure (which
+    /// must outlive re_cloud) with the specialized fat-tree routing oracle.
+    explicit re_cloud(const fat_tree_infrastructure& infra,
+                      const recloud_options& options = {});
+
+    ~re_cloud();  ///< out of line: engine_stats is incomplete here
 
     /// The §2.2 workflow: search for a plan fulfilling the request.
     [[nodiscard]] deployment_response find_deployment(const deployment_request& request);
@@ -236,22 +188,26 @@ public:
 
     [[nodiscard]] const recloud_options& options() const noexcept { return options_; }
 
-    /// The assessment backend executing route-and-check for this instance.
+    /// The snapshot this instance searches against.
+    [[nodiscard]] const scenario_ptr& snapshot() const noexcept { return scenario_; }
+
+    /// The main assessment backend executing route-and-check (chain 0 and
+    /// every non-search assess()).
     [[nodiscard]] const assessment_backend& backend() const noexcept {
         return *backend_;
     }
 
     /// Engine-backend observability (dispatches, retries, re-dispatches,
     /// degradations, bytes moved, per-worker failures), cumulative for this
-    /// instance. Null when the backend is serial or parallel.
-    [[nodiscard]] const engine_stats* execution_stats() const noexcept;
+    /// instance and summed across chains. Null when the backend is serial
+    /// or parallel. Only read between searches (it sums live counters).
+    [[nodiscard]] const engine_stats* execution_stats() const;
 
     /// Verdict-cache observability (rounds, empty-round hits, signature
     /// hits/misses, evictions, support size), cumulative for this instance
-    /// and summed across workers. Null when the cache is disabled.
-    [[nodiscard]] const verdict_cache_stats* cache_stats() const noexcept {
-        return backend_->cache_stats();
-    }
+    /// and summed across workers and chains. Null when the cache is
+    /// disabled. Only read between searches (it sums live counters).
+    [[nodiscard]] const verdict_cache_stats* cache_stats() const;
 
     /// One immutable view over everything observable: publishes this
     /// instance's engine and verdict-cache counters into the global metrics
@@ -262,26 +218,47 @@ public:
     [[nodiscard]] obs::telemetry_snapshot telemetry() const;
 
 private:
-    /// Delegation step for the fat-tree convenience constructor: the oracle
-    /// must exist before the context referencing it is built.
-    re_cloud(std::unique_ptr<fat_tree_routing> oracle,
-             fat_tree_infrastructure& infra, const recloud_options& options);
+    /// Per-chain assessment stack for chains 1..K-1 (chain 0 uses the main
+    /// sampler_/backend_ so K=1 is byte-for-byte the single-chain path).
+    /// Declaration order inside is the same lifetime contract as the main
+    /// members: the backend points into the sampler.
+    struct chain_stack {
+        std::unique_ptr<reachability_oracle> oracle;  ///< serial backend only
+        std::unique_ptr<failure_sampler> sampler;
+        std::unique_ptr<assessment_backend> backend;
+    };
 
-    recloud_context context_;
+    [[nodiscard]] chain_stack make_chain_stack(std::uint64_t stream_id) const;
+    [[nodiscard]] plan_evaluation evaluate_on(assessment_backend& backend,
+                                              const application& app,
+                                              const deployment_plan& plan) const;
+
+    scenario_ptr scenario_;
     recloud_options options_;
-    std::unique_ptr<fat_tree_routing> owned_oracle_;  ///< fat-tree convenience ctor
+    /// Private oracle clone feeding the serial backend (parallel/engine
+    /// backends clone per worker through the scenario instead).
+    std::unique_ptr<reachability_oracle> owned_oracle_;
     /// Static support set shared by every backend verdict cache; part of the
     /// same lifetime contract as sampler_ (backends point into it, so it
     /// must be declared before backend_). Engaged iff the cache is on.
     std::optional<verdict_support> support_;
+    /// The resolved cache configuration every backend (main and chain) is
+    /// built with; points into support_.
+    verdict_cache_options cache_options_{};
     /// Declaration order is a lifetime contract: every backend keeps a raw
     /// pointer to the sampler, so sampler_ must precede backend_ (members
     /// are destroyed in reverse order — the backend goes first).
     std::unique_ptr<failure_sampler> sampler_;
     std::unique_ptr<assessment_backend> backend_;
+    /// Chains 1..K-1 (lazily built on the first multi-chain search).
+    std::vector<chain_stack> chains_;
     engine_backend* engine_view_ = nullptr;  ///< set iff backend is the engine
     std::optional<symmetry_checker> symmetry_;
     std::optional<workload_utility> utility_;
+    /// Aggregation scratch for cache_stats()/execution_stats() across the
+    /// main backend and every chain stack.
+    mutable verdict_cache_stats aggregated_cache_stats_{};
+    mutable std::unique_ptr<engine_stats> aggregated_engine_stats_;
 };
 
 }  // namespace recloud

@@ -1,0 +1,206 @@
+#include "core/scenario.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "routing/fat_tree_routing.hpp"
+
+namespace recloud {
+
+// ---- fat_tree_infrastructure (moved here from core/recloud.cpp) ---------
+
+fat_tree_infrastructure::fat_tree_infrastructure(
+    fat_tree tree, const infrastructure_options& options)
+    : tree_(std::move(tree)),
+      registry_(tree_.graph()),
+      forest_(tree_.graph().node_count()),
+      power_(attach_power_supplies(tree_.topology(), registry_, forest_,
+                                   options.power)),
+      random_(options.seed),
+      workloads_(tree_.topology(), random_, options.workload) {
+    if (options.model_link_failures) {
+        links_ = attach_link_components(tree_.topology(), registry_,
+                                        options.links);
+    }
+    // Probabilities are assigned after power/link attachment so every added
+    // component is drawn from the same per-type model (§4.1: non-switch
+    // components all follow the "every other component" distribution).
+    assign_paper_probabilities(registry_, random_, options.probabilities);
+}
+
+fat_tree_infrastructure fat_tree_infrastructure::build(
+    data_center_scale scale, const infrastructure_options& options) {
+    return fat_tree_infrastructure{fat_tree::build(scale), options};
+}
+
+fat_tree_infrastructure fat_tree_infrastructure::build(
+    int k, const infrastructure_options& options) {
+    return fat_tree_infrastructure{fat_tree::build(k), options};
+}
+
+std::shared_ptr<fat_tree_infrastructure> fat_tree_infrastructure::build_shared(
+    data_center_scale scale, const infrastructure_options& options) {
+    // Constructed directly in its heap storage: the bundle's members point
+    // into each other, so it must never move after construction.
+    return std::shared_ptr<fat_tree_infrastructure>{
+        new fat_tree_infrastructure{fat_tree::build(scale), options}};
+}
+
+std::shared_ptr<fat_tree_infrastructure> fat_tree_infrastructure::build_shared(
+    int k, const infrastructure_options& options) {
+    return std::shared_ptr<fat_tree_infrastructure>{
+        new fat_tree_infrastructure{fat_tree::build(k), options}};
+}
+
+// ---- scenario -----------------------------------------------------------
+
+std::unique_ptr<reachability_oracle> scenario::make_oracle() const {
+    std::unique_ptr<reachability_oracle> oracle = oracle_prototype_->clone();
+    if (oracle == nullptr) {
+        // validate() checked clone-ability at freeze; reaching this means
+        // the prototype changed behavior after freezing (a contract breach,
+        // not a user error).
+        throw std::logic_error{
+            "scenario: oracle prototype stopped producing clones"};
+    }
+    return oracle;
+}
+
+void scenario::validate() const {
+    if (topology_ == nullptr || registry_ == nullptr) {
+        throw std::invalid_argument{
+            "scenario: topology and registry are required"};
+    }
+    if (oracle_prototype_ == nullptr) {
+        throw std::invalid_argument{"scenario: an oracle prototype is required"};
+    }
+    if (registry_->size() < topology_->graph.node_count()) {
+        throw std::invalid_argument{
+            "scenario: registry does not cover every topology node"};
+    }
+    if (oracle_prototype_->clone() == nullptr) {
+        throw std::invalid_argument{
+            "scenario: the oracle prototype must support clone() — scenarios "
+            "hand out per-consumer oracles, never the prototype itself"};
+    }
+    const link_attachment* consulted = oracle_prototype_->consulted_links();
+    if (consulted != nullptr && links_ != consulted) {
+        // The foot-gun recloud_context documented but could not enforce:
+        // symmetry signatures and the verdict-cache support set are derived
+        // from the scenario's link pointer. If the oracle consults links the
+        // scenario does not name (or a DIFFERENT attachment), link failures
+        // are filtered out of cache keys and cached verdicts become wrong.
+        throw std::invalid_argument{
+            links_ == nullptr
+                ? "scenario: the oracle consults link components but the "
+                  "scenario names none — declare the same link_attachment "
+                  "via links() or the verdict cache would be unsound"
+                : "scenario: the oracle consults a different link_attachment "
+                  "than the scenario names"};
+    }
+}
+
+// ---- scenario_builder ---------------------------------------------------
+
+scenario_builder& scenario_builder::name(std::string value) {
+    draft_->name_ = std::move(value);
+    return *this;
+}
+
+scenario_builder& scenario_builder::topology(const built_topology& topo) {
+    draft_->topology_ = &topo;
+    return *this;
+}
+
+scenario_builder& scenario_builder::registry(const component_registry& registry) {
+    draft_->registry_ = &registry;
+    return *this;
+}
+
+scenario_builder& scenario_builder::forest(const fault_tree_forest& forest) {
+    draft_->forest_ = &forest;
+    return *this;
+}
+
+scenario_builder& scenario_builder::links(const link_attachment& links) {
+    draft_->links_ = &links;
+    return *this;
+}
+
+scenario_builder& scenario_builder::workloads(const workload_map& workloads) {
+    draft_->workloads_ = &workloads;
+    return *this;
+}
+
+scenario_builder& scenario_builder::oracle(const reachability_oracle& prototype) {
+    draft_->oracle_prototype_ = &prototype;
+    return *this;
+}
+
+scenario_builder& scenario_builder::own_registry(
+    std::shared_ptr<const component_registry> r) {
+    draft_->registry_ = r.get();
+    draft_->owned_.push_back(std::move(r));
+    return *this;
+}
+
+scenario_builder& scenario_builder::own_oracle(
+    std::shared_ptr<const reachability_oracle> o) {
+    draft_->oracle_prototype_ = o.get();
+    draft_->owned_.push_back(std::move(o));
+    return *this;
+}
+
+scenario_builder& scenario_builder::keep_alive(
+    std::shared_ptr<const void> object) {
+    draft_->owned_.push_back(std::move(object));
+    return *this;
+}
+
+scenario_ptr scenario_builder::freeze() {
+    draft_->validate();
+    scenario_ptr frozen = std::move(draft_);
+    draft_.reset(new scenario);
+    return frozen;
+}
+
+// ---- fat-tree conveniences ----------------------------------------------
+
+namespace {
+
+scenario_ptr freeze_fat_tree(std::shared_ptr<const fat_tree_infrastructure> infra) {
+    auto oracle =
+        std::make_shared<const fat_tree_routing>(infra->tree(), infra->links());
+    scenario_builder builder;
+    builder.name(infra->topology().name)
+        .topology(infra->topology())
+        .registry(infra->registry())
+        .forest(infra->forest())
+        .workloads(infra->workloads())
+        .own_oracle(oracle);
+    if (infra->links() != nullptr) {
+        builder.links(*infra->links());
+    }
+    builder.keep_alive(std::move(infra));
+    return builder.freeze();
+}
+
+}  // namespace
+
+scenario_ptr make_fat_tree_scenario(data_center_scale scale,
+                                    const infrastructure_options& options) {
+    return freeze_fat_tree(fat_tree_infrastructure::build_shared(scale, options));
+}
+
+scenario_ptr make_fat_tree_scenario(int k, const infrastructure_options& options) {
+    return freeze_fat_tree(fat_tree_infrastructure::build_shared(k, options));
+}
+
+scenario_ptr make_fat_tree_scenario(const fat_tree_infrastructure& infra) {
+    // Borrowed bundle: the non-owning aliasing shared_ptr keeps the freeze
+    // path identical while leaving lifetime with the caller.
+    return freeze_fat_tree(std::shared_ptr<const fat_tree_infrastructure>{
+        std::shared_ptr<const void>{}, &infra});
+}
+
+}  // namespace recloud

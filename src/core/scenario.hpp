@@ -1,0 +1,225 @@
+// Immutable provider-side scenario snapshots — the shared-model layer that
+// turns the single-request pipeline into a multi-tenant service.
+//
+// The paper's workflow (§2.2) is request-driven: many developers submit
+// requirements against ONE provider model of the data center. Serving those
+// requests concurrently requires that model to be immutable and shareable:
+// a `scenario` is a ref-counted snapshot bundling topology, component
+// registry (probability tables included), fault-tree forest, link
+// attachment, workloads, and a routing-oracle *prototype*. Nothing in a
+// frozen scenario can be mutated; per-request/per-worker mutable state
+// (round caches, flood marks) lives in oracle clones handed out by
+// make_oracle(). Consumers hold `scenario_ptr` (shared_ptr<const scenario>),
+// so a snapshot outlives every search, chain, and queued request that uses
+// it — replacing the historic `recloud_context` bag of raw pointers around a
+// mutable oracle.
+//
+// Construction is two-phase: a `scenario_builder` collects parts (borrowed
+// from the caller or owned by the snapshot), then freeze() validates the
+// bundle and returns the immutable handle. validate() enforces the contract
+// the old context left to a doc comment: the links the ORACLE consults must
+// be exactly the links the scenario names, because symmetry signatures and
+// the verdict-cache support set are derived from the scenario's pointer —
+// a mismatch silently made cached verdicts unsound.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "faults/component_registry.hpp"
+#include "faults/fault_tree.hpp"
+#include "faults/probability_model.hpp"
+#include "routing/oracle.hpp"
+#include "search/workload.hpp"
+#include "topology/fat_tree.hpp"
+#include "topology/links.hpp"
+#include "topology/power.hpp"
+#include "util/rng.hpp"
+
+namespace recloud {
+
+struct infrastructure_options {
+    power_attachment_options power{};  ///< §4.1: 5 supplies, round-robin
+    probability_model_options probabilities{};
+    workload_model_options workload{};
+    /// Register every physical link as a fallible component (§2.1's
+    /// "network connectivity" components). Off by default to match the
+    /// paper's §4.1 evaluation setting (hosts/switches/supplies only).
+    bool model_link_failures = false;
+    link_attachment_options links{};
+    std::uint64_t seed = 42;
+};
+
+/// Provider-side state for a fat-tree data center. This is a BUILD-TIME
+/// bundle: construct it, then freeze it into a scenario (or hand it to
+/// re_cloud's convenience constructor, which snapshots it internally).
+/// Members hold pointers into sibling members, so the bundle is pinned to
+/// its construction address — it can be built in place (build(), the
+/// build_shared() heap variant) but never copied or moved.
+///
+/// The stochastic models (workloads, probabilities) consume the bundle's
+/// private rng during construction only; it is deliberately NOT exposed.
+/// Request and search-chain seeds must come from forked substreams
+/// (substream_seed / failure_sampler::fork) so concurrent searches never
+/// contend on — or non-deterministically consume — a shared generator.
+class fat_tree_infrastructure {
+public:
+    static fat_tree_infrastructure build(data_center_scale scale,
+                                         const infrastructure_options& options = {});
+    static fat_tree_infrastructure build(int k,
+                                         const infrastructure_options& options = {});
+    /// Heap-constructed variant for scenario ownership: the bundle is built
+    /// directly in its final storage (it is not movable).
+    static std::shared_ptr<fat_tree_infrastructure> build_shared(
+        data_center_scale scale, const infrastructure_options& options = {});
+    static std::shared_ptr<fat_tree_infrastructure> build_shared(
+        int k, const infrastructure_options& options = {});
+
+    fat_tree_infrastructure(const fat_tree_infrastructure&) = delete;
+    fat_tree_infrastructure& operator=(const fat_tree_infrastructure&) = delete;
+
+    [[nodiscard]] const fat_tree& tree() const noexcept { return tree_; }
+    [[nodiscard]] const built_topology& topology() const noexcept {
+        return tree_.topology();
+    }
+    [[nodiscard]] const component_registry& registry() const noexcept {
+        return registry_;
+    }
+    [[nodiscard]] component_registry& registry() noexcept { return registry_; }
+    [[nodiscard]] const fault_tree_forest& forest() const noexcept { return forest_; }
+    [[nodiscard]] fault_tree_forest& forest() noexcept { return forest_; }
+    [[nodiscard]] const power_assignment& power() const noexcept { return power_; }
+    /// Non-null iff infrastructure_options::model_link_failures was set.
+    [[nodiscard]] const link_attachment* links() const noexcept {
+        return links_ ? &*links_ : nullptr;
+    }
+    [[nodiscard]] const workload_map& workloads() const noexcept {
+        return workloads_;
+    }
+    [[nodiscard]] workload_map& workloads() noexcept { return workloads_; }
+
+private:
+    fat_tree_infrastructure(fat_tree tree, const infrastructure_options& options);
+
+    fat_tree tree_;
+    component_registry registry_;
+    fault_tree_forest forest_;
+    power_assignment power_;
+    std::optional<link_attachment> links_;
+    rng random_;  ///< consumed at construction only; never shared out
+    workload_map workloads_;
+};
+
+class scenario;
+
+/// How every consumer holds a scenario: the snapshot stays alive for as
+/// long as any search, chain, queued request, or oracle factory uses it.
+using scenario_ptr = std::shared_ptr<const scenario>;
+
+/// One immutable provider-model snapshot. `forest`, `links` and `workloads`
+/// are optional (§3.4 limited information; workloads only matter for
+/// multi-objective search and resource constraints).
+class scenario {
+public:
+    [[nodiscard]] const built_topology& topology() const noexcept {
+        return *topology_;
+    }
+    [[nodiscard]] const component_registry& registry() const noexcept {
+        return *registry_;
+    }
+    [[nodiscard]] const fault_tree_forest* forest() const noexcept {
+        return forest_;
+    }
+    [[nodiscard]] const link_attachment* links() const noexcept { return links_; }
+    [[nodiscard]] const workload_map* workloads() const noexcept {
+        return workloads_;
+    }
+    /// Human-readable label (topology name unless overridden) used in
+    /// service telemetry and reports.
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+    /// Clones the routing-oracle prototype: the ONLY way to reach an oracle
+    /// through a scenario, so every consumer gets private mutable routing
+    /// state and the snapshot itself stays immutable. Thread-safe (clone()
+    /// is const on an immutable prototype).
+    [[nodiscard]] std::unique_ptr<reachability_oracle> make_oracle() const;
+
+    /// Checks the bundle invariants (freeze() runs this, so a scenario_ptr
+    /// in hand is always valid):
+    ///   * topology, registry and oracle prototype are present;
+    ///   * the registry covers every topology node;
+    ///   * the prototype supports clone() — a scenario must be able to hand
+    ///     out per-consumer oracles;
+    ///   * the links the oracle consults are exactly `links()` — a link
+    ///     attachment the oracle checks but the scenario does not name
+    ///     would be filtered out of verdict-cache keys and symmetry
+    ///     signatures (the silent unsoundness recloud_context permitted).
+    /// Throws std::invalid_argument on violation.
+    void validate() const;
+
+private:
+    friend class scenario_builder;
+    scenario() = default;
+
+    const built_topology* topology_ = nullptr;
+    const component_registry* registry_ = nullptr;
+    const fault_tree_forest* forest_ = nullptr;
+    const link_attachment* links_ = nullptr;
+    const workload_map* workloads_ = nullptr;
+    const reachability_oracle* oracle_prototype_ = nullptr;
+    std::string name_ = "scenario";
+    /// Keep-alives for parts the snapshot owns (type-erased); borrowed
+    /// parts have no entry and must outlive the scenario.
+    std::vector<std::shared_ptr<const void>> owned_;
+};
+
+/// Collects scenario parts, then freeze()s them into an immutable snapshot.
+/// Every part can be BORROWED (the caller guarantees it outlives the
+/// scenario — the pattern of existing stack-built tests) or OWNED (moved
+/// into / shared with the snapshot, which then keeps it alive).
+class scenario_builder {
+public:
+    scenario_builder& name(std::string value);
+
+    // -- borrowed parts (caller-managed lifetime) -------------------------
+    scenario_builder& topology(const built_topology& topo);
+    scenario_builder& registry(const component_registry& registry);
+    scenario_builder& forest(const fault_tree_forest& forest);
+    scenario_builder& links(const link_attachment& links);
+    scenario_builder& workloads(const workload_map& workloads);
+    /// The routing-oracle prototype, reached only via scenario::make_oracle
+    /// (clone). Must support clone().
+    scenario_builder& oracle(const reachability_oracle& prototype);
+
+    // -- owned parts (the snapshot keeps them alive) ----------------------
+    scenario_builder& own_registry(std::shared_ptr<const component_registry> r);
+    scenario_builder& own_oracle(std::shared_ptr<const reachability_oracle> o);
+    /// Generic keep-alive for any object backing borrowed pointers (e.g. a
+    /// heap-built fat_tree_infrastructure whose members were borrowed).
+    scenario_builder& keep_alive(std::shared_ptr<const void> object);
+
+    /// Validates and returns the immutable snapshot. The builder is left
+    /// empty (one builder, one scenario).
+    [[nodiscard]] scenario_ptr freeze();
+
+private:
+    std::shared_ptr<scenario> draft_{new scenario};
+};
+
+/// Fat-tree convenience: builds the §4.1 provider bundle on the heap, wires
+/// the specialized closed-form routing oracle over it, and freezes the
+/// whole thing into a self-owning snapshot.
+[[nodiscard]] scenario_ptr make_fat_tree_scenario(
+    data_center_scale scale, const infrastructure_options& options = {});
+[[nodiscard]] scenario_ptr make_fat_tree_scenario(
+    int k, const infrastructure_options& options = {});
+
+/// Snapshot over a caller-owned infrastructure (borrowed: `infra` must
+/// outlive the scenario). The oracle prototype is owned by the snapshot.
+[[nodiscard]] scenario_ptr make_fat_tree_scenario(
+    const fat_tree_infrastructure& infra);
+
+}  // namespace recloud

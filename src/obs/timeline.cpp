@@ -56,7 +56,13 @@ std::string search_timeline::to_json_line(const search_iteration_event& event) {
     out += event.kind == search_event_kind::heartbeat ? "heartbeat" : "iteration";
     out += "\",\"kind\":\"";
     out += to_string(event.kind);
-    out += "\",\"iteration\":";
+    out += "\",\"chain\":";
+    out += std::to_string(event.chain);
+    if (event.request_id != 0) {
+        out += ",\"request\":";
+        out += std::to_string(event.request_id);
+    }
+    out += ",\"iteration\":";
     out += std::to_string(event.iteration);
     out += ",\"elapsed_seconds\":";
     out += number(event.elapsed_seconds);

@@ -37,6 +37,12 @@ enum class search_event_kind : std::uint8_t {
 /// candidate_* fields are zero (the plan was never assessed).
 struct search_iteration_event {
     search_event_kind kind = search_event_kind::initial;
+    /// Which annealing chain emitted the event (anneal_chains); 0 for
+    /// single-chain searches.
+    std::uint32_t chain = 0;
+    /// deployment_service request tag; 0 outside the service (request ids
+    /// start at 1).
+    std::uint64_t request_id = 0;
     std::uint64_t iteration = 0;  ///< plans generated so far
     double elapsed_seconds = 0.0;
     double temperature = 0.0;  ///< Eq. 6 at this iteration

@@ -33,6 +33,10 @@ public:
     [[nodiscard]] bool border_reachable(node_id host) override;
     [[nodiscard]] bool host_to_host(node_id a, node_id b) override;
     [[nodiscard]] std::unique_ptr<reachability_oracle> clone() const override;
+    [[nodiscard]] const link_attachment* consulted_links()
+        const noexcept override {
+        return links_;
+    }
 
     /// Test hook: fast-forwards the per-source flood stamp so the uint32
     /// wrap-around hardening can be exercised without 2^32 floods.

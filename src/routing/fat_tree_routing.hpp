@@ -49,6 +49,10 @@ public:
     [[nodiscard]] bool border_reachable(node_id host) override;
     [[nodiscard]] bool host_to_host(node_id a, node_id b) override;
     [[nodiscard]] std::unique_ptr<reachability_oracle> clone() const override;
+    [[nodiscard]] const link_attachment* consulted_links()
+        const noexcept override {
+        return links_;
+    }
 
 private:
     [[nodiscard]] bool node_ok(node_id id) { return !rs_->failed(id); }

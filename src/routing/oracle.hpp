@@ -13,6 +13,8 @@
 
 namespace recloud {
 
+class link_attachment;  // topology/links.hpp
+
 class reachability_oracle {
 public:
     virtual ~reachability_oracle() = default;
@@ -46,6 +48,18 @@ public:
     /// per-round caches — what a parallel assessment worker needs. Returns
     /// nullptr when the oracle cannot be cloned (stateful test doubles).
     [[nodiscard]] virtual std::unique_ptr<reachability_oracle> clone() const {
+        return nullptr;
+    }
+
+    /// The link attachment this oracle consults when judging reachability,
+    /// or nullptr when links are treated as infallible. Anything that
+    /// derives per-component reasoning from an oracle (symmetry signatures,
+    /// the verdict-cache support set) must see the SAME attachment —
+    /// scenario::validate() enforces the match, closing the historic
+    /// recloud_context foot-gun where a forgotten `links` pointer silently
+    /// made the verdict cache unsound.
+    [[nodiscard]] virtual const link_attachment* consulted_links()
+        const noexcept {
         return nullptr;
     }
 };

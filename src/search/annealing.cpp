@@ -1,11 +1,15 @@
 #include "search/annealing.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <exception>
+#include <mutex>
 #include <stdexcept>
+#include <thread>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
-#include "util/stopwatch.hpp"
 
 namespace recloud {
 namespace {
@@ -29,111 +33,142 @@ double acceptance_delta(double s_current, double s_neighbor,
     return std::fabs(std::log10(neighbor_gap / current_gap));
 }
 
-annealing_result anneal(neighbor_generator& neighbors,
-                        const plan_evaluator& evaluate,
-                        const symmetry_checker* symmetry,
-                        std::uint32_t instances,
-                        const annealing_options& options) {
-    RECLOUD_SPAN("search.anneal");
-    rng random{options.seed};
-    deadline budget{options.max_time};
-    annealing_result result;
+search_chain::search_chain(neighbor_generator& neighbors,
+                           const plan_evaluator& evaluate,
+                           const symmetry_checker* symmetry,
+                           std::uint32_t instances,
+                           const annealing_options& options)
+    : neighbors_(neighbors),
+      evaluate_(evaluate),
+      symmetry_(symmetry),
+      instances_(instances),
+      options_(options),
+      random_(options.seed),
+      budget_(options.max_time) {
+    if (options_.schedule == schedule_mode::iterations &&
+        options_.max_iterations == static_cast<std::size_t>(-1)) {
+        throw std::invalid_argument{
+            "search_chain: the iteration-driven schedule needs a finite "
+            "max_iterations"};
+    }
+}
 
-    const bool symmetry_on = options.use_symmetry && symmetry != nullptr;
+bool search_chain::expired() const noexcept {
+    if (options_.schedule == schedule_mode::iterations) {
+        // The loop's max_iterations guard is the whole budget; the wall
+        // clock deliberately never enters the trajectory.
+        return false;
+    }
+    return budget_.expired();
+}
+
+double search_chain::remaining_fraction() const noexcept {
+    if (options_.schedule == schedule_mode::iterations) {
+        const double total = static_cast<double>(options_.max_iterations);
+        const double used = static_cast<double>(result_.plans_generated);
+        const double frac = 1.0 - used / total;
+        return frac < 0.0 ? 0.0 : (frac > 1.0 ? 1.0 : frac);
+    }
+    return budget_.remaining_fraction();  // Eq. 6
+}
+
+annealing_result search_chain::run() {
+    RECLOUD_SPAN("search.anneal");
+
+    const bool symmetry_on = options_.use_symmetry && symmetry_ != nullptr;
 
     // Telemetry-only hook: reads the clock and the already-made decision,
     // never the RNG — the search trajectory is identical with or without it.
     const auto notify = [&](obs::search_event_kind kind,
                             const plan_evaluation* eval) {
-        if (!options.observer) {
+        if (!options_.observer) {
             return;
         }
         obs::search_iteration_event event;
         event.kind = kind;
-        event.iteration = result.plans_generated;
-        event.elapsed_seconds = budget.elapsed_seconds();
-        event.temperature =
-            std::max(budget.remaining_fraction(), temperature_floor);
+        event.chain = options_.chain;
+        event.iteration = result_.plans_generated;
+        event.elapsed_seconds = budget_.elapsed_seconds();
+        event.temperature = std::max(remaining_fraction(), temperature_floor);
         if (eval != nullptr) {
             event.candidate_score = eval->score;
             event.candidate_reliability = eval->stats.reliability;
             event.candidate_ciw = eval->stats.ciw95;
             event.candidate_rounds = eval->stats.rounds;
         }
-        event.best_score = result.best_evaluation.score;
-        event.plans_evaluated = result.plans_evaluated;
-        options.observer(event);
+        event.best_score = result_.best_evaluation.score;
+        event.plans_evaluated = result_.plans_evaluated;
+        options_.observer(event);
     };
 
     const auto assess_candidate = [&](const deployment_plan& plan) {
         RECLOUD_SPAN("search.evaluate");
-        plan_evaluation eval = evaluate(plan);
-        ++result.plans_evaluated;
+        plan_evaluation eval = evaluate_(plan);
+        ++result_.plans_evaluated;
         RECLOUD_COUNTER_INC("search.plans_evaluated");
         return eval;
     };
 
     const auto note_improvement = [&](const plan_evaluation& eval) {
-        if (!options.record_trace) {
+        if (!options_.record_trace) {
             return;
         }
-        result.trace.push_back(annealing_trace_point{
-            budget.elapsed_seconds(), eval.score, eval.stats.reliability,
-            result.plans_evaluated});
+        result_.trace.push_back(annealing_trace_point{
+            budget_.elapsed_seconds(), eval.score, eval.stats.reliability,
+            result_.plans_evaluated});
     };
 
     // Steps 1-2: random initial plan (regenerated while the resource filter
     // rejects it), assess it.
-    deployment_plan current = neighbors.initial_plan(instances);
-    ++result.plans_generated;
+    deployment_plan current = neighbors_.initial_plan(instances_);
+    ++result_.plans_generated;
     RECLOUD_COUNTER_INC("search.plans_generated");
-    if (options.filter) {
+    if (options_.filter) {
         std::size_t attempts = 0;
-        while (!options.filter(current)) {
-            ++result.filtered_plans;
+        while (!options_.filter(current)) {
+            ++result_.filtered_plans;
             notify(obs::search_event_kind::filtered, nullptr);
-            if (++attempts > options.max_consecutive_skips) {
+            if (++attempts > options_.max_consecutive_skips) {
                 throw std::runtime_error{
                     "anneal: could not generate a feasible initial plan"};
             }
-            current = neighbors.initial_plan(instances);
-            ++result.plans_generated;
+            current = neighbors_.initial_plan(instances_);
+            ++result_.plans_generated;
             RECLOUD_COUNTER_INC("search.plans_generated");
         }
     }
     plan_evaluation current_eval = assess_candidate(current);
 
-    result.best_plan = current;
-    result.best_evaluation = current_eval;
+    result_.best_plan = current;
+    result_.best_evaluation = current_eval;
     note_improvement(current_eval);
     notify(obs::search_event_kind::initial, &current_eval);
 
     std::uint64_t current_signature =
-        symmetry_on ? symmetry->signature(current) : 0;
+        symmetry_on ? symmetry_->signature(current) : 0;
 
     std::size_t consecutive_skips = 0;
-    while (!budget.expired() &&
-           result.plans_generated < options.max_iterations) {
+    while (!expired() && result_.plans_generated < options_.max_iterations) {
         // Step 6's success check runs against the *current* plan (§3.3.1).
-        if (current_eval.stats.reliability >= options.desired_reliability) {
-            result.fulfilled = true;
+        if (current_eval.stats.reliability >= options_.desired_reliability) {
+            result_.fulfilled = true;
             break;
         }
 
         // Step 3: neighbor generation + resource-constraint discard +
         // network-transformation equivalence.
-        deployment_plan neighbor = neighbors.neighbor_of(current);
-        ++result.plans_generated;
+        deployment_plan neighbor = neighbors_.neighbor_of(current);
+        ++result_.plans_generated;
         RECLOUD_COUNTER_INC("search.plans_generated");
-        if (options.filter && !options.filter(neighbor)) {
-            ++result.filtered_plans;
+        if (options_.filter && !options_.filter(neighbor)) {
+            ++result_.filtered_plans;
             RECLOUD_COUNTER_INC("search.filtered_plans");
             notify(obs::search_event_kind::filtered, nullptr);
             continue;
         }
-        if (symmetry_on && consecutive_skips < options.max_consecutive_skips &&
-            symmetry->signature(neighbor) == current_signature) {
-            ++result.symmetric_skips;
+        if (symmetry_on && consecutive_skips < options_.max_consecutive_skips &&
+            symmetry_->signature(neighbor) == current_signature) {
+            ++result_.symmetric_skips;
             ++consecutive_skips;
             RECLOUD_COUNTER_INC("search.symmetric_skips");
             notify(obs::search_event_kind::symmetric_skip, nullptr);
@@ -148,15 +183,15 @@ annealing_result anneal(neighbor_generator& neighbors,
         const bool improved = neighbor_eval.score >= current_eval.score;
         bool accept = improved;
         if (!accept) {
-            const double t = std::max(budget.remaining_fraction(),  // Eq. 6
+            const double t = std::max(remaining_fraction(),  // Eq. 6
                                       temperature_floor);
             const double delta = acceptance_delta(current_eval.score,
                                                   neighbor_eval.score,
-                                                  options.delta);  // Eq. 5
-            const double probability = std::exp(-delta / t);       // Eq. 4
-            accept = random.uniform() < probability;
+                                                  options_.delta);  // Eq. 5
+            const double probability = std::exp(-delta / t);        // Eq. 4
+            accept = random_.uniform() < probability;
             if (accept) {
-                ++result.accepted_worse;
+                ++result_.accepted_worse;
                 RECLOUD_COUNTER_INC("search.accepted_worse");
             }
         }
@@ -164,11 +199,11 @@ annealing_result anneal(neighbor_generator& neighbors,
             current = std::move(neighbor);
             current_eval = neighbor_eval;
             if (symmetry_on) {
-                current_signature = symmetry->signature(current);
+                current_signature = symmetry_->signature(current);
             }
-            if (current_eval.score > result.best_evaluation.score) {
-                result.best_plan = current;
-                result.best_evaluation = current_eval;
+            if (current_eval.score > result_.best_evaluation.score) {
+                result_.best_plan = current;
+                result_.best_evaluation = current_eval;
                 note_improvement(current_eval);
             }
         }
@@ -178,13 +213,123 @@ annealing_result anneal(neighbor_generator& neighbors,
                &neighbor_eval);
     }
 
-    if (!result.fulfilled &&
-        result.best_evaluation.stats.reliability >= options.desired_reliability) {
+    if (!result_.fulfilled &&
+        result_.best_evaluation.stats.reliability >=
+            options_.desired_reliability) {
         // The best plan seen can satisfy R_desired even if the random walk
         // moved off it before the loop ended.
-        result.fulfilled = true;
+        result_.fulfilled = true;
     }
-    result.elapsed_seconds = budget.elapsed_seconds();
+    result_.elapsed_seconds = budget_.elapsed_seconds();
+    return std::move(result_);
+}
+
+annealing_result anneal(neighbor_generator& neighbors,
+                        const plan_evaluator& evaluate,
+                        const symmetry_checker* symmetry,
+                        std::uint32_t instances,
+                        const annealing_options& options) {
+    return search_chain{neighbors, evaluate, symmetry, instances, options}.run();
+}
+
+multi_chain_result anneal_chains(const std::vector<chain_spec>& specs,
+                                 const symmetry_checker* symmetry,
+                                 std::uint32_t instances,
+                                 const annealing_options& base_options,
+                                 std::size_t threads) {
+    RECLOUD_SPAN("search.anneal_chains");
+    if (specs.empty()) {
+        throw std::invalid_argument{"anneal_chains: at least one chain"};
+    }
+    for (const chain_spec& spec : specs) {
+        if (spec.neighbors == nullptr || spec.evaluate == nullptr) {
+            throw std::invalid_argument{
+                "anneal_chains: every chain needs a generator and evaluator"};
+        }
+    }
+
+    const std::size_t chain_count = specs.size();
+    std::size_t workers = threads != 0
+                              ? threads
+                              : std::max<std::size_t>(
+                                    1, std::thread::hardware_concurrency());
+    workers = std::min(workers, chain_count);
+
+    // The shared observer may now fire from several threads: serialize
+    // delivery (per-chain event subsequences stay ordered; interleaving
+    // across chains is scheduling-dependent and carries no information).
+    std::mutex observer_mutex;
+    obs::search_observer serialized;
+    if (base_options.observer && workers > 1) {
+        serialized = [&observer_mutex,
+                      &observer = base_options.observer](
+                         const obs::search_iteration_event& event) {
+            const std::lock_guard<std::mutex> lock{observer_mutex};
+            observer(event);
+        };
+    }
+
+    multi_chain_result result;
+    result.chains.resize(chain_count);
+    std::vector<std::exception_ptr> errors(chain_count);
+
+    const auto run_chain = [&](std::size_t c) {
+        annealing_options options = base_options;
+        options.seed = specs[c].seed;
+        options.chain = static_cast<std::uint32_t>(c);
+        if (serialized) {
+            options.observer = serialized;
+        }
+        try {
+            result.chains[c] = search_chain{*specs[c].neighbors,
+                                            *specs[c].evaluate, symmetry,
+                                            instances, options}
+                                   .run();
+        } catch (...) {
+            errors[c] = std::current_exception();
+        }
+    };
+
+    if (workers <= 1) {
+        for (std::size_t c = 0; c < chain_count; ++c) {
+            run_chain(c);
+        }
+    } else {
+        // Work-stealing over chain indices: which thread runs which chain is
+        // scheduling-dependent, the per-chain results are not (chains share
+        // no mutable state).
+        std::atomic<std::size_t> next{0};
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (std::size_t w = 0; w < workers; ++w) {
+            pool.emplace_back([&] {
+                for (std::size_t c = next.fetch_add(1);
+                     c < chain_count; c = next.fetch_add(1)) {
+                    run_chain(c);
+                }
+            });
+        }
+        for (std::thread& worker : pool) {
+            worker.join();
+        }
+    }
+
+    for (std::size_t c = 0; c < chain_count; ++c) {
+        if (errors[c] != nullptr) {
+            std::rethrow_exception(errors[c]);
+        }
+    }
+
+    // Deterministic reduction: argmax best score; ties go to the lowest
+    // chain index regardless of completion order.
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < chain_count; ++c) {
+        if (result.chains[c].best_evaluation.score >
+            result.chains[best].best_evaluation.score) {
+            best = c;
+        }
+    }
+    result.winning_chain = static_cast<std::uint32_t>(best);
     return result;
 }
 

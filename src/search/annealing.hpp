@@ -14,6 +14,13 @@
 // not a 0.009 one). The classic absolute-difference delta is kept as an
 // ablation mode. With multi-objective optimization (§3.3.3) the same
 // formulas run on the holistic score normalized to [0, 1].
+//
+// One trajectory is a `search_chain` — a value object owning nothing but
+// its RNG and counters. anneal() runs one chain (the historic API);
+// anneal_chains() runs K independent chains, optionally on several
+// threads, and picks the best plan deterministically (argmax score, ties
+// to the lowest chain index). Each chain's trajectory depends only on its
+// own seed and evaluator, never on sibling chains or the thread count.
 #pragma once
 
 #include <chrono>
@@ -27,7 +34,9 @@
 #include "search/neighbor.hpp"
 #include "search/objective.hpp"
 #include "search/symmetry.hpp"
+#include "util/rng.hpp"
 #include "util/stats.hpp"
+#include "util/stopwatch.hpp"
 
 namespace recloud {
 
@@ -54,6 +63,18 @@ enum class delta_mode : std::uint8_t {
     absolute,   ///< classic simulated annealing (ablation)
 };
 
+/// What drives the temperature and the budget.
+enum class schedule_mode : std::uint8_t {
+    /// The paper's Eq. 6: t = (Tmax - Telapsed) / Tmax. Trajectories depend
+    /// on wall-clock scheduling, so two runs can differ.
+    wall_clock,
+    /// t = (max_iterations - generated) / max_iterations, expiry by the
+    /// iteration counter alone. Requires a finite max_iterations. A chain's
+    /// trajectory becomes a pure function of its seed — the mode the
+    /// multi-chain determinism contract is stated in.
+    iterations,
+};
+
 struct annealing_options {
     /// Tmax: the developer's search budget (§2.2). The search stops when it
     /// elapses (or when max_iterations is hit, whichever first).
@@ -66,6 +87,7 @@ struct annealing_options {
     /// Step 3's symmetry check on/off (needs a symmetry_checker).
     bool use_symmetry = true;
     delta_mode delta = delta_mode::log_ratio;
+    schedule_mode schedule = schedule_mode::wall_clock;
     std::uint64_t seed = 1;
     /// Consecutive symmetric skips tolerated before a neighbor is assessed
     /// regardless (progress guarantee in tiny, highly symmetric networks).
@@ -83,6 +105,9 @@ struct annealing_options {
     /// Observability only: it runs after each accept/reject decision and
     /// must not touch samplers, so it cannot perturb the search.
     obs::search_observer observer{};
+    /// Chain index stamped into every observer event (anneal_chains sets
+    /// it; single-chain searches leave 0).
+    std::uint32_t chain = 0;
 };
 
 struct annealing_trace_point {
@@ -105,14 +130,75 @@ struct annealing_result {
     std::vector<annealing_trace_point> trace;
 };
 
-/// Runs the §3.3.1 search. `instances` is the number of hosts a plan needs
-/// (application.total_instances()). `symmetry` may be nullptr (the check is
-/// then disabled regardless of options.use_symmetry).
+/// One annealing trajectory (§3.3.1 steps 1-6) as a value object: owns its
+/// RNG, deadline and counters; borrows the neighbor generator, evaluator
+/// and symmetry checker. run() executes the trajectory to completion and
+/// may be called once per chain. Distinct chains share NO mutable state —
+/// running K of them on K threads is safe iff their generators/evaluators
+/// are distinct (anneal_chains' contract).
+class search_chain {
+public:
+    search_chain(neighbor_generator& neighbors, const plan_evaluator& evaluate,
+                 const symmetry_checker* symmetry, std::uint32_t instances,
+                 const annealing_options& options);
+
+    [[nodiscard]] annealing_result run();
+
+private:
+    [[nodiscard]] bool expired() const noexcept;
+    /// Budget fraction left in [0, 1]: Eq. 6 under wall_clock, the
+    /// iteration counter under iterations.
+    [[nodiscard]] double remaining_fraction() const noexcept;
+
+    neighbor_generator& neighbors_;
+    const plan_evaluator& evaluate_;
+    const symmetry_checker* symmetry_;
+    std::uint32_t instances_;
+    annealing_options options_;
+    rng random_;
+    deadline budget_;
+    annealing_result result_;
+};
+
+/// Runs the §3.3.1 search as one chain. `instances` is the number of hosts
+/// a plan needs (application.total_instances()). `symmetry` may be nullptr
+/// (the check is then disabled regardless of options.use_symmetry).
 [[nodiscard]] annealing_result anneal(neighbor_generator& neighbors,
                                       const plan_evaluator& evaluate,
                                       const symmetry_checker* symmetry,
                                       std::uint32_t instances,
                                       const annealing_options& options);
+
+/// One chain's inputs for anneal_chains. Generators and evaluators must be
+/// DISTINCT objects per chain (chains run concurrently; the evaluator
+/// typically wraps a per-chain assessment backend) and `seed` should come
+/// from a forked substream (substream_seed) so chains are decorrelated.
+struct chain_spec {
+    neighbor_generator* neighbors = nullptr;
+    const plan_evaluator* evaluate = nullptr;
+    std::uint64_t seed = 0;
+};
+
+struct multi_chain_result {
+    std::uint32_t winning_chain = 0;
+    /// Per-chain results, indexed by chain. chains[winning_chain] holds the
+    /// best plan (highest best score; ties go to the lowest chain index —
+    /// a deterministic reduction, independent of completion order).
+    std::vector<annealing_result> chains;
+};
+
+/// Runs |specs| independent chains on up to `threads` worker threads
+/// (0 = one per hardware thread, capped at the chain count) and reduces
+/// deterministically. Chain c runs with base_options except seed =
+/// specs[c].seed and chain = c. The per-chain results and the winner are
+/// bit-identical for ANY thread count: chains never communicate, and the
+/// reduction is by chain index, not completion order. The shared observer
+/// (if any) is serialized by an internal mutex; event ORDER across chains
+/// is scheduling-dependent, per-chain event subsequences are not.
+[[nodiscard]] multi_chain_result anneal_chains(
+    const std::vector<chain_spec>& specs, const symmetry_checker* symmetry,
+    std::uint32_t instances, const annealing_options& base_options,
+    std::size_t threads = 0);
 
 /// Eq. 5 (or the classic |difference| in absolute mode), exposed for tests:
 /// delta for a neighbor with score `s_neighbor` against `s_current`, both

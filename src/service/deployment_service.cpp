@@ -1,0 +1,196 @@
+#include "service/deployment_service.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace recloud {
+
+const char* to_string(request_status status) noexcept {
+    switch (status) {
+        case request_status::completed: return "completed";
+        case request_status::rejected: return "rejected";
+        case request_status::failed: return "failed";
+    }
+    return "unknown";
+}
+
+deployment_service::deployment_service(const service_options& options)
+    : options_(options) {
+    const std::size_t workers = std::max<std::size_t>(1, options_.workers);
+    workers_.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+        workers_.emplace_back([this] { worker_loop(); });
+    }
+}
+
+deployment_service::~deployment_service() { shutdown(); }
+
+void deployment_service::add_scenario(std::string name, scenario_ptr scenario) {
+    if (scenario == nullptr) {
+        throw std::invalid_argument{"deployment_service: null scenario"};
+    }
+    const std::lock_guard<std::mutex> lock{mutex_};
+    scenarios_[std::move(name)] = std::move(scenario);
+}
+
+scenario_ptr deployment_service::find_scenario(const std::string& name) const {
+    const std::lock_guard<std::mutex> lock{mutex_};
+    const auto it = scenarios_.find(name);
+    return it != scenarios_.end() ? it->second : nullptr;
+}
+
+std::future<service_response> deployment_service::submit(
+    service_request request) {
+    pending_request pending;
+    pending.request = std::move(request);
+    std::future<service_response> future = pending.promise.get_future();
+
+    // Resolved-at-admission responses (rejection, unknown scenario) bypass
+    // the queue so an overloaded service answers in O(1).
+    const auto resolve_now = [&](request_status status, std::string error) {
+        service_response response;
+        response.status = status;
+        response.request_id = pending.id;
+        response.scenario = pending.request.scenario;
+        response.error = std::move(error);
+        pending.promise.set_value(std::move(response));
+    };
+
+    {
+        const std::lock_guard<std::mutex> lock{mutex_};
+        pending.id = next_request_id_++;
+        if (shutting_down_) {
+            ++stats_.rejected;
+            RECLOUD_COUNTER_INC("service.rejected");
+            resolve_now(request_status::rejected, "service is shutting down");
+            return future;
+        }
+        if (queue_.size() >= options_.queue_capacity) {
+            ++stats_.rejected;
+            RECLOUD_COUNTER_INC("service.rejected");
+            resolve_now(request_status::rejected, "queue is full");
+            return future;
+        }
+        const auto it = scenarios_.find(pending.request.scenario);
+        if (it == scenarios_.end()) {
+            ++stats_.failed;
+            RECLOUD_COUNTER_INC("service.failed");
+            resolve_now(request_status::failed,
+                        "unknown scenario: " + pending.request.scenario);
+            return future;
+        }
+        // Snapshot semantics: the request keeps the scenario it was admitted
+        // with, even if the name is re-registered later.
+        pending.scenario = it->second;
+        queue_.push_back(std::move(pending));
+        ++stats_.submitted;
+        RECLOUD_COUNTER_INC("service.submitted");
+        stats_.peak_queue_depth = std::max(stats_.peak_queue_depth, queue_.size());
+    }
+    work_available_.notify_one();
+    return future;
+}
+
+void deployment_service::worker_loop() {
+    for (;;) {
+        pending_request pending;
+        {
+            std::unique_lock<std::mutex> lock{mutex_};
+            work_available_.wait(
+                lock, [this] { return shutting_down_ || !queue_.empty(); });
+            if (queue_.empty()) {
+                return;  // shutting down and drained
+            }
+            pending = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        service_response response = run(pending);
+        {
+            const std::lock_guard<std::mutex> lock{mutex_};
+            if (response.status == request_status::completed) {
+                ++stats_.completed;
+                RECLOUD_COUNTER_INC("service.completed");
+            } else {
+                ++stats_.failed;
+                RECLOUD_COUNTER_INC("service.failed");
+            }
+        }
+        pending.promise.set_value(std::move(response));
+    }
+}
+
+service_response deployment_service::run(pending_request& pending) const {
+    RECLOUD_SPAN("service.request");
+    service_response response;
+    response.request_id = pending.id;
+    response.scenario = pending.request.scenario;
+
+    recloud_options options = options_.defaults;
+    options.seed = pending.request.seed;
+    if (pending.request.search_chains) {
+        options.search_chains = *pending.request.search_chains;
+    }
+    if (pending.request.max_iterations) {
+        options.max_iterations = *pending.request.max_iterations;
+    }
+    if (options_.defaults.observer) {
+        // Stamp every event of this request's search with the request id;
+        // the shared downstream observer must cope with several requests'
+        // workers calling it concurrently.
+        options.observer = [id = pending.id,
+                            &observer = options_.defaults.observer](
+                               const obs::search_iteration_event& e) {
+            obs::search_iteration_event event = e;
+            event.request_id = id;
+            observer(event);
+        };
+    }
+
+    try {
+        re_cloud instance{pending.scenario, options};
+        deployment_request request;
+        request.app = pending.request.app;
+        request.desired_reliability = pending.request.desired_reliability;
+        request.max_search_time = pending.request.max_search_time;
+        response.result = instance.find_deployment(request);
+        response.status = request_status::completed;
+    } catch (const std::exception& error) {
+        response.status = request_status::failed;
+        response.error = error.what();
+    }
+    return response;
+}
+
+void deployment_service::shutdown() {
+    {
+        const std::lock_guard<std::mutex> lock{mutex_};
+        if (shutting_down_ && workers_.empty()) {
+            return;
+        }
+        shutting_down_ = true;
+    }
+    work_available_.notify_all();
+    for (std::thread& worker : workers_) {
+        if (worker.joinable()) {
+            worker.join();
+        }
+    }
+    workers_.clear();
+}
+
+service_stats deployment_service::stats() const {
+    const std::lock_guard<std::mutex> lock{mutex_};
+    return stats_;
+}
+
+std::size_t deployment_service::queue_depth() const {
+    const std::lock_guard<std::mutex> lock{mutex_};
+    return queue_.size();
+}
+
+}  // namespace recloud

@@ -1,0 +1,141 @@
+// Concurrent deployment service — the provider's front door for the
+// paper's workflow (§2.2): many developers submit reliability requirements
+// at once, each against a shared immutable scenario snapshot
+// (core/scenario.hpp), and each gets back a plan or a "cannot be
+// fulfilled" verdict.
+//
+// The service owns a registry of named scenarios, a BOUNDED pending queue
+// and a fixed pool of search workers. Every request runs in its own
+// re_cloud instance (own backends, own RNG substreams derived from the
+// request seed), so requests share nothing mutable — the scenario layer
+// guarantees the model they read is frozen. Overflowing the queue resolves
+// the request immediately as `rejected` instead of blocking or throwing:
+// admission control is part of the response, not an exception, because
+// callers race each other for the slots.
+//
+// Telemetry: every observer event a request's search emits is stamped with
+// the service-assigned request id (obs::search_iteration_event::request_id,
+// ids start at 1), and the service counts submissions/rejections/
+// completions/failures both in service_stats and in the global metrics
+// registry ("service.*" counters).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/recloud.hpp"
+
+namespace recloud {
+
+struct service_options {
+    /// Concurrent searches (each worker runs one request at a time).
+    std::size_t workers = 2;
+    /// Pending (admitted but not yet running) requests; submissions beyond
+    /// it resolve as request_status::rejected.
+    std::size_t queue_capacity = 64;
+    /// Base search configuration for every request; per-request fields
+    /// (seed, chains, iteration budget) override it. The observer (if any)
+    /// receives events from ALL requests, stamped with their request id,
+    /// possibly from several worker threads at once — it must be
+    /// thread-safe or wrapped appropriately by the caller.
+    recloud_options defaults{};
+};
+
+enum class request_status : std::uint8_t {
+    completed,  ///< the search ran; see result.fulfilled for R_desired
+    rejected,   ///< refused at admission (queue full or shutting down)
+    failed,     ///< admitted but errored (unknown scenario, invalid app, ...)
+};
+
+[[nodiscard]] const char* to_string(request_status status) noexcept;
+
+/// One developer request (§2.2): application structure + R_desired + Tmax,
+/// bound to a named scenario.
+struct service_request {
+    std::string scenario;  ///< name registered via add_scenario()
+    application app;
+    double desired_reliability = 1.0;  ///< R_desired
+    std::chrono::nanoseconds max_search_time = std::chrono::seconds{30};  ///< Tmax
+    std::uint64_t seed = 1;
+    /// Per-request overrides of the service defaults (unset = inherit).
+    std::optional<std::size_t> search_chains;
+    std::optional<std::size_t> max_iterations;
+};
+
+struct service_response {
+    request_status status = request_status::failed;
+    std::uint64_t request_id = 0;
+    std::string scenario;
+    std::string error;          ///< set for rejected/failed
+    deployment_response result; ///< meaningful iff status == completed
+};
+
+/// Cumulative service counters (also exported as "service.*" metrics).
+struct service_stats {
+    std::uint64_t submitted = 0;  ///< admitted into the queue
+    std::uint64_t rejected = 0;   ///< refused at admission
+    std::uint64_t completed = 0;
+    std::uint64_t failed = 0;
+    std::size_t peak_queue_depth = 0;
+};
+
+class deployment_service {
+public:
+    explicit deployment_service(const service_options& options = {});
+    /// Drains the queue (every admitted request still completes), then
+    /// joins the workers.
+    ~deployment_service();
+    deployment_service(const deployment_service&) = delete;
+    deployment_service& operator=(const deployment_service&) = delete;
+
+    /// Registers (or replaces) a named snapshot. Requests capture the
+    /// scenario_ptr at submission, so replacing a name never affects
+    /// already-admitted requests.
+    void add_scenario(std::string name, scenario_ptr scenario);
+    [[nodiscard]] scenario_ptr find_scenario(const std::string& name) const;
+
+    /// Admits a request. The future resolves when the search completes —
+    /// or immediately with `rejected` (queue full / shutting down) or
+    /// `failed` (unknown scenario). Never throws on overload.
+    [[nodiscard]] std::future<service_response> submit(service_request request);
+
+    /// Stops admitting, drains every queued request, joins the workers.
+    /// Idempotent; the destructor calls it.
+    void shutdown();
+
+    [[nodiscard]] service_stats stats() const;
+    [[nodiscard]] std::size_t queue_depth() const;
+
+private:
+    struct pending_request {
+        std::uint64_t id = 0;
+        service_request request;
+        scenario_ptr scenario;
+        std::promise<service_response> promise;
+    };
+
+    void worker_loop();
+    [[nodiscard]] service_response run(pending_request& pending) const;
+
+    service_options options_;
+    mutable std::mutex mutex_;
+    std::condition_variable work_available_;
+    std::deque<pending_request> queue_;
+    std::unordered_map<std::string, scenario_ptr> scenarios_;
+    service_stats stats_{};
+    std::uint64_t next_request_id_ = 1;
+    bool shutting_down_ = false;
+    std::vector<std::thread> workers_;  ///< last member: joins before the rest dies
+};
+
+}  // namespace recloud

@@ -1,0 +1,264 @@
+// Concurrent deployment service (service/deployment_service.hpp):
+// admission control on a bounded queue, request isolation over shared
+// scenario snapshots, per-request telemetry tagging, and drain-on-shutdown.
+#include "service/deployment_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/scenario.hpp"
+
+namespace recloud {
+namespace {
+
+recloud_options small_search_defaults() {
+    recloud_options defaults;
+    defaults.assessment_rounds = 200;
+    defaults.max_iterations = 20;
+    defaults.deterministic_schedule = true;
+    return defaults;
+}
+
+service_request request_for(std::string scenario, std::uint64_t seed) {
+    service_request request;
+    request.scenario = std::move(scenario);
+    request.app = application::k_of_n(2, 3);
+    request.desired_reliability = 1.0;  // unreachable: full budget runs
+    request.max_search_time = std::chrono::seconds{30};
+    request.seed = seed;
+    return request;
+}
+
+TEST(Service, CompletesARequest) {
+    service_options options;
+    options.workers = 1;
+    options.defaults = small_search_defaults();
+    deployment_service service{options};
+    service.add_scenario("dc", make_fat_tree_scenario(4));
+
+    auto future = service.submit(request_for("dc", 3));
+    const service_response response = future.get();
+    EXPECT_EQ(response.status, request_status::completed);
+    EXPECT_EQ(response.request_id, 1u);
+    EXPECT_EQ(response.scenario, "dc");
+    EXPECT_EQ(response.result.plan.hosts.size(), 3u);
+    EXPECT_GT(response.result.stats.rounds, 0u);
+
+    const service_stats stats = service.stats();
+    EXPECT_EQ(stats.submitted, 1u);
+    EXPECT_EQ(stats.completed, 1u);
+    EXPECT_EQ(stats.rejected, 0u);
+    EXPECT_EQ(stats.failed, 0u);
+}
+
+TEST(Service, UnknownScenarioFailsTheRequest) {
+    service_options options;
+    options.workers = 1;
+    options.defaults = small_search_defaults();
+    deployment_service service{options};
+    const service_response response =
+        service.submit(request_for("nowhere", 1)).get();
+    EXPECT_EQ(response.status, request_status::failed);
+    EXPECT_FALSE(response.error.empty());
+    EXPECT_EQ(service.stats().failed, 1u);
+}
+
+TEST(Service, ZeroCapacityQueueRejectsDeterministically) {
+    // queue_capacity = 0 makes EVERY submission overflow — the admission
+    // path is exercised without racing the workers.
+    service_options options;
+    options.workers = 1;
+    options.queue_capacity = 0;
+    options.defaults = small_search_defaults();
+    deployment_service service{options};
+    service.add_scenario("dc", make_fat_tree_scenario(4));
+
+    for (int i = 0; i < 3; ++i) {
+        const service_response response =
+            service.submit(request_for("dc", 1)).get();
+        EXPECT_EQ(response.status, request_status::rejected);
+        EXPECT_FALSE(response.error.empty());
+    }
+    const service_stats stats = service.stats();
+    EXPECT_EQ(stats.rejected, 3u);
+    EXPECT_EQ(stats.submitted, 0u);
+    EXPECT_EQ(service.queue_depth(), 0u);
+}
+
+TEST(Service, SubmitAfterShutdownIsRejected) {
+    service_options options;
+    options.workers = 1;
+    options.defaults = small_search_defaults();
+    deployment_service service{options};
+    service.add_scenario("dc", make_fat_tree_scenario(4));
+    service.shutdown();
+    service.shutdown();  // idempotent
+    const service_response response =
+        service.submit(request_for("dc", 1)).get();
+    EXPECT_EQ(response.status, request_status::rejected);
+}
+
+TEST(Service, ScenarioReplacementDoesNotAffectAdmittedRequests) {
+    service_options options;
+    options.workers = 1;
+    options.defaults = small_search_defaults();
+    deployment_service service{options};
+    const scenario_ptr original = make_fat_tree_scenario(4);
+    service.add_scenario("dc", original);
+    auto future = service.submit(request_for("dc", 3));
+    // Replace the name immediately; the admitted request captured the
+    // original snapshot at submission.
+    service.add_scenario("dc", make_fat_tree_scenario(6));
+    const service_response response = future.get();
+    EXPECT_EQ(response.status, request_status::completed);
+    // A k=4 fat tree has 16 hosts; k=6 host ids extend far beyond. The plan
+    // must come from the ORIGINAL snapshot's host range.
+    for (const node_id host : response.result.plan.hosts) {
+        bool in_original = false;
+        for (const node_id h : original->topology().hosts) {
+            if (h == host) {
+                in_original = true;
+                break;
+            }
+        }
+        EXPECT_TRUE(in_original);
+    }
+    EXPECT_GT(service.find_scenario("dc")->topology().hosts.size(),
+              original->topology().hosts.size());
+}
+
+TEST(Service, ConcurrentRequestsMatchSoloRuns) {
+    // The isolation contract: 8 requests racing on 2 workers against ONE
+    // shared snapshot produce exactly what 8 solo re_cloud runs produce.
+    const scenario_ptr snapshot = make_fat_tree_scenario(4);
+    const recloud_options defaults = small_search_defaults();
+
+    std::vector<deployment_response> solo;
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        recloud_options options = defaults;
+        options.seed = seed;
+        re_cloud system{snapshot, options};
+        deployment_request request;
+        request.app = application::k_of_n(2, 3);
+        request.desired_reliability = 1.0;
+        request.max_search_time = std::chrono::seconds{30};
+        solo.push_back(system.find_deployment(request));
+    }
+
+    service_options options;
+    options.workers = 2;
+    options.defaults = defaults;
+    deployment_service service{options};
+    service.add_scenario("dc", snapshot);
+    std::vector<std::future<service_response>> futures;
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        futures.push_back(service.submit(request_for("dc", seed)));
+    }
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+        const service_response response = futures[i].get();
+        ASSERT_EQ(response.status, request_status::completed) << response.error;
+        EXPECT_EQ(response.result.plan.hosts, solo[i].plan.hosts);
+        EXPECT_EQ(response.result.stats.reliable, solo[i].stats.reliable);
+        EXPECT_EQ(response.result.stats.rounds, solo[i].stats.rounds);
+        EXPECT_EQ(response.result.score, solo[i].score);
+        EXPECT_EQ(response.result.winning_chain, solo[i].winning_chain);
+    }
+    const service_stats stats = service.stats();
+    EXPECT_EQ(stats.submitted, 8u);
+    EXPECT_EQ(stats.completed, 8u);
+    EXPECT_GE(stats.peak_queue_depth, 1u);
+}
+
+TEST(Service, PerRequestOverridesApply) {
+    const scenario_ptr snapshot = make_fat_tree_scenario(4);
+    service_options options;
+    options.workers = 1;
+    options.defaults = small_search_defaults();
+    deployment_service service{options};
+    service.add_scenario("dc", snapshot);
+
+    service_request multi = request_for("dc", 9);
+    multi.search_chains = 3;
+    multi.max_iterations = 12;
+    const service_response response = service.submit(std::move(multi)).get();
+    ASSERT_EQ(response.status, request_status::completed);
+    EXPECT_LT(response.result.winning_chain, 3u);
+    // 12-iteration budget, not the 20 of the defaults.
+    EXPECT_LE(response.result.search.plans_generated, 12u);
+
+    // The same request through a solo re_cloud with the override applied.
+    recloud_options solo_options = options.defaults;
+    solo_options.seed = 9;
+    solo_options.search_chains = 3;
+    solo_options.max_iterations = 12;
+    re_cloud solo{snapshot, solo_options};
+    deployment_request request;
+    request.app = application::k_of_n(2, 3);
+    request.desired_reliability = 1.0;
+    request.max_search_time = std::chrono::seconds{30};
+    const deployment_response expected = solo.find_deployment(request);
+    EXPECT_EQ(response.result.plan.hosts, expected.plan.hosts);
+    EXPECT_EQ(response.result.winning_chain, expected.winning_chain);
+}
+
+TEST(Service, ObserverEventsAreTaggedWithRequestIds) {
+    std::mutex seen_mutex;
+    std::set<std::uint64_t> seen_requests;
+    service_options options;
+    options.workers = 2;
+    options.defaults = small_search_defaults();
+    options.defaults.observer = [&](const obs::search_iteration_event& event) {
+        const std::lock_guard<std::mutex> lock{seen_mutex};
+        seen_requests.insert(event.request_id);
+    };
+    deployment_service service{options};
+    service.add_scenario("dc", make_fat_tree_scenario(4));
+    std::vector<std::future<service_response>> futures;
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+        futures.push_back(service.submit(request_for("dc", seed)));
+    }
+    std::set<std::uint64_t> expected_ids;
+    for (auto& future : futures) {
+        const service_response response = future.get();
+        ASSERT_EQ(response.status, request_status::completed);
+        expected_ids.insert(response.request_id);
+    }
+    const std::lock_guard<std::mutex> lock{seen_mutex};
+    EXPECT_EQ(seen_requests, expected_ids);  // every id tagged, no id zero
+    EXPECT_EQ(seen_requests.count(0), 0u);
+}
+
+TEST(Service, ShutdownDrainsAdmittedRequests) {
+    // Everything admitted before shutdown still completes; the destructor
+    // path is the same code.
+    service_options options;
+    options.workers = 1;
+    options.defaults = small_search_defaults();
+    std::vector<std::future<service_response>> futures;
+    {
+        deployment_service service{options};
+        service.add_scenario("dc", make_fat_tree_scenario(4));
+        for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+            futures.push_back(service.submit(request_for("dc", seed)));
+        }
+        service.shutdown();
+    }
+    for (auto& future : futures) {
+        const service_response response = future.get();
+        EXPECT_EQ(response.status, request_status::completed);
+    }
+}
+
+TEST(Service, StatusToString) {
+    EXPECT_STREQ(to_string(request_status::completed), "completed");
+    EXPECT_STREQ(to_string(request_status::rejected), "rejected");
+    EXPECT_STREQ(to_string(request_status::failed), "failed");
+}
+
+}  // namespace
+}  // namespace recloud

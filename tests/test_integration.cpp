@@ -44,19 +44,20 @@ TEST(Integration, FullDependencyStackOnLeafSpine) {
     workload_map workloads{topo, random};
     bfs_reachability oracle{topo, &links};
 
-    recloud_context context;
-    context.topology = &topo;
-    context.registry = &registry;
-    context.forest = &forest;
-    context.oracle = &oracle;
-    context.workloads = &workloads;
-    context.links = &links;
+    const scenario_ptr snapshot = scenario_builder{}
+                                      .topology(topo)
+                                      .registry(registry)
+                                      .forest(forest)
+                                      .oracle(oracle)
+                                      .workloads(workloads)
+                                      .links(links)
+                                      .freeze();
 
     recloud_options options;
     options.assessment_rounds = 2000;
     options.max_iterations = 40;
     options.multi_objective = true;
-    re_cloud system{context, options};
+    re_cloud system{snapshot, options};
 
     deployment_request request;
     request.app = application::layered(2, 1, 2);

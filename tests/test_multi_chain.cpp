@@ -1,0 +1,312 @@
+// Multi-chain annealing determinism contract: K independent chains with
+// forked RNG substreams produce a bit-identical best plan for ANY thread
+// count (search layer: anneal_chains; facade: re_cloud with search_chains),
+// chain 0 reproduces the single-chain trajectory exactly (prefix
+// stability), and the reduction is deterministic (argmax score, ties to
+// the lowest chain).
+#include "search/annealing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+#include "core/recloud.hpp"
+#include "routing/fat_tree_routing.hpp"
+#include "topology/fat_tree.hpp"
+
+namespace recloud {
+namespace {
+
+// ---- search layer --------------------------------------------------------
+
+plan_evaluation flat_eval(std::size_t reliable) {
+    plan_evaluation eval;
+    eval.stats = make_assessment_stats(reliable, 100);
+    eval.score = eval.stats.reliability;
+    return eval;
+}
+
+annealing_options iteration_options(std::size_t iterations) {
+    annealing_options options;
+    options.max_time = std::chrono::seconds{30};
+    options.max_iterations = iterations;
+    options.schedule = schedule_mode::iterations;
+    options.use_symmetry = false;
+    options.seed = 21;
+    return options;
+}
+
+void expect_same_result(const annealing_result& a, const annealing_result& b) {
+    EXPECT_EQ(a.best_plan.hosts, b.best_plan.hosts);
+    EXPECT_EQ(a.best_evaluation.score, b.best_evaluation.score);
+    EXPECT_EQ(a.best_evaluation.stats.reliable, b.best_evaluation.stats.reliable);
+    EXPECT_EQ(a.best_evaluation.stats.rounds, b.best_evaluation.stats.rounds);
+    EXPECT_EQ(a.fulfilled, b.fulfilled);
+    EXPECT_EQ(a.plans_generated, b.plans_generated);
+    EXPECT_EQ(a.plans_evaluated, b.plans_evaluated);
+    EXPECT_EQ(a.symmetric_skips, b.symmetric_skips);
+    EXPECT_EQ(a.accepted_worse, b.accepted_worse);
+}
+
+TEST(MultiChain, IterationsScheduleRequiresFiniteBudget) {
+    const fat_tree ft = fat_tree::build(4);
+    neighbor_generator gen{ft.topology(), anti_affinity::none, 1};
+    annealing_options options;
+    options.schedule = schedule_mode::iterations;  // max_iterations unset
+    const plan_evaluator eval = [](const deployment_plan&) {
+        return flat_eval(50);
+    };
+    EXPECT_THROW((void)anneal(gen, eval, nullptr, 2, options),
+                 std::invalid_argument);
+}
+
+TEST(MultiChain, ChainsValidateSpecs) {
+    const annealing_options options = iteration_options(10);
+    EXPECT_THROW((void)anneal_chains({}, nullptr, 2, options),
+                 std::invalid_argument);
+
+    const fat_tree ft = fat_tree::build(4);
+    neighbor_generator gen{ft.topology(), anti_affinity::none, 1};
+    const plan_evaluator eval = [](const deployment_plan&) {
+        return flat_eval(50);
+    };
+    EXPECT_THROW((void)anneal_chains({chain_spec{nullptr, &eval, 1}}, nullptr,
+                                     2, options),
+                 std::invalid_argument);
+    EXPECT_THROW((void)anneal_chains({chain_spec{&gen, nullptr, 1}}, nullptr,
+                                     2, options),
+                 std::invalid_argument);
+}
+
+TEST(MultiChain, TiesGoToTheLowestChain) {
+    const fat_tree ft = fat_tree::build(4);
+    std::vector<neighbor_generator> gens{
+        {ft.topology(), anti_affinity::none, 1},
+        {ft.topology(), anti_affinity::none, 2},
+        {ft.topology(), anti_affinity::none, 3}};
+    // Chain scores 0.5, 0.9, 0.9: the winner must be chain 1, never the
+    // equally-scored chain 2 (lowest index wins ties) — for any thread
+    // count and regardless of completion order.
+    const std::vector<plan_evaluator> evals{
+        [](const deployment_plan&) { return flat_eval(50); },
+        [](const deployment_plan&) { return flat_eval(90); },
+        [](const deployment_plan&) { return flat_eval(90); }};
+    const std::vector<chain_spec> specs{
+        {&gens[0], &evals[0], 11}, {&gens[1], &evals[1], 12},
+        {&gens[2], &evals[2], 13}};
+    for (const std::size_t threads : {1u, 2u, 8u}) {
+        const multi_chain_result result =
+            anneal_chains(specs, nullptr, 2, iteration_options(10), threads);
+        EXPECT_EQ(result.winning_chain, 1u) << "threads=" << threads;
+        ASSERT_EQ(result.chains.size(), 3u);
+        EXPECT_EQ(result.chains[2].best_evaluation.score,
+                  result.chains[1].best_evaluation.score);
+    }
+}
+
+TEST(MultiChain, ChainExceptionsPropagate) {
+    const fat_tree ft = fat_tree::build(4);
+    std::vector<neighbor_generator> gens{
+        {ft.topology(), anti_affinity::none, 1},
+        {ft.topology(), anti_affinity::none, 2}};
+    const std::vector<plan_evaluator> evals{
+        [](const deployment_plan&) { return flat_eval(50); },
+        [](const deployment_plan&) -> plan_evaluation {
+            throw std::runtime_error{"backend lost"};
+        }};
+    const std::vector<chain_spec> specs{{&gens[0], &evals[0], 11},
+                                        {&gens[1], &evals[1], 12}};
+    for (const std::size_t threads : {1u, 2u}) {
+        EXPECT_THROW((void)anneal_chains(specs, nullptr, 2,
+                                         iteration_options(10), threads),
+                     std::runtime_error)
+            << "threads=" << threads;
+    }
+}
+
+TEST(MultiChain, ChainZeroMatchesSingleChainAnneal) {
+    // Prefix stability at the search layer: spec[0] run inside a K=3
+    // anneal_chains is bit-identical to a plain anneal() with the same seed,
+    // and stays bit-identical as K grows.
+    const fat_tree ft = fat_tree::build(4);
+    const annealing_options options = iteration_options(40);
+
+    // Distinct generator objects with the SAME seed: chains may run
+    // concurrently, but identical seeds make them interchangeable replicas.
+    const auto make_gen = [&](std::uint64_t seed) {
+        return neighbor_generator{ft.topology(), anti_affinity::none, seed};
+    };
+    // Score depends only on the plan — any shared evaluator state would
+    // break chain independence, so compute from the plan alone.
+    const plan_evaluator eval = [](const deployment_plan& plan) {
+        std::size_t sum = 0;
+        for (const node_id host : plan.hosts) {
+            sum += host;
+        }
+        return flat_eval(sum % 101);
+    };
+
+    neighbor_generator solo = make_gen(7);
+    annealing_options solo_options = options;
+    solo_options.seed = 31;
+    const annealing_result single = anneal(solo, eval, nullptr, 3, solo_options);
+
+    std::vector<neighbor_generator> gens{make_gen(7), make_gen(8), make_gen(9)};
+    const std::vector<chain_spec> specs{{&gens[0], &eval, 31},
+                                        {&gens[1], &eval, 32},
+                                        {&gens[2], &eval, 33}};
+    for (const std::size_t threads : {1u, 2u, 8u}) {
+        std::vector<neighbor_generator> fresh{make_gen(7), make_gen(8),
+                                              make_gen(9)};
+        const std::vector<chain_spec> run_specs{{&fresh[0], &eval, 31},
+                                                {&fresh[1], &eval, 32},
+                                                {&fresh[2], &eval, 33}};
+        const multi_chain_result result =
+            anneal_chains(run_specs, nullptr, 3, options, threads);
+        ASSERT_EQ(result.chains.size(), 3u);
+        expect_same_result(result.chains[0], single);
+    }
+}
+
+// ---- facade layer --------------------------------------------------------
+
+struct facade_fixture {
+    scenario_ptr snapshot = make_fat_tree_scenario(4);
+
+    [[nodiscard]] deployment_response run(assessment_backend_kind backend,
+                                          std::size_t chains,
+                                          std::size_t threads) const {
+        recloud_options options;
+        options.assessment_rounds = 200;
+        options.max_iterations = 25;
+        options.deterministic_schedule = true;
+        options.backend = backend;
+        options.assessment_threads = 2;
+        options.search_chains = chains;
+        options.search_threads = threads;
+        options.seed = 17;
+        re_cloud system{snapshot, options};
+        deployment_request request;
+        request.app = application::k_of_n(2, 3);
+        request.desired_reliability = 1.0;  // unreachable: full budget runs
+        request.max_search_time = std::chrono::seconds{30};
+        return system.find_deployment(request);
+    }
+};
+
+void expect_same_response(const deployment_response& a,
+                          const deployment_response& b) {
+    EXPECT_EQ(a.plan.hosts, b.plan.hosts);
+    EXPECT_EQ(a.stats.reliable, b.stats.reliable);
+    EXPECT_EQ(a.stats.rounds, b.stats.rounds);
+    EXPECT_EQ(a.stats.reliability, b.stats.reliability);
+    EXPECT_EQ(a.score, b.score);
+    EXPECT_EQ(a.fulfilled, b.fulfilled);
+    EXPECT_EQ(a.winning_chain, b.winning_chain);
+    expect_same_result(a.search, b.search);
+}
+
+TEST(MultiChain, BitIdenticalAcrossThreadCounts) {
+    // The headline contract: for every backend and every chain count, the
+    // response is bit-identical whether the chains run on 1, 2 or 8
+    // threads. Threads only affect wall-clock.
+    const facade_fixture f;
+    for (const assessment_backend_kind backend :
+         {assessment_backend_kind::serial, assessment_backend_kind::parallel,
+          assessment_backend_kind::engine}) {
+        for (const std::size_t chains : {1u, 2u, 4u}) {
+            const deployment_response baseline = f.run(backend, chains, 1);
+            EXPECT_LT(baseline.winning_chain, chains);
+            EXPECT_EQ(baseline.plan.hosts.size(), 3u);
+            for (const std::size_t threads : {2u, 8u}) {
+                const deployment_response other = f.run(backend, chains, threads);
+                SCOPED_TRACE(::testing::Message()
+                             << "backend=" << static_cast<int>(backend)
+                             << " chains=" << chains << " threads=" << threads);
+                expect_same_response(other, baseline);
+            }
+        }
+    }
+}
+
+TEST(MultiChain, GrowingChainCountNeverLosesScore) {
+    // Chain 0 is the K=1 trajectory verbatim; chains 1..K-1 only ADD
+    // trajectories, and the CRN evaluator makes inter-chain comparison
+    // noise-free — so the winning search score is monotone in K.
+    const facade_fixture f;
+    const deployment_response k1 = f.run(assessment_backend_kind::serial, 1, 1);
+    const deployment_response k2 = f.run(assessment_backend_kind::serial, 2, 2);
+    const deployment_response k4 = f.run(assessment_backend_kind::serial, 4, 2);
+    EXPECT_GE(k2.search.best_evaluation.score, k1.search.best_evaluation.score);
+    EXPECT_GE(k4.search.best_evaluation.score, k2.search.best_evaluation.score);
+    // And if chain 0 wins at K=2, it IS the K=1 result (prefix stability
+    // observable through the facade).
+    if (k2.winning_chain == 0) {
+        EXPECT_EQ(k2.plan.hosts, k1.plan.hosts);
+    }
+}
+
+TEST(MultiChain, RepeatedSearchesOnOneInstanceAreReproducible) {
+    // Chain stacks persist across searches; CRN resets every candidate's
+    // stream, so a second identical search must reproduce the first.
+    const facade_fixture f;
+    recloud_options options;
+    options.assessment_rounds = 200;
+    options.max_iterations = 25;
+    options.deterministic_schedule = true;
+    options.search_chains = 3;
+    options.search_threads = 2;
+    options.seed = 17;
+    re_cloud system{f.snapshot, options};
+    deployment_request request;
+    request.app = application::k_of_n(2, 3);
+    request.desired_reliability = 1.0;
+    request.max_search_time = std::chrono::seconds{30};
+    const deployment_response first = system.find_deployment(request);
+    const deployment_response second = system.find_deployment(request);
+    expect_same_response(second, first);
+}
+
+TEST(MultiChain, DeterministicScheduleRequiresFiniteIterationsAtFacade) {
+    const facade_fixture f;
+    recloud_options options;
+    options.deterministic_schedule = true;  // max_iterations left infinite
+    EXPECT_THROW(re_cloud(f.snapshot, options), std::invalid_argument);
+}
+
+TEST(MultiChain, ObserverEventsCarryTheChainIndex) {
+    const facade_fixture f;
+    std::vector<std::uint32_t> seen;
+    std::mutex seen_mutex;
+    recloud_options options;
+    options.assessment_rounds = 100;
+    options.max_iterations = 10;
+    options.deterministic_schedule = true;
+    options.search_chains = 3;
+    options.search_threads = 2;
+    options.seed = 5;
+    options.observer = [&](const obs::search_iteration_event& event) {
+        const std::lock_guard<std::mutex> lock{seen_mutex};
+        seen.push_back(event.chain);
+    };
+    re_cloud system{f.snapshot, options};
+    deployment_request request;
+    request.app = application::k_of_n(1, 2);
+    request.desired_reliability = 1.0;
+    request.max_search_time = std::chrono::seconds{30};
+    (void)system.find_deployment(request);
+    std::vector<bool> chain_seen(3, false);
+    for (const std::uint32_t chain : seen) {
+        ASSERT_LT(chain, 3u);
+        chain_seen[chain] = true;
+    }
+    EXPECT_TRUE(chain_seen[0]);
+    EXPECT_TRUE(chain_seen[1]);
+    EXPECT_TRUE(chain_seen[2]);
+}
+
+}  // namespace
+}  // namespace recloud

@@ -139,39 +139,44 @@ TEST(ReCloud, GenericContextWithLeafSpine) {
     rng random{5};
     assign_paper_probabilities(registry, random);
     bfs_reachability oracle{topo};
-    recloud_context context;
-    context.topology = &topo;
-    context.registry = &registry;
-    context.oracle = &oracle;
+    const scenario_ptr snapshot = scenario_builder{}
+                                      .topology(topo)
+                                      .registry(registry)
+                                      .oracle(oracle)
+                                      .freeze();
 
     recloud_options options = quick_options();
     options.assessment_rounds = 1000;
     options.max_iterations = 30;
-    re_cloud system{context, options};
+    re_cloud system{snapshot, options};
     const deployment_response response =
         system.find_deployment(quick_request(application::k_of_n(1, 3), 0.9));
     EXPECT_TRUE(response.fulfilled);
 }
 
 TEST(ReCloud, ContextValidation) {
-    recloud_context empty;
-    EXPECT_THROW(re_cloud(empty, {}), std::invalid_argument);
+    EXPECT_THROW(re_cloud(scenario_ptr{}, {}), std::invalid_argument);
 
     const built_topology topo = build_leaf_spine({});
     component_registry registry{topo.graph};
     bfs_reachability oracle{topo};
-    recloud_context context;
-    context.topology = &topo;
-    context.registry = &registry;
-    context.oracle = &oracle;
+    const scenario_ptr snapshot = scenario_builder{}
+                                      .topology(topo)
+                                      .registry(registry)
+                                      .oracle(oracle)
+                                      .freeze();
 
     recloud_options no_rounds;
     no_rounds.assessment_rounds = 0;
-    EXPECT_THROW(re_cloud(context, no_rounds), std::invalid_argument);
+    EXPECT_THROW(re_cloud(snapshot, no_rounds), std::invalid_argument);
 
     recloud_options multi;
-    multi.multi_objective = true;  // but no workloads in context
-    EXPECT_THROW(re_cloud(context, multi), std::invalid_argument);
+    multi.multi_objective = true;  // but no workloads in the scenario
+    EXPECT_THROW(re_cloud(snapshot, multi), std::invalid_argument);
+
+    recloud_options no_chains;
+    no_chains.search_chains = 0;
+    EXPECT_THROW(re_cloud(snapshot, no_chains), std::invalid_argument);
 }
 
 TEST(ReCloud, SymmetrySkipsHappenOnUniformizedFabric) {

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "core/recloud.hpp"
+#include "routing/fat_tree_routing.hpp"
 #include "search/annealing.hpp"
 #include "topology/fat_tree.hpp"
 
@@ -90,13 +91,14 @@ TEST(ResourceConstraints, DemandWithoutWorkloadsRejected) {
     const auto topo = fat_tree::build(4);
     component_registry registry{topo.graph()};
     fat_tree_routing oracle{topo};
-    recloud_context context;
-    context.topology = &topo.topology();
-    context.registry = &registry;
-    context.oracle = &oracle;
+    const scenario_ptr snapshot = scenario_builder{}
+                                      .topology(topo.topology())
+                                      .registry(registry)
+                                      .oracle(oracle)
+                                      .freeze();
     recloud_options options;
     options.instance_workload_demand = 0.3;
-    EXPECT_THROW(re_cloud(context, options), std::invalid_argument);
+    EXPECT_THROW(re_cloud(snapshot, options), std::invalid_argument);
 }
 
 TEST(ResourceConstraints, NegativeDemandRejected) {

@@ -1,0 +1,308 @@
+// Immutable scenario snapshots (core/scenario.hpp): builder validation,
+// oracle-clone-only access, keep-alive ownership, and the verdict-cache
+// foot-gun that scenario::validate() closes — an oracle consulting link
+// components the snapshot does not name used to silently make cached
+// verdicts (and symmetry signatures) unsound; now it refuses to freeze.
+#include "core/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/recloud.hpp"
+#include "routing/bfs_reachability.hpp"
+#include "routing/fat_tree_routing.hpp"
+#include "topology/leaf_spine.hpp"
+#include "topology/links.hpp"
+
+namespace recloud {
+namespace {
+
+struct scenario_fixture {
+    built_topology topo = build_leaf_spine(
+        {.spines = 2, .leaves = 4, .hosts_per_leaf = 3, .border_leaves = 1});
+    component_registry registry{topo.graph};
+
+    scenario_fixture() {
+        rng random{7};
+        assign_paper_probabilities(registry, random);
+    }
+};
+
+/// Deliberately non-cloneable oracle (reachability_oracle::clone() defaults
+/// to nullptr) — scenarios must refuse it.
+class uncloneable_oracle final : public reachability_oracle {
+public:
+    void begin_round(round_state&) override {}
+    [[nodiscard]] bool border_reachable(node_id) override { return true; }
+    [[nodiscard]] bool host_to_host(node_id, node_id) override { return true; }
+};
+
+TEST(Scenario, FreezeRequiresTopologyRegistryAndOracle) {
+    scenario_fixture f;
+    bfs_reachability oracle{f.topo};
+
+    EXPECT_THROW((void)scenario_builder{}.freeze(), std::invalid_argument);
+    EXPECT_THROW(
+        (void)scenario_builder{}.topology(f.topo).registry(f.registry).freeze(),
+        std::invalid_argument);
+    EXPECT_THROW(
+        (void)scenario_builder{}.topology(f.topo).oracle(oracle).freeze(),
+        std::invalid_argument);
+    EXPECT_NO_THROW((void)scenario_builder{}
+                        .topology(f.topo)
+                        .registry(f.registry)
+                        .oracle(oracle)
+                        .freeze());
+}
+
+TEST(Scenario, RegistryMustCoverEveryNode) {
+    scenario_fixture f;
+    const built_topology other = build_leaf_spine(
+        {.spines = 3, .leaves = 6, .hosts_per_leaf = 4, .border_leaves = 1});
+    component_registry small{f.topo.graph};  // too small for `other`
+    bfs_reachability oracle{other};
+    EXPECT_THROW((void)scenario_builder{}
+                     .topology(other)
+                     .registry(small)
+                     .oracle(oracle)
+                     .freeze(),
+                 std::invalid_argument);
+}
+
+TEST(Scenario, OraclePrototypeMustSupportClone) {
+    scenario_fixture f;
+    uncloneable_oracle oracle;
+    EXPECT_THROW((void)scenario_builder{}
+                     .topology(f.topo)
+                     .registry(f.registry)
+                     .oracle(oracle)
+                     .freeze(),
+                 std::invalid_argument);
+}
+
+TEST(Scenario, MakeOracleHandsOutIndependentClones) {
+    scenario_fixture f;
+    bfs_reachability oracle{f.topo};
+    const scenario_ptr snapshot = scenario_builder{}
+                                      .topology(f.topo)
+                                      .registry(f.registry)
+                                      .oracle(oracle)
+                                      .freeze();
+    const auto a = snapshot->make_oracle();
+    const auto b = snapshot->make_oracle();
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    EXPECT_NE(a.get(), b.get());
+    EXPECT_NE(a.get(), static_cast<const reachability_oracle*>(&oracle));
+}
+
+// ---- the recloud_context foot-gun, now a freeze-time error ---------------
+
+TEST(Scenario, OracleConsultingUndeclaredLinksRefusesToFreeze) {
+    // Historic unsoundness: the oracle judged link failures, but the
+    // context's `links` stayed null — so the verdict-cache support set and
+    // symmetry signatures filtered link components out, and cached verdicts
+    // could contradict route-and-check. That misconfiguration compiled and
+    // ran silently; it must now throw at freeze().
+    scenario_fixture f;
+    const link_attachment links = attach_link_components(f.topo, f.registry);
+    bfs_reachability oracle{f.topo, &links};
+
+    EXPECT_THROW((void)scenario_builder{}
+                     .topology(f.topo)
+                     .registry(f.registry)
+                     .oracle(oracle)  // consults `links`...
+                     .freeze(),       // ...but the scenario names none
+                 std::invalid_argument);
+}
+
+TEST(Scenario, OracleConsultingDifferentLinksRefusesToFreeze) {
+    scenario_fixture f;
+    const link_attachment links = attach_link_components(f.topo, f.registry);
+    const link_attachment other = attach_link_components(f.topo, f.registry);
+    bfs_reachability oracle{f.topo, &links};
+    EXPECT_THROW((void)scenario_builder{}
+                     .topology(f.topo)
+                     .registry(f.registry)
+                     .links(other)  // a DIFFERENT attachment than consulted
+                     .oracle(oracle)
+                     .freeze(),
+                 std::invalid_argument);
+}
+
+TEST(Scenario, MatchingLinksFreeze) {
+    scenario_fixture f;
+    const link_attachment links = attach_link_components(f.topo, f.registry);
+    bfs_reachability oracle{f.topo, &links};
+    const scenario_ptr snapshot = scenario_builder{}
+                                      .topology(f.topo)
+                                      .registry(f.registry)
+                                      .links(links)
+                                      .oracle(oracle)
+                                      .freeze();
+    EXPECT_EQ(snapshot->links(), &links);
+}
+
+TEST(Scenario, LinkBlindOracleMayIgnoreDeclaredLinks) {
+    // The converse direction is sound: declaring links the oracle ignores
+    // only makes caching/symmetry more conservative.
+    scenario_fixture f;
+    const link_attachment links = attach_link_components(f.topo, f.registry);
+    bfs_reachability oracle{f.topo};  // no link awareness
+    EXPECT_NO_THROW((void)scenario_builder{}
+                        .topology(f.topo)
+                        .registry(f.registry)
+                        .links(links)
+                        .oracle(oracle)
+                        .freeze());
+}
+
+TEST(Scenario, CacheStaysSoundOnLinkAwareScenario) {
+    // Regression for the unsoundness itself: on a correctly-declared
+    // link-aware scenario, a search with the verdict cache ON must land on
+    // the identical plan and stats as with the cache OFF.
+    scenario_fixture f;
+    const link_attachment links = attach_link_components(f.topo, f.registry);
+    for (const component_id c : links.component_of_edge) {
+        if (c != invalid_node) {
+            f.registry.set_probability(c, 0.02);  // links must actually fail
+        }
+    }
+    bfs_reachability oracle{f.topo, &links};
+    const scenario_ptr snapshot = scenario_builder{}
+                                      .topology(f.topo)
+                                      .registry(f.registry)
+                                      .links(links)
+                                      .oracle(oracle)
+                                      .freeze();
+    const auto run = [&](bool cached) {
+        recloud_options options;
+        options.assessment_rounds = 400;
+        options.max_iterations = 25;
+        options.deterministic_schedule = true;
+        options.verdict_cache = cached;
+        options.seed = 9;
+        re_cloud system{snapshot, options};
+        deployment_request request;
+        request.app = application::k_of_n(2, 3);
+        request.desired_reliability = 1.0;
+        request.max_search_time = std::chrono::seconds{20};
+        return system.find_deployment(request);
+    };
+    const deployment_response off = run(false);
+    const deployment_response on = run(true);
+    EXPECT_EQ(on.plan.hosts, off.plan.hosts);
+    EXPECT_EQ(on.stats.reliable, off.stats.reliable);
+    EXPECT_EQ(on.stats.rounds, off.stats.rounds);
+    EXPECT_EQ(on.search.plans_generated, off.search.plans_generated);
+}
+
+// ---- ownership ----------------------------------------------------------
+
+TEST(Scenario, FatTreeScenarioOwnsItsParts) {
+    // The self-owning convenience: nothing here outlives the scenario_ptr,
+    // yet searches run fine — the snapshot keeps the infrastructure and the
+    // oracle prototype alive.
+    const scenario_ptr snapshot = make_fat_tree_scenario(4);
+    EXPECT_NE(snapshot->forest(), nullptr);
+    EXPECT_NE(snapshot->workloads(), nullptr);
+
+    recloud_options options;
+    options.assessment_rounds = 300;
+    options.max_iterations = 20;
+    re_cloud system{snapshot, options};
+    deployment_request request;
+    request.app = application::k_of_n(1, 2);
+    request.desired_reliability = 0.5;
+    request.max_search_time = std::chrono::seconds{10};
+    const deployment_response response = system.find_deployment(request);
+    EXPECT_EQ(response.plan.hosts.size(), 2u);
+}
+
+TEST(Scenario, BorrowedInfrastructureScenario) {
+    const auto infra = fat_tree_infrastructure::build_shared(4);
+    const scenario_ptr snapshot = make_fat_tree_scenario(*infra);
+    EXPECT_EQ(&snapshot->topology(), &infra->topology());
+    EXPECT_EQ(&snapshot->registry(), &infra->registry());
+    const auto oracle = snapshot->make_oracle();
+    EXPECT_NE(oracle, nullptr);
+}
+
+TEST(Scenario, SharedAcrossManyConsumers) {
+    // Two re_cloud instances over ONE snapshot produce identical responses
+    // for identical options — and never disturb each other (each owns its
+    // oracle clones and samplers).
+    const scenario_ptr snapshot = make_fat_tree_scenario(4);
+    recloud_options options;
+    options.assessment_rounds = 300;
+    options.max_iterations = 20;
+    options.deterministic_schedule = true;
+    options.seed = 3;
+    deployment_request request;
+    request.app = application::k_of_n(1, 2);
+    request.desired_reliability = 0.9;
+    request.max_search_time = std::chrono::seconds{10};
+
+    re_cloud a{snapshot, options};
+    re_cloud b{snapshot, options};
+    const deployment_response ra = a.find_deployment(request);
+    const deployment_response rb = b.find_deployment(request);
+    EXPECT_EQ(ra.plan.hosts, rb.plan.hosts);
+    EXPECT_EQ(ra.stats.reliable, rb.stats.reliable);
+    EXPECT_EQ(ra.stats.rounds, rb.stats.rounds);
+}
+
+TEST(Scenario, ConcurrentSearchesOverOneInfrastructure) {
+    // Regression for the shared-rng race: fat_tree_infrastructure used to
+    // expose its `rng&`, and concurrent searches seeding from it raced (and
+    // drew order-dependent values). The accessor is gone — all per-search
+    // randomness comes from the request seed and forked substreams — so N
+    // searches borrowing ONE infrastructure must be data-race-free (the
+    // TSan job runs this) AND reproduce their sequential runs exactly.
+    const auto infra = fat_tree_infrastructure::build_shared(4);
+    const scenario_ptr snapshot = make_fat_tree_scenario(*infra);
+
+    recloud_options options;
+    options.assessment_rounds = 200;
+    options.max_iterations = 15;
+    options.deterministic_schedule = true;
+    deployment_request request;
+    request.app = application::k_of_n(1, 2);
+    request.desired_reliability = 1.0;
+    request.max_search_time = std::chrono::seconds{20};
+
+    constexpr std::size_t searches = 4;
+    std::vector<deployment_response> sequential;
+    for (std::size_t i = 0; i < searches; ++i) {
+        recloud_options run_options = options;
+        run_options.seed = 100 + i;
+        re_cloud system{snapshot, run_options};
+        sequential.push_back(system.find_deployment(request));
+    }
+
+    std::vector<deployment_response> concurrent(searches);
+    std::vector<std::thread> threads;
+    for (std::size_t i = 0; i < searches; ++i) {
+        threads.emplace_back([&, i] {
+            recloud_options run_options = options;
+            run_options.seed = 100 + i;
+            re_cloud system{snapshot, run_options};
+            concurrent[i] = system.find_deployment(request);
+        });
+    }
+    for (std::thread& thread : threads) {
+        thread.join();
+    }
+    for (std::size_t i = 0; i < searches; ++i) {
+        EXPECT_EQ(concurrent[i].plan.hosts, sequential[i].plan.hosts);
+        EXPECT_EQ(concurrent[i].stats.reliable, sequential[i].stats.reliable);
+        EXPECT_EQ(concurrent[i].stats.rounds, sequential[i].stats.rounds);
+    }
+}
+
+}  // namespace
+}  // namespace recloud

@@ -498,15 +498,15 @@ TEST(CacheEquivalence, SearchTrajectoryPinnedWithoutForest) {
         return workload_map{f.topo, random};
     }();
     bfs_reachability oracle{f.topo};
-    recloud_context context;
-    context.topology = &f.topo;
-    context.registry = &f.registry;
-    context.forest = nullptr;
-    context.oracle = &oracle;
-    context.workloads = &workloads;
+    const scenario_ptr snapshot = scenario_builder{}
+                                      .topology(f.topo)
+                                      .registry(f.registry)
+                                      .oracle(oracle)
+                                      .workloads(workloads)
+                                      .freeze();
     const auto run = [&](bool cached) {
         env_guard env{cached ? "1" : "0"};
-        re_cloud system{context, pinned_search_options(cached)};
+        re_cloud system{snapshot, pinned_search_options(cached)};
         deployment_request request{application::k_of_n(2, 3), 1.0,
                                    std::chrono::seconds{20}};
         return system.find_deployment(request);
