@@ -1,0 +1,226 @@
+// Deployment-service load shedding: open-loop arrivals against the sharded
+// service (service/deployment_service.hpp), recorded into
+// BENCH_service_load.json.
+//
+// Open loop means arrivals do NOT wait for completions — the bench submits
+// on a timer like independent developers would, so when the offered rate
+// exceeds the service rate the only steady states are (a) an unbounded
+// queue or (b) admission control shedding the excess. The service promises
+// (b): every shard queue is bounded by queue_capacity and overflow resolves
+// as `rejected` in O(1). The bench drives a light phase and a saturating
+// phase and ASSERTS the bound live — if any sampled depth (or the
+// service's own peak_queue_depth) ever exceeds queue_capacity, it exits
+// non-zero. Shed counts come from the service's split counters
+// (shed_queue_full / shed_quota, also "service.shed.*" metrics).
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/recloud.hpp"
+#include "core/scenario.hpp"
+#include "service/deployment_service.hpp"
+
+namespace {
+
+using namespace recloud;
+
+std::string iso_now() {
+    char buffer[32];
+    const std::time_t now = std::time(nullptr);
+    std::tm utc{};
+    gmtime_r(&now, &utc);
+    std::strftime(buffer, sizeof buffer, "%FT%TZ", &utc);
+    return buffer;
+}
+
+service_request request_for(std::string scenario, std::uint64_t seed) {
+    service_request request;
+    request.scenario = std::move(scenario);
+    request.tenant = "bench";
+    request.app = application::k_of_n(2, 3);
+    request.desired_reliability = 1.0;  // unreachable: the full budget runs
+    request.max_search_time = std::chrono::seconds{5};
+    request.seed = seed;
+    return request;
+}
+
+struct phase_result {
+    std::string name;
+    std::size_t offered = 0;
+    double inter_arrival_us = 0.0;
+    double ms = 0.0;
+    std::uint64_t completed = 0;
+    std::uint64_t shed = 0;
+    std::size_t max_depth_sampled = 0;  ///< total across shards, at submits
+    std::vector<std::size_t> depth_timeline;  ///< every 8th submission
+};
+
+phase_result run_phase(deployment_service& service,
+                       const std::vector<std::string>& scenarios,
+                       std::string name, std::size_t offered,
+                       std::chrono::microseconds inter_arrival,
+                       std::uint64_t seed_base) {
+    phase_result result;
+    result.name = std::move(name);
+    result.offered = offered;
+    result.inter_arrival_us = static_cast<double>(inter_arrival.count());
+
+    std::vector<std::future<service_response>> futures;
+    futures.reserve(offered);
+    stopwatch watch;
+    for (std::size_t i = 0; i < offered; ++i) {
+        futures.push_back(service.submit(
+            request_for(scenarios[i % scenarios.size()], seed_base + i)));
+        const std::size_t depth = service.queue_depth();
+        result.max_depth_sampled = std::max(result.max_depth_sampled, depth);
+        if (i % 8 == 0) {
+            result.depth_timeline.push_back(depth);
+        }
+        if (inter_arrival.count() > 0) {
+            std::this_thread::sleep_for(inter_arrival);
+        }
+    }
+    for (auto& future : futures) {
+        const service_response response = future.get();
+        if (response.status == request_status::completed) {
+            ++result.completed;
+        } else {
+            ++result.shed;
+        }
+    }
+    result.ms = watch.elapsed_ms();
+    return result;
+}
+
+}  // namespace
+
+int main() {
+    using recloud::bench::full_scale;
+    recloud::bench::print_header(
+        "deployment-service open-loop load (sharded admission control)",
+        "§2.2 service workflow; bounded queues under overload");
+
+    service_options options;
+    options.workers = 2;
+    options.shards = 2;
+    options.queue_capacity = 16;
+    options.defaults.assessment_rounds = full_scale() ? 1000 : 100;
+    options.defaults.max_iterations = full_scale() ? 40 : 6;
+    options.defaults.deterministic_schedule = true;
+    deployment_service service{options};
+
+    // Two scenario names on different shards so the open-loop stream
+    // exercises the whole fleet, not one shard.
+    const scenario_ptr snapshot = recloud::make_fat_tree_scenario(4);
+    std::vector<std::string> scenarios{"dc-0"};
+    service.add_scenario("dc-0", snapshot);
+    for (int i = 1; i < 64; ++i) {
+        const std::string candidate = "dc-" + std::to_string(i);
+        if (service.shard_of(candidate) != service.shard_of(scenarios[0])) {
+            service.add_scenario(candidate, snapshot);
+            scenarios.push_back(candidate);
+            break;
+        }
+    }
+
+    const std::size_t light_n = full_scale() ? 200 : 60;
+    const std::size_t burst_n = full_scale() ? 1000 : 300;
+    std::vector<phase_result> phases;
+    // Light: arrivals slower than the service rate — little to no shedding.
+    phases.push_back(run_phase(service, scenarios, "light", light_n,
+                               std::chrono::microseconds{5000}, 1));
+    // Saturating: back-to-back arrivals — the queues must clamp at
+    // capacity and the excess must shed, not pile up.
+    phases.push_back(run_phase(service, scenarios, "saturating", burst_n,
+                               std::chrono::microseconds{0}, 100'000));
+
+    const recloud::service_stats stats = service.stats();
+    const std::size_t bound = options.queue_capacity;  // per shard
+    bool bounded = stats.peak_queue_depth <= bound;
+    for (const phase_result& phase : phases) {
+        // queue_depth() sums the shards, so the open-loop samples are
+        // bounded by shards * capacity.
+        bounded = bounded &&
+                  phase.max_depth_sampled <= options.shards * bound;
+    }
+
+    std::printf("\n%-12s %8s %10s %10s %10s %12s\n", "phase", "offered",
+                "completed", "shed", "ms", "max depth");
+    for (const phase_result& phase : phases) {
+        std::printf("%-12s %8zu %10llu %10llu %10.1f %12zu\n",
+                    phase.name.c_str(), phase.offered,
+                    static_cast<unsigned long long>(phase.completed),
+                    static_cast<unsigned long long>(phase.shed), phase.ms,
+                    phase.max_depth_sampled);
+    }
+    std::printf("peak shard queue depth %zu (capacity %zu)  shed: queue_full=%llu quota=%llu\n",
+                stats.peak_queue_depth, bound,
+                static_cast<unsigned long long>(stats.shed_queue_full),
+                static_cast<unsigned long long>(stats.shed_quota));
+
+    const char* path = "BENCH_service_load.json";
+    std::FILE* out = std::fopen(path, "w");
+    if (out == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", path);
+        return 1;
+    }
+    std::fprintf(out, "{\n  \"context\": {\n");
+    std::fprintf(out, "    \"date\": \"%s\",\n", iso_now().c_str());
+    std::fprintf(out, "    \"num_cpus\": %u,\n",
+                 std::thread::hardware_concurrency());
+    std::fprintf(out, "    \"workers_per_shard\": %zu,\n", options.workers);
+    std::fprintf(out, "    \"shards\": %zu,\n", options.shards);
+    std::fprintf(out, "    \"queue_capacity\": %zu,\n", options.queue_capacity);
+    std::fprintf(out, "    \"assessment_rounds\": %zu,\n",
+                 options.defaults.assessment_rounds);
+    std::fprintf(out, "    \"full_scale\": %s\n", full_scale() ? "true" : "false");
+    std::fprintf(out, "  },\n  \"phases\": [\n");
+    for (std::size_t p = 0; p < phases.size(); ++p) {
+        const phase_result& phase = phases[p];
+        std::fprintf(out,
+                     "    {\"name\": \"%s\", \"offered\": %zu, "
+                     "\"inter_arrival_us\": %.0f, \"ms\": %.2f, "
+                     "\"completed\": %llu, \"shed\": %llu, "
+                     "\"throughput_rps\": %.1f, \"max_depth_sampled\": %zu, "
+                     "\"depth_timeline\": [",
+                     phase.name.c_str(), phase.offered, phase.inter_arrival_us,
+                     phase.ms, static_cast<unsigned long long>(phase.completed),
+                     static_cast<unsigned long long>(phase.shed),
+                     phase.ms > 0.0 ? 1000.0 * static_cast<double>(phase.completed) / phase.ms
+                                    : 0.0,
+                     phase.max_depth_sampled);
+        for (std::size_t i = 0; i < phase.depth_timeline.size(); ++i) {
+            std::fprintf(out, "%s%zu", i == 0 ? "" : ", ",
+                         phase.depth_timeline[i]);
+        }
+        std::fprintf(out, "]}%s\n", p + 1 < phases.size() ? "," : "");
+    }
+    std::fprintf(out, "  ],\n  \"totals\": {\n");
+    std::fprintf(out, "    \"submitted\": %llu,\n",
+                 static_cast<unsigned long long>(stats.submitted));
+    std::fprintf(out, "    \"completed\": %llu,\n",
+                 static_cast<unsigned long long>(stats.completed));
+    std::fprintf(out, "    \"rejected\": %llu,\n",
+                 static_cast<unsigned long long>(stats.rejected));
+    std::fprintf(out, "    \"shed_queue_full\": %llu,\n",
+                 static_cast<unsigned long long>(stats.shed_queue_full));
+    std::fprintf(out, "    \"shed_quota\": %llu,\n",
+                 static_cast<unsigned long long>(stats.shed_quota));
+    std::fprintf(out, "    \"peak_queue_depth\": %zu,\n", stats.peak_queue_depth);
+    std::fprintf(out, "    \"queue_bounded\": %s\n", bounded ? "true" : "false");
+    std::fprintf(out, "  }\n}\n");
+    std::fclose(out);
+    std::printf("wrote %s\n", path);
+
+    if (!bounded) {
+        std::fprintf(stderr,
+                     "FAIL: queue depth exceeded its bound (peak %zu > %zu)\n",
+                     stats.peak_queue_depth, bound);
+        return 1;
+    }
+    return 0;
+}

@@ -62,6 +62,12 @@ threads = 0               # parallel/engine workers; 0 = all hardware threads
 max_attempts = 3          # engine only: dispatch attempts per batch before
                           # degrading to master-local route-and-check
 deadline_ms = 0           # engine only: per-attempt result deadline; 0 = none
+transport = loopback      # engine only: loopback | socket (real recloud_worker
+                          # processes; bit-identical results, master respawns
+                          # crashed workers)
+worker_binary =           # socket transport: worker executable; empty =
+                          # $RECLOUD_WORKER_BIN, then next to this binary, then PATH
+max_respawns = 16         # socket transport: respawn budget per worker slot
 verdict_cache = true      # memoize round verdicts (bit-identical results)
 multi_objective = false
 symmetry = true
@@ -77,8 +83,11 @@ deterministic = false     # iteration-driven schedule: reruns are bit-identical
 requests = 0              # > 0: replay the request N times (seeds seed..seed+N-1)
                           # through the concurrent deployment service instead of
                           # one inline search
-workers = 2               # concurrent searches
-queue_capacity = 64       # admission bound; overflow resolves as `rejected`
+workers = 2               # concurrent searches per shard
+queue_capacity = 64       # admission bound per shard; overflow sheds as `rejected`
+shards = 1                # independent queue+worker shards; a scenario's requests
+                          # always land on hash(scenario) % shards
+tenant_quota = 0          # max in-flight requests per tenant; 0 = unlimited
 
 [observability]
 metrics = true            # metrics registry (counters/gauges/histograms)
@@ -182,6 +191,16 @@ assessment_backend_kind parse_backend(const std::string& name) {
     throw config_error{"unknown search.backend: " + name};
 }
 
+engine_transport_kind parse_transport(const std::string& name) {
+    if (name == "loopback") {
+        return engine_transport_kind::loopback;
+    }
+    if (name == "socket") {
+        return engine_transport_kind::socket;
+    }
+    throw config_error{"unknown search.transport: " + name};
+}
+
 sampler_kind parse_sampler(const std::string& name) {
     if (name == "dagger") {
         return sampler_kind::extended_dagger;
@@ -214,6 +233,11 @@ recloud_options build_options(const config& cfg,
         static_cast<std::size_t>(cfg.get_uint("search.max_attempts", 3));
     options.engine_batch_deadline = std::chrono::milliseconds{
         static_cast<std::int64_t>(cfg.get_uint("search.deadline_ms", 0))};
+    options.engine_transport =
+        parse_transport(cfg.get_string("search.transport", "loopback"));
+    options.engine_worker_binary = cfg.get_string("search.worker_binary", "");
+    options.engine_max_respawns =
+        static_cast<std::size_t>(cfg.get_uint("search.max_respawns", 16));
     options.verdict_cache = cfg.get_bool("search.verdict_cache", true);
     options.multi_objective = cfg.get_bool("search.multi_objective", false);
     options.use_symmetry = cfg.get_bool("search.symmetry", true);
@@ -339,11 +363,18 @@ int run_service(const config& cfg, const application& app,
         static_cast<std::size_t>(cfg.get_uint("service.workers", 2));
     service_cfg.queue_capacity =
         static_cast<std::size_t>(cfg.get_uint("service.queue_capacity", 64));
+    service_cfg.shards =
+        static_cast<std::size_t>(cfg.get_uint("service.shards", 1));
+    service_cfg.tenant_quota =
+        static_cast<std::size_t>(cfg.get_uint("service.tenant_quota", 0));
     service_cfg.defaults = options;
     deployment_service service{service_cfg};
     service.add_scenario(snapshot->name(), snapshot);
-    std::printf("service:          %zu requests on %zu workers (queue %zu)\n",
-                count, service_cfg.workers, service_cfg.queue_capacity);
+    std::printf(
+        "service:          %zu requests on %zu shard(s) x %zu workers "
+        "(queue %zu/shard, tenant quota %zu)\n",
+        count, service_cfg.shards, service_cfg.workers,
+        service_cfg.queue_capacity, service_cfg.tenant_quota);
 
     std::vector<std::future<service_response>> futures;
     futures.reserve(count);
@@ -377,10 +408,12 @@ int run_service(const config& cfg, const application& app,
     }
     const service_stats stats = service.stats();
     std::printf("service: submitted=%llu completed=%llu rejected=%llu "
-                "failed=%llu peak-queue=%zu\n",
+                "(queue_full=%llu quota=%llu) failed=%llu peak-queue=%zu\n",
                 static_cast<unsigned long long>(stats.submitted),
                 static_cast<unsigned long long>(stats.completed),
                 static_cast<unsigned long long>(stats.rejected),
+                static_cast<unsigned long long>(stats.shed_queue_full),
+                static_cast<unsigned long long>(stats.shed_quota),
                 static_cast<unsigned long long>(stats.failed),
                 stats.peak_queue_depth);
     return all_completed && fulfilled == count ? 0 : 2;

@@ -1,0 +1,188 @@
+// recloud_worker: the process on the far side of the socket transport.
+//
+// Speaks the outer-envelope protocol (exec/worker_protocol.hpp) over a
+// single inherited socket fd: receives its structural environment once,
+// then per assessment a framed setup followed by framed round batches,
+// judging each through the SAME worker_context the in-process engine uses —
+// so a batch's verdict is bit-identical whichever side of the process
+// boundary computes it.
+//
+// Chaos is applied HERE, by the worker on itself: an injected crash is a
+// real _exit (the master observes EOF, fails the in-flight batch, and
+// respawns the process), a stall is a real sleep, and corrupt/truncate
+// mangle the inner framed result before it is sealed into a (valid) outer
+// envelope — exercising the engine's invalid-frame path without
+// desynchronizing the stream.
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "exec/worker_context.hpp"
+#include "exec/worker_protocol.hpp"
+#include "routing/bfs_reachability.hpp"
+#include "util/serialize.hpp"
+
+namespace {
+
+using namespace recloud;
+
+struct worker_state {
+    int fd = -1;
+    std::uint64_t worker_id = 0;
+    std::optional<worker_environment> env;
+    std::optional<chaos_schedule> chaos;
+    std::unique_ptr<verdict_support> support;
+    verdict_cache_options cache_options;
+    std::unique_ptr<worker_context> context;
+};
+
+void handle_env(worker_state& state, const envelope& msg) {
+    state.env.emplace(decode_worker_environment(msg.blob));
+    worker_environment& env = *state.env;
+    state.worker_id = env.worker_id;
+    state.context.reset();
+    if (env.chaos_enabled) {
+        state.chaos.emplace(env.chaos);
+    } else {
+        state.chaos.reset();
+    }
+    state.cache_options = {};
+    if (env.cache_enabled) {
+        // The worker derives its own support set from the shipped
+        // environment — semantically the same set the master computes,
+        // since both are pure functions of (topology, forest, links).
+        state.support = std::make_unique<verdict_support>(
+            env.topology, env.component_count,
+            env.forest ? &*env.forest : nullptr,
+            env.links ? &*env.links : nullptr);
+        state.cache_options.enabled = true;
+        state.cache_options.max_entries = env.cache_max_entries;
+        state.cache_options.support = state.support.get();
+    } else {
+        state.support.reset();
+    }
+    // hello AFTER the environment is rebuilt: the handshake proves the
+    // whole env round-trip, not just process liveness.
+    fd_write_all(state.fd, pack_envelope(worker_msg::hello, 0, 0, {}));
+}
+
+void handle_setup(worker_state& state, const envelope& msg) {
+    if (!state.env) {
+        throw transport_error{"setup before environment"};
+    }
+    const worker_environment& env = *state.env;
+    const oracle_factory make_oracle = [&env] {
+        return std::unique_ptr<reachability_oracle>{
+            std::make_unique<bfs_reachability>(
+                env.topology, env.links ? &*env.links : nullptr)};
+    };
+    state.context = std::make_unique<worker_context>(
+        std::span<const std::byte>{msg.blob}, env.component_count,
+        env.forest ? &*env.forest : nullptr, make_oracle,
+        state.cache_options);
+}
+
+void handle_task(worker_state& state, const envelope& msg) {
+    if (!state.context) {
+        throw transport_error{"task before setup"};
+    }
+    const chaos_fault fault =
+        state.chaos
+            ? state.chaos->fault_for(msg.batch, msg.attempt, state.worker_id)
+            : chaos_fault::none;
+    if (fault == chaos_fault::crash) {
+        ::_exit(13);  // a chaos crash out here is a REAL process death
+    }
+    if (fault == chaos_fault::stall) {
+        std::this_thread::sleep_for(state.chaos->options().stall_duration);
+    }
+    // Judge chaos-free (the fault already happened out here), then mangle
+    // the inner framed result exactly like the in-process chaos path.
+    std::vector<std::byte> framed = state.context->run_batch(
+        std::span<const std::byte>{msg.blob}, nullptr, msg.batch, msg.attempt,
+        state.worker_id);
+    if (fault == chaos_fault::corrupt_result) {
+        chaos_schedule::corrupt(framed, msg.batch, msg.attempt,
+                                state.worker_id);
+    } else if (fault == chaos_fault::truncate_result) {
+        chaos_schedule::truncate(framed, msg.batch, msg.attempt,
+                                 state.worker_id);
+    }
+    fd_write_all(state.fd,
+                 pack_envelope(worker_msg::result, msg.batch, msg.attempt,
+                               framed));
+}
+
+int run(int fd) {
+    worker_state state;
+    state.fd = fd;
+    frame_assembler assembler;
+    std::byte buf[65536];
+    for (;;) {
+        const ssize_t n = ::read(fd, buf, sizeof(buf));
+        if (n == 0) {
+            return 0;  // master gone: clean exit
+        }
+        if (n < 0) {
+            if (errno == EINTR) {
+                continue;
+            }
+            return 3;
+        }
+        assembler.feed(
+            std::span<const std::byte>{buf, static_cast<std::size_t>(n)});
+        while (auto frame = assembler.next_frame()) {
+            const envelope msg = unpack_envelope(*frame);
+            switch (msg.kind) {
+                case worker_msg::env:
+                    handle_env(state, msg);
+                    break;
+                case worker_msg::setup:
+                    handle_setup(state, msg);
+                    break;
+                case worker_msg::task:
+                    handle_task(state, msg);
+                    break;
+                case worker_msg::teardown:
+                    state.context.reset();
+                    break;
+                case worker_msg::shutdown:
+                    return 0;
+                case worker_msg::hello:
+                case worker_msg::result:
+                    throw transport_error{"unexpected message from master"};
+            }
+        }
+    }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    int fd = -1;
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], "--fd") == 0) {
+            fd = std::atoi(argv[i + 1]);
+        }
+        // --worker <k> is accepted for ps(1) readability; the authoritative
+        // worker id arrives inside the env message.
+    }
+    if (fd < 0) {
+        return 2;
+    }
+    try {
+        return run(fd);
+    } catch (const std::exception&) {
+        // Any protocol/serialization failure: die loudly; the master sees
+        // EOF, charges a worker crash, and respawns this slot.
+        return 4;
+    }
+}

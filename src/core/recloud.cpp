@@ -59,16 +59,28 @@ std::unique_ptr<assessment_backend> make_backend(
                                      .batch_rounds = options.assessment_batch_rounds,
                                      .verdict_cache = cache_options});
     }
-    return std::make_unique<engine_backend>(
-        components, forest, std::move(factory), sampler,
-        engine_options{.workers = options.assessment_threads != 0
+    engine_options eng{.workers = options.assessment_threads != 0
                                       ? options.assessment_threads
                                       : std::max(
                                             1u, std::thread::hardware_concurrency()),
                        .batch_rounds = options.assessment_batch_rounds,
                        .max_attempts = options.engine_max_attempts,
                        .batch_deadline = options.engine_batch_deadline,
-                       .verdict_cache = cache_options});
+                       .verdict_cache = cache_options};
+    if (options.engine_transport == engine_transport_kind::socket) {
+        eng.transport = transport_kind::socket;
+        if (!options.engine_worker_binary.empty()) {
+            eng.socket.worker_binary = options.engine_worker_binary;
+        }
+        eng.socket.max_respawns = options.engine_max_respawns;
+        // The structural environment shipped to worker processes borrows
+        // from the scenario; the caller holds the scenario_ptr for the
+        // backend's whole lifetime (re_cloud's member order guarantees it).
+        eng.topology = &scenario->topology();
+        eng.links = scenario->links();
+    }
+    return std::make_unique<engine_backend>(components, forest,
+                                            std::move(factory), sampler, eng);
 }
 
 /// CI/debug override: RECLOUD_VERDICT_CACHE forces the cache on or off
@@ -307,6 +319,7 @@ const engine_stats* re_cloud::execution_stats() const {
         total.redispatches += s.redispatches;
         total.degraded += s.degraded;
         total.worker_crashes += s.worker_crashes;
+        total.worker_respawns += s.worker_respawns;
         total.deadline_misses += s.deadline_misses;
         total.invalid_frames += s.invalid_frames;
         total.bytes_sent += s.bytes_sent;
@@ -354,6 +367,8 @@ obs::telemetry_snapshot re_cloud::telemetry() const {
         registry.set(registry.gauge("engine.stats.degraded"), engine->degraded);
         registry.set(registry.gauge("engine.stats.worker_crashes"),
                      engine->worker_crashes);
+        registry.set(registry.gauge("engine.stats.worker_respawns"),
+                     engine->worker_respawns);
         registry.set(registry.gauge("engine.stats.deadline_misses"),
                      engine->deadline_misses);
         registry.set(registry.gauge("engine.stats.invalid_frames"),

@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "app/application.hpp"
@@ -57,6 +58,14 @@ enum class assessment_backend_kind : std::uint8_t {
     engine,    ///< MapReduce-style wire-format engine (§3.2.1, Figure 12)
 };
 
+/// Where the engine backend's workers live (exec/transport.hpp). Facade
+/// mirror of exec's transport_kind so configuring the transport does not
+/// pull the transport headers into every recloud.hpp consumer.
+enum class engine_transport_kind : std::uint8_t {
+    loopback,  ///< in-process thread-pool worker nodes (the historic engine)
+    socket,    ///< real recloud_worker processes over Unix-domain sockets
+};
+
 struct recloud_options {
     /// X: route-and-check rounds per assessment (§4.1 default 10^4).
     std::size_t assessment_rounds = 10'000;
@@ -77,6 +86,19 @@ struct recloud_options {
     /// missing it is treated as a straggler and the batch re-dispatched.
     /// zero = wait forever. Ignored by the serial/parallel backends.
     std::chrono::milliseconds engine_batch_deadline{0};
+    /// Engine backend transport: loopback (in-process, the default) or real
+    /// worker processes over Unix-domain sockets. assessment_stats are
+    /// bit-identical across transports; socket adds process isolation and
+    /// master-side respawn of crashed workers. Ignored by serial/parallel.
+    engine_transport_kind engine_transport = engine_transport_kind::loopback;
+    /// Worker executable for the socket transport; empty = auto-resolve
+    /// ($RECLOUD_WORKER_BIN, then a recloud_worker next to this binary,
+    /// then PATH). Ignored unless engine_transport is socket.
+    std::string engine_worker_binary{};
+    /// Socket transport: respawn budget per worker slot before the slot is
+    /// retired and its batches re-dispatch elsewhere (or degrade to the
+    /// master). Ignored by loopback.
+    std::size_t engine_max_respawns = 16;
     /// Round-verdict memoization (assess/verdict_cache.hpp): cache the
     /// verdict per support-filtered failed signature so repeated and
     /// support-disjoint failure patterns skip route-and-check entirely.

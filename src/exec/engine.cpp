@@ -2,13 +2,10 @@
 
 #include <algorithm>
 #include <future>
-#include <mutex>
-#include <optional>
 #include <thread>
 #include <utility>
 
-#include "app/requirement_eval.hpp"
-#include "faults/round_state.hpp"
+#include "exec/worker_context.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sampling/result_stats.hpp"
@@ -105,88 +102,24 @@ batch_result decode_batch_result(byte_reader& in) {
 
 namespace {
 
-/// A worker's per-assessment route-and-check context: deserialized app and
-/// plan, its own round_state and oracle. Setting this up is the context
-/// setup the paper identifies as the per-round-batch fixed cost.
-struct worker_context {
-    application app;
-    deployment_plan plan;
-    round_state rs;
-    std::unique_ptr<reachability_oracle> oracle;
-    requirement_evaluator evaluator;
-    /// Private per-context verdict memoization; bound once at construction
-    /// (the context lives for exactly one (app, plan) assessment).
-    std::optional<verdict_cache> cache;
-    /// A worker node processes its batches sequentially; the pool may
-    /// schedule two batches of the same worker on different threads, so the
-    /// context serializes them itself.
-    std::mutex busy;
-
-    worker_context(std::span<const std::byte> framed_setup,
-                   std::size_t component_count, const fault_tree_forest* forest,
-                   const oracle_factory& make_oracle,
-                   const verdict_cache_options& cache_options)
-        : app(make_app(framed_setup)),
-          plan(make_plan(framed_setup)),
-          rs(component_count, forest),
-          oracle(make_oracle()),
-          evaluator(app, plan) {
-        if (cache_options.enabled && cache_options.support != nullptr) {
-            cache.emplace(*cache_options.support, cache_options.max_entries);
-            cache->bind(app, plan);
-        }
+/// Builds the transport the options select. The loopback default reproduces
+/// the historic in-process engine byte-for-byte.
+std::unique_ptr<engine_transport> build_transport(
+    std::size_t component_count, const fault_tree_forest* forest,
+    const oracle_factory& make_oracle, const engine_options& options) {
+    transport_env env;
+    env.component_count = component_count;
+    env.forest = forest;
+    env.make_oracle = make_oracle;
+    env.verdict_cache = options.verdict_cache;
+    env.chaos = options.chaos;
+    env.topology = options.topology;
+    env.links = options.links;
+    if (options.transport == transport_kind::socket) {
+        return make_socket_transport(options.workers, env, options.socket);
     }
-
-    static application make_app(std::span<const std::byte> framed_setup) {
-        byte_reader reader{unframe_message(framed_setup)};
-        return wire::decode_application(reader);
-    }
-
-    static deployment_plan make_plan(std::span<const std::byte> framed_setup) {
-        byte_reader reader{unframe_message(framed_setup)};
-        (void)wire::decode_application(reader);  // skip the app section
-        return wire::decode_plan(reader);
-    }
-
-    /// Map step: judge every round in a framed serialized batch; returns
-    /// the framed serialized result record. `chaos` (optional) injects the
-    /// scheduled fault for this (batch, attempt, worker) dispatch.
-    [[nodiscard]] std::vector<std::byte> run_batch(
-        std::span<const std::byte> framed_task, const chaos_schedule* chaos,
-        std::uint64_t batch_id, std::uint64_t attempt, std::uint64_t worker_id) {
-        const std::lock_guard lock{busy};
-        RECLOUD_SPAN("engine.batch");
-        const chaos_fault fault =
-            chaos != nullptr ? chaos->fault_for(batch_id, attempt, worker_id)
-                             : chaos_fault::none;
-        if (fault == chaos_fault::crash) {
-            throw chaos_crash{"injected worker crash"};
-        }
-        if (fault == chaos_fault::stall) {
-            std::this_thread::sleep_for(chaos->options().stall_duration);
-        }
-        byte_reader reader{unframe_message(framed_task)};
-        const auto rounds = wire::decode_round_batch(reader);
-        wire::batch_result result;
-        verdict_cache* vc = cache ? &*cache : nullptr;
-        for (const auto& failed : rounds) {
-            ++result.rounds;
-            if (cached_reliable_in_round(vc, failed, rs, *oracle, plan,
-                                         evaluator)) {
-                ++result.reliable;
-            }
-        }
-        byte_writer writer;
-        wire::encode_batch_result(writer, result);
-        std::vector<std::byte> framed = frame_message(writer.bytes());
-        if (fault == chaos_fault::corrupt_result) {
-            chaos_schedule::corrupt(framed, batch_id, attempt, worker_id);
-        } else if (fault == chaos_fault::truncate_result) {
-            chaos_schedule::truncate(framed, batch_id, attempt, worker_id);
-        }
-        return framed;
-    }
-};
+    return make_loopback_transport(options.workers, env);
+}
 
 /// One batch the master is responsible for until its result validates.
 struct pending_batch {
@@ -211,8 +144,23 @@ assessment_engine::assessment_engine(std::size_t component_count,
       forest_(forest),
       make_oracle_(std::move(make_oracle)),
       options_(options),
-      pool_(options.workers) {
-    stats_.worker_failures.assign(pool_.size(), 0);
+      transport_(build_transport(component_count, forest, make_oracle_,
+                                 options)) {
+    stats_.worker_failures.assign(transport_->workers(), 0);
+}
+
+const verdict_cache_stats* assessment_engine::cache_stats() const noexcept {
+    const verdict_cache_options& vc = options_.verdict_cache;
+    if (!vc.enabled ||
+        (vc.support == nullptr &&
+         options_.transport == transport_kind::loopback)) {
+        return nullptr;
+    }
+    combined_cache_stats_ = local_cache_stats_;
+    if (const verdict_cache_stats* remote = transport_->cache_stats()) {
+        combined_cache_stats_.accumulate(*remote);
+    }
+    return &combined_cache_stats_;
 }
 
 assessment_stats assessment_engine::assess(failure_sampler& sampler,
@@ -221,22 +169,16 @@ assessment_stats assessment_engine::assess(failure_sampler& sampler,
                                            std::size_t rounds) {
     RECLOUD_SPAN("engine.assess");
     RECLOUD_COUNTER_ADD("assess.rounds", rounds);
-    // Serialize the assessment context once; every worker deserializes its
-    // own copy (what shipping the job to a remote worker would cost).
+    const std::size_t worker_count = transport_->workers();
+    // Serialize the assessment context once; every worker receives its own
+    // copy (what shipping the job to a remote worker costs — and with the
+    // socket transport, what it literally is).
     byte_writer setup_writer;
     wire::encode_application(setup_writer, app);
     wire::encode_plan(setup_writer, plan);
     const std::vector<std::byte> framed_setup =
         frame_message(setup_writer.bytes());
-
-    std::vector<std::unique_ptr<worker_context>> contexts;
-    contexts.reserve(pool_.size());
-    for (std::size_t w = 0; w < pool_.size(); ++w) {
-        contexts.push_back(std::make_unique<worker_context>(
-            framed_setup, component_count_, forest_, make_oracle_,
-            options_.verdict_cache));
-        stats_.bytes_sent += framed_setup.size();
-    }
+    stats_.bytes_sent += transport_->begin_assessment(framed_setup);
 
     // Master: sample every round up front. The sampler stream advances
     // identically whatever faults later strike, and each batch's bytes are
@@ -257,7 +199,7 @@ assessment_stats assessment_engine::assess(failure_sampler& sampler,
             b.id = batches.size();
             b.rounds = batch_rounds.size();
             b.framed_task = frame_message(writer.bytes());
-            b.failed_on.assign(pool_.size(), false);
+            b.failed_on.assign(worker_count, false);
             batches.push_back(std::move(b));
             batch_rounds.clear();
         };
@@ -290,35 +232,31 @@ assessment_stats assessment_engine::assess(failure_sampler& sampler,
         RECLOUD_SPAN("engine.dispatch");
         RECLOUD_COUNTER_INC("engine.dispatches");
         b.worker = worker;
-        worker_context* context = contexts[worker].get();
-        b.outcome = pool_.submit([context, task = std::span<const std::byte>{
-                                               b.framed_task},
-                                  chaos = options_.chaos, id = b.id,
-                                  attempt = std::uint64_t{b.attempt},
-                                  worker]() {
-            return context->run_batch(task, chaos, id, attempt, worker);
-        });
+        b.outcome = transport_->dispatch(worker,
+                                         std::span<const std::byte>{
+                                             b.framed_task},
+                                         b.id, b.attempt);
         ++b.attempt;
         ++stats_.dispatches;
         stats_.bytes_sent += b.framed_task.size();
     };
 
-    /// First healthy candidate after `after`, or pool size when every
-    /// worker has already failed this batch.
+    /// First healthy candidate after `after`, or the worker count when
+    /// every worker has already failed this batch.
     const auto next_worker = [&](const pending_batch& b, std::size_t after) {
-        for (std::size_t step = 1; step <= pool_.size(); ++step) {
-            const std::size_t w = (after + step) % pool_.size();
+        for (std::size_t step = 1; step <= worker_count; ++step) {
+            const std::size_t w = (after + step) % worker_count;
             if (!b.failed_on[w]) {
                 return w;
             }
         }
-        return pool_.size();
+        return worker_count;
     };
 
     // Initial wave: batch i to worker i mod workers (round-robin).
     if (options_.max_attempts > 0) {
         for (pending_batch& b : batches) {
-            dispatch(b, static_cast<std::size_t>(b.id % pool_.size()));
+            dispatch(b, static_cast<std::size_t>(b.id % worker_count));
         }
     }
 
@@ -362,7 +300,7 @@ assessment_stats assessment_engine::assess(failure_sampler& sampler,
                 b.failed_on[b.worker] = true;
                 const std::size_t candidate = next_worker(b, b.worker);
                 if (b.attempt >= options_.max_attempts ||
-                    candidate == pool_.size()) {
+                    candidate == worker_count) {
                     break;
                 }
                 if (options_.retry_backoff.count() > 0) {
@@ -390,7 +328,7 @@ assessment_stats assessment_engine::assess(failure_sampler& sampler,
                         options_.verdict_cache);
                 }
                 const std::vector<std::byte> framed = local->run_batch(
-                    b.framed_task, nullptr, b.id, b.attempt, pool_.size());
+                    b.framed_task, nullptr, b.id, b.attempt, worker_count);
                 byte_reader reader{unframe_message(framed)};
                 const wire::batch_result r = wire::decode_batch_result(reader);
                 results.merge(r.reliable, r.rounds);
@@ -402,18 +340,19 @@ assessment_stats assessment_engine::assess(failure_sampler& sampler,
         }
     } catch (...) {
         drain();
+        transport_->end_assessment();
+        stats_.worker_respawns = transport_->respawns();
         throw;
     }
     drain();
-    // Contexts die with this call; fold their cache counters into the
-    // engine-lifetime totals first (after drain: no task still runs).
-    for (const std::unique_ptr<worker_context>& context : contexts) {
-        if (context->cache) {
-            cache_stats_.accumulate(context->cache->stats());
+    // Worker contexts die inside end_assessment (the transport folds their
+    // cache counters); after drain no task still runs, so that is safe.
+    transport_->end_assessment();
+    stats_.worker_respawns = transport_->respawns();
+    if (local != nullptr) {
+        if (const verdict_cache_stats* stats = local->cache_stats()) {
+            local_cache_stats_.accumulate(*stats);
         }
-    }
-    if (local != nullptr && local->cache) {
-        cache_stats_.accumulate(local->cache->stats());
     }
     return results.stats();
 }

@@ -36,12 +36,12 @@
 #include "app/deployment.hpp"
 #include "assess/backend.hpp"
 #include "exec/chaos.hpp"
+#include "exec/transport.hpp"
 #include "faults/fault_tree.hpp"
 #include "routing/oracle.hpp"
 #include "sampling/sampler.hpp"
 #include "util/serialize.hpp"
 #include "util/stats.hpp"
-#include "util/thread_pool.hpp"
 
 namespace recloud {
 
@@ -93,6 +93,21 @@ struct engine_options {
     /// Counts are summed per batch and addition commutes, so the cache
     /// cannot perturb the engine's bit-identical recovery guarantee.
     verdict_cache_options verdict_cache{};
+    /// Where workers live: in-process thread-pool nodes (loopback, the
+    /// default — the historic engine) or real recloud_worker processes over
+    /// Unix-domain sockets. The recovery state machine and the stats it
+    /// produces are transport-independent.
+    transport_kind transport = transport_kind::loopback;
+    /// Socket transport tuning (worker binary, respawn budget). Ignored by
+    /// loopback.
+    socket_transport_options socket{};
+    /// Structural environment shipped to out-of-process workers so they can
+    /// rebuild a route-and-check context (a BFS oracle over this topology).
+    /// REQUIRED for the socket transport; ignored by loopback (its workers
+    /// use the in-process oracle factory). Borrowed — must outlive the
+    /// engine.
+    const built_topology* topology = nullptr;
+    const link_attachment* links = nullptr;
 };
 
 /// Recovery/observability counters for one engine, cumulative across
@@ -108,6 +123,10 @@ struct engine_stats {
     std::uint64_t invalid_frames = 0;   ///< attempts failed by validation
     std::uint64_t bytes_sent = 0;       ///< framed setup + task bytes
     std::uint64_t bytes_received = 0;   ///< framed result bytes
+    /// Worker process respawns performed by the transport (0 for loopback
+    /// threads, which never die). Snapshotted from the transport after each
+    /// assess().
+    std::uint64_t worker_respawns = 0;
     std::vector<std::uint64_t> worker_failures;  ///< failed attempts per worker
 
     [[nodiscard]] std::uint64_t failures() const noexcept {
@@ -131,26 +150,36 @@ public:
                                           const deployment_plan& plan,
                                           std::size_t rounds);
 
-    [[nodiscard]] std::size_t workers() const noexcept { return pool_.size(); }
+    [[nodiscard]] std::size_t workers() const noexcept {
+        return transport_->workers();
+    }
+
+    /// The transport hosting the workers (process pids, respawn counters —
+    /// what the socket chaos tests introspect).
+    [[nodiscard]] const engine_transport& transport() const noexcept {
+        return *transport_;
+    }
 
     /// Recovery counters, cumulative since construction.
     [[nodiscard]] const engine_stats& stats() const noexcept { return stats_; }
 
     /// Verdict-cache counters summed over every worker (and degraded-local)
     /// context of every assess() so far; nullptr when the cache is off.
-    [[nodiscard]] const verdict_cache_stats* cache_stats() const noexcept {
-        const verdict_cache_options& vc = options_.verdict_cache;
-        return vc.enabled && vc.support != nullptr ? &cache_stats_ : nullptr;
-    }
+    /// Socket workers keep their counters remote — only master-local
+    /// (degraded) contexts contribute there.
+    [[nodiscard]] const verdict_cache_stats* cache_stats() const noexcept;
 
 private:
     std::size_t component_count_;
     const fault_tree_forest* forest_;
     oracle_factory make_oracle_;
     engine_options options_;
-    thread_pool pool_;
+    std::unique_ptr<engine_transport> transport_;
     engine_stats stats_;
-    verdict_cache_stats cache_stats_;
+    /// Master-local (degraded-path) cache counters; worker-context counters
+    /// accumulate inside the transport. cache_stats() combines both.
+    verdict_cache_stats local_cache_stats_;
+    mutable verdict_cache_stats combined_cache_stats_;
 };
 
 /// assessment_backend adapter over the wire-format engine: sampling stays on

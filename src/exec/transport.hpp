@@ -1,0 +1,165 @@
+// Pluggable transport under the assessment engine — the seam that turns the
+// in-process MapReduce engine into a real fleet.
+//
+// The engine's recovery state machine (retry, re-dispatch, degrade; see
+// exec/engine.hpp) never cared WHERE a batch ran — it only needs framed
+// task bytes to go out and framed result bytes (or a failure) to come back.
+// This interface makes that explicit:
+//
+//   * loopback transport — the historic in-process path: worker "nodes" are
+//     thread-pool threads judging through worker_context. Behavior,
+//     byte accounting, and chaos semantics are unchanged, so every existing
+//     engine/recovery test keeps proving the same machine.
+//   * socket transport — real worker processes (the recloud_worker
+//     executable) on the far side of Unix-domain socket pairs. Workers are
+//     RESTARTABLE: a dead process (chaos crash = real _exit, or an external
+//     SIGKILL) is respawned and re-fed its environment, while the engine's
+//     existing recovery re-dispatches the batch it was holding.
+//
+// Determinism (§6 contract) survives the process boundary because nothing
+// random lives beyond the master: rounds are sampled once on the master,
+// batch bytes are kept until a result validates, and a worker is a pure
+// function framed task -> framed result. Which process judges a batch can
+// change the timing, never the counts.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "assess/verdict_cache.hpp"
+#include "exec/chaos.hpp"
+#include "faults/fault_tree.hpp"
+#include "routing/oracle.hpp"
+#include "topology/links.hpp"
+
+namespace recloud {
+
+/// Transport-layer failure (spawn failure, dead peer, poisoned stream).
+/// Deliberately NOT a serialize_error: the engine counts transport failures
+/// as worker crashes, while serialize_error marks invalid frames.
+class transport_error : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+enum class transport_kind : std::uint8_t {
+    loopback,  ///< in-process thread-pool workers (the default)
+    socket,    ///< recloud_worker processes over Unix-domain sockets
+};
+
+[[nodiscard]] const char* to_string(transport_kind kind) noexcept;
+
+/// Everything a transport needs to stand up worker route-and-check
+/// contexts. The loopback path uses the in-process closures directly; the
+/// socket path serializes the structural parts (topology, forest, links,
+/// chaos schedule, cache configuration) into an environment message the
+/// worker process rebuilds its context from. All pointers are borrowed and
+/// must outlive the transport.
+struct transport_env {
+    std::size_t component_count = 0;
+    const fault_tree_forest* forest = nullptr;  ///< may be null
+    /// In-process context setup (loopback; socket workers build a BFS
+    /// oracle over the shipped topology instead).
+    oracle_factory make_oracle;
+    /// Per-worker private verdict caches. Loopback workers share
+    /// `verdict_cache.support`; socket workers derive their own support
+    /// from the shipped environment (only enabled/max_entries cross).
+    verdict_cache_options verdict_cache{};
+    /// Deterministic fault injection, applied per dispatch attempt. The
+    /// loopback path injects in-process; the socket path ships the schedule
+    /// options so the worker process injects on itself (a chaos crash
+    /// becomes a real process death).
+    const chaos_schedule* chaos = nullptr;
+    /// Structural environment for cross-process transports (required by
+    /// socket, ignored by loopback).
+    const built_topology* topology = nullptr;
+    const link_attachment* links = nullptr;
+};
+
+/// One assessment fleet: a fixed set of worker endpoints the engine
+/// dispatches framed batches to. Lifecycle per assessment:
+/// begin_assessment(setup) -> dispatch()* -> (all futures settled) ->
+/// end_assessment(). The framed task span passed to dispatch() must stay
+/// valid until its future is ready — the engine guarantees this by keeping
+/// every batch's bytes until the assessment drains.
+class engine_transport {
+public:
+    virtual ~engine_transport() = default;
+
+    [[nodiscard]] virtual const char* name() const noexcept = 0;
+    [[nodiscard]] virtual std::size_t workers() const noexcept = 0;
+
+    /// Ships the framed (application, plan) setup message to every worker;
+    /// returns the setup bytes charged to the wire (engine accounting).
+    virtual std::uint64_t begin_assessment(
+        std::span<const std::byte> framed_setup) = 0;
+
+    /// Releases per-assessment worker state and folds worker verdict-cache
+    /// counters into cache_stats(). Only called once every dispatch future
+    /// of the assessment has been waited on.
+    virtual void end_assessment() = 0;
+
+    /// Sends a framed task to `worker`. The future yields the framed result
+    /// bytes — possibly mangled (the engine validates) — or throws:
+    /// serialize_error counts as an invalid frame, anything else as a
+    /// worker crash.
+    [[nodiscard]] virtual std::future<std::vector<std::byte>> dispatch(
+        std::size_t worker, std::span<const std::byte> framed_task,
+        std::uint64_t batch, std::uint64_t attempt) = 0;
+
+    /// Cumulative verdict-cache counters over every worker context this
+    /// transport has hosted, or nullptr when workers run uncached (or their
+    /// counters stay remote, as with socket workers).
+    [[nodiscard]] virtual const verdict_cache_stats* cache_stats()
+        const noexcept {
+        return nullptr;
+    }
+
+    // ---- process-backed introspection (0 / empty for in-process) --------
+    [[nodiscard]] virtual std::uint64_t respawns() const noexcept { return 0; }
+    [[nodiscard]] virtual std::size_t live_worker_processes() const noexcept {
+        return 0;
+    }
+    [[nodiscard]] virtual std::vector<int> worker_pids() const { return {}; }
+};
+
+struct socket_transport_options {
+    /// Path to the recloud_worker executable; empty resolves through
+    /// default_worker_binary().
+    std::string worker_binary;
+    /// Process respawns per worker slot before the slot is declared dead
+    /// for good (the engine then degrades around it).
+    std::size_t max_respawns = 16;
+    /// How long to wait for a freshly spawned worker's hello (it is sent
+    /// after the environment decoded, so it also proves the env round-trip).
+    std::chrono::milliseconds spawn_timeout{10'000};
+    /// Frames claiming payloads beyond this poison the connection.
+    std::size_t max_frame_payload = std::size_t{1} << 30;
+};
+
+/// In-process transport: `workers` thread-pool workers, each judging
+/// through its own worker_context. Throws std::invalid_argument when
+/// workers == 0 (the historic thread_pool contract).
+[[nodiscard]] std::unique_ptr<engine_transport> make_loopback_transport(
+    std::size_t workers, const transport_env& env);
+
+/// Process fleet: spawns `workers` recloud_worker processes over Unix
+/// socket pairs. Requires env.topology. Throws transport_error when a
+/// worker fails to start (bad binary path, env rejected).
+[[nodiscard]] std::unique_ptr<engine_transport> make_socket_transport(
+    std::size_t workers, const transport_env& env,
+    const socket_transport_options& options = {});
+
+/// Resolves the worker executable: $RECLOUD_WORKER_BIN if set, else
+/// "recloud_worker" next to the current executable, else the bare name
+/// (PATH lookup by execvp).
+[[nodiscard]] std::string default_worker_binary();
+
+}  // namespace recloud

@@ -1,0 +1,285 @@
+#include "exec/worker_protocol.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "util/serialize.hpp"
+
+namespace recloud {
+
+namespace {
+
+/// Envelope prefix: kind (u8) + batch (u64) + attempt (u64).
+constexpr std::size_t envelope_prefix_bytes = 1 + 8 + 8;
+
+}  // namespace
+
+std::vector<std::byte> pack_envelope(worker_msg kind, std::uint64_t batch,
+                                     std::uint64_t attempt,
+                                     std::span<const std::byte> blob) {
+    byte_writer writer;
+    writer.reserve(envelope_prefix_bytes + blob.size());
+    writer.write_u8(static_cast<std::uint8_t>(kind));
+    writer.write_u64(batch);
+    writer.write_u64(attempt);
+    std::vector<std::byte> payload = writer.take();
+    payload.insert(payload.end(), blob.begin(), blob.end());
+    return frame_message(payload);
+}
+
+envelope unpack_envelope(std::span<const std::byte> framed) {
+    const std::span<const std::byte> payload = unframe_message(framed);
+    byte_reader reader{payload};
+    envelope msg;
+    const std::uint8_t kind = reader.read_u8();
+    if (kind < static_cast<std::uint8_t>(worker_msg::hello) ||
+        kind > static_cast<std::uint8_t>(worker_msg::shutdown)) {
+        throw serialize_error{"envelope: unknown message kind"};
+    }
+    msg.kind = static_cast<worker_msg>(kind);
+    msg.batch = reader.read_u64();
+    msg.attempt = reader.read_u64();
+    msg.blob.assign(payload.begin() + envelope_prefix_bytes, payload.end());
+    return msg;
+}
+
+namespace {
+
+void encode_topology(byte_writer& out, const built_topology& topo) {
+    const network_graph& g = topo.graph;
+    out.write_varint(g.node_count());
+    for (node_id n = 0; n < g.node_count(); ++n) {
+        out.write_u8(static_cast<std::uint8_t>(g.kind(n)));
+    }
+    // Edges in edge-id order: re-adding them in this order reproduces the
+    // master's edge ids (they are assigned by insertion).
+    out.write_varint(g.edge_count());
+    for (std::uint32_t e = 0; e < g.edge_count(); ++e) {
+        const auto [a, b] = g.edge_endpoints(e);
+        out.write_varint(a);
+        out.write_varint(b);
+    }
+    out.write_uint_vector(std::span<const node_id>{topo.hosts});
+    out.write_uint_vector(std::span<const node_id>{topo.border_switches});
+    // +1 sentinel: 0 encodes "no external node".
+    out.write_varint(topo.external == invalid_node
+                         ? 0
+                         : std::uint64_t{topo.external} + 1);
+    out.write_string(topo.name);
+}
+
+built_topology decode_topology(byte_reader& in) {
+    built_topology topo;
+    const std::uint64_t nodes = in.read_length_prefix();
+    for (std::uint64_t n = 0; n < nodes; ++n) {
+        const std::uint8_t kind = in.read_u8();
+        if (kind > static_cast<std::uint8_t>(node_kind::external)) {
+            throw serialize_error{"topology: unknown node kind"};
+        }
+        (void)topo.graph.add_node(static_cast<node_kind>(kind));
+    }
+    const std::uint64_t edges = in.read_length_prefix(2);
+    for (std::uint64_t e = 0; e < edges; ++e) {
+        const auto a = static_cast<node_id>(in.read_varint());
+        const auto b = static_cast<node_id>(in.read_varint());
+        if (a >= nodes || b >= nodes) {
+            throw serialize_error{"topology: edge endpoint out of range"};
+        }
+        topo.graph.add_edge(a, b);
+    }
+    topo.graph.freeze();
+    topo.hosts = in.read_uint_vector<node_id>();
+    topo.border_switches = in.read_uint_vector<node_id>();
+    const std::uint64_t external = in.read_varint();
+    topo.external =
+        external == 0 ? invalid_node : static_cast<node_id>(external - 1);
+    topo.name = in.read_string();
+    return topo;
+}
+
+void encode_forest(byte_writer& out, const fault_tree_forest& forest) {
+    out.write_varint(forest.tree_node_count());
+    for (tree_node_id id = 0; id < forest.tree_node_count(); ++id) {
+        const fault_tree_forest::node_view n = forest.node(id);
+        out.write_u8(static_cast<std::uint8_t>(n.kind));
+        if (n.kind == gate_kind::leaf) {
+            out.write_varint(n.leaf);
+        } else {
+            out.write_varint(n.k);
+            out.write_uint_vector(n.children);
+        }
+    }
+    out.write_varint(forest.component_count());
+    for (component_id c = 0; c < forest.component_count(); ++c) {
+        const tree_node_id root = forest.root_of(c);
+        // +1 sentinel: 0 encodes "no tree".
+        out.write_varint(root == invalid_tree_node ? 0
+                                                   : std::uint64_t{root} + 1);
+    }
+}
+
+fault_tree_forest decode_forest(byte_reader& in) {
+    const std::uint64_t nodes = in.read_length_prefix(2);
+    // Deferred construction: component count trails the node pool on the
+    // wire, so stage nodes first.
+    struct staged_node {
+        gate_kind kind;
+        std::uint32_t k = 0;
+        component_id leaf = invalid_node;
+        std::vector<tree_node_id> children;
+    };
+    std::vector<staged_node> staged;
+    staged.reserve(nodes);
+    for (std::uint64_t id = 0; id < nodes; ++id) {
+        staged_node n{};
+        const std::uint8_t kind = in.read_u8();
+        if (kind > static_cast<std::uint8_t>(gate_kind::k_of_n_gate)) {
+            throw serialize_error{"forest: unknown gate kind"};
+        }
+        n.kind = static_cast<gate_kind>(kind);
+        if (n.kind == gate_kind::leaf) {
+            n.leaf = static_cast<component_id>(in.read_varint());
+        } else {
+            n.k = static_cast<std::uint32_t>(in.read_varint());
+            n.children = in.read_uint_vector<tree_node_id>();
+            for (const tree_node_id child : n.children) {
+                if (child >= id) {
+                    throw serialize_error{
+                        "forest: child id not smaller than gate id"};
+                }
+            }
+        }
+        staged.push_back(std::move(n));
+    }
+    const std::uint64_t components = in.read_length_prefix();
+    fault_tree_forest forest{components};
+    for (std::uint64_t id = 0; id < nodes; ++id) {
+        staged_node& n = staged[id];
+        tree_node_id rebuilt = invalid_tree_node;
+        switch (n.kind) {
+            case gate_kind::leaf:
+                rebuilt = forest.add_leaf(n.leaf);
+                break;
+            case gate_kind::or_gate:
+                rebuilt = forest.add_or(std::move(n.children));
+                break;
+            case gate_kind::and_gate:
+                rebuilt = forest.add_and(std::move(n.children));
+                break;
+            case gate_kind::k_of_n_gate:
+                rebuilt = forest.add_k_of_n(n.k, std::move(n.children));
+                break;
+        }
+        if (rebuilt != id) {
+            throw serialize_error{"forest: rebuilt node id diverged"};
+        }
+    }
+    for (component_id c = 0; c < components; ++c) {
+        const std::uint64_t root = in.read_varint();
+        if (root != 0) {
+            if (root - 1 >= nodes) {
+                throw serialize_error{"forest: root out of range"};
+            }
+            forest.attach(c, static_cast<tree_node_id>(root - 1));
+        }
+    }
+    return forest;
+}
+
+}  // namespace
+
+std::vector<std::byte> encode_worker_environment(const transport_env& env,
+                                                 std::uint64_t worker_id) {
+    if (env.topology == nullptr) {
+        throw transport_error{
+            "socket transport requires engine_options.topology"};
+    }
+    byte_writer out;
+    out.write_u64(worker_id);
+    out.write_varint(env.component_count);
+    encode_topology(out, *env.topology);
+    out.write_bool(env.forest != nullptr);
+    if (env.forest != nullptr) {
+        encode_forest(out, *env.forest);
+    }
+    out.write_bool(env.links != nullptr);
+    if (env.links != nullptr) {
+        out.write_uint_vector(
+            std::span<const component_id>{env.links->component_of_edge});
+    }
+    out.write_bool(env.chaos != nullptr);
+    if (env.chaos != nullptr) {
+        const chaos_options& c = env.chaos->options();
+        out.write_u64(c.seed);
+        out.write_f64(c.crash_rate);
+        out.write_f64(c.stall_rate);
+        out.write_f64(c.corrupt_rate);
+        out.write_f64(c.truncate_rate);
+        out.write_varint(static_cast<std::uint64_t>(c.stall_duration.count()));
+    }
+    out.write_bool(env.verdict_cache.enabled);
+    if (env.verdict_cache.enabled) {
+        out.write_varint(env.verdict_cache.max_entries);
+    }
+    return out.take();
+}
+
+worker_environment decode_worker_environment(std::span<const std::byte> blob) {
+    byte_reader in{blob};
+    worker_environment env;
+    env.worker_id = in.read_u64();
+    env.component_count = static_cast<std::size_t>(in.read_varint());
+    env.topology = decode_topology(in);
+    if (in.read_bool()) {
+        env.forest.emplace(decode_forest(in));
+    }
+    if (in.read_bool()) {
+        link_attachment links;
+        links.component_of_edge = in.read_uint_vector<component_id>();
+        if (links.component_of_edge.size() != env.topology.graph.edge_count()) {
+            throw serialize_error{"links: per-edge table size mismatch"};
+        }
+        env.links.emplace(std::move(links));
+    }
+    env.chaos_enabled = in.read_bool();
+    if (env.chaos_enabled) {
+        env.chaos.seed = in.read_u64();
+        env.chaos.crash_rate = in.read_f64();
+        env.chaos.stall_rate = in.read_f64();
+        env.chaos.corrupt_rate = in.read_f64();
+        env.chaos.truncate_rate = in.read_f64();
+        env.chaos.stall_duration =
+            std::chrono::milliseconds{static_cast<std::int64_t>(in.read_varint())};
+    }
+    env.cache_enabled = in.read_bool();
+    if (env.cache_enabled) {
+        env.cache_max_entries = static_cast<std::size_t>(in.read_varint());
+    }
+    if (!in.at_end()) {
+        throw serialize_error{"worker environment: trailing bytes"};
+    }
+    return env;
+}
+
+void fd_write_all(int fd, std::span<const std::byte> bytes) {
+    std::size_t written = 0;
+    while (written < bytes.size()) {
+        // send + MSG_NOSIGNAL, not write: the peer may die at any moment
+        // (that is the chaos contract) and a dead peer must surface as
+        // EPIPE -> transport_error, never as a process-killing SIGPIPE.
+        const ssize_t n = ::send(fd, bytes.data() + written,
+                                 bytes.size() - written, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR) {
+                continue;
+            }
+            throw transport_error{std::string{"socket write failed: "} +
+                                  std::strerror(errno)};
+        }
+        written += static_cast<std::size_t>(n);
+    }
+}
+
+}  // namespace recloud

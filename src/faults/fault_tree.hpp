@@ -71,6 +71,24 @@ public:
     /// (deduplicated, sorted). Used by symmetry signatures.
     [[nodiscard]] std::vector<component_id> dependencies_of(component_id component) const;
 
+    /// Structural view of one tree node — the introspection the wire
+    /// serializer needs to ship a forest to an out-of-process worker.
+    /// Children always have smaller ids than their gate (gates are created
+    /// after their children), so re-adding nodes in id order reproduces an
+    /// identical forest.
+    struct node_view {
+        gate_kind kind = gate_kind::leaf;
+        std::uint32_t k = 0;               ///< k_of_n threshold
+        component_id leaf = invalid_node;  ///< leaves only
+        std::span<const tree_node_id> children;  ///< gates only
+    };
+    [[nodiscard]] node_view node(tree_node_id id) const {
+        const tree_node& n = nodes_.at(id);
+        return {n.kind, n.k, n.leaf,
+                n.kind == gate_kind::leaf ? std::span<const tree_node_id>{}
+                                          : children_of(id)};
+    }
+
     /// Evaluates the tree rooted at `node` against a per-component failure
     /// predicate. `leaf_failed(component_id) -> bool`.
     template <typename FailedFn>

@@ -66,6 +66,7 @@ std::string to_json(const engine_stats& stats) {
         << ",\"redispatches\":" << stats.redispatches
         << ",\"degraded\":" << stats.degraded
         << ",\"worker_crashes\":" << stats.worker_crashes
+        << ",\"worker_respawns\":" << stats.worker_respawns
         << ",\"deadline_misses\":" << stats.deadline_misses
         << ",\"invalid_frames\":" << stats.invalid_frames
         << ",\"bytes_sent\":" << stats.bytes_sent

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <exception>
+#include <functional>
 #include <stdexcept>
 #include <utility>
 
@@ -21,10 +22,16 @@ const char* to_string(request_status status) noexcept {
 
 deployment_service::deployment_service(const service_options& options)
     : options_(options) {
+    const std::size_t shard_count = std::max<std::size_t>(1, options_.shards);
     const std::size_t workers = std::max<std::size_t>(1, options_.workers);
-    workers_.reserve(workers);
-    for (std::size_t w = 0; w < workers; ++w) {
-        workers_.emplace_back([this] { worker_loop(); });
+    shards_.reserve(shard_count);
+    for (std::size_t s = 0; s < shard_count; ++s) {
+        auto sh = std::make_unique<shard>();
+        sh->workers.reserve(workers);
+        for (std::size_t w = 0; w < workers; ++w) {
+            sh->workers.emplace_back([this, &sh = *sh] { worker_loop(sh); });
+        }
+        shards_.push_back(std::move(sh));
     }
 }
 
@@ -44,14 +51,19 @@ scenario_ptr deployment_service::find_scenario(const std::string& name) const {
     return it != scenarios_.end() ? it->second : nullptr;
 }
 
+std::size_t deployment_service::shard_of(
+    const std::string& scenario) const noexcept {
+    return std::hash<std::string>{}(scenario) % shards_.size();
+}
+
 std::future<service_response> deployment_service::submit(
     service_request request) {
     pending_request pending;
     pending.request = std::move(request);
     std::future<service_response> future = pending.promise.get_future();
 
-    // Resolved-at-admission responses (rejection, unknown scenario) bypass
-    // the queue so an overloaded service answers in O(1).
+    // Resolved-at-admission responses (shed, unknown scenario) bypass the
+    // queue so an overloaded service answers in O(1).
     const auto resolve_now = [&](request_status status, std::string error) {
         service_response response;
         response.status = status;
@@ -61,19 +73,15 @@ std::future<service_response> deployment_service::submit(
         pending.promise.set_value(std::move(response));
     };
 
+    shard& sh = *shards_[shard_of(pending.request.scenario)];
     {
+        // Lock order everywhere: service mutex_ before a shard mutex.
         const std::lock_guard<std::mutex> lock{mutex_};
         pending.id = next_request_id_++;
-        if (shutting_down_) {
+        if (shutting_down_.load(std::memory_order_relaxed)) {
             ++stats_.rejected;
             RECLOUD_COUNTER_INC("service.rejected");
             resolve_now(request_status::rejected, "service is shutting down");
-            return future;
-        }
-        if (queue_.size() >= options_.queue_capacity) {
-            ++stats_.rejected;
-            RECLOUD_COUNTER_INC("service.rejected");
-            resolve_now(request_status::rejected, "queue is full");
             return future;
         }
         const auto it = scenarios_.find(pending.request.scenario);
@@ -84,30 +92,56 @@ std::future<service_response> deployment_service::submit(
                         "unknown scenario: " + pending.request.scenario);
             return future;
         }
+        if (options_.tenant_quota > 0) {
+            const auto in_flight = tenant_in_flight_.find(pending.request.tenant);
+            if (in_flight != tenant_in_flight_.end() &&
+                in_flight->second >= options_.tenant_quota) {
+                ++stats_.rejected;
+                ++stats_.shed_quota;
+                RECLOUD_COUNTER_INC("service.rejected");
+                RECLOUD_COUNTER_INC("service.shed.quota");
+                resolve_now(request_status::rejected,
+                            "tenant quota exceeded: " + pending.request.tenant);
+                return future;
+            }
+        }
+        const std::lock_guard<std::mutex> shard_lock{sh.mutex};
+        if (sh.queue.size() >= options_.queue_capacity) {
+            ++stats_.rejected;
+            ++stats_.shed_queue_full;
+            RECLOUD_COUNTER_INC("service.rejected");
+            RECLOUD_COUNTER_INC("service.shed.queue_full");
+            resolve_now(request_status::rejected, "queue is full");
+            return future;
+        }
         // Snapshot semantics: the request keeps the scenario it was admitted
         // with, even if the name is re-registered later.
         pending.scenario = it->second;
-        queue_.push_back(std::move(pending));
+        ++tenant_in_flight_[pending.request.tenant];
+        sh.queue.push_back(std::move(pending));
         ++stats_.submitted;
         RECLOUD_COUNTER_INC("service.submitted");
-        stats_.peak_queue_depth = std::max(stats_.peak_queue_depth, queue_.size());
+        stats_.peak_queue_depth =
+            std::max(stats_.peak_queue_depth, sh.queue.size());
     }
-    work_available_.notify_one();
+    sh.work_available.notify_one();
     return future;
 }
 
-void deployment_service::worker_loop() {
+void deployment_service::worker_loop(shard& sh) {
     for (;;) {
         pending_request pending;
         {
-            std::unique_lock<std::mutex> lock{mutex_};
-            work_available_.wait(
-                lock, [this] { return shutting_down_ || !queue_.empty(); });
-            if (queue_.empty()) {
+            std::unique_lock<std::mutex> lock{sh.mutex};
+            sh.work_available.wait(lock, [this, &sh] {
+                return shutting_down_.load(std::memory_order_relaxed) ||
+                       !sh.queue.empty();
+            });
+            if (sh.queue.empty()) {
                 return;  // shutting down and drained
             }
-            pending = std::move(queue_.front());
-            queue_.pop_front();
+            pending = std::move(sh.queue.front());
+            sh.queue.pop_front();
         }
         service_response response = run(pending);
         {
@@ -118,6 +152,10 @@ void deployment_service::worker_loop() {
             } else {
                 ++stats_.failed;
                 RECLOUD_COUNTER_INC("service.failed");
+            }
+            const auto in_flight = tenant_in_flight_.find(pending.request.tenant);
+            if (in_flight != tenant_in_flight_.end() && --in_flight->second == 0) {
+                tenant_in_flight_.erase(in_flight);
             }
         }
         pending.promise.set_value(std::move(response));
@@ -167,20 +205,34 @@ service_response deployment_service::run(pending_request& pending) const {
 }
 
 void deployment_service::shutdown() {
+    // Idempotent: only the caller that flips the flag joins the workers;
+    // later calls (including the destructor after an explicit shutdown)
+    // see joined-and-cleared shards and return immediately.
     {
         const std::lock_guard<std::mutex> lock{mutex_};
-        if (shutting_down_ && workers_.empty()) {
+        bool all_joined = true;
+        for (const std::unique_ptr<shard>& sh : shards_) {
+            all_joined = all_joined && sh->workers.empty();
+        }
+        if (shutting_down_.load(std::memory_order_relaxed) && all_joined) {
             return;
         }
-        shutting_down_ = true;
+        shutting_down_.store(true, std::memory_order_relaxed);
     }
-    work_available_.notify_all();
-    for (std::thread& worker : workers_) {
-        if (worker.joinable()) {
-            worker.join();
+    for (const std::unique_ptr<shard>& sh : shards_) {
+        sh->work_available.notify_all();
+    }
+    // Joining drains every queue; each request's re_cloud (and any child
+    // recloud_worker fleet it spawned for the socket transport) dies with
+    // its search, so no child processes survive this point.
+    for (const std::unique_ptr<shard>& sh : shards_) {
+        for (std::thread& worker : sh->workers) {
+            if (worker.joinable()) {
+                worker.join();
+            }
         }
+        sh->workers.clear();
     }
-    workers_.clear();
 }
 
 service_stats deployment_service::stats() const {
@@ -189,8 +241,18 @@ service_stats deployment_service::stats() const {
 }
 
 std::size_t deployment_service::queue_depth() const {
+    std::size_t depth = 0;
+    for (const std::unique_ptr<shard>& sh : shards_) {
+        const std::lock_guard<std::mutex> lock{sh->mutex};
+        depth += sh->queue.size();
+    }
+    return depth;
+}
+
+std::size_t deployment_service::tenant_in_flight(const std::string& tenant) const {
     const std::lock_guard<std::mutex> lock{mutex_};
-    return queue_.size();
+    const auto it = tenant_in_flight_.find(tenant);
+    return it != tenant_in_flight_.end() ? it->second : 0;
 }
 
 }  // namespace recloud

@@ -4,14 +4,22 @@
 // (core/scenario.hpp), and each gets back a plan or a "cannot be
 // fulfilled" verdict.
 //
-// The service owns a registry of named scenarios, a BOUNDED pending queue
-// and a fixed pool of search workers. Every request runs in its own
-// re_cloud instance (own backends, own RNG substreams derived from the
-// request seed), so requests share nothing mutable — the scenario layer
-// guarantees the model they read is frozen. Overflowing the queue resolves
-// the request immediately as `rejected` instead of blocking or throwing:
-// admission control is part of the response, not an exception, because
-// callers race each other for the slots.
+// The service owns a registry of named scenarios and a fixed fleet of
+// SHARDS: each shard has its own bounded pending queue and its own pool of
+// search workers, and a request is routed to the shard owning its scenario
+// (hash of the scenario name), so one hot scenario saturating its shard's
+// queue sheds load for that scenario only — requests against other
+// scenarios keep flowing through their own shards. Every request runs in
+// its own re_cloud instance (own backends, own RNG substreams derived from
+// the request seed), so requests share nothing mutable — the scenario
+// layer guarantees the model they read is frozen.
+//
+// Admission control is part of the response, not an exception, because
+// callers race each other for the slots. A submission is SHED — resolved
+// immediately as `rejected` — when its shard's queue is full
+// (stats.shed_queue_full, "service.shed.queue_full") or when its tenant
+// already has `tenant_quota` requests in flight (stats.shed_quota,
+// "service.shed.quota").
 //
 // Telemetry: every observer event a request's search emits is stamped with
 // the service-assigned request id (obs::search_iteration_event::request_id,
@@ -20,6 +28,7 @@
 // registry ("service.*" counters).
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <condition_variable>
@@ -38,11 +47,22 @@
 namespace recloud {
 
 struct service_options {
-    /// Concurrent searches (each worker runs one request at a time).
+    /// Concurrent searches PER SHARD (each worker runs one request at a
+    /// time).
     std::size_t workers = 2;
-    /// Pending (admitted but not yet running) requests; submissions beyond
-    /// it resolve as request_status::rejected.
+    /// Pending (admitted but not yet running) requests PER SHARD;
+    /// submissions beyond it are shed as request_status::rejected.
     std::size_t queue_capacity = 64;
+    /// Independent engine shards. A request is routed to the shard owning
+    /// its scenario — std::hash of the scenario name modulo `shards` — so
+    /// all requests for one scenario are serviced (and shed) by one shard's
+    /// queue while other scenarios ride other shards.
+    std::size_t shards = 1;
+    /// Per-tenant admission quota: max requests a tenant may have in
+    /// flight (queued or running) across all shards; submissions beyond it
+    /// are shed as rejected. 0 = unlimited. The empty tenant name is a
+    /// tenant like any other.
+    std::size_t tenant_quota = 0;
     /// Base search configuration for every request; per-request fields
     /// (seed, chains, iteration budget) override it. The observer (if any)
     /// receives events from ALL requests, stamped with their request id,
@@ -63,6 +83,8 @@ enum class request_status : std::uint8_t {
 /// bound to a named scenario.
 struct service_request {
     std::string scenario;  ///< name registered via add_scenario()
+    /// Tenant identity for admission quotas (empty = the anonymous tenant).
+    std::string tenant;
     application app;
     double desired_reliability = 1.0;  ///< R_desired
     std::chrono::nanoseconds max_search_time = std::chrono::seconds{30};  ///< Tmax
@@ -82,10 +104,17 @@ struct service_response {
 
 /// Cumulative service counters (also exported as "service.*" metrics).
 struct service_stats {
-    std::uint64_t submitted = 0;  ///< admitted into the queue
-    std::uint64_t rejected = 0;   ///< refused at admission
+    std::uint64_t submitted = 0;  ///< admitted into a shard queue
+    std::uint64_t rejected = 0;   ///< refused at admission (all causes)
     std::uint64_t completed = 0;
     std::uint64_t failed = 0;
+    /// Load shed because the target shard's queue was full
+    /// ("service.shed.queue_full"). Counted inside `rejected` too.
+    std::uint64_t shed_queue_full = 0;
+    /// Load shed because the tenant hit its in-flight quota
+    /// ("service.shed.quota"). Counted inside `rejected` too.
+    std::uint64_t shed_quota = 0;
+    /// Deepest any single shard queue ever got.
     std::size_t peak_queue_depth = 0;
 };
 
@@ -105,16 +134,26 @@ public:
     [[nodiscard]] scenario_ptr find_scenario(const std::string& name) const;
 
     /// Admits a request. The future resolves when the search completes —
-    /// or immediately with `rejected` (queue full / shutting down) or
-    /// `failed` (unknown scenario). Never throws on overload.
+    /// or immediately with `rejected` (shard queue full / tenant over quota
+    /// / shutting down) or `failed` (unknown scenario). Never throws on
+    /// overload.
     [[nodiscard]] std::future<service_response> submit(service_request request);
 
-    /// Stops admitting, drains every queued request, joins the workers.
-    /// Idempotent; the destructor calls it.
+    /// Stops admitting, drains every queued request, joins every shard's
+    /// workers. Each request's re_cloud (and with it any socket-transport
+    /// worker fleet of child recloud_worker processes) is destroyed when
+    /// its search finishes, so after shutdown() returns the service has no
+    /// live child processes. Idempotent; the destructor calls it.
     void shutdown();
 
     [[nodiscard]] service_stats stats() const;
+    /// Pending requests across all shards.
     [[nodiscard]] std::size_t queue_depth() const;
+    /// Which shard services a scenario name (stable across the lifetime).
+    [[nodiscard]] std::size_t shard_of(const std::string& scenario) const noexcept;
+    [[nodiscard]] std::size_t shard_count() const noexcept { return shards_.size(); }
+    /// In-flight (queued or running) requests for one tenant.
+    [[nodiscard]] std::size_t tenant_in_flight(const std::string& tenant) const;
 
 private:
     struct pending_request {
@@ -124,18 +163,32 @@ private:
         std::promise<service_response> promise;
     };
 
-    void worker_loop();
+    /// One shard: a bounded queue plus the workers draining it. Requests
+    /// for a scenario always land on the same shard, so shedding is scoped
+    /// to the overloaded scenario's shard.
+    struct shard {
+        mutable std::mutex mutex;
+        std::condition_variable work_available;
+        std::deque<pending_request> queue;
+        std::vector<std::thread> workers;
+    };
+
+    void worker_loop(shard& sh);
     [[nodiscard]] service_response run(pending_request& pending) const;
 
     service_options options_;
+    /// Registry + stats + tenant bookkeeping; never held while a shard
+    /// mutex is held (lock order: service mutex_ before shard.mutex).
     mutable std::mutex mutex_;
-    std::condition_variable work_available_;
-    std::deque<pending_request> queue_;
     std::unordered_map<std::string, scenario_ptr> scenarios_;
+    std::unordered_map<std::string, std::size_t> tenant_in_flight_;
     service_stats stats_{};
     std::uint64_t next_request_id_ = 1;
-    bool shutting_down_ = false;
-    std::vector<std::thread> workers_;  ///< last member: joins before the rest dies
+    /// Atomic because shard workers read it in their wait predicate under
+    /// the SHARD mutex, while admission flips it under the service mutex.
+    std::atomic<bool> shutting_down_{false};
+    /// unique_ptr: shards are address-stable for the worker threads.
+    std::vector<std::unique_ptr<shard>> shards_;  ///< last member: workers join first
 };
 
 }  // namespace recloud

@@ -1,14 +1,33 @@
 #include "util/serialize.hpp"
 
+#include <bit>
+
 namespace recloud {
 namespace {
 
+/// Appends an unsigned integer in explicit little-endian byte order. The
+/// format is defined on the WIRE, not by the host: frames now cross a real
+/// process/socket boundary, so the encoding must not depend on what
+/// std::memcpy of a host integer happens to produce.
 template <typename T>
+    requires std::is_unsigned_v<T>
 void append_le(std::vector<std::byte>& buffer, T value) {
-    static_assert(std::is_trivially_copyable_v<T>);
-    std::byte raw[sizeof(T)];
-    std::memcpy(raw, &value, sizeof(T));
-    buffer.insert(buffer.end(), raw, raw + sizeof(T));
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+        buffer.push_back(static_cast<std::byte>(
+            static_cast<std::uint8_t>(value >> (8 * i))));
+    }
+}
+
+/// Reads sizeof(T) little-endian bytes into an unsigned integer.
+template <typename T>
+    requires std::is_unsigned_v<T>
+[[nodiscard]] T load_le(const std::byte* data) noexcept {
+    T value = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+        value |= static_cast<T>(static_cast<std::uint8_t>(data[i]))
+                 << (8 * i);
+    }
+    return value;
 }
 
 }  // namespace
@@ -16,7 +35,9 @@ void append_le(std::vector<std::byte>& buffer, T value) {
 void byte_writer::write_u8(std::uint8_t v) { append_le(buffer_, v); }
 void byte_writer::write_u32(std::uint32_t v) { append_le(buffer_, v); }
 void byte_writer::write_u64(std::uint64_t v) { append_le(buffer_, v); }
-void byte_writer::write_f64(double v) { append_le(buffer_, v); }
+void byte_writer::write_f64(double v) {
+    append_le(buffer_, std::bit_cast<std::uint64_t>(v));
+}
 void byte_writer::write_bool(bool v) { write_u8(v ? 1 : 0); }
 
 void byte_writer::write_varint(std::uint64_t v) {
@@ -66,25 +87,23 @@ std::uint8_t byte_reader::read_u8() {
 
 std::uint32_t byte_reader::read_u32() {
     require(sizeof(std::uint32_t));
-    std::uint32_t v;
-    std::memcpy(&v, data_.data() + pos_, sizeof(v));
+    const std::uint32_t v = load_le<std::uint32_t>(data_.data() + pos_);
     pos_ += sizeof(v);
     return v;
 }
 
 std::uint64_t byte_reader::read_u64() {
     require(sizeof(std::uint64_t));
-    std::uint64_t v;
-    std::memcpy(&v, data_.data() + pos_, sizeof(v));
+    const std::uint64_t v = load_le<std::uint64_t>(data_.data() + pos_);
     pos_ += sizeof(v);
     return v;
 }
 
 double byte_reader::read_f64() {
     require(sizeof(double));
-    double v;
-    std::memcpy(&v, data_.data() + pos_, sizeof(v));
-    pos_ += sizeof(v);
+    const double v =
+        std::bit_cast<double>(load_le<std::uint64_t>(data_.data() + pos_));
+    pos_ += sizeof(double);
     return v;
 }
 
@@ -152,6 +171,55 @@ std::vector<std::byte> frame_message(std::span<const std::byte> payload) {
     std::vector<std::byte> framed = header.take();
     framed.insert(framed.end(), payload.begin(), payload.end());
     return framed;
+}
+
+frame_assembler::frame_assembler(std::size_t max_payload)
+    : max_payload_(max_payload) {}
+
+void frame_assembler::feed(std::span<const std::byte> bytes) {
+    // Compact lazily: only when the dead prefix dominates the buffer, so
+    // feeding byte-by-byte stays O(n) amortized.
+    if (consumed_ > 4096 && consumed_ * 2 > buffer_.size()) {
+        buffer_.erase(buffer_.begin(),
+                      buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+        consumed_ = 0;
+    }
+    buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+}
+
+std::optional<std::vector<std::byte>> frame_assembler::next_frame() {
+    const std::size_t available = buffer_.size() - consumed_;
+    if (available < frame_header_bytes) {
+        return std::nullopt;
+    }
+    // Validate the header as soon as it is complete: a desynchronized or
+    // hostile stream must fail fast instead of making the reader wait for
+    // a phantom multi-exabyte payload.
+    byte_reader header{std::span<const std::byte>{buffer_.data() + consumed_,
+                                                  frame_header_bytes}};
+    if (header.read_u32() != frame_magic) {
+        throw serialize_error{"frame_assembler: bad magic (stream desync)"};
+    }
+    if (header.read_u8() != frame_version) {
+        throw serialize_error{"frame_assembler: unsupported version"};
+    }
+    const std::uint64_t length = header.read_u64();
+    if (length > max_payload_) {
+        throw serialize_error{"frame_assembler: payload exceeds limit"};
+    }
+    const std::size_t total = frame_header_bytes + static_cast<std::size_t>(length);
+    if (available < total) {
+        return std::nullopt;  // wait for more bytes
+    }
+    std::vector<std::byte> frame(buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_),
+                                 buffer_.begin() +
+                                     static_cast<std::ptrdiff_t>(consumed_ + total));
+    consumed_ += total;
+    if (consumed_ == buffer_.size()) {
+        buffer_.clear();
+        consumed_ = 0;
+    }
+    return frame;
 }
 
 std::span<const std::byte> unframe_message(std::span<const std::byte> framed) {

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <cstring>
 #include <limits>
+#include <optional>
 #include <span>
 #include <stdexcept>
 #include <string>
@@ -143,5 +144,35 @@ inline constexpr std::size_t frame_header_bytes = 4 + 1 + 8 + 8;
 /// the returned span). Throws serialize_error naming the first mismatch.
 [[nodiscard]] std::span<const std::byte> unframe_message(
     std::span<const std::byte> framed);
+
+/// Reassembles complete frames from an arbitrarily segmented byte stream —
+/// the receive side of a socket, where read() returns whatever the kernel
+/// has: half a header, three frames and a tail, one byte. feed() appends
+/// raw bytes; next_frame() pops the next COMPLETE frame (header + payload,
+/// ready for unframe_message) or nullopt while bytes are still missing.
+///
+/// The header is validated as soon as it is complete (magic, version, and
+/// payload length against `max_payload`), so a desynchronized or hostile
+/// stream throws serialize_error immediately instead of stalling the reader
+/// on a phantom huge payload. The checksum is NOT verified here — that
+/// stays with unframe_message, keeping corruption detection end-to-end.
+class frame_assembler {
+public:
+    /// Frames claiming payloads beyond `max_payload` poison the stream.
+    explicit frame_assembler(std::size_t max_payload = std::size_t{1} << 30);
+
+    void feed(std::span<const std::byte> bytes);
+    [[nodiscard]] std::optional<std::vector<std::byte>> next_frame();
+
+    /// Bytes buffered but not yet returned as frames.
+    [[nodiscard]] std::size_t buffered() const noexcept {
+        return buffer_.size() - consumed_;
+    }
+
+private:
+    std::vector<std::byte> buffer_;
+    std::size_t consumed_ = 0;  ///< dead prefix already returned as frames
+    std::size_t max_payload_;
+};
 
 }  // namespace recloud

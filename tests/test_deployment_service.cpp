@@ -5,6 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+
+#include <cerrno>
+#include <condition_variable>
 #include <future>
 #include <mutex>
 #include <set>
@@ -12,6 +16,7 @@
 #include <vector>
 
 #include "core/scenario.hpp"
+#include "obs/timeline.hpp"
 
 namespace recloud {
 namespace {
@@ -258,6 +263,206 @@ TEST(Service, StatusToString) {
     EXPECT_STREQ(to_string(request_status::completed), "completed");
     EXPECT_STREQ(to_string(request_status::rejected), "rejected");
     EXPECT_STREQ(to_string(request_status::failed), "failed");
+}
+
+// ---- sharding, quotas and load shedding ------------------------------------
+
+/// Blocks the search of one request id at its first observer event until
+/// release(); other requests' events pass straight through. Lets tests hold
+/// a shard's single worker busy deterministically.
+class request_gate {
+public:
+    explicit request_gate(std::uint64_t id) : id_(id) {}
+
+    [[nodiscard]] obs::search_observer observer() {
+        return [this](const obs::search_iteration_event& event) {
+            if (event.request_id != id_) {
+                return;
+            }
+            std::unique_lock<std::mutex> lock{mutex_};
+            if (!started_) {
+                started_ = true;
+                cv_.notify_all();
+            }
+            cv_.wait(lock, [this] { return released_; });
+        };
+    }
+
+    void await_started() {
+        std::unique_lock<std::mutex> lock{mutex_};
+        cv_.wait(lock, [this] { return started_; });
+    }
+
+    void release() {
+        const std::lock_guard<std::mutex> lock{mutex_};
+        released_ = true;
+        cv_.notify_all();
+    }
+
+private:
+    std::uint64_t id_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool started_ = false;
+    bool released_ = false;
+};
+
+TEST(Service, ShardRoutingIsStableAndBounded) {
+    service_options options;
+    options.workers = 1;
+    options.shards = 4;
+    options.defaults = small_search_defaults();
+    deployment_service service{options};
+    EXPECT_EQ(service.shard_count(), 4u);
+    for (const char* name : {"alpha", "beta", "gamma"}) {
+        const std::size_t shard = service.shard_of(name);
+        EXPECT_LT(shard, 4u);
+        EXPECT_EQ(shard, service.shard_of(name));  // stable
+    }
+}
+
+TEST(Service, HotScenarioShedsOnItsOwnShardOnly) {
+    request_gate gate{1};
+    service_options options;
+    options.workers = 1;
+    options.queue_capacity = 1;
+    options.shards = 4;
+    options.defaults = small_search_defaults();
+    options.defaults.observer = gate.observer();
+    deployment_service service{options};
+
+    // Two scenario names living on different shards.
+    std::string hot = "s0";
+    std::string cold;
+    for (int i = 1; i < 64 && cold.empty(); ++i) {
+        const std::string candidate = "s" + std::to_string(i);
+        if (service.shard_of(candidate) != service.shard_of(hot)) {
+            cold = candidate;
+        }
+    }
+    ASSERT_FALSE(cold.empty());
+    const scenario_ptr snapshot = make_fat_tree_scenario(4);
+    service.add_scenario(hot, snapshot);
+    service.add_scenario(cold, snapshot);
+
+    // Wedge the hot shard: request 1 runs (gated inside its search), one
+    // more fills the queue (capacity 1), the third must shed.
+    auto wedged = service.submit(request_for(hot, 1));
+    gate.await_started();
+    auto queued = service.submit(request_for(hot, 2));
+    const service_response shed = service.submit(request_for(hot, 3)).get();
+    EXPECT_EQ(shed.status, request_status::rejected);
+    EXPECT_EQ(shed.error, "queue is full");
+
+    // The cold scenario's shard is unaffected while the hot one is wedged.
+    const service_response cold_response =
+        service.submit(request_for(cold, 4)).get();
+    EXPECT_EQ(cold_response.status, request_status::completed);
+
+    gate.release();
+    EXPECT_EQ(wedged.get().status, request_status::completed);
+    EXPECT_EQ(queued.get().status, request_status::completed);
+
+    const service_stats stats = service.stats();
+    EXPECT_EQ(stats.submitted, 3u);
+    EXPECT_EQ(stats.completed, 3u);
+    EXPECT_EQ(stats.rejected, 1u);
+    EXPECT_EQ(stats.shed_queue_full, 1u);
+    EXPECT_EQ(stats.shed_quota, 0u);
+}
+
+TEST(Service, TenantQuotaShedsExcessInFlightRequests) {
+    request_gate gate{1};
+    service_options options;
+    options.workers = 1;
+    options.tenant_quota = 1;
+    options.defaults = small_search_defaults();
+    options.defaults.observer = gate.observer();
+    deployment_service service{options};
+    service.add_scenario("dc", make_fat_tree_scenario(4));
+
+    auto tag = [](service_request request, std::string tenant) {
+        request.tenant = std::move(tenant);
+        return request;
+    };
+
+    auto first = service.submit(tag(request_for("dc", 1), "acme"));
+    gate.await_started();
+    EXPECT_EQ(service.tenant_in_flight("acme"), 1u);
+
+    // Same tenant, still in flight: shed by quota, not by queue.
+    const service_response over_quota =
+        service.submit(tag(request_for("dc", 2), "acme")).get();
+    EXPECT_EQ(over_quota.status, request_status::rejected);
+    EXPECT_EQ(over_quota.error, "tenant quota exceeded: acme");
+
+    // A different tenant is admitted while "acme" is at its quota.
+    auto other = service.submit(tag(request_for("dc", 3), "zeta"));
+
+    gate.release();
+    EXPECT_EQ(first.get().status, request_status::completed);
+    EXPECT_EQ(other.get().status, request_status::completed);
+    EXPECT_EQ(service.tenant_in_flight("acme"), 0u);
+    EXPECT_EQ(service.tenant_in_flight("zeta"), 0u);
+
+    const service_stats stats = service.stats();
+    EXPECT_EQ(stats.shed_quota, 1u);
+    EXPECT_EQ(stats.shed_queue_full, 0u);
+    EXPECT_EQ(stats.rejected, 1u);
+    EXPECT_EQ(stats.completed, 2u);
+}
+
+// ---- child worker processes (socket transport) -----------------------------
+
+service_options socket_engine_options() {
+    service_options options;
+    options.workers = 2;
+    options.defaults = small_search_defaults();
+    options.defaults.backend = assessment_backend_kind::engine;
+    options.defaults.engine_transport = engine_transport_kind::socket;
+    options.defaults.engine_worker_binary = RECLOUD_WORKER_BIN;
+    options.defaults.assessment_threads = 2;
+    options.defaults.assessment_batch_rounds = 64;
+    return options;
+}
+
+TEST(Service, NoChildWorkerProcessesSurviveDestruction) {
+    {
+        deployment_service service{socket_engine_options()};
+        service.add_scenario("dc", make_fat_tree_scenario(4));
+        std::vector<std::future<service_response>> futures;
+        for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+            futures.push_back(service.submit(request_for("dc", seed)));
+        }
+        for (auto& future : futures) {
+            EXPECT_EQ(future.get().status, request_status::completed);
+        }
+    }  // ~deployment_service: drain + join; every worker fleet is dead
+    // No zombies and no live children: the process has NO children at all.
+    errno = 0;
+    EXPECT_EQ(::waitpid(-1, nullptr, WNOHANG), -1);
+    EXPECT_EQ(errno, ECHILD);
+}
+
+TEST(Service, ShutdownWithSocketFleetIsIdempotentAndDrains) {
+    deployment_service service{socket_engine_options()};
+    service.add_scenario("dc", make_fat_tree_scenario(4));
+    std::vector<std::future<service_response>> futures;
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+        futures.push_back(service.submit(request_for("dc", seed)));
+    }
+    service.shutdown();
+    service.shutdown();  // idempotent
+    // Every admitted request resolved (drained, not dropped).
+    for (auto& future : futures) {
+        EXPECT_EQ(future.get().status, request_status::completed);
+    }
+    // Post-shutdown submissions shed; destructor's shutdown is a no-op.
+    EXPECT_EQ(service.submit(request_for("dc", 9)).get().status,
+              request_status::rejected);
+    errno = 0;
+    EXPECT_EQ(::waitpid(-1, nullptr, WNOHANG), -1);
+    EXPECT_EQ(errno, ECHILD);
 }
 
 }  // namespace

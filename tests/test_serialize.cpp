@@ -241,5 +241,188 @@ TEST(Frame, TrailingGarbageRejected) {
     EXPECT_THROW((void)unframe_message(framed), serialize_error);
 }
 
+// ---- on-wire byte layout ---------------------------------------------------
+// Frames cross a PROCESS boundary now (the socket transport), so the
+// encoding must be a pinned little-endian contract, not host memory order.
+// These tests assert the exact bytes, byte by byte.
+
+TEST(Serialize, ScalarsAreLittleEndianOnTheWire) {
+    byte_writer w;
+    w.write_u32(0x01020304u);
+    w.write_u64(0x1112131415161718ULL);
+    const std::vector<std::byte>& bytes = w.bytes();
+    ASSERT_EQ(bytes.size(), 12u);
+    const std::uint8_t want[12] = {0x04, 0x03, 0x02, 0x01,  // u32, LSB first
+                                   0x18, 0x17, 0x16, 0x15,  // u64, LSB first
+                                   0x14, 0x13, 0x12, 0x11};
+    for (std::size_t i = 0; i < 12; ++i) {
+        EXPECT_EQ(std::to_integer<std::uint8_t>(bytes[i]), want[i]) << "byte " << i;
+    }
+}
+
+TEST(Serialize, F64IsLittleEndianIeeeBits) {
+    byte_writer w;
+    w.write_f64(1.0);  // IEEE-754: 0x3FF0000000000000
+    const std::vector<std::byte>& bytes = w.bytes();
+    ASSERT_EQ(bytes.size(), 8u);
+    const std::uint8_t want[8] = {0, 0, 0, 0, 0, 0, 0xf0, 0x3f};
+    for (std::size_t i = 0; i < 8; ++i) {
+        EXPECT_EQ(std::to_integer<std::uint8_t>(bytes[i]), want[i]) << "byte " << i;
+    }
+}
+
+TEST(Frame, HeaderLayoutIsPinned) {
+    byte_writer w;
+    w.write_u8(0x7e);
+    const std::vector<std::byte> framed = frame_message(w.bytes());
+    ASSERT_EQ(framed.size(), frame_header_bytes + 1);
+    // magic "RCW\x01" little-endian, version, then payload length u64 LE.
+    EXPECT_EQ(std::to_integer<std::uint8_t>(framed[0]), 0x52);  // 'R'
+    EXPECT_EQ(std::to_integer<std::uint8_t>(framed[1]), 0x43);  // 'C'
+    EXPECT_EQ(std::to_integer<std::uint8_t>(framed[2]), 0x57);  // 'W'
+    EXPECT_EQ(std::to_integer<std::uint8_t>(framed[3]), 0x01);
+    EXPECT_EQ(std::to_integer<std::uint8_t>(framed[4]), frame_version);
+    EXPECT_EQ(std::to_integer<std::uint8_t>(framed[5]), 1);  // length LSB
+    for (std::size_t i = 6; i < 13; ++i) {
+        EXPECT_EQ(std::to_integer<std::uint8_t>(framed[i]), 0) << "byte " << i;
+    }
+}
+
+// ---- frame_assembler: stream reassembly ------------------------------------
+// A socket delivers frames in arbitrary segments; every split must
+// reassemble to identical frames.
+
+std::vector<std::byte> make_framed(std::uint8_t tag, std::size_t payload) {
+    byte_writer w;
+    for (std::size_t i = 0; i < payload; ++i) {
+        w.write_u8(static_cast<std::uint8_t>(tag + i));
+    }
+    return frame_message(w.bytes());
+}
+
+TEST(FrameAssembler, WholeFrameInOneFeed) {
+    const std::vector<std::byte> framed = make_framed(1, 5);
+    frame_assembler a;
+    a.feed(framed);
+    const auto got = a.next_frame();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, framed);
+    EXPECT_FALSE(a.next_frame().has_value());
+    EXPECT_EQ(a.buffered(), 0u);
+}
+
+TEST(FrameAssembler, EverySplitPointReassembles) {
+    const std::vector<std::byte> framed = make_framed(3, 9);
+    for (std::size_t split = 0; split <= framed.size(); ++split) {
+        frame_assembler a;
+        a.feed(std::span<const std::byte>{framed.data(), split});
+        if (split < framed.size()) {
+            EXPECT_FALSE(a.next_frame().has_value()) << "split " << split;
+        }
+        a.feed(std::span<const std::byte>{framed.data() + split,
+                                          framed.size() - split});
+        const auto got = a.next_frame();
+        ASSERT_TRUE(got.has_value()) << "split " << split;
+        EXPECT_EQ(*got, framed) << "split " << split;
+        // The reassembled frame validates end-to-end.
+        EXPECT_NO_THROW((void)unframe_message(*got));
+    }
+}
+
+TEST(FrameAssembler, ByteAtATimeDripReassemblesManyFrames) {
+    std::vector<std::vector<std::byte>> frames;
+    std::vector<std::byte> stream;
+    for (std::uint8_t t = 0; t < 7; ++t) {
+        frames.push_back(make_framed(t, 1 + t * 3));
+        stream.insert(stream.end(), frames.back().begin(), frames.back().end());
+    }
+    frame_assembler a;
+    std::size_t next = 0;
+    for (const std::byte b : stream) {
+        a.feed(std::span<const std::byte>{&b, 1});
+        while (const auto got = a.next_frame()) {
+            ASSERT_LT(next, frames.size());
+            EXPECT_EQ(*got, frames[next]);
+            ++next;
+        }
+    }
+    EXPECT_EQ(next, frames.size());
+    EXPECT_EQ(a.buffered(), 0u);
+}
+
+TEST(FrameAssembler, RandomMultiFrameSegmentationReassembles) {
+    // Deterministic pseudo-random segment lengths over a multi-frame stream.
+    std::vector<std::vector<std::byte>> frames;
+    std::vector<std::byte> stream;
+    for (std::uint8_t t = 0; t < 16; ++t) {
+        frames.push_back(make_framed(t, (t * 37) % 101));
+        stream.insert(stream.end(), frames.back().begin(), frames.back().end());
+    }
+    std::uint64_t state = 0x9e3779b97f4a7c15ULL;
+    frame_assembler a;
+    std::size_t pos = 0;
+    std::size_t next = 0;
+    while (pos < stream.size()) {
+        state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+        const std::size_t len =
+            std::min<std::size_t>(1 + (state >> 33) % 61, stream.size() - pos);
+        a.feed(std::span<const std::byte>{stream.data() + pos, len});
+        pos += len;
+        while (const auto got = a.next_frame()) {
+            ASSERT_LT(next, frames.size());
+            EXPECT_EQ(*got, frames[next]);
+            ++next;
+        }
+    }
+    EXPECT_EQ(next, frames.size());
+}
+
+TEST(FrameAssembler, DesyncedStreamThrowsOnceHeaderIsComplete) {
+    frame_assembler a;
+    const std::vector<std::byte> garbage(frame_header_bytes, std::byte{0x5a});
+    a.feed(garbage);
+    EXPECT_THROW((void)a.next_frame(), serialize_error);
+}
+
+TEST(FrameAssembler, WrongVersionThrows) {
+    std::vector<std::byte> framed = make_framed(0, 4);
+    framed[4] = std::byte{frame_version + 1};
+    frame_assembler a;
+    a.feed(framed);
+    EXPECT_THROW((void)a.next_frame(), serialize_error);
+}
+
+TEST(FrameAssembler, OversizedPayloadClaimThrowsWithoutWaitingForPayload) {
+    byte_writer w;
+    for (int i = 0; i < 64; ++i) {
+        w.write_u8(1);
+    }
+    const std::vector<std::byte> framed = frame_message(w.bytes());
+    frame_assembler a{32};  // limit below the claimed payload
+    // Feed the header alone: the bogus length must poison the stream right
+    // away, not stall the reader waiting for a phantom giant payload.
+    a.feed(std::span<const std::byte>{framed.data(), frame_header_bytes});
+    EXPECT_THROW((void)a.next_frame(), serialize_error);
+}
+
+TEST(FrameAssembler, ChecksumStaysEndToEnd) {
+    // The assembler hands back corrupted-payload frames untouched; the
+    // CHECKSUM is unframe_message's job (end-to-end integrity), and a
+    // payload flip must not desynchronize the following frame.
+    std::vector<std::byte> first = make_framed(1, 8);
+    first[frame_header_bytes] ^= std::byte{0x10};  // flip a payload bit
+    const std::vector<std::byte> second = make_framed(2, 8);
+    frame_assembler a;
+    a.feed(first);
+    a.feed(second);
+    const auto got1 = a.next_frame();
+    ASSERT_TRUE(got1.has_value());
+    EXPECT_THROW((void)unframe_message(*got1), serialize_error);
+    const auto got2 = a.next_frame();
+    ASSERT_TRUE(got2.has_value());
+    EXPECT_EQ(*got2, second);
+    EXPECT_NO_THROW((void)unframe_message(*got2));
+}
+
 }  // namespace
 }  // namespace recloud

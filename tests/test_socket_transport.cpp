@@ -1,0 +1,473 @@
+// The assessment engine over REAL transport: recloud_worker processes on
+// Unix-domain sockets. The §6 contract must survive the process boundary —
+// assessment_stats bit-identical to the serial route-and-check for any
+// worker count — under the full chaos matrix (crash/stall/corrupt/
+// truncate), external SIGKILLs of worker processes, and exhausted respawn
+// budgets. Plus wire-protocol round-trips and the no-zombie guarantee.
+//
+// RECLOUD_WORKER_BIN is injected by CMake as the absolute path of the
+// freshly built worker executable.
+#include "exec/transport.hpp"
+#include "exec/worker_protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <memory>
+#include <thread>
+
+#include <signal.h>
+#include <sys/wait.h>
+
+#include "assess/assessor.hpp"
+#include "exec/engine.hpp"
+#include "routing/bfs_reachability.hpp"
+#include "sampling/extended_dagger.hpp"
+#include "topology/fat_tree.hpp"
+#include "topology/leaf_spine.hpp"
+
+namespace recloud {
+namespace {
+
+constexpr std::size_t k_rounds = 2000;
+constexpr std::uint64_t k_seed = 404;
+
+socket_transport_options worker_bin_options() {
+    socket_transport_options options;
+    options.worker_binary = RECLOUD_WORKER_BIN;
+    return options;
+}
+
+/// Same shape as the loopback recovery fixture (tests/test_engine_recovery),
+/// with the structural environment the socket transport ships.
+struct socket_fixture {
+    built_topology topo = build_leaf_spine(
+        {.spines = 2, .leaves = 4, .hosts_per_leaf = 4, .border_leaves = 1});
+    component_registry registry{topo.graph};
+    fault_tree_forest forest{topo.graph.node_count()};
+    application app = application::k_of_n(2, 3);
+    deployment_plan plan;
+
+    socket_fixture() {
+        for (component_id id = 0; id < registry.size(); ++id) {
+            if (registry.kind(id) != component_kind::external) {
+                registry.set_probability(id, 0.03);
+            }
+        }
+        plan.hosts = {topo.hosts[0], topo.hosts[5], topo.hosts[10]};
+    }
+
+    oracle_factory factory() {
+        return [this] { return std::make_unique<bfs_reachability>(topo); };
+    }
+
+    engine_options socket_options(std::size_t workers) {
+        engine_options options;
+        options.workers = workers;
+        options.batch_rounds = 100;
+        options.transport = transport_kind::socket;
+        options.socket = worker_bin_options();
+        options.topology = &topo;
+        return options;
+    }
+
+    assessment_stats serial_reference() {
+        extended_dagger_sampler sampler{registry.probabilities(), k_seed};
+        round_state rs{registry.size(), &forest};
+        bfs_reachability oracle{topo};
+        return assess_deployment(sampler, rs, oracle, app, plan, k_rounds);
+    }
+
+    assessment_stats run_engine(const engine_options& options,
+                                engine_stats* stats_out = nullptr,
+                                assessment_engine** engine_out = nullptr) {
+        extended_dagger_sampler sampler{registry.probabilities(), k_seed};
+        assessment_engine engine{registry.size(), &forest, factory(), options};
+        if (engine_out != nullptr) {
+            *engine_out = &engine;
+        }
+        const assessment_stats stats =
+            engine.assess(sampler, app, plan, k_rounds);
+        if (stats_out != nullptr) {
+            *stats_out = engine.stats();
+        }
+        return stats;
+    }
+};
+
+void expect_identical(const assessment_stats& got,
+                      const assessment_stats& want) {
+    EXPECT_EQ(got.rounds, want.rounds);
+    EXPECT_EQ(got.reliable, want.reliable);
+}
+
+// ---- wire protocol --------------------------------------------------------
+
+TEST(WorkerProtocol, EnvelopeRoundTrip) {
+    const std::vector<std::byte> blob = {std::byte{1}, std::byte{2},
+                                         std::byte{0xff}};
+    const std::vector<std::byte> framed =
+        pack_envelope(worker_msg::result, 42, 7, blob);
+    const envelope msg = unpack_envelope(framed);
+    EXPECT_EQ(msg.kind, worker_msg::result);
+    EXPECT_EQ(msg.batch, 42u);
+    EXPECT_EQ(msg.attempt, 7u);
+    EXPECT_EQ(msg.blob, blob);
+}
+
+TEST(WorkerProtocol, EnvelopeRejectsUnknownKind) {
+    std::vector<std::byte> framed = pack_envelope(worker_msg::hello, 0, 0, {});
+    // The kind byte sits right after the frame header; 0 is not a message.
+    framed[frame_header_bytes] = std::byte{0};
+    // Fix the checksum? No — a mangled payload already fails the checksum,
+    // which is the outer integrity layer doing its job.
+    EXPECT_THROW((void)unpack_envelope(framed), serialize_error);
+}
+
+TEST(WorkerProtocol, EnvironmentRoundTripsBitExactly) {
+    socket_fixture f;
+    // A forest with every gate kind, plus link components, so the codec's
+    // whole surface is exercised.
+    const tree_node_id l0 = f.forest.add_leaf(3);
+    const tree_node_id l1 = f.forest.add_leaf(4);
+    const tree_node_id l2 = f.forest.add_leaf(5);
+    const tree_node_id a = f.forest.add_and({l0, l1});
+    const tree_node_id k = f.forest.add_k_of_n(2, {l0, l1, l2});
+    const tree_node_id o = f.forest.add_or({a, k});
+    f.forest.attach(0, o);
+    f.forest.attach(7, l2);
+
+    link_attachment links;
+    links.component_of_edge.assign(f.topo.graph.edge_count(), invalid_node);
+    links.component_of_edge[0] = 11;
+
+    const chaos_schedule chaos{{.seed = 99,
+                                .crash_rate = 0.125,
+                                .stall_rate = 0.0625,
+                                .corrupt_rate = 0.25,
+                                .truncate_rate = 0.03125,
+                                .stall_duration = std::chrono::milliseconds{7}}};
+
+    transport_env env;
+    env.component_count = f.registry.size();
+    env.forest = &f.forest;
+    env.topology = &f.topo;
+    env.links = &links;
+    env.chaos = &chaos;
+    env.verdict_cache.enabled = true;
+    env.verdict_cache.max_entries = 4096;
+
+    const std::vector<std::byte> blob = encode_worker_environment(env, 5);
+    const worker_environment decoded = decode_worker_environment(blob);
+    EXPECT_EQ(decoded.worker_id, 5u);
+    EXPECT_EQ(decoded.component_count, f.registry.size());
+    EXPECT_EQ(decoded.topology.graph.node_count(), f.topo.graph.node_count());
+    EXPECT_EQ(decoded.topology.graph.edge_count(), f.topo.graph.edge_count());
+    EXPECT_EQ(decoded.topology.hosts, f.topo.hosts);
+    EXPECT_EQ(decoded.topology.external, f.topo.external);
+    ASSERT_TRUE(decoded.forest.has_value());
+    EXPECT_EQ(decoded.forest->tree_node_count(), f.forest.tree_node_count());
+    ASSERT_TRUE(decoded.links.has_value());
+    EXPECT_EQ(decoded.links->component_of_edge, links.component_of_edge);
+    EXPECT_TRUE(decoded.chaos_enabled);
+    EXPECT_EQ(decoded.chaos.seed, 99u);
+    EXPECT_TRUE(decoded.cache_enabled);
+    EXPECT_EQ(decoded.cache_max_entries, 4096u);
+
+    // Re-encoding the decoded environment reproduces the exact bytes: the
+    // rebuild is an identity, including every tree node id.
+    const chaos_schedule chaos2{decoded.chaos};
+    transport_env env2;
+    env2.component_count = decoded.component_count;
+    env2.forest = &*decoded.forest;
+    env2.topology = &decoded.topology;
+    env2.links = &*decoded.links;
+    env2.chaos = &chaos2;
+    env2.verdict_cache.enabled = true;
+    env2.verdict_cache.max_entries = decoded.cache_max_entries;
+    EXPECT_EQ(encode_worker_environment(env2, 5), blob);
+}
+
+TEST(WorkerProtocol, EnvironmentRequiresTopology) {
+    transport_env env;
+    env.component_count = 3;
+    EXPECT_THROW((void)encode_worker_environment(env, 0), transport_error);
+}
+
+// ---- socket transport: determinism ---------------------------------------
+
+TEST(SocketTransport, FaultFreeBitIdenticalToSerial) {
+    socket_fixture f;
+    const assessment_stats want = f.serial_reference();
+    engine_stats stats;
+    expect_identical(f.run_engine(f.socket_options(4), &stats), want);
+    EXPECT_EQ(stats.worker_respawns, 0u);
+    EXPECT_EQ(stats.failures(), 0u);
+}
+
+TEST(SocketTransport, OneWorkerMatchesFour) {
+    socket_fixture f;
+    expect_identical(f.run_engine(f.socket_options(1)),
+                     f.run_engine(f.socket_options(4)));
+}
+
+TEST(SocketTransport, BadWorkerBinaryThrows) {
+    socket_fixture f;
+    engine_options options = f.socket_options(1);
+    options.socket.worker_binary = "/nonexistent/recloud_worker";
+    options.socket.spawn_timeout = std::chrono::milliseconds{2000};
+    EXPECT_THROW(
+        assessment_engine(f.registry.size(), &f.forest, f.factory(), options),
+        transport_error);
+}
+
+TEST(SocketTransport, MissingTopologyThrows) {
+    socket_fixture f;
+    engine_options options = f.socket_options(1);
+    options.topology = nullptr;
+    EXPECT_THROW(
+        assessment_engine(f.registry.size(), &f.forest, f.factory(), options),
+        transport_error);
+}
+
+// ---- socket transport: chaos matrix --------------------------------------
+
+TEST(SocketTransport, CrashChaosKillsRealProcessesAndRecovers) {
+    socket_fixture f;
+    const chaos_schedule chaos{{.seed = 11, .crash_rate = 0.12}};
+    engine_options options = f.socket_options(4);
+    options.max_attempts = 6;
+    options.chaos = &chaos;
+    options.socket.max_respawns = 64;
+    engine_stats stats;
+    expect_identical(f.run_engine(options, &stats), f.serial_reference());
+    // A chaos crash over sockets is a real _exit: the transport must have
+    // respawned processes and the engine must have charged crashes.
+    EXPECT_GT(stats.worker_respawns, 0u);
+    EXPECT_GT(stats.worker_crashes, 0u);
+}
+
+TEST(SocketTransport, StallChaosTripsDeadlineAndRedispatches) {
+    socket_fixture f;
+    const chaos_schedule chaos{{.seed = 12, .stall_rate = 0.2}};
+    engine_options options = f.socket_options(4);
+    options.max_attempts = 6;
+    options.batch_deadline = std::chrono::milliseconds{10};
+    options.chaos = &chaos;
+    engine_stats stats;
+    expect_identical(f.run_engine(options, &stats), f.serial_reference());
+    EXPECT_GT(stats.deadline_misses, 0u);
+}
+
+TEST(SocketTransport, CorruptChaosSurfacesAsInvalidFrames) {
+    socket_fixture f;
+    const chaos_schedule chaos{{.seed = 13, .corrupt_rate = 0.25}};
+    engine_options options = f.socket_options(4);
+    options.max_attempts = 6;
+    options.chaos = &chaos;
+    engine_stats stats;
+    expect_identical(f.run_engine(options, &stats), f.serial_reference());
+    // The mangled INNER frame rides a valid outer envelope: the stream never
+    // desyncs and the engine sees its historic invalid-frame path.
+    EXPECT_GT(stats.invalid_frames, 0u);
+    EXPECT_EQ(stats.worker_respawns, 0u);
+}
+
+TEST(SocketTransport, TruncateChaosSurfacesAsInvalidFrames) {
+    socket_fixture f;
+    const chaos_schedule chaos{{.seed = 14, .truncate_rate = 0.25}};
+    engine_options options = f.socket_options(4);
+    options.max_attempts = 6;
+    options.chaos = &chaos;
+    engine_stats stats;
+    expect_identical(f.run_engine(options, &stats), f.serial_reference());
+    EXPECT_GT(stats.invalid_frames, 0u);
+}
+
+TEST(SocketTransport, FullChaosMatrixStaysBitIdentical) {
+    socket_fixture f;
+    const chaos_schedule chaos{{.seed = 15,
+                                .crash_rate = 0.06,
+                                .stall_rate = 0.06,
+                                .corrupt_rate = 0.06,
+                                .truncate_rate = 0.06}};
+    engine_options options = f.socket_options(4);
+    options.max_attempts = 8;
+    options.batch_deadline = std::chrono::milliseconds{10};
+    options.chaos = &chaos;
+    options.socket.max_respawns = 64;
+    engine_stats stats;
+    expect_identical(f.run_engine(options, &stats), f.serial_reference());
+    EXPECT_GT(stats.failures(), 0u);
+}
+
+TEST(SocketTransport, RespawnBudgetExhaustedDegradesGracefully) {
+    socket_fixture f;
+    // Every attempt crashes its worker and respawning is forbidden: the
+    // whole fleet dies for good and the master must degrade every batch.
+    const chaos_schedule chaos{{.seed = 16, .crash_rate = 1.0}};
+    engine_options options = f.socket_options(2);
+    options.max_attempts = 4;
+    options.chaos = &chaos;
+    options.socket.max_respawns = 0;
+    engine_stats stats;
+    assessment_engine* engine = nullptr;
+    extended_dagger_sampler sampler{f.registry.probabilities(), k_seed};
+    assessment_engine e{f.registry.size(), &f.forest, f.factory(), options};
+    engine = &e;
+    const assessment_stats got = e.assess(sampler, f.app, f.plan, k_rounds);
+    stats = e.stats();
+    expect_identical(got, f.serial_reference());
+    EXPECT_GT(stats.degraded, 0u);
+    EXPECT_EQ(engine->transport().live_worker_processes(), 0u);
+}
+
+TEST(SocketTransport, VerdictCacheOverSocketsStaysBitIdentical) {
+    socket_fixture f;
+    // Socket workers derive their own support set from the shipped
+    // environment; verdicts must be unchanged.
+    engine_options options = f.socket_options(4);
+    options.verdict_cache.enabled = true;
+    options.verdict_cache.max_entries = 1 << 12;
+    expect_identical(f.run_engine(options), f.serial_reference());
+}
+
+// ---- socket transport: real SIGKILL ---------------------------------------
+
+TEST(SocketTransport, SigkilledWorkerIsRespawnedBitIdentical) {
+    socket_fixture f;
+    engine_options options = f.socket_options(4);
+    options.max_attempts = 6;
+    options.socket.max_respawns = 16;
+    extended_dagger_sampler sampler{f.registry.probabilities(), k_seed};
+    assessment_engine engine{f.registry.size(), &f.forest, f.factory(),
+                             options};
+    // Kill worker 0's PROCESS before the assessment: its first batch fails
+    // at the transport layer and the slot respawns.
+    const std::vector<int> pids = engine.transport().worker_pids();
+    ASSERT_EQ(pids.size(), 4u);
+    ASSERT_GT(pids[0], 0);
+    ASSERT_EQ(::kill(pids[0], SIGKILL), 0);
+    const assessment_stats got =
+        engine.assess(sampler, f.app, f.plan, k_rounds);
+    expect_identical(got, f.serial_reference());
+    EXPECT_GE(engine.stats().worker_respawns, 1u);
+    // The respawned fleet is whole again.
+    EXPECT_EQ(engine.transport().live_worker_processes(), 4u);
+}
+
+TEST(SocketTransport, SigkillStormKeepsBitIdentity) {
+    socket_fixture f;
+    engine_options options = f.socket_options(3);
+    options.max_attempts = 8;
+    options.socket.max_respawns = 1000;
+    extended_dagger_sampler sampler{f.registry.probabilities(), k_seed};
+    assessment_engine engine{f.registry.size(), &f.forest, f.factory(),
+                             options};
+    std::atomic<bool> done{false};
+    std::thread killer{[&] {
+        std::size_t next = 0;
+        while (!done.load(std::memory_order_acquire)) {
+            const std::vector<int> pids = engine.transport().worker_pids();
+            if (!pids.empty()) {
+                const int pid = pids[next++ % pids.size()];
+                if (pid > 0) {
+                    (void)::kill(pid, SIGKILL);
+                }
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        }
+    }};
+    const assessment_stats got =
+        engine.assess(sampler, f.app, f.plan, k_rounds);
+    done.store(true, std::memory_order_release);
+    killer.join();
+    // Timing decides WHICH batches die with their worker, never the counts.
+    expect_identical(got, f.serial_reference());
+}
+
+// ---- socket transport: lifecycle ------------------------------------------
+
+TEST(SocketTransport, NoZombieWorkersAfterDestruction) {
+    socket_fixture f;
+    {
+        engine_options options = f.socket_options(3);
+        engine_stats stats;
+        expect_identical(f.run_engine(options, &stats), f.serial_reference());
+    }
+    // Every worker process was terminated AND reaped: no children remain,
+    // zombie or otherwise.
+    errno = 0;
+    const pid_t r = ::waitpid(-1, nullptr, WNOHANG);
+    EXPECT_EQ(r, -1);
+    EXPECT_EQ(errno, ECHILD);
+}
+
+TEST(SocketTransport, DestructionIsIdempotentUnderRepeatedUse) {
+    socket_fixture f;
+    // Two assessments through one engine, then destruction: teardown/setup
+    // sequencing and the final shutdown must all be clean.
+    engine_options options = f.socket_options(2);
+    extended_dagger_sampler sampler{f.registry.probabilities(), k_seed};
+    assessment_engine engine{f.registry.size(), &f.forest, f.factory(),
+                             options};
+    const assessment_stats first =
+        engine.assess(sampler, f.app, f.plan, k_rounds);
+    sampler.reset(k_seed);
+    const assessment_stats second =
+        engine.assess(sampler, f.app, f.plan, k_rounds);
+    expect_identical(first, second);
+}
+
+// ---- acceptance: medium fat-tree, 8 workers -------------------------------
+
+TEST(SocketTransport, MediumFatTreeEightWorkersBitIdenticalToSerial) {
+    const fat_tree tree = fat_tree::build(data_center_scale::medium);
+    const built_topology& topo = tree.topology();
+    component_registry registry{topo.graph};
+    fault_tree_forest forest{topo.graph.node_count()};
+    for (component_id id = 0; id < registry.size(); ++id) {
+        if (registry.kind(id) != component_kind::external) {
+            registry.set_probability(id, 0.002);
+        }
+    }
+    application app = application::k_of_n(2, 4);
+    deployment_plan plan;
+    plan.hosts = {topo.hosts[0], topo.hosts[700], topo.hosts[1500],
+                  topo.hosts[3000]};
+    constexpr std::size_t rounds = 1500;
+    constexpr std::uint64_t seed = 777;
+
+    assessment_stats serial;
+    {
+        extended_dagger_sampler sampler{registry.probabilities(), seed};
+        round_state rs{registry.size(), &forest};
+        bfs_reachability oracle{topo};
+        serial = assess_deployment(sampler, rs, oracle, app, plan, rounds);
+    }
+
+    const auto run = [&](std::size_t workers) {
+        engine_options options;
+        options.workers = workers;
+        options.batch_rounds = 128;
+        options.transport = transport_kind::socket;
+        options.socket = worker_bin_options();
+        options.topology = &topo;
+        extended_dagger_sampler sampler{registry.probabilities(), seed};
+        assessment_engine engine{
+            registry.size(), &forest,
+            [&topo] { return std::make_unique<bfs_reachability>(topo); },
+            options};
+        return engine.assess(sampler, app, plan, rounds);
+    };
+
+    const assessment_stats solo = run(1);
+    const assessment_stats fleet = run(8);
+    expect_identical(solo, serial);
+    expect_identical(fleet, serial);
+}
+
+}  // namespace
+}  // namespace recloud
