@@ -229,22 +229,24 @@ private:
     /// the slot's fd is nonblocking and its assembler fresh. Caller holds no
     /// lock (ctor) or the slot is only touched by its own I/O thread.
     void spawn_worker(slot& s) {
-        int fds[2];
-        if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
-            throw transport_error{"socketpair failed"};
-        }
-        int wake[2];
+        // The wake pipe goes into the slot before anything can throw, so a
+        // failed first spawn still has its fds closed by shutdown_fleet.
+        // O_CLOEXEC (atomically, pipe2 — a concurrent respawn's fork must
+        // not capture these) keeps other slots' children from inheriting
+        // them; same for the master-side socket below, so a worker never
+        // holds a sibling's socket open past a master crash.
         if (s.wake_r < 0) {
-            if (::pipe(wake) != 0) {
-                ::close(fds[0]);
-                ::close(fds[1]);
-                throw transport_error{"pipe failed"};
+            int wake[2];
+            if (::pipe2(wake, O_CLOEXEC | O_NONBLOCK) != 0) {
+                throw transport_error{"pipe2 failed"};
             }
-            set_nonblocking(wake[0]);
-            set_nonblocking(wake[1]);
-        } else {
-            wake[0] = s.wake_r;
-            wake[1] = s.wake_w;
+            const std::lock_guard lock{s.mu};
+            s.wake_r = wake[0];
+            s.wake_w = wake[1];
+        }
+        int fds[2];
+        if (::socketpair(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0, fds) != 0) {
+            throw transport_error{"socketpair failed"};
         }
         const std::string fd_arg = std::to_string(fds[1]);
         std::size_t index = 0;
@@ -261,8 +263,10 @@ private:
             throw transport_error{"fork failed"};
         }
         if (pid == 0) {
-            // Child: keep only the worker end, then become recloud_worker.
+            // Child: keep only the worker end across exec — everything else
+            // (sibling sockets, wake pipes, master-side end) is CLOEXEC.
             ::close(fds[0]);
+            ::fcntl(fds[1], F_SETFD, 0);
             const char* argv[] = {options_.worker_binary.c_str(), "--fd",
                                   fd_arg.c_str(),  "--worker",
                                   worker_arg.c_str(), nullptr};
@@ -272,11 +276,17 @@ private:
         ::close(fds[1]);
         // Handshake on a still-blocking fd: ship the environment, wait for
         // hello (sent only after the worker decoded it).
+        // set_nonblocking stays inside the guarded region: any failure past
+        // the fork must close the fd AND kill+reap the live child, not leak
+        // them.
         bool ok = false;
         try {
             fd_write_all(fds[0],
                          pack_envelope(worker_msg::env, 0, 0, s.env_blob));
             ok = await_hello(fds[0]);
+            if (ok) {
+                set_nonblocking(fds[0]);
+            }
         } catch (const transport_error&) {
             ok = false;
         }
@@ -289,12 +299,9 @@ private:
                 "worker failed to start (binary '" + options_.worker_binary +
                 "': exec failure, env rejected, or hello timeout)"};
         }
-        set_nonblocking(fds[0]);
         const std::lock_guard lock{s.mu};
         s.fd = fds[0];
         s.pid = pid;
-        s.wake_r = wake[0];
-        s.wake_w = wake[1];
         s.write_off = 0;
         s.assembler = frame_assembler{options_.max_frame_payload};
     }

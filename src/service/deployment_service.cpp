@@ -220,6 +220,11 @@ void deployment_service::shutdown() {
         shutting_down_.store(true, std::memory_order_relaxed);
     }
     for (const std::unique_ptr<shard>& sh : shards_) {
+        // Take (and drop) the shard mutex before notifying: a worker that
+        // checked the predicate before the flag flipped must be parked on
+        // the CV before this notify fires, or it would sleep forever — we
+        // only notify once.
+        { const std::lock_guard<std::mutex> shard_lock{sh->mutex}; }
         sh->work_available.notify_all();
     }
     // Joining drains every queue; each request's re_cloud (and any child

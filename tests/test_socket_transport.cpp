@@ -354,7 +354,15 @@ TEST(SocketTransport, SigkilledWorkerIsRespawnedBitIdentical) {
         engine.assess(sampler, f.app, f.plan, k_rounds);
     expect_identical(got, f.serial_reference());
     EXPECT_GE(engine.stats().worker_respawns, 1u);
-    // The respawned fleet is whole again.
+    // The respawned fleet becomes whole again. The respawn runs in the
+    // slot's I/O thread while assess() can complete via re-dispatch to the
+    // survivors, so poll rather than assert the instant after assess().
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (engine.transport().live_worker_processes() < 4 &&
+           std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
     EXPECT_EQ(engine.transport().live_worker_processes(), 4u);
 }
 
