@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "topology/fat_tree.hpp"
@@ -42,6 +43,7 @@ inline void print_header(const char* title, const char* paper_ref) {
     std::printf("reproduces: %s%s\n", paper_ref,
                 full_scale() ? "  [RECLOUD_FULL=1: paper-scale budgets]"
                              : "  [reduced budgets; RECLOUD_FULL=1 for paper scale]");
+    std::printf("hardware threads: %u\n", std::thread::hardware_concurrency());
     std::printf("================================================================\n");
 }
 

@@ -69,6 +69,8 @@ worker_binary =           # socket transport: worker executable; empty =
                           # $RECLOUD_WORKER_BIN, then next to this binary, then PATH
 max_respawns = 16         # socket transport: respawn budget per worker slot
 verdict_cache = true      # memoize round verdicts (bit-identical results)
+incremental = true        # cross-plan verdict reuse + CRN journal replay
+                          # (bit-identical results; needs verdict_cache)
 multi_objective = false
 symmetry = true
 seed = 1
@@ -239,6 +241,7 @@ recloud_options build_options(const config& cfg,
     options.engine_max_respawns =
         static_cast<std::size_t>(cfg.get_uint("search.max_respawns", 16));
     options.verdict_cache = cfg.get_bool("search.verdict_cache", true);
+    options.incremental = cfg.get_bool("search.incremental", true);
     options.multi_objective = cfg.get_bool("search.multi_objective", false);
     options.use_symmetry = cfg.get_bool("search.symmetry", true);
     options.seed = cfg.get_uint("search.seed", 1);
@@ -332,6 +335,14 @@ void report(const deployment_response& response, const built_topology& topo,
                     static_cast<unsigned long long>(cache->rounds),
                     static_cast<unsigned long long>(cache->support_size),
                     static_cast<unsigned long long>(cache->evictions));
+        if (cache->warm_rebinds > 0) {
+            std::printf(
+                "  cross-plan: warm=%llu cold=%llu retained=%llu hits=%llu\n",
+                static_cast<unsigned long long>(cache->warm_rebinds),
+                static_cast<unsigned long long>(cache->cold_rebinds),
+                static_cast<unsigned long long>(cache->retained_entries),
+                static_cast<unsigned long long>(cache->cross_plan_hits));
+        }
     }
     std::printf("placement:\n");
     for (const node_id host : response.plan.hosts) {

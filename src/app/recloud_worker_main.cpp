@@ -66,6 +66,7 @@ void handle_env(worker_state& state, const envelope& msg) {
         state.cache_options.enabled = true;
         state.cache_options.max_entries = env.cache_max_entries;
         state.cache_options.support = state.support.get();
+        state.cache_options.cross_plan = env.cache_cross_plan;
     } else {
         state.support.reset();
     }
@@ -147,6 +148,18 @@ int run(int fd) {
                     break;
                 case worker_msg::setup:
                     handle_setup(state, msg);
+                    break;
+                case worker_msg::rebind:
+                    // Cross-plan incremental mode: swap in the next (app,
+                    // plan) while keeping the warm context. A respawned
+                    // worker holds no context yet — then rebind degrades to
+                    // a plain setup (bit-identical, just cold).
+                    if (state.context) {
+                        state.context->rebind(
+                            std::span<const std::byte>{msg.blob});
+                    } else {
+                        handle_setup(state, msg);
+                    }
                     break;
                 case worker_msg::task:
                     handle_task(state, msg);

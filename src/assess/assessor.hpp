@@ -6,6 +6,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <unordered_map>
 
 #include "app/application.hpp"
 #include "app/deployment.hpp"
@@ -71,6 +72,31 @@ public:
                                           const deployment_plan& plan,
                                           std::size_t rounds);
 
+    /// CRN notification: the owning backend's reset_stream(seed) calls this
+    /// right after resetting the sampler. The NEXT assess() then knows it
+    /// replays a deterministic stream identified by `seed` and may (a)
+    /// record a round journal of that stream or (b) replay a previously
+    /// recorded one without touching the sampler at all — the core of
+    /// cross-plan incremental assessment. The flag is consumed by one
+    /// assess(); un-reset streams never record or replay.
+    void note_stream_reset(std::uint64_t seed) noexcept {
+        pending_reset_seed_ = seed;
+        replay_debt_rounds_ = 0;  // the reset realigned the stream
+    }
+
+    /// Drops a pending reset notification — called by any stream consumer
+    /// that advances the sampler outside assess() (assess_until_ciw), so a
+    /// later assess() cannot mistake the advanced stream for a fresh one.
+    void invalidate_stream_reset() noexcept { pending_reset_seed_.reset(); }
+
+    /// A journal replay answers without consuming the sampler stream; the
+    /// skipped rounds are tracked as a debt here. Any consumer about to
+    /// advance the stream WITHOUT a preceding reset must settle the debt
+    /// first (fast-forward the sampler), so stream positions stay
+    /// bit-identical to incremental-off no matter how assessments and
+    /// resets interleave. A reset clears the debt — it realigns the stream.
+    void settle_stream_debt();
+
     [[nodiscard]] round_state& state() noexcept { return rs_; }
 
     /// Cumulative cache counters; nullptr when the cache is disabled.
@@ -85,11 +111,69 @@ public:
     }
 
 private:
+    // --- CRN round journal -------------------------------------------
+    // One full pass over a freshly-reset stream records, per round, the
+    // support-filtered signature (deduplicated into groups) and an inverted
+    // index from each raw component that fell OUTSIDE the support of the
+    // recording plan to the rounds it failed in. A later assess() of the
+    // SAME stream for a DIFFERENT plan then skips sampling entirely: the
+    // new binding's support additions (plan hosts + deps — the only ids
+    // whose support membership can differ) probe the index, so finding the
+    // dirty rounds costs O(|swap delta|) instead of a scan over every
+    // recorded residue. Clean rounds are judged once per group; dirty ones
+    // individually with their entered residue merged into the key. Every
+    // verdict still flows through cached_reliable_in_round, so the replayed
+    // stats are bit-identical to the full pass by the same
+    // support-filtering invariant the cache itself rests on.
+    struct journal_group {
+        std::uint32_t key_begin = 0;
+        std::uint32_t key_length = 0;
+        std::uint32_t multiplicity = 0;
+    };
+    struct dirty_round {
+        std::uint32_t group = 0;
+        std::uint32_t begin = 0;
+        std::uint32_t length = 0;
+    };
+
+    void begin_journal(std::uint64_t seed, std::uint64_t app_fingerprint,
+                       std::size_t rounds);
+    void record_round(std::uint32_t round, const verdict_cache& cache);
+    /// Replays the journal for `plan`; returns false (without judging
+    /// anything) when the dirty fraction is too high — the caller then runs
+    /// and re-records a full pass over the freshly-reset stream.
+    [[nodiscard]] bool replay_journal(const application& app,
+                                      const deployment_plan& plan,
+                                      verdict_cache* cache,
+                                      requirement_evaluator& evaluator,
+                                      assessment_stats* out);
+
     round_state rs_;
     reachability_oracle* oracle_;
     failure_sampler* sampler_;
     std::optional<verdict_cache> cache_;
     std::vector<component_id> failed_scratch_;
+
+    std::optional<std::uint64_t> pending_reset_seed_;
+    std::uint64_t replay_debt_rounds_ = 0;
+    bool journal_valid_ = false;
+    std::uint64_t journal_seed_ = 0;
+    std::uint64_t journal_app_ = 0;
+    std::size_t journal_rounds_ = 0;
+    std::vector<component_id> journal_keys_;          ///< group-key arena
+    std::vector<journal_group> journal_groups_;
+    std::vector<std::uint32_t> journal_round_group_;  ///< per round
+    std::unordered_map<component_id, std::vector<std::uint32_t>>
+        journal_residue_index_;  ///< off-support component -> its rounds
+    std::unordered_map<std::uint64_t, std::vector<std::uint32_t>>
+        journal_index_;  ///< key hash -> candidate group ids (exact-checked)
+
+    // Replay scratch.
+    std::vector<std::pair<std::uint32_t, component_id>> dirty_pairs_;
+    std::vector<std::uint32_t> dirty_per_group_;
+    std::vector<dirty_round> dirty_rounds_;
+    std::vector<component_id> dirty_pool_;
+    std::vector<component_id> merged_scratch_;
 };
 
 }  // namespace recloud

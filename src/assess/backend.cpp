@@ -70,12 +70,18 @@ assessment_stats serial_backend::assess(const application& app,
 assessment_stats serial_backend::assess_until_ciw(
     const application& app, const deployment_plan& plan,
     const adaptive_assess_options& options) {
+    // The CIW loop drives the sampler directly: pay back any rounds a
+    // journal replay skipped and drop the fresh-reset flag so a later
+    // assess() cannot mistake the advanced stream for a reset one.
+    assessor_.settle_stream_debt();
+    assessor_.invalidate_stream_reset();
     return recloud::assess_until_ciw(*sampler_, assessor_.state(), *oracle_, app,
                                      plan, options, assessor_.cache());
 }
 
 void serial_backend::reset_stream(std::uint64_t seed) {
     sampler_->reset(seed);
+    assessor_.note_stream_reset(seed);
 }
 
 parallel_backend::parallel_backend(std::size_t component_count,

@@ -162,7 +162,8 @@ private:
                        const verdict_cache_options& cache_options)
             : rs(component_count, forest), oracle(std::move(o)) {
             if (cache_options.enabled && cache_options.support != nullptr) {
-                cache.emplace(*cache_options.support, cache_options.max_entries);
+                cache.emplace(*cache_options.support, cache_options.max_entries,
+                              cache_options.cross_plan);
             }
         }
     };

@@ -28,10 +28,20 @@ std::uint64_t hash_key(std::span<const component_id> key) noexcept {
     return hash;
 }
 
+std::size_t power_of_two_at_least(std::size_t value) noexcept {
+    std::size_t capacity = 1;
+    while (capacity < value) {
+        capacity <<= 1;
+    }
+    return capacity;
+}
+
+}  // namespace
+
 /// Structural fingerprint of an application: rebinding with a different
 /// object whose SHAPE is identical may keep the table (the verdict function
 /// is the same), while any shape change must reset it.
-std::uint64_t fingerprint(const application& app) noexcept {
+std::uint64_t application_fingerprint(const application& app) noexcept {
     std::uint64_t hash = fnv_offset;
     for (const app_component& component : app.components()) {
         hash = fnv1a_append(hash, component.replicas);
@@ -43,16 +53,6 @@ std::uint64_t fingerprint(const application& app) noexcept {
     }
     return hash;
 }
-
-std::size_t power_of_two_at_least(std::size_t value) noexcept {
-    std::size_t capacity = 1;
-    while (capacity < value) {
-        capacity <<= 1;
-    }
-    return capacity;
-}
-
-}  // namespace
 
 verdict_support::verdict_support(const built_topology& topo,
                                  std::size_t component_count,
@@ -104,16 +104,61 @@ verdict_support::verdict_support(const built_topology& topo,
             }
         }
     }
+
+    // Host attachment lists (host_attachment()): CSR over node ids. Only
+    // hosts get entries — they are the only nodes a plan can place on.
+    attach_begin_.assign(topo.graph.node_count() + 1, 0);
+    std::vector<component_id> scratch;
+    for (node_id node = 0; node < topo.graph.node_count(); ++node) {
+        attach_begin_[node] = static_cast<std::uint32_t>(attach_pool_.size());
+        if (topo.graph.kind(node) != node_kind::host) {
+            continue;
+        }
+        scratch.clear();
+        const std::span<const node_id> adjacent = topo.graph.neighbors(node);
+        const std::span<const std::uint32_t> edges =
+            topo.graph.incident_edges(node);
+        for (std::size_t i = 0; i < adjacent.size(); ++i) {
+            scratch.push_back(adjacent[i]);
+            if (links != nullptr) {
+                const component_id link = links->component_of_edge[edges[i]];
+                if (link != invalid_node) {
+                    scratch.push_back(link);
+                }
+            }
+        }
+        if (forest_ != nullptr) {
+            const std::size_t direct = scratch.size();
+            for (std::size_t i = 0; i < direct; ++i) {
+                for (const component_id dep :
+                     forest_->dependencies_of(scratch[i])) {
+                    scratch.push_back(dep);
+                }
+            }
+        }
+        std::sort(scratch.begin(), scratch.end());
+        scratch.erase(std::unique(scratch.begin(), scratch.end()),
+                      scratch.end());
+        attach_pool_.insert(attach_pool_.end(), scratch.begin(),
+                            scratch.end());
+    }
+    attach_begin_[topo.graph.node_count()] =
+        static_cast<std::uint32_t>(attach_pool_.size());
 }
 
 verdict_cache::verdict_cache(const verdict_support& support,
-                             std::size_t max_entries)
+                             std::size_t max_entries, bool cross_plan)
     : support_(&support),
       max_entries_(std::max<std::size_t>(max_entries, 1)),
+      cross_plan_(cross_plan),
       mask_(power_of_two_at_least(2 * max_entries_) - 1),
       slots_(mask_ + 1),
       member_(support.membership().begin(), support.membership().end()),
-      support_size_(support.static_size()) {}
+      support_size_(support.static_size()) {
+    if (cross_plan_) {
+        delta_member_.assign(support.component_count(), 0);
+    }
+}
 
 void verdict_cache::reset_table() noexcept {
     ++epoch_;
@@ -124,23 +169,119 @@ void verdict_cache::reset_table() noexcept {
         epoch_ = 1;
     }
     key_pool_.clear();
+    live_slots_.clear();
     size_ = 0;
+    dead_count_ = 0;
+}
+
+void verdict_cache::warm_rebind(const deployment_plan& plan) {
+    // Swap delta: hosts that moved in or out of a slot (exact slot-wise
+    // diff — multiplicity and permutation changes count, so duplicate-host
+    // plans stay sound) plus their fault-tree dependencies at the core kill
+    // level, plus their attachment components at the semi kill level.
+    const fault_tree_forest* forest = support_->forest();
+    const auto delta_add = [this](component_id id, std::uint8_t kills) {
+        if ((delta_member_[id] & kills) == kills) {
+            return;
+        }
+        if (delta_member_[id] == 0) {
+            delta_list_.push_back(id);
+        }
+        delta_member_[id] |= kills;
+    };
+    delta_list_.clear();
+    constexpr std::uint8_t core = delta_kills_clean | delta_kills_semi;
+    for (std::size_t i = 0; i < plan.hosts.size(); ++i) {
+        if (bound_hosts_[i] == plan.hosts[i]) {
+            continue;
+        }
+        for (const node_id host : {bound_hosts_[i], plan.hosts[i]}) {
+            delta_add(host, core);
+            if (forest != nullptr) {
+                for (const component_id dep : forest->dependencies_of(host)) {
+                    delta_add(dep, core);
+                }
+            }
+            for (const component_id id : support_->host_attachment(host)) {
+                delta_add(id, delta_kills_semi);
+            }
+        }
+    }
+
+    // Retain clean/semi, delta-disjoint entries; tombstone the rest.
+    // Tombstones keep probe chains intact and are reused by later
+    // insertions; live + dead together never exceed max_entries_, so probes
+    // stay bounded.
+    std::size_t retained = 0;
+    std::size_t write = 0;
+    for (const std::uint32_t index : live_slots_) {
+        slot& s = slots_[index];
+        bool keep = (s.flags & (slot_clean | slot_semi)) != 0;
+        if (keep) {
+            const std::uint8_t kills = (s.flags & slot_clean) != 0
+                                           ? delta_kills_clean
+                                           : delta_kills_semi;
+            const component_id* key = key_pool_.data() + s.key_begin;
+            for (std::uint32_t i = 0; i < s.key_length; ++i) {
+                if ((delta_member_[key[i]] & kills) != 0) {
+                    keep = false;
+                    break;
+                }
+            }
+        }
+        if (keep) {
+            s.flags |= slot_retained;
+            live_slots_[write++] = index;
+            ++retained;
+        } else {
+            s.flags |= slot_dead;
+            --size_;
+            ++dead_count_;
+        }
+    }
+    live_slots_.resize(write);
+    for (const component_id id : delta_list_) {
+        delta_member_[id] = 0;
+    }
+    stats_.retained_entries += retained;
+    RECLOUD_COUNTER_ADD("cache.retained_entries", retained);
+    if (size_ == 0) {
+        // Nothing survived (e.g. an oracle that classifies no round as
+        // clean): a generation bump beats probing through tombstones.
+        reset_table();
+    }
+    // The empty-class verdict is a pure function of slot-host aliveness
+    // only when the all-alive network is fully connected. (An empty key
+    // cannot classify semi — attachment components are always in support.)
+    if (empty_class_ != round_class::clean) {
+        empty_valid_ = false;
+    }
 }
 
 void verdict_cache::bind(const application& app, const deployment_plan& plan) {
-    const std::uint64_t app_fingerprint = fingerprint(app);
+    const std::uint64_t app_fingerprint = application_fingerprint(app);
     if (bound_ && bound_app_fingerprint_ == app_fingerprint &&
         bound_hosts_ == plan.hosts) {
         return;  // same binding: keep every entry warm
     }
     RECLOUD_SPAN("cache.rebind");
     RECLOUD_COUNTER_INC("cache.rebinds");
+    ++stats_.rebinds;
+    // Warm path requires the same application shape (fingerprint equality
+    // implies equal host-list lengths) and a key arena below its soft
+    // limit; anything else falls back to the epoch-wipe.
+    if (cross_plan_ && bound_ && bound_app_fingerprint_ == app_fingerprint &&
+        key_pool_.size() < key_pool_soft_limit()) {
+        ++stats_.warm_rebinds;
+        warm_rebind(plan);
+    } else {
+        ++stats_.cold_rebinds;
+        reset_table();
+        empty_valid_ = false;
+    }
     bound_ = true;
     bound_app_fingerprint_ = app_fingerprint;
     bound_hosts_ = plan.hosts;
-    ++stats_.rebinds;
-    reset_table();
-    empty_valid_ = false;
     pending_store_ = false;
 
     // Rebuild membership: static support + plan hosts + their fault-tree
@@ -148,10 +289,12 @@ void verdict_cache::bind(const application& app, const deployment_plan& plan) {
     const std::span<const std::uint8_t> base = support_->membership();
     std::copy(base.begin(), base.end(), member_.begin());
     support_size_ = support_->static_size();
+    bound_additions_.clear();
     const auto add = [this](component_id id) {
         if (member_[id] == 0) {
             member_[id] = 1;
             ++support_size_;
+            bound_additions_.push_back(id);
         }
     };
     const fault_tree_forest* forest = support_->forest();
@@ -169,14 +312,23 @@ void verdict_cache::bind(const application& app, const deployment_plan& plan) {
 std::size_t verdict_cache::probe(std::uint64_t hash,
                                  lookup_result* found) const {
     std::size_t index = static_cast<std::size_t>(hash) & mask_;
+    std::size_t first_dead = static_cast<std::size_t>(-1);
     for (;;) {
         const slot& s = slots_[index];
         if (s.epoch != epoch_) {
-            return index;  // stale or never written: free slot, miss
+            // Stale or never written: end of the probe chain, miss. Prefer
+            // reusing the first tombstone passed on the way (keeps the
+            // chain short and returns the slot to the live pool).
+            return first_dead != static_cast<std::size_t>(-1) ? first_dead
+                                                              : index;
         }
-        if (s.hash == hash && s.key_length == filtered_.size() &&
-            std::equal(filtered_.begin(), filtered_.end(),
-                       key_pool_.begin() + s.key_begin)) {
+        if ((s.flags & slot_dead) != 0) {
+            if (first_dead == static_cast<std::size_t>(-1)) {
+                first_dead = index;
+            }
+        } else if (s.hash == hash && s.key_length == filtered_.size() &&
+                   std::equal(filtered_.begin(), filtered_.end(),
+                              key_pool_.begin() + s.key_begin)) {
             found->hit = true;
             found->verdict = s.verdict != 0;
             return index;
@@ -213,6 +365,9 @@ verdict_cache::lookup_result verdict_cache::lookup(
     const std::size_t index = probe(hash, &result);
     if (result.hit) {
         ++stats_.hits;
+        if ((slots_[index].flags & slot_retained) != 0) {
+            ++stats_.cross_plan_hits;
+        }
         return result;
     }
     ++stats_.misses;
@@ -223,7 +378,7 @@ verdict_cache::lookup_result verdict_cache::lookup(
     return {};
 }
 
-void verdict_cache::store(bool verdict) {
+void verdict_cache::store(bool verdict, round_class cls) {
     if (!pending_store_) {
         throw std::logic_error{"verdict_cache: store without a pending miss"};
     }
@@ -231,23 +386,32 @@ void verdict_cache::store(bool verdict) {
     if (pending_empty_) {
         empty_valid_ = true;
         empty_verdict_ = verdict;
+        empty_class_ = cls;
         return;
     }
-    if (size_ >= max_entries_) {
+    if (size_ + dead_count_ >= max_entries_) {
         // Bounded memory: wipe wholesale (O(1) via the generation stamp) and
         // let the working set rebuild — plans are assessed for thousands of
-        // rounds, so the refill cost amortizes away.
+        // rounds, so the refill cost amortizes away. Tombstones count too:
+        // the live + dead total is what bounds probe-chain length.
         reset_table();
         ++stats_.evictions;
         lookup_result ignored;
         pending_slot_ = probe(pending_hash_, &ignored);
     }
     slot& s = slots_[pending_slot_];
+    if (s.epoch == epoch_ && (s.flags & slot_dead) != 0) {
+        --dead_count_;  // reviving a tombstone
+    }
+    live_slots_.push_back(static_cast<std::uint32_t>(pending_slot_));
     s.hash = pending_hash_;
     s.epoch = epoch_;
     s.key_begin = static_cast<std::uint32_t>(key_pool_.size());
     s.key_length = static_cast<std::uint32_t>(filtered_.size());
     s.verdict = verdict ? 1 : 0;
+    s.flags = cls == round_class::clean  ? slot_clean
+              : cls == round_class::semi ? slot_semi
+                                         : 0;
     key_pool_.insert(key_pool_.end(), filtered_.begin(), filtered_.end());
     ++size_;
     ++stats_.insertions;

@@ -28,6 +28,7 @@
 // per-worker caches cannot perturb assessment_stats for any worker count.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <span>
@@ -77,10 +78,27 @@ public:
         return member_;
     }
 
+    /// Attachment components of a host: its adjacent routing nodes, the
+    /// link components of its incident edges, and the fault-tree
+    /// dependencies of all of those — everything besides the host itself
+    /// whose failure can detach the host's instances from the network. The
+    /// cross-plan delta for SEMI verdict retention is exactly this set for
+    /// every changed host (see round_class). Empty for non-host nodes.
+    [[nodiscard]] std::span<const component_id> host_attachment(
+        node_id host) const noexcept {
+        if (host + 1 >= attach_begin_.size()) {
+            return {};
+        }
+        return {attach_pool_.data() + attach_begin_[host],
+                attach_begin_[host + 1] - attach_begin_[host]};
+    }
+
 private:
     const fault_tree_forest* forest_;
     std::vector<std::uint8_t> member_;  ///< 1 iff statically in the support
     std::size_t size_ = 0;
+    std::vector<std::uint32_t> attach_begin_;  ///< by node id, CSR offsets
+    std::vector<component_id> attach_pool_;
 };
 
 /// Observability counters for one cache (or an aggregate over workers).
@@ -91,7 +109,11 @@ struct verdict_cache_stats {
     std::uint64_t misses = 0;      ///< full route-and-check runs
     std::uint64_t insertions = 0;  ///< entries stored
     std::uint64_t evictions = 0;   ///< wholesale table resets (capacity)
-    std::uint64_t rebinds = 0;     ///< plan/application changes
+    std::uint64_t rebinds = 0;     ///< plan/application changes (warm + cold)
+    std::uint64_t warm_rebinds = 0;  ///< cross-plan rebinds that kept entries
+    std::uint64_t cold_rebinds = 0;  ///< rebinds that epoch-wiped the table
+    std::uint64_t cross_plan_hits = 0;  ///< hits served by retained entries
+    std::uint64_t retained_entries = 0;  ///< entries kept across warm rebinds
     std::uint64_t support_size = 0;  ///< of the current binding (not summed)
 
     /// Rounds answered without route-and-check.
@@ -113,6 +135,10 @@ struct verdict_cache_stats {
         insertions += other.insertions;
         evictions += other.evictions;
         rebinds += other.rebinds;
+        warm_rebinds += other.warm_rebinds;
+        cold_rebinds += other.cold_rebinds;
+        cross_plan_hits += other.cross_plan_hits;
+        retained_entries += other.retained_entries;
         support_size = other.support_size;
     }
 };
@@ -123,17 +149,42 @@ struct verdict_cache_options {
     bool enabled = false;
     std::size_t max_entries = 1 << 16;  ///< per worker, before a reset
     const verdict_support* support = nullptr;
+    /// Cross-plan incremental mode: rebinding to a different plan of the
+    /// same application keeps every CLEAN entry whose key is disjoint from
+    /// the swap delta instead of epoch-wiping the table (see bind()).
+    bool cross_plan = false;
 };
 
 class verdict_cache {
 public:
     explicit verdict_cache(const verdict_support& support,
-                           std::size_t max_entries = 1 << 16);
+                           std::size_t max_entries = 1 << 16,
+                           bool cross_plan = false);
 
-    /// Binds the cache to an (application, plan) pair. A binding change
-    /// (different plan hosts or application shape) resets the table and the
-    /// empty-round verdict and recomputes the plan part of the support;
-    /// rebinding the same pair keeps every entry warm.
+    /// Binds the cache to an (application, plan) pair. Rebinding the same
+    /// pair keeps every entry warm; an application-shape change resets the
+    /// table and the empty-round verdict and recomputes the plan part of
+    /// the support.
+    ///
+    /// A PLAN change behaves two ways. Default: epoch-wipe (cold rebind).
+    /// In cross-plan mode the cache self-diffs the old and new host lists
+    /// slot by slot — candidate plans under simulated annealing differ in
+    /// exactly one slot, but the diff is exact for any change, including
+    /// rejected-candidate sequences and permutations — and computes the
+    /// swap delta: every host that moved in or out of a slot plus its
+    /// fault-tree dependencies. It then retains each entry that (a) was
+    /// stored from a CLEAN round (oracle::classify_round — the verdict is a
+    /// pure function of slot-host aliveness) and (b) has a key disjoint
+    /// from the delta, so the aliveness vector the verdict encodes is
+    /// unchanged. SEMI rounds (verdict a pure function of slot-wise
+    /// attachment-effective aliveness — e.g. only edge switches failed) are
+    /// retained under the stronger condition that the key also misses every
+    /// attachment component of a changed host (verdict_support::
+    /// host_attachment). Exact-key safety is preserved: retained entries only
+    /// ever answer lookups whose support-filtered key matches verbatim, so
+    /// a wrong verdict can never be served — at worst a retainable entry is
+    /// dropped and re-judged (warm rebind falls back to the epoch-wipe when
+    /// nothing survives or the key arena outgrows its soft limit).
     void bind(const application& app, const deployment_plan& plan);
 
     struct lookup_result {
@@ -146,8 +197,17 @@ public:
     /// before the next lookup. Requires bind().
     [[nodiscard]] lookup_result lookup(std::span<const component_id> failed);
 
-    /// Completes the miss of the immediately preceding lookup().
-    void store(bool verdict);
+    /// Completes the miss of the immediately preceding lookup(). `cls`
+    /// marks how the oracle classified the round: `clean` entries survive
+    /// plan swaps whose core delta misses their key, `semi` entries
+    /// additionally require the changed hosts' attachment components to
+    /// miss it (see round_class). Only consulted in cross-plan mode;
+    /// `unclean` is always safe.
+    void store(bool verdict, round_class cls = round_class::unclean);
+
+    /// Whether cross-plan retention is on — callers use this to skip the
+    /// oracle's cleanliness classification entirely when it is not.
+    [[nodiscard]] bool cross_plan() const noexcept { return cross_plan_; }
 
     [[nodiscard]] const verdict_cache_stats& stats() const noexcept {
         return stats_;
@@ -158,6 +218,14 @@ public:
     /// Membership of the current binding (static support + plan additions).
     [[nodiscard]] bool in_support(component_id id) const noexcept {
         return member_[id] != 0;
+    }
+    /// The components the current bind() added beyond the static support
+    /// (plan hosts + their fault-tree dependencies), deduplicated. Exactly
+    /// the ids for which in_support() can differ between two bindings of
+    /// the same application shape — the journal replay probes only these.
+    [[nodiscard]] std::span<const component_id> bound_support_additions()
+        const noexcept {
+        return bound_additions_;
     }
     [[nodiscard]] std::size_t entries() const noexcept { return size_; }
     /// The support-filtered sorted key of the last lookup (test hook).
@@ -172,20 +240,54 @@ private:
         std::uint32_t key_begin = 0;
         std::uint32_t key_length = 0;
         std::uint8_t verdict = 0;
+        std::uint8_t flags = 0;  ///< slot_dead | slot_clean | slot_semi | ...
     };
+    static constexpr std::uint8_t slot_dead = 1;      ///< tombstone
+    static constexpr std::uint8_t slot_clean = 2;     ///< clean round
+    static constexpr std::uint8_t slot_retained = 4;  ///< survived a rebind
+    static constexpr std::uint8_t slot_semi = 8;      ///< semi-clean round
+
+    // Swap-delta kill levels (values of delta_member_, bitwise): a core
+    // delta component (changed host or a dependency of one) invalidates
+    // clean AND semi entries; an attachment component of a changed host
+    // invalidates semi entries only — clean rounds have no attachment
+    // failures at all, so their verdicts cannot depend on those.
+    static constexpr std::uint8_t delta_kills_semi = 1;
+    static constexpr std::uint8_t delta_kills_clean = 2;
 
     void reset_table() noexcept;
+    /// Warm (cross-plan) rebind: tombstones every entry whose key meets the
+    /// swap delta or whose round was not clean; survivors stay probeable.
+    void warm_rebind(const deployment_plan& plan);
     [[nodiscard]] std::size_t probe(std::uint64_t hash,
                                     lookup_result* found) const;
+    /// Key-arena growth bound across warm rebinds (retained keys pin arena
+    /// prefixes, tombstoned ones leave garbage); crossing it downgrades the
+    /// next rebind to a cold wipe, which clears the arena.
+    [[nodiscard]] std::size_t key_pool_soft_limit() const noexcept {
+        return std::max<std::size_t>(max_entries_ * 16, 1024);
+    }
 
     const verdict_support* support_;
     std::size_t max_entries_;
+    bool cross_plan_ = false;
     std::size_t mask_;  ///< capacity - 1 (power of two)
     std::vector<slot> slots_;
     std::vector<component_id> key_pool_;  ///< arena for stored keys
+    /// Indices of the live slots, exactly one entry per live slot: store()
+    /// is the only transition to live, warm_rebind() the only one to dead,
+    /// reset_table() clears everything — so a rebind sweeps O(live) slots
+    /// instead of the whole table.
+    std::vector<std::uint32_t> live_slots_;
 
     std::vector<std::uint8_t> member_;  ///< static support + plan additions
     std::size_t support_size_ = 0;
+    std::vector<component_id> bound_additions_;  ///< see accessor
+
+    // Swap-delta scratch for warm rebinds (component_count bytes, cleared
+    // via delta_list_ after every use).
+    std::vector<std::uint8_t> delta_member_;
+    std::vector<component_id> delta_list_;
 
     // Binding identity.
     bool bound_ = false;
@@ -194,9 +296,11 @@ private:
 
     std::uint32_t epoch_ = 1;  ///< current table generation
     std::size_t size_ = 0;     ///< live entries
+    std::size_t dead_count_ = 0;  ///< tombstones (live + dead bounds probes)
 
     bool empty_valid_ = false;
     bool empty_verdict_ = false;
+    round_class empty_class_ = round_class::unclean;
 
     // State carried from a missing lookup() to its store().
     std::vector<component_id> filtered_;
@@ -208,11 +312,19 @@ private:
     verdict_cache_stats stats_;
 };
 
+/// Structural fingerprint of an application (replica counts + requirement
+/// shape). The cache keys binding identity on it; the assessor's round
+/// journal reuses the same identity.
+[[nodiscard]] std::uint64_t application_fingerprint(
+    const application& app) noexcept;
+
 /// Judges one round through an optional cache: on a hit the oracle is never
 /// touched; on a miss (or without a cache) the usual round setup +
 /// route-and-check runs, passing the plan hosts as the oracle's query-target
-/// hint (bfs_reachability uses it to stop flooding early). The single seam
-/// every backend's round loop goes through.
+/// hint (bfs_reachability uses it to stop flooding early). In cross-plan
+/// mode a miss additionally asks the oracle to classify the round's
+/// cleanliness so the stored verdict can survive future plan swaps. The
+/// single seam every backend's round loop goes through.
 inline bool cached_reliable_in_round(verdict_cache* cache,
                                      std::span<const component_id> failed,
                                      round_state& rs,
@@ -229,7 +341,10 @@ inline bool cached_reliable_in_round(verdict_cache* cache,
     oracle.begin_round(rs, std::span<const node_id>{plan.hosts});
     const bool verdict = evaluator.reliable_in_round(oracle, rs);
     if (cache != nullptr) {
-        cache->store(verdict);
+        const round_class cls = cache->cross_plan()
+                                    ? oracle.classify_round(failed)
+                                    : round_class::unclean;
+        cache->store(verdict, cls);
     }
     return verdict;
 }

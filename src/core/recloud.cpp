@@ -95,6 +95,18 @@ bool verdict_cache_enabled(const recloud_options& options) {
            std::strcmp(env, "false") != 0;
 }
 
+/// Same override pattern for cross-plan incremental assessment:
+/// RECLOUD_INCREMENTAL forces it on or off; unset keeps the configured
+/// choice. Incremental mode still requires the verdict cache itself.
+bool incremental_enabled(const recloud_options& options) {
+    const char* env = std::getenv("RECLOUD_INCREMENTAL");
+    if (env == nullptr || *env == '\0') {
+        return options.incremental;
+    }
+    return std::strcmp(env, "0") != 0 && std::strcmp(env, "off") != 0 &&
+           std::strcmp(env, "false") != 0;
+}
+
 }  // namespace
 
 re_cloud::re_cloud(scenario_ptr scenario, const recloud_options& options)
@@ -134,6 +146,7 @@ re_cloud::re_cloud(scenario_ptr scenario, const recloud_options& options)
         cache_options_.enabled = true;
         cache_options_.max_entries = options_.verdict_cache_entries;
         cache_options_.support = &*support_;
+        cache_options_.cross_plan = incremental_enabled(options_);
     }
     if (options_.backend == assessment_backend_kind::serial) {
         owned_oracle_ = scenario_->make_oracle();
@@ -388,6 +401,14 @@ obs::telemetry_snapshot re_cloud::telemetry() const {
                      cache->insertions);
         registry.set(registry.gauge("cache.stats.evictions"), cache->evictions);
         registry.set(registry.gauge("cache.stats.rebinds"), cache->rebinds);
+        registry.set(registry.gauge("cache.stats.warm_rebinds"),
+                     cache->warm_rebinds);
+        registry.set(registry.gauge("cache.stats.cold_rebinds"),
+                     cache->cold_rebinds);
+        registry.set(registry.gauge("cache.stats.cross_plan_hits"),
+                     cache->cross_plan_hits);
+        registry.set(registry.gauge("cache.stats.retained_entries"),
+                     cache->retained_entries);
         registry.set(registry.gauge("cache.stats.support_size"),
                      cache->support_size);
         registry.set(registry.gauge("cache.stats.saved_rounds"),

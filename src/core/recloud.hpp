@@ -109,6 +109,16 @@ struct recloud_options {
     /// Bound on distinct cached signatures per cache (per worker for the
     /// parallel/engine backends); the table resets wholesale when full.
     std::size_t verdict_cache_entries = 1 << 16;
+    /// Cross-plan incremental assessment (assess/verdict_cache.hpp §bind,
+    /// DESIGN.md §11): on every plan change the cache keeps memoized
+    /// verdicts provably unaffected by the swap delta instead of wiping,
+    /// and the serial assessor replays its CRN round journal so the SA
+    /// inner loop becomes sublinear in the plan change. Results are
+    /// bit-identical on or off — purely a speed knob. Requires (and is
+    /// gated on) verdict_cache. The environment variable
+    /// RECLOUD_INCREMENTAL overrides it ("0"/"off"/"false" disable,
+    /// anything else enables).
+    bool incremental = true;
     /// Step 3's network-transformation equivalence check.
     bool use_symmetry = true;
     /// §3.3.3: score plans by M = a*reliability + b*utility instead of

@@ -169,8 +169,8 @@ scenario_ptr scenario_builder::freeze() {
 namespace {
 
 scenario_ptr freeze_fat_tree(std::shared_ptr<const fat_tree_infrastructure> infra) {
-    auto oracle =
-        std::make_shared<const fat_tree_routing>(infra->tree(), infra->links());
+    auto oracle = std::make_shared<const fat_tree_routing>(
+        infra->tree(), infra->links(), &infra->forest());
     scenario_builder builder;
     builder.name(infra->topology().name)
         .topology(infra->topology())

@@ -37,6 +37,16 @@ public:
 
     std::uint64_t begin_assessment(
         std::span<const std::byte> framed_setup) override {
+        if (env_.verdict_cache.cross_plan && contexts_.size() == pool_.size()) {
+            // Cross-plan incremental mode: contexts persist across
+            // assessments so each worker's verdict cache can rebind
+            // in-place and keep the entries the plan swap cannot affect.
+            for (const auto& context : contexts_) {
+                context->rebind(framed_setup);
+            }
+            return static_cast<std::uint64_t>(framed_setup.size()) *
+                   pool_.size();
+        }
         contexts_.clear();
         contexts_.reserve(pool_.size());
         for (std::size_t w = 0; w < pool_.size(); ++w) {
@@ -50,6 +60,9 @@ public:
     }
 
     void end_assessment() override {
+        if (env_.verdict_cache.cross_plan) {
+            return;  // contexts persist; cache_stats() reads them live
+        }
         for (const auto& context : contexts_) {
             if (const verdict_cache_stats* stats = context->cache_stats()) {
                 cache_stats_.accumulate(*stats);
@@ -74,7 +87,20 @@ public:
 
     [[nodiscard]] const verdict_cache_stats* cache_stats()
         const noexcept override {
-        return have_cache_stats_ ? &cache_stats_ : nullptr;
+        if (contexts_.empty()) {
+            return have_cache_stats_ ? &cache_stats_ : nullptr;
+        }
+        // Persistent (cross-plan) contexts: retired-context totals plus the
+        // live caches. Only read between assessments (engine contract).
+        live_cache_stats_ = cache_stats_;
+        bool have = have_cache_stats_;
+        for (const auto& context : contexts_) {
+            if (const verdict_cache_stats* stats = context->cache_stats()) {
+                live_cache_stats_.accumulate(*stats);
+                have = true;
+            }
+        }
+        return have ? &live_cache_stats_ : nullptr;
     }
 
 private:
@@ -82,6 +108,7 @@ private:
     thread_pool pool_;
     std::vector<std::unique_ptr<worker_context>> contexts_;
     verdict_cache_stats cache_stats_;
+    mutable verdict_cache_stats live_cache_stats_;
     bool have_cache_stats_ = false;
 };
 

@@ -83,7 +83,9 @@ class socket_transport final : public engine_transport {
 public:
     socket_transport(std::size_t workers, const transport_env& env,
                      const socket_transport_options& options)
-        : options_(options) {
+        : options_(options),
+          cross_plan_(env.verdict_cache.enabled &&
+                      env.verdict_cache.cross_plan) {
         if (workers == 0) {
             throw std::invalid_argument{"socket transport needs >= 1 worker"};
         }
@@ -119,11 +121,22 @@ public:
         std::span<const std::byte> framed_setup) override {
         const std::vector<std::byte> msg = pack_envelope(
             worker_msg::setup, 0, 0, framed_setup);
+        // Cross-plan incremental mode: a worker already holding a context
+        // (from the previous assessment — teardown is skipped) gets a
+        // `rebind` instead of `setup`, so its verdict cache keeps the
+        // entries the plan swap cannot affect. The slot's replay copy is
+        // ALWAYS the full setup: a respawned worker has no context and must
+        // rebuild from scratch.
+        const std::vector<std::byte> rebind_msg =
+            cross_plan_ ? pack_envelope(worker_msg::rebind, 0, 0, framed_setup)
+                        : std::vector<std::byte>{};
         for (const auto& s : slots_) {
             const std::lock_guard lock{s->mu};
+            const bool use_rebind = cross_plan_ && s->context_live;
             s->setup = msg;  // respawns replay it
             if (!s->dead) {
-                s->outgoing.push_back(msg);
+                s->outgoing.push_back(use_rebind ? rebind_msg : msg);
+                s->context_live = true;
                 poke(*s);
             }
         }
@@ -131,11 +144,19 @@ public:
     }
 
     void end_assessment() override {
+        if (cross_plan_) {
+            // Contexts (and their warm caches) persist on the workers; the
+            // next begin_assessment rebinds them in place. s->setup keeps
+            // the last full setup so a death between assessments still
+            // respawns into a working context.
+            return;
+        }
         const std::vector<std::byte> msg =
             pack_envelope(worker_msg::teardown, 0, 0, {});
         for (const auto& s : slots_) {
             const std::lock_guard lock{s->mu};
             s->setup.clear();
+            s->context_live = false;
             if (!s->dead) {
                 s->outgoing.push_back(msg);
                 poke(*s);
@@ -213,6 +234,9 @@ private:
         frame_assembler assembler;
         std::size_t respawns_used = 0;
         bool dead = false;
+        /// Worker currently holds a route-and-check context (cross-plan
+        /// mode only): the next begin_assessment may send `rebind`.
+        bool context_live = false;
     };
 
     /// Wakes a slot's poll() (write end is nonblocking; a full pipe already
@@ -537,8 +561,12 @@ private:
             if (!s.setup.empty()) {
                 // Front, not back: a task dispatched while the respawn was
                 // in flight is already queued and must not reach the fresh
-                // worker before its setup.
+                // worker before its setup. This is always the FULL setup —
+                // a respawned worker rebuilds its context (and a cold
+                // cache) from scratch; only the warm state is lost.
                 s.outgoing.push_front(s.setup);
+            } else {
+                s.context_live = false;  // fresh worker, no context to rebind
             }
             return;
         }
@@ -622,6 +650,8 @@ private:
     }
 
     socket_transport_options options_;
+    /// Cross-plan incremental caches: skip teardown, rebind on begin.
+    bool cross_plan_ = false;
     std::vector<std::unique_ptr<slot>> slots_;
     std::atomic<bool> stop_{false};
     std::atomic<std::uint64_t> respawns_{0};

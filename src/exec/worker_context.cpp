@@ -19,7 +19,18 @@ worker_context::worker_context(std::span<const std::byte> framed_setup,
       oracle_(make_oracle()),
       evaluator_(app_, plan_) {
     if (cache_options.enabled && cache_options.support != nullptr) {
-        cache_.emplace(*cache_options.support, cache_options.max_entries);
+        cache_.emplace(*cache_options.support, cache_options.max_entries,
+                       cache_options.cross_plan);
+        cache_->bind(app_, plan_);
+    }
+}
+
+void worker_context::rebind(std::span<const std::byte> framed_setup) {
+    const std::lock_guard lock{busy_};
+    app_ = make_app(framed_setup);
+    plan_ = make_plan(framed_setup);
+    evaluator_ = requirement_evaluator{app_, plan_};
+    if (cache_) {
         cache_->bind(app_, plan_);
     }
 }

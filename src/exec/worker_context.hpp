@@ -46,6 +46,14 @@ public:
         std::span<const std::byte> framed_task, const chaos_schedule* chaos,
         std::uint64_t batch_id, std::uint64_t attempt, std::uint64_t worker_id);
 
+    /// Cross-plan rebind: swaps in the next assessment's (application, plan)
+    /// while KEEPING the round_state, oracle, and verdict cache — the
+    /// cache's bind() then retains the verdicts the swap delta provably
+    /// cannot affect. Behaviourally equivalent to destroying this context
+    /// and constructing a fresh one from the same blob (bit-identical
+    /// results either way); only the warm state differs.
+    void rebind(std::span<const std::byte> framed_setup);
+
     /// Private verdict-cache counters (engaged iff the cache is on).
     [[nodiscard]] const verdict_cache_stats* cache_stats() const noexcept {
         return cache_ ? &cache_->stats() : nullptr;

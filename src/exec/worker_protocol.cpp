@@ -35,7 +35,7 @@ envelope unpack_envelope(std::span<const std::byte> framed) {
     envelope msg;
     const std::uint8_t kind = reader.read_u8();
     if (kind < static_cast<std::uint8_t>(worker_msg::hello) ||
-        kind > static_cast<std::uint8_t>(worker_msg::shutdown)) {
+        kind > static_cast<std::uint8_t>(worker_msg::rebind)) {
         throw serialize_error{"envelope: unknown message kind"};
     }
     msg.kind = static_cast<worker_msg>(kind);
@@ -222,6 +222,7 @@ std::vector<std::byte> encode_worker_environment(const transport_env& env,
     out.write_bool(env.verdict_cache.enabled);
     if (env.verdict_cache.enabled) {
         out.write_varint(env.verdict_cache.max_entries);
+        out.write_bool(env.verdict_cache.cross_plan);
     }
     return out.take();
 }
@@ -256,6 +257,7 @@ worker_environment decode_worker_environment(std::span<const std::byte> blob) {
     env.cache_enabled = in.read_bool();
     if (env.cache_enabled) {
         env.cache_max_entries = static_cast<std::size_t>(in.read_varint());
+        env.cache_cross_plan = in.read_bool();
     }
     if (!in.at_end()) {
         throw serialize_error{"worker environment: trailing bytes"};

@@ -38,6 +38,11 @@ enum class worker_msg : std::uint8_t {
     result = 5,    ///< worker -> master: framed batch result (batch, attempt)
     teardown = 6,  ///< master -> worker: drop the per-assessment context
     shutdown = 7,  ///< master -> worker: exit cleanly
+    rebind = 8,    ///< master -> worker: framed (application, plan) setup for
+                   ///< an EXISTING context — rebinds the verdict cache
+                   ///< in-place (cross-plan retention) instead of rebuilding
+                   ///< the route-and-check state. Equivalent to setup when
+                   ///< the worker holds no context (respawned workers).
 };
 
 struct envelope {
@@ -71,6 +76,7 @@ struct worker_environment {
     chaos_options chaos{};
     bool cache_enabled = false;
     std::size_t cache_max_entries = 0;
+    bool cache_cross_plan = false;
 };
 
 /// Serializes the master-side transport_env (requires env.topology).

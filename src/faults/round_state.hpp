@@ -32,9 +32,19 @@ public:
     /// Starts a new round whose raw failed components are `failed`.
     void begin_round(std::span<const component_id> failed) {
         ++epoch_;
+        raw_list_.assign(failed.begin(), failed.end());
         for (const component_id id : failed) {
             raw_epoch_[id] = epoch_;
         }
+    }
+
+    /// The raw failed-set of the current round, exactly as passed to
+    /// begin_round (unsorted, duplicates preserved). Lets oracles detect
+    /// that two consecutive rounds share the same raw set and reuse flood
+    /// results across them.
+    [[nodiscard]] std::span<const component_id> raw_failed_list()
+        const noexcept {
+        return raw_list_;
     }
 
     /// The component's own sampled state (no dependency reasoning).
@@ -70,9 +80,17 @@ public:
     /// own per-round caches.
     [[nodiscard]] std::uint32_t epoch() const noexcept { return epoch_; }
 
+    /// The forest effective-failure reasoning runs against (may be null).
+    /// Oracles compare it with their own dependency index to decide whether
+    /// precomputed failure->consequence maps apply to this round.
+    [[nodiscard]] const fault_tree_forest* forest() const noexcept {
+        return forest_;
+    }
+
 private:
     const fault_tree_forest* forest_;
     std::uint32_t epoch_ = 0;
+    std::vector<component_id> raw_list_;
     std::vector<std::uint32_t> raw_epoch_;
     std::vector<std::uint32_t> eff_epoch_;
     std::vector<std::uint8_t> eff_value_;

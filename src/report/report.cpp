@@ -90,6 +90,10 @@ std::string to_json(const verdict_cache_stats& stats) {
         << ",\"insertions\":" << stats.insertions
         << ",\"evictions\":" << stats.evictions
         << ",\"rebinds\":" << stats.rebinds
+        << ",\"warm_rebinds\":" << stats.warm_rebinds
+        << ",\"cold_rebinds\":" << stats.cold_rebinds
+        << ",\"cross_plan_hits\":" << stats.cross_plan_hits
+        << ",\"retained_entries\":" << stats.retained_entries
         << ",\"support_size\":" << stats.support_size
         << ",\"saved_rounds\":" << stats.saved_rounds()
         << ",\"hit_rate\":" << number(stats.hit_rate()) << "}";

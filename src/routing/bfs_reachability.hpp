@@ -32,6 +32,14 @@ public:
                      std::span<const node_id> query_hosts) override;
     [[nodiscard]] bool border_reachable(node_id host) override;
     [[nodiscard]] bool host_to_host(node_id a, node_id b) override;
+    /// Flood-based cleanliness: settles the external flood (completes any
+    /// hint-truncated frontier), then checks that every host — alive, or
+    /// failed but assumed alive — sits adjacent to the external-connected
+    /// alive region via an alive link. That region is one connected alive
+    /// subgraph containing the border, so under the condition every query
+    /// any plan could ask degenerates to host aliveness.
+    [[nodiscard]] bool round_fully_connected(
+        std::span<const component_id> raw_failed) override;
     [[nodiscard]] std::unique_ptr<reachability_oracle> clone() const override;
     [[nodiscard]] const link_attachment* consulted_links()
         const noexcept override {
@@ -49,9 +57,23 @@ private:
     /// `mark` with `stamp`. The stamp must be fresh for that mark array
     /// (marks of earlier floods would otherwise leak into the result).
     /// Stops early once every alive query-target host is marked (only when
-    /// the round carries a target hint).
-    void flood(node_id source, std::vector<std::uint32_t>& mark,
+    /// the round carries a target hint). Returns true iff the flood ran to
+    /// exhaustion — i.e. the marks are "settled" and valid for ANY query,
+    /// not just the hinted targets.
+    bool flood(node_id source, std::vector<std::uint32_t>& mark,
                std::uint32_t stamp);
+
+    /// Makes the external marks valid for the current round, reusing the
+    /// previous round's flood when both rounds share the same raw
+    /// failed-set (incremental reseeding: across plans the CRN streams
+    /// replay identical rounds, only the query hint changes).
+    void ensure_external_flood();
+
+    /// Completes a hint-truncated external flood: reseeds the BFS queue
+    /// from every already-marked node and drains it with the early exit
+    /// disabled. Re-flooding with the same stamp would stall instead — the
+    /// marked frontier's neighbors are marked and would never be enqueued.
+    void settle_external_flood();
 
     const built_topology* topo_;
     const link_attachment* links_;  ///< kept for clone(); queries use the flat copy
@@ -62,8 +84,19 @@ private:
     /// link_attachment::link_failed through a lambda.
     std::vector<component_id> edge_components_;
 
-    std::vector<std::uint32_t> external_mark_;  ///< epoch-stamped reach-from-external
-    bool external_flooded_ = false;
+    std::vector<std::uint32_t> external_mark_;  ///< stamped reach-from-external
+    bool external_flooded_ = false;  ///< marks valid for the current round
+    /// Monotonic stamp for external floods — oracle-owned (not the round
+    /// epoch) so marks may outlive the round that produced them and be
+    /// reused by a later round with the identical raw failed-set. Wraps
+    /// like source_stamp_.
+    std::uint32_t external_stamp_ = 0;
+    bool external_settled_ = false;  ///< current marks ran to exhaustion
+    /// Raw failed-set snapshot the external marks were computed from.
+    bool last_flood_valid_ = false;
+    const round_state* last_flood_rs_ = nullptr;
+    std::uint64_t last_flood_hash_ = 0;
+    std::vector<component_id> last_flood_raw_;
 
     std::vector<std::uint32_t> source_mark_;  ///< reach-from-cached-source
     node_id cached_source_ = invalid_node;
@@ -76,6 +109,7 @@ private:
 
     // Query-target hint of the current round (begin_round overload).
     bool targets_active_ = false;
+    std::uint64_t hint_hash_ = 0;         ///< cheap pre-check before std::equal
     std::vector<node_id> hint_hosts_;     ///< as passed (identity check)
     std::vector<node_id> unique_targets_; ///< deduplicated
     std::vector<std::uint8_t> target_mark_;  ///< per node: 1 iff a target

@@ -21,15 +21,22 @@
 //                          cross pod: exists j in U(e_a) & U(e_b):
 //                                     T(p_a,j) & T(p_b,j) != 0.
 //
-// All masks are epoch-stamped and built lazily per round, so a query costs
-// O(g) worst case and O(1) when the masks are warm. Without a link
-// attachment, links are treated as infallible and the math degenerates to
-// the node-only closed form. std::uint64_t masks support k up to 128.
+// Masks are built per round by PATCHING: in the all-alive round every mask
+// is full, and each (effectively) failed switch or link component clears a
+// known set of bits. A reverse index from component id to its mask bits is
+// precomputed once, so preparing a round costs O(|raw failed| + |affected
+// deps|) and every query is O(1) — independent of g. When the oracle was
+// constructed without the fault-tree forest the assessed rounds use, it
+// falls back to the legacy lazy per-slot computation (O(g) per cold slot).
+// Without a link attachment, links are treated as infallible and the math
+// degenerates to the node-only closed form. std::uint64_t masks support k
+// up to 128.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "faults/fault_tree.hpp"
 #include "routing/oracle.hpp"
 #include "topology/fat_tree.hpp"
 #include "topology/links.hpp"
@@ -38,9 +45,14 @@ namespace recloud {
 
 class fat_tree_routing final : public reachability_oracle {
 public:
-    /// `links` is optional and must outlive the oracle when given.
+    /// `links` and `forest` are optional and must outlive the oracle when
+    /// given. Pass the same forest the assessed rounds carry: it lets the
+    /// oracle see which mask-relevant switches a raw dependency failure can
+    /// flip, enabling the O(1) patched-mask path. With a different (or no)
+    /// forest the oracle stays correct via the legacy per-slot path.
     explicit fat_tree_routing(const fat_tree& tree,
-                              const link_attachment* links = nullptr);
+                              const link_attachment* links = nullptr,
+                              const fault_tree_forest* forest = nullptr);
 
     void begin_round(round_state& rs) override;
     /// The closed-form oracle has no flood to cut short; the base overload
@@ -48,6 +60,24 @@ public:
     using reachability_oracle::begin_round;
     [[nodiscard]] bool border_reachable(node_id host) override;
     [[nodiscard]] bool host_to_host(node_id a, node_id b) override;
+    /// Closed-form cleanliness: a round is fully connected for any plan iff
+    /// no edge switch, host-uplink link, or unclassifiable component (e.g. a
+    /// fault-tree dependency) failed AND at least one core group — its
+    /// aggregation switches across all pods, its cores, its border switch,
+    /// and every link among them — is completely untouched. That surviving
+    /// group carries any rack to any rack and to the border, so every query
+    /// degenerates to host aliveness. O(|raw_failed|) via a role table.
+    [[nodiscard]] bool round_fully_connected(
+        std::span<const component_id> raw_failed) override;
+    /// Three-way refinement: rounds whose non-group failures are ONLY edge
+    /// switches or host-uplink links are `semi` (with the same untouched-
+    /// group requirement). Such a failure cuts exactly its own racks off
+    /// while the surviving group still carries every attached rack anywhere,
+    /// so the verdict is a pure function of slot-wise attachment-effective
+    /// aliveness — precisely the contract reachability_oracle::classify_round
+    /// demands for semi.
+    [[nodiscard]] round_class classify_round(
+        std::span<const component_id> raw_failed) override;
     [[nodiscard]] std::unique_ptr<reachability_oracle> clone() const override;
     [[nodiscard]] const link_attachment* consulted_links()
         const noexcept override {
@@ -77,7 +107,51 @@ private:
 
     const fat_tree* tree_;
     const link_attachment* links_;
+    const fault_tree_forest* forest_;
     round_state* rs_ = nullptr;
+
+    // ---- patched-mask fast path ------------------------------------------
+    // Reverse index: component id -> the mask bits its effective failure
+    // clears. Built once in the constructor from the same loops that
+    // resolve link edge ids.
+    enum class patch_kind : std::uint8_t {
+        agg,          ///< a=pod, b=group: agg switch down (uplink bit + transit)
+        core,         ///< a=group, b=i: core switch down (transit + external)
+        ext_zero,     ///< a=group: border switch or its peering link down
+        uplink_exc,   ///< a=pod*g+e, b=j: edge<->agg link down
+        transit_exc,  ///< a=pod*g+group, b=i: agg<->core link down
+        ext_exc,      ///< a=group, b=i: core<->border link down
+    };
+    struct patch_op {
+        patch_kind kind;
+        std::uint32_t a;
+        std::uint32_t b;
+    };
+    void add_touch(component_id component, patch_op op);
+    /// Ensures the per-round patch state matches rs_'s current round; falls
+    /// back to the legacy path when the round's forest is not forest_.
+    void prepare_round();
+    void apply_candidate(component_id candidate);
+
+    std::vector<std::vector<patch_op>> touch_;  ///< by component id
+    /// Dependency component -> mask-relevant components whose fault trees
+    /// read it (empty unless forest_ given).
+    std::vector<std::vector<component_id>> rev_dep_;
+
+    // Per-round patch state, stamped with prep_gen_.
+    bool fast_round_ = false;
+    const round_state* prep_rs_ = nullptr;
+    std::uint32_t prep_epoch_ = 0;
+    std::uint64_t prep_gen_ = 0;
+    std::vector<std::uint64_t> cand_gen_;          ///< dedup stamps (by id)
+    std::vector<std::uint64_t> pod_agg_clear_;     ///< by pod
+    std::vector<std::uint64_t> pod_agg_gen_;
+    std::vector<std::uint64_t> core_clear_;        ///< by group
+    std::vector<std::uint64_t> core_gen_;
+    std::vector<std::uint64_t> ext_zero_gen_;      ///< by group
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> uplink_exc_;
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> transit_exc_;
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> ext_exc_;
 
     // Pre-resolved link edge ids (empty when links_ == nullptr).
     std::vector<std::uint32_t> host_uplink_;          ///< by host id (dense)
@@ -85,6 +159,20 @@ private:
     std::vector<std::uint32_t> agg_core_link_;        ///< (pod*g + j)*g + i
     std::vector<std::uint32_t> core_border_link_;     ///< j*g + i
     std::vector<std::uint32_t> border_external_link_; ///< j
+
+    // Role table for classify_round: per component id, either the
+    // core-group index it belongs to (0..g-1), or a sentinel. Hosts are
+    // ignored (their failure is part of the cached key / slot function);
+    // edge switches and host-uplink links only detach their own racks
+    // (semi); external, and anything the table cannot attribute (fault-tree
+    // deps, shared link components spanning groups) make a round unclean.
+    static constexpr std::uint8_t role_ignore = 0xFF;
+    static constexpr std::uint8_t role_unclean = 0xFE;
+    static constexpr std::uint8_t role_unassigned = 0xFD;
+    static constexpr std::uint8_t role_semi = 0xFC;
+    void assign_link_role(component_id component, std::uint8_t role);
+    std::vector<std::uint8_t> role_;
+    std::uint64_t full_group_mask_ = 0;
 
     // Per-round caches (epoch-stamped).
     std::vector<std::uint64_t> uplink_cache_;

@@ -47,6 +47,7 @@ deployment_plan neighbor_generator::initial_plan(std::uint32_t instances) {
         throw std::invalid_argument{
             "neighbor_generator: instance count out of [1, #hosts]"};
     }
+    has_last_swap_ = false;
     deployment_plan plan;
     plan.hosts.reserve(instances);
     while (plan.hosts.size() < instances) {
@@ -91,6 +92,8 @@ deployment_plan neighbor_generator::neighbor_of(const deployment_plan& current) 
             break;
         }
     }
+    last_swap_ = {slot, neighbor.hosts[slot], candidate};
+    has_last_swap_ = true;
     neighbor.hosts[slot] = candidate;
     return neighbor;
 }

@@ -20,17 +20,36 @@ enum class anti_affinity : std::uint8_t {
     rack,  ///< best-effort: no two instances under the same ToR switch
 };
 
+/// The single-slot move a neighbor_of() call performed — the exact swap
+/// delta of the candidate plan relative to its parent. Observability /
+/// diagnostics only: the verdict cache derives its retention delta by
+/// self-diffing the bound plan inside bind(), never from this hint, because
+/// an accepted candidate may be several rejected candidates away from the
+/// plan the cache last bound (the chain of swaps is not a single swap).
+struct plan_swap {
+    std::size_t slot = 0;       ///< index into deployment_plan::hosts
+    node_id old_host = invalid_node;
+    node_id new_host = invalid_node;
+};
+
 class neighbor_generator {
 public:
     neighbor_generator(const built_topology& topo, anti_affinity affinity,
                        std::uint64_t seed);
 
     /// Step 1: a uniformly random plan of `instances` distinct hosts.
+    /// Invalidates last_swap() — an initial plan is not a single-slot move.
     [[nodiscard]] deployment_plan initial_plan(std::uint32_t instances);
 
     /// Step 3: replaces one randomly chosen slot of `current` with a new,
     /// randomly chosen host not already used by the plan.
     [[nodiscard]] deployment_plan neighbor_of(const deployment_plan& current);
+
+    /// The swap performed by the most recent neighbor_of(), or nullptr when
+    /// no neighbor has been generated since construction / initial_plan().
+    [[nodiscard]] const plan_swap* last_swap() const noexcept {
+        return has_last_swap_ ? &last_swap_ : nullptr;
+    }
 
 private:
     [[nodiscard]] bool respects_affinity(const std::vector<node_id>& hosts,
@@ -41,6 +60,8 @@ private:
     const built_topology* topo_;
     anti_affinity affinity_;
     rng random_;
+    plan_swap last_swap_{};
+    bool has_last_swap_ = false;
 };
 
 }  // namespace recloud

@@ -1,0 +1,815 @@
+// Cross-plan incremental assessment (DESIGN.md §11): the swap-delta
+// retention rule in verdict_cache::bind, the oracle cleanliness classifiers
+// it rests on, the serial assessor's CRN round journal, and — the load-
+// bearing property — bit-identical assessment_stats and search trajectories
+// with incremental mode on or off, across samplers, backends, worker counts
+// and transports (CI re-runs the equivalence suites under ASan with
+// RECLOUD_INCREMENTAL forced on).
+#include "assess/verdict_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "assess/backend.hpp"
+#include "core/recloud.hpp"
+#include "exec/engine.hpp"
+#include "report/report.hpp"
+#include "routing/bfs_reachability.hpp"
+#include "routing/fat_tree_routing.hpp"
+#include "sampling/antithetic.hpp"
+#include "sampling/extended_dagger.hpp"
+#include "sampling/monte_carlo.hpp"
+#include "search/neighbor.hpp"
+#include "topology/fat_tree.hpp"
+#include "topology/leaf_spine.hpp"
+
+namespace recloud {
+namespace {
+
+/// Restores one environment variable on scope exit; the facade tests must
+/// control RECLOUD_VERDICT_CACHE / RECLOUD_INCREMENTAL explicitly (CI
+/// force-sets both).
+class env_guard {
+public:
+    env_guard(const char* name, const char* value) : name_(name) {
+        const char* old = std::getenv(name_);
+        if (old != nullptr) {
+            saved_ = old;
+        }
+        apply(value);
+    }
+    ~env_guard() { apply(saved_ ? saved_->c_str() : nullptr); }
+
+private:
+    void apply(const char* value) {
+        if (value == nullptr) {
+            ::unsetenv(name_);
+        } else {
+            ::setenv(name_, value, 1);
+        }
+    }
+    const char* name_;
+    std::optional<std::string> saved_;
+};
+
+struct incr_fixture {
+    built_topology topo = build_leaf_spine(
+        {.spines = 2, .leaves = 4, .hosts_per_leaf = 4, .border_leaves = 1});
+    component_registry registry{topo.graph};
+    fault_tree_forest forest{topo.graph.node_count()};
+
+    explicit incr_fixture(double probability = 0.03) {
+        for (component_id id = 0; id < registry.size(); ++id) {
+            if (registry.kind(id) != component_kind::external) {
+                registry.set_probability(id, probability);
+            }
+        }
+    }
+
+    oracle_factory factory() {
+        return [this] { return std::make_unique<bfs_reachability>(topo); };
+    }
+
+    /// Plans differing by `offset` visit entirely different host subsets —
+    /// the worst case for slot-wise retention, the common case for the
+    /// journal's dirty-round detection.
+    deployment_plan plan_for(const application& app, std::size_t offset = 0) {
+        deployment_plan plan;
+        for (std::uint32_t i = 0; i < app.total_instances(); ++i) {
+            plan.hosts.push_back(
+                topo.hosts[(i * 5 + offset) % topo.hosts.size()]);
+        }
+        return plan;
+    }
+
+    verdict_support support() {
+        return verdict_support{topo, registry.size(), &forest, nullptr};
+    }
+};
+
+void expect_identical(const assessment_stats& a, const assessment_stats& b) {
+    EXPECT_EQ(a.rounds, b.rounds);
+    EXPECT_EQ(a.reliable, b.reliable);
+    EXPECT_EQ(a.reliability, b.reliability);
+    EXPECT_EQ(a.variance, b.variance);
+    EXPECT_EQ(a.ciw95, b.ciw95);
+}
+
+// ---- neighbor swap hint --------------------------------------------------
+
+TEST(NeighborSwap, LastSwapReportsSingleSlotMove) {
+    incr_fixture f;
+    neighbor_generator gen{f.topo, anti_affinity::none, 42};
+    EXPECT_EQ(gen.last_swap(), nullptr);
+    const deployment_plan plan = gen.initial_plan(4);
+    EXPECT_EQ(gen.last_swap(), nullptr);
+
+    const deployment_plan next = gen.neighbor_of(plan);
+    const plan_swap* swap = gen.last_swap();
+    ASSERT_NE(swap, nullptr);
+    ASSERT_LT(swap->slot, plan.hosts.size());
+    EXPECT_EQ(plan.hosts[swap->slot], swap->old_host);
+    EXPECT_EQ(next.hosts[swap->slot], swap->new_host);
+    EXPECT_NE(swap->old_host, swap->new_host);
+    for (std::size_t i = 0; i < plan.hosts.size(); ++i) {
+        if (i != swap->slot) {
+            EXPECT_EQ(plan.hosts[i], next.hosts[i]) << "slot " << i;
+        }
+    }
+    // A fresh initial plan is not a single-slot move: the hint dies with it.
+    (void)gen.initial_plan(4);
+    EXPECT_EQ(gen.last_swap(), nullptr);
+}
+
+// ---- cleanliness classifiers vs ground truth -----------------------------
+
+/// Ground truth for a claimed-clean round: "fully connected for any plan"
+/// means every host of the topology — alive, or failed but counterfactually
+/// revived — can reach the border and every other such host. A false claim
+/// here would let a retained verdict go wrong under some future plan.
+void expect_clean_claim_holds(reachability_oracle& oracle,
+                              const built_topology& topo,
+                              const std::vector<component_id>& failed) {
+    round_state rs{topo.graph.node_count(), nullptr};
+    rs.begin_round(failed);
+    oracle.begin_round(rs);
+    std::vector<node_id> alive;
+    for (const node_id host : topo.hosts) {
+        if (rs.failed(host)) {
+            continue;
+        }
+        alive.push_back(host);
+        EXPECT_TRUE(oracle.border_reachable(host))
+            << "alive host " << host << " unreachable in a clean round";
+    }
+    for (std::size_t a = 0; a < alive.size(); ++a) {
+        for (std::size_t b = a + 1; b < alive.size(); ++b) {
+            EXPECT_TRUE(oracle.host_to_host(alive[a], alive[b]))
+                << "clean round, hosts " << alive[a] << " <-> " << alive[b];
+        }
+    }
+    // Counterfactual: a failed host's unreachability must be exactly its own
+    // failure — revive it (alone) and it must be fully connected again.
+    for (const node_id host : topo.hosts) {
+        if (!rs.failed(host)) {
+            continue;
+        }
+        std::vector<component_id> revived;
+        for (const component_id id : failed) {
+            if (id != host) {
+                revived.push_back(id);
+            }
+        }
+        const auto fresh = oracle.clone();
+        round_state rs2{topo.graph.node_count(), nullptr};
+        rs2.begin_round(revived);
+        fresh->begin_round(rs2);
+        EXPECT_TRUE(fresh->border_reachable(host))
+            << "revived host " << host << " unreachable in a clean round";
+        if (!alive.empty()) {
+            EXPECT_TRUE(fresh->host_to_host(host, alive.front()));
+        }
+    }
+}
+
+TEST(CleanClassifier, FatTreeMatchesGroundTruth) {
+    const fat_tree tree = fat_tree::build(4);
+    fat_tree_routing oracle{tree};
+    const built_topology& topo = tree.topology();
+    round_state rs{topo.graph.node_count(), nullptr};
+
+    const auto classify = [&](const std::vector<component_id>& failed) {
+        rs.begin_round(failed);
+        oracle.begin_round(rs);
+        return oracle.round_fully_connected(failed);
+    };
+
+    // Directed cases (k=4: two core groups). One failure anywhere inside a
+    // single group leaves the other group carrying all traffic: clean.
+    EXPECT_TRUE(classify({}));
+    EXPECT_TRUE(classify({tree.core(0, 0)}));
+    EXPECT_TRUE(classify({tree.aggregation(0, 0)}));
+    EXPECT_TRUE(classify({tree.host(0, 0, 0)}));
+    EXPECT_TRUE(classify({tree.core(0, 0), tree.core(0, 1), tree.host(1, 1, 0)}));
+    // Edge switches strand their rack; a failure in EVERY group leaves no
+    // untouched group; the external node is never classifiable.
+    EXPECT_FALSE(classify({tree.edge(0, 0)}));
+    EXPECT_FALSE(classify({tree.core(0, 0), tree.core(1, 0)}));
+    EXPECT_FALSE(classify({tree.core(0, 0), tree.border(1)}));
+    EXPECT_FALSE(classify({tree.external()}));
+
+    // Pseudo-random sweeps: every clean claim must survive the ground-truth
+    // connectivity check (false negatives are safe, false positives are not).
+    std::uint64_t x = 0x9e3779b97f4a7c15ULL;
+    const auto next = [&x] {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        return x;
+    };
+    std::size_t clean_seen = 0;
+    for (int trial = 0; trial < 60; ++trial) {
+        std::vector<component_id> failed;
+        const std::size_t count = 1 + next() % 4;
+        for (std::size_t i = 0; i < count; ++i) {
+            const component_id id =
+                static_cast<component_id>(next() % topo.graph.node_count());
+            if (std::find(failed.begin(), failed.end(), id) == failed.end()) {
+                failed.push_back(id);
+            }
+        }
+        if (classify(failed)) {
+            ++clean_seen;
+            expect_clean_claim_holds(oracle, topo, failed);
+        }
+    }
+    EXPECT_GT(clean_seen, 0u) << "classifier never fired - test is vacuous";
+}
+
+TEST(CleanClassifier, FatTreeSemiRefinement) {
+    const fat_tree tree = fat_tree::build(4);
+    fat_tree_routing oracle{tree};
+    const built_topology& topo = tree.topology();
+    round_state rs{topo.graph.node_count(), nullptr};
+
+    const auto classify = [&](const std::vector<component_id>& failed) {
+        rs.begin_round(failed);
+        oracle.begin_round(rs);
+        return oracle.classify_round(failed);
+    };
+
+    EXPECT_EQ(classify({}), round_class::clean);
+    EXPECT_EQ(classify({tree.core(0, 0)}), round_class::clean);
+    EXPECT_EQ(classify({tree.host(0, 0, 0)}), round_class::clean);
+    // An edge switch detaches exactly its own rack: semi, not clean.
+    EXPECT_EQ(classify({tree.edge(0, 0)}), round_class::semi);
+    EXPECT_EQ(classify({tree.edge(0, 0), tree.core(1, 1)}), round_class::semi);
+    EXPECT_EQ(classify({tree.edge(0, 0), tree.edge(1, 1)}), round_class::semi);
+    // ... but only while one core group stays completely untouched.
+    EXPECT_EQ(classify({tree.edge(0, 0), tree.core(0, 0), tree.core(1, 0)}),
+              round_class::unclean);
+    EXPECT_EQ(classify({tree.external()}), round_class::unclean);
+
+    // Ground truth behind the semi claim: with an edge switch down, every
+    // other rack's host stays border-reachable and pairwise reachable, and
+    // the stranded rack is exactly the failed switch's own.
+    const std::vector<component_id> failed = {tree.edge(0, 0)};
+    rs.begin_round(failed);
+    oracle.begin_round(rs);
+    std::vector<node_id> attached;
+    for (const node_id host : topo.hosts) {
+        if (tree.edge_of_host(host) == tree.edge(0, 0)) {
+            EXPECT_FALSE(oracle.border_reachable(host));
+        } else {
+            EXPECT_TRUE(oracle.border_reachable(host));
+            attached.push_back(host);
+        }
+    }
+    ASSERT_GE(attached.size(), 2u);
+    for (std::size_t a = 0; a < attached.size(); a += 3) {
+        for (std::size_t b = a + 1; b < attached.size(); b += 3) {
+            EXPECT_TRUE(oracle.host_to_host(attached[a], attached[b]));
+        }
+    }
+}
+
+TEST(CleanClassifier, BfsMatchesGroundTruth) {
+    incr_fixture f;
+    bfs_reachability oracle{f.topo};
+    round_state rs{f.topo.graph.node_count(), nullptr};
+
+    const auto classify = [&](const std::vector<component_id>& failed) {
+        rs.begin_round(failed);
+        oracle.begin_round(rs);
+        return oracle.round_fully_connected(failed);
+    };
+
+    const auto spines = f.topo.graph.nodes_of_kind(node_kind::core_switch);
+    const auto leaves = f.topo.graph.nodes_of_kind(node_kind::edge_switch);
+    ASSERT_GE(spines.size(), 2u);
+    EXPECT_TRUE(classify({}));
+    EXPECT_TRUE(classify({spines[0]}));  // the second spine carries everything
+    EXPECT_TRUE(classify({spines[1], f.topo.hosts[3]}));
+    EXPECT_FALSE(classify({spines[0], spines[1]}));  // partitioned
+    for (const node_id leaf : leaves) {
+        EXPECT_FALSE(classify({leaf})) << "leaf " << leaf
+                                       << " strands its rack";
+    }
+
+    std::uint64_t x = 0x2545f4914f6cdd1dULL;
+    const auto next = [&x] {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        return x;
+    };
+    std::size_t clean_seen = 0;
+    for (int trial = 0; trial < 60; ++trial) {
+        std::vector<component_id> failed;
+        const std::size_t count = 1 + next() % 3;
+        for (std::size_t i = 0; i < count; ++i) {
+            const component_id id =
+                static_cast<component_id>(next() % f.topo.graph.node_count());
+            if (std::find(failed.begin(), failed.end(), id) == failed.end()) {
+                failed.push_back(id);
+            }
+        }
+        if (classify(failed)) {
+            ++clean_seen;
+            expect_clean_claim_holds(oracle, f.topo, failed);
+        }
+    }
+    EXPECT_GT(clean_seen, 0u);
+}
+
+TEST(CleanClassifier, BfsHintTruncatedFloodStillClassifiesExactly) {
+    // The classifier needs the whole external flood, but the assessment seam
+    // begins rounds with the plan-hosts hint (which lets the flood stop
+    // early). settle_external_flood must finish the frontier before judging
+    // cleanliness — and later whole-round queries must match a fresh oracle
+    // that never truncated.
+    incr_fixture f;
+    const std::vector<node_id> hint = {f.topo.hosts[0], f.topo.hosts[5]};
+    const auto spines = f.topo.graph.nodes_of_kind(node_kind::core_switch);
+    const auto leaves = f.topo.graph.nodes_of_kind(node_kind::edge_switch);
+    std::vector<std::vector<component_id>> cases = {
+        {},
+        {spines[0]},
+        {spines[1]},
+        {leaves[1]},
+        {spines[0], leaves[2]},
+        {f.topo.hosts[0]},
+        {spines[0], spines[1]},
+    };
+    for (const auto& failed : cases) {
+        bfs_reachability hinted{f.topo};
+        round_state rs{f.topo.graph.node_count(), nullptr};
+        rs.begin_round(failed);
+        hinted.begin_round(rs, std::span<const node_id>{hint});
+
+        bfs_reachability full{f.topo};
+        round_state rs2{f.topo.graph.node_count(), nullptr};
+        rs2.begin_round(failed);
+        full.begin_round(rs2);
+
+        EXPECT_EQ(hinted.round_fully_connected(failed),
+                  full.round_fully_connected(failed));
+        for (const node_id host : f.topo.hosts) {
+            EXPECT_EQ(hinted.border_reachable(host),
+                      full.border_reachable(host))
+                << "host " << host;
+        }
+        // Same failed set again (the reuse path): answers must not drift.
+        rs.begin_round(failed);
+        hinted.begin_round(rs, std::span<const node_id>{hint});
+        for (const node_id host : f.topo.hosts) {
+            EXPECT_EQ(hinted.border_reachable(host),
+                      full.border_reachable(host))
+                << "reused flood, host " << host;
+        }
+    }
+}
+
+// ---- warm rebind mechanics ----------------------------------------------
+
+TEST(WarmRebind, RetainsCleanDeltaDisjointEntriesOnly) {
+    incr_fixture f;
+    const verdict_support support = f.support();
+    verdict_cache cache{support, 1 << 16, /*cross_plan=*/true};
+    EXPECT_TRUE(cache.cross_plan());
+
+    const application app = application::k_of_n(2, 3);
+    const deployment_plan plan_a = f.plan_for(app);
+    deployment_plan plan_b = plan_a;
+    node_id fresh_host = invalid_node;
+    for (const node_id h : f.topo.hosts) {
+        if (std::find(plan_a.hosts.begin(), plan_a.hosts.end(), h) ==
+            plan_a.hosts.end()) {
+            fresh_host = h;
+            break;
+        }
+    }
+    ASSERT_NE(fresh_host, invalid_node);
+    plan_b.hosts[0] = fresh_host;
+
+    cache.bind(app, plan_a);
+    EXPECT_EQ(cache.stats().cold_rebinds, 1u);  // first bind is always cold
+
+    const node_id spine =
+        f.topo.graph.nodes_of_kind(node_kind::core_switch)[0];
+    const node_id leaf = f.topo.graph.nodes_of_kind(node_kind::edge_switch)[0];
+    const std::vector<component_id> clean_key = {spine};
+    const std::vector<component_id> unclean_key = {leaf};
+    const std::vector<component_id> delta_key = {spine, plan_a.hosts[0]};
+    const std::vector<component_id> none;
+
+    EXPECT_FALSE(cache.lookup(clean_key).hit);
+    cache.store(true, round_class::clean);
+    EXPECT_FALSE(cache.lookup(unclean_key).hit);
+    cache.store(false, round_class::unclean);
+    EXPECT_FALSE(cache.lookup(delta_key).hit);
+    cache.store(true, round_class::clean);  // clean, key meets the delta
+    EXPECT_FALSE(cache.lookup(none).hit);
+    cache.store(true, round_class::clean);
+    EXPECT_EQ(cache.entries(), 3u);
+
+    cache.bind(app, plan_b);
+    EXPECT_EQ(cache.stats().warm_rebinds, 1u);
+    EXPECT_EQ(cache.stats().cold_rebinds, 1u);
+    EXPECT_EQ(cache.stats().retained_entries, 1u);  // {spine} alone survives
+
+    auto hit = cache.lookup(clean_key);
+    EXPECT_TRUE(hit.hit);
+    EXPECT_TRUE(hit.verdict);
+    EXPECT_EQ(cache.stats().cross_plan_hits, 1u);
+
+    EXPECT_FALSE(cache.lookup(unclean_key).hit);  // unclean: dropped
+    cache.store(false, round_class::unclean);
+    // {spine, old_host}: the departed host left the support, so the key now
+    // FILTERS to {spine} — and must serve the retained {spine} verdict, not
+    // the dropped two-component one.
+    auto refiltered = cache.lookup(delta_key);
+    EXPECT_TRUE(refiltered.hit);
+    EXPECT_TRUE(refiltered.verdict);
+    ASSERT_EQ(cache.last_key().size(), 1u);
+    EXPECT_EQ(cache.last_key()[0], spine);
+    // The arriving host is new support: its signature has never been judged.
+    std::vector<component_id> new_key = {spine, fresh_host};
+    EXPECT_FALSE(cache.lookup(new_key).hit);
+    cache.store(false, round_class::unclean);
+    // The empty class was stored clean, so it survives the swap too.
+    const std::uint64_t empty_hits_before = cache.stats().empty_hits;
+    auto empty = cache.lookup(none);
+    EXPECT_TRUE(empty.hit);
+    EXPECT_TRUE(empty.verdict);
+    EXPECT_EQ(cache.stats().empty_hits, empty_hits_before + 1);
+}
+
+TEST(WarmRebind, SemiEntriesDropOnlyOnAttachmentOverlap) {
+    incr_fixture f;
+    const verdict_support support = f.support();
+    verdict_cache cache{support, 1 << 16, /*cross_plan=*/true};
+
+    const application app = application::k_of_n(2, 3);
+    const deployment_plan plan_a = f.plan_for(app);
+    deployment_plan plan_b = plan_a;
+    node_id fresh_host = invalid_node;
+    for (const node_id h : f.topo.hosts) {
+        if (std::find(plan_a.hosts.begin(), plan_a.hosts.end(), h) ==
+            plan_a.hosts.end()) {
+            fresh_host = h;
+            break;
+        }
+    }
+    ASSERT_NE(fresh_host, invalid_node);
+    plan_b.hosts[0] = fresh_host;
+
+    // Attachment components of the changed hosts: their leaf switches
+    // (support has no links or fault-tree dependencies here).
+    const node_id old_leaf = f.topo.graph.neighbors(plan_a.hosts[0])[0];
+    const node_id new_leaf = f.topo.graph.neighbors(fresh_host)[0];
+    EXPECT_EQ(support.host_attachment(fresh_host).size(), 1u);
+    EXPECT_EQ(support.host_attachment(fresh_host)[0], new_leaf);
+    node_id other_leaf = invalid_node;
+    for (const node_id leaf :
+         f.topo.graph.nodes_of_kind(node_kind::edge_switch)) {
+        if (leaf != old_leaf && leaf != new_leaf) {
+            other_leaf = leaf;
+            break;
+        }
+    }
+    ASSERT_NE(other_leaf, invalid_node);
+    const auto spines = f.topo.graph.nodes_of_kind(node_kind::core_switch);
+
+    cache.bind(app, plan_a);
+    const std::vector<component_id> unrelated = {other_leaf};
+    const std::vector<component_id> touched = {new_leaf};
+    const std::vector<component_id> with_old_host = {other_leaf,
+                                                     plan_a.hosts[0]};
+    const std::vector<component_id> clean_with_attachment = {new_leaf,
+                                                             spines[0]};
+    EXPECT_FALSE(cache.lookup(unrelated).hit);
+    cache.store(true, round_class::semi);
+    EXPECT_FALSE(cache.lookup(touched).hit);
+    cache.store(false, round_class::semi);
+    EXPECT_FALSE(cache.lookup(with_old_host).hit);
+    cache.store(true, round_class::semi);
+    EXPECT_FALSE(cache.lookup(clean_with_attachment).hit);
+    cache.store(true, round_class::clean);
+
+    cache.bind(app, plan_b);
+    EXPECT_EQ(cache.stats().warm_rebinds, 1u);
+    // Survivors: `unrelated` (semi, disjoint) and the clean entry. The
+    // other two semi entries met the attachment / core delta.
+    EXPECT_EQ(cache.stats().retained_entries, 2u);
+    EXPECT_TRUE(cache.lookup(unrelated).hit);
+    EXPECT_FALSE(cache.lookup(touched).hit);
+    cache.store(false, round_class::semi);
+    EXPECT_FALSE(cache.lookup(std::vector<component_id>{other_leaf,
+                                                        fresh_host})
+                     .hit);
+    cache.store(true, round_class::semi);
+    // Attachment components never invalidate CLEAN entries: a clean round
+    // has no attachment failures, so its verdict cannot depend on them.
+    EXPECT_TRUE(cache.lookup(clean_with_attachment).hit);
+}
+
+TEST(WarmRebind, PathologicalChurnFallsBackToEpochWipe) {
+    // An oracle that classifies nothing as clean (the default base-class
+    // answer) must degrade cross-plan mode to exactly the old behavior:
+    // every rebind wipes, nothing is retained, nothing is served stale.
+    incr_fixture f;
+    const verdict_support support = f.support();
+    verdict_cache cache{support, 1 << 16, /*cross_plan=*/true};
+    const application app = application::k_of_n(2, 3);
+    cache.bind(app, f.plan_for(app, 0));
+
+    const auto spines = f.topo.graph.nodes_of_kind(node_kind::core_switch);
+    const std::vector<component_id> spine_a = {spines[0]};
+    const std::vector<component_id> spine_b = {spines[1]};
+    const std::vector<component_id> none;
+    for (std::size_t offset = 1; offset <= 4; ++offset) {
+        EXPECT_FALSE(cache.lookup(spine_a).hit);
+        cache.store(true, round_class::unclean);
+        EXPECT_FALSE(cache.lookup(spine_b).hit);
+        cache.store(false, round_class::unclean);
+        EXPECT_FALSE(cache.lookup(none).hit);
+        cache.store(true, round_class::unclean);
+
+        cache.bind(app, f.plan_for(app, offset));
+        EXPECT_EQ(cache.entries(), 0u) << "offset " << offset;
+    }
+    EXPECT_EQ(cache.stats().warm_rebinds, 4u);
+    EXPECT_EQ(cache.stats().retained_entries, 0u);
+    EXPECT_EQ(cache.stats().cross_plan_hits, 0u);
+
+    // An application-shape change can never rebind warm.
+    const application other = application::k_of_n(1, 2);
+    cache.bind(other, f.plan_for(other));
+    EXPECT_EQ(cache.stats().cold_rebinds, 2u);
+}
+
+// ---- equivalence: incremental on == off, bit for bit ---------------------
+
+/// The CRN shape of the annealing inner loop: reset to a pinned seed, assess
+/// a plan, move to the next plan. Includes a same-plan re-assessment WITHOUT
+/// a reset (the stream-debt path: a journal replay must leave the sampler
+/// position exactly where a full pass would have).
+template <typename Backend>
+std::vector<assessment_stats> run_crn_sequence(
+    Backend& backend, const application& app,
+    const std::vector<deployment_plan>& plans, std::size_t rounds) {
+    std::vector<assessment_stats> out;
+    backend.reset_stream(5);
+    out.push_back(backend.assess(app, plans[0], rounds));
+    backend.reset_stream(5);
+    out.push_back(backend.assess(app, plans[1], rounds));
+    out.push_back(backend.assess(app, plans[1], rounds));  // no reset: debt
+    backend.reset_stream(5);
+    out.push_back(backend.assess(app, plans[2], rounds));
+    backend.reset_stream(7);  // different stream: journal must not apply
+    out.push_back(backend.assess(app, plans[0], rounds));
+    backend.reset_stream(5);
+    out.push_back(backend.assess(app, plans[3], rounds));
+    return out;
+}
+
+TEST(IncrementalEquivalence, SerialMultiPlanAcrossSamplers) {
+    incr_fixture f;
+    const application app = application::k_of_n(2, 3);
+    const std::vector<deployment_plan> plans = {
+        f.plan_for(app, 0), f.plan_for(app, 1), f.plan_for(app, 2),
+        f.plan_for(app, 7)};
+    const verdict_support support = f.support();
+    const auto make = [&](int kind) -> std::unique_ptr<failure_sampler> {
+        switch (kind) {
+            case 0:
+                return std::make_unique<monte_carlo_sampler>(
+                    f.registry.probabilities(), 57);
+            case 1:
+                return std::make_unique<antithetic_sampler>(
+                    f.registry.probabilities(), 57);
+            default:
+                return std::make_unique<extended_dagger_sampler>(
+                    f.registry.probabilities(), 57);
+        }
+    };
+    // mode 0: no cache at all (ground truth); 1: cache, incremental off;
+    // 2: cache + cross-plan retention + journal replay.
+    for (int kind = 0; kind < 3; ++kind) {
+        std::optional<std::vector<assessment_stats>> reference;
+        for (int mode = 0; mode < 3; ++mode) {
+            auto sampler = make(kind);
+            bfs_reachability oracle{f.topo};
+            verdict_cache_options options;
+            options.enabled = mode > 0;
+            options.support = &support;
+            options.cross_plan = mode == 2;
+            serial_backend backend{f.registry.size(), &f.forest, oracle,
+                                   *sampler, options};
+            const auto stats = run_crn_sequence(backend, app, plans, 1500);
+            if (!reference) {
+                reference = stats;
+            } else {
+                ASSERT_EQ(stats.size(), reference->size());
+                for (std::size_t i = 0; i < stats.size(); ++i) {
+                    SCOPED_TRACE("sampler " + std::to_string(kind) +
+                                 " mode " + std::to_string(mode) + " step " +
+                                 std::to_string(i));
+                    expect_identical(stats[i], (*reference)[i]);
+                }
+            }
+            if (mode == 2) {
+                ASSERT_NE(backend.cache_stats(), nullptr);
+                EXPECT_GT(backend.cache_stats()->warm_rebinds, 0u);
+                EXPECT_GT(backend.cache_stats()->retained_entries, 0u);
+                EXPECT_GT(backend.cache_stats()->cross_plan_hits, 0u);
+            }
+        }
+    }
+}
+
+TEST(IncrementalEquivalence, ParallelAcrossWorkerCounts) {
+    incr_fixture f;
+    const application app = application::k_of_n(2, 3);
+    const std::vector<deployment_plan> plans = {
+        f.plan_for(app, 0), f.plan_for(app, 1), f.plan_for(app, 2),
+        f.plan_for(app, 7)};
+    const verdict_support support = f.support();
+    std::optional<std::vector<assessment_stats>> reference;
+    for (const std::size_t workers : {1u, 2u, 8u}) {
+        for (const bool incremental : {false, true}) {
+            extended_dagger_sampler sampler{f.registry.probabilities(), 33};
+            parallel_backend_options options{.threads = workers,
+                                             .batch_rounds = 250};
+            options.verdict_cache.enabled = true;
+            options.verdict_cache.support = &support;
+            options.verdict_cache.cross_plan = incremental;
+            parallel_backend backend{f.registry.size(), &f.forest, f.factory(),
+                                     sampler, options};
+            const auto stats = run_crn_sequence(backend, app, plans, 2000);
+            if (!reference) {
+                reference = stats;
+            } else {
+                ASSERT_EQ(stats.size(), reference->size());
+                for (std::size_t i = 0; i < stats.size(); ++i) {
+                    SCOPED_TRACE("workers " + std::to_string(workers) +
+                                 " incremental " + std::to_string(incremental) +
+                                 " step " + std::to_string(i));
+                    expect_identical(stats[i], (*reference)[i]);
+                }
+            }
+            if (incremental) {
+                ASSERT_NE(backend.cache_stats(), nullptr);
+                EXPECT_GT(backend.cache_stats()->warm_rebinds, 0u);
+            }
+        }
+    }
+}
+
+TEST(IncrementalEquivalence, EngineAcrossTransports) {
+    incr_fixture f;
+    const application app = application::k_of_n(2, 3);
+    const std::vector<deployment_plan> plans = {
+        f.plan_for(app, 0), f.plan_for(app, 1), f.plan_for(app, 2),
+        f.plan_for(app, 7)};
+    const verdict_support support = f.support();
+    std::optional<std::vector<assessment_stats>> reference;
+    for (const bool socket : {false, true}) {
+        for (const bool incremental : {false, true}) {
+            extended_dagger_sampler sampler{f.registry.probabilities(), 19};
+            engine_options options{.workers = 2, .batch_rounds = 200};
+            options.verdict_cache.enabled = true;
+            options.verdict_cache.support = &support;
+            options.verdict_cache.cross_plan = incremental;
+            if (socket) {
+                options.transport = transport_kind::socket;
+                options.socket.worker_binary = RECLOUD_WORKER_BIN;
+                options.topology = &f.topo;
+            }
+            engine_backend backend{f.registry.size(), &f.forest, f.factory(),
+                                   sampler, options};
+            const auto stats = run_crn_sequence(backend, app, plans, 1000);
+            if (!reference) {
+                reference = stats;
+            } else {
+                ASSERT_EQ(stats.size(), reference->size());
+                for (std::size_t i = 0; i < stats.size(); ++i) {
+                    SCOPED_TRACE(std::string("transport ") +
+                                 (socket ? "socket" : "loopback") +
+                                 " incremental " + std::to_string(incremental) +
+                                 " step " + std::to_string(i));
+                    expect_identical(stats[i], (*reference)[i]);
+                }
+            }
+            // Counter visibility: loopback sums its live worker caches;
+            // socket worker counters live in the worker processes and are
+            // not shipped back (bit-identity above is the real property).
+            if (incremental && !socket) {
+                ASSERT_NE(backend.cache_stats(), nullptr);
+                EXPECT_GT(backend.cache_stats()->warm_rebinds, 0u);
+            }
+        }
+    }
+}
+
+// ---- pinned search trajectories ------------------------------------------
+
+void expect_same_search(const deployment_response& on,
+                        const deployment_response& off) {
+    EXPECT_EQ(on.plan, off.plan);
+    expect_identical(on.stats, off.stats);
+    EXPECT_EQ(on.search.plans_evaluated, off.search.plans_evaluated);
+    EXPECT_EQ(on.search.plans_generated, off.search.plans_generated);
+    EXPECT_EQ(on.search.symmetric_skips, off.search.symmetric_skips);
+    EXPECT_EQ(on.fulfilled, off.fulfilled);
+}
+
+TEST(IncrementalTrajectory, PinnedSearchAcrossBackends) {
+    // The flagship facade property, now for the incremental switch: a full
+    // annealing search — CRN resets, rejected candidates, winner
+    // re-assessment — lands on the identical plan, stats and counters with
+    // RECLOUD_INCREMENTAL forced on or off, for every backend.
+    auto infra = fat_tree_infrastructure::build(data_center_scale::tiny);
+    for (const assessment_backend_kind kind :
+         {assessment_backend_kind::serial, assessment_backend_kind::parallel,
+          assessment_backend_kind::engine}) {
+        const auto run = [&](bool incremental) {
+            env_guard cache_env{"RECLOUD_VERDICT_CACHE", "1"};
+            env_guard incr_env{"RECLOUD_INCREMENTAL", incremental ? "1" : "0"};
+            recloud_options options;
+            options.assessment_rounds = 1000;
+            options.max_iterations = 25;
+            options.seed = 9;
+            options.backend = kind;
+            options.assessment_threads = 2;
+            re_cloud system{infra, options};
+            deployment_request request{application::k_of_n(2, 3), 1.0,
+                                       std::chrono::seconds{20}};
+            deployment_response response = system.find_deployment(request);
+            const verdict_cache_stats* cache = system.cache_stats();
+            EXPECT_NE(cache, nullptr);
+            if (cache != nullptr) {
+                if (incremental) {
+                    EXPECT_GT(cache->warm_rebinds, 0u);
+                } else {
+                    EXPECT_EQ(cache->warm_rebinds, 0u);
+                }
+            }
+            return response;
+        };
+        SCOPED_TRACE("backend " + std::to_string(static_cast<int>(kind)));
+        const deployment_response off = run(false);
+        const deployment_response on = run(true);
+        expect_same_search(on, off);
+    }
+}
+
+TEST(IncrementalTrajectory, EnvVarOverridesOptions) {
+    auto infra = fat_tree_infrastructure::build(data_center_scale::tiny);
+    const auto warm_rebinds_after_search = [&](bool option_value,
+                                               const char* env_value) {
+        env_guard cache_env{"RECLOUD_VERDICT_CACHE", "1"};
+        env_guard incr_env{"RECLOUD_INCREMENTAL", env_value};
+        recloud_options options;
+        options.assessment_rounds = 200;
+        options.max_iterations = 6;
+        options.seed = 11;
+        options.incremental = option_value;
+        re_cloud system{infra, options};
+        deployment_request request{application::k_of_n(2, 3), 1.0,
+                                   std::chrono::seconds{10}};
+        (void)system.find_deployment(request);
+        const verdict_cache_stats* cache = system.cache_stats();
+        EXPECT_NE(cache, nullptr);
+        return cache != nullptr ? cache->warm_rebinds : 0;
+    };
+    EXPECT_EQ(warm_rebinds_after_search(true, "0"), 0u);   // env wins: off
+    EXPECT_GT(warm_rebinds_after_search(false, "1"), 0u);  // env wins: on
+    EXPECT_EQ(warm_rebinds_after_search(false, nullptr), 0u);
+    EXPECT_GT(warm_rebinds_after_search(true, nullptr), 0u);
+}
+
+// ---- reporting -----------------------------------------------------------
+
+TEST(IncrementalReport, CacheStatsJsonCarriesCrossPlanCounters) {
+    verdict_cache_stats stats;
+    stats.rounds = 10;
+    stats.warm_rebinds = 3;
+    stats.cold_rebinds = 2;
+    stats.cross_plan_hits = 7;
+    stats.retained_entries = 5;
+    const std::string json = to_json(stats);
+    EXPECT_NE(json.find("\"warm_rebinds\":3"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"cold_rebinds\":2"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"cross_plan_hits\":7"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"retained_entries\":5"), std::string::npos) << json;
+}
+
+}  // namespace
+}  // namespace recloud

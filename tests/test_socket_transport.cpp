@@ -158,6 +158,7 @@ TEST(WorkerProtocol, EnvironmentRoundTripsBitExactly) {
     env.chaos = &chaos;
     env.verdict_cache.enabled = true;
     env.verdict_cache.max_entries = 4096;
+    env.verdict_cache.cross_plan = true;
 
     const std::vector<std::byte> blob = encode_worker_environment(env, 5);
     const worker_environment decoded = decode_worker_environment(blob);
@@ -175,6 +176,7 @@ TEST(WorkerProtocol, EnvironmentRoundTripsBitExactly) {
     EXPECT_EQ(decoded.chaos.seed, 99u);
     EXPECT_TRUE(decoded.cache_enabled);
     EXPECT_EQ(decoded.cache_max_entries, 4096u);
+    EXPECT_TRUE(decoded.cache_cross_plan);
 
     // Re-encoding the decoded environment reproduces the exact bytes: the
     // rebuild is an identity, including every tree node id.
@@ -187,6 +189,7 @@ TEST(WorkerProtocol, EnvironmentRoundTripsBitExactly) {
     env2.chaos = &chaos2;
     env2.verdict_cache.enabled = true;
     env2.verdict_cache.max_entries = decoded.cache_max_entries;
+    env2.verdict_cache.cross_plan = decoded.cache_cross_plan;
     EXPECT_EQ(encode_worker_environment(env2, 5), blob);
 }
 
