@@ -22,6 +22,7 @@
 #include "bench_util.hpp"
 #include "core/recloud.hpp"
 #include "core/scenario.hpp"
+#include "obs/metrics.hpp"
 #include "service/deployment_service.hpp"
 
 namespace {
@@ -111,6 +112,15 @@ int main() {
     options.defaults.assessment_rounds = full_scale() ? 1000 : 100;
     options.defaults.max_iterations = full_scale() ? 40 : 6;
     options.defaults.deterministic_schedule = true;
+    // CI scrapes the live introspection endpoint while this load runs:
+    // RECLOUD_ADMIN_SOCKET names a Unix socket to serve /metrics and
+    // /status on (scripts/validate_prometheus.py checks the scrape).
+    if (const char* admin = std::getenv("RECLOUD_ADMIN_SOCKET");
+        admin != nullptr && admin[0] != '\0') {
+        recloud::obs::metrics_registry::global().set_enabled(true);
+        options.admin_socket = admin;
+        std::printf("admin endpoint: %s\n", admin);
+    }
     deployment_service service{options};
 
     // Two scenario names on different shards so the open-loop stream

@@ -97,6 +97,10 @@ trace = false             # scoped-span capture; view at https://ui.perfetto.dev
 trace_path = trace.json   # Chrome trace-event JSON, written when tracing is on
 # timeline = timeline.jsonl # per-iteration search timeline (JSONL; empty = off)
 heartbeat_ms = 1000       # timeline progress heartbeat; 0 disables it
+# admin_socket = /tmp/recloud-admin.sock # live introspection endpoint for
+                          # [service] runs: HTTP over a Unix socket serving
+                          # /metrics (Prometheus), /status, /healthz, /trace
+                          #   curl --unix-socket <path> http://localhost/metrics
 # RECLOUD_TRACE=1 forces tracing on (0/off/false force it off) and
 # RECLOUD_TRACE_PATH overrides trace_path, both without editing this file.
 
@@ -378,6 +382,8 @@ int run_service(const config& cfg, const application& app,
         static_cast<std::size_t>(cfg.get_uint("service.shards", 1));
     service_cfg.tenant_quota =
         static_cast<std::size_t>(cfg.get_uint("service.tenant_quota", 0));
+    service_cfg.admin_socket =
+        cfg.get_string("observability.admin_socket", "");
     service_cfg.defaults = options;
     deployment_service service{service_cfg};
     service.add_scenario(snapshot->name(), snapshot);
@@ -386,6 +392,11 @@ int run_service(const config& cfg, const application& app,
         "(queue %zu/shard, tenant quota %zu)\n",
         count, service_cfg.shards, service_cfg.workers,
         service_cfg.queue_capacity, service_cfg.tenant_quota);
+    if (!service_cfg.admin_socket.empty()) {
+        std::printf(
+            "admin endpoint:   %s (/metrics /status /healthz /trace)\n",
+            service_cfg.admin_socket.c_str());
+    }
 
     std::vector<std::future<service_response>> futures;
     futures.reserve(count);

@@ -1,0 +1,208 @@
+#!/usr/bin/env python3
+"""CI validator for the admin endpoint's Prometheus text exposition.
+
+Checks a scrape of GET /metrics (obs/admin_server.hpp) against the text
+exposition format (v0.0.4) rules a real Prometheus server enforces:
+
+  * every sample belongs to a family announced by a single # TYPE line,
+    and a family's samples are contiguous (no interleaving);
+  * metric and label names match the Prometheus grammar;
+  * histogram families expose _bucket/_sum/_count, bucket counts are
+    cumulative (non-decreasing in le order), the le="+Inf" bucket exists
+    and equals _count, for every label set;
+  * counter/gauge samples carry a single numeric value per label set.
+
+Usage:
+    validate_prometheus.py SCRAPE_TXT [--require FAMILY_PREFIX ...]
+                           [--min-samples N]
+
+Exits non-zero with a message on the first violation. Stdlib only.
+"""
+
+import argparse
+import re
+import sys
+
+METRIC_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(.*)\})?\s+(\S+)(?:\s+(-?\d+))?$")
+TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+def fail(message: str) -> None:
+    print(f"validate_prometheus: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def parse_value(text: str, where: str) -> float:
+    if text in ("+Inf", "-Inf", "NaN"):
+        return float(text.replace("Inf", "inf").replace("NaN", "nan"))
+    try:
+        return float(text)
+    except ValueError:
+        fail(f"{where}: not a number: {text!r}")
+    return 0.0  # unreachable
+
+
+def family_of(sample_name: str, declared: dict[str, str]) -> str:
+    """Maps a sample name to its declared family (histogram samples use
+    the _bucket/_sum/_count suffixes of their family's name)."""
+    if sample_name in declared:
+        return sample_name
+    for suffix in ("_bucket", "_sum", "_count"):
+        if sample_name.endswith(suffix):
+            base = sample_name[: -len(suffix)]
+            if declared.get(base) == "histogram":
+                return base
+    return ""
+
+
+def split_labels(text: str, where: str) -> tuple[tuple[str, str], ...]:
+    if not text:
+        return ()
+    labels = []
+    rest = text
+    while rest:
+        match = LABEL_RE.match(rest)
+        if match is None:
+            fail(f"{where}: malformed labels: {{{text}}}")
+        labels.append((match.group(1), match.group(2)))
+        rest = rest[match.end():]
+        if rest.startswith(","):
+            rest = rest[1:]
+        elif rest:
+            fail(f"{where}: malformed labels: {{{text}}}")
+    names = [name for name, _ in labels]
+    if len(names) != len(set(names)):
+        fail(f"{where}: duplicate label name in {{{text}}}")
+    return tuple(sorted(labels))
+
+
+def validate(path: str, required: list[str], min_samples: int) -> None:
+    with open(path, encoding="utf-8") as handle:
+        lines = handle.read().splitlines()
+
+    declared: dict[str, str] = {}   # family -> type
+    seen_after: set[str] = set()    # families whose sample block has ended
+    current = ""
+    samples = 0
+    # histogram family -> label set -> {"buckets": [(le, v)...],
+    #                                   "sum": v, "count": v}
+    histograms: dict[str, dict[tuple, dict]] = {}
+    # (family, labels) -> count, to reject duplicate counter/gauge samples
+    scalar_seen: set[tuple] = set()
+
+    for lineno, line in enumerate(lines, start=1):
+        where = f"{path}:{lineno}"
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] == "TYPE":
+                if len(parts) != 4:
+                    fail(f"{where}: malformed TYPE line")
+                name, kind = parts[2], parts[3]
+                if not METRIC_RE.match(name):
+                    fail(f"{where}: invalid metric name {name!r}")
+                if kind not in TYPES:
+                    fail(f"{where}: unknown type {kind!r}")
+                if name in declared:
+                    fail(f"{where}: duplicate TYPE for {name}")
+                if current and current != name:
+                    seen_after.add(current)
+                declared[name] = kind
+                current = name
+            continue  # HELP and comments are free-form
+
+        match = SAMPLE_RE.match(line)
+        if match is None:
+            fail(f"{where}: malformed sample line: {line!r}")
+        sample_name, label_text, value_text = (match.group(1),
+                                               match.group(2) or "",
+                                               match.group(3))
+        family = family_of(sample_name, declared)
+        if not family:
+            fail(f"{where}: sample {sample_name!r} has no TYPE declaration")
+        if family != current:
+            if family in seen_after:
+                fail(f"{where}: family {family} interleaved with others")
+            seen_after.add(current)
+            current = family
+        value = parse_value(value_text, where)
+        labels = split_labels(label_text, where)
+        samples += 1
+
+        kind = declared[family]
+        if kind == "histogram":
+            series = histograms.setdefault(family, {})
+            le = dict(labels).get("le")
+            key = tuple(kv for kv in labels if kv[0] != "le")
+            entry = series.setdefault(key, {"buckets": [], "sum": None,
+                                            "count": None})
+            if sample_name == family + "_bucket":
+                if le is None:
+                    fail(f"{where}: histogram bucket without le label")
+                entry["buckets"].append((le, value, where))
+            elif sample_name == family + "_sum":
+                entry["sum"] = value
+            elif sample_name == family + "_count":
+                entry["count"] = value
+            else:
+                fail(f"{where}: {sample_name!r} is not a histogram series")
+        else:
+            if dict(labels).get("le") is not None:
+                fail(f"{where}: 'le' label outside a histogram")
+            key = (family, labels)
+            if key in scalar_seen:
+                fail(f"{where}: duplicate sample for {family}{labels}")
+            scalar_seen.add(key)
+            if value < 0 and kind == "counter":
+                fail(f"{where}: negative counter {family}")
+
+    for family, series in histograms.items():
+        for key, entry in series.items():
+            buckets = entry["buckets"]
+            if not buckets:
+                fail(f"{path}: histogram {family}{dict(key)} has no buckets")
+            last = -1.0
+            inf_value = None
+            for le, value, where in buckets:
+                if value < last:
+                    fail(f"{where}: bucket counts not cumulative in {family}")
+                last = value
+                if le == "+Inf":
+                    inf_value = value
+            if inf_value is None:
+                fail(f"{path}: histogram {family}{dict(key)} lacks le=\"+Inf\"")
+            if entry["count"] is None or entry["sum"] is None:
+                fail(f"{path}: histogram {family}{dict(key)} lacks _sum/_count")
+            if inf_value != entry["count"]:
+                fail(f"{path}: histogram {family}{dict(key)}: le=\"+Inf\" "
+                     f"({inf_value}) != _count ({entry['count']})")
+
+    if samples < min_samples:
+        fail(f"{path}: only {samples} samples, need >= {min_samples}")
+    for prefix in required:
+        if not any(name.startswith(prefix) for name in declared):
+            fail(f"{path}: no metric family starting with {prefix!r} "
+                 f"(have: {sorted(declared)[:12]}...)")
+
+    print(f"validate_prometheus: OK: {path}: {len(declared)} families, "
+          f"{samples} samples, {len(histograms)} histogram(s)")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("scrape", help="saved GET /metrics response body")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="PREFIX",
+                        help="fail unless a family with this prefix exists")
+    parser.add_argument("--min-samples", type=int, default=1, metavar="N",
+                        help="fail when fewer than N samples total")
+    args = parser.parse_args()
+    validate(args.scrape, args.require, args.min_samples)
+
+
+if __name__ == "__main__":
+    main()

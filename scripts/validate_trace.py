@@ -8,7 +8,13 @@ line by line with the expected record shapes.
 
 Usage:
     validate_trace.py TRACE_JSON [--timeline TIMELINE_JSONL]
-                      [--require-span PREFIX ...]
+                      [--require-span PREFIX ...] [--min-pids N]
+
+Understands the full event set the exporter emits: metadata ("M":
+process_name / thread_name), complete spans ("X"), and flow start/finish
+("s"/"f") pairs that stitch master dispatch spans to worker batch spans
+across processes. --min-pids asserts the trace spans at least N distinct
+processes (a harvested multi-process capture).
 
 Exits non-zero with a message on the first violation. Stdlib only.
 """
@@ -25,7 +31,8 @@ def fail(message: str) -> None:
     sys.exit(1)
 
 
-def validate_trace(path: str, required_spans: list[str]) -> None:
+def validate_trace(path: str, required_spans: list[str],
+                   min_pids: int) -> None:
     with open(path, encoding="utf-8") as handle:
         trace = json.load(handle)
 
@@ -45,13 +52,16 @@ def validate_trace(path: str, required_spans: list[str]) -> None:
         fail(f"{path}: otherData.dropped_events must be an integer")
 
     span_names = set()
+    span_pids = set()
     thread_names = 0
+    flow_starts = set()
+    flow_finishes = set()
     for i, event in enumerate(events):
         if not isinstance(event, dict):
             fail(f"{path}: traceEvents[{i}] is not an object")
         ph = event.get("ph")
         if ph == "M":
-            if event.get("name") != "thread_name":
+            if event.get("name") not in ("thread_name", "process_name"):
                 fail(f"{path}: traceEvents[{i}]: unexpected metadata "
                      f"{event.get('name')!r}")
             thread_names += 1
@@ -64,6 +74,20 @@ def validate_trace(path: str, required_spans: list[str]) -> None:
             if event["dur"] < 0:
                 fail(f"{path}: traceEvents[{i}] has negative duration")
             span_names.add(event["name"])
+            span_pids.add(event["pid"])
+        elif ph in ("s", "f"):
+            for key, kind in (("name", str), ("id", (str, int)),
+                              ("ts", (int, float)), ("pid", int),
+                              ("tid", int), ("cat", str)):
+                if not isinstance(event.get(key), kind):
+                    fail(f"{path}: traceEvents[{i}] missing/invalid {key!r}")
+            if ph == "f":
+                if event.get("bp") != "e":
+                    fail(f"{path}: traceEvents[{i}]: flow finish must bind "
+                         "to its enclosing slice (bp='e')")
+                flow_finishes.add(event["id"])
+            else:
+                flow_starts.add(event["id"])
         else:
             fail(f"{path}: traceEvents[{i}]: unknown phase {ph!r}")
 
@@ -71,13 +95,23 @@ def validate_trace(path: str, required_spans: list[str]) -> None:
         fail(f"{path}: no thread_name metadata events")
     if not span_names:
         fail(f"{path}: no complete ('X') span events")
+    # A finish without its start renders as a dangling arrow; starts without
+    # finishes are fine (the worker span may have been dropped by its ring).
+    unmatched = flow_finishes - flow_starts
+    if unmatched:
+        fail(f"{path}: flow finishes without a start: {sorted(unmatched)[:8]}")
+    if len(span_pids) < min_pids:
+        fail(f"{path}: spans cover {len(span_pids)} process(es), "
+             f"need >= {min_pids} (pids: {sorted(span_pids)})")
     for prefix in required_spans:
         if not any(name.startswith(prefix) for name in span_names):
             fail(f"{path}: no span named {prefix!r}* captured "
                  f"(have: {sorted(span_names)})")
 
+    stitched = len(flow_starts & flow_finishes)
     print(f"validate_trace: OK: {path}: {len(events)} events, "
-          f"{len(span_names)} distinct spans, "
+          f"{len(span_names)} distinct spans, {len(span_pids)} process(es), "
+          f"{stitched} stitched flows, "
           f"{other['dropped_events']} dropped")
 
 
@@ -123,9 +157,12 @@ def main() -> None:
     parser.add_argument("--require-span", action="append", default=[],
                         metavar="PREFIX",
                         help="fail unless a span with this name prefix exists")
+    parser.add_argument("--min-pids", type=int, default=1, metavar="N",
+                        help="fail unless spans cover at least N distinct "
+                             "pids (default 1)")
     args = parser.parse_args()
 
-    validate_trace(args.trace, args.require_span)
+    validate_trace(args.trace, args.require_span, args.min_pids)
     if args.timeline:
         validate_timeline(args.timeline)
 

@@ -42,13 +42,38 @@ struct worker_state {
     std::unique_ptr<verdict_support> support;
     verdict_cache_options cache_options;
     std::unique_ptr<worker_context> context;
+    /// Verdict-cache counters of contexts already torn down: folded in
+    /// before every context drop so a telemetry harvest reports cumulative
+    /// process totals no matter when it runs relative to teardown.
+    verdict_cache_stats retired_cache;
 };
+
+/// Folds the live context's cache counters into the retired total (call
+/// before dropping or replacing the context).
+void retire_context_stats(worker_state& state) {
+    if (state.context != nullptr) {
+        if (const verdict_cache_stats* live = state.context->cache_stats()) {
+            state.retired_cache.accumulate(*live);
+        }
+    }
+}
 
 void handle_env(worker_state& state, const envelope& msg) {
     state.env.emplace(decode_worker_environment(msg.blob));
     worker_environment& env = *state.env;
     state.worker_id = env.worker_id;
+    retire_context_stats(state);
     state.context.reset();
+    // Mirror the master's observability state so both sides of the wire
+    // count and trace the same runs. Pure telemetry: no RNG, sampler or
+    // verdict state is touched (§6 contract).
+    obs::metrics_registry::global().set_enabled(env.metrics_enabled);
+    if (env.trace_enabled) {
+        obs::tracer& tracer = obs::tracer::global();
+        tracer.set_current_thread_name("worker-" +
+                                       std::to_string(env.worker_id));
+        tracer.start();
+    }
     if (env.chaos_enabled) {
         state.chaos.emplace(env.chaos);
     } else {
@@ -85,6 +110,7 @@ void handle_setup(worker_state& state, const envelope& msg) {
             std::make_unique<bfs_reachability>(
                 env.topology, env.links ? &*env.links : nullptr)};
     };
+    retire_context_stats(state);
     state.context = std::make_unique<worker_context>(
         std::span<const std::byte>{msg.blob}, env.component_count,
         env.forest ? &*env.forest : nullptr, make_oracle,
@@ -106,10 +132,21 @@ void handle_task(worker_state& state, const envelope& msg) {
         std::this_thread::sleep_for(state.chaos->options().stall_duration);
     }
     // Judge chaos-free (the fault already happened out here), then mangle
-    // the inner framed result exactly like the in-process chaos path.
+    // the inner framed result exactly like the in-process chaos path. The
+    // batch span carries the master's flow id (envelope span_id) so the
+    // merged trace stitches dispatch -> execute across processes.
+    obs::tracer& tracer = obs::tracer::global();
+    const bool traced = tracer.enabled();
+    const std::uint64_t span_start = traced ? tracer.now_ns() : 0;
     std::vector<std::byte> framed = state.context->run_batch(
         std::span<const std::byte>{msg.blob}, nullptr, msg.batch, msg.attempt,
         state.worker_id);
+    if (traced) {
+        tracer.record_flow("worker.batch", span_start,
+                           tracer.now_ns() - span_start, msg.span_id,
+                           msg.span_id != 0 ? obs::flow_finish
+                                            : obs::flow_none);
+    }
     if (fault == chaos_fault::corrupt_result) {
         chaos_schedule::corrupt(framed, msg.batch, msg.attempt,
                                 state.worker_id);
@@ -120,6 +157,30 @@ void handle_task(worker_state& state, const envelope& msg) {
     fd_write_all(state.fd,
                  pack_envelope(worker_msg::result, msg.batch, msg.attempt,
                                framed));
+}
+
+/// Telemetry harvest: ship the registry delta (snapshot-then-reset), the
+/// cumulative verdict-cache counters and the drained trace capture. Runs
+/// between envelopes on the only span-recording thread, so the drain's
+/// quiescence requirement holds by construction.
+void handle_telemetry(worker_state& state, const envelope& msg) {
+    worker_telemetry t;
+    t.worker_id = state.worker_id;
+    t.pid = static_cast<std::uint32_t>(::getpid());
+    t.cache = state.retired_cache;
+    if (state.context != nullptr) {
+        if (const verdict_cache_stats* live = state.context->cache_stats()) {
+            t.cache.accumulate(*live);
+        }
+    }
+    obs::metrics_registry& registry = obs::metrics_registry::global();
+    t.metrics = registry.snapshot().metrics;
+    registry.reset();
+    t.trace = obs::tracer::global().drain_capture(
+        "recloud_worker " + std::to_string(state.worker_id));
+    fd_write_all(state.fd,
+                 pack_envelope(worker_msg::telemetry, msg.batch, msg.attempt,
+                               encode_worker_telemetry(t)));
 }
 
 int run(int fd) {
@@ -165,7 +226,11 @@ int run(int fd) {
                     handle_task(state, msg);
                     break;
                 case worker_msg::teardown:
+                    retire_context_stats(state);
                     state.context.reset();
+                    break;
+                case worker_msg::telemetry:
+                    handle_telemetry(state, msg);
                     break;
                 case worker_msg::shutdown:
                     return 0;

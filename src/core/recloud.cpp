@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "exec/engine.hpp"
+#include "obs/trace.hpp"
 #include "sampling/antithetic.hpp"
 #include "sampling/extended_dagger.hpp"
 #include "sampling/monte_carlo.hpp"
@@ -366,6 +367,19 @@ const verdict_cache_stats* re_cloud::cache_stats() const {
 
 obs::telemetry_snapshot re_cloud::telemetry() const {
     obs::metrics_registry& registry = obs::metrics_registry::global();
+    // Cross-process harvest first (socket transports; loopback no-ops):
+    // pulls worker registry deltas into the global registry and worker
+    // cache counters into the transports' fleet stores, so the gauges
+    // published below report fleet totals equivalent to a loopback run.
+    // Chain backends fold into the shared registry/totals only; per-worker
+    // provenance labels below come from the MAIN backend's fleet.
+    if (engine_view_ != nullptr) {
+        engine_view_->harvest_telemetry();
+        for (const chain_stack& chain : chains_) {
+            static_cast<engine_backend*>(chain.backend.get())
+                ->harvest_telemetry();
+        }
+    }
     // Gauges are snapshot-time publishes (set() works while the registry is
     // disabled): the structs stay the source of truth, the registry is the
     // one export surface. The "engine.stats."/"cache.stats." prefixes keep
@@ -414,7 +428,49 @@ obs::telemetry_snapshot re_cloud::telemetry() const {
         registry.set(registry.gauge("cache.stats.saved_rounds"),
                      cache->saved_rounds());
     }
-    return registry.snapshot();
+    registry.set(registry.gauge("trace.dropped"),
+                 obs::tracer::global().dropped());
+    obs::telemetry_snapshot snap = registry.snapshot();
+    // Per-worker provenance entries (worker.N.*) appended OUTSIDE the
+    // registry: 8 workers x a dozen counters would exhaust the fixed gauge
+    // capacity, and these are per-snapshot views, not live metrics. The
+    // snapshot is re-sorted afterwards (find() binary-searches by name).
+    if (engine_view_ != nullptr) {
+        const worker_fleet_telemetry fleet = engine_view_->fleet_telemetry();
+        const auto add = [&snap](std::string name, std::uint64_t value) {
+            obs::metric_entry entry;
+            entry.name = std::move(name);
+            entry.kind = obs::metric_kind::gauge;
+            entry.value = value;
+            snap.metrics.push_back(std::move(entry));
+        };
+        for (const auto& w : fleet.workers) {
+            const std::string prefix =
+                "worker." + std::to_string(w.worker_id) + ".";
+            add(prefix + "pid", w.pid);
+            add(prefix + "harvests", w.harvests);
+            add(prefix + "trace.dropped", w.trace_dropped);
+            const verdict_cache_stats& c = w.cache;
+            add(prefix + "cache.stats.rounds", c.rounds);
+            add(prefix + "cache.stats.empty_hits", c.empty_hits);
+            add(prefix + "cache.stats.hits", c.hits);
+            add(prefix + "cache.stats.misses", c.misses);
+            add(prefix + "cache.stats.insertions", c.insertions);
+            add(prefix + "cache.stats.evictions", c.evictions);
+            add(prefix + "cache.stats.rebinds", c.rebinds);
+            add(prefix + "cache.stats.warm_rebinds", c.warm_rebinds);
+            add(prefix + "cache.stats.cold_rebinds", c.cold_rebinds);
+            add(prefix + "cache.stats.cross_plan_hits", c.cross_plan_hits);
+            add(prefix + "cache.stats.retained_entries", c.retained_entries);
+            add(prefix + "cache.stats.saved_rounds", c.saved_rounds());
+        }
+        if (!fleet.workers.empty()) {
+            std::sort(snap.metrics.begin(), snap.metrics.end(),
+                      [](const obs::metric_entry& a,
+                         const obs::metric_entry& b) { return a.name < b.name; });
+        }
+    }
+    return snap;
 }
 
 plan_evaluation re_cloud::evaluate_on(assessment_backend& backend,

@@ -241,12 +241,16 @@ public:
     /// disabled. Only read between searches (it sums live counters).
     [[nodiscard]] const verdict_cache_stats* cache_stats() const;
 
-    /// One immutable view over everything observable: publishes this
+    /// One immutable view over everything observable: harvests worker
+    /// processes first (socket transports ship their registry deltas, cache
+    /// counters and trace spans back; loopback no-ops), publishes this
     /// instance's engine and verdict-cache counters into the global metrics
     /// registry as gauges ("engine.stats.*", "cache.stats.*") and returns
     /// the aggregated snapshot — live counters, gauges and histograms from
-    /// every instrumented layer, sorted by name. Feed it to
-    /// to_json(const obs::telemetry_snapshot&) for export.
+    /// every instrumented layer plus per-worker provenance entries
+    /// ("worker.N.cache.stats.*", "worker.N.trace.dropped"), sorted by
+    /// name. Fleet sums match a loopback run of the same seed (DESIGN.md
+    /// §12). Feed it to to_json(const obs::telemetry_snapshot&) for export.
     [[nodiscard]] obs::telemetry_snapshot telemetry() const;
 
 private:

@@ -165,9 +165,20 @@ public:
 
     /// Verdict-cache counters summed over every worker (and degraded-local)
     /// context of every assess() so far; nullptr when the cache is off.
-    /// Socket workers keep their counters remote — only master-local
-    /// (degraded) contexts contribute there.
+    /// Socket workers contribute the totals pulled back by the last
+    /// telemetry harvest (harvest_telemetry(), or the transport's final
+    /// shutdown harvest).
     [[nodiscard]] const verdict_cache_stats* cache_stats() const noexcept;
+
+    /// Pulls worker-process telemetry (registry deltas, cumulative cache
+    /// counters, trace spans) into this process. No-op on loopback. Pure
+    /// observability — never perturbs assessment state (§6).
+    void harvest_telemetry() { transport_->harvest_telemetry(); }
+
+    /// Per-worker totals accumulated by harvests (empty on loopback).
+    [[nodiscard]] worker_fleet_telemetry fleet_telemetry() const {
+        return transport_->fleet_telemetry();
+    }
 
 private:
     std::size_t component_count_;
@@ -214,6 +225,12 @@ public:
     /// Recovery counters, cumulative since construction.
     [[nodiscard]] const engine_stats& stats() const noexcept {
         return engine_.stats();
+    }
+
+    /// See assessment_engine::harvest_telemetry / fleet_telemetry.
+    void harvest_telemetry() { engine_.harvest_telemetry(); }
+    [[nodiscard]] worker_fleet_telemetry fleet_telemetry() const {
+        return engine_.fleet_telemetry();
     }
 
 private:

@@ -17,6 +17,7 @@
 // enqueues and pokes a self-pipe.
 #include "exec/transport.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <chrono>
@@ -24,6 +25,7 @@
 #include <cstring>
 #include <deque>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <utility>
 
@@ -36,6 +38,7 @@
 
 #include "exec/worker_protocol.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/serialize.hpp"
 
 namespace recloud {
@@ -79,6 +82,21 @@ void close_quiet(int& fd) noexcept {
     }
 }
 
+/// Deterministic nonzero flow id for one (batch, attempt, worker) dispatch:
+/// splitmix64 finalizer over the packed triple. Both sides derive nothing —
+/// the id travels in the envelope — so it only has to be unique-ish within
+/// a capture.
+std::uint64_t flow_id_of(std::uint64_t batch, std::uint64_t attempt,
+                         std::uint64_t worker) noexcept {
+    std::uint64_t z =
+        (batch * 0x9e3779b97f4a7c15ULL) ^ (attempt << 21) ^ (worker << 42);
+    z += 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    return z | 1;  // 0 means "no flow" on the wire
+}
+
 class socket_transport final : public engine_transport {
 public:
     socket_transport(std::size_t workers, const transport_env& env,
@@ -106,6 +124,12 @@ public:
             shutdown_fleet();
             throw;
         }
+        // Final-harvest-at-shutdown only pays off (and only costs a
+        // round-trip) when observability was on when the fleet started —
+        // the same state the env blob shipped to the workers.
+        harvest_at_shutdown_ = obs::metrics_registry::global().enabled() ||
+                               obs::tracer::global().enabled();
+        started_ = true;
     }
 
     ~socket_transport() override { shutdown_fleet(); }
@@ -169,6 +193,18 @@ public:
         std::uint64_t batch, std::uint64_t attempt) override {
         RECLOUD_COUNTER_INC("engine.transport.dispatches");
         RECLOUD_COUNTER_ADD("engine.transport.bytes_sent", framed_task.size());
+        // Distributed-trace propagation: tag the envelope with a flow id and
+        // open the flow here; the worker closes it on its batch span, so the
+        // merged export stitches dispatch -> execute across the pid boundary.
+        obs::tracer& tracer = obs::tracer::global();
+        std::uint64_t trace_id = 0;
+        std::uint64_t flow = 0;
+        if (tracer.enabled()) {
+            trace_id = tracer.epoch_ns();
+            flow = flow_id_of(batch, attempt, worker);
+            tracer.record_flow("engine.dispatch.send", tracer.now_ns(), 0,
+                               flow, obs::flow_start);
+        }
         slot& s = *slots_[worker];
         std::promise<std::vector<std::byte>> promise;
         std::future<std::vector<std::byte>> future = promise.get_future();
@@ -180,11 +216,82 @@ public:
                 return future;
             }
             s.pending.push_back({batch, attempt, std::move(promise)});
-            s.outgoing.push_back(
-                pack_envelope(worker_msg::task, batch, attempt, framed_task));
+            s.outgoing.push_back(pack_envelope(worker_msg::task, batch,
+                                               attempt, framed_task, trace_id,
+                                               flow));
             poke(s);
         }
         return future;
+    }
+
+    void harvest_telemetry() override {
+        // One harvest at a time: replies match waiters per slot, and the
+        // fold below must see a consistent fleet pass.
+        const std::lock_guard harvest_lock{harvest_mu_};
+        const std::uint64_t seq = ++harvest_seq_;
+        const std::vector<std::byte> request =
+            pack_envelope(worker_msg::telemetry, 0, seq, {});
+        std::vector<std::pair<slot*, std::future<worker_telemetry>>> waits;
+        waits.reserve(slots_.size());
+        for (const auto& s : slots_) {
+            const std::lock_guard lock{s->mu};
+            if (s->dead || s->fd < 0) {
+                continue;
+            }
+            s->telemetry_pending.emplace();
+            waits.emplace_back(s.get(), s->telemetry_pending->get_future());
+            s->outgoing.push_back(request);
+            poke(*s);
+        }
+        for (auto& [s, fut] : waits) {
+            if (fut.wait_for(harvest_timeout) != std::future_status::ready) {
+                // Abandon under the slot lock: a reply racing in either beat
+                // the reset (future already ready) or finds no waiter.
+                const std::lock_guard lock{s->mu};
+                s->telemetry_pending.reset();
+                if (fut.wait_for(std::chrono::seconds(0)) !=
+                    std::future_status::ready) {
+                    continue;
+                }
+            }
+            try {
+                fold_harvest(fut.get());
+            } catch (const std::exception&) {
+                // Worker died or sent garbage mid-harvest: the respawn
+                // machinery owns the death; telemetry just misses a round.
+            }
+        }
+    }
+
+    [[nodiscard]] worker_fleet_telemetry fleet_telemetry() const override {
+        const std::lock_guard lock{fleet_mu_};
+        worker_fleet_telemetry fleet;
+        fleet.workers.reserve(fleet_.size());
+        for (const fleet_slot_totals& t : fleet_) {
+            worker_fleet_telemetry::worker_entry e;
+            e.worker_id = t.worker_id;
+            e.pid = t.pid;
+            e.cache = t.cache_base;
+            e.cache.accumulate(t.cache_live);
+            e.trace_dropped = t.trace_dropped;
+            e.harvests = t.harvests;
+            fleet.workers.push_back(e);
+        }
+        return fleet;
+    }
+
+    [[nodiscard]] const verdict_cache_stats* cache_stats()
+        const noexcept override {
+        const std::lock_guard lock{fleet_mu_};
+        if (!have_harvest_) {
+            return nullptr;  // nothing pulled back from the fleet yet
+        }
+        cache_scratch_ = {};
+        for (const fleet_slot_totals& t : fleet_) {
+            cache_scratch_.accumulate(t.cache_base);
+            cache_scratch_.accumulate(t.cache_live);
+        }
+        return &cache_scratch_;
     }
 
     [[nodiscard]] std::uint64_t respawns() const noexcept override {
@@ -231,6 +338,9 @@ private:
         std::deque<std::vector<std::byte>> outgoing;
         std::size_t write_off = 0;  ///< progress into outgoing.front()
         std::deque<pending_result> pending;
+        /// At most one in-flight harvest reply (harvest_mu_ serializes
+        /// fleet passes; death fails it, a timeout abandons it).
+        std::optional<std::promise<worker_telemetry>> telemetry_pending;
         frame_assembler assembler;
         std::size_t respawns_used = 0;
         bool dead = false;
@@ -495,6 +605,23 @@ private:
 
     void handle_frame(slot& s, std::span<const std::byte> frame) {
         envelope msg = unpack_envelope(frame);
+        if (msg.kind == worker_msg::telemetry) {
+            std::optional<std::promise<worker_telemetry>> waiter;
+            {
+                const std::lock_guard lock{s.mu};
+                waiter.swap(s.telemetry_pending);
+            }
+            if (waiter) {
+                // A malformed reply fails this waiter only — the outer
+                // envelope was valid, so the stream itself is fine.
+                try {
+                    waiter->set_value(decode_worker_telemetry(msg.blob));
+                } catch (const serialize_error&) {
+                    waiter->set_exception(std::current_exception());
+                }
+            }
+            return;
+        }
         if (msg.kind != worker_msg::result) {
             return;  // late hello after respawn handshake; ignore
         }
@@ -525,11 +652,13 @@ private:
     /// allows, re-feeding env + current setup.
     void handle_death(slot& s) {
         std::deque<pending_result> failed;
+        std::optional<std::promise<worker_telemetry>> tele;
         pid_t pid = -1;
         {
             const std::lock_guard lock{s.mu};
             close_quiet(s.fd);
             failed.swap(s.pending);
+            tele.swap(s.telemetry_pending);
             s.outgoing.clear();
             s.write_off = 0;
             pid = s.pid;
@@ -542,6 +671,10 @@ private:
         for (pending_result& p : failed) {
             p.promise.set_exception(std::make_exception_ptr(
                 transport_error{"worker process died mid-batch"}));
+        }
+        if (tele) {
+            tele->set_exception(std::make_exception_ptr(
+                transport_error{"worker process died mid-harvest"}));
         }
         if (stop_.load(std::memory_order_acquire)) {
             mark_dead(s);
@@ -578,10 +711,12 @@ private:
     /// flips `dead`, so no future can ever be left unsettled.
     static void mark_dead(slot& s) {
         std::deque<pending_result> orphaned;
+        std::optional<std::promise<worker_telemetry>> tele;
         {
             const std::lock_guard lock{s.mu};
             s.dead = true;
             orphaned.swap(s.pending);
+            tele.swap(s.telemetry_pending);
             s.outgoing.clear();
             s.write_off = 0;
         }
@@ -589,11 +724,27 @@ private:
             p.promise.set_exception(std::make_exception_ptr(
                 transport_error{"worker slot dead (respawn budget exhausted)"}));
         }
+        if (tele) {
+            tele->set_exception(std::make_exception_ptr(
+                transport_error{"worker slot dead (respawn budget exhausted)"}));
+        }
     }
 
     /// Stops I/O threads, asks workers to exit, reaps every child.
     /// Idempotent — the ctor failure path and the dtor both run it.
     void shutdown_fleet() noexcept {
+        // Final harvest BEFORE stop: worker counters accumulated since the
+        // last on-demand pull (or the whole run, if none happened) would
+        // otherwise die with the processes. Skipped when observability was
+        // off at fleet start — nothing to pull, and chaos-heavy tests must
+        // not pay a per-teardown round-trip.
+        if (started_ && harvest_at_shutdown_ &&
+            !stop_.load(std::memory_order_acquire)) {
+            try {
+                harvest_telemetry();
+            } catch (...) {
+            }
+        }
         stop_.store(true, std::memory_order_release);
         const std::vector<std::byte> bye =
             pack_envelope(worker_msg::shutdown, 0, 0, {});
@@ -620,13 +771,19 @@ private:
             // Settle anything still pending so waiting futures never see
             // broken_promise.
             std::deque<pending_result> left;
+            std::optional<std::promise<worker_telemetry>> tele;
             {
                 const std::lock_guard lock{s->mu};
                 left.swap(s->pending);
+                tele.swap(s->telemetry_pending);
                 s->dead = true;
             }
             for (pending_result& p : left) {
                 p.promise.set_exception(std::make_exception_ptr(
+                    transport_error{"transport shut down"}));
+            }
+            if (tele) {
+                tele->set_exception(std::make_exception_ptr(
                     transport_error{"transport shut down"}));
             }
         }
@@ -649,12 +806,79 @@ private:
         ::waitpid(pid, &status, 0);
     }
 
+    /// Folds one worker's harvest into this process: metric DELTAS into the
+    /// global registry (the worker reset its own), trace spans into the
+    /// tracer (moved, shipped exactly once), and the CUMULATIVE cache
+    /// counters into the per-worker store — replacing the previous pull
+    /// from the same process, accumulating across respawned processes.
+    void fold_harvest(worker_telemetry t) {
+        obs::telemetry_snapshot delta;
+        delta.metrics = std::move(t.metrics);
+        obs::metrics_registry::global().merge_snapshot(delta);
+        const std::uint64_t trace_dropped = t.trace.dropped;
+        obs::tracer& tracer = obs::tracer::global();
+        if (tracer.enabled() &&
+            (!t.trace.spans.empty() || !t.trace.thread_names.empty())) {
+            tracer.add_remote_capture(std::move(t.trace));
+        }
+        const std::lock_guard lock{fleet_mu_};
+        auto it = std::find_if(fleet_.begin(), fleet_.end(),
+                               [&t](const fleet_slot_totals& e) {
+                                   return e.worker_id == t.worker_id;
+                               });
+        if (it == fleet_.end()) {
+            fleet_.push_back(fleet_slot_totals{t.worker_id});
+            it = std::prev(fleet_.end());
+            std::sort(fleet_.begin(), fleet_.end(),
+                      [](const fleet_slot_totals& a,
+                         const fleet_slot_totals& b) {
+                          return a.worker_id < b.worker_id;
+                      });
+            it = std::find_if(fleet_.begin(), fleet_.end(),
+                              [&t](const fleet_slot_totals& e) {
+                                  return e.worker_id == t.worker_id;
+                              });
+        }
+        if (it->pid != 0 && it->pid != t.pid) {
+            // Respawned slot: the dead process's last-harvested totals move
+            // into the base so the fresh process's counters don't regress
+            // the fleet view.
+            it->cache_base.accumulate(it->cache_live);
+            it->cache_live = {};
+        }
+        it->pid = t.pid;
+        it->cache_live = t.cache;
+        it->trace_dropped += trace_dropped;
+        it->harvests += 1;
+        have_harvest_ = true;
+    }
+
+    /// Per-worker cumulative totals across harvests (fleet_mu_).
+    struct fleet_slot_totals {
+        std::uint64_t worker_id = 0;
+        std::uint32_t pid = 0;
+        verdict_cache_stats cache_base;  ///< processes that died, summed
+        verdict_cache_stats cache_live;  ///< current process, last harvest
+        std::uint64_t trace_dropped = 0;
+        std::uint64_t harvests = 0;
+    };
+
+    static constexpr std::chrono::seconds harvest_timeout{5};
+
     socket_transport_options options_;
     /// Cross-plan incremental caches: skip teardown, rebind on begin.
     bool cross_plan_ = false;
     std::vector<std::unique_ptr<slot>> slots_;
     std::atomic<bool> stop_{false};
     std::atomic<std::uint64_t> respawns_{0};
+    bool started_ = false;  ///< fleet fully constructed (ctor completed)
+    bool harvest_at_shutdown_ = false;
+    std::mutex harvest_mu_;  ///< serializes fleet harvest passes
+    std::uint64_t harvest_seq_ = 0;  ///< under harvest_mu_
+    mutable std::mutex fleet_mu_;  ///< guards fleet_ / have_harvest_ / scratch
+    std::vector<fleet_slot_totals> fleet_;
+    bool have_harvest_ = false;
+    mutable verdict_cache_stats cache_scratch_;
 };
 
 }  // namespace

@@ -83,6 +83,22 @@ struct transport_env {
     const link_attachment* links = nullptr;
 };
 
+/// Per-worker observability totals accumulated across telemetry harvests
+/// (socket transport; loopback workers write into the process registry
+/// directly, so their fleet view is empty). Cache counters are cumulative
+/// over the worker process's whole life, including torn-down contexts;
+/// trace_dropped counts worker-side ring overflows.
+struct worker_fleet_telemetry {
+    struct worker_entry {
+        std::uint64_t worker_id = 0;
+        std::uint32_t pid = 0;
+        verdict_cache_stats cache;
+        std::uint64_t trace_dropped = 0;
+        std::uint64_t harvests = 0;  ///< telemetry round-trips answered
+    };
+    std::vector<worker_entry> workers;  ///< sorted by worker_id
+};
+
 /// One assessment fleet: a fixed set of worker endpoints the engine
 /// dispatches framed batches to. Lifecycle per assessment:
 /// begin_assessment(setup) -> dispatch()* -> (all futures settled) ->
@@ -120,6 +136,22 @@ public:
     [[nodiscard]] virtual const verdict_cache_stats* cache_stats()
         const noexcept {
         return nullptr;
+    }
+
+    /// Pulls telemetry from every live worker process — registry deltas,
+    /// cumulative verdict-cache counters, drained trace spans — and folds
+    /// it into this process's registry/tracer, so loopback and socket runs
+    /// report equivalent counters. No-op for in-process transports (their
+    /// writes land in the shared registry directly). Pure observability:
+    /// touches no RNG, sampler or verdict state (§6 contract), and worker
+    /// failures during harvest are swallowed (the respawn machinery owns
+    /// those).
+    virtual void harvest_telemetry() {}
+
+    /// Per-worker totals accumulated by harvest_telemetry(); empty for
+    /// in-process transports.
+    [[nodiscard]] virtual worker_fleet_telemetry fleet_telemetry() const {
+        return {};
     }
 
     // ---- process-backed introspection (0 / empty for in-process) --------

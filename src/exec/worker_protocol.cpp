@@ -11,19 +11,24 @@ namespace recloud {
 
 namespace {
 
-/// Envelope prefix: kind (u8) + batch (u64) + attempt (u64).
-constexpr std::size_t envelope_prefix_bytes = 1 + 8 + 8;
+/// Envelope prefix: kind (u8) + batch (u64) + attempt (u64) +
+/// trace_id (u64) + span_id (u64).
+constexpr std::size_t envelope_prefix_bytes = 1 + 8 + 8 + 8 + 8;
 
 }  // namespace
 
 std::vector<std::byte> pack_envelope(worker_msg kind, std::uint64_t batch,
                                      std::uint64_t attempt,
-                                     std::span<const std::byte> blob) {
+                                     std::span<const std::byte> blob,
+                                     std::uint64_t trace_id,
+                                     std::uint64_t span_id) {
     byte_writer writer;
     writer.reserve(envelope_prefix_bytes + blob.size());
     writer.write_u8(static_cast<std::uint8_t>(kind));
     writer.write_u64(batch);
     writer.write_u64(attempt);
+    writer.write_u64(trace_id);
+    writer.write_u64(span_id);
     std::vector<std::byte> payload = writer.take();
     payload.insert(payload.end(), blob.begin(), blob.end());
     return frame_message(payload);
@@ -35,12 +40,14 @@ envelope unpack_envelope(std::span<const std::byte> framed) {
     envelope msg;
     const std::uint8_t kind = reader.read_u8();
     if (kind < static_cast<std::uint8_t>(worker_msg::hello) ||
-        kind > static_cast<std::uint8_t>(worker_msg::rebind)) {
+        kind > static_cast<std::uint8_t>(worker_msg::telemetry)) {
         throw serialize_error{"envelope: unknown message kind"};
     }
     msg.kind = static_cast<worker_msg>(kind);
     msg.batch = reader.read_u64();
     msg.attempt = reader.read_u64();
+    msg.trace_id = reader.read_u64();
+    msg.span_id = reader.read_u64();
     msg.blob.assign(payload.begin() + envelope_prefix_bytes, payload.end());
     return msg;
 }
@@ -224,6 +231,11 @@ std::vector<std::byte> encode_worker_environment(const transport_env& env,
         out.write_varint(env.verdict_cache.max_entries);
         out.write_bool(env.verdict_cache.cross_plan);
     }
+    // Observability enablement is sampled from the process-wide registry /
+    // tracer at encode time (the blob is built once per fleet and reused
+    // for respawns, so workers inherit the state the fleet started with).
+    out.write_bool(obs::metrics_registry::global().enabled());
+    out.write_bool(obs::tracer::global().enabled());
     return out.take();
 }
 
@@ -259,10 +271,188 @@ worker_environment decode_worker_environment(std::span<const std::byte> blob) {
         env.cache_max_entries = static_cast<std::size_t>(in.read_varint());
         env.cache_cross_plan = in.read_bool();
     }
+    env.metrics_enabled = in.read_bool();
+    env.trace_enabled = in.read_bool();
     if (!in.at_end()) {
         throw serialize_error{"worker environment: trailing bytes"};
     }
     return env;
+}
+
+namespace {
+
+void encode_cache_stats(byte_writer& out, const verdict_cache_stats& s) {
+    out.write_u64(s.rounds);
+    out.write_u64(s.empty_hits);
+    out.write_u64(s.hits);
+    out.write_u64(s.misses);
+    out.write_u64(s.insertions);
+    out.write_u64(s.evictions);
+    out.write_u64(s.rebinds);
+    out.write_u64(s.warm_rebinds);
+    out.write_u64(s.cold_rebinds);
+    out.write_u64(s.cross_plan_hits);
+    out.write_u64(s.retained_entries);
+    out.write_u64(s.support_size);
+}
+
+verdict_cache_stats decode_cache_stats(byte_reader& in) {
+    verdict_cache_stats s;
+    s.rounds = in.read_u64();
+    s.empty_hits = in.read_u64();
+    s.hits = in.read_u64();
+    s.misses = in.read_u64();
+    s.insertions = in.read_u64();
+    s.evictions = in.read_u64();
+    s.rebinds = in.read_u64();
+    s.warm_rebinds = in.read_u64();
+    s.cold_rebinds = in.read_u64();
+    s.cross_plan_hits = in.read_u64();
+    s.retained_entries = in.read_u64();
+    s.support_size = in.read_u64();
+    return s;
+}
+
+void encode_metric_entries(byte_writer& out,
+                           const std::vector<obs::metric_entry>& metrics) {
+    out.write_varint(metrics.size());
+    for (const obs::metric_entry& e : metrics) {
+        out.write_string(e.name);
+        out.write_u8(static_cast<std::uint8_t>(e.kind));
+        if (e.kind != obs::metric_kind::histogram) {
+            out.write_varint(e.value);
+            continue;
+        }
+        const obs::histogram_snapshot& h = e.histogram;
+        out.write_varint(h.count);
+        out.write_varint(h.sum);
+        out.write_varint(h.min);
+        out.write_varint(h.max);
+        // Sparse buckets: log2 histograms of durations touch a handful of
+        // the 64 buckets.
+        std::uint64_t nonzero = 0;
+        for (const std::uint64_t b : h.buckets) {
+            nonzero += b != 0 ? 1 : 0;
+        }
+        out.write_varint(nonzero);
+        for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+            if (h.buckets[b] != 0) {
+                out.write_u8(static_cast<std::uint8_t>(b));
+                out.write_varint(h.buckets[b]);
+            }
+        }
+    }
+}
+
+std::vector<obs::metric_entry> decode_metric_entries(byte_reader& in) {
+    const std::uint64_t count = in.read_length_prefix(2);
+    std::vector<obs::metric_entry> metrics;
+    metrics.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        obs::metric_entry e;
+        e.name = in.read_string();
+        const std::uint8_t kind = in.read_u8();
+        if (kind > static_cast<std::uint8_t>(obs::metric_kind::histogram)) {
+            throw serialize_error{"telemetry: unknown metric kind"};
+        }
+        e.kind = static_cast<obs::metric_kind>(kind);
+        if (e.kind != obs::metric_kind::histogram) {
+            e.value = in.read_varint();
+        } else {
+            obs::histogram_snapshot& h = e.histogram;
+            h.count = in.read_varint();
+            h.sum = in.read_varint();
+            h.min = in.read_varint();
+            h.max = in.read_varint();
+            const std::uint64_t nonzero = in.read_length_prefix(2);
+            for (std::uint64_t b = 0; b < nonzero; ++b) {
+                const std::uint8_t bucket = in.read_u8();
+                if (bucket >= h.buckets.size()) {
+                    throw serialize_error{"telemetry: bucket out of range"};
+                }
+                h.buckets[bucket] = in.read_varint();
+            }
+        }
+        metrics.push_back(std::move(e));
+    }
+    return metrics;
+}
+
+void encode_trace_capture(byte_writer& out, const obs::process_capture& c) {
+    out.write_u32(c.pid);
+    out.write_string(c.process_name);
+    out.write_u64(c.epoch_ns);
+    out.write_varint(c.dropped);
+    out.write_varint(c.thread_names.size());
+    for (const auto& [tid, name] : c.thread_names) {
+        out.write_varint(tid);
+        out.write_string(name);
+    }
+    out.write_varint(c.spans.size());
+    for (const obs::trace_span& s : c.spans) {
+        out.write_string(s.name);
+        out.write_varint(s.tid);
+        out.write_u64(s.start_ns);
+        out.write_u64(s.dur_ns);
+        out.write_u64(s.flow_id);
+        out.write_u8(s.flow_phase);
+    }
+}
+
+obs::process_capture decode_trace_capture(byte_reader& in) {
+    obs::process_capture c;
+    c.pid = in.read_u32();
+    c.process_name = in.read_string();
+    c.epoch_ns = in.read_u64();
+    c.dropped = in.read_varint();
+    const std::uint64_t names = in.read_length_prefix(2);
+    c.thread_names.reserve(names);
+    for (std::uint64_t i = 0; i < names; ++i) {
+        const auto tid = static_cast<std::uint32_t>(in.read_varint());
+        c.thread_names.emplace_back(tid, in.read_string());
+    }
+    const std::uint64_t spans = in.read_length_prefix(2);
+    c.spans.reserve(spans);
+    for (std::uint64_t i = 0; i < spans; ++i) {
+        obs::trace_span s;
+        s.name = in.read_string();
+        s.tid = static_cast<std::uint32_t>(in.read_varint());
+        s.start_ns = in.read_u64();
+        s.dur_ns = in.read_u64();
+        s.flow_id = in.read_u64();
+        s.flow_phase = in.read_u8();
+        if (s.flow_phase > obs::flow_finish) {
+            throw serialize_error{"telemetry: unknown flow phase"};
+        }
+        c.spans.push_back(std::move(s));
+    }
+    return c;
+}
+
+}  // namespace
+
+std::vector<std::byte> encode_worker_telemetry(const worker_telemetry& t) {
+    byte_writer out;
+    out.write_u64(t.worker_id);
+    out.write_u32(t.pid);
+    encode_cache_stats(out, t.cache);
+    encode_metric_entries(out, t.metrics);
+    encode_trace_capture(out, t.trace);
+    return out.take();
+}
+
+worker_telemetry decode_worker_telemetry(std::span<const std::byte> blob) {
+    byte_reader in{blob};
+    worker_telemetry t;
+    t.worker_id = in.read_u64();
+    t.pid = in.read_u32();
+    t.cache = decode_cache_stats(in);
+    t.metrics = decode_metric_entries(in);
+    t.trace = decode_trace_capture(in);
+    if (!in.at_end()) {
+        throw serialize_error{"worker telemetry: trailing bytes"};
+    }
+    return t;
 }
 
 void fd_write_all(int fd, std::span<const std::byte> bytes) {

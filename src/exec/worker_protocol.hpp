@@ -22,9 +22,12 @@
 #include <span>
 #include <vector>
 
+#include "assess/verdict_cache.hpp"
 #include "exec/chaos.hpp"
 #include "exec/transport.hpp"
 #include "faults/fault_tree.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "topology/graph.hpp"
 #include "topology/links.hpp"
 
@@ -43,19 +46,31 @@ enum class worker_msg : std::uint8_t {
                    ///< in-place (cross-plan retention) instead of rebuilding
                    ///< the route-and-check state. Equivalent to setup when
                    ///< the worker holds no context (respawned workers).
+    telemetry = 9,  ///< master -> worker: empty-blob harvest request;
+                    ///< worker -> master: encoded worker_telemetry reply
+                    ///< (registry delta + cumulative cache stats + drained
+                    ///< trace spans). Pure observability: touches no RNG,
+                    ///< sampler or verdict state (§6 contract).
 };
 
 struct envelope {
     worker_msg kind = worker_msg::hello;
     std::uint64_t batch = 0;
     std::uint64_t attempt = 0;
+    /// Distributed-trace propagation (task envelopes): the master's capture
+    /// id and the dispatching span's flow id. Workers tag their batch spans
+    /// with the same flow id so the merged export stitches dispatch ->
+    /// execute across the process boundary. Zero = no active capture.
+    std::uint64_t trace_id = 0;
+    std::uint64_t span_id = 0;
     std::vector<std::byte> blob;
 };
 
 /// Builds the framed outer envelope ready for the socket.
 [[nodiscard]] std::vector<std::byte> pack_envelope(
     worker_msg kind, std::uint64_t batch, std::uint64_t attempt,
-    std::span<const std::byte> blob);
+    std::span<const std::byte> blob, std::uint64_t trace_id = 0,
+    std::uint64_t span_id = 0);
 
 /// Parses a complete outer frame (as popped from a frame_assembler).
 /// Throws serialize_error on a malformed envelope.
@@ -77,6 +92,13 @@ struct worker_environment {
     bool cache_enabled = false;
     std::size_t cache_max_entries = 0;
     bool cache_cross_plan = false;
+    /// Observability enablement mirrored from the master's process-wide
+    /// registry/tracer state at encode time, so workers count and trace
+    /// exactly when the master does. Respawned workers receive the same
+    /// cached env blob (mid-run toggles do not propagate — documented in
+    /// DESIGN.md §12).
+    bool metrics_enabled = false;
+    bool trace_enabled = false;
 };
 
 /// Serializes the master-side transport_env (requires env.topology).
@@ -85,6 +107,28 @@ struct worker_environment {
 
 /// Decodes an `env` blob. Throws serialize_error on malformed input.
 [[nodiscard]] worker_environment decode_worker_environment(
+    std::span<const std::byte> blob);
+
+/// One worker process's observability payload for a telemetry harvest
+/// round-trip. Metrics are the registry DELTA since the previous harvest
+/// (the worker snapshots then resets its registry); cache stats are
+/// CUMULATIVE across every context the process ran, surviving teardown and
+/// respawn-independent on the master side; the trace capture is MOVED out
+/// of the worker's rings (spans ship exactly once).
+struct worker_telemetry {
+    std::uint64_t worker_id = 0;
+    std::uint32_t pid = 0;
+    verdict_cache_stats cache;             ///< cumulative, incl. torn-down contexts
+    std::vector<obs::metric_entry> metrics;  ///< registry delta since last harvest
+    obs::process_capture trace;            ///< drained spans + ring-overflow drops
+};
+
+[[nodiscard]] std::vector<std::byte> encode_worker_telemetry(
+    const worker_telemetry& t);
+
+/// Decodes a `telemetry` reply blob. Throws serialize_error on malformed
+/// input.
+[[nodiscard]] worker_telemetry decode_worker_telemetry(
     std::span<const std::byte> blob);
 
 // ---- fd helpers --------------------------------------------------------

@@ -1,0 +1,484 @@
+#include "obs/admin_server.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace recloud::obs {
+
+namespace {
+
+// ---- Prometheus text exposition ---------------------------------------
+
+[[nodiscard]] bool numeric_segment(std::string_view seg) noexcept {
+    if (seg.empty()) {
+        return false;
+    }
+    for (const char c : seg) {
+        if (c < '0' || c > '9') {
+            return false;
+        }
+    }
+    return true;
+}
+
+void append_sanitized(std::string& out, std::string_view seg) {
+    for (const char c : seg) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_';
+        out.push_back(ok ? c : '_');
+    }
+}
+
+[[nodiscard]] const char* type_name(metric_kind kind) noexcept {
+    switch (kind) {
+        case metric_kind::counter: return "counter";
+        case metric_kind::gauge: return "gauge";
+        case metric_kind::histogram: return "histogram";
+    }
+    return "untyped";
+}
+
+/// Upper bound of log-2 bucket b: the largest v with floor(log2(v+1)) == b.
+[[nodiscard]] std::uint64_t bucket_upper(std::size_t b) noexcept {
+    if (b >= 63) {
+        return ~std::uint64_t{0} - 1;  // 2^64 - 2 without shifting by 64
+    }
+    return (std::uint64_t{1} << (b + 1)) - 2;
+}
+
+struct family_data {
+    metric_kind kind = metric_kind::counter;
+    std::vector<std::string> lines;
+};
+
+/// "recloud_a_b{c=\"3\"}": dots to underscores, numeric segments lifted to
+/// a label named after the preceding segment.
+void family_and_labels(std::string_view name, std::string& family,
+                       std::string& labels) {
+    family = "recloud";
+    labels.clear();
+    std::size_t pos = 0;
+    std::string_view previous;
+    while (pos <= name.size()) {
+        const std::size_t dot = name.find('.', pos);
+        const std::string_view seg =
+            name.substr(pos, dot == std::string_view::npos ? dot : dot - pos);
+        if (numeric_segment(seg) && !previous.empty()) {
+            if (!labels.empty()) {
+                labels.push_back(',');
+            }
+            append_sanitized(labels, previous);
+            labels += "=\"";
+            labels.append(seg);
+            labels.push_back('"');
+        } else if (!seg.empty()) {
+            family.push_back('_');
+            append_sanitized(family, seg);
+            previous = seg;
+        }
+        if (dot == std::string_view::npos) {
+            break;
+        }
+        pos = dot + 1;
+    }
+}
+
+void append_sample(std::vector<std::string>& lines, const std::string& family,
+                   const char* suffix, const std::string& labels,
+                   const char* extra_label, std::uint64_t value) {
+    std::string line = family;
+    line += suffix;
+    if (!labels.empty() || extra_label != nullptr) {
+        line.push_back('{');
+        line += labels;
+        if (extra_label != nullptr) {
+            if (!labels.empty()) {
+                line.push_back(',');
+            }
+            line += extra_label;
+        }
+        line.push_back('}');
+    }
+    line.push_back(' ');
+    line += std::to_string(value);
+    lines.push_back(std::move(line));
+}
+
+}  // namespace
+
+std::string prometheus_exposition(const telemetry_snapshot& snap) {
+    std::map<std::string, family_data> families;
+    std::string family;
+    std::string labels;
+    for (const metric_entry& m : snap.metrics) {
+        family_and_labels(m.name, family, labels);
+        auto [it, inserted] = families.try_emplace(family);
+        if (inserted) {
+            it->second.kind = m.kind;
+        } else if (it->second.kind != m.kind) {
+            // Two dotted names collapsed to one family with clashing kinds;
+            // exposition forbids mixed types, so the later entry is dropped.
+            continue;
+        }
+        std::vector<std::string>& lines = it->second.lines;
+        if (m.kind != metric_kind::histogram) {
+            append_sample(lines, family, "", labels, nullptr, m.value);
+            continue;
+        }
+        const histogram_snapshot& h = m.histogram;
+        std::size_t top = 0;
+        for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+            if (h.buckets[b] != 0) {
+                top = b;
+            }
+        }
+        std::uint64_t cumulative = 0;
+        for (std::size_t b = 0; h.count != 0 && b <= top; ++b) {
+            cumulative += h.buckets[b];
+            const std::string le =
+                "le=\"" + std::to_string(bucket_upper(b)) + "\"";
+            append_sample(lines, family, "_bucket", labels, le.c_str(),
+                          cumulative);
+        }
+        append_sample(lines, family, "_bucket", labels, "le=\"+Inf\"", h.count);
+        append_sample(lines, family, "_sum", labels, nullptr, h.sum);
+        append_sample(lines, family, "_count", labels, nullptr, h.count);
+    }
+
+    std::string out;
+    for (const auto& [name, data] : families) {
+        out += "# TYPE ";
+        out += name;
+        out.push_back(' ');
+        out += type_name(data.kind);
+        out.push_back('\n');
+        for (const std::string& line : data.lines) {
+            out += line;
+            out.push_back('\n');
+        }
+    }
+    return out;
+}
+
+// ---- server ------------------------------------------------------------
+
+namespace {
+
+constexpr std::size_t max_clients = 32;
+constexpr std::size_t max_request_bytes = 4096;
+
+[[nodiscard]] std::string http_response(int status, const char* reason,
+                                        const char* content_type,
+                                        std::string_view body) {
+    std::string out = "HTTP/1.0 ";
+    out += std::to_string(status);
+    out.push_back(' ');
+    out += reason;
+    out += "\r\nContent-Type: ";
+    out += content_type;
+    out += "\r\nContent-Length: ";
+    out += std::to_string(body.size());
+    out += "\r\nConnection: close\r\n\r\n";
+    out.append(body);
+    return out;
+}
+
+}  // namespace
+
+struct admin_server::impl {
+    std::string path;
+    admin_endpoints endpoints;
+    int listen_fd = -1;
+    int wake_read = -1;
+    int wake_write = -1;
+    std::thread server;
+    std::mutex stop_mutex;  ///< serializes stop() callers (join-once)
+    std::atomic<bool> stopping{false};
+    std::atomic<std::uint64_t> connections{0};
+    std::atomic<std::uint64_t> requests{0};
+    std::atomic<std::uint64_t> errors{0};
+
+    struct client {
+        int fd = -1;
+        std::string in;        ///< request bytes until "\r\n\r\n"
+        std::string out;       ///< fully rendered response
+        std::size_t sent = 0;  ///< bytes of `out` already written
+        bool writing = false;
+    };
+    std::vector<client> clients;
+
+    void serve();
+    void accept_clients();
+    void read_client(client& c);
+    void write_client(client& c);
+    [[nodiscard]] std::string respond(std::string_view request);
+    [[nodiscard]] std::string route(std::string_view path);
+};
+
+void admin_server::impl::serve() {
+    std::vector<pollfd> fds;
+    while (!stopping.load(std::memory_order_acquire)) {
+        fds.clear();
+        fds.push_back(pollfd{listen_fd, POLLIN, 0});
+        fds.push_back(pollfd{wake_read, POLLIN, 0});
+        for (const client& c : clients) {
+            fds.push_back(
+                pollfd{c.fd, static_cast<short>(c.writing ? POLLOUT : POLLIN), 0});
+        }
+        if (::poll(fds.data(), static_cast<nfds_t>(fds.size()), -1) < 0) {
+            if (errno == EINTR) {
+                continue;
+            }
+            break;  // unrecoverable poll failure; shut the endpoint down
+        }
+        if ((fds[1].revents & POLLIN) != 0) {
+            continue;  // stop() poked the pipe; re-check the flag
+        }
+        // Clients first (their fds snapshot matches `clients` order), then
+        // compaction, then accept — accept appends and would shift indices.
+        for (std::size_t i = 0; i < clients.size(); ++i) {
+            client& c = clients[i];
+            const short events = fds[2 + i].revents;
+            if ((events & (POLLERR | POLLNVAL)) != 0) {
+                errors.fetch_add(1, std::memory_order_relaxed);
+                ::close(c.fd);
+                c.fd = -1;
+                continue;
+            }
+            if (c.writing && (events & (POLLOUT | POLLHUP)) != 0) {
+                write_client(c);
+            } else if (!c.writing && (events & (POLLIN | POLLHUP)) != 0) {
+                read_client(c);
+            }
+        }
+        std::erase_if(clients, [](const client& c) { return c.fd < 0; });
+        if ((fds[0].revents & POLLIN) != 0) {
+            accept_clients();
+        }
+    }
+    for (const client& c : clients) {
+        ::close(c.fd);
+    }
+    clients.clear();
+}
+
+void admin_server::impl::accept_clients() {
+    for (;;) {
+        const int fd =
+            ::accept4(listen_fd, nullptr, nullptr, SOCK_CLOEXEC | SOCK_NONBLOCK);
+        if (fd < 0) {
+            return;  // EAGAIN (drained) or transient error; poll retries
+        }
+        if (clients.size() >= max_clients) {
+            errors.fetch_add(1, std::memory_order_relaxed);
+            ::close(fd);
+            continue;
+        }
+        connections.fetch_add(1, std::memory_order_relaxed);
+        client c;
+        c.fd = fd;
+        clients.push_back(std::move(c));
+    }
+}
+
+void admin_server::impl::read_client(client& c) {
+    char buf[1024];
+    for (;;) {
+        const ssize_t n = ::read(c.fd, buf, sizeof buf);
+        if (n > 0) {
+            c.in.append(buf, static_cast<std::size_t>(n));
+            if (c.in.find("\r\n\r\n") != std::string::npos) {
+                c.out = respond(c.in);
+                c.writing = true;
+                write_client(c);
+                return;
+            }
+            if (c.in.size() > max_request_bytes) {
+                errors.fetch_add(1, std::memory_order_relaxed);
+                c.out = http_response(400, "Bad Request", "text/plain",
+                                      "request too large\n");
+                c.writing = true;
+                write_client(c);
+                return;
+            }
+            continue;
+        }
+        if (n == 0) {  // peer closed before completing a request
+            ::close(c.fd);
+            c.fd = -1;
+            return;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+            return;
+        }
+        if (errno == EINTR) {
+            continue;
+        }
+        errors.fetch_add(1, std::memory_order_relaxed);
+        ::close(c.fd);
+        c.fd = -1;
+        return;
+    }
+}
+
+void admin_server::impl::write_client(client& c) {
+    while (c.sent < c.out.size()) {
+        const ssize_t n = ::send(c.fd, c.out.data() + c.sent,
+                                 c.out.size() - c.sent, MSG_NOSIGNAL);
+        if (n > 0) {
+            c.sent += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            return;  // poll for POLLOUT
+        }
+        if (n < 0 && errno == EINTR) {
+            continue;
+        }
+        errors.fetch_add(1, std::memory_order_relaxed);
+        break;
+    }
+    ::close(c.fd);
+    c.fd = -1;
+}
+
+std::string admin_server::impl::respond(std::string_view request) {
+    const std::size_t eol = request.find("\r\n");
+    std::string_view line = request.substr(0, eol);
+    const std::size_t method_end = line.find(' ');
+    if (method_end == std::string_view::npos) {
+        errors.fetch_add(1, std::memory_order_relaxed);
+        return http_response(400, "Bad Request", "text/plain", "bad request\n");
+    }
+    const std::string_view method = line.substr(0, method_end);
+    line.remove_prefix(method_end + 1);
+    std::string_view path = line.substr(0, line.find(' '));
+    path = path.substr(0, path.find('?'));
+    if (method != "GET") {
+        errors.fetch_add(1, std::memory_order_relaxed);
+        return http_response(405, "Method Not Allowed", "text/plain",
+                             "only GET is served here\n");
+    }
+    requests.fetch_add(1, std::memory_order_relaxed);
+    try {
+        return route(path);
+    } catch (const std::exception& error) {
+        errors.fetch_add(1, std::memory_order_relaxed);
+        return http_response(500, "Internal Server Error", "text/plain",
+                             std::string{error.what()} + "\n");
+    } catch (...) {
+        errors.fetch_add(1, std::memory_order_relaxed);
+        return http_response(500, "Internal Server Error", "text/plain",
+                             "handler failed\n");
+    }
+}
+
+std::string admin_server::impl::route(std::string_view path) {
+    if (path == "/metrics" && endpoints.metrics != nullptr) {
+        return http_response(200, "OK",
+                             "text/plain; version=0.0.4; charset=utf-8",
+                             prometheus_exposition(endpoints.metrics()));
+    }
+    if (path == "/healthz") {
+        return http_response(200, "OK", "application/json",
+                             "{\"status\":\"ok\"}\n");
+    }
+    if (path == "/status" && endpoints.status_json != nullptr) {
+        return http_response(200, "OK", "application/json",
+                             endpoints.status_json());
+    }
+    if (path == "/trace" && endpoints.trace_json != nullptr) {
+        return http_response(200, "OK", "application/json",
+                             endpoints.trace_json());
+    }
+    return http_response(404, "Not Found", "text/plain",
+                         "routes: /metrics /status /healthz /trace\n");
+}
+
+admin_server::admin_server(std::string socket_path, admin_endpoints endpoints)
+    : impl_(std::make_unique<impl>()) {
+    impl_->path = std::move(socket_path);
+    impl_->endpoints = std::move(endpoints);
+
+    sockaddr_un addr{};
+    if (impl_->path.empty() || impl_->path.size() >= sizeof addr.sun_path) {
+        throw std::runtime_error{"admin_server: bad socket path: " +
+                                 impl_->path};
+    }
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, impl_->path.c_str(), impl_->path.size() + 1);
+
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0);
+    if (fd < 0) {
+        throw std::runtime_error{std::string{"admin_server: socket: "} +
+                                 std::strerror(errno)};
+    }
+    ::unlink(impl_->path.c_str());  // replace a stale socket file
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0 ||
+        ::listen(fd, 16) != 0) {
+        const int err = errno;
+        ::close(fd);
+        throw std::runtime_error{"admin_server: cannot serve on " +
+                                 impl_->path + ": " + std::strerror(err)};
+    }
+    int wake[2] = {-1, -1};
+    if (::pipe2(wake, O_CLOEXEC | O_NONBLOCK) != 0) {
+        const int err = errno;
+        ::close(fd);
+        ::unlink(impl_->path.c_str());
+        throw std::runtime_error{std::string{"admin_server: pipe2: "} +
+                                 std::strerror(err)};
+    }
+    impl_->listen_fd = fd;
+    impl_->wake_read = wake[0];
+    impl_->wake_write = wake[1];
+    impl_->server = std::thread{[p = impl_.get()] { p->serve(); }};
+}
+
+admin_server::~admin_server() { stop(); }
+
+void admin_server::stop() {
+    const std::lock_guard<std::mutex> lock{impl_->stop_mutex};
+    if (!impl_->server.joinable()) {
+        return;
+    }
+    impl_->stopping.store(true, std::memory_order_release);
+    const char poke = 1;
+    const ssize_t ignored = ::write(impl_->wake_write, &poke, 1);
+    (void)ignored;
+    impl_->server.join();
+    ::close(impl_->listen_fd);
+    ::close(impl_->wake_read);
+    ::close(impl_->wake_write);
+    impl_->listen_fd = impl_->wake_read = impl_->wake_write = -1;
+    ::unlink(impl_->path.c_str());
+}
+
+const std::string& admin_server::socket_path() const noexcept {
+    return impl_->path;
+}
+
+admin_server_stats admin_server::stats() const noexcept {
+    admin_server_stats out;
+    out.connections = impl_->connections.load(std::memory_order_relaxed);
+    out.requests = impl_->requests.load(std::memory_order_relaxed);
+    out.errors = impl_->errors.load(std::memory_order_relaxed);
+    return out;
+}
+
+}  // namespace recloud::obs

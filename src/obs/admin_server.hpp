@@ -1,0 +1,90 @@
+// Live introspection endpoint (observability tentpole, part 3): a tiny
+// poll()-based HTTP/1.0 server on a Unix-domain socket, serving the
+// process's observability surfaces to curl / Prometheus scrapers without
+// touching any assessment state:
+//
+//   GET /metrics  Prometheus text exposition (v0.0.4) of a telemetry
+//                 snapshot — typically the merged global registry, so after
+//                 a harvest it includes socket-worker counters too.
+//   GET /status   owner-provided JSON (the deployment service exports
+//                 per-shard queue depth / high-water mark, per-tenant
+//                 in-flight counts, shed counters, fleet gauges).
+//   GET /healthz  constant {"status":"ok"} liveness probe (no callbacks).
+//   GET /trace    owner-provided trace dump (Chrome trace-event JSON) —
+//                 the on-demand trace-dump trigger.
+//
+// Design constraints, matching the rest of obs/:
+//   * Pure observability: handlers run on the server's own thread and only
+//     read snapshots; no RNG, sampler or verdict state is reachable from
+//     here (§6 determinism contract).
+//   * One thread, poll()-driven, self-pipe wakeup for shutdown — the same
+//     idiom as exec/socket_transport. Non-blocking fds throughout; a slow
+//     or stuck client can never wedge the server (bounded request size,
+//     bounded client count, partial writes resume on POLLOUT).
+//   * Failure-isolated: a throwing endpoint callback becomes a 500
+//     response, never escapes the server thread.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace recloud::obs {
+
+/// Renders a snapshot in Prometheus text exposition format (version 0.0.4).
+///
+/// Name mapping: dots become underscores and every metric is prefixed
+/// "recloud_" ("service.submitted" -> "recloud_service_submitted"). A purely
+/// numeric dotted segment is lifted into a label named after the segment
+/// before it ("service.shard.3.queue_depth" ->
+/// recloud_service_shard_queue_depth{shard="3"}), so per-instance series
+/// share one metric family. Samples are grouped per family under a single
+/// # TYPE line, families sorted by name.
+///
+/// Histograms: the registry's log-2 buckets (bucket b holds v with
+/// floor(log2(v+1)) == b, i.e. v in [2^b - 1, 2^(b+1) - 2]) are exported as
+/// CUMULATIVE le-buckets with upper bound 2^(b+1) - 2, up to the highest
+/// non-empty bucket, then le="+Inf", plus _sum and _count.
+[[nodiscard]] std::string prometheus_exposition(const telemetry_snapshot& snap);
+
+/// Owner-provided content sources; a null callback 404s its route.
+struct admin_endpoints {
+    std::function<telemetry_snapshot()> metrics;  ///< GET /metrics
+    std::function<std::string()> status_json;     ///< GET /status
+    std::function<std::string()> trace_json;      ///< GET /trace
+};
+
+/// Server counters (monotonic since construction).
+struct admin_server_stats {
+    std::uint64_t connections = 0;  ///< accepted clients
+    std::uint64_t requests = 0;     ///< well-formed requests answered
+    std::uint64_t errors = 0;       ///< bad requests, handler throws, I/O drops
+};
+
+class admin_server {
+public:
+    /// Binds and starts serving immediately. Replaces a stale socket file
+    /// at `socket_path` (unlink before bind). Throws std::runtime_error
+    /// when the path is too long for sockaddr_un or the socket cannot be
+    /// bound/listened.
+    admin_server(std::string socket_path, admin_endpoints endpoints);
+    ~admin_server();  ///< stop()
+    admin_server(const admin_server&) = delete;
+    admin_server& operator=(const admin_server&) = delete;
+
+    /// Stops accepting, closes every client, joins the server thread and
+    /// unlinks the socket file. Idempotent.
+    void stop();
+
+    [[nodiscard]] const std::string& socket_path() const noexcept;
+    [[nodiscard]] admin_server_stats stats() const noexcept;
+
+private:
+    struct impl;
+    std::unique_ptr<impl> impl_;
+};
+
+}  // namespace recloud::obs

@@ -369,6 +369,43 @@ telemetry_snapshot metrics_registry::snapshot() const {
     return snap;
 }
 
+void metrics_registry::merge_snapshot(const telemetry_snapshot& snap) noexcept {
+    for (const metric_entry& entry : snap.metrics) {
+        if (entry.kind == metric_kind::gauge) {
+            continue;  // process-local publishes: summing would be a lie
+        }
+        metric_id id{};
+        try {
+            id = register_metric(entry.name, entry.kind);
+        } catch (const std::exception&) {
+            continue;  // kind mismatch or capacity: drop, don't throw
+        }
+        const std::uint32_t index = index_of(id);
+        const std::lock_guard lock{impl_->mutex};
+        if (entry.kind == metric_kind::counter) {
+            impl_->retired.counters[index].fetch_add(entry.value,
+                                                     std::memory_order_relaxed);
+            continue;
+        }
+        const histogram_snapshot& h = entry.histogram;
+        if (h.count == 0) {
+            continue;
+        }
+        shard::hist_slot& slot = impl_->retired.hists[index];
+        for (std::size_t b = 0; b < 64; ++b) {
+            slot.buckets[b].fetch_add(h.buckets[b], std::memory_order_relaxed);
+        }
+        slot.count.fetch_add(h.count, std::memory_order_relaxed);
+        slot.sum.fetch_add(h.sum, std::memory_order_relaxed);
+        if (h.min < slot.min.load(std::memory_order_relaxed)) {
+            slot.min.store(h.min, std::memory_order_relaxed);
+        }
+        if (h.max > slot.max.load(std::memory_order_relaxed)) {
+            slot.max.store(h.max, std::memory_order_relaxed);
+        }
+    }
+}
+
 void metrics_registry::reset() noexcept {
     const std::lock_guard lock{impl_->mutex};
     impl_->retired.zero();

@@ -113,6 +113,14 @@ public:
     /// Zeroes every slot and gauge; registered names survive.
     void reset() noexcept;
 
+    /// Folds a harvested snapshot (a worker process's registry delta) into
+    /// this registry: counters add, histograms merge bucket-wise (count,
+    /// sum, min, max included), gauges are skipped — they are process-local
+    /// last-write-wins publishes and do not sum across processes. Unknown
+    /// names register on the fly; a kind mismatch or exhausted capacity
+    /// skips that entry (harvest must never take down the master).
+    void merge_snapshot(const telemetry_snapshot& snap) noexcept;
+
 private:
     struct shard;
     struct tls_entry;

@@ -1,5 +1,7 @@
 #include "obs/trace.hpp"
 
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -18,6 +20,8 @@ struct trace_event {
     const char* name;
     std::uint64_t start_ns;
     std::uint64_t dur_ns;
+    std::uint64_t flow_id;
+    std::uint8_t flow_phase;
 };
 
 std::uint64_t steady_ns() noexcept {
@@ -51,14 +55,14 @@ struct ring {
     std::atomic<std::size_t> count{0};
     std::atomic<std::uint64_t> dropped{0};
 
-    void push(const char* name, std::uint64_t start_ns,
-              std::uint64_t dur_ns) noexcept {
+    void push(const char* name, std::uint64_t start_ns, std::uint64_t dur_ns,
+              std::uint64_t flow_id = 0, std::uint8_t flow_phase = 0) noexcept {
         const std::size_t n = count.load(std::memory_order_relaxed);
         if (n >= events.size()) {
             dropped.fetch_add(1, std::memory_order_relaxed);
             return;
         }
-        events[n] = trace_event{name, start_ns, dur_ns};
+        events[n] = trace_event{name, start_ns, dur_ns, flow_id, flow_phase};
         count.store(n + 1, std::memory_order_release);
     }
 };
@@ -77,8 +81,9 @@ struct tracer::impl {
     std::atomic<bool> enabled{false};
     std::atomic<std::uint64_t> epoch_ns{0};
     std::atomic<std::size_t> ring_capacity{std::size_t{1} << 15};
-    mutable std::mutex mutex;  ///< guards rings (list) and thread names
+    mutable std::mutex mutex;  ///< guards rings (list), thread names, remote
     std::vector<std::unique_ptr<ring>> rings;
+    std::vector<process_capture> remote;  ///< harvested worker captures
     std::uint32_t next_tid = 1;
 
     ring& local_ring() {
@@ -122,6 +127,7 @@ void tracer::reset() noexcept {
         r->count.store(0, std::memory_order_relaxed);
         r->dropped.store(0, std::memory_order_relaxed);
     }
+    impl_->remote.clear();
 }
 
 void tracer::set_ring_capacity(std::size_t events) noexcept {
@@ -141,12 +147,53 @@ std::uint64_t tracer::now_ns() const noexcept {
     return steady_ns() - impl_->epoch_ns.load(std::memory_order_relaxed);
 }
 
+std::uint64_t tracer::epoch_ns() const noexcept {
+    return impl_->epoch_ns.load(std::memory_order_relaxed);
+}
+
 void tracer::record(const char* name, std::uint64_t start_ns,
                     std::uint64_t dur_ns) noexcept {
     if (!enabled()) {
         return;  // capture stopped between span open and close
     }
     impl_->local_ring().push(name, start_ns, dur_ns);
+}
+
+void tracer::record_flow(const char* name, std::uint64_t start_ns,
+                         std::uint64_t dur_ns, std::uint64_t flow_id,
+                         std::uint8_t flow_phase) noexcept {
+    if (!enabled()) {
+        return;
+    }
+    impl_->local_ring().push(name, start_ns, dur_ns, flow_id, flow_phase);
+}
+
+process_capture tracer::drain_capture(std::string process_name) {
+    const std::lock_guard lock{impl_->mutex};
+    process_capture capture;
+    capture.pid = static_cast<std::uint32_t>(::getpid());
+    capture.process_name = std::move(process_name);
+    capture.epoch_ns = impl_->epoch_ns.load(std::memory_order_relaxed);
+    for (const auto& r : impl_->rings) {
+        if (!r->thread_name.empty()) {
+            capture.thread_names.emplace_back(r->tid, r->thread_name);
+        }
+        capture.dropped += r->dropped.exchange(0, std::memory_order_relaxed);
+        const std::size_t n = r->count.load(std::memory_order_acquire);
+        for (std::size_t i = 0; i < n; ++i) {
+            const trace_event& e = r->events[i];
+            capture.spans.push_back(trace_span{e.name, r->tid, e.start_ns,
+                                               e.dur_ns, e.flow_id,
+                                               e.flow_phase});
+        }
+        r->count.store(0, std::memory_order_relaxed);
+    }
+    return capture;
+}
+
+void tracer::add_remote_capture(process_capture capture) {
+    const std::lock_guard lock{impl_->mutex};
+    impl_->remote.push_back(std::move(capture));
 }
 
 std::uint64_t tracer::dropped() const noexcept {
@@ -167,40 +214,112 @@ std::uint64_t tracer::captured() const noexcept {
     return total;
 }
 
+namespace {
+
+void append_meta(std::string& out, bool& first, std::uint32_t pid,
+                 std::uint32_t tid, const char* what, const std::string& name) {
+    if (!first) {
+        out += ",";
+    }
+    first = false;
+    out += "{\"ph\":\"M\",\"pid\":";
+    out += std::to_string(pid);
+    out += ",\"tid\":";
+    out += std::to_string(tid);
+    out += ",\"name\":\"";
+    out += what;
+    out += "\",\"args\":{\"name\":\"";
+    out += name;  // pool/caller-chosen names: no escapes needed
+    out += "\"}}";
+}
+
+void append_span(std::string& out, bool& first, std::uint32_t pid,
+                 std::uint32_t tid, const char* name, std::uint64_t start_ns,
+                 std::uint64_t dur_ns, std::uint64_t flow_id,
+                 std::uint8_t flow_phase) {
+    if (!first) {
+        out += ",";
+    }
+    first = false;
+    out += "{\"ph\":\"X\",\"pid\":";
+    out += std::to_string(pid);
+    out += ",\"tid\":";
+    out += std::to_string(tid);
+    out += ",\"ts\":";
+    append_us(out, start_ns);
+    out += ",\"dur\":";
+    append_us(out, dur_ns);
+    out += ",\"name\":\"";
+    out += name;  // literals chosen by this codebase: no escapes
+    out += "\",\"cat\":\"recloud\"}";
+    if (flow_id == 0 || flow_phase == flow_none) {
+        return;
+    }
+    // The flow event shares the slice's start timestamp so viewers bind it
+    // to that slice; "f" uses bp:"e" (bind to enclosing slice).
+    out += ",{\"ph\":\"";
+    out += flow_phase == flow_start ? "s" : "f";
+    out += "\"";
+    if (flow_phase != flow_start) {
+        out += ",\"bp\":\"e\"";
+    }
+    out += ",\"id\":";
+    out += std::to_string(flow_id);
+    out += ",\"pid\":";
+    out += std::to_string(pid);
+    out += ",\"tid\":";
+    out += std::to_string(tid);
+    out += ",\"ts\":";
+    append_us(out, start_ns);
+    out += ",\"name\":\"";
+    out += name;
+    out += "\",\"cat\":\"recloud.flow\"}";
+}
+
+}  // namespace
+
 std::string tracer::export_chrome_trace() const {
     const std::lock_guard lock{impl_->mutex};
+    const auto local_pid = static_cast<std::uint32_t>(::getpid());
+    const std::uint64_t local_epoch =
+        impl_->epoch_ns.load(std::memory_order_relaxed);
     std::string out = "{\"traceEvents\":[";
     bool first = true;
     std::uint64_t dropped_total = 0;
+    append_meta(out, first, local_pid, 0, "process_name", "recloud");
     for (const auto& r : impl_->rings) {
         dropped_total += r->dropped.load(std::memory_order_relaxed);
         if (!r->thread_name.empty()) {
-            if (!first) {
-                out += ",";
-            }
-            first = false;
-            out += "{\"ph\":\"M\",\"pid\":1,\"tid\":";
-            out += std::to_string(r->tid);
-            out += ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
-            out += r->thread_name;  // pool/caller-chosen names: no escapes needed
-            out += "\"}}";
+            append_meta(out, first, local_pid, r->tid, "thread_name",
+                        r->thread_name);
         }
         const std::size_t n = r->count.load(std::memory_order_acquire);
         for (std::size_t i = 0; i < n; ++i) {
             const trace_event& e = r->events[i];
-            if (!first) {
-                out += ",";
-            }
-            first = false;
-            out += "{\"ph\":\"X\",\"pid\":1,\"tid\":";
-            out += std::to_string(r->tid);
-            out += ",\"ts\":";
-            append_us(out, e.start_ns);
-            out += ",\"dur\":";
-            append_us(out, e.dur_ns);
-            out += ",\"name\":\"";
-            out += e.name;  // literals chosen by this codebase: no escapes
-            out += "\",\"cat\":\"recloud\"}";
+            append_span(out, first, local_pid, r->tid, e.name, e.start_ns,
+                        e.dur_ns, e.flow_id, e.flow_phase);
+        }
+    }
+    for (const auto& capture : impl_->remote) {
+        dropped_total += capture.dropped;
+        append_meta(out, first, capture.pid, 0, "process_name",
+                    capture.process_name);
+        for (const auto& [tid, name] : capture.thread_names) {
+            append_meta(out, first, capture.pid, tid, "thread_name", name);
+        }
+        // Same machine, same monotonic clock: re-base the remote capture's
+        // epoch-relative timestamps onto our epoch (clamp a worker span that
+        // started before our capture origin to ts 0 rather than going
+        // negative, which trace viewers reject).
+        const auto delta = static_cast<std::int64_t>(capture.epoch_ns) -
+                           static_cast<std::int64_t>(local_epoch);
+        for (const trace_span& s : capture.spans) {
+            const auto shifted =
+                static_cast<std::int64_t>(s.start_ns) + delta;
+            const std::uint64_t ts =
+                shifted < 0 ? 0 : static_cast<std::uint64_t>(shifted);
+            append_span(out, first, capture.pid, s.tid, s.name.c_str(), ts,
+                        s.dur_ns, s.flow_id, s.flow_phase);
         }
     }
     out += "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"build\":";

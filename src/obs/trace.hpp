@@ -18,8 +18,41 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace recloud::obs {
+
+/// Flow binding for cross-process span stitching (Chrome flow events):
+/// a master-side dispatch span opens a flow ("s"), the worker-side batch
+/// span closes it ("f"), and Perfetto draws the arrow between processes.
+inline constexpr std::uint8_t flow_none = 0;
+inline constexpr std::uint8_t flow_start = 1;   ///< Chrome phase "s"
+inline constexpr std::uint8_t flow_finish = 2;  ///< Chrome phase "f"
+
+/// One exported span: drained out of a local ring (worker harvest) or
+/// received from a remote process for the merged export.
+struct trace_span {
+    std::string name;
+    std::uint32_t tid = 0;
+    std::uint64_t start_ns = 0;  ///< relative to the owning capture's epoch
+    std::uint64_t dur_ns = 0;
+    std::uint64_t flow_id = 0;  ///< 0 = not part of a flow
+    std::uint8_t flow_phase = flow_none;
+};
+
+/// Everything one process captured. Workers build one with drain_capture()
+/// and ship it in the telemetry harvest; the master attaches it with
+/// add_remote_capture() so export_chrome_trace() renders a single timeline
+/// with per-process (pid-tracked) thread metadata.
+struct process_capture {
+    std::uint32_t pid = 0;
+    std::string process_name;
+    std::uint64_t epoch_ns = 0;  ///< absolute steady-clock capture origin
+    std::uint64_t dropped = 0;   ///< ring-overflow drops in that process
+    std::vector<std::pair<std::uint32_t, std::string>> thread_names;
+    std::vector<trace_span> spans;
+};
 
 class tracer {
 public:
@@ -45,17 +78,42 @@ public:
     /// Nanoseconds since the capture started (steady clock).
     [[nodiscard]] std::uint64_t now_ns() const noexcept;
 
+    /// Absolute steady-clock origin of the current capture (the start()
+    /// anchor). All processes on one machine share the monotonic clock, so
+    /// remote spans re-base by the epoch difference.
+    [[nodiscard]] std::uint64_t epoch_ns() const noexcept;
+
     /// Records one completed span on the calling thread's ring.
     void record(const char* name, std::uint64_t start_ns,
                 std::uint64_t dur_ns) noexcept;
+
+    /// Records a flow-bound span: the exporter additionally emits a Chrome
+    /// flow event ("s"/"f" with the given id) at the span start so
+    /// cross-process dispatch -> execute pairs stitch into one arrow.
+    void record_flow(const char* name, std::uint64_t start_ns,
+                     std::uint64_t dur_ns, std::uint64_t flow_id,
+                     std::uint8_t flow_phase) noexcept;
+
+    /// Moves every captured event (and the drop counts) out of the rings
+    /// into a process_capture stamped with this process's pid and capture
+    /// epoch; rings stay allocated and recording continues. Caller must be
+    /// at a quiescent point for span-recording threads (the worker drains
+    /// between protocol envelopes, where that holds by construction).
+    [[nodiscard]] process_capture drain_capture(std::string process_name);
+
+    /// Attaches a remote process's capture for the merged export; span
+    /// timestamps are re-based from its epoch to ours at export time.
+    /// reset() discards attached captures.
+    void add_remote_capture(process_capture capture);
 
     /// Events dropped to full rings since the last reset().
     [[nodiscard]] std::uint64_t dropped() const noexcept;
     /// Events currently captured across all rings.
     [[nodiscard]] std::uint64_t captured() const noexcept;
 
-    /// Chrome trace-event JSON ({"traceEvents":[...]}) with per-thread
-    /// metadata, build provenance and the drop count.
+    /// Chrome trace-event JSON ({"traceEvents":[...]}) with per-process /
+    /// per-thread metadata (real pids, attached remote captures merged in),
+    /// flow events, build provenance and the total drop count.
     [[nodiscard]] std::string export_chrome_trace() const;
     /// Writes export_chrome_trace() to `path`; false when unwritable.
     bool export_to_file(const std::string& path) const;

@@ -82,6 +82,33 @@ std::string to_json(const engine_stats& stats) {
     return out.str();
 }
 
+std::string to_json(const service_stats& stats) {
+    std::ostringstream out;
+    out << "{\"submitted\":" << stats.submitted
+        << ",\"rejected\":" << stats.rejected
+        << ",\"completed\":" << stats.completed
+        << ",\"failed\":" << stats.failed
+        << ",\"shed_queue_full\":" << stats.shed_queue_full
+        << ",\"shed_quota\":" << stats.shed_quota
+        << ",\"peak_queue_depth\":" << stats.peak_queue_depth
+        << ",\"shard_queue_depth\":[";
+    for (std::size_t s = 0; s < stats.shard_queue_depth.size(); ++s) {
+        if (s > 0) {
+            out << ",";
+        }
+        out << stats.shard_queue_depth[s];
+    }
+    out << "],\"shard_queue_peak\":[";
+    for (std::size_t s = 0; s < stats.shard_queue_peak.size(); ++s) {
+        if (s > 0) {
+            out << ",";
+        }
+        out << stats.shard_queue_peak[s];
+    }
+    out << "]}";
+    return out.str();
+}
+
 std::string to_json(const verdict_cache_stats& stats) {
     std::ostringstream out;
     out << "{\"rounds\":" << stats.rounds

@@ -10,6 +10,7 @@
 #include "core/recloud.hpp"
 #include "obs/metrics.hpp"
 #include "search/annealing.hpp"
+#include "service/deployment_service.hpp"
 
 namespace recloud {
 
@@ -35,6 +36,12 @@ namespace recloud {
 ///  "invalid_frames":..,"bytes_sent":..,"bytes_received":..,
 ///  "worker_failures":[..]}
 [[nodiscard]] std::string to_json(const engine_stats& stats);
+
+/// Deployment-service admission counters (service/deployment_service.hpp):
+/// {"submitted":..,"rejected":..,"completed":..,"failed":..,
+///  "shed_queue_full":..,"shed_quota":..,"peak_queue_depth":..,
+///  "shard_queue_depth":[..],"shard_queue_peak":[..]}
+[[nodiscard]] std::string to_json(const service_stats& stats);
 
 /// Verdict-cache counters (assess/verdict_cache.hpp):
 /// {"rounds":..,"empty_hits":..,"hits":..,"misses":..,"insertions":..,

@@ -6,8 +6,10 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/admin_server.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "report/report.hpp"
 
 namespace recloud {
 
@@ -27,11 +29,42 @@ deployment_service::deployment_service(const service_options& options)
     shards_.reserve(shard_count);
     for (std::size_t s = 0; s < shard_count; ++s) {
         auto sh = std::make_unique<shard>();
+        try {
+            // Pre-register the per-shard queue gauges; registration is the
+            // only allocating step, so the queue hot path stays a set().
+            auto& registry = obs::metrics_registry::global();
+            const std::string prefix = "service.shard." + std::to_string(s);
+            sh->depth_gauge = registry.gauge(prefix + ".queue_depth");
+            sh->peak_gauge = registry.gauge(prefix + ".queue_peak");
+            sh->gauges_registered = true;
+        } catch (const std::length_error&) {
+            // Gauge capacity exhausted (very wide fleets): this shard keeps
+            // its stats() depth/peak but stops publishing gauges.
+        }
         sh->workers.reserve(workers);
         for (std::size_t w = 0; w < workers; ++w) {
             sh->workers.emplace_back([this, &sh = *sh] { worker_loop(sh); });
         }
         shards_.push_back(std::move(sh));
+    }
+    if (!options_.admin_socket.empty()) {
+        try {
+            obs::admin_endpoints endpoints;
+            endpoints.metrics = [] {
+                return obs::metrics_registry::global().snapshot();
+            };
+            endpoints.status_json = [this] { return status_json(); };
+            endpoints.trace_json = [] {
+                return obs::tracer::global().export_chrome_trace();
+            };
+            admin_ = std::make_unique<obs::admin_server>(options_.admin_socket,
+                                                         std::move(endpoints));
+        } catch (...) {
+            // The worker threads are already running; join them before the
+            // bind failure propagates, or ~thread would terminate().
+            shutdown();
+            throw;
+        }
     }
 }
 
@@ -121,8 +154,14 @@ std::future<service_response> deployment_service::submit(
         sh.queue.push_back(std::move(pending));
         ++stats_.submitted;
         RECLOUD_COUNTER_INC("service.submitted");
-        stats_.peak_queue_depth =
-            std::max(stats_.peak_queue_depth, sh.queue.size());
+        const std::size_t depth = sh.queue.size();
+        sh.peak = std::max(sh.peak, depth);
+        stats_.peak_queue_depth = std::max(stats_.peak_queue_depth, depth);
+        if (sh.gauges_registered) {
+            auto& registry = obs::metrics_registry::global();
+            registry.set(sh.depth_gauge, depth);
+            registry.set(sh.peak_gauge, sh.peak);
+        }
     }
     sh.work_available.notify_one();
     return future;
@@ -142,6 +181,10 @@ void deployment_service::worker_loop(shard& sh) {
             }
             pending = std::move(sh.queue.front());
             sh.queue.pop_front();
+            if (sh.gauges_registered) {
+                obs::metrics_registry::global().set(sh.depth_gauge,
+                                                    sh.queue.size());
+            }
         }
         service_response response = run(pending);
         {
@@ -205,6 +248,12 @@ service_response deployment_service::run(pending_request& pending) const {
 }
 
 void deployment_service::shutdown() {
+    // The admin server goes first, OUTSIDE the service mutex: stop() joins
+    // the server thread, and a /status request in flight on that thread
+    // needs the service mutex to finish.
+    if (admin_ != nullptr) {
+        admin_->stop();
+    }
     // Idempotent: only the caller that flips the flag joins the workers;
     // later calls (including the destructor after an explicit shutdown)
     // see joined-and-cleared shards and return immediately.
@@ -241,8 +290,58 @@ void deployment_service::shutdown() {
 }
 
 service_stats deployment_service::stats() const {
-    const std::lock_guard<std::mutex> lock{mutex_};
-    return stats_;
+    service_stats out;
+    {
+        const std::lock_guard<std::mutex> lock{mutex_};
+        out = stats_;
+    }
+    // Per-shard views are taken shard by shard after the service mutex is
+    // released (lock order: never service mutex_ inside a shard mutex, and
+    // no nesting needed here).
+    out.shard_queue_depth.reserve(shards_.size());
+    out.shard_queue_peak.reserve(shards_.size());
+    for (const std::unique_ptr<shard>& sh : shards_) {
+        const std::lock_guard<std::mutex> lock{sh->mutex};
+        out.shard_queue_depth.push_back(sh->queue.size());
+        out.shard_queue_peak.push_back(sh->peak);
+    }
+    return out;
+}
+
+std::string deployment_service::status_json() const {
+    const service_stats snapshot = stats();
+    std::string out = "{\"status\":";
+    out += shutting_down_.load(std::memory_order_relaxed) ? "\"shutting_down\""
+                                                          : "\"ok\"";
+    out += ",\"shards\":" + std::to_string(shards_.size());
+    out += ",\"workers_per_shard\":" +
+           std::to_string(std::max<std::size_t>(1, options_.workers));
+    out += ",\"queue_capacity\":" + std::to_string(options_.queue_capacity);
+    out += ",\"tenant_quota\":" + std::to_string(options_.tenant_quota);
+    out += ",\"stats\":" + to_json(snapshot);
+    out += ",\"tenants_in_flight\":{";
+    {
+        const std::lock_guard<std::mutex> lock{mutex_};
+        bool first = true;
+        for (const auto& [tenant, in_flight] : tenant_in_flight_) {
+            if (!first) {
+                out.push_back(',');
+            }
+            first = false;
+            out += json_escape(tenant) + ":" + std::to_string(in_flight);
+        }
+    }
+    out += "}";
+    // Fleet liveness as last published into the registry (re_cloud's
+    // telemetry() harvest updates these; 0 until then).
+    const obs::telemetry_snapshot metrics =
+        obs::metrics_registry::global().snapshot();
+    out += ",\"fleet\":{\"worker_respawns\":" +
+           std::to_string(metrics.value("engine.stats.worker_respawns")) +
+           ",\"trace_dropped\":" + std::to_string(metrics.value("trace.dropped")) +
+           "}";
+    out += "}\n";
+    return out;
 }
 
 std::size_t deployment_service::queue_depth() const {

@@ -43,8 +43,13 @@
 #include <vector>
 
 #include "core/recloud.hpp"
+#include "obs/metrics.hpp"
 
 namespace recloud {
+
+namespace obs {
+class admin_server;
+}
 
 struct service_options {
     /// Concurrent searches PER SHARD (each worker runs one request at a
@@ -69,6 +74,15 @@ struct service_options {
     /// possibly from several worker threads at once — it must be
     /// thread-safe or wrapped appropriately by the caller.
     recloud_options defaults{};
+    /// Unix-domain socket path of the live introspection endpoint
+    /// (obs::admin_server): GET /metrics serves a Prometheus text
+    /// exposition of the global registry (per-shard queue gauges and, after
+    /// a telemetry harvest, socket-worker counters included), /status the
+    /// service health JSON (status_json()), /healthz a liveness probe, and
+    /// /trace an on-demand Chrome trace dump. Empty = no endpoint. The
+    /// socket file is bound at construction (construction throws if it
+    /// cannot be) and unlinked at shutdown.
+    std::string admin_socket;
 };
 
 enum class request_status : std::uint8_t {
@@ -116,6 +130,12 @@ struct service_stats {
     std::uint64_t shed_quota = 0;
     /// Deepest any single shard queue ever got.
     std::size_t peak_queue_depth = 0;
+    /// Live queue depth per shard (index = shard id) at the stats() call.
+    /// Also exported live as "service.shard.N.queue_depth" gauges.
+    std::vector<std::size_t> shard_queue_depth;
+    /// Per-shard queue high-water marks ("service.shard.N.queue_peak"
+    /// gauges); peak_queue_depth is their maximum.
+    std::vector<std::size_t> shard_queue_peak;
 };
 
 class deployment_service {
@@ -147,6 +167,13 @@ public:
     void shutdown();
 
     [[nodiscard]] service_stats stats() const;
+    /// Health/status JSON served at the admin endpoint's /status route:
+    /// admission configuration, cumulative stats() (per-shard queue depth
+    /// and high-water mark included), per-tenant in-flight counts, and the
+    /// fleet gauges last published to the metrics registry
+    /// (engine.stats.worker_respawns, trace.dropped). Callable without an
+    /// admin endpoint.
+    [[nodiscard]] std::string status_json() const;
     /// Pending requests across all shards.
     [[nodiscard]] std::size_t queue_depth() const;
     /// Which shard services a scenario name (stable across the lifetime).
@@ -171,6 +198,12 @@ private:
         std::condition_variable work_available;
         std::deque<pending_request> queue;
         std::vector<std::thread> workers;
+        std::size_t peak = 0;  ///< queue high-water mark (under `mutex`)
+        /// "service.shard.N.queue_depth"/".queue_peak" gauges, registered
+        /// at construction so the queue hot path never allocates a name.
+        obs::metric_id depth_gauge{};
+        obs::metric_id peak_gauge{};
+        bool gauges_registered = false;  ///< false once gauge capacity ran out
     };
 
     void worker_loop(shard& sh);
@@ -188,7 +221,11 @@ private:
     /// the SHARD mutex, while admission flips it under the service mutex.
     std::atomic<bool> shutting_down_{false};
     /// unique_ptr: shards are address-stable for the worker threads.
-    std::vector<std::unique_ptr<shard>> shards_;  ///< last member: workers join first
+    std::vector<std::unique_ptr<shard>> shards_;
+    /// Live introspection endpoint (engaged iff options.admin_socket is
+    /// set). Declared after shards_ so it is destroyed — its server thread
+    /// joined — before the shards its /status handler reads.
+    std::unique_ptr<obs::admin_server> admin_;
 };
 
 }  // namespace recloud

@@ -1,0 +1,412 @@
+// Live introspection endpoint (obs/admin_server.hpp): the Prometheus text
+// renderer's name mapping and histogram rules, the poll()-based server's
+// routes / failure isolation / bounded-request handling over real
+// Unix-domain sockets (hammered from many threads under the sanitizer
+// jobs), and the deployment service's wiring of /status + the per-shard
+// queue gauges.
+#include "obs/admin_server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/recloud.hpp"
+#include "core/scenario.hpp"
+#include "obs/metrics.hpp"
+#include "service/deployment_service.hpp"
+
+namespace recloud {
+namespace {
+
+/// ctest runs each case as its own process in parallel: the path must be
+/// unique per (process, test) or concurrent binds would race on /tmp.
+std::string test_socket_path(const std::string& tag) {
+    return "/tmp/recloud-admin-test-" + std::to_string(::getpid()) + "-" +
+           tag + ".sock";
+}
+
+/// Minimal blocking HTTP client over a Unix-domain socket: sends `request`
+/// verbatim, reads to EOF (the server is HTTP/1.0, Connection: close).
+/// Returns the raw response; empty when the connection failed outright.
+std::string raw_request(const std::string& socket_path,
+                        const std::string& request) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        return {};
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        return {};
+    }
+    std::size_t sent = 0;
+    while (sent < request.size()) {
+        const ssize_t n = ::send(fd, request.data() + sent,
+                                 request.size() - sent, MSG_NOSIGNAL);
+        if (n <= 0) {
+            break;  // server may 400 + close before draining our bytes
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    std::string response;
+    char buffer[4096];
+    while (true) {
+        const ssize_t n = ::read(fd, buffer, sizeof buffer);
+        if (n > 0) {
+            response.append(buffer, static_cast<std::size_t>(n));
+        } else if (n == 0 || errno != EINTR) {
+            break;
+        }
+    }
+    ::close(fd);
+    return response;
+}
+
+std::string http_get(const std::string& socket_path, const std::string& path) {
+    return raw_request(socket_path, "GET " + path + " HTTP/1.0\r\n\r\n");
+}
+
+/// Connects, sends a partial request and hangs up without ever reading —
+/// the rude client the poll loop must reap on read() == 0.
+void connect_and_hang_up(const std::string& socket_path,
+                         const std::string& partial) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        return;
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0 &&
+        !partial.empty()) {
+        (void)::send(fd, partial.data(), partial.size(), MSG_NOSIGNAL);
+    }
+    ::close(fd);
+}
+
+obs::metric_entry scalar(std::string name, obs::metric_kind kind,
+                         std::uint64_t value) {
+    obs::metric_entry entry;
+    entry.name = std::move(name);
+    entry.kind = kind;
+    entry.value = value;
+    return entry;
+}
+
+// ---- Prometheus renderer --------------------------------------------------
+
+TEST(AdminServer, PrometheusNameMappingLiftsNumericSegmentsToLabels) {
+    obs::telemetry_snapshot snap;
+    snap.metrics.push_back(
+        scalar("assess.rounds", obs::metric_kind::counter, 7));
+    snap.metrics.push_back(
+        scalar("service.shard.3.queue_depth", obs::metric_kind::gauge, 5));
+    snap.metrics.push_back(
+        scalar("worker.0.cache.stats.hits", obs::metric_kind::gauge, 9));
+    const std::string text = obs::prometheus_exposition(snap);
+    EXPECT_NE(text.find("# TYPE recloud_assess_rounds counter\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("recloud_assess_rounds 7\n"), std::string::npos);
+    EXPECT_NE(text.find("# TYPE recloud_service_shard_queue_depth gauge\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("recloud_service_shard_queue_depth{shard=\"3\"} 5\n"),
+              std::string::npos);
+    EXPECT_NE(
+        text.find("recloud_worker_cache_stats_hits{worker=\"0\"} 9\n"),
+        std::string::npos);
+}
+
+TEST(AdminServer, PrometheusFamiliesAreContiguousAcrossLiftedLabels) {
+    // The registry snapshot interleaves shard 0/1 depth and peak by name;
+    // the exposition must regroup them so each family's samples sit under
+    // one TYPE line (a real Prometheus server rejects interleaving).
+    obs::telemetry_snapshot snap;
+    snap.metrics.push_back(scalar("service.shard.0.queue_depth",
+                                  obs::metric_kind::gauge, 1));
+    snap.metrics.push_back(scalar("service.shard.0.queue_peak",
+                                  obs::metric_kind::gauge, 2));
+    snap.metrics.push_back(scalar("service.shard.1.queue_depth",
+                                  obs::metric_kind::gauge, 3));
+    snap.metrics.push_back(scalar("service.shard.1.queue_peak",
+                                  obs::metric_kind::gauge, 4));
+    const std::string text = obs::prometheus_exposition(snap);
+    const std::size_t depth0 =
+        text.find("recloud_service_shard_queue_depth{shard=\"0\"} 1");
+    const std::size_t depth1 =
+        text.find("recloud_service_shard_queue_depth{shard=\"1\"} 3");
+    const std::size_t peak_type =
+        text.find("# TYPE recloud_service_shard_queue_peak");
+    ASSERT_NE(depth0, std::string::npos);
+    ASSERT_NE(depth1, std::string::npos);
+    ASSERT_NE(peak_type, std::string::npos);
+    EXPECT_LT(depth0, depth1);
+    EXPECT_LT(depth1, peak_type);
+}
+
+TEST(AdminServer, PrometheusHistogramIsCumulativeWithInfBucket) {
+    obs::metric_entry entry;
+    entry.name = "engine.batch.ns";
+    entry.kind = obs::metric_kind::histogram;
+    entry.histogram.count = 4;
+    entry.histogram.sum = 10;
+    entry.histogram.buckets[0] = 1;  // value 0
+    entry.histogram.buckets[1] = 2;  // values in [1, 2]
+    entry.histogram.buckets[3] = 1;  // values in [7, 14]
+    obs::telemetry_snapshot snap;
+    snap.metrics.push_back(std::move(entry));
+    const std::string text = obs::prometheus_exposition(snap);
+    EXPECT_NE(text.find("# TYPE recloud_engine_batch_ns histogram\n"),
+              std::string::npos);
+    const std::size_t b0 =
+        text.find("recloud_engine_batch_ns_bucket{le=\"0\"} 1\n");
+    const std::size_t b1 =
+        text.find("recloud_engine_batch_ns_bucket{le=\"2\"} 3\n");
+    const std::size_t b3 =
+        text.find("recloud_engine_batch_ns_bucket{le=\"14\"} 4\n");
+    const std::size_t binf =
+        text.find("recloud_engine_batch_ns_bucket{le=\"+Inf\"} 4\n");
+    ASSERT_NE(b0, std::string::npos);
+    ASSERT_NE(b1, std::string::npos);
+    ASSERT_NE(b3, std::string::npos);
+    ASSERT_NE(binf, std::string::npos);
+    EXPECT_LT(b0, b1);
+    EXPECT_LT(b1, b3);
+    EXPECT_LT(b3, binf);
+    EXPECT_NE(text.find("recloud_engine_batch_ns_sum 10\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("recloud_engine_batch_ns_count 4\n"),
+              std::string::npos);
+}
+
+// ---- server over real sockets ---------------------------------------------
+
+obs::admin_endpoints full_endpoints() {
+    obs::admin_endpoints endpoints;
+    endpoints.metrics = [] {
+        obs::telemetry_snapshot snap;
+        snap.metrics.push_back(
+            scalar("assess.rounds", obs::metric_kind::counter, 1));
+        return snap;
+    };
+    endpoints.status_json = [] {
+        return std::string{"{\"status\":\"ok\",\"shards\":2}\n"};
+    };
+    endpoints.trace_json = [] {
+        return std::string{"{\"traceEvents\":[]}\n"};
+    };
+    return endpoints;
+}
+
+TEST(AdminServer, ServesEveryRouteOverAUnixSocket) {
+    const std::string path = test_socket_path("routes");
+    obs::admin_server server{path, full_endpoints()};
+    EXPECT_EQ(server.socket_path(), path);
+
+    const std::string metrics = http_get(path, "/metrics");
+    EXPECT_NE(metrics.find("HTTP/1.0 200 OK"), std::string::npos);
+    EXPECT_NE(metrics.find("text/plain; version=0.0.4"), std::string::npos);
+    EXPECT_NE(metrics.find("recloud_assess_rounds 1"), std::string::npos);
+
+    const std::string healthz = http_get(path, "/healthz");
+    EXPECT_NE(healthz.find("HTTP/1.0 200 OK"), std::string::npos);
+    EXPECT_NE(healthz.find("{\"status\":\"ok\"}"), std::string::npos);
+
+    const std::string status = http_get(path, "/status");
+    EXPECT_NE(status.find("HTTP/1.0 200 OK"), std::string::npos);
+    EXPECT_NE(status.find("\"shards\":2"), std::string::npos);
+
+    const std::string trace = http_get(path, "/trace");
+    EXPECT_NE(trace.find("HTTP/1.0 200 OK"), std::string::npos);
+    EXPECT_NE(trace.find("traceEvents"), std::string::npos);
+
+    // Query strings are stripped before routing.
+    EXPECT_NE(http_get(path, "/status?verbose=1").find("HTTP/1.0 200 OK"),
+              std::string::npos);
+
+    const std::string missing = http_get(path, "/nope");
+    EXPECT_NE(missing.find("HTTP/1.0 404 Not Found"), std::string::npos);
+    EXPECT_NE(missing.find("/metrics"), std::string::npos);  // route list
+
+    const std::string post =
+        raw_request(path, "POST /metrics HTTP/1.0\r\n\r\n");
+    EXPECT_NE(post.find("HTTP/1.0 405 Method Not Allowed"),
+              std::string::npos);
+
+    const obs::admin_server_stats stats = server.stats();
+    EXPECT_GE(stats.connections, 7u);  // one per exchange above
+    EXPECT_GE(stats.requests, 6u);     // the GETs (POST counts as an error)
+}
+
+TEST(AdminServer, NullCallbackRoutes404) {
+    const std::string path = test_socket_path("nullcb");
+    obs::admin_endpoints endpoints;
+    endpoints.metrics = [] { return obs::telemetry_snapshot{}; };
+    obs::admin_server server{path, endpoints};
+    EXPECT_NE(http_get(path, "/metrics").find("HTTP/1.0 200 OK"),
+              std::string::npos);
+    EXPECT_NE(http_get(path, "/status").find("HTTP/1.0 404"),
+              std::string::npos);
+    EXPECT_NE(http_get(path, "/trace").find("HTTP/1.0 404"),
+              std::string::npos);
+}
+
+TEST(AdminServer, ThrowingHandlerBecomes500AndServerSurvives) {
+    const std::string path = test_socket_path("throw");
+    obs::admin_endpoints endpoints = full_endpoints();
+    endpoints.status_json = []() -> std::string {
+        throw std::runtime_error{"snapshot race"};
+    };
+    obs::admin_server server{path, endpoints};
+    const std::string status = http_get(path, "/status");
+    EXPECT_NE(status.find("HTTP/1.0 500 Internal Server Error"),
+              std::string::npos);
+    // The throw stayed on the handler path: the server keeps serving.
+    EXPECT_NE(http_get(path, "/healthz").find("HTTP/1.0 200 OK"),
+              std::string::npos);
+    EXPECT_GE(server.stats().errors, 1u);
+}
+
+TEST(AdminServer, OversizedRequestIsRejectedWith400) {
+    const std::string path = test_socket_path("oversized");
+    obs::admin_server server{path, full_endpoints()};
+    const std::string huge = "GET /" + std::string(5000, 'a');  // no CRLF end
+    const std::string response = raw_request(path, huge);
+    EXPECT_NE(response.find("HTTP/1.0 400 Bad Request"), std::string::npos);
+}
+
+TEST(AdminServer, MalformedRequestLineIs400) {
+    const std::string path = test_socket_path("garbage");
+    obs::admin_server server{path, full_endpoints()};
+    const std::string response = raw_request(path, "\r\n\r\n");
+    EXPECT_NE(response.find("HTTP/1.0 400 Bad Request"), std::string::npos);
+}
+
+TEST(AdminServer, HammerManyConcurrentClients) {
+    // Mixed well-formed, bogus-path, wrong-method and half-closed clients
+    // from several threads: every completed exchange must carry an HTTP
+    // status line, and the server must survive it all (the sanitizer jobs
+    // run this with ASan/TSan watching the poll loop and client buffers).
+    const std::string path = test_socket_path("hammer");
+    obs::admin_server server{path, full_endpoints()};
+    constexpr std::size_t k_threads = 6;
+    constexpr std::size_t k_iterations = 40;
+    const std::vector<std::string> gets{"/metrics", "/status", "/healthz",
+                                        "/trace", "/bogus"};
+    std::atomic<std::size_t> missing_responses{0};
+    std::vector<std::thread> clients;
+    clients.reserve(k_threads);
+    for (std::size_t t = 0; t < k_threads; ++t) {
+        clients.emplace_back([&, t] {
+            for (std::size_t i = 0; i < k_iterations; ++i) {
+                const std::size_t pick = (t + i) % (gets.size() + 2);
+                std::string response;
+                if (pick < gets.size()) {
+                    response = http_get(path, gets[pick]);
+                } else if (pick == gets.size()) {
+                    response =
+                        raw_request(path, "PUT /metrics HTTP/1.0\r\n\r\n");
+                } else {
+                    // Rude client: partial request, then hang up without
+                    // reading; no response expected.
+                    connect_and_hang_up(path, i % 2 == 0 ? "" : "GET /me");
+                    continue;
+                }
+                if (response.find("HTTP/1.0 ") == std::string::npos) {
+                    missing_responses.fetch_add(1);
+                }
+            }
+        });
+    }
+    for (std::thread& client : clients) {
+        client.join();
+    }
+    EXPECT_EQ(missing_responses.load(), 0u);
+    const obs::admin_server_stats stats = server.stats();
+    EXPECT_GE(stats.requests, k_threads * k_iterations / 2);
+    EXPECT_GE(stats.connections, stats.requests);
+}
+
+TEST(AdminServer, StopIsIdempotentAndUnlinksTheSocket) {
+    const std::string path = test_socket_path("stop");
+    obs::admin_server server{path, full_endpoints()};
+    EXPECT_EQ(::access(path.c_str(), F_OK), 0);
+    server.stop();
+    EXPECT_NE(::access(path.c_str(), F_OK), 0);
+    EXPECT_TRUE(http_get(path, "/healthz").empty());
+    server.stop();  // idempotent; destructor will stop() again
+}
+
+TEST(AdminServer, OverlongSocketPathThrows) {
+    const std::string path = "/tmp/" + std::string(200, 'x') + ".sock";
+    EXPECT_THROW((obs::admin_server{path, full_endpoints()}),
+                 std::runtime_error);
+}
+
+// ---- deployment-service wiring --------------------------------------------
+
+TEST(AdminServer, ServiceServesStatusAndShardQueueGauges) {
+    const std::string path = test_socket_path("service");
+    service_options options;
+    options.workers = 1;
+    options.shards = 2;
+    options.admin_socket = path;
+    options.defaults.assessment_rounds = 200;
+    options.defaults.max_iterations = 6;
+    options.defaults.deterministic_schedule = true;
+    deployment_service service{options};
+    service.add_scenario("dc", make_fat_tree_scenario(4));
+
+    service_request request;
+    request.scenario = "dc";
+    request.app = application::k_of_n(2, 3);
+    request.desired_reliability = 1.0;
+    request.max_search_time = std::chrono::seconds{30};
+    request.seed = 11;
+    const service_response response = service.submit(request).get();
+    EXPECT_EQ(response.status, request_status::completed);
+
+    const std::string status = http_get(path, "/status");
+    EXPECT_NE(status.find("HTTP/1.0 200 OK"), std::string::npos);
+    EXPECT_NE(status.find("\"status\":\"ok\""), std::string::npos);
+    EXPECT_NE(status.find("\"shards\":2"), std::string::npos);
+    EXPECT_NE(status.find("\"submitted\":1"), std::string::npos);
+    EXPECT_NE(status.find("\"shard_queue_depth\":[0,0]"), std::string::npos);
+
+    const std::string metrics = http_get(path, "/metrics");
+    EXPECT_NE(metrics.find(
+                  "recloud_service_shard_queue_depth{shard=\"0\"}"),
+              std::string::npos);
+    EXPECT_NE(metrics.find(
+                  "recloud_service_shard_queue_depth{shard=\"1\"}"),
+              std::string::npos);
+    EXPECT_NE(metrics.find("recloud_service_shard_queue_peak{shard=\"1\"}"),
+              std::string::npos);
+
+    EXPECT_NE(http_get(path, "/healthz").find("HTTP/1.0 200 OK"),
+              std::string::npos);
+
+    service.shutdown();
+    // Shutdown tears the endpoint down with the fleet (and before the
+    // shards, so an in-flight /status can never observe freed state).
+    EXPECT_NE(::access(path.c_str(), F_OK), 0);
+}
+
+}  // namespace
+}  // namespace recloud

@@ -395,5 +395,31 @@ TEST(TelemetryEquivalence, StatsBitIdenticalWithTracingOnOrOff) {
     obs::metrics_registry::global().reset();
 }
 
+TEST(TelemetryEquivalence, LoopbackHarvestIsANoOpWithEmptyFleetView) {
+    // Loopback worker threads write the shared registry directly, so a
+    // harvest has nothing to pull: counters must not move and the
+    // per-worker fleet view stays empty (DESIGN §12).
+    obs_backend_fixture f;
+    const application app = application::k_of_n(2, 3);
+    const deployment_plan plan = f.plan_for(app);
+    obs::metrics_registry::global().reset();
+    obs::metrics_registry::global().set_enabled(true);
+
+    extended_dagger_sampler sampler{f.registry.probabilities(), 51};
+    engine_backend backend{f.registry.size(), &f.forest, f.factory(), sampler,
+                           {.workers = 2, .batch_rounds = 200}};
+    (void)backend.assess(app, plan, 2000);
+    const std::uint64_t before =
+        obs::metrics_registry::global().snapshot().value("assess.rounds");
+    EXPECT_EQ(before, 2000u);
+    backend.harvest_telemetry();
+    EXPECT_EQ(obs::metrics_registry::global().snapshot().value("assess.rounds"),
+              before);
+    EXPECT_TRUE(backend.fleet_telemetry().workers.empty());
+
+    obs::metrics_registry::global().set_enabled(false);
+    obs::metrics_registry::global().reset();
+}
+
 }  // namespace
 }  // namespace recloud

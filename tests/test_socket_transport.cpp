@@ -12,17 +12,22 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <memory>
 #include <thread>
+#include <tuple>
+#include <utility>
 
 #include <signal.h>
 #include <sys/wait.h>
 
 #include "assess/assessor.hpp"
 #include "exec/engine.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "routing/bfs_reachability.hpp"
 #include "sampling/extended_dagger.hpp"
 #include "topology/fat_tree.hpp"
@@ -478,6 +483,222 @@ TEST(SocketTransport, MediumFatTreeEightWorkersBitIdenticalToSerial) {
     const assessment_stats fleet = run(8);
     expect_identical(solo, serial);
     expect_identical(fleet, serial);
+}
+
+// ---- telemetry harvest (DESIGN §12) ---------------------------------------
+
+/// Restores the process-wide obs surfaces a harvest test mutates. Worker
+/// obs enablement ships in the environment blob at transport construction,
+/// so tests flip the registry BEFORE building the engine.
+struct obs_state_guard {
+    ~obs_state_guard() {
+        obs::metrics_registry::global().set_enabled(false);
+        obs::metrics_registry::global().reset();
+        obs::tracer::global().stop();
+        obs::tracer::global().reset();
+    }
+};
+
+TEST(TelemetryHarvest, HarvestedWorkerCountersMatchLoopbackFleet) {
+    // The §11->§12 equivalence claim: the counters a loopback fleet writes
+    // into the shared registry directly must equal what a socket fleet's
+    // harvest pulls back across the process boundary — same seed, same
+    // batch assignment, same per-worker contexts.
+    socket_fixture f;
+    obs_state_guard guard;
+    auto& registry = obs::metrics_registry::global();
+    registry.reset();
+    registry.set_enabled(true);
+
+    engine_options loopback;
+    loopback.workers = 2;
+    loopback.batch_rounds = 100;
+    f.run_engine(loopback);
+    const obs::telemetry_snapshot after_loopback = registry.snapshot();
+    // assess.rounds is counted once at the engine layer (master side);
+    // route.floods / route.flood_reuse happen inside the worker contexts —
+    // in-process for loopback, across the pid boundary for sockets.
+    EXPECT_EQ(after_loopback.value("assess.rounds"), k_rounds);
+    const std::uint64_t loop_floods = after_loopback.value("route.floods");
+    const std::uint64_t loop_reuse = after_loopback.value("route.flood_reuse");
+    EXPECT_GT(loop_floods, 0u);
+    registry.reset();
+
+    // Socket fleet: worker-side counters accrue inside the worker
+    // processes; nothing reaches this registry until the harvest folds the
+    // deltas in.
+    extended_dagger_sampler sampler{f.registry.probabilities(), k_seed};
+    assessment_engine engine{f.registry.size(), &f.forest, f.factory(),
+                             f.socket_options(2)};
+    const assessment_stats stats = engine.assess(sampler, f.app, f.plan,
+                                                 k_rounds);
+    EXPECT_EQ(stats.rounds, k_rounds);
+    EXPECT_EQ(registry.snapshot().value("route.floods"), 0u);
+    engine.harvest_telemetry();
+    const obs::telemetry_snapshot harvested = registry.snapshot();
+    EXPECT_EQ(harvested.value("assess.rounds"), k_rounds);
+    EXPECT_EQ(harvested.value("route.floods"), loop_floods);
+    EXPECT_EQ(harvested.value("route.flood_reuse"), loop_reuse);
+}
+
+TEST(TelemetryHarvest, RepeatedHarvestDoesNotDoubleCount) {
+    // Workers ship registry DELTAS (snapshot-then-reset); pulling twice in
+    // a row must leave the merged totals unchanged.
+    socket_fixture f;
+    obs_state_guard guard;
+    auto& registry = obs::metrics_registry::global();
+    registry.reset();
+    registry.set_enabled(true);
+
+    extended_dagger_sampler sampler{f.registry.probabilities(), k_seed};
+    assessment_engine engine{f.registry.size(), &f.forest, f.factory(),
+                             f.socket_options(2)};
+    (void)engine.assess(sampler, f.app, f.plan, k_rounds);
+    engine.harvest_telemetry();
+    const std::uint64_t floods = registry.snapshot().value("route.floods");
+    EXPECT_GT(floods, 0u);
+    engine.harvest_telemetry();
+    EXPECT_EQ(registry.snapshot().value("route.floods"), floods);
+
+    const worker_fleet_telemetry fleet = engine.fleet_telemetry();
+    ASSERT_EQ(fleet.workers.size(), 2u);
+    for (const auto& w : fleet.workers) {
+        EXPECT_GE(w.harvests, 2u);
+    }
+}
+
+TEST(TelemetryHarvest, FleetTelemetryReportsEveryWorkerSortedByIdWithPid) {
+    socket_fixture f;
+    obs_state_guard guard;
+    obs::metrics_registry::global().reset();
+    obs::metrics_registry::global().set_enabled(true);
+
+    extended_dagger_sampler sampler{f.registry.probabilities(), k_seed};
+    assessment_engine engine{f.registry.size(), &f.forest, f.factory(),
+                             f.socket_options(8)};
+    (void)engine.assess(sampler, f.app, f.plan, k_rounds);
+    engine.harvest_telemetry();
+
+    const std::vector<int> pids = engine.transport().worker_pids();
+    const worker_fleet_telemetry fleet = engine.fleet_telemetry();
+    ASSERT_EQ(fleet.workers.size(), 8u);
+    for (std::size_t w = 0; w < fleet.workers.size(); ++w) {
+        const auto& entry = fleet.workers[w];
+        EXPECT_EQ(entry.worker_id, w);  // sorted, one entry per slot
+        EXPECT_NE(entry.pid, 0u);
+        EXPECT_NE(std::find(pids.begin(), pids.end(),
+                            static_cast<int>(entry.pid)),
+                  pids.end());
+        EXPECT_GE(entry.harvests, 1u);
+        // No tracing in this test, so worker rings cannot have overflowed;
+        // the field itself is the satellite contract (per-worker drops).
+        EXPECT_EQ(entry.trace_dropped, 0u);
+    }
+}
+
+TEST(TelemetryHarvest, ShutdownHarvestFoldsCountersWithoutExplicitCall) {
+    // Destroying the engine (fleet shutdown) runs a final harvest when obs
+    // was on at spawn — counters survive without anyone calling
+    // harvest_telemetry().
+    socket_fixture f;
+    obs_state_guard guard;
+    auto& registry = obs::metrics_registry::global();
+    registry.reset();
+    registry.set_enabled(true);
+
+    {
+        extended_dagger_sampler sampler{f.registry.probabilities(), k_seed};
+        assessment_engine engine{f.registry.size(), &f.forest, f.factory(),
+                                 f.socket_options(2)};
+        (void)engine.assess(sampler, f.app, f.plan, k_rounds);
+        EXPECT_EQ(registry.snapshot().value("route.floods"), 0u);
+    }
+    EXPECT_GT(registry.snapshot().value("route.floods"), 0u);
+}
+
+TEST(TelemetryHarvest, CacheCountersOverSocketsMatchLoopbackPrivateCaches) {
+    // Socket workers derive their verdict-cache support from the shipped
+    // environment; with the master building the identical support for its
+    // loopback threads, the harvested cumulative cache counters must match
+    // the in-process fleet bit-for-bit at every worker count.
+    socket_fixture f;
+    const verdict_support support{f.topo, f.registry.size(), &f.forest,
+                                  nullptr};
+    const auto run = [&](bool over_sockets, std::size_t workers) {
+        engine_options options;
+        if (over_sockets) {
+            options = f.socket_options(workers);
+        } else {
+            options.workers = workers;
+            options.batch_rounds = 100;
+            options.verdict_cache.support = &support;
+        }
+        options.verdict_cache.enabled = true;
+        options.verdict_cache.max_entries = 1 << 12;
+        extended_dagger_sampler sampler{f.registry.probabilities(), k_seed};
+        assessment_engine engine{f.registry.size(), &f.forest, f.factory(),
+                                 options};
+        const assessment_stats stats =
+            engine.assess(sampler, f.app, f.plan, k_rounds);
+        engine.harvest_telemetry();
+        const verdict_cache_stats* cache = engine.cache_stats();
+        EXPECT_NE(cache, nullptr);
+        verdict_cache_stats fleet_sum{};
+        for (const auto& w : engine.fleet_telemetry().workers) {
+            fleet_sum.accumulate(w.cache);
+        }
+        return std::tuple{stats, cache != nullptr ? *cache
+                                                  : verdict_cache_stats{},
+                          fleet_sum, over_sockets};
+    };
+    for (const std::size_t workers : {1u, 2u, 8u}) {
+        const auto [sock_stats, sock_cache, sock_fleet, dummy1] =
+            run(true, workers);
+        const auto [loop_stats, loop_cache, loop_fleet, dummy2] =
+            run(false, workers);
+        expect_identical(sock_stats, loop_stats);
+        EXPECT_EQ(sock_cache.rounds, loop_cache.rounds);
+        EXPECT_EQ(sock_cache.empty_hits, loop_cache.empty_hits);
+        EXPECT_EQ(sock_cache.hits, loop_cache.hits);
+        EXPECT_EQ(sock_cache.misses, loop_cache.misses);
+        EXPECT_EQ(sock_cache.insertions, loop_cache.insertions);
+        EXPECT_EQ(sock_cache.evictions, loop_cache.evictions);
+        EXPECT_EQ(sock_cache.rebinds, loop_cache.rebinds);
+        // The harvested per-worker provenance sums back to the engine's
+        // combined totals (no degraded-local contribution here).
+        EXPECT_EQ(sock_fleet.rounds, sock_cache.rounds);
+        EXPECT_EQ(sock_fleet.hits, sock_cache.hits);
+        EXPECT_EQ(sock_fleet.misses, sock_cache.misses);
+    }
+}
+
+TEST(TelemetryHarvest, HarvestBetweenAssessmentsIsPureObservability) {
+    // §6: interleaving a harvest (and full obs) between assessments must
+    // not move a single bit of either assessment's result.
+    socket_fixture f;
+    const auto run = [&](bool obs_on) {
+        obs_state_guard guard;
+        obs::metrics_registry::global().reset();
+        obs::metrics_registry::global().set_enabled(obs_on);
+        if (obs_on) {
+            obs::tracer::global().start();
+        }
+        extended_dagger_sampler sampler{f.registry.probabilities(), k_seed};
+        assessment_engine engine{f.registry.size(), &f.forest, f.factory(),
+                                 f.socket_options(2)};
+        const assessment_stats first =
+            engine.assess(sampler, f.app, f.plan, k_rounds);
+        if (obs_on) {
+            engine.harvest_telemetry();
+        }
+        const assessment_stats second =
+            engine.assess(sampler, f.app, f.plan, k_rounds);
+        return std::pair{first, second};
+    };
+    const auto [on_first, on_second] = run(true);
+    const auto [off_first, off_second] = run(false);
+    expect_identical(on_first, off_first);
+    expect_identical(on_second, off_second);
 }
 
 }  // namespace
