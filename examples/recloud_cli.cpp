@@ -90,6 +90,17 @@ queue_capacity = 64       # admission bound per shard; overflow sheds as `reject
 shards = 1                # independent queue+worker shards; a scenario's requests
                           # always land on hash(scenario) % shards
 tenant_quota = 0          # max in-flight requests per tenant; 0 = unlimited
+scheduling = edf          # edf | fifo: deadline-ordered admission with shedding
+                          # and cooperative preemption, or strict arrival order
+                          # (fifo still measures deadline hits, never enforces)
+slo_deadline_ms = 0       # per-request SLO deadline over the whole lifecycle
+                          # (queue wait + search + response); 0 = none — the
+                          # request is never shed or preempted
+min_grant_ms = 0          # admission floor: shed a deadline request that cannot
+                          # get at least this much search time before its
+                          # deadline; 0 disables admission-time shedding
+headroom_ms = 0           # slice of the deadline reserved for response assembly
+                          # when arming the search's run budget
 
 [observability]
 metrics = true            # metrics registry (counters/gauges/histograms)
@@ -305,6 +316,7 @@ void report(const deployment_response& response, const built_topology& topo,
             const engine_stats* engine, const verdict_cache_stats* cache,
             std::size_t chains = 1) {
     std::printf("fulfilled:        %s\n", response.fulfilled ? "yes" : "no");
+    std::printf("outcome:          %s\n", to_string(response.outcome));
     std::printf("reliability:      %.5f (95%% CI width %.2e)\n",
                 response.stats.reliability, response.stats.ciw95);
     std::printf("annual downtime:  %.1f hours\n",
@@ -382,6 +394,21 @@ int run_service(const config& cfg, const application& app,
         static_cast<std::size_t>(cfg.get_uint("service.shards", 1));
     service_cfg.tenant_quota =
         static_cast<std::size_t>(cfg.get_uint("service.tenant_quota", 0));
+    const std::string scheduling =
+        cfg.get_string("service.scheduling", "edf");
+    if (scheduling == "fifo") {
+        service_cfg.scheduling = scheduling_policy::fifo;
+    } else if (scheduling == "edf") {
+        service_cfg.scheduling = scheduling_policy::edf;
+    } else {
+        throw config_error{"unknown service.scheduling: " + scheduling};
+    }
+    service_cfg.min_service_grant = std::chrono::milliseconds{
+        static_cast<std::int64_t>(cfg.get_uint("service.min_grant_ms", 0))};
+    service_cfg.deadline_headroom = std::chrono::milliseconds{
+        static_cast<std::int64_t>(cfg.get_uint("service.headroom_ms", 0))};
+    const std::chrono::milliseconds slo_deadline{
+        static_cast<std::int64_t>(cfg.get_uint("service.slo_deadline_ms", 0))};
     service_cfg.admin_socket =
         cfg.get_string("observability.admin_socket", "");
     service_cfg.defaults = options;
@@ -406,6 +433,7 @@ int run_service(const config& cfg, const application& app,
         pending.app = app;
         pending.desired_reliability = request.desired_reliability;
         pending.max_search_time = request.max_search_time;
+        pending.slo_deadline = slo_deadline;
         pending.seed = options.seed + i;
         futures.push_back(service.submit(std::move(pending)));
     }
@@ -414,12 +442,13 @@ int run_service(const config& cfg, const application& app,
     for (auto& future : futures) {
         const service_response response = future.get();
         if (response.status == request_status::completed) {
-            std::printf("  request#%-4llu %-9s R=%.5f fulfilled=%-3s chain=%u\n",
-                        static_cast<unsigned long long>(response.request_id),
-                        to_string(response.status),
-                        response.result.stats.reliability,
-                        response.result.fulfilled ? "yes" : "no",
-                        response.result.winning_chain);
+            std::printf(
+                "  request#%-4llu %-9s R=%.5f outcome=%-17s chain=%u\n",
+                static_cast<unsigned long long>(response.request_id),
+                to_string(response.status),
+                response.result.stats.reliability,
+                to_string(response.result.outcome),
+                response.result.winning_chain);
             fulfilled += response.result.fulfilled ? 1 : 0;
         } else {
             all_completed = false;
@@ -438,6 +467,14 @@ int run_service(const config& cfg, const application& app,
                 static_cast<unsigned long long>(stats.shed_quota),
                 static_cast<unsigned long long>(stats.failed),
                 stats.peak_queue_depth);
+    if (slo_deadline.count() > 0) {
+        std::printf("service: deadlines met=%llu missed=%llu "
+                    "shed-unmeetable=%llu preempted=%llu\n",
+                    static_cast<unsigned long long>(stats.deadline_met),
+                    static_cast<unsigned long long>(stats.deadline_missed),
+                    static_cast<unsigned long long>(stats.shed_unmeetable),
+                    static_cast<unsigned long long>(stats.preempted));
+    }
     return all_completed && fulfilled == count ? 0 : 2;
 }
 

@@ -7,12 +7,22 @@
 #include "obs/trace.hpp"
 
 namespace recloud {
+namespace {
+
+/// Rounds between run_budget polls in the assessment inner loops: frequent
+/// enough to bound preemption latency to a sliver of route-and-check work,
+/// sparse enough that the clock read vanishes in the noise. An un-armed
+/// poll (budget == nullptr) is a single pointer test.
+constexpr std::size_t budget_poll_stride = 256;
+
+}  // namespace
 
 assessment_stats assess_deployment(failure_sampler& sampler, round_state& rs,
                                    reachability_oracle& oracle,
                                    const application& app,
                                    const deployment_plan& plan,
-                                   std::size_t rounds, verdict_cache* cache) {
+                                   std::size_t rounds, verdict_cache* cache,
+                                   const run_budget* budget) {
     RECLOUD_SPAN("assess.deployment");
     RECLOUD_COUNTER_ADD("assess.rounds", rounds);
     requirement_evaluator evaluator{app, plan};
@@ -22,6 +32,9 @@ assessment_stats assess_deployment(failure_sampler& sampler, round_state& rs,
         cache->bind(app, plan);
     }
     for (std::size_t round = 0; round < rounds; ++round) {
+        if (round % budget_poll_stride == 0) {
+            throw_if_preempted(budget);
+        }
         sampler.next_round(failed);
         results.add(cached_reliable_in_round(cache, failed, rs, oracle, plan,
                                              evaluator));
@@ -34,7 +47,8 @@ assessment_stats assess_until_ciw(failure_sampler& sampler, round_state& rs,
                                   const application& app,
                                   const deployment_plan& plan,
                                   const adaptive_assess_options& options,
-                                  verdict_cache* cache) {
+                                  verdict_cache* cache,
+                                  const run_budget* budget) {
     if (options.target_ciw <= 0.0) {
         throw std::invalid_argument{"assess_until_ciw: target must be > 0"};
     }
@@ -48,6 +62,9 @@ assessment_stats assess_until_ciw(failure_sampler& sampler, round_state& rs,
     const auto run_rounds = [&](std::size_t rounds) {
         RECLOUD_COUNTER_ADD("assess.rounds", rounds);
         for (std::size_t round = 0; round < rounds; ++round) {
+            if (round % budget_poll_stride == 0) {
+                throw_if_preempted(budget);
+            }
             sampler.next_round(failed);
             results.add(cached_reliable_in_round(cache, failed, rs, oracle,
                                                  plan, evaluator));
@@ -157,6 +174,7 @@ bool reliability_assessor::replay_journal(const application& app,
                                           const deployment_plan& plan,
                                           verdict_cache* cache,
                                           requirement_evaluator& evaluator,
+                                          const run_budget* budget,
                                           assessment_stats* out) {
     // Pass 1 (no judging): which recorded rounds are dirty under the new
     // plan — some off-support residue entered the new support (it belongs
@@ -207,8 +225,13 @@ bool reliability_assessor::replay_journal(const application& app,
     // dirty round individually with its residue merged into the group key
     // (the seam's lookup filters and sorts, so plain concatenation is
     // enough; components the new support dropped are filtered there too).
+    // A preempt mid-replay is safe to propagate: the journal was only read
+    // and the stream untouched (debt is added by the caller on success).
     result_accumulator results;
     for (std::size_t g = 0; g < journal_groups_.size(); ++g) {
+        if (g % budget_poll_stride == 0) {
+            throw_if_preempted(budget);
+        }
         const journal_group& group = journal_groups_[g];
         const std::uint32_t clean = group.multiplicity - dirty_per_group_[g];
         if (clean == 0) {
@@ -247,7 +270,8 @@ void reliability_assessor::settle_stream_debt() {
 
 assessment_stats reliability_assessor::assess(const application& app,
                                               const deployment_plan& plan,
-                                              std::size_t rounds) {
+                                              std::size_t rounds,
+                                              const run_budget* budget) {
     RECLOUD_SPAN("assess.deployment");
     RECLOUD_COUNTER_ADD("assess.rounds", rounds);
     requirement_evaluator evaluator{app, plan};
@@ -267,17 +291,22 @@ assessment_stats reliability_assessor::assess(const application& app,
         *fresh_reset == journal_seed_ && rounds == journal_rounds_ &&
         app_fingerprint == journal_app_) {
         assessment_stats replayed;
-        if (replay_journal(app, plan, cache, evaluator, &replayed)) {
+        if (replay_journal(app, plan, cache, evaluator, budget, &replayed)) {
             replay_debt_rounds_ += rounds;
             return replayed;
         }
     }
     const bool record = incremental && fresh_reset.has_value() && rounds > 0;
     if (record) {
+        // A preempt below leaves the half-recorded journal invalid
+        // (journal_valid_ only flips back after a full pass).
         begin_journal(*fresh_reset, app_fingerprint, rounds);
     }
     result_accumulator results;
     for (std::size_t round = 0; round < rounds; ++round) {
+        if (round % budget_poll_stride == 0) {
+            throw_if_preempted(budget);
+        }
         sampler_->next_round(failed_scratch_);
         results.add(cached_reliable_in_round(cache, failed_scratch_, rs_,
                                              *oracle_, plan, evaluator));

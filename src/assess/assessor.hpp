@@ -12,6 +12,7 @@
 #include "app/deployment.hpp"
 #include "app/requirement_eval.hpp"
 #include "assess/verdict_cache.hpp"
+#include "core/run_budget.hpp"
 #include "faults/round_state.hpp"
 #include "routing/oracle.hpp"
 #include "sampling/result_stats.hpp"
@@ -24,14 +25,17 @@ namespace recloud {
 /// plan deploys into. The sampler continues its stream (it is NOT reset), so
 /// consecutive assessments use fresh randomness. `cache` may be nullptr;
 /// when given it is bound to (app, plan) here and memoizes round verdicts —
-/// the returned stats are bit-identical either way.
+/// the returned stats are bit-identical either way. `budget` (nullable) is
+/// polled every few hundred rounds; when it fires the partial tally is
+/// discarded and search_preempted thrown (core/run_budget.hpp).
 [[nodiscard]] assessment_stats assess_deployment(failure_sampler& sampler,
                                                  round_state& rs,
                                                  reachability_oracle& oracle,
                                                  const application& app,
                                                  const deployment_plan& plan,
                                                  std::size_t rounds,
-                                                 verdict_cache* cache = nullptr);
+                                                 verdict_cache* cache = nullptr,
+                                                 const run_budget* budget = nullptr);
 
 /// Adaptive-precision assessment: keeps sampling until the 95% confidence
 /// interval width (Eq. 3) drops to `target_ciw` or `max_rounds` is reached.
@@ -50,7 +54,8 @@ struct adaptive_assess_options {
                                                 const application& app,
                                                 const deployment_plan& plan,
                                                 const adaptive_assess_options& options,
-                                                verdict_cache* cache = nullptr);
+                                                verdict_cache* cache = nullptr,
+                                                const run_budget* budget = nullptr);
 
 /// Reusable assessment context: owns the scratch state (round_state,
 /// evaluator caches, optional verdict cache) so the annealing search can
@@ -68,9 +73,15 @@ public:
                          reachability_oracle& oracle, failure_sampler& sampler,
                          const verdict_cache_options& cache_options = {});
 
+    /// `budget` (nullable) is polled every few hundred rounds of the main
+    /// loop and of a journal replay; when it fires, search_preempted
+    /// propagates with all internal state safe: a partially-recorded
+    /// journal stays invalid, a partially-replayed one stays valid and
+    /// unconsumed (no debt was added), and the partial tally is discarded.
     [[nodiscard]] assessment_stats assess(const application& app,
                                           const deployment_plan& plan,
-                                          std::size_t rounds);
+                                          std::size_t rounds,
+                                          const run_budget* budget = nullptr);
 
     /// CRN notification: the owning backend's reset_stream(seed) calls this
     /// right after resetting the sampler. The NEXT assess() then knows it
@@ -146,6 +157,7 @@ private:
                                       const deployment_plan& plan,
                                       verdict_cache* cache,
                                       requirement_evaluator& evaluator,
+                                      const run_budget* budget,
                                       assessment_stats* out);
 
     round_state rs_;

@@ -39,6 +39,7 @@ assessment_stats assessment_backend::assess_until_ciw(
     run_rounds(std::min(std::max<std::size_t>(options.initial_rounds, 1),
                         options.max_rounds));
     for (;;) {
+        throw_if_preempted(budget_);  // between prediction batches
         const assessment_stats stats = results.stats();
         if (stats.ciw95 <= options.target_ciw ||
             results.rounds() >= options.max_rounds) {
@@ -64,7 +65,7 @@ serial_backend::serial_backend(std::size_t component_count,
 assessment_stats serial_backend::assess(const application& app,
                                         const deployment_plan& plan,
                                         std::size_t rounds) {
-    return assessor_.assess(app, plan, rounds);
+    return assessor_.assess(app, plan, rounds, budget_);
 }
 
 assessment_stats serial_backend::assess_until_ciw(
@@ -76,7 +77,7 @@ assessment_stats serial_backend::assess_until_ciw(
     assessor_.settle_stream_debt();
     assessor_.invalidate_stream_reset();
     return recloud::assess_until_ciw(*sampler_, assessor_.state(), *oracle_, app,
-                                     plan, options, assessor_.cache());
+                                     plan, options, assessor_.cache(), budget_);
 }
 
 void serial_backend::reset_stream(std::uint64_t seed) {
@@ -127,11 +128,20 @@ assessment_stats parallel_backend::assess(const application& app,
     // b's rounds come from substream (epoch, b) no matter which worker runs
     // it, and the per-batch counts are summed — addition commutes, so the
     // schedule cannot affect the result.
+    //
+    // Lifecycle: workers poll the armed budget between batches; the first
+    // to see it fire raises `aborted` so siblings stop at their next batch
+    // boundary too. Every future still completes (the master must not
+    // outrun tasks holding references to this frame), then the whole
+    // partial tally is discarded by throwing search_preempted.
+    std::atomic<bool> aborted{false};
+    const run_budget* budget = budget_;
     std::vector<std::future<batch_counts>> futures;
     futures.reserve(workers);
     for (std::size_t w = 0; w < workers && w < batches; ++w) {
         futures.push_back(pool_.submit([this, &app, &plan, rounds, batch_rounds,
-                                        batches, workers, w]() -> batch_counts {
+                                        batches, workers, w, budget,
+                                        &aborted]() -> batch_counts {
             worker_context& context = *contexts_[w];
             requirement_evaluator evaluator{app, plan};
             verdict_cache* cache = context.cache ? &*context.cache : nullptr;
@@ -141,6 +151,12 @@ assessment_stats parallel_backend::assess(const application& app,
             std::vector<component_id> failed;
             batch_counts counts;
             for (std::size_t b = w; b < batches; b += workers) {
+                if (budget != nullptr &&
+                    (aborted.load(std::memory_order_relaxed) ||
+                     budget->interrupted())) {
+                    aborted.store(true, std::memory_order_relaxed);
+                    break;
+                }
                 RECLOUD_SPAN("assess.batch");
                 RECLOUD_COUNTER_INC("assess.batches");
                 const std::unique_ptr<failure_sampler> substream =
@@ -165,6 +181,9 @@ assessment_stats parallel_backend::assess(const application& app,
     for (auto& future : futures) {
         const batch_counts counts = future.get();
         results.merge(counts.reliable, counts.rounds);
+    }
+    if (aborted.load(std::memory_order_relaxed)) {
+        throw search_preempted{};
     }
     return results.stats();
 }

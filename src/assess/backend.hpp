@@ -67,6 +67,21 @@ public:
         const noexcept {
         return nullptr;
     }
+
+    /// Arms (or, with nullptr, disarms) the request-lifecycle token
+    /// (core/run_budget.hpp) every subsequent assessment polls. The token is
+    /// borrowed — the caller keeps it alive and disarms before it dies.
+    /// When an armed token's wall trigger fires mid-assessment the backend
+    /// throws search_preempted with the partial tally discarded; an armed
+    /// but never-firing token leaves stats bit-identical to an un-armed run.
+    /// Not thread-safe against a concurrent assess() on the SAME backend
+    /// (arm between assessments; cancel()/deadlines on the token itself may
+    /// fire from any thread).
+    void set_budget(const run_budget* budget) noexcept { budget_ = budget; }
+    [[nodiscard]] const run_budget* budget() const noexcept { return budget_; }
+
+protected:
+    const run_budget* budget_ = nullptr;
 };
 
 /// Today's single-threaded path: one sampler stream, one round_state, one

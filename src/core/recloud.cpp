@@ -194,6 +194,7 @@ deployment_response re_cloud::find_deployment(const deployment_request& request)
     request.app.validate();
     const std::uint32_t instances = request.app.total_instances();
     const std::size_t chain_count = options_.search_chains;
+    const run_budget* budget = request.budget.get();
 
     // Chains 1..K-1 get their own assessment stack with a forked sampler
     // substream; chain 0 reuses the main stack, so K=1 is byte-for-byte the
@@ -276,9 +277,35 @@ deployment_response re_cloud::find_deployment(const deployment_request& request)
         };
     }
 
+    // Arm every chain's backend with the lifecycle token for the search;
+    // guard-scoped so the token is disarmed before the final re-assessment
+    // below (an anytime result still gets unbiased, complete stats) and on
+    // any exception path (the borrowed token must not outlive the request).
+    struct budget_guard {
+        std::vector<assessment_backend*> armed;
+        void disarm() noexcept {
+            for (assessment_backend* backend : armed) {
+                backend->set_budget(nullptr);
+            }
+            armed.clear();
+        }
+        ~budget_guard() { disarm(); }
+    } guard;
+    if (budget != nullptr) {
+        guard.armed.push_back(backend_.get());
+        for (const chain_stack& chain : chains_) {
+            guard.armed.push_back(chain.backend.get());
+        }
+        for (assessment_backend* backend : guard.armed) {
+            backend->set_budget(budget);
+        }
+        search_options.budget = budget;
+    }
+
     const symmetry_checker* symmetry = symmetry_ ? &*symmetry_ : nullptr;
     multi_chain_result chains_result = anneal_chains(
         specs, symmetry, instances, search_options, options_.search_threads);
+    guard.disarm();
     annealing_result result =
         std::move(chains_result.chains[chains_result.winning_chain]);
 
@@ -302,6 +329,15 @@ deployment_response re_cloud::find_deployment(const deployment_request& request)
         response.utility = result.best_evaluation.utility;
         response.score = result.best_evaluation.score;
     }
+    // Three-way lifecycle verdict: a CRN re-check that withdraws
+    // fulfillment downgrades to exhausted (the budget WAS spent), never to
+    // deadline_exceeded — that verdict is reserved for a fired run_budget.
+    response.outcome =
+        response.fulfilled
+            ? search_outcome::fulfilled
+            : (result.outcome == search_outcome::deadline_exceeded
+                   ? search_outcome::deadline_exceeded
+                   : search_outcome::exhausted);
     response.search = std::move(result);
     return response;
 }

@@ -29,6 +29,7 @@
 #include "app/deployment.hpp"
 #include "assess/assessor.hpp"
 #include "assess/backend.hpp"
+#include "core/run_budget.hpp"
 #include "core/scenario.hpp"
 #include "obs/metrics.hpp"
 #include "faults/component_registry.hpp"
@@ -178,6 +179,15 @@ struct deployment_request {
     application app;
     double desired_reliability = 1.0;  ///< R_desired
     std::chrono::nanoseconds max_search_time = std::chrono::seconds{30};  ///< Tmax
+    /// Optional request-lifecycle token (core/run_budget.hpp). When set,
+    /// every layer of this search polls it: the SA loops stop between
+    /// iterations, the assessment backends abort mid-assessment, and the
+    /// search returns its best-so-far plan with
+    /// response.outcome == search_outcome::deadline_exceeded. The final
+    /// unbiased CRN re-assessment runs UN-armed, so even a preempted
+    /// response reports noise-free stats (one bounded assessment of
+    /// overshoot past the deadline). Unset = the exact historic behavior.
+    run_budget_ptr budget{};
 };
 
 struct deployment_response {
@@ -185,6 +195,11 @@ struct deployment_response {
     /// "requirements cannot be fulfilled" — `plan` still carries the best
     /// plan found.
     bool fulfilled = false;
+    /// Three-way lifecycle verdict of the winning chain: fulfilled,
+    /// exhausted (budget ran out), or deadline_exceeded (cut short by
+    /// request.budget — `plan` is the anytime best-so-far).
+    /// fulfilled == (outcome == search_outcome::fulfilled).
+    search_outcome outcome = search_outcome::exhausted;
     deployment_plan plan;
     assessment_stats stats;  ///< reliability R, variance V, CIW95 of `plan`
     double utility = 0.0;

@@ -1,0 +1,143 @@
+// Request-lifecycle plane (DESIGN.md §13): one shared cancellation/deadline
+// token threaded from deployment_service admission down through the SA loop
+// (search/annealing.cpp), the assessment round loops (assess/assessor.cpp,
+// assess/backend.cpp) and the execution engine's dispatch waits
+// (exec/engine.cpp).
+//
+// The token carries three independent triggers:
+//
+//   * an absolute deadline on the monotonic clock (the same clock the Eq. 6
+//     search budget reads — util/stopwatch.hpp);
+//   * a cooperative cancel flag (caller-driven abort);
+//   * a deterministic iteration cut: stop after N generated plans. Checked
+//     only at SA iteration boundaries against the plan counter, it never
+//     reads the clock — a cut trajectory is a pure function of the seed,
+//     which is what the preemption pinning tests rely on.
+//
+// Determinism contract: an un-armed token (no deadline, no cancel, no cut)
+// is pure overhead-free polling — every layer checks a pointer/flag and
+// reads nothing else, so trajectories and assessment_stats stay
+// bit-identical to a build without the plane. When a wall trigger fires
+// mid-assessment the layer throws search_preempted; the catcher DISCARDS
+// the partial candidate (partial counts never merge into any result), so
+// every completed iteration is bit-identical to an uninterrupted run and
+// the search returns its best-so-far plan as an anytime result.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+
+#include "util/stopwatch.hpp"
+
+namespace recloud {
+
+/// Thrown by assessment layers (assessor round loops, parallel batches,
+/// engine dispatch waits) when the governing run_budget fires mid-flight.
+/// Caught by search_chain::run(), which drops the in-flight candidate and
+/// finishes with search_outcome::deadline_exceeded.
+class search_preempted : public std::runtime_error {
+public:
+    search_preempted()
+        : std::runtime_error{"search preempted by its run budget"} {}
+};
+
+/// Cooperative lifecycle token. Shared (via run_budget_ptr) between the
+/// controller arming it and any number of worker threads polling it; all
+/// members are atomics, so polling is wait-free and arming takes effect on
+/// the pollers' next check.
+class run_budget {
+public:
+    using clock = monotonic_clock;
+
+    run_budget() = default;
+    run_budget(const run_budget&) = delete;
+    run_budget& operator=(const run_budget&) = delete;
+
+    /// Caller-driven abort; sticky.
+    void cancel() noexcept { cancelled_.store(true, std::memory_order_relaxed); }
+    [[nodiscard]] bool cancelled() const noexcept {
+        return cancelled_.load(std::memory_order_relaxed);
+    }
+
+    /// Arms (or moves) the absolute wall deadline.
+    void set_deadline(clock::time_point when) noexcept {
+        deadline_ns_.store(when.time_since_epoch().count(),
+                           std::memory_order_relaxed);
+    }
+    void set_deadline_in(std::chrono::nanoseconds from_now) noexcept {
+        set_deadline(clock::now() + from_now);
+    }
+    void clear_deadline() noexcept {
+        deadline_ns_.store(no_deadline, std::memory_order_relaxed);
+    }
+    [[nodiscard]] bool has_deadline() const noexcept {
+        return deadline_ns_.load(std::memory_order_relaxed) != no_deadline;
+    }
+    [[nodiscard]] clock::time_point deadline_point() const noexcept {
+        return clock::time_point{std::chrono::nanoseconds{
+            deadline_ns_.load(std::memory_order_relaxed)}};
+    }
+    /// Time left until the deadline, clamped at zero; the full int64 range
+    /// when no deadline is armed.
+    [[nodiscard]] std::chrono::nanoseconds remaining() const noexcept {
+        const std::int64_t ns = deadline_ns_.load(std::memory_order_relaxed);
+        if (ns == no_deadline) {
+            return std::chrono::nanoseconds{no_deadline};
+        }
+        const std::int64_t now = clock::now().time_since_epoch().count();
+        return std::chrono::nanoseconds{ns > now ? ns - now : 0};
+    }
+
+    /// Deterministic cut: trajectories stop once they have generated this
+    /// many plans. Never consults the clock.
+    void set_iteration_cut(std::uint64_t generated_plans) noexcept {
+        iteration_cut_.store(generated_plans, std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::uint64_t iteration_cut() const noexcept {
+        return iteration_cut_.load(std::memory_order_relaxed);
+    }
+    /// True when a trajectory that has generated `generated` plans must
+    /// stop — a pure function of the counter.
+    [[nodiscard]] bool cut_at(std::uint64_t generated) const noexcept {
+        return generated >= iteration_cut_.load(std::memory_order_relaxed);
+    }
+
+    /// The wall-side interrupt: cancelled, or an armed deadline has passed.
+    /// Reads the clock only when a deadline is armed, so un-armed polling
+    /// costs two relaxed loads.
+    [[nodiscard]] bool interrupted() const noexcept {
+        if (cancelled()) {
+            return true;
+        }
+        const std::int64_t ns = deadline_ns_.load(std::memory_order_relaxed);
+        if (ns == no_deadline) {
+            return false;
+        }
+        return clock::now().time_since_epoch().count() >= ns;
+    }
+
+private:
+    static constexpr std::int64_t no_deadline =
+        std::numeric_limits<std::int64_t>::max();
+
+    std::atomic<bool> cancelled_{false};
+    std::atomic<std::int64_t> deadline_ns_{no_deadline};
+    std::atomic<std::uint64_t> iteration_cut_{
+        std::numeric_limits<std::uint64_t>::max()};
+};
+
+using run_budget_ptr = std::shared_ptr<run_budget>;
+
+/// The assessment layers' poll: throws search_preempted when `budget`
+/// (nullable) has a fired wall trigger.
+inline void throw_if_preempted(const run_budget* budget) {
+    if (budget != nullptr && budget->interrupted()) {
+        throw search_preempted{};
+    }
+}
+
+}  // namespace recloud

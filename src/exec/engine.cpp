@@ -166,7 +166,8 @@ const verdict_cache_stats* assessment_engine::cache_stats() const noexcept {
 assessment_stats assessment_engine::assess(failure_sampler& sampler,
                                            const application& app,
                                            const deployment_plan& plan,
-                                           std::size_t rounds) {
+                                           std::size_t rounds,
+                                           const run_budget* budget) {
     RECLOUD_SPAN("engine.assess");
     RECLOUD_COUNTER_ADD("assess.rounds", rounds);
     const std::size_t worker_count = transport_->workers();
@@ -180,42 +181,11 @@ assessment_stats assessment_engine::assess(failure_sampler& sampler,
         frame_message(setup_writer.bytes());
     stats_.bytes_sent += transport_->begin_assessment(framed_setup);
 
-    // Master: sample every round up front. The sampler stream advances
-    // identically whatever faults later strike, and each batch's bytes are
-    // kept until its result validates — so retries, re-dispatches and
-    // degraded local runs all judge the identical rounds.
     std::vector<pending_batch> batches;
-    {
-        RECLOUD_SPAN("engine.sample");
-        std::vector<std::vector<component_id>> batch_rounds;
-        std::vector<component_id> failed;
-        const auto flush = [&] {
-            if (batch_rounds.empty()) {
-                return;
-            }
-            byte_writer writer;
-            wire::encode_round_batch(writer, batch_rounds);
-            pending_batch b;
-            b.id = batches.size();
-            b.rounds = batch_rounds.size();
-            b.framed_task = frame_message(writer.bytes());
-            b.failed_on.assign(worker_count, false);
-            batches.push_back(std::move(b));
-            batch_rounds.clear();
-        };
-        for (std::size_t produced = 0; produced < rounds; ++produced) {
-            sampler.next_round(failed);
-            batch_rounds.push_back(failed);
-            if (batch_rounds.size() >= options_.batch_rounds) {
-                flush();
-            }
-        }
-        flush();
-    }
-    stats_.batches += batches.size();
 
-    // Results a deadline miss abandoned: the stalled task still runs and
-    // must be drained before the contexts it references are destroyed.
+    // Results a deadline miss (or a lifecycle preempt) abandoned: the
+    // stalled task still runs and must be drained before the contexts it
+    // references are destroyed.
     std::vector<std::future<std::vector<std::byte>>> abandoned;
     const auto drain = [&] {
         for (pending_batch& b : batches) {
@@ -253,23 +223,86 @@ assessment_stats assessment_engine::assess(failure_sampler& sampler,
         return worker_count;
     };
 
-    // Initial wave: batch i to worker i mod workers (round-robin).
-    if (options_.max_attempts > 0) {
-        for (pending_batch& b : batches) {
-            dispatch(b, static_cast<std::size_t>(b.id % worker_count));
+    // Waits for one attempt's result: bounded by the per-attempt deadline
+    // (if any) and — when a lifecycle budget is armed — sliced so the wait
+    // aborts within a few milliseconds of the budget firing. With neither,
+    // the plain get() below blocks, exactly the historic path.
+    const auto attempt_timed_out = [&](pending_batch& b) {
+        const bool bounded = options_.batch_deadline.count() > 0;
+        if (!bounded && budget == nullptr) {
+            return false;
         }
-    }
+        constexpr std::chrono::milliseconds poll_slice{2};
+        const auto attempt_deadline =
+            monotonic_clock::now() + options_.batch_deadline;
+        for (;;) {
+            throw_if_preempted(budget);
+            std::chrono::nanoseconds wait = poll_slice;
+            if (bounded) {
+                const std::chrono::nanoseconds remaining =
+                    attempt_deadline - monotonic_clock::now();
+                if (remaining <= std::chrono::nanoseconds::zero()) {
+                    return true;
+                }
+                if (budget == nullptr || remaining < wait) {
+                    wait = remaining;
+                }
+            }
+            if (b.outcome.wait_for(wait) == std::future_status::ready) {
+                return false;
+            }
+        }
+    };
 
     result_accumulator results;
     std::unique_ptr<worker_context> local;  // lazily-built degraded path
     try {
+        // Master: sample every round up front. The sampler stream advances
+        // identically whatever faults later strike, and each batch's bytes
+        // are kept until its result validates — so retries, re-dispatches
+        // and degraded local runs all judge the identical rounds.
+        {
+            RECLOUD_SPAN("engine.sample");
+            std::vector<std::vector<component_id>> batch_rounds;
+            std::vector<component_id> failed;
+            const auto flush = [&] {
+                if (batch_rounds.empty()) {
+                    return;
+                }
+                byte_writer writer;
+                wire::encode_round_batch(writer, batch_rounds);
+                pending_batch b;
+                b.id = batches.size();
+                b.rounds = batch_rounds.size();
+                b.framed_task = frame_message(writer.bytes());
+                b.failed_on.assign(worker_count, false);
+                batches.push_back(std::move(b));
+                batch_rounds.clear();
+            };
+            for (std::size_t produced = 0; produced < rounds; ++produced) {
+                sampler.next_round(failed);
+                batch_rounds.push_back(failed);
+                if (batch_rounds.size() >= options_.batch_rounds) {
+                    flush();
+                    throw_if_preempted(budget);
+                }
+            }
+            flush();
+        }
+        stats_.batches += batches.size();
+
+        // Initial wave: batch i to worker i mod workers (round-robin).
+        if (options_.max_attempts > 0) {
+            for (pending_batch& b : batches) {
+                dispatch(b, static_cast<std::size_t>(b.id % worker_count));
+            }
+        }
+
         for (pending_batch& b : batches) {
+            throw_if_preempted(budget);
             bool accepted = false;
             while (b.outcome.valid() && !accepted) {
-                // Wait (bounded by the per-attempt deadline, if any).
-                if (options_.batch_deadline.count() > 0 &&
-                    b.outcome.wait_for(options_.batch_deadline) ==
-                        std::future_status::timeout) {
+                if (attempt_timed_out(b)) {
                     ++stats_.deadline_misses;
                     abandoned.push_back(std::move(b.outcome));
                 } else {
@@ -319,7 +352,9 @@ assessment_stats assessment_engine::assess(failure_sampler& sampler,
             if (!accepted) {
                 // Graceful degradation: every worker exhausted (or none
                 // allowed) — the master routes and checks the kept batch
-                // itself, chaos-free, which cannot fail.
+                // itself, chaos-free, which cannot fail. An over-budget
+                // request aborts instead of paying for the local run.
+                throw_if_preempted(budget);
                 RECLOUD_SPAN("engine.degraded");
                 RECLOUD_COUNTER_INC("engine.degraded");
                 if (local == nullptr) {
@@ -368,7 +403,7 @@ engine_backend::engine_backend(std::size_t component_count,
 assessment_stats engine_backend::assess(const application& app,
                                         const deployment_plan& plan,
                                         std::size_t rounds) {
-    return engine_.assess(*sampler_, app, plan, rounds);
+    return engine_.assess(*sampler_, app, plan, rounds, budget_);
 }
 
 void engine_backend::reset_stream(std::uint64_t seed) {

@@ -144,11 +144,18 @@ public:
 
     /// Assesses one plan over `rounds` rounds. Sampling stays on the master
     /// (the failure schedule is the data being distributed); workers do the
-    /// route-and-check.
+    /// route-and-check. `budget` (nullable, borrowed) is the request
+    /// lifecycle token: the master polls it between batches and WHILE
+    /// waiting on dispatched results (sliced waits), and when it fires the
+    /// assessment aborts cleanly — outstanding dispatches are abandoned,
+    /// drained, and their late results dropped; the transport stays
+    /// reusable (no zombie workers, no desync) — then search_preempted
+    /// propagates with the partial tally discarded.
     [[nodiscard]] assessment_stats assess(failure_sampler& sampler,
                                           const application& app,
                                           const deployment_plan& plan,
-                                          std::size_t rounds);
+                                          std::size_t rounds,
+                                          const run_budget* budget = nullptr);
 
     [[nodiscard]] std::size_t workers() const noexcept {
         return transport_->workers();

@@ -90,6 +90,10 @@ std::string to_json(const service_stats& stats) {
         << ",\"failed\":" << stats.failed
         << ",\"shed_queue_full\":" << stats.shed_queue_full
         << ",\"shed_quota\":" << stats.shed_quota
+        << ",\"shed_unmeetable\":" << stats.shed_unmeetable
+        << ",\"deadline_met\":" << stats.deadline_met
+        << ",\"deadline_missed\":" << stats.deadline_missed
+        << ",\"preempted\":" << stats.preempted
         << ",\"peak_queue_depth\":" << stats.peak_queue_depth
         << ",\"shard_queue_depth\":[";
     for (std::size_t s = 0; s < stats.shard_queue_depth.size(); ++s) {
@@ -156,6 +160,7 @@ std::string to_json(const deployment_response& response,
                     const obs::telemetry_snapshot* telemetry) {
     std::ostringstream out;
     out << "{\"fulfilled\":" << (response.fulfilled ? "true" : "false")
+        << ",\"outcome\":\"" << to_string(response.outcome) << "\""
         << ",\"hosts\":[";
     for (std::size_t i = 0; i < response.plan.hosts.size(); ++i) {
         const node_id host = response.plan.hosts[i];

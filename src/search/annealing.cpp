@@ -23,6 +23,15 @@ constexpr double temperature_floor = 1e-6;
 
 }  // namespace
 
+const char* to_string(search_outcome outcome) noexcept {
+    switch (outcome) {
+        case search_outcome::fulfilled: return "fulfilled";
+        case search_outcome::exhausted: return "exhausted";
+        case search_outcome::deadline_exceeded: return "deadline_exceeded";
+    }
+    return "unknown";
+}
+
 double acceptance_delta(double s_current, double s_neighbor,
                         delta_mode mode) noexcept {
     if (mode == delta_mode::absolute) {
@@ -88,7 +97,7 @@ annealing_result search_chain::run() {
         event.kind = kind;
         event.chain = options_.chain;
         event.iteration = result_.plans_generated;
-        event.elapsed_seconds = budget_.elapsed_seconds();
+        event.elapsed_seconds = budget_.elapsed_budgeted_seconds();
         event.temperature = std::max(remaining_fraction(), temperature_floor);
         if (eval != nullptr) {
             event.candidate_score = eval->score;
@@ -101,12 +110,24 @@ annealing_result search_chain::run() {
         options_.observer(event);
     };
 
-    const auto assess_candidate = [&](const deployment_plan& plan) {
+    // True once the run_budget cut this trajectory — between iterations or
+    // mid-assessment (search_preempted). The partial assessment's counts
+    // never left the backend, so every iteration that DID complete is
+    // bit-identical to an uninterrupted run; best-so-far is the anytime
+    // result.
+    bool preempted = false;
+    const auto assess_candidate = [&](const deployment_plan& plan,
+                                      plan_evaluation& out) {
         RECLOUD_SPAN("search.evaluate");
-        plan_evaluation eval = evaluate_(plan);
+        try {
+            out = evaluate_(plan);
+        } catch (const search_preempted&) {
+            preempted = true;
+            return false;
+        }
         ++result_.plans_evaluated;
         RECLOUD_COUNTER_INC("search.plans_evaluated");
-        return eval;
+        return true;
     };
 
     const auto note_improvement = [&](const plan_evaluation& eval) {
@@ -114,8 +135,8 @@ annealing_result search_chain::run() {
             return;
         }
         result_.trace.push_back(annealing_trace_point{
-            budget_.elapsed_seconds(), eval.score, eval.stats.reliability,
-            result_.plans_evaluated});
+            budget_.elapsed_budgeted_seconds(), eval.score,
+            eval.stats.reliability, result_.plans_evaluated});
     };
 
     // Steps 1-2: random initial plan (regenerated while the resource filter
@@ -137,7 +158,15 @@ annealing_result search_chain::run() {
             RECLOUD_COUNTER_INC("search.plans_generated");
         }
     }
-    plan_evaluation current_eval = assess_candidate(current);
+    plan_evaluation current_eval;
+    if (!assess_candidate(current, current_eval)) {
+        // Preempted before even one assessment finished: the initial plan
+        // (unassessed, zero stats) is the only anytime result there is.
+        result_.best_plan = std::move(current);
+        result_.outcome = search_outcome::deadline_exceeded;
+        result_.elapsed_seconds = budget_.elapsed_budgeted_seconds();
+        return std::move(result_);
+    }
 
     result_.best_plan = current;
     result_.best_evaluation = current_eval;
@@ -152,6 +181,17 @@ annealing_result search_chain::run() {
         // Step 6's success check runs against the *current* plan (§3.3.1).
         if (current_eval.stats.reliability >= options_.desired_reliability) {
             result_.fulfilled = true;
+            break;
+        }
+
+        // Lifecycle checks between iterations: the deterministic cut reads
+        // only the plan counter (a cut trajectory is a pure function of the
+        // seed); the wall triggers read the shared clock but never the RNG,
+        // so an un-fired budget cannot perturb the trajectory.
+        if (options_.budget != nullptr &&
+            (options_.budget->cut_at(result_.plans_generated) ||
+             options_.budget->interrupted())) {
+            preempted = true;
             break;
         }
 
@@ -177,7 +217,10 @@ annealing_result search_chain::run() {
         consecutive_skips = 0;
 
         // Step 4: assess the neighbor.
-        const plan_evaluation neighbor_eval = assess_candidate(neighbor);
+        plan_evaluation neighbor_eval;
+        if (!assess_candidate(neighbor, neighbor_eval)) {
+            break;  // preempted mid-assessment; candidate discarded
+        }
 
         // Step 5: accept or reject.
         const bool improved = neighbor_eval.score >= current_eval.score;
@@ -220,7 +263,11 @@ annealing_result search_chain::run() {
         // moved off it before the loop ended.
         result_.fulfilled = true;
     }
-    result_.elapsed_seconds = budget_.elapsed_seconds();
+    result_.outcome = result_.fulfilled
+                          ? search_outcome::fulfilled
+                          : (preempted ? search_outcome::deadline_exceeded
+                                       : search_outcome::exhausted);
+    result_.elapsed_seconds = budget_.elapsed_budgeted_seconds();
     return std::move(result_);
 }
 

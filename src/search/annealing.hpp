@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "app/deployment.hpp"
+#include "core/run_budget.hpp"
 #include "obs/timeline.hpp"
 #include "search/neighbor.hpp"
 #include "search/objective.hpp"
@@ -75,6 +76,18 @@ enum class schedule_mode : std::uint8_t {
     iterations,
 };
 
+/// How a trajectory ended — the three-way lifecycle verdict replacing the
+/// historic binary `fulfilled`.
+enum class search_outcome : std::uint8_t {
+    fulfilled,  ///< R_desired reached within the budget
+    exhausted,  ///< Tmax / max_iterations ran out without reaching R_desired
+    /// Cut short by an armed run_budget (deadline, cancel, or deterministic
+    /// iteration cut); best_plan carries the anytime best-so-far result.
+    deadline_exceeded,
+};
+
+[[nodiscard]] const char* to_string(search_outcome outcome) noexcept;
+
 struct annealing_options {
     /// Tmax: the developer's search budget (§2.2). The search stops when it
     /// elapses (or when max_iterations is hit, whichever first).
@@ -108,6 +121,15 @@ struct annealing_options {
     /// Chain index stamped into every observer event (anneal_chains sets
     /// it; single-chain searches leave 0).
     std::uint32_t chain = 0;
+    /// Optional request-lifecycle token (core/run_budget.hpp), borrowed —
+    /// must outlive the search. Checked between SA iterations (wall
+    /// triggers AND the deterministic iteration cut); the assessment layers
+    /// below additionally poll its wall triggers mid-assessment and throw
+    /// search_preempted, which the chain absorbs by discarding the
+    /// in-flight candidate. Either way the chain returns best-so-far with
+    /// outcome deadline_exceeded. nullptr (the default) restores the exact
+    /// historic trajectory.
+    const run_budget* budget = nullptr;
 };
 
 struct annealing_trace_point {
@@ -121,6 +143,9 @@ struct annealing_result {
     deployment_plan best_plan;
     plan_evaluation best_evaluation;
     bool fulfilled = false;  ///< R_desired reached within Tmax
+    /// Three-way lifecycle verdict; `fulfilled` above stays as the legacy
+    /// binary view (fulfilled == (outcome == search_outcome::fulfilled)).
+    search_outcome outcome = search_outcome::exhausted;
     std::size_t plans_generated = 0;
     std::size_t plans_evaluated = 0;
     std::size_t symmetric_skips = 0;

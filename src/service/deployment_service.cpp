@@ -22,6 +22,25 @@ const char* to_string(request_status status) noexcept {
     return "unknown";
 }
 
+const char* to_string(scheduling_policy policy) noexcept {
+    switch (policy) {
+        case scheduling_policy::fifo: return "fifo";
+        case scheduling_policy::edf: return "edf";
+    }
+    return "unknown";
+}
+
+bool deployment_service::edf_before(const pending_request& a,
+                                    const pending_request& b) noexcept {
+    const auto key = [](const pending_request& p) {
+        return p.has_deadline ? p.deadline_at
+                              : monotonic_clock::time_point::max();
+    };
+    const auto ka = key(a);
+    const auto kb = key(b);
+    return ka != kb ? ka < kb : a.id < b.id;
+}
+
 deployment_service::deployment_service(const service_options& options)
     : options_(options) {
     const std::size_t shard_count = std::max<std::size_t>(1, options_.shards);
@@ -93,6 +112,13 @@ std::future<service_response> deployment_service::submit(
     service_request request) {
     pending_request pending;
     pending.request = std::move(request);
+    pending.admitted_at = monotonic_clock::now();
+    if (pending.request.slo_deadline.count() > 0) {
+        // Tracked under both policies (fifo still measures met/missed);
+        // enforcement — EDF pop, shedding, preemption — is edf-only.
+        pending.has_deadline = true;
+        pending.deadline_at = pending.admitted_at + pending.request.slo_deadline;
+    }
     std::future<service_response> future = pending.promise.get_future();
 
     // Resolved-at-admission responses (shed, unknown scenario) bypass the
@@ -147,6 +173,35 @@ std::future<service_response> deployment_service::submit(
             resolve_now(request_status::rejected, "queue is full");
             return future;
         }
+        if (options_.scheduling == scheduling_policy::edf &&
+            pending.has_deadline && options_.min_service_grant.count() > 0) {
+            // Unmeetable-at-admission bound (DESIGN.md §13): every queued
+            // request EDF-ordered ahead of this one is owed at least
+            // min_service_grant of search time first, spread across the
+            // shard's workers — if even that optimistic start leaves less
+            // than one grant before the deadline, running it would only
+            // burn capacity the on-time requests need.
+            const std::size_t workers =
+                std::max<std::size_t>(1, options_.workers);
+            std::size_t ahead = 0;
+            for (const pending_request& queued : sh.queue) {
+                if (edf_before(queued, pending)) {
+                    ++ahead;
+                }
+            }
+            const monotonic_clock::time_point earliest_finish =
+                pending.admitted_at +
+                options_.min_service_grant * ((ahead / workers) + 1);
+            if (earliest_finish > pending.deadline_at) {
+                ++stats_.rejected;
+                ++stats_.shed_unmeetable;
+                RECLOUD_COUNTER_INC("service.rejected");
+                RECLOUD_COUNTER_INC("service.deadline.shed_unmeetable");
+                resolve_now(request_status::rejected,
+                            "deadline provably unmeetable at admission");
+                return future;
+            }
+        }
         // Snapshot semantics: the request keeps the scenario it was admitted
         // with, even if the name is re-registered later.
         pending.scenario = it->second;
@@ -168,6 +223,7 @@ std::future<service_response> deployment_service::submit(
 }
 
 void deployment_service::worker_loop(shard& sh) {
+    const bool edf = options_.scheduling == scheduling_policy::edf;
     for (;;) {
         pending_request pending;
         {
@@ -179,14 +235,77 @@ void deployment_service::worker_loop(shard& sh) {
             if (sh.queue.empty()) {
                 return;  // shutting down and drained
             }
-            pending = std::move(sh.queue.front());
-            sh.queue.pop_front();
+            auto it = sh.queue.begin();
+            if (edf) {
+                it = std::min_element(sh.queue.begin(), sh.queue.end(),
+                                      &deployment_service::edf_before);
+            }
+            pending = std::move(*it);
+            sh.queue.erase(it);
             if (sh.gauges_registered) {
                 obs::metrics_registry::global().set(sh.depth_gauge,
                                                     sh.queue.size());
             }
         }
-        service_response response = run(pending);
+        const monotonic_clock::time_point dequeued_at = monotonic_clock::now();
+        const auto queue_wait =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                dequeued_at - pending.admitted_at);
+
+        // Dequeue-time shed: a deadline that passed while the request sat
+        // in the queue cannot be met by any search, so don't start one.
+        if (edf && pending.has_deadline && dequeued_at >= pending.deadline_at) {
+            service_response response;
+            response.status = request_status::rejected;
+            response.request_id = pending.id;
+            response.scenario = pending.request.scenario;
+            response.error = "deadline expired before the search started";
+            response.queue_wait_ns = queue_wait;
+            RECLOUD_HIST_OBSERVE("service.latency.queue_wait_ns",
+                                 static_cast<std::uint64_t>(queue_wait.count()));
+            {
+                const std::lock_guard<std::mutex> lock{mutex_};
+                ++stats_.rejected;
+                ++stats_.shed_unmeetable;
+                RECLOUD_COUNTER_INC("service.rejected");
+                RECLOUD_COUNTER_INC("service.deadline.shed_unmeetable");
+                const auto in_flight =
+                    tenant_in_flight_.find(pending.request.tenant);
+                if (in_flight != tenant_in_flight_.end() &&
+                    --in_flight->second == 0) {
+                    tenant_in_flight_.erase(in_flight);
+                }
+            }
+            pending.promise.set_value(std::move(response));
+            continue;
+        }
+
+        // Arm the request's lifecycle token: the search must yield by the
+        // deadline minus the headroom reserved for response assembly.
+        run_budget_ptr budget;
+        if (edf && pending.has_deadline) {
+            budget = std::make_shared<run_budget>();
+            budget->set_deadline(pending.deadline_at -
+                                 options_.deadline_headroom);
+        }
+
+        service_response response = run(pending, budget);
+        const monotonic_clock::time_point finished_at = monotonic_clock::now();
+        response.queue_wait_ns = queue_wait;
+        response.search_ns =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(finished_at -
+                                                                 dequeued_at);
+        RECLOUD_HIST_OBSERVE("service.latency.queue_wait_ns",
+                             static_cast<std::uint64_t>(queue_wait.count()));
+        RECLOUD_HIST_OBSERVE(
+            "service.latency.search_ns",
+            static_cast<std::uint64_t>(response.search_ns.count()));
+        if (pending.has_deadline) {
+            response.deadline_met = finished_at <= pending.deadline_at;
+        }
+        const bool was_preempted =
+            response.status == request_status::completed &&
+            response.result.outcome == search_outcome::deadline_exceeded;
         {
             const std::lock_guard<std::mutex> lock{mutex_};
             if (response.status == request_status::completed) {
@@ -195,6 +314,19 @@ void deployment_service::worker_loop(shard& sh) {
             } else {
                 ++stats_.failed;
                 RECLOUD_COUNTER_INC("service.failed");
+            }
+            if (pending.has_deadline) {
+                if (response.deadline_met) {
+                    ++stats_.deadline_met;
+                    RECLOUD_COUNTER_INC("service.deadline.met");
+                } else {
+                    ++stats_.deadline_missed;
+                    RECLOUD_COUNTER_INC("service.deadline.missed");
+                }
+            }
+            if (was_preempted) {
+                ++stats_.preempted;
+                RECLOUD_COUNTER_INC("service.deadline.preempted");
             }
             const auto in_flight = tenant_in_flight_.find(pending.request.tenant);
             if (in_flight != tenant_in_flight_.end() && --in_flight->second == 0) {
@@ -205,7 +337,8 @@ void deployment_service::worker_loop(shard& sh) {
     }
 }
 
-service_response deployment_service::run(pending_request& pending) const {
+service_response deployment_service::run(pending_request& pending,
+                                         const run_budget_ptr& budget) const {
     RECLOUD_SPAN("service.request");
     service_response response;
     response.request_id = pending.id;
@@ -238,6 +371,7 @@ service_response deployment_service::run(pending_request& pending) const {
         request.app = pending.request.app;
         request.desired_reliability = pending.request.desired_reliability;
         request.max_search_time = pending.request.max_search_time;
+        request.budget = budget;
         response.result = instance.find_deployment(request);
         response.status = request_status::completed;
     } catch (const std::exception& error) {
@@ -318,6 +452,12 @@ std::string deployment_service::status_json() const {
            std::to_string(std::max<std::size_t>(1, options_.workers));
     out += ",\"queue_capacity\":" + std::to_string(options_.queue_capacity);
     out += ",\"tenant_quota\":" + std::to_string(options_.tenant_quota);
+    out += ",\"scheduling\":\"";
+    out += to_string(options_.scheduling);
+    out += "\",\"min_service_grant_ns\":" +
+           std::to_string(options_.min_service_grant.count());
+    out += ",\"deadline_headroom_ns\":" +
+           std::to_string(options_.deadline_headroom.count());
     out += ",\"stats\":" + to_json(snapshot);
     out += ",\"tenants_in_flight\":{";
     {

@@ -51,6 +51,24 @@ namespace obs {
 class admin_server;
 }
 
+/// How a shard orders its pending queue (DESIGN.md §13).
+enum class scheduling_policy : std::uint8_t {
+    /// Strict admission order; slo_deadline is never ENFORCED (no EDF pop,
+    /// no shedding, no preemption) but deadline met/missed is still
+    /// MEASURED — the baseline the bench_slo_sched comparison runs against.
+    fifo,
+    /// Earliest-deadline-first: the pop takes the smallest (deadline, id)
+    /// key, requests whose deadline already passed are shed without
+    /// running, provably-unmeetable submissions are shed at admission
+    /// (min_service_grant), and a running search is cooperatively
+    /// preempted at its deadline, returning its anytime best-so-far plan.
+    /// With NO deadlines configured every key is (+inf, id), so the pop
+    /// degenerates to admission order — bit-identical to fifo.
+    edf,
+};
+
+[[nodiscard]] const char* to_string(scheduling_policy policy) noexcept;
+
 struct service_options {
     /// Concurrent searches PER SHARD (each worker runs one request at a
     /// time).
@@ -68,6 +86,22 @@ struct service_options {
     /// are shed as rejected. 0 = unlimited. The empty tenant name is a
     /// tenant like any other.
     std::size_t tenant_quota = 0;
+    /// Queue ordering + deadline enforcement (see scheduling_policy).
+    scheduling_policy scheduling = scheduling_policy::edf;
+    /// Admission-time feasibility floor: the minimum wall time the service
+    /// commits to grant any admitted search. A deadline submission whose
+    /// earliest possible start — now + min_service_grant x
+    /// (requests ahead of it / workers) — leaves less than this grant
+    /// before its deadline is PROVABLY UNMEETABLE and shed at submit()
+    /// (stats.shed_unmeetable, "service.deadline.shed_unmeetable").
+    /// 0 disables admission shedding (expired requests are still shed at
+    /// dequeue under edf).
+    std::chrono::nanoseconds min_service_grant{0};
+    /// Safety margin subtracted from a request's remaining time when arming
+    /// its search run_budget, reserving room for response assembly and the
+    /// final unbiased re-assessment so the RESPONSE (not just the search)
+    /// meets the deadline.
+    std::chrono::nanoseconds deadline_headroom{0};
     /// Base search configuration for every request; per-request fields
     /// (seed, chains, iteration budget) override it. The observer (if any)
     /// receives events from ALL requests, stamped with their request id,
@@ -103,6 +137,13 @@ struct service_request {
     double desired_reliability = 1.0;  ///< R_desired
     std::chrono::nanoseconds max_search_time = std::chrono::seconds{30};  ///< Tmax
     std::uint64_t seed = 1;
+    /// SLO deadline for the whole request lifecycle (queue wait + search +
+    /// response assembly), measured from submit(). 0 = no deadline: the
+    /// request is never shed, never preempted, and its search runs exactly
+    /// the historic trajectory. Distinct from max_search_time (Tmax, the
+    /// search's own annealing budget): slo_deadline is the caller's
+    /// patience, Tmax the paper's Eq. 6 cooling horizon.
+    std::chrono::nanoseconds slo_deadline{0};
     /// Per-request overrides of the service defaults (unset = inherit).
     std::optional<std::size_t> search_chains;
     std::optional<std::size_t> max_iterations;
@@ -114,6 +155,17 @@ struct service_response {
     std::string scenario;
     std::string error;          ///< set for rejected/failed
     deployment_response result; ///< meaningful iff status == completed
+    /// Time the request sat admitted-but-not-running (submit → dequeue).
+    /// Also observed into the "service.latency.queue_wait_ns" histogram.
+    std::chrono::nanoseconds queue_wait_ns{0};
+    /// Time the search ran (dequeue → response ready), histogram
+    /// "service.latency.search_ns". Both are 0 for admission-shed requests.
+    std::chrono::nanoseconds search_ns{0};
+    /// Whether a deadline request's response was ready by its deadline.
+    /// Meaningful only when the request carried an slo_deadline; a
+    /// preempted-but-on-time request still reads true here (its result is
+    /// the anytime plan, see result.outcome).
+    bool deadline_met = false;
 };
 
 /// Cumulative service counters (also exported as "service.*" metrics).
@@ -128,6 +180,23 @@ struct service_stats {
     /// Load shed because the tenant hit its in-flight quota
     /// ("service.shed.quota"). Counted inside `rejected` too.
     std::uint64_t shed_quota = 0;
+    /// Deadline requests shed as provably unmeetable — at admission by the
+    /// min_service_grant bound, or at dequeue because the deadline had
+    /// already passed ("service.deadline.shed_unmeetable"). Counted inside
+    /// `rejected` too.
+    std::uint64_t shed_unmeetable = 0;
+    /// Deadline requests whose response was ready by the deadline
+    /// ("service.deadline.met"). met + missed + shed_unmeetable covers
+    /// every resolved deadline request.
+    std::uint64_t deadline_met = 0;
+    /// Deadline requests that ran but resolved late ("service.deadline.missed").
+    std::uint64_t deadline_missed = 0;
+    /// Searches cooperatively preempted by their run_budget — the response
+    /// carries the anytime best-so-far plan with
+    /// search_outcome::deadline_exceeded ("service.deadline.preempted").
+    /// Orthogonal to met/missed: a preempted search usually still meets its
+    /// deadline (that is the point).
+    std::uint64_t preempted = 0;
     /// Deepest any single shard queue ever got.
     std::size_t peak_queue_depth = 0;
     /// Live queue depth per shard (index = shard id) at the stats() call.
@@ -188,6 +257,11 @@ private:
         service_request request;
         scenario_ptr scenario;
         std::promise<service_response> promise;
+        /// submit() wall-clock instant (queue_wait starts here).
+        monotonic_clock::time_point admitted_at{};
+        /// Absolute deadline (admitted_at + slo_deadline); the EDF sort key.
+        monotonic_clock::time_point deadline_at{};
+        bool has_deadline = false;
     };
 
     /// One shard: a bounded queue plus the workers draining it. Requests
@@ -206,8 +280,15 @@ private:
         bool gauges_registered = false;  ///< false once gauge capacity ran out
     };
 
+    /// EDF total order: (deadline or +inf, admission id). Deadline-free
+    /// requests compare by id alone, so an all-FIFO workload pops in
+    /// admission order under edf too — the PR 9 bit-identity hinge.
+    [[nodiscard]] static bool edf_before(const pending_request& a,
+                                         const pending_request& b) noexcept;
+
     void worker_loop(shard& sh);
-    [[nodiscard]] service_response run(pending_request& pending) const;
+    [[nodiscard]] service_response run(pending_request& pending,
+                                       const run_budget_ptr& budget) const;
 
     service_options options_;
     /// Registry + stats + tenant bookkeeping; never held while a shard

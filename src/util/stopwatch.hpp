@@ -6,6 +6,12 @@
 
 namespace recloud {
 
+/// The one clock every timing plane reads: the Eq. 6 search budget
+/// (stopwatch/deadline here) and the request-lifecycle deadlines
+/// (core/run_budget.hpp) must agree on "now", or a preempted search could
+/// report a Telapsed that disagrees with the deadline that cut it.
+using monotonic_clock = std::chrono::steady_clock;
+
 /// Wall-clock stopwatch over the monotonic steady clock.
 class stopwatch {
 public:
@@ -25,7 +31,7 @@ public:
     }
 
 private:
-    using clock = std::chrono::steady_clock;
+    using clock = monotonic_clock;
     clock::time_point start_;
 };
 
@@ -56,6 +62,14 @@ public:
     [[nodiscard]] std::chrono::nanoseconds budget() const noexcept { return budget_; }
     [[nodiscard]] double elapsed_seconds() const noexcept {
         return watch_.elapsed_seconds();
+    }
+    /// Elapsed time clamped to the budget: the Telapsed that timelines and
+    /// result JSON report, so a search cut after its budget (scheduler
+    /// latency, preemption) can never claim Telapsed > Tmax.
+    [[nodiscard]] double elapsed_budgeted_seconds() const noexcept {
+        const double elapsed = watch_.elapsed_seconds();
+        const double budget = std::chrono::duration<double>(budget_).count();
+        return budget > 0.0 && elapsed > budget ? budget : elapsed;
     }
 
 private:

@@ -8,11 +8,13 @@
 #include <sys/wait.h>
 
 #include <cerrno>
+#include <chrono>
 #include <condition_variable>
 #include <future>
 #include <mutex>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/scenario.hpp"
@@ -410,6 +412,224 @@ TEST(Service, TenantQuotaShedsExcessInFlightRequests) {
     EXPECT_EQ(stats.shed_queue_full, 0u);
     EXPECT_EQ(stats.rejected, 1u);
     EXPECT_EQ(stats.completed, 2u);
+}
+
+// ---- SLO deadlines: EDF admission, shedding, preemption --------------------
+
+/// Records the order in which requests' searches START (first observer
+/// event per id) while optionally gating one id like request_gate.
+class start_order_gate {
+public:
+    explicit start_order_gate(std::uint64_t gated_id) : gated_id_(gated_id) {}
+
+    [[nodiscard]] obs::search_observer observer() {
+        return [this](const obs::search_iteration_event& event) {
+            std::unique_lock<std::mutex> lock{mutex_};
+            if (seen_.insert(event.request_id).second) {
+                order_.push_back(event.request_id);
+            }
+            if (event.request_id != gated_id_) {
+                return;
+            }
+            if (!started_) {
+                started_ = true;
+                cv_.notify_all();
+            }
+            cv_.wait(lock, [this] { return released_; });
+        };
+    }
+
+    void await_started() {
+        std::unique_lock<std::mutex> lock{mutex_};
+        cv_.wait(lock, [this] { return started_; });
+    }
+
+    void release() {
+        const std::lock_guard<std::mutex> lock{mutex_};
+        released_ = true;
+        cv_.notify_all();
+    }
+
+    [[nodiscard]] std::vector<std::uint64_t> order() {
+        const std::lock_guard<std::mutex> lock{mutex_};
+        return order_;
+    }
+
+private:
+    std::uint64_t gated_id_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::set<std::uint64_t> seen_;
+    std::vector<std::uint64_t> order_;
+    bool started_ = false;
+    bool released_ = false;
+};
+
+service_request deadline_request_for(std::string scenario, std::uint64_t seed,
+                                     std::chrono::nanoseconds deadline) {
+    service_request request = request_for(std::move(scenario), seed);
+    request.slo_deadline = deadline;
+    return request;
+}
+
+TEST(Service, EdfPopsEarliestDeadlineFirst) {
+    start_order_gate gate{1};
+    service_options options;
+    options.workers = 1;
+    options.defaults = small_search_defaults();
+    options.defaults.observer = gate.observer();
+    deployment_service service{options};
+    service.add_scenario("dc", make_fat_tree_scenario(4));
+
+    // Wedge the single worker, then queue: no-deadline, 60s, 5s. The EDF
+    // pop must run them tightest-deadline-first, arrival order be damned.
+    auto wedged = service.submit(request_for("dc", 1));
+    gate.await_started();
+    auto no_deadline = service.submit(request_for("dc", 2));
+    auto loose = service.submit(
+        deadline_request_for("dc", 3, std::chrono::seconds{60}));
+    auto tight = service.submit(
+        deadline_request_for("dc", 4, std::chrono::seconds{5}));
+    gate.release();
+
+    EXPECT_EQ(wedged.get().status, request_status::completed);
+    EXPECT_EQ(no_deadline.get().status, request_status::completed);
+    EXPECT_EQ(loose.get().status, request_status::completed);
+    EXPECT_EQ(tight.get().status, request_status::completed);
+    EXPECT_EQ(gate.order(), (std::vector<std::uint64_t>{1, 4, 3, 2}));
+
+    const service_stats stats = service.stats();
+    EXPECT_EQ(stats.deadline_met, 2u);
+    EXPECT_EQ(stats.deadline_missed, 0u);
+    EXPECT_EQ(stats.shed_unmeetable, 0u);
+}
+
+TEST(Service, FifoPolicyIgnoresDeadlineOrderingButStillMeasures) {
+    start_order_gate gate{1};
+    service_options options;
+    options.workers = 1;
+    options.scheduling = scheduling_policy::fifo;
+    options.defaults = small_search_defaults();
+    options.defaults.observer = gate.observer();
+    deployment_service service{options};
+    service.add_scenario("dc", make_fat_tree_scenario(4));
+
+    auto wedged = service.submit(request_for("dc", 1));
+    gate.await_started();
+    auto first = service.submit(request_for("dc", 2));
+    auto tight = service.submit(
+        deadline_request_for("dc", 3, std::chrono::seconds{30}));
+    gate.release();
+
+    EXPECT_EQ(wedged.get().status, request_status::completed);
+    EXPECT_EQ(first.get().status, request_status::completed);
+    const service_response timed = tight.get();
+    EXPECT_EQ(timed.status, request_status::completed);
+    // Arrival order despite request 3's deadline.
+    EXPECT_EQ(gate.order(), (std::vector<std::uint64_t>{1, 2, 3}));
+    // fifo never preempts...
+    EXPECT_NE(timed.result.outcome, search_outcome::deadline_exceeded);
+    // ...but the measurement plane still scores the deadline.
+    const service_stats stats = service.stats();
+    EXPECT_EQ(stats.deadline_met + stats.deadline_missed, 1u);
+    EXPECT_EQ(stats.preempted, 0u);
+}
+
+TEST(Service, UnmeetableDeadlineIsShedAtAdmission) {
+    service_options options;
+    options.workers = 1;
+    options.min_service_grant = std::chrono::seconds{2};
+    options.defaults = small_search_defaults();
+    deployment_service service{options};
+    service.add_scenario("dc", make_fat_tree_scenario(4));
+
+    // Even an idle service cannot grant 2s of search before a 100ms
+    // deadline: provably unmeetable, shed without burning a worker.
+    const service_response shed =
+        service.submit(
+            deadline_request_for("dc", 1, std::chrono::milliseconds{100}))
+            .get();
+    EXPECT_EQ(shed.status, request_status::rejected);
+    EXPECT_EQ(shed.error, "deadline provably unmeetable at admission");
+
+    // The same deadline WITHOUT the grant floor is admitted and met.
+    service_options lax = options;
+    lax.min_service_grant = std::chrono::nanoseconds{0};
+    deployment_service lax_service{lax};
+    lax_service.add_scenario("dc", make_fat_tree_scenario(4));
+    const service_response admitted =
+        lax_service
+            .submit(deadline_request_for("dc", 1, std::chrono::seconds{30}))
+            .get();
+    EXPECT_EQ(admitted.status, request_status::completed);
+
+    const service_stats stats = service.stats();
+    EXPECT_EQ(stats.shed_unmeetable, 1u);
+    EXPECT_EQ(stats.rejected, 1u);
+    EXPECT_EQ(stats.submitted, 0u);
+}
+
+TEST(Service, ExpiredDeadlineIsShedAtDequeue) {
+    request_gate gate{1};
+    service_options options;
+    options.workers = 1;
+    options.defaults = small_search_defaults();
+    options.defaults.observer = gate.observer();
+    deployment_service service{options};
+    service.add_scenario("dc", make_fat_tree_scenario(4));
+
+    auto wedged = service.submit(request_for("dc", 1));
+    gate.await_started();
+    // 50ms deadline, but the only worker is wedged until well past it.
+    auto doomed = service.submit(
+        deadline_request_for("dc", 2, std::chrono::milliseconds{50}));
+    std::this_thread::sleep_for(std::chrono::milliseconds{120});
+    gate.release();
+
+    EXPECT_EQ(wedged.get().status, request_status::completed);
+    const service_response shed = doomed.get();
+    EXPECT_EQ(shed.status, request_status::rejected);
+    EXPECT_EQ(shed.error, "deadline expired before the search started");
+    EXPECT_GT(shed.queue_wait_ns.count(), 0);
+    EXPECT_EQ(shed.search_ns.count(), 0);
+
+    const service_stats stats = service.stats();
+    EXPECT_EQ(stats.shed_unmeetable, 1u);
+    EXPECT_EQ(stats.deadline_missed, 0u);  // never ran, so never "missed"
+}
+
+TEST(Service, OverBudgetSearchIsPreemptedWithAnytimeResult) {
+    service_options options;
+    options.workers = 1;
+    // Reserve 600ms of the deadline for response assembly: the search is
+    // cut early enough that the RESPONSE still meets the deadline.
+    options.deadline_headroom = std::chrono::milliseconds{600};
+    options.defaults.assessment_rounds = 200;  // time-driven: no iteration cap
+    deployment_service service{options};
+    service.add_scenario("dc", make_fat_tree_scenario(4));
+
+    service_request runaway =
+        deadline_request_for("dc", 1, std::chrono::seconds{2});
+    runaway.desired_reliability = 2.0;  // unreachable: the search never stops
+    runaway.max_search_time = std::chrono::seconds{30};  // would blow the SLO
+    const service_response response = service.submit(std::move(runaway)).get();
+
+    ASSERT_EQ(response.status, request_status::completed);
+    EXPECT_EQ(response.result.outcome, search_outcome::deadline_exceeded);
+    EXPECT_FALSE(response.result.fulfilled);
+    EXPECT_EQ(response.result.plan.hosts.size(), 3u);  // anytime plan
+    EXPECT_TRUE(response.deadline_met);
+    EXPECT_GT(response.search_ns.count(), 0);
+
+    const service_stats stats = service.stats();
+    EXPECT_EQ(stats.preempted, 1u);
+    EXPECT_EQ(stats.deadline_met, 1u);
+    EXPECT_EQ(stats.deadline_missed, 0u);
+}
+
+TEST(Service, SchedulingPolicyToString) {
+    EXPECT_STREQ(to_string(scheduling_policy::fifo), "fifo");
+    EXPECT_STREQ(to_string(scheduling_policy::edf), "edf");
 }
 
 // ---- child worker processes (socket transport) -----------------------------

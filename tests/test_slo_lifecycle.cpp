@@ -1,0 +1,309 @@
+// SLO-aware request lifecycle (core/run_budget.hpp): the cooperative
+// cancellation/deadline token, its no-deadline bit-identity contract across
+// every backend x transport x worker count, deterministic iteration cuts,
+// anytime results, and clean preemption of in-flight socket dispatches.
+#include "core/run_budget.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <cerrno>
+#include <chrono>
+#include <memory>
+#include <vector>
+
+#include "core/recloud.hpp"
+#include "core/scenario.hpp"
+
+namespace recloud {
+namespace {
+
+// ---- the token itself ------------------------------------------------------
+
+TEST(RunBudget, DefaultIsUnarmedAndNeverFires) {
+    run_budget budget;
+    EXPECT_FALSE(budget.cancelled());
+    EXPECT_FALSE(budget.has_deadline());
+    EXPECT_FALSE(budget.interrupted());
+    EXPECT_FALSE(budget.cut_at(0));
+    EXPECT_FALSE(budget.cut_at(1u << 30));
+    EXPECT_NO_THROW(throw_if_preempted(&budget));
+    EXPECT_NO_THROW(throw_if_preempted(nullptr));
+}
+
+TEST(RunBudget, CancelInterrupts) {
+    run_budget budget;
+    budget.cancel();
+    EXPECT_TRUE(budget.cancelled());
+    EXPECT_TRUE(budget.interrupted());
+    EXPECT_THROW(throw_if_preempted(&budget), search_preempted);
+}
+
+TEST(RunBudget, PastDeadlineInterrupts) {
+    run_budget budget;
+    budget.set_deadline_in(std::chrono::nanoseconds{-1});
+    EXPECT_TRUE(budget.has_deadline());
+    EXPECT_TRUE(budget.interrupted());
+    EXPECT_EQ(budget.remaining(), std::chrono::nanoseconds::zero());
+    EXPECT_THROW(throw_if_preempted(&budget), search_preempted);
+}
+
+TEST(RunBudget, FutureDeadlineDoesNotInterruptYet) {
+    run_budget budget;
+    budget.set_deadline_in(std::chrono::hours{1});
+    EXPECT_TRUE(budget.has_deadline());
+    EXPECT_FALSE(budget.interrupted());
+    EXPECT_GT(budget.remaining(), std::chrono::nanoseconds::zero());
+    budget.clear_deadline();
+    EXPECT_FALSE(budget.has_deadline());
+    EXPECT_FALSE(budget.interrupted());
+}
+
+TEST(RunBudget, IterationCutIsAThreshold) {
+    run_budget budget;
+    budget.set_iteration_cut(5);
+    EXPECT_FALSE(budget.cut_at(4));
+    EXPECT_TRUE(budget.cut_at(5));
+    EXPECT_TRUE(budget.cut_at(6));
+    // The cut alone does not make the token "interrupted": it is polled by
+    // the annealing loop against its own counter.
+    EXPECT_FALSE(budget.interrupted());
+}
+
+TEST(RunBudget, SearchPreemptedIsARuntimeError) {
+    const search_preempted error;
+    const std::runtime_error& base = error;
+    EXPECT_NE(std::string{base.what()}.find("preempted"), std::string::npos);
+}
+
+// ---- no-deadline bit-identity across backends/transports/workers -----------
+
+recloud_options small_options(assessment_backend_kind backend,
+                              std::size_t threads) {
+    recloud_options options;
+    options.assessment_rounds = 200;
+    options.max_iterations = 20;
+    options.deterministic_schedule = true;
+    options.backend = backend;
+    options.assessment_threads = threads;
+    options.assessment_batch_rounds = 64;
+    options.seed = 7;
+    return options;
+}
+
+deployment_request small_request() {
+    deployment_request request;
+    request.app = application::k_of_n(2, 3);
+    request.desired_reliability = 2.0;  // unreachable: full budget runs
+    request.max_search_time = std::chrono::seconds{30};
+    return request;
+}
+
+void expect_identical(const deployment_response& a,
+                      const deployment_response& b) {
+    EXPECT_EQ(a.plan.hosts, b.plan.hosts);
+    EXPECT_EQ(a.stats.rounds, b.stats.rounds);
+    EXPECT_EQ(a.stats.reliable, b.stats.reliable);
+    EXPECT_EQ(a.score, b.score);
+    EXPECT_EQ(a.winning_chain, b.winning_chain);
+    EXPECT_EQ(a.search.plans_generated, b.search.plans_generated);
+    EXPECT_EQ(a.search.plans_evaluated, b.search.plans_evaluated);
+    EXPECT_EQ(a.fulfilled, b.fulfilled);
+    EXPECT_EQ(a.outcome, b.outcome);
+}
+
+/// An ARMED budget whose deadline/cut never fire must be bit-identical to
+/// running with no budget at all: the polls are pure reads.
+void check_armed_budget_is_inert(const recloud_options& options) {
+    const scenario_ptr snapshot = make_fat_tree_scenario(4);
+
+    re_cloud baseline_system{snapshot, options};
+    const deployment_response baseline =
+        baseline_system.find_deployment(small_request());
+
+    re_cloud armed_system{snapshot, options};
+    deployment_request armed = small_request();
+    armed.budget = std::make_shared<run_budget>();
+    armed.budget->set_deadline_in(std::chrono::hours{24});
+    armed.budget->set_iteration_cut(1u << 30);
+    const deployment_response with_budget =
+        armed_system.find_deployment(armed);
+
+    expect_identical(baseline, with_budget);
+    EXPECT_NE(with_budget.outcome, search_outcome::deadline_exceeded);
+}
+
+TEST(SloBitIdentity, SerialBackend) {
+    check_armed_budget_is_inert(small_options(assessment_backend_kind::serial, 0));
+}
+
+TEST(SloBitIdentity, ParallelBackendTwoWorkers) {
+    check_armed_budget_is_inert(
+        small_options(assessment_backend_kind::parallel, 2));
+}
+
+TEST(SloBitIdentity, ParallelBackendEightWorkers) {
+    check_armed_budget_is_inert(
+        small_options(assessment_backend_kind::parallel, 8));
+}
+
+TEST(SloBitIdentity, EngineLoopbackOneWorker) {
+    check_armed_budget_is_inert(small_options(assessment_backend_kind::engine, 1));
+}
+
+TEST(SloBitIdentity, EngineLoopbackTwoWorkers) {
+    check_armed_budget_is_inert(small_options(assessment_backend_kind::engine, 2));
+}
+
+TEST(SloBitIdentity, EngineLoopbackEightWorkers) {
+    check_armed_budget_is_inert(small_options(assessment_backend_kind::engine, 8));
+}
+
+TEST(SloBitIdentity, MultiChainParallelSearch) {
+    recloud_options options = small_options(assessment_backend_kind::serial, 0);
+    options.search_chains = 3;
+    options.search_threads = 3;
+    check_armed_budget_is_inert(options);
+}
+
+// ---- deterministic iteration cut -------------------------------------------
+
+TEST(SloDeterministicCut, TrajectoryIsAPrefixAndPureFunctionOfSeed) {
+    const scenario_ptr snapshot = make_fat_tree_scenario(4);
+    recloud_options options = small_options(assessment_backend_kind::serial, 0);
+    options.max_iterations = 40;
+    options.record_trace = true;
+
+    re_cloud full_system{snapshot, options};
+    const deployment_response full =
+        full_system.find_deployment(small_request());
+    ASSERT_EQ(full.search.plans_generated, 40u);
+
+    const auto run_cut = [&] {
+        re_cloud system{snapshot, options};
+        deployment_request request = small_request();
+        request.budget = std::make_shared<run_budget>();
+        request.budget->set_iteration_cut(15);
+        return system.find_deployment(request);
+    };
+    const deployment_response cut = run_cut();
+    const deployment_response cut_again = run_cut();
+
+    // Pure function of the seed: two preempted runs are bit-identical.
+    expect_identical(cut, cut_again);
+    EXPECT_EQ(cut.outcome, search_outcome::deadline_exceeded);
+    EXPECT_FALSE(cut.fulfilled);
+    EXPECT_EQ(cut.search.plans_generated, 15u);
+
+    // Prefix property: every improvement the cut run saw, the full run saw
+    // at the same evaluation index with the same score.
+    ASSERT_LE(cut.search.trace.size(), full.search.trace.size());
+    for (std::size_t i = 0; i < cut.search.trace.size(); ++i) {
+        EXPECT_EQ(cut.search.trace[i].plans_evaluated,
+                  full.search.trace[i].plans_evaluated);
+        EXPECT_EQ(cut.search.trace[i].best_score,
+                  full.search.trace[i].best_score);
+        EXPECT_EQ(cut.search.trace[i].best_reliability,
+                  full.search.trace[i].best_reliability);
+    }
+}
+
+// ---- anytime results --------------------------------------------------------
+
+TEST(SloAnytime, CancelMidSearchReturnsBestSoFar) {
+    const scenario_ptr snapshot = make_fat_tree_scenario(4);
+    recloud_options options = small_options(assessment_backend_kind::serial, 0);
+    options.max_iterations = 200;
+    auto budget = std::make_shared<run_budget>();
+    std::size_t events = 0;
+    options.observer = [&](const obs::search_iteration_event&) {
+        if (++events == 5) {
+            budget->cancel();
+        }
+    };
+
+    re_cloud system{snapshot, options};
+    deployment_request request = small_request();
+    request.budget = budget;
+    const deployment_response response = system.find_deployment(request);
+
+    EXPECT_EQ(response.outcome, search_outcome::deadline_exceeded);
+    EXPECT_FALSE(response.fulfilled);
+    // The anytime contract: a full, assessed plan comes back anyway...
+    EXPECT_EQ(response.plan.hosts.size(), 3u);
+    EXPECT_GT(response.stats.rounds, 0u);
+    // ...and the search stopped near the cancellation point, not at the
+    // iteration budget.
+    EXPECT_LT(response.search.plans_generated, 200u);
+    // Telapsed never exceeds Tmax even for preempted trajectories (Eq. 6
+    // clock unification).
+    EXPECT_LE(response.search.elapsed_seconds, 30.0);
+}
+
+TEST(SloAnytime, WallClockDeadlinePreemptsTimeDrivenSearch) {
+    const scenario_ptr snapshot = make_fat_tree_scenario(4);
+    recloud_options options;
+    options.assessment_rounds = 200;
+    options.seed = 3;
+
+    re_cloud system{snapshot, options};
+    deployment_request request = small_request();
+    request.max_search_time = std::chrono::seconds{20};
+    request.budget = std::make_shared<run_budget>();
+    request.budget->set_deadline_in(std::chrono::milliseconds{200});
+    const auto started = monotonic_clock::now();
+    const deployment_response response = system.find_deployment(request);
+    const auto elapsed = monotonic_clock::now() - started;
+
+    EXPECT_EQ(response.outcome, search_outcome::deadline_exceeded);
+    EXPECT_EQ(response.plan.hosts.size(), 3u);
+    // Preempted far before Tmax (generous bound for sanitizer builds).
+    EXPECT_LT(elapsed, std::chrono::seconds{15});
+    EXPECT_LE(response.search.elapsed_seconds, 20.0);
+}
+
+// ---- preemption over the socket transport ----------------------------------
+
+TEST(SocketTransportPreempt, AbortsInFlightDispatchAndStaysReusable) {
+    const scenario_ptr snapshot = make_fat_tree_scenario(4);
+    recloud_options options = small_options(assessment_backend_kind::engine, 2);
+    options.engine_transport = engine_transport_kind::socket;
+    options.engine_worker_binary = RECLOUD_WORKER_BIN;
+    // Hundreds of 64-round batches per assessment: a 50ms deadline is
+    // guaranteed to fire while dispatches are in flight on the workers.
+    options.assessment_rounds = 50000;
+
+    // The second request cuts at iteration 0: it preempts deterministically
+    // right after a FULL initial assessment — proof the transport survived
+    // the first request's mid-dispatch abort with no desync.
+    const auto cut_request = [] {
+        deployment_request request = small_request();
+        request.budget = std::make_shared<run_budget>();
+        request.budget->set_iteration_cut(0);
+        return request;
+    };
+
+    {
+        re_cloud system{snapshot, options};
+
+        deployment_request preempted = small_request();
+        preempted.budget = std::make_shared<run_budget>();
+        preempted.budget->set_deadline_in(std::chrono::milliseconds{50});
+        const deployment_response aborted = system.find_deployment(preempted);
+        EXPECT_EQ(aborted.outcome, search_outcome::deadline_exceeded);
+
+        const deployment_response reused = system.find_deployment(cut_request());
+        re_cloud fresh{snapshot, options};
+        const deployment_response expected = fresh.find_deployment(cut_request());
+        expect_identical(expected, reused);
+        EXPECT_GT(reused.stats.rounds, 0u);
+    }
+    // No zombie recloud_worker children survive the engines above.
+    errno = 0;
+    EXPECT_EQ(::waitpid(-1, nullptr, WNOHANG), -1);
+    EXPECT_EQ(errno, ECHILD);
+}
+
+}  // namespace
+}  // namespace recloud
